@@ -1,0 +1,153 @@
+"""Micro-benchmarks of the real implementation's hot paths.
+
+These are the absolute single-node costs that calibrate the cluster
+simulator (see ``repro.sim.calibrate``): top-K query, write, compaction,
+shrink, serialization and compression on the §III-D representative
+profile (~60 slices, a few hundred features).
+"""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import ShrinkConfig, TableConfig
+from repro.core.engine import ProfileEngine
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.sim.calibrate import build_representative_profile
+from repro.storage import compress, decompress
+from repro.storage.serialization import ProfileCodec
+
+from conftest import NOW_MS
+
+
+@pytest.fixture
+def engine():
+    clock = SimulatedClock(NOW_MS)
+    config = TableConfig(
+        name="bench",
+        attributes=("click", "like", "share"),
+        shrink=ShrinkConfig.from_mapping({}, default_retain=100),
+    )
+    engine = ProfileEngine(config, clock)
+    build_representative_profile(engine, profile_id=1, now_ms=NOW_MS)
+    return engine
+
+
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+
+
+def test_query_topk_30d_window(benchmark, engine):
+    result = benchmark(
+        lambda: engine.get_profile_topk(
+            1, 1, 1, WINDOW, SortType.ATTRIBUTE, k=10, sort_attribute="click"
+        )
+    )
+    assert result
+
+
+def test_query_topk_all_types(benchmark, engine):
+    result = benchmark(
+        lambda: engine.get_profile_topk(1, 1, None, WINDOW, SortType.TOTAL, k=50)
+    )
+    assert result
+
+
+def test_query_decay_exponential(benchmark, engine):
+    result = benchmark(
+        lambda: engine.get_profile_decay(
+            1, 1, 1, WINDOW, "exponential", 7 * MILLIS_PER_DAY, k=10,
+            sort_attribute="click",
+        )
+    )
+    assert result
+
+
+def test_query_filter(benchmark, engine):
+    benchmark(
+        lambda: engine.get_profile_filter(
+            1, 1, 1, WINDOW, lambda stat: stat.count_at(0) > 2
+        )
+    )
+
+
+def test_write_single(benchmark, engine):
+    counter = iter(range(100_000_000))
+    benchmark(
+        lambda: engine.add_profile(
+            2, NOW_MS - (next(counter) % 1000) * 1000, 1, 1, 7, [1, 0, 0]
+        )
+    )
+
+
+def test_write_batched_32(benchmark, engine):
+    fids = list(range(32))
+    counts = [[1, 0, 0]] * 32
+    benchmark(lambda: engine.add_profiles(3, NOW_MS, 1, 1, fids, counts))
+
+
+def test_full_compaction(benchmark, engine):
+    profile = engine.table.get_or_raise(1)
+
+    def run():
+        fresh = profile.copy()
+        return engine.compactor.compact(fresh, NOW_MS)
+
+    stats = benchmark(run)
+    assert stats.slices_before >= stats.slices_after
+
+
+def test_shrink_pass(benchmark, engine):
+    profile = engine.table.get_or_raise(1)
+
+    def run():
+        fresh = profile.copy()
+        return engine.shrinker.shrink(fresh, NOW_MS)
+
+    benchmark(run)
+
+
+def test_serialize_profile(benchmark, engine):
+    profile = engine.table.get_or_raise(1)
+    blob = benchmark(lambda: ProfileCodec.encode_profile(profile))
+    assert len(blob) > 0
+
+
+def test_deserialize_profile(benchmark, engine):
+    blob = ProfileCodec.encode_profile(engine.table.get_or_raise(1))
+    profile = benchmark(lambda: ProfileCodec.decode_profile(blob))
+    assert profile.profile_id == 1
+
+
+def test_compress_profile_blob(benchmark, engine):
+    blob = ProfileCodec.encode_profile(engine.table.get_or_raise(1))
+    compressed = benchmark(lambda: compress(blob))
+    assert len(compressed) < len(blob)
+
+
+def test_decompress_profile_blob(benchmark, engine):
+    blob = compress(ProfileCodec.encode_profile(engine.table.get_or_raise(1)))
+    benchmark(lambda: decompress(blob))
+
+
+def test_feature_assembly_per_request(benchmark, engine):
+    """§I: 'extract thousands of features for a single request'.
+
+    100 specs x k=10 = 2000 numbers per assembled request, evaluated
+    against the representative profile.
+    """
+    from repro.assembly import FeatureAssembler, FeatureSpec
+
+    specs = [
+        FeatureSpec(
+            name=f"f{index}",
+            slot=index % 4,
+            type_id=index % 2,
+            window_ms=(1 + index % 30) * MILLIS_PER_DAY,
+            attribute=("click", "like", "share")[index % 3],
+            k=10,
+        )
+        for index in range(100)
+    ]
+    assembler = FeatureAssembler(engine, specs, engine.config.attributes)
+    record = benchmark(lambda: assembler.assemble(1, NOW_MS))
+    assert len(record.vector()) == 2000

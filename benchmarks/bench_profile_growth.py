@@ -1,0 +1,112 @@
+"""§III-D prose claims: profile size under compact + truncate + shrink.
+
+Paper numbers this bench regenerates:
+
+* the average slice-list length is 62 and a user profile uses about 45 KB
+  of memory, staying fairly stable;
+* without compact/truncate, a profile growing one 5-minute slice at a time
+  would reach ~76 MB after a year — "clearly not economically practical";
+* a serialized + compressed profile takes < 40 KB (§III-E).
+
+We replay one year of regular activity twice — once with the maintenance
+machinery enabled (the production Listing-3 config) and once with it off —
+and compare trajectories.
+"""
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import ShrinkConfig, TableConfig, TruncateConfig
+from repro.core.engine import ProfileEngine
+from repro.storage import BulkPersistence, InMemoryKVStore
+
+from conftest import NOW_MS, print_series
+
+YEAR_MS = 365 * MILLIS_PER_DAY
+
+
+def simulate_year(maintained: bool) -> dict:
+    clock = SimulatedClock(NOW_MS)
+    config = TableConfig(
+        name="t",
+        attributes=("click", "like", "share"),
+        truncate=TruncateConfig(max_age_ms=YEAR_MS),
+        shrink=ShrinkConfig.from_mapping({}, default_retain=50)
+        if maintained
+        else None,
+    )
+    engine = ProfileEngine(config, clock)
+    trajectory = []
+    # One action every 5 minutes for a year — the paper's "each slice
+    # contains 5-minute worth of data" growth scenario (§III-D).
+    start = NOW_MS - YEAR_MS
+    writes_per_day = 288  # 24h / 5min
+    step_ms = 5 * 60 * 1000
+    for day in range(365):
+        day_start = start + day * MILLIS_PER_DAY
+        for step in range(writes_per_day):
+            sequence = day * writes_per_day + step
+            engine.add_profile(
+                1, day_start + step * step_ms, step % 4, step % 2,
+                sequence % 900, {"click": 1, "like": step % 2},
+            )
+        if maintained and day % 7 == 0:
+            engine.maintain_profile(1)
+        if day % 30 == 0:
+            profile = engine.table.get(1)
+            trajectory.append(
+                (day, profile.slice_count(), profile.memory_bytes())
+            )
+    if maintained:
+        engine.maintain_profile(1)
+    profile = engine.table.get(1)
+    persistence = BulkPersistence(InMemoryKVStore(), "t")
+    return {
+        "trajectory": trajectory,
+        "slices": profile.slice_count(),
+        "memory_bytes": profile.memory_bytes(),
+        "serialized_bytes": persistence.serialized_size(profile),
+    }
+
+
+def test_profile_growth_with_and_without_maintenance(benchmark):
+    results = benchmark.pedantic(
+        lambda: (simulate_year(True), simulate_year(False)),
+        rounds=1,
+        iterations=1,
+    )
+    maintained, unbounded = results
+    rows = [
+        f"day={day:3d}  maintained: slices={slices:5d} mem={mem / 1024:7.1f}KB"
+        for day, slices, mem in maintained["trajectory"]
+    ]
+    print_series(
+        "§III-D — profile growth over one year",
+        "paper: ~62 slices, ~45 KB stable with maintenance; ~76 MB/yr without",
+        rows,
+    )
+    ratio = unbounded["memory_bytes"] / maintained["memory_bytes"]
+    print(
+        f"maintained: {maintained['slices']} slices, "
+        f"{maintained['memory_bytes'] / 1024:.1f} KB memory, "
+        f"{maintained['serialized_bytes'] / 1024:.1f} KB serialized"
+    )
+    print(
+        f"unbounded:  {unbounded['slices']} slices, "
+        f"{unbounded['memory_bytes'] / 1024:.1f} KB memory "
+        f"({ratio:.0f}x larger)"
+    )
+
+    # Maintained profile: same order of magnitude as the paper's 62-slice,
+    # 45 KB steady state (our in-memory accounting model charges Python
+    # dict overhead the C++ structs do not have, so the bound is looser).
+    assert maintained["slices"] < 150
+    assert maintained["memory_bytes"] < 256 * 1024
+    # Serialized + compressed under the 40 KB bound of §III-E.
+    assert maintained["serialized_bytes"] < 40 * 1024
+    # Without maintenance the same activity is dramatically larger (the
+    # paper's 76 MB/yr vs 45 KB contrast) and keeps growing with history.
+    assert unbounded["slices"] > 100 * maintained["slices"]
+    assert ratio > 50.0
+    # Stability: the maintained trajectory flattens (last two checkpoints
+    # within 2x of each other) while the unbounded one keeps growing.
+    maintained_tail = [mem for _, _, mem in maintained["trajectory"][-2:]]
+    assert maintained_tail[1] < maintained_tail[0] * 2.0

@@ -1,0 +1,135 @@
+"""Table II: client/server query latency by cache hit vs cache miss.
+
+Paper (prose anchors, the table itself): network transmission costs about
+3 ms and grows with response size; cache hits save approximately 2-4 ms
+per query relative to misses.
+
+Two parts:
+
+* the **simulated production table** from the calibrated fleet model
+  (client = server + network; miss = hit + KV fetch/decode penalty);
+* a **measured table from the real implementation**: the same query is
+  served from a warm GCache (hit) and from a cold cache through the real
+  persistence path (miss) — demonstrating the same gap mechanically.
+"""
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import TableConfig
+from repro.server.node import IPSNode
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.storage import InMemoryKVStore
+
+from conftest import NOW_MS, print_series
+
+
+def test_table2_simulated_production_latency(benchmark, simulator):
+    table = benchmark.pedantic(
+        lambda: simulator.latency_table(samples=20_000), rounds=1, iterations=1
+    )
+    rows = []
+    for side in ("client", "server"):
+        for case in ("hit", "miss"):
+            rows.append(
+                f"{side:6s} {case:4s}  "
+                f"p50={table[side][f'{case}_p50_ms']:5.2f}ms  "
+                f"mean={table[side][f'{case}_mean_ms']:5.2f}ms  "
+                f"p99={table[side][f'{case}_p99_ms']:5.2f}ms"
+            )
+    print_series(
+        "Table II — query latency by side and cache outcome (simulated fleet)",
+        "paper: network ~3 ms; hit saves ~2-4 ms",
+        rows,
+    )
+    for side in ("client", "server"):
+        saving = table[side]["miss_mean_ms"] - table[side]["hit_mean_ms"]
+        assert 2.0 < saving < 4.5, f"{side} hit saving {saving}"
+    network = table["client"]["hit_mean_ms"] - table["server"]["hit_mean_ms"]
+    assert 2.5 < network < 4.0
+
+
+def test_table2_rpc_proxy_client_server_split(benchmark):
+    """Client/server decomposition over real calls through the RPC proxy:
+    client latency = measured server handler time + the ~3 ms modelled
+    network hop — the structure of Table II, from this implementation."""
+    from repro.server.proxy import RPCNodeProxy
+    from repro.server.rpc import LatencyModel
+
+    clock = SimulatedClock(NOW_MS)
+    config = TableConfig(name="t", attributes=("click", "like"))
+    node = IPSNode(
+        "n0", config, InMemoryKVStore(), clock=clock, isolation_enabled=False
+    )
+    for step in range(120):
+        node.add_profile(
+            1, NOW_MS - step * 3_600_000, step % 4, 0, step % 30, {"click": 1}
+        )
+    proxy = RPCNodeProxy(node, clock, LatencyModel(jitter_ms=0.3))
+    window = TimeRange.current(30 * MILLIS_PER_DAY)
+
+    def query():
+        return proxy.get_profile_topk(
+            1, 1, 0, window, SortType.ATTRIBUTE, k=10, sort_attribute="click"
+        )
+
+    result = benchmark(query)
+    assert result
+    summary = proxy.latency_summary()
+    print(
+        f"\n=== Table II (RPC proxy, real server time) === "
+        f"client p50={summary['client_p50_ms']:.2f}ms "
+        f"p99={summary['client_p99_ms']:.2f}ms | "
+        f"server p50={summary['server_p50_ms']:.3f}ms "
+        f"p99={summary['server_p99_ms']:.3f}ms"
+    )
+    gap = summary["client_p50_ms"] - summary["server_p50_ms"]
+    assert 2.5 < gap < 4.5  # The ~3 ms network share of Table II.
+
+
+def test_table2_real_code_hit_vs_miss(benchmark):
+    """Measure the real hit/miss service-time gap in this implementation."""
+    clock = SimulatedClock(NOW_MS)
+    config = TableConfig(name="t", attributes=("click", "like"))
+    store = InMemoryKVStore()
+    node = IPSNode("n0", config, store, clock=clock, isolation_enabled=False)
+    # A realistically sized profile: ~60 slices, hundreds of features.
+    for step in range(240):
+        node.add_profile(
+            1, NOW_MS - step * 3_600_000, step % 4, 0, step % 40,
+            {"click": 1 + step % 3},
+        )
+    node.shutdown()  # Everything durable.
+    window = TimeRange.current(30 * MILLIS_PER_DAY)
+
+    def query_once():
+        return node.get_profile_topk(
+            1, 1, 0, window, SortType.ATTRIBUTE, k=10, sort_attribute="click"
+        )
+
+    # Warm path (cache hit).
+    hit_result = benchmark(query_once)
+    assert hit_result
+
+    import time
+
+    # Cold path (cache miss through real persistence) measured manually:
+    # evict, then time the first query after eviction.
+    miss_samples = []
+    for _ in range(50):
+        node.cache._evict(1)
+        start = time.perf_counter()
+        query_once()
+        miss_samples.append((time.perf_counter() - start) * 1000)
+    hit_samples = []
+    for _ in range(50):
+        start = time.perf_counter()
+        query_once()
+        hit_samples.append((time.perf_counter() - start) * 1000)
+    hit_ms = sum(hit_samples) / len(hit_samples)
+    miss_ms = sum(miss_samples) / len(miss_samples)
+    print(
+        f"\n=== Table II (real code) === hit={hit_ms:.3f}ms "
+        f"miss={miss_ms:.3f}ms penalty={miss_ms - hit_ms:.3f}ms"
+    )
+    # The mechanism: a miss pays load+decompress+deserialize on top.
+    assert miss_ms > hit_ms

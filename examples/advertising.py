@@ -1,0 +1,154 @@
+"""Advertising: flow control and volatile bid prices (§I-d).
+
+The paper's second major use case places two extra demands on IPS:
+
+* **flow control** — models must see fresh impression/conversion counts to
+  pace an ad's delivery over its campaign window;
+* **volatile bid prices** — auctions reprice constantly, so the stored
+  price must reflect the *latest* observation, not an average.  This is
+  what the ``last`` aggregate (per-table reduce function) is for.
+
+This example runs two IPS tables side by side: a ``sum``-aggregated
+counters table for pacing and a ``last``-aggregated price table, plus a
+per-caller QPS quota showing the multi-tenancy guardrail of §V-b.
+
+Run with::
+
+    python examples/advertising.py
+"""
+
+from repro import (
+    IPSCluster,
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    QuotaExceededError,
+    SimulatedClock,
+    SortType,
+    TableConfig,
+    TimeRange,
+)
+from repro.clock import MILLIS_PER_MINUTE
+
+NOW = 400 * MILLIS_PER_DAY
+
+SLOT_CAMPAIGN = 1
+TYPE_DISPLAY = 0
+ADVERTISER = 555  # Profile id keyed by advertiser in this table.
+
+
+def pacing_example() -> None:
+    """Flow control: impressions and conversions per ad over the day."""
+    clock = SimulatedClock(NOW)
+    counters = TableConfig(
+        name="ad_counters",
+        attributes=("impression", "click", "conversion"),
+        aggregate="sum",
+    )
+    cluster = IPSCluster(counters, num_nodes=2, clock=clock)
+    client = cluster.client("ads-pacer")
+
+    # A campaign with three ads delivering through the day.
+    deliveries = {101: 40, 102: 25, 103: 10}
+    for ad_id, impressions in deliveries.items():
+        for index in range(impressions):
+            timestamp = NOW - index * 20 * MILLIS_PER_MINUTE
+            counts = {"impression": 1}
+            if index % 5 == 0:
+                counts["click"] = 1
+            if index % 10 == 0:
+                counts["conversion"] = 1
+            client.add_profile(
+                ADVERTISER, timestamp, SLOT_CAMPAIGN, TYPE_DISPLAY, ad_id, counts
+            )
+    cluster.run_background_cycle()
+
+    # The pacer asks: deliveries in the last 6 hours per ad -> throttle the
+    # over-delivering ad, boost the under-delivering one.
+    recent = client.get_profile_topk(
+        ADVERTISER, SLOT_CAMPAIGN, TYPE_DISPLAY,
+        TimeRange.current(6 * MILLIS_PER_HOUR),
+        SortType.ATTRIBUTE, k=10, sort_attribute="impression",
+    )
+    print("--- pacing view (last 6 hours) ---")
+    impression_idx = counters.attributes.index("impression")
+    conversion_idx = counters.attributes.index("conversion")
+    budget_per_6h = 12
+    for row in recent:
+        served = row.count(impression_idx)
+        decision = "THROTTLE" if served > budget_per_6h else "serve"
+        print(
+            f"  ad {row.fid}: {served} impressions, "
+            f"{row.count(conversion_idx)} conversions -> {decision}"
+        )
+    cluster.shutdown()
+
+
+def bid_price_example() -> None:
+    """Volatile prices: the ``last`` aggregate keeps the newest bid."""
+    clock = SimulatedClock(NOW)
+    prices = TableConfig(
+        name="ad_bids",
+        attributes=("bid_millicents",),
+        aggregate="last",  # Newest observation wins on merge.
+    )
+    cluster = IPSCluster(prices, num_nodes=2, clock=clock)
+    client = cluster.client("ads-bidder")
+
+    # The same ad re-prices five times within one minute; every write lands
+    # in the same 1-second-band slice region and merges with `last`.
+    reprices = [12_000, 12_700, 11_900, 13_300, 12_850]
+    for index, bid in enumerate(reprices):
+        client.add_profile(
+            ADVERTISER, NOW - (len(reprices) - index) * 100,
+            SLOT_CAMPAIGN, TYPE_DISPLAY, 101, {"bid_millicents": bid},
+        )
+    cluster.run_background_cycle()
+
+    current = client.get_profile_topk(
+        ADVERTISER, SLOT_CAMPAIGN, TYPE_DISPLAY,
+        TimeRange.current(MILLIS_PER_HOUR), k=1,
+    )
+    print("\n--- bid price view ---")
+    print(f"  ad 101 current bid: {current[0].count(0)} millicents "
+          f"(last write was {reprices[-1]})")
+    assert current[0].count(0) == reprices[-1]
+    cluster.shutdown()
+
+
+def quota_example() -> None:
+    """Multi-tenancy: a greedy experiment hits its QPS quota (§V-b)."""
+    clock = SimulatedClock(NOW)
+    config = TableConfig(name="ad_counters", attributes=("impression",))
+    cluster = IPSCluster(config, num_nodes=1, clock=clock)
+    node = next(iter(cluster.region.nodes.values()))
+    node.quota.set_quota("greedy-experiment", qps=100, burst=5)
+
+    client = cluster.client("greedy-experiment")
+    client.add_profile(ADVERTISER, NOW, 1, 0, 101, {"impression": 1})
+    cluster.run_background_cycle()
+
+    admitted, rejected = 0, 0
+    for _ in range(20):
+        try:
+            client.get_profile_topk(
+                ADVERTISER, 1, 0, TimeRange.current(MILLIS_PER_HOUR), k=1
+            )
+            admitted += 1
+        except QuotaExceededError:
+            rejected += 1
+    print("\n--- quota view ---")
+    print(f"  greedy-experiment: {admitted} admitted, {rejected} rejected "
+          f"(burst=5, qps=100)")
+    assert rejected > 0
+    cluster.shutdown()
+
+
+def main() -> None:
+    pacing_example()
+    bid_price_example()
+    quota_example()
+    print("\nOK — advertising example finished.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Feature engineering & operations: the §V lessons in action.
+
+The paper's "Experiences & Lessons Learned" section describes how teams
+actually work with IPS day to day:
+
+* **higher-level APIs** summarising common scenarios (§V-a) — shown here
+  via ``FeatureClient`` (CTR, trending, engagement scores);
+* **hot-reload of feature-dependent configs** (§V-b) — a machine-learning
+  engineer experiments with time precision by swapping the compaction
+  bands live, no restart;
+* **auto-scaling with workload** (§IV) — the fleet grows under a traffic
+  spike and shrinks afterwards without losing data;
+* **monitoring** — the telemetry rollups behind the §IV dashboards.
+
+Run with::
+
+    python examples/feature_engineering.py
+"""
+
+from repro import (
+    ClusterMonitor,
+    FeatureClient,
+    IPSCluster,
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    ScalingPolicy,
+    SimulatedClock,
+    TableConfig,
+    TimeDimensionConfig,
+)
+from repro.cluster.autoscaler import AutoScaler
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+def build_cluster() -> IPSCluster:
+    config = TableConfig(
+        name="feed",
+        attributes=("impression", "click", "like", "comment", "share"),
+    )
+    return IPSCluster(config, num_nodes=2, clock=SimulatedClock(NOW))
+
+
+def seed_activity(cluster: IPSCluster) -> None:
+    client = cluster.client("seed")
+    # A user with layered interests: heavy on item 1, recent on item 2,
+    # high-engagement (shares) on item 3.
+    for hour in range(48):
+        client.add_profile(7, NOW - hour * MILLIS_PER_HOUR, 1, 0, 1,
+                           {"impression": 2, "click": 1})
+    client.add_profile(7, NOW, 1, 0, 2, {"impression": 1, "click": 1})
+    client.add_profile(7, NOW - 3 * MILLIS_PER_HOUR, 1, 0, 3,
+                       {"impression": 1, "share": 2, "comment": 1})
+    cluster.run_background_cycle()
+
+
+def scenario_apis(cluster: IPSCluster) -> None:
+    features = FeatureClient(cluster.client("ranker"), cluster.config.attributes)
+    print("--- FeatureClient scenarios (§V-a) ---")
+    print("top interests (30d, by clicks):",
+          [(r.fid, r.counts) for r in features.top_interests(7, slot=1, by="click", k=3)])
+    print("CTR rows (24h, >=3 impressions):",
+          [(row.fid, f"{row.ctr:.2f}") for row in features.ctr(7, slot=1, min_impressions=3)])
+    print("trending (6h, 1h half-life):",
+          [r.fid for r in features.trending(7, slot=1)])
+    print("engagement (share x5, comment x3, click x1):",
+          [r.fid for r in features.engagement_score(
+              7, slot=1, weights={"share": 5, "comment": 3, "click": 1})])
+
+
+def hot_reload_experiment(cluster: IPSCluster) -> None:
+    """§V-b: experiment with compaction time precision, live."""
+    node = cluster.region.node_for(7)
+    profile = node.engine.table.get(7)
+    before = profile.slice_count()
+    # Experiment: much coarser precision for everything older than 10 min.
+    coarse = TimeDimensionConfig.from_mapping(
+        {"1s": ("0s", "10m"), "12h": ("10m", "365d")}
+    )
+    for each in cluster.region.nodes.values():
+        each.reload_config(time_dimension=coarse)
+        each.run_maintenance()
+    after = node.engine.table.get(7).slice_count()
+    print(f"\n--- hot-reload experiment (§V-b) ---")
+    print(f"slice count {before} -> {after} after swapping compaction "
+          f"bands live (no restart)")
+
+
+def autoscale_under_spike(cluster: IPSCluster) -> None:
+    print("\n--- auto-scaling (§IV) ---")
+    scaler = AutoScaler(
+        cluster.region,
+        ScalingPolicy(node_capacity_qps=1000, min_nodes=1, max_nodes=6,
+                      cooldown_ticks=0),
+    )
+    for observed_qps in (500, 1900, 4000, 4000, 900, 300):
+        events = scaler.tick(observed_qps)
+        actions = ", ".join(f"{e.action} {e.node_id}" for e in events) or "steady"
+        print(f"  load {observed_qps:5.0f} qps over "
+              f"{cluster.region.healthy_node_count} nodes -> {actions}")
+    # Data survived the churn.
+    client = cluster.client("check")
+    features = FeatureClient(client, cluster.config.attributes)
+    assert features.top_interests(7, slot=1, k=1)
+    print("  profile data intact after scale up/down")
+
+
+def show_dashboard(cluster: IPSCluster) -> None:
+    print("\n--- monitoring rollup ---")
+    print(ClusterMonitor(cluster).report())
+
+
+def main() -> None:
+    cluster = build_cluster()
+    seed_activity(cluster)
+    scenario_apis(cluster)
+    hot_reload_experiment(cluster)
+    autoscale_under_spike(cluster)
+    show_dashboard(cluster)
+    cluster.shutdown()
+    print("\nOK — feature engineering example finished.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+environments that have wheel) work either way.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,125 @@
+"""repro: a reproduction of IPS — Unified Profile Management for
+Ubiquitous Online Recommendations (ICDE 2021).
+
+IPS is ByteDance's Instance Profile Service: an in-memory, write-back
+profile store that serves feature computations (top-K / filter / decay
+over arbitrary time windows) for online recommendation, with automatic
+compaction, truncation and long-tail shrinking, read-write isolation,
+per-caller quotas, consistent-hash sharding and multi-region replication.
+
+Quick start::
+
+    from repro import IPSCluster, TableConfig, TimeRange, SortType
+
+    config = TableConfig(name="feed", attributes=("click", "like"))
+    cluster = IPSCluster(config, num_nodes=4)
+    client = cluster.client("my-app")
+
+    client.add_profile(profile_id=1, timestamp_ms=..., slot=0, type_id=0,
+                       fid=42, counts={"click": 1})
+    cluster.run_background_cycle()   # merge write tables, flush cache
+    top = client.get_profile_topk(1, 0, 0, TimeRange.current(86_400_000),
+                                  SortType.ATTRIBUTE, k=10,
+                                  sort_attribute="click")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .clock import (
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    MILLIS_PER_SECOND,
+    Clock,
+    SimulatedClock,
+    SystemClock,
+)
+from .config import (
+    ShrinkConfig,
+    SlotShrinkPolicy,
+    TableConfig,
+    TimeBand,
+    TimeDimensionConfig,
+    TruncateConfig,
+    format_duration_ms,
+    parse_duration_ms,
+)
+from .core import (
+    FeatureResult,
+    ProfileEngine,
+    SortType,
+    TimeRange,
+    TimeRangeKind,
+)
+from .cluster import (
+    AutoScaler,
+    IPSClient,
+    IPSCluster,
+    MultiRegionDeployment,
+    ScalingPolicy,
+)
+from .assembly import AssembledFeatures, FeatureAssembler, FeatureSpec
+from .catalog import FeatureCatalog
+from .highlevel import CTRFeature, FeatureClient
+from .monitoring import ClusterMonitor, ClusterSnapshot
+from .errors import (
+    ConfigError,
+    IPSError,
+    InvalidQueryError,
+    InvalidTimeRangeError,
+    ProfileNotFoundError,
+    QuotaExceededError,
+    StorageError,
+    VersionConflictError,
+)
+from .server import IPSNode, IPSService
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AssembledFeatures",
+    "AutoScaler",
+    "CTRFeature",
+    "FeatureAssembler",
+    "FeatureCatalog",
+    "FeatureSpec",
+    "Clock",
+    "ClusterMonitor",
+    "ClusterSnapshot",
+    "ConfigError",
+    "FeatureClient",
+    "FeatureResult",
+    "IPSClient",
+    "IPSCluster",
+    "IPSError",
+    "IPSNode",
+    "IPSService",
+    "InvalidQueryError",
+    "InvalidTimeRangeError",
+    "MILLIS_PER_DAY",
+    "MILLIS_PER_HOUR",
+    "MILLIS_PER_MINUTE",
+    "MILLIS_PER_SECOND",
+    "MultiRegionDeployment",
+    "ProfileEngine",
+    "ProfileNotFoundError",
+    "QuotaExceededError",
+    "ScalingPolicy",
+    "ShrinkConfig",
+    "SimulatedClock",
+    "SlotShrinkPolicy",
+    "SortType",
+    "StorageError",
+    "SystemClock",
+    "TableConfig",
+    "TimeBand",
+    "TimeDimensionConfig",
+    "TimeRange",
+    "TimeRangeKind",
+    "TruncateConfig",
+    "VersionConflictError",
+    "format_duration_ms",
+    "parse_duration_ms",
+    "__version__",
+]

@@ -1,0 +1,193 @@
+"""Feature assembly for serving and training (§I).
+
+The paper: "With the help of IPS, we can extract thousands of features
+for a single request, assemble them for serving and flush them into
+training data in parallel to avoid training-serving skew."
+
+:class:`FeatureAssembler` implements that contract: a fixed list of
+:class:`FeatureSpec` declarations is evaluated against IPS for one
+profile per request, producing a deterministic, fixed-width
+:class:`AssembledFeatures` record.  The *same* record is returned to the
+ranking model and (optionally) published to a training topic — both sides
+see byte-identical features, which is the skew-avoidance mechanism.
+
+Each spec yields ``2 * k`` numbers: the top-k feature ids and their
+primary counts, zero-padded to width so models get a stable input shape
+regardless of how much history a user has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Mapping, Sequence
+
+from .clock import MILLIS_PER_DAY
+from .core.query import FeatureResult, SortType
+from .core.timerange import TimeRange
+from .errors import ConfigError
+from .ingest.streams import Topic
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One declared feature extraction.
+
+    ``kind`` selects the IPS read API: ``"topk"`` (optionally weighted via
+    ``weights``) or ``"decay"`` (exponential, parameterised by
+    ``half_life_ms``).  ``attribute`` names the counter used both for
+    sorting (top-K) and as the emitted value; ``None`` means total counts.
+    """
+
+    name: str
+    slot: int
+    window_ms: int
+    type_id: int | None = None
+    kind: Literal["topk", "decay"] = "topk"
+    k: int = 8
+    attribute: str | None = None
+    weights: Mapping[str, float] | None = None
+    half_life_ms: int = MILLIS_PER_DAY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("feature spec needs a name")
+        if self.k <= 0:
+            raise ConfigError(f"spec {self.name!r}: k must be positive")
+        if self.window_ms <= 0:
+            raise ConfigError(f"spec {self.name!r}: window must be positive")
+        if self.kind not in ("topk", "decay"):
+            raise ConfigError(f"spec {self.name!r}: unknown kind {self.kind!r}")
+        if self.weights is not None and self.kind != "topk":
+            raise ConfigError(f"spec {self.name!r}: weights imply kind='topk'")
+
+    @property
+    def width(self) -> int:
+        """Numbers this spec contributes to the flat vector."""
+        return 2 * self.k
+
+
+@dataclass(frozen=True)
+class AssembledFeatures:
+    """The per-request feature record shared by serving and training."""
+
+    profile_id: int
+    timestamp_ms: int
+    #: spec name -> ((fid, value), ...) padded with (0, 0) to k pairs.
+    features: Mapping[str, tuple[tuple[int, int], ...]]
+
+    def vector(self) -> list[int]:
+        """Flatten to the fixed-width model input, spec order preserved."""
+        flat: list[int] = []
+        for pairs in self.features.values():
+            for fid, value in pairs:
+                flat.append(fid)
+                flat.append(value)
+        return flat
+
+
+@dataclass
+class AssemblerStats:
+    requests: int = 0
+    specs_evaluated: int = 0
+    training_records_published: int = 0
+
+
+class FeatureAssembler:
+    """Evaluates a spec list against IPS, once per ranking request."""
+
+    def __init__(
+        self,
+        client,
+        specs: Sequence[FeatureSpec],
+        attributes: Sequence[str],
+        training_topic: Topic | None = None,
+    ) -> None:
+        if not specs:
+            raise ConfigError("assembler needs at least one feature spec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate feature spec names in {names}")
+        self._client = client
+        self._specs = tuple(specs)
+        self._attributes = tuple(attributes)
+        self._training_topic = training_topic
+        self.stats = AssemblerStats()
+        # Validate attributes eagerly so misconfigured specs fail at
+        # construction, not in the serving path.
+        for spec in specs:
+            if spec.attribute is not None and spec.attribute not in self._attributes:
+                raise ConfigError(
+                    f"spec {spec.name!r}: unknown attribute {spec.attribute!r}"
+                )
+            for weight_attr in (spec.weights or {}):
+                if weight_attr not in self._attributes:
+                    raise ConfigError(
+                        f"spec {spec.name!r}: unknown weight attribute "
+                        f"{weight_attr!r}"
+                    )
+
+    @property
+    def vector_width(self) -> int:
+        """Total flat-vector width (stable across requests)."""
+        return sum(spec.width for spec in self._specs)
+
+    # ------------------------------------------------------------------
+
+    def assemble(self, profile_id: int, timestamp_ms: int) -> AssembledFeatures:
+        """Extract every spec for one request and publish for training."""
+        self.stats.requests += 1
+        features: dict[str, tuple[tuple[int, int], ...]] = {}
+        for spec in self._specs:
+            self.stats.specs_evaluated += 1
+            rows = self._evaluate(profile_id, spec)
+            features[spec.name] = self._pad(rows, spec)
+        record = AssembledFeatures(
+            profile_id=profile_id,
+            timestamp_ms=timestamp_ms,
+            features=features,
+        )
+        if self._training_topic is not None:
+            # The identical record goes to training: no skew by design.
+            self._training_topic.produce(profile_id, record, timestamp_ms)
+            self.stats.training_records_published += 1
+        return record
+
+    def _evaluate(self, profile_id: int, spec: FeatureSpec) -> list[FeatureResult]:
+        window = TimeRange.current(spec.window_ms)
+        if spec.kind == "decay":
+            return self._client.get_profile_decay(
+                profile_id, spec.slot, spec.type_id, window,
+                decay_function="exponential",
+                decay_factor=spec.half_life_ms,
+                k=spec.k,
+                sort_attribute=spec.attribute,
+            )
+        if spec.weights is not None:
+            return self._client.get_profile_topk(
+                profile_id, spec.slot, spec.type_id, window,
+                SortType.WEIGHTED, spec.k, sort_weights=dict(spec.weights),
+            )
+        if spec.attribute is not None:
+            return self._client.get_profile_topk(
+                profile_id, spec.slot, spec.type_id, window,
+                SortType.ATTRIBUTE, spec.k, sort_attribute=spec.attribute,
+            )
+        return self._client.get_profile_topk(
+            profile_id, spec.slot, spec.type_id, window, SortType.TOTAL, spec.k
+        )
+
+    def _pad(
+        self, rows: list[FeatureResult], spec: FeatureSpec
+    ) -> tuple[tuple[int, int], ...]:
+        value_index = (
+            self._attributes.index(spec.attribute)
+            if spec.attribute is not None
+            else None
+        )
+        pairs: list[tuple[int, int]] = []
+        for row in rows[: spec.k]:
+            value = row.total() if value_index is None else row.count(value_index)
+            pairs.append((row.fid, value))
+        while len(pairs) < spec.k:
+            pairs.append((0, 0))
+        return tuple(pairs)

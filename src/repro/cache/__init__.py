@@ -1,0 +1,21 @@
+"""GCache: the write-back compute cache of IPS (§III-C).
+
+GCache holds resident profiles and consists of two sharded structures: the
+*LRU list* driving swap-out decisions and the *dirty list* driving flushes
+to the persistent key-value store.  Sharding by profile id reduces lock
+contention among the background swap threads; a ``try_lock``-and-skip
+discipline avoids blocking on entries another thread is already handling.
+"""
+
+from .dirty import ShardedDirtyList
+from .gcache import CacheEntry, CacheMetrics, GCache
+from .lru import LRUShard, ShardedLRU
+
+__all__ = [
+    "CacheEntry",
+    "CacheMetrics",
+    "GCache",
+    "LRUShard",
+    "ShardedDirtyList",
+    "ShardedLRU",
+]

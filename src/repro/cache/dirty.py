@@ -1,0 +1,119 @@
+"""Sharded dirty list (§III-C, Fig. 9).
+
+Updated or newly written profiles are tracked on a dirty list until flush
+threads persist them to the key-value store.  Like the LRU list, the dirty
+list is sharded by profile id; the paper requires the number of flush
+threads to be a multiple of the shard count so that every shard has at
+least one dedicated flusher and threads do not interfere.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class DirtyShard:
+    """One dirty-list partition, FIFO ordered by first-dirty time."""
+
+    def __init__(self, shard_index: int) -> None:
+        self.shard_index = shard_index
+        self.lock = threading.Lock()
+        #: profile_id -> dirty-sequence number of the *latest* mutation.
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def mark(self, profile_id: int, sequence: int) -> None:
+        """Mark a profile dirty at a mutation sequence number.
+
+        Re-marking keeps the original FIFO position but bumps the sequence,
+        so a flush that raced with a concurrent write can detect the entry
+        is dirty again.
+        """
+        with self.lock:
+            if profile_id in self._entries:
+                self._entries[profile_id] = sequence
+            else:
+                self._entries[profile_id] = sequence
+
+    def peek_batch(self, limit: int) -> list[tuple[int, int]]:
+        """Snapshot up to ``limit`` oldest (profile_id, sequence) pairs."""
+        with self.lock:
+            batch = []
+            for profile_id, sequence in self._entries.items():
+                batch.append((profile_id, sequence))
+                if len(batch) >= limit:
+                    break
+            return batch
+
+    def clear_if_unchanged(self, profile_id: int, sequence: int) -> bool:
+        """Remove an entry only if no newer mutation arrived since ``sequence``.
+
+        Returns True if the entry was removed (the flush covered the latest
+        state) and False if the profile was re-dirtied mid-flush and must be
+        flushed again.
+        """
+        with self.lock:
+            current = self._entries.get(profile_id)
+            if current is None:
+                return True
+            if current == sequence:
+                del self._entries[profile_id]
+                return True
+            return False
+
+    def discard(self, profile_id: int) -> None:
+        with self.lock:
+            self._entries.pop(profile_id, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, profile_id: int) -> bool:
+        with self.lock:
+            return profile_id in self._entries
+
+
+class ShardedDirtyList:
+    """The full sharded dirty list."""
+
+    def __init__(self, num_shards: int = 4) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._shards = [DirtyShard(index) for index in range(num_shards)]
+        self._sequence = 0
+        self._sequence_lock = threading.Lock()
+
+    def next_sequence(self) -> int:
+        with self._sequence_lock:
+            self._sequence += 1
+            return self._sequence
+
+    def shard_for(self, profile_id: int) -> DirtyShard:
+        return self._shards[hash(profile_id) % self.num_shards]
+
+    def shard_at(self, index: int) -> DirtyShard:
+        return self._shards[index % self.num_shards]
+
+    def mark(self, profile_id: int) -> int:
+        """Mark a profile dirty; returns the mutation sequence assigned."""
+        sequence = self.next_sequence()
+        self.shard_for(profile_id).mark(profile_id, sequence)
+        return sequence
+
+    def discard(self, profile_id: int) -> None:
+        self.shard_for(profile_id).discard(profile_id)
+
+    def __contains__(self, profile_id: int) -> bool:
+        return profile_id in self.shard_for(profile_id)
+
+    def total_entries(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def validate_flush_threads(self, num_flush_threads: int) -> None:
+        """Enforce the paper's rule: flushers must be a multiple of shards."""
+        if num_flush_threads <= 0 or num_flush_threads % self.num_shards != 0:
+            raise ValueError(
+                f"number of flush threads ({num_flush_threads}) must be a "
+                f"positive multiple of dirty shards ({self.num_shards})"
+            )

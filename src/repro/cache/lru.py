@@ -1,0 +1,123 @@
+"""Sharded LRU list (§III-C, Figs. 7-8).
+
+The LRU cache is partitioned into shards hashed by profile id.  Each shard
+is an ordered dict (most-recently-used last) behind its own lock, so a swap
+thread working one shard never contends with serving threads touching other
+shards.  Swap-out starts from the *largest* shard, and entry access during
+swap uses ``try_lock`` semantics: if an entry's owner lock is held, the swap
+thread skips it and proceeds instead of blocking (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+
+class LRUShard:
+    """One LRU partition: an ordered map of profile id -> cost in bytes."""
+
+    def __init__(self, shard_index: int) -> None:
+        self.shard_index = shard_index
+        self.lock = threading.Lock()
+        self._entries: OrderedDict[int, int] = OrderedDict()
+        self._bytes = 0
+
+    def touch(self, profile_id: int, cost_bytes: int) -> None:
+        """Insert or refresh an entry as most recently used."""
+        with self.lock:
+            previous = self._entries.pop(profile_id, None)
+            if previous is not None:
+                self._bytes -= previous
+            self._entries[profile_id] = cost_bytes
+            self._bytes += cost_bytes
+
+    def update_cost(self, profile_id: int, cost_bytes: int) -> bool:
+        """Adjust an entry's cost without changing recency."""
+        with self.lock:
+            previous = self._entries.get(profile_id)
+            if previous is None:
+                return False
+            self._entries[profile_id] = cost_bytes
+            self._bytes += cost_bytes - previous
+            return True
+
+    def remove(self, profile_id: int) -> bool:
+        with self.lock:
+            previous = self._entries.pop(profile_id, None)
+            if previous is None:
+                return False
+            self._bytes -= previous
+            return True
+
+    def pop_lru(
+        self, skip: Callable[[int], bool] | None = None
+    ) -> tuple[int, int] | None:
+        """Pop the least-recently-used entry.
+
+        ``skip`` implements the try_lock discipline: entries for which it
+        returns True are left in place and the scan proceeds to the next
+        oldest entry.  Returns ``(profile_id, cost_bytes)`` or ``None``.
+        """
+        with self.lock:
+            for profile_id in self._entries:
+                if skip is not None and skip(profile_id):
+                    continue
+                cost = self._entries.pop(profile_id)
+                self._bytes -= cost
+                return profile_id, cost
+            return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, profile_id: int) -> bool:
+        with self.lock:
+            return profile_id in self._entries
+
+    def keys_snapshot(self) -> list[int]:
+        with self.lock:
+            return list(self._entries.keys())
+
+
+class ShardedLRU:
+    """The full sharded LRU list."""
+
+    def __init__(self, num_shards: int = 16) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._shards = [LRUShard(index) for index in range(num_shards)]
+
+    def shard_for(self, profile_id: int) -> LRUShard:
+        return self._shards[hash(profile_id) % self.num_shards]
+
+    def touch(self, profile_id: int, cost_bytes: int) -> None:
+        self.shard_for(profile_id).touch(profile_id, cost_bytes)
+
+    def update_cost(self, profile_id: int, cost_bytes: int) -> bool:
+        return self.shard_for(profile_id).update_cost(profile_id, cost_bytes)
+
+    def remove(self, profile_id: int) -> bool:
+        return self.shard_for(profile_id).remove(profile_id)
+
+    def __contains__(self, profile_id: int) -> bool:
+        return profile_id in self.shard_for(profile_id)
+
+    def total_bytes(self) -> int:
+        return sum(shard.size_bytes for shard in self._shards)
+
+    def total_entries(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def shards_by_size(self) -> list[LRUShard]:
+        """Shards sorted largest-first: the swap scan order (§III-C)."""
+        return sorted(self._shards, key=lambda shard: shard.size_bytes, reverse=True)
+
+    def iter_shards(self) -> Iterator[LRUShard]:
+        return iter(self._shards)

@@ -1,0 +1,102 @@
+"""Feature catalog: hashed literals and privacy posture (§II-A).
+
+The paper's data-model examples use names ("Sports", "Basketball",
+"Los Angeles Lakers") for illustration but note that "in reality, all
+user profile data are stored as hashed literals along with strict privacy
+and access controls".  :class:`FeatureCatalog` provides that mapping:
+
+* textual slots / types / features hash deterministically to the integer
+  ids the IPS APIs take (blake2b, 64-bit for fids, 32-bit for slots and
+  types, salted per catalog);
+* in **strict** mode (the production posture) the mapping is one-way —
+  no reverse lookup exists anywhere in the process;
+* in **debug** mode a reverse map is retained so developers can decode
+  query results while testing, mirroring how the paper's illustration
+  differs from its deployment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .errors import ConfigError
+
+_FID_BYTES = 8
+_BUCKET_BYTES = 4
+
+
+def _hash_literal(literal: str, salt: bytes, size: int) -> int:
+    if not literal:
+        raise ConfigError("cannot hash an empty literal")
+    digest = hashlib.blake2b(
+        literal.encode("utf-8"), key=salt, digest_size=size
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class FeatureCatalog:
+    """Deterministic literal -> id hashing with optional debug decode."""
+
+    def __init__(self, salt: str = "", debug: bool = False) -> None:
+        self._salt = salt.encode("utf-8")[:64]
+        self.debug = debug
+        self._reverse_fids: dict[int, str] = {}
+        self._reverse_buckets: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Forward mapping (always available)
+    # ------------------------------------------------------------------
+
+    def fid(self, feature: str) -> int:
+        """64-bit feature id for a literal (e.g. a team or item name)."""
+        value = _hash_literal(feature, self._salt, _FID_BYTES)
+        if self.debug:
+            self._reverse_fids[value] = feature
+        return value
+
+    def slot(self, name: str) -> int:
+        """32-bit slot id for a category literal (e.g. "Sports")."""
+        value = _hash_literal("slot:" + name, self._salt, _BUCKET_BYTES)
+        if self.debug:
+            self._reverse_buckets[value] = name
+        return value
+
+    def type(self, name: str) -> int:
+        """32-bit type id for a sub-category literal (e.g. "Basketball")."""
+        value = _hash_literal("type:" + name, self._salt, _BUCKET_BYTES)
+        if self.debug:
+            self._reverse_buckets[value] = name
+        return value
+
+    # ------------------------------------------------------------------
+    # Reverse mapping (debug only)
+    # ------------------------------------------------------------------
+
+    def feature_name(self, fid: int) -> str | None:
+        """Decode a fid back to its literal; debug catalogs only.
+
+        Returns ``None`` for unseen fids.  Raises in strict mode — the
+        privacy posture is that decoding must be impossible, and a caller
+        relying on it in production is a bug worth failing loudly on.
+        """
+        if not self.debug:
+            raise ConfigError(
+                "reverse lookup is disabled: this catalog runs in strict "
+                "(production) mode"
+            )
+        return self._reverse_fids.get(fid)
+
+    def bucket_name(self, bucket_id: int) -> str | None:
+        """Decode a slot/type id; debug catalogs only."""
+        if not self.debug:
+            raise ConfigError(
+                "reverse lookup is disabled: this catalog runs in strict "
+                "(production) mode"
+            )
+        return self._reverse_buckets.get(bucket_id)
+
+    # ------------------------------------------------------------------
+
+    def decode_results(self, results) -> list[tuple[str | None, tuple[int, ...]]]:
+        """Decode a query result list to (name, counts) rows (debug only)."""
+        return [(self.feature_name(row.fid), row.counts) for row in results]

@@ -1,0 +1,70 @@
+"""Clock abstractions.
+
+All timestamps in this library are integer **milliseconds** since the Unix
+epoch.  Components never call ``time.time()`` directly; they hold a
+:class:`Clock` so that CURRENT/RELATIVE time ranges, cache aging, compaction
+scheduling and the cluster simulator are fully deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+MILLIS_PER_SECOND = 1000
+MILLIS_PER_MINUTE = 60 * MILLIS_PER_SECOND
+MILLIS_PER_HOUR = 60 * MILLIS_PER_MINUTE
+MILLIS_PER_DAY = 24 * MILLIS_PER_HOUR
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can report the current time in epoch milliseconds."""
+
+    def now_ms(self) -> int:
+        """Return the current time in integer milliseconds."""
+        ...
+
+
+class SystemClock:
+    """Wall-clock backed :class:`Clock` used in production paths."""
+
+    def now_ms(self) -> int:
+        return int(time.time() * MILLIS_PER_SECOND)
+
+
+class SimulatedClock:
+    """Manually advanced clock for tests and the cluster simulator.
+
+    The clock is monotonic: :meth:`advance` refuses to move backwards, and
+    :meth:`set_time` only accepts times at or after the current one.  It is
+    thread-safe so the GCache background workers can share it with a driver.
+    """
+
+    def __init__(self, start_ms: int = 0) -> None:
+        if start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {start_ms}")
+        self._now_ms = start_ms
+        self._lock = threading.Lock()
+
+    def now_ms(self) -> int:
+        with self._lock:
+            return self._now_ms
+
+    def advance(self, delta_ms: int) -> int:
+        """Move the clock forward by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance by negative delta {delta_ms}")
+        with self._lock:
+            self._now_ms += delta_ms
+            return self._now_ms
+
+    def set_time(self, now_ms: int) -> None:
+        """Jump the clock forward to an absolute time."""
+        with self._lock:
+            if now_ms < self._now_ms:
+                raise ValueError(
+                    f"clock cannot move backwards: {now_ms} < {self._now_ms}"
+                )
+            self._now_ms = now_ms

@@ -1,0 +1,30 @@
+"""Cluster layer: load balancing, discovery, client and multi-region.
+
+IPS scales horizontally by sharding profile ids over instances with an
+ID-based consistent hash; instances register with a Consul-like discovery
+service and clients refresh the instance list periodically (§III).  For
+fault tolerance, deployments span multiple regions: clients write to every
+region but query only the local one, and only one region's instances
+persist to the master KV cluster (§III-G, Fig. 15).
+"""
+
+from .autoscaler import AutoScaler, ScalingEvent, ScalingPolicy
+from .client import ClientStats, IPSClient
+from .cluster import IPSCluster, MultiRegionDeployment
+from .discovery import DiscoveryService, InstanceRecord
+from .hashring import ConsistentHashRing
+from .region import Region
+
+__all__ = [
+    "AutoScaler",
+    "ClientStats",
+    "ConsistentHashRing",
+    "DiscoveryService",
+    "IPSCluster",
+    "IPSClient",
+    "InstanceRecord",
+    "MultiRegionDeployment",
+    "Region",
+    "ScalingEvent",
+    "ScalingPolicy",
+]

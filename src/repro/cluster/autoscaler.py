@@ -1,0 +1,174 @@
+"""Auto-scaling of IPS instances (§IV).
+
+Production IPS runs on Kubernetes and "can auto-scale up and down
+depending on the workload".  :class:`AutoScaler` reproduces that control
+loop for a :class:`~repro.cluster.region.Region`:
+
+* it watches a load signal (requests per second per node, or memory
+  pressure across the fleet);
+* above ``scale_up_threshold`` it adds nodes (bounded by ``max_nodes``);
+* below ``scale_down_threshold`` it removes the newest nodes (bounded by
+  ``min_nodes``), draining them first — dirty cache entries flush to the
+  KV store so the profiles a departing node owned are reloadable by their
+  new ring owners.
+
+Consistent hashing keeps the data movement proportional to the capacity
+change: only the keys adjacent to the added/removed virtual points remap
+(property-tested in ``tests/test_cluster_hashring.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..server.node import IPSNode
+from .region import Region
+
+
+@dataclass
+class ScalingPolicy:
+    """Thresholds and bounds for the control loop.
+
+    Load is expressed as *utilisation*: observed per-node QPS divided by
+    ``node_capacity_qps``.  Hysteresis between the two thresholds prevents
+    flapping; ``cooldown_ticks`` enforces a minimum interval between
+    scaling actions.
+    """
+
+    node_capacity_qps: float = 10_000.0
+    scale_up_threshold: float = 0.75
+    scale_down_threshold: float = 0.30
+    min_nodes: int = 1
+    max_nodes: int = 64
+    step: int = 1
+    cooldown_ticks: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale_down_threshold < self.scale_up_threshold <= 1.0:
+            raise ValueError(
+                "need 0 < scale_down_threshold < scale_up_threshold <= 1, got "
+                f"{self.scale_down_threshold} / {self.scale_up_threshold}"
+            )
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError(
+                f"need 1 <= min_nodes <= max_nodes, got "
+                f"{self.min_nodes} / {self.max_nodes}"
+            )
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if self.node_capacity_qps <= 0:
+            raise ValueError("node capacity must be positive")
+
+
+@dataclass
+class ScalingEvent:
+    tick: int
+    action: str  # "scale_up" | "scale_down"
+    node_id: str
+    utilization: float
+
+
+@dataclass
+class AutoScalerStats:
+    ticks: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    events: list[ScalingEvent] = field(default_factory=list)
+
+
+class AutoScaler:
+    """Threshold-based scaling loop over one region."""
+
+    def __init__(self, region: Region, policy: ScalingPolicy | None = None) -> None:
+        self.region = region
+        self.policy = policy if policy is not None else ScalingPolicy()
+        self.stats = AutoScalerStats()
+        self._next_index = len(region.nodes)
+        self._cooldown = 0
+
+    # ------------------------------------------------------------------
+
+    def utilization(self, observed_qps: float) -> float:
+        """Fleet utilisation for an observed aggregate QPS."""
+        healthy = max(1, self.region.healthy_node_count)
+        return observed_qps / (healthy * self.policy.node_capacity_qps)
+
+    def tick(self, observed_qps: float) -> list[ScalingEvent]:
+        """One control-loop iteration; returns the actions taken."""
+        self.stats.ticks += 1
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return []
+        utilization = self.utilization(observed_qps)
+        events: list[ScalingEvent] = []
+        if utilization > self.policy.scale_up_threshold:
+            events = self._scale_up(utilization)
+        elif utilization < self.policy.scale_down_threshold:
+            events = self._scale_down(utilization)
+        if events:
+            self._cooldown = self.policy.cooldown_ticks
+        return events
+
+    # ------------------------------------------------------------------
+
+    def _scale_up(self, utilization: float) -> list[ScalingEvent]:
+        events = []
+        for _ in range(self.policy.step):
+            if len(self.region.nodes) >= self.policy.max_nodes:
+                break
+            node_id = self._add_node()
+            self.stats.scale_ups += 1
+            event = ScalingEvent(self.stats.ticks, "scale_up", node_id, utilization)
+            self.stats.events.append(event)
+            events.append(event)
+        return events
+
+    def _scale_down(self, utilization: float) -> list[ScalingEvent]:
+        events = []
+        for _ in range(self.policy.step):
+            if len(self.region.nodes) <= self.policy.min_nodes:
+                break
+            node_id = self._remove_newest_node()
+            if node_id is None:
+                break
+            self.stats.scale_downs += 1
+            event = ScalingEvent(self.stats.ticks, "scale_down", node_id, utilization)
+            self.stats.events.append(event)
+            events.append(event)
+        return events
+
+    def _add_node(self) -> str:
+        """Clone the region's node configuration into a fresh instance."""
+        template = next(iter(self.region.nodes.values()))
+        node_id = f"{self.region.name}-node-{self._next_index}"
+        self._next_index += 1
+        node = IPSNode(
+            node_id,
+            template.engine.config,
+            self.region.store,
+            clock=template.clock,
+            cache_capacity_bytes=template.cache.capacity_bytes,
+            isolation_enabled=template.isolation_enabled,
+        )
+        self.region.nodes[node_id] = node
+        self.region.ring.add_node(node_id)
+        return node_id
+
+    def _remove_newest_node(self) -> str | None:
+        """Drain and remove the most recently added healthy node.
+
+        Draining = merge its write table and flush every dirty cache
+        entry, so the profiles it owned are durable in the KV store and
+        reloadable by their new owners after the ring update.
+        """
+        candidates = sorted(self.region.nodes)
+        for node_id in reversed(candidates):
+            if self.region.healthy_node_count <= self.policy.min_nodes:
+                return None
+            node = self.region.nodes[node_id]
+            node.shutdown()  # Drain: merge write table + flush dirty.
+            self.region.ring.remove_node(node_id)
+            del self.region.nodes[node_id]
+            self.region._failed_nodes.discard(node_id)
+            return node_id
+        return None

@@ -1,0 +1,283 @@
+"""The unified IPS client (§III, §III-G).
+
+Upstream applications talk to IPS through one client that:
+
+* routes each request to the owning node via the region's consistent hash
+  ring (refreshing node membership is the region's concern);
+* on a node failure, retries with the failed node excluded so the ring
+  resolves the next clockwise owner (bounded retries);
+* **writes to every region** but **queries only the local region**, the
+  multi-region strategy of Fig. 15, failing reads over to another region
+  when the local one is down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.query import FeatureResult, SortType
+from ..core.timerange import TimeRange
+from ..errors import (
+    NodeUnavailableError,
+    NoHealthyNodeError,
+    QuotaExceededError,
+    RegionUnavailableError,
+    RPCError,
+    StorageError,
+)
+
+#: Errors a retry may fix (transient transport / storage hiccups).
+_RETRYABLE = (NodeUnavailableError, StorageError)
+#: Errors that fail the region outright (handled by region failover).
+_REGION_FATAL = (RegionUnavailableError, NoHealthyNodeError, QuotaExceededError)
+
+
+@dataclass
+class ClientStats:
+    """Client-side request accounting (feeds the Fig. 17 error-rate curve)."""
+
+    reads: int = 0
+    writes: int = 0
+    read_errors: int = 0
+    write_errors: int = 0
+    retries: int = 0
+    region_failovers: int = 0
+
+    @property
+    def error_rate(self) -> float:
+        total = self.reads + self.writes
+        if total == 0:
+            return 0.0
+        return (self.read_errors + self.write_errors) / total
+
+
+class IPSClient:
+    """Client bound to a local region within a multi-region deployment."""
+
+    def __init__(
+        self,
+        deployment,
+        local_region: str,
+        caller: str = "default",
+        max_retries: int = 2,
+        use_discovery: bool = False,
+    ) -> None:
+        if local_region not in deployment.regions:
+            raise NoHealthyNodeError(f"unknown local region {local_region!r}")
+        self._deployment = deployment
+        self.local_region = local_region
+        self.caller = caller
+        self.max_retries = max_retries
+        self.stats = ClientStats()
+        #: When enabled, the client refreshes the healthy instance set from
+        #: the discovery service whenever its epoch changes (§III: clients
+        #: "refresh the IPS instance list from Consul periodically") and
+        #: routes around instances missing from it.
+        self.use_discovery = use_discovery
+        self._discovery_epoch = -1
+        self._healthy_by_region: dict[str, frozenset[str]] = {}
+        self.discovery_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Writes: all regions (Fig. 15)
+    # ------------------------------------------------------------------
+
+    def add_profile(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fid: int,
+        counts,
+    ) -> int:
+        """Write to every available region; returns number of regions written.
+
+        A down region is skipped (weak cross-region consistency is accepted,
+        §III-G); the write counts as failed only when *no* region took it.
+        """
+        return self._write_all_regions(
+            "add_profile",
+            profile_id,
+            timestamp_ms,
+            slot,
+            type_id,
+            fid,
+            counts,
+        )
+
+    def add_profiles(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fids: Sequence[int],
+        counts_list: Sequence,
+    ) -> int:
+        """Batched write to every available region."""
+        return self._write_all_regions(
+            "add_profiles",
+            profile_id,
+            timestamp_ms,
+            slot,
+            type_id,
+            fids,
+            counts_list,
+        )
+
+    def _write_all_regions(self, method: str, profile_id: int, *args) -> int:
+        self.stats.writes += 1
+        written = 0
+        for region in self._deployment.regions.values():
+            try:
+                self._call_in_region(
+                    region, profile_id, method, profile_id, *args
+                )
+                written += 1
+            except (_REGION_FATAL + _RETRYABLE + (RPCError,)):
+                continue
+        if written == 0:
+            self.stats.write_errors += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # Reads: local region, failover on outage
+    # ------------------------------------------------------------------
+
+    def get_profile_topk(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        aggregate: str | None = None,
+    ) -> list[FeatureResult]:
+        return self._read(
+            profile_id,
+            "get_profile_topk",
+            profile_id,
+            slot,
+            type_id,
+            time_range,
+            sort_type,
+            k,
+            sort_attribute=sort_attribute,
+            sort_weights=sort_weights,
+            aggregate=aggregate,
+        )
+
+    def get_profile_filter(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate,
+    ) -> list[FeatureResult]:
+        return self._read(
+            profile_id,
+            "get_profile_filter",
+            profile_id,
+            slot,
+            type_id,
+            time_range,
+            predicate,
+        )
+
+    def get_profile_decay(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_function: str = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+    ) -> list[FeatureResult]:
+        return self._read(
+            profile_id,
+            "get_profile_decay",
+            profile_id,
+            slot,
+            type_id,
+            time_range,
+            decay_function,
+            decay_factor,
+            k=k,
+            sort_attribute=sort_attribute,
+        )
+
+    def _read(self, profile_id: int, method: str, *args, **kwargs):
+        self.stats.reads += 1
+        last_error: Exception | None = None
+        for index, region in enumerate(self._read_region_order()):
+            if index > 0:
+                self.stats.region_failovers += 1
+            try:
+                return self._call_in_region(
+                    region, profile_id, method, *args, **kwargs
+                )
+            except (_REGION_FATAL + _RETRYABLE + (RPCError,)) as error:
+                last_error = error
+                continue
+        self.stats.read_errors += 1
+        assert last_error is not None
+        raise last_error
+
+    def _read_region_order(self):
+        """Local region first, then the others as failover candidates."""
+        regions = self._deployment.regions
+        ordered = [regions[self.local_region]]
+        ordered.extend(
+            region for name, region in regions.items() if name != self.local_region
+        )
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Shared routing with node-level retry
+    # ------------------------------------------------------------------
+
+    def _call_in_region(self, region, profile_id: int, method: str, *args, **kwargs):
+        """Call a method on the owning node, retrying around the ring."""
+        kwargs.setdefault("caller", self.caller)
+        exclude: set[str] = set(self._unhealthy_in(region))
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            node = region.node_for(profile_id, exclude=exclude or None)
+            try:
+                return getattr(node, method)(*args, **kwargs)
+            except _RETRYABLE as error:
+                last_error = error
+                exclude.add(node.node_id)
+                self.stats.retries += 1
+        assert last_error is not None
+        raise last_error
+
+    def _unhealthy_in(self, region) -> frozenset[str]:
+        """Nodes of a region absent from the discovery healthy set."""
+        if not self.use_discovery:
+            return frozenset()
+        discovery = getattr(self._deployment, "discovery", None)
+        if discovery is None:
+            return frozenset()
+        epoch = discovery.epoch
+        if epoch != self._discovery_epoch:
+            self._discovery_epoch = epoch
+            self.discovery_refreshes += 1
+            self._healthy_by_region = {}
+            for record in discovery.healthy_instances():
+                healthy = self._healthy_by_region.setdefault(record.region, set())
+                healthy.add(record.node_id)  # type: ignore[union-attr]
+            self._healthy_by_region = {
+                name: frozenset(nodes)
+                for name, nodes in self._healthy_by_region.items()
+            }
+        healthy = self._healthy_by_region.get(region.name, frozenset())
+        return frozenset(set(region.nodes) - healthy)

@@ -1,0 +1,99 @@
+"""Service discovery (the Consul substitute).
+
+IPS instances register their address when ready and deregister on
+shutdown; upstream clients refresh the instance list periodically rather
+than per request (§III).  Registrations carry a TTL so a crashed node that
+never deregistered ages out of the healthy set, and a monotonically
+increasing *epoch* lets clients detect that their cached view is stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..clock import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One registered IPS instance."""
+
+    node_id: str
+    region: str
+    address: str
+    registered_at_ms: int
+
+
+class DiscoveryService:
+    """In-process registry with TTL-based health."""
+
+    def __init__(self, clock: Clock | None = None, ttl_ms: int = 30_000) -> None:
+        if ttl_ms <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl_ms}")
+        self._clock = clock if clock is not None else SystemClock()
+        self.ttl_ms = ttl_ms
+        self._records: dict[str, InstanceRecord] = {}
+        self._heartbeats: dict[str, int] = {}
+        self._epoch = 0
+        self._lock = threading.Lock()
+
+    def register(self, node_id: str, region: str, address: str = "") -> None:
+        """Register an instance as ready to serve."""
+        now_ms = self._clock.now_ms()
+        with self._lock:
+            self._records[node_id] = InstanceRecord(node_id, region, address, now_ms)
+            self._heartbeats[node_id] = now_ms
+            self._epoch += 1
+
+    def deregister(self, node_id: str) -> None:
+        with self._lock:
+            if self._records.pop(node_id, None) is not None:
+                self._heartbeats.pop(node_id, None)
+                self._epoch += 1
+
+    def heartbeat(self, node_id: str) -> bool:
+        """Refresh a node's TTL; False if the node is not registered."""
+        with self._lock:
+            if node_id not in self._records:
+                return False
+            self._heartbeats[node_id] = self._clock.now_ms()
+            return True
+
+    def healthy_instances(self, region: str | None = None) -> list[InstanceRecord]:
+        """Instances whose heartbeat is within the TTL, optionally by region."""
+        now_ms = self._clock.now_ms()
+        with self._lock:
+            alive = [
+                record
+                for node_id, record in self._records.items()
+                if now_ms - self._heartbeats[node_id] <= self.ttl_ms
+                and (region is None or record.region == region)
+            ]
+        return sorted(alive, key=lambda record: record.node_id)
+
+    def expire_stale(self) -> list[str]:
+        """Drop records past their TTL; returns the expired node ids."""
+        now_ms = self._clock.now_ms()
+        with self._lock:
+            expired = [
+                node_id
+                for node_id, beat in self._heartbeats.items()
+                if now_ms - beat > self.ttl_ms
+            ]
+            for node_id in expired:
+                del self._records[node_id]
+                del self._heartbeats[node_id]
+            if expired:
+                self._epoch += 1
+        return expired
+
+    @property
+    def epoch(self) -> int:
+        """Bumped on every membership change; clients compare to refresh."""
+        with self._lock:
+            return self._epoch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -1,0 +1,96 @@
+"""ID-based consistent hashing for load balancing (§III).
+
+Each node owns a set of virtual points on a 64-bit ring; a profile id maps
+to the first node point at or clockwise after its hash.  Virtual nodes
+smooth the load distribution, and adding/removing a node only remaps the
+keys adjacent to its points — the property that lets IPS scale horizontally
+with minimal data movement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from ..errors import NoHealthyNodeError
+
+
+def _hash64(data: bytes) -> int:
+    """Stable 64-bit hash (blake2b keeps this deterministic across runs)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Consistent hash ring with virtual nodes."""
+
+    def __init__(self, virtual_nodes: int = 128) -> None:
+        if virtual_nodes <= 0:
+            raise ValueError(f"virtual_nodes must be positive, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._nodes: set[str] = set()
+
+    def add_node(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for replica in range(self.virtual_nodes):
+            point = _hash64(f"{node_id}#{replica}".encode())
+            # A full 64-bit collision across different nodes is vanishingly
+            # unlikely; first owner wins deterministically if it happens.
+            if point not in self._owners:
+                self._owners[point] = node_id
+        self._points = sorted(self._owners.keys())
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        self._owners = {
+            point: owner for point, owner in self._owners.items() if owner != node_id
+        }
+        self._points = sorted(self._owners.keys())
+
+    def node_for(self, profile_id: int, exclude: set[str] | None = None) -> str:
+        """Owner node for a profile id, optionally skipping excluded nodes.
+
+        With ``exclude`` given, walks clockwise past excluded owners — the
+        retry path clients use when the primary owner is down.
+        """
+        if not self._points:
+            raise NoHealthyNodeError("hash ring is empty")
+        key = _hash64(profile_id.to_bytes(8, "big", signed=False))
+        start = bisect_right(self._points, key)
+        count = len(self._points)
+        seen: set[str] = set()
+        for step in range(count):
+            point = self._points[(start + step) % count]
+            owner = self._owners[point]
+            if exclude is None or owner not in exclude:
+                return owner
+            seen.add(owner)
+            if len(seen) == len(self._nodes):
+                break
+        raise NoHealthyNodeError(
+            f"all {len(self._nodes)} nodes excluded for profile {profile_id}"
+        )
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def load_distribution(self, sample_ids: list[int]) -> dict[str, int]:
+        """Histogram of ownership over sample ids (balance diagnostics)."""
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        for profile_id in sample_ids:
+            counts[self.node_for(profile_id)] += 1
+        return counts

@@ -1,0 +1,332 @@
+"""Configuration objects for IPS tables.
+
+This module parses the JSON-style configurations the paper shows in
+Listings 2-4: the *time-dimension* config that drives compaction (which
+slice granularity applies to which age band), the *shrink* config that
+bounds per-slot feature counts, and the overall per-table configuration
+(attribute schema, aggregate function, truncation limits, cache and
+persistence settings).
+
+Durations are written as compact strings such as ``"10s"``, ``"5m"``,
+``"1h"``, ``"30d"`` and parsed to integer milliseconds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .clock import (
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    MILLIS_PER_SECOND,
+)
+from .errors import ConfigError
+
+_DURATION_RE = re.compile(r"^(\d+)(ms|s|m|h|d)$")
+
+_UNIT_MS = {
+    "ms": 1,
+    "s": MILLIS_PER_SECOND,
+    "m": MILLIS_PER_MINUTE,
+    "h": MILLIS_PER_HOUR,
+    "d": MILLIS_PER_DAY,
+}
+
+
+def parse_duration_ms(text: str) -> int:
+    """Parse a compact duration string like ``"10m"`` into milliseconds.
+
+    ``"0s"`` is allowed (the paper's configs use it as a band start).
+
+    >>> parse_duration_ms("1s")
+    1000
+    >>> parse_duration_ms("30d") == 30 * 24 * 3600 * 1000
+    True
+    """
+    match = _DURATION_RE.match(text.strip())
+    if match is None:
+        raise ConfigError(
+            f"invalid duration {text!r}; expected forms like '10s', '5m', '1h'"
+        )
+    value, unit = match.groups()
+    return int(value) * _UNIT_MS[unit]
+
+
+def format_duration_ms(duration_ms: int) -> str:
+    """Render milliseconds back into the most compact duration string."""
+    if duration_ms < 0:
+        raise ConfigError(f"negative duration: {duration_ms}")
+    for unit in ("d", "h", "m", "s"):
+        unit_ms = _UNIT_MS[unit]
+        if duration_ms >= unit_ms and duration_ms % unit_ms == 0:
+            return f"{duration_ms // unit_ms}{unit}"
+    return f"{duration_ms}ms"
+
+
+@dataclass(frozen=True)
+class TimeBand:
+    """One band of the time-dimension config.
+
+    Profile data whose *age* (relative to now) falls within
+    ``[age_start_ms, age_end_ms)`` is kept in slices of ``granularity_ms``.
+    """
+
+    granularity_ms: int
+    age_start_ms: int
+    age_end_ms: int
+
+    def __post_init__(self) -> None:
+        if self.granularity_ms <= 0:
+            raise ConfigError(
+                f"band granularity must be positive, got {self.granularity_ms}"
+            )
+        if self.age_start_ms < 0 or self.age_end_ms <= self.age_start_ms:
+            raise ConfigError(
+                f"invalid band age range [{self.age_start_ms}, {self.age_end_ms})"
+            )
+
+    def contains_age(self, age_ms: int) -> bool:
+        return self.age_start_ms <= age_ms < self.age_end_ms
+
+
+class TimeDimensionConfig:
+    """The paper's Listing 2/3 *time_dimension* configuration.
+
+    Maps slice granularities to the age band they apply to, e.g.::
+
+        TimeDimensionConfig.from_mapping({
+            "1s":  ("0s", "1m"),
+            "1m":  ("1m", "1h"),
+            "1h":  ("1h", "24h"),
+            "1d":  ("24h", "30d"),
+            "30d": ("30d", "365d"),
+        })
+
+    Bands must be contiguous, start at age zero and have non-decreasing
+    granularity as age grows (older data is coarser).  Data older than the
+    last band's end is eligible for truncation by age.
+    """
+
+    def __init__(self, bands: Sequence[TimeBand]) -> None:
+        if not bands:
+            raise ConfigError("time-dimension config needs at least one band")
+        ordered = sorted(bands, key=lambda band: band.age_start_ms)
+        if ordered[0].age_start_ms != 0:
+            raise ConfigError("first time band must start at age 0")
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.age_start_ms != prev.age_end_ms:
+                raise ConfigError(
+                    "time bands must be contiguous: "
+                    f"band ending at {prev.age_end_ms} followed by band "
+                    f"starting at {cur.age_start_ms}"
+                )
+            if cur.granularity_ms < prev.granularity_ms:
+                raise ConfigError(
+                    "granularity must not decrease with age: "
+                    f"{prev.granularity_ms} then {cur.granularity_ms}"
+                )
+        self._bands = tuple(ordered)
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[str, Sequence[str]]
+    ) -> "TimeDimensionConfig":
+        """Build from the Listing-3 JSON shape of granularity -> [start, end]."""
+        bands = []
+        for granularity, age_range in mapping.items():
+            if len(age_range) != 2:
+                raise ConfigError(
+                    f"band {granularity!r} must map to a [start, end] pair"
+                )
+            bands.append(
+                TimeBand(
+                    granularity_ms=parse_duration_ms(granularity),
+                    age_start_ms=parse_duration_ms(age_range[0]),
+                    age_end_ms=parse_duration_ms(age_range[1]),
+                )
+            )
+        return cls(bands)
+
+    @classmethod
+    def production_default(cls) -> "TimeDimensionConfig":
+        """The widely used production config from the paper's Listing 3."""
+        return cls.from_mapping(
+            {
+                "1s": ("0s", "1m"),
+                "1m": ("1m", "1h"),
+                "1h": ("1h", "24h"),
+                "1d": ("24h", "30d"),
+                "30d": ("30d", "365d"),
+            }
+        )
+
+    @property
+    def bands(self) -> tuple[TimeBand, ...]:
+        return self._bands
+
+    @property
+    def horizon_ms(self) -> int:
+        """Age beyond which data falls outside every band."""
+        return self._bands[-1].age_end_ms
+
+    def granularity_for_age(self, age_ms: int) -> int | None:
+        """Return the slice granularity for data of the given age.
+
+        Ages below zero (timestamps in the future) use the finest band;
+        ages beyond the horizon return ``None`` (truncation territory).
+        """
+        if age_ms < 0:
+            return self._bands[0].granularity_ms
+        for band in self._bands:
+            if band.contains_age(age_ms):
+                return band.granularity_ms
+        return None
+
+    def to_mapping(self) -> dict[str, list[str]]:
+        """Inverse of :meth:`from_mapping`, useful for hot-reload round trips."""
+        return {
+            format_duration_ms(band.granularity_ms): [
+                format_duration_ms(band.age_start_ms),
+                format_duration_ms(band.age_end_ms),
+            ]
+            for band in self._bands
+        }
+
+
+@dataclass(frozen=True)
+class SlotShrinkPolicy:
+    """Retention policy for one slot in the shrink config.
+
+    ``retain_features`` bounds how many features survive per (slot, type)
+    group.  ``attribute_weights`` implements the paper's multi-dimensional
+    sorting: each action attribute contributes its count times its weight to
+    a feature's importance score.  ``freshness_half_life_ms`` implements the
+    data-freshness principle: recent features get a recency boost that decays
+    with this half life (``None`` disables the boost).
+    """
+
+    retain_features: int
+    attribute_weights: Mapping[str, float] | None = None
+    freshness_half_life_ms: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retain_features < 0:
+            raise ConfigError(
+                f"retain_features must be >= 0, got {self.retain_features}"
+            )
+        if self.freshness_half_life_ms is not None and self.freshness_half_life_ms <= 0:
+            raise ConfigError("freshness_half_life_ms must be positive")
+
+
+class ShrinkConfig:
+    """The paper's Listing-4 shrink configuration: per-slot retain counts."""
+
+    def __init__(
+        self,
+        slot_policies: Mapping[int, SlotShrinkPolicy],
+        default_policy: SlotShrinkPolicy | None = None,
+    ) -> None:
+        self._slot_policies = dict(slot_policies)
+        self._default_policy = default_policy
+
+    @classmethod
+    def from_mapping(
+        cls,
+        retain_by_slot: Mapping[int, int],
+        default_retain: int | None = None,
+        attribute_weights: Mapping[str, float] | None = None,
+        freshness_half_life_ms: int | None = None,
+    ) -> "ShrinkConfig":
+        """Build from the simple slot -> retain-count shape of Listing 4."""
+        policies = {
+            slot: SlotShrinkPolicy(
+                retain_features=count,
+                attribute_weights=attribute_weights,
+                freshness_half_life_ms=freshness_half_life_ms,
+            )
+            for slot, count in retain_by_slot.items()
+        }
+        default = None
+        if default_retain is not None:
+            default = SlotShrinkPolicy(
+                retain_features=default_retain,
+                attribute_weights=attribute_weights,
+                freshness_half_life_ms=freshness_half_life_ms,
+            )
+        return cls(policies, default)
+
+    def policy_for_slot(self, slot: int) -> SlotShrinkPolicy | None:
+        """Return the policy for a slot, or ``None`` if the slot is unbounded."""
+        return self._slot_policies.get(slot, self._default_policy)
+
+    @property
+    def slot_policies(self) -> Mapping[int, SlotShrinkPolicy]:
+        return dict(self._slot_policies)
+
+
+@dataclass(frozen=True)
+class TruncateConfig:
+    """Truncation limits (Fig. 11): drop whole slices beyond these bounds.
+
+    ``max_slices`` keeps only the newest N slices; ``max_age_ms`` drops
+    slices that end before ``now - max_age_ms``.  ``None`` disables a bound.
+    """
+
+    max_slices: int | None = None
+    max_age_ms: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_slices is not None and self.max_slices < 0:
+            raise ConfigError(f"max_slices must be >= 0, got {self.max_slices}")
+        if self.max_age_ms is not None and self.max_age_ms <= 0:
+            raise ConfigError(f"max_age_ms must be positive, got {self.max_age_ms}")
+
+
+@dataclass
+class TableConfig:
+    """Complete configuration of one IPS table.
+
+    ``attributes`` is the ordered schema of per-feature action counters
+    (e.g. ``("like", "comment", "share")``); feature count vectors are
+    stored aligned to this order.  ``aggregate`` names the pre-configured
+    reduce function used when merging slices and answering queries.
+    """
+
+    name: str
+    attributes: Sequence[str] = ("click",)
+    aggregate: str = "sum"
+    time_dimension: TimeDimensionConfig = field(
+        default_factory=TimeDimensionConfig.production_default
+    )
+    truncate: TruncateConfig = field(default_factory=TruncateConfig)
+    shrink: ShrinkConfig | None = None
+    fine_grained_persistence: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("table name must be non-empty")
+        if not self.attributes:
+            raise ConfigError("table needs at least one attribute")
+        seen = set()
+        for attribute in self.attributes:
+            if attribute in seen:
+                raise ConfigError(f"duplicate attribute {attribute!r}")
+            seen.add(attribute)
+        self.attributes = tuple(self.attributes)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    def attribute_index(self, attribute: str) -> int:
+        """Map an attribute name to its index in stored count vectors."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise ConfigError(
+                f"unknown attribute {attribute!r}; table {self.name!r} "
+                f"defines {list(self.attributes)}"
+            ) from None

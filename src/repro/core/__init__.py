@@ -1,0 +1,52 @@
+"""Core data model and query engine of IPS.
+
+This package implements the paper's primary contribution: the time-serial
+multi-level hash map data model (§II, §III-B), the top-K / filter / decay
+query processing (§II-B), and the compact / truncate / shrink maintenance
+mechanisms (§III-D).
+"""
+
+from .aggregate import AGGREGATES, AggregateFn, get_aggregate
+from .compaction import CompactionStats, Compactor
+from .decay import DECAYS, DecayFn, exponential_decay, get_decay, linear_decay, step_decay
+from .engine import ProfileEngine
+from .feature import FeatureStat
+from .instance_set import InstanceSet
+from .profile import ProfileData
+from .query import FeatureResult, QueryEngine, SortType
+from .slice import Slice
+from .shrink import Shrinker, ShrinkStats
+from .table import ProfileTable
+from .timerange import TimeRange, TimeRangeKind
+from .truncate import TruncateStats, truncate_by_age, truncate_by_count, truncate_profile
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateFn",
+    "CompactionStats",
+    "Compactor",
+    "DECAYS",
+    "DecayFn",
+    "FeatureResult",
+    "FeatureStat",
+    "InstanceSet",
+    "ProfileData",
+    "ProfileEngine",
+    "ProfileTable",
+    "QueryEngine",
+    "Shrinker",
+    "ShrinkStats",
+    "Slice",
+    "SortType",
+    "TimeRange",
+    "TimeRangeKind",
+    "TruncateStats",
+    "exponential_decay",
+    "get_aggregate",
+    "get_decay",
+    "linear_decay",
+    "step_decay",
+    "truncate_by_age",
+    "truncate_by_count",
+    "truncate_profile",
+]

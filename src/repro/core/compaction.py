@@ -1,0 +1,139 @@
+"""Slice compaction (§III-D, Figs. 10 and Listings 2-3).
+
+Compaction merges consecutive slices so that data of a given *age* is kept
+at the granularity prescribed by the table's time-dimension config: fresh
+data stays in fine slices, old data collapses into coarse ones.  Merging
+applies the table's aggregate function per feature id; no data is dropped
+(truncation and shrinking are separate mechanisms).
+
+Mirroring the production lessons in the paper, the compactor supports both
+*full* compaction (rebuild the whole slice list) and *partial* compaction
+(compact only the oldest ``partial_budget`` slices), so the serving path can
+cap per-request CPU and defer the rest to a maintenance pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import TimeDimensionConfig
+from .aggregate import AggregateFn
+from .profile import ProfileData
+from .slice import Slice
+
+
+@dataclass
+class CompactionStats:
+    """Outcome of one compaction run."""
+
+    slices_before: int = 0
+    slices_after: int = 0
+    merges: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def slices_saved(self) -> int:
+        return self.slices_before - self.slices_after
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+class Compactor:
+    """Applies a time-dimension config to profiles."""
+
+    def __init__(
+        self, time_dimension: TimeDimensionConfig, aggregate: AggregateFn
+    ) -> None:
+        self._time_dimension = time_dimension
+        self._aggregate = aggregate
+
+    # ------------------------------------------------------------------
+
+    def needs_compaction(self, profile: ProfileData, now_ms: int) -> bool:
+        """Cheap check: does any adjacent pair merge under the config?
+
+        Used by the engine to decide between skipping, partial and full
+        compaction based on actual load (§III-D's strategies).
+        """
+        slices = profile.slices
+        for newer, older in zip(slices, slices[1:]):
+            if self._should_merge(newer, older, now_ms):
+                return True
+        return False
+
+    def compact(
+        self,
+        profile: ProfileData,
+        now_ms: int,
+        partial_budget: int | None = None,
+    ) -> CompactionStats:
+        """Compact a profile in place.
+
+        With ``partial_budget`` set, only the oldest ``partial_budget``
+        slices are considered for merging — a cheap incremental pass.  The
+        full pass walks the whole list oldest-to-newest, greedily merging
+        neighbours that fit inside one granule of their age band.
+        """
+        stats = CompactionStats(
+            slices_before=profile.slice_count(),
+            bytes_before=profile.memory_bytes(),
+        )
+        if profile.slice_count() >= 2:
+            if partial_budget is not None and partial_budget < 2:
+                pass  # Budget too small to merge anything.
+            else:
+                self._compact_range(profile, now_ms, partial_budget, stats)
+        stats.slices_after = profile.slice_count()
+        stats.bytes_after = profile.memory_bytes()
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _compact_range(
+        self,
+        profile: ProfileData,
+        now_ms: int,
+        partial_budget: int | None,
+        stats: CompactionStats,
+    ) -> None:
+        # Work oldest-first: old bands are coarser so they merge the most.
+        oldest_first = list(reversed(profile.slices))
+        if partial_budget is not None:
+            workset = oldest_first[:partial_budget]
+            untouched = oldest_first[partial_budget:]
+        else:
+            workset = oldest_first
+            untouched = []
+
+        compacted: list[Slice] = []
+        for current in workset:
+            if compacted and self._should_merge(current, compacted[-1], now_ms):
+                compacted[-1].merge_from(current, self._aggregate)
+                stats.merges += 1
+            else:
+                compacted.append(current)
+        compacted.extend(untouched)
+        compacted.reverse()  # Back to newest-first.
+        profile.replace_slices(compacted)
+
+    def _should_merge(self, newer: Slice, older: Slice, now_ms: int) -> bool:
+        """Whether ``older`` and ``newer`` collapse into one granule.
+
+        Both slices must sit in a band (not beyond the horizon), and the
+        merged range must fit within a single aligned granule of the *older*
+        slice's band — the band that governs data of that age.
+        """
+        age_ms = max(0, now_ms - older.start_ms)
+        granularity = self._time_dimension.granularity_for_age(age_ms)
+        if granularity is None:
+            # Older than every band; leave for truncation to remove.
+            return False
+        merged_start = older.start_ms
+        merged_end = newer.end_ms
+        if merged_end - merged_start > granularity:
+            return False
+        granule_start = merged_start - (merged_start % granularity)
+        return merged_end <= granule_start + granularity

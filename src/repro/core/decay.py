@@ -1,0 +1,60 @@
+"""Decay functions for ``get_profile_decay`` queries.
+
+A decay function maps the *age* of a slice (how long before the query
+window's end its data was recorded) to a multiplicative weight in
+``[0, 1]``, letting applications favour recent behaviour over old
+behaviour (§II-B).  The ``decay_factor`` parameterises each family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import ConfigError
+
+#: ``fn(age_ms, decay_factor) -> weight``
+DecayFn = Callable[[int, float], float]
+
+
+def exponential_decay(age_ms: int, half_life_ms: float) -> float:
+    """Half the weight every ``half_life_ms`` of age."""
+    if half_life_ms <= 0:
+        raise ConfigError(f"half life must be positive, got {half_life_ms}")
+    if age_ms <= 0:
+        return 1.0
+    return math.pow(0.5, age_ms / half_life_ms)
+
+
+def linear_decay(age_ms: int, horizon_ms: float) -> float:
+    """Weight falls linearly from 1 at age 0 to 0 at ``horizon_ms``."""
+    if horizon_ms <= 0:
+        raise ConfigError(f"horizon must be positive, got {horizon_ms}")
+    if age_ms <= 0:
+        return 1.0
+    if age_ms >= horizon_ms:
+        return 0.0
+    return 1.0 - age_ms / horizon_ms
+
+def step_decay(age_ms: int, cutoff_ms: float) -> float:
+    """Full weight up to ``cutoff_ms`` of age, zero beyond it."""
+    if cutoff_ms <= 0:
+        raise ConfigError(f"cutoff must be positive, got {cutoff_ms}")
+    return 1.0 if age_ms < cutoff_ms else 0.0
+
+
+DECAYS: dict[str, DecayFn] = {
+    "exponential": exponential_decay,
+    "linear": linear_decay,
+    "step": step_decay,
+}
+
+
+def get_decay(name: str) -> DecayFn:
+    """Look up a decay function by name (case-insensitive)."""
+    try:
+        return DECAYS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown decay function {name!r}; available: {sorted(DECAYS)}"
+        ) from None

@@ -1,0 +1,334 @@
+"""Single-node profile engine: writes, queries and maintenance in one place.
+
+:class:`ProfileEngine` composes a :class:`~repro.core.table.ProfileTable`
+with the query engine, compactor, truncation and shrinker, and implements
+the write APIs of §II-B (``add_profile`` / ``add_profiles``) and the read
+APIs (``get_profile_topK`` / ``get_profile_filter`` / ``get_profile_decay``).
+
+Maintenance scheduling follows §III-D's production strategy: writes mark a
+profile *maintenance-pending*; the owner (the IPS server node) drains
+pending profiles off the serving path, choosing full or partial compaction
+based on load.  The engine also exposes synchronous maintenance entry
+points so tests and benchmarks can drive it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..clock import Clock, SystemClock
+from ..config import TableConfig
+from .compaction import CompactionStats, Compactor
+from .decay import DecayFn, get_decay
+from .profile import ProfileData
+from .query import FeatureResult, FilterFn, QueryEngine, QueryStats, SortType
+from .shrink import Shrinker, ShrinkStats
+from .table import ProfileTable
+from .timerange import TimeRange
+from .truncate import TruncateStats, truncate_profile
+
+
+@dataclass
+class MaintenanceReport:
+    """Combined result of one maintenance pass over a profile."""
+
+    compaction: CompactionStats | None = None
+    truncation: TruncateStats | None = None
+    shrink: ShrinkStats | None = None
+
+
+class ProfileEngine:
+    """Write/read/maintain engine over one table."""
+
+    def __init__(self, config: TableConfig, clock: Clock | None = None) -> None:
+        self.table = ProfileTable(config)
+        self.clock = clock if clock is not None else SystemClock()
+        self.query_engine = QueryEngine(config, self.table.aggregate)
+        self.compactor = Compactor(config.time_dimension, self.table.aggregate)
+        self.shrinker = (
+            Shrinker(config, config.shrink) if config.shrink is not None else None
+        )
+        self._maintenance_pending: set[int] = set()
+        #: Profiles with at least this many slices trigger eager maintenance
+        #: marking on the write path.
+        self.maintenance_slice_threshold = 128
+
+    @property
+    def config(self) -> TableConfig:
+        return self.table.config
+
+    # ------------------------------------------------------------------
+    # Write APIs (§II-B)
+    # ------------------------------------------------------------------
+
+    def add_profile(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fid: int,
+        counts: Sequence[int] | dict[str, int],
+    ) -> None:
+        """``add_profile``: append one feature observation."""
+        profile = self.table.get_or_create(profile_id)
+        profile.add(
+            timestamp_ms,
+            slot,
+            type_id,
+            fid,
+            self._normalize_counts(counts),
+            self.table.aggregate,
+        )
+        self._mark_for_maintenance(profile)
+
+    def add_profiles(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fids: Sequence[int],
+        counts_list: Sequence[Sequence[int] | dict[str, int]],
+    ) -> None:
+        """``add_profiles``: the batched write interface."""
+        if len(fids) != len(counts_list):
+            raise ValueError(
+                f"fids and counts must align: {len(fids)} vs {len(counts_list)}"
+            )
+        profile = self.table.get_or_create(profile_id)
+        for fid, counts in zip(fids, counts_list):
+            profile.add(
+                timestamp_ms,
+                slot,
+                type_id,
+                fid,
+                self._normalize_counts(counts),
+                self.table.aggregate,
+            )
+        self._mark_for_maintenance(profile)
+
+    def _normalize_counts(
+        self, counts: Sequence[int] | dict[str, int]
+    ) -> Sequence[int]:
+        """Accept either a schema-aligned vector or an attribute mapping."""
+        if isinstance(counts, dict):
+            vector = [0] * self.config.num_attributes
+            for attribute, value in counts.items():
+                vector[self.config.attribute_index(attribute)] = int(value)
+            return vector
+        if len(counts) > self.config.num_attributes:
+            raise ValueError(
+                f"count vector of length {len(counts)} exceeds schema "
+                f"({self.config.num_attributes} attributes)"
+            )
+        return counts
+
+    # ------------------------------------------------------------------
+    # Read APIs (§II-B)
+    # ------------------------------------------------------------------
+
+    def get_profile_topk(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        descending: bool = True,
+        aggregate: str | None = None,
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        """``get_profile_topK``: top features in a window, by a sort type.
+
+        ``sort_weights`` + ``SortType.WEIGHTED`` give the paper's
+        multi-dimensional top-K; ``aggregate`` names a query-time reduce
+        function (built-in or a registered UDAF) overriding the table's
+        pre-configured one.
+        """
+        profile = self.table.get(profile_id)
+        if profile is None:
+            return []
+        from .aggregate import get_aggregate
+
+        return self.query_engine.top_k(
+            profile,
+            slot,
+            type_id,
+            time_range,
+            sort_type,
+            k,
+            self.clock.now_ms(),
+            sort_attribute=sort_attribute,
+            sort_weights=sort_weights,
+            descending=descending,
+            aggregate=get_aggregate(aggregate) if aggregate is not None else None,
+            stats=stats,
+        )
+
+    def get_profile_filter(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate: FilterFn,
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        """``get_profile_filter``: features passing a predicate in a window."""
+        profile = self.table.get(profile_id)
+        if profile is None:
+            return []
+        return self.query_engine.filter(
+            profile,
+            slot,
+            type_id,
+            time_range,
+            predicate,
+            self.clock.now_ms(),
+            stats=stats,
+        )
+
+    def get_profile_decay(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_function: str | DecayFn = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        """``get_profile_decay``: time-decayed feature counts in a window."""
+        profile = self.table.get(profile_id)
+        if profile is None:
+            return []
+        decay_fn = (
+            get_decay(decay_function)
+            if isinstance(decay_function, str)
+            else decay_function
+        )
+        return self.query_engine.decay(
+            profile,
+            slot,
+            type_id,
+            time_range,
+            decay_fn,
+            decay_factor,
+            self.clock.now_ms(),
+            k=k,
+            sort_attribute=sort_attribute,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Hot reconfiguration (§V-b)
+    # ------------------------------------------------------------------
+
+    def reload_config(
+        self,
+        time_dimension: "TimeDimensionConfig | None" = None,
+        truncate: "TruncateConfig | None" = None,
+        shrink: "ShrinkConfig | None" = None,
+        clear_shrink: bool = False,
+    ) -> None:
+        """Apply new maintenance configuration live, without a restart.
+
+        The paper's operational lesson (§V-b): feature teams iterate on
+        compaction/truncation/shrink settings constantly, so all
+        feature-dependent configuration is hot-reloadable.  Existing data
+        is untouched; the next maintenance pass applies the new rules.
+        Write granularity for *new* head slices follows the new finest
+        band; existing slices keep their ranges until compaction.
+        """
+        from ..config import ShrinkConfig, TimeDimensionConfig, TruncateConfig
+
+        config = self.table.config
+        if time_dimension is not None:
+            config.time_dimension = time_dimension
+            self.compactor = Compactor(time_dimension, self.table.aggregate)
+            new_granularity = time_dimension.bands[0].granularity_ms
+            self.table._write_granularity_ms = new_granularity
+            for profile in self.table.profiles():
+                profile.write_granularity_ms = new_granularity
+        if truncate is not None:
+            config.truncate = truncate
+        if clear_shrink:
+            config.shrink = None
+            self.shrinker = None
+        elif shrink is not None:
+            config.shrink = shrink
+            self.shrinker = Shrinker(config, shrink)
+        # Everything resident is now maintenance-pending under new rules.
+        for profile_id in self.table.profile_ids():
+            self._maintenance_pending.add(profile_id)
+
+    # ------------------------------------------------------------------
+    # Maintenance (§III-D)
+    # ------------------------------------------------------------------
+
+    def _mark_for_maintenance(self, profile: ProfileData) -> None:
+        if profile.slice_count() >= self.maintenance_slice_threshold:
+            self._maintenance_pending.add(profile.profile_id)
+
+    def pending_maintenance(self) -> frozenset[int]:
+        return frozenset(self._maintenance_pending)
+
+    def maintain_profile(
+        self,
+        profile_id: int,
+        full: bool = True,
+        partial_budget: int = 32,
+    ) -> MaintenanceReport:
+        """Run compaction, truncation and shrink for one profile.
+
+        ``full=False`` runs the cheap partial compaction (oldest
+        ``partial_budget`` slices only) that production uses during peaks.
+        """
+        report = MaintenanceReport()
+        profile = self.table.get(profile_id)
+        if profile is None:
+            self._maintenance_pending.discard(profile_id)
+            return report
+        now_ms = self.clock.now_ms()
+        report.compaction = self.compactor.compact(
+            profile, now_ms, partial_budget=None if full else partial_budget
+        )
+        report.truncation = truncate_profile(profile, self.config.truncate, now_ms)
+        if self.shrinker is not None:
+            report.shrink = self.shrinker.shrink(profile, now_ms)
+        self._maintenance_pending.discard(profile_id)
+        return report
+
+    def run_maintenance(
+        self,
+        max_profiles: int | None = None,
+        full: bool = True,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> dict[int, MaintenanceReport]:
+        """Drain the maintenance-pending set (the dedicated-pool analogue)."""
+        reports: dict[int, MaintenanceReport] = {}
+        pending = list(self._maintenance_pending)
+        if max_profiles is not None:
+            pending = pending[:max_profiles]
+        for profile_id in pending:
+            if should_stop is not None and should_stop():
+                break
+            reports[profile_id] = self.maintain_profile(profile_id, full=full)
+        return reports
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def profile_count(self) -> int:
+        return len(self.table)
+
+    def memory_bytes(self) -> int:
+        return self.table.memory_bytes()

@@ -1,0 +1,104 @@
+"""Instance Set: per-slot map of action types to feature statistics.
+
+In the paper's in-memory layout (Fig. 6), a *Slice* maps slot ids to
+*Instance Sets*, and each Instance Set maps an action-type id to the feature
+stats recorded under that type.  Keeping types separate lets queries narrow
+the search space with ``(slot, type)`` before any merging happens.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .feature import FeatureStat
+
+
+class InstanceSet:
+    """Map of ``type_id -> {fid -> FeatureStat}`` for one slot."""
+
+    __slots__ = ("_types",)
+
+    def __init__(self) -> None:
+        self._types: dict[int, dict[int, FeatureStat]] = {}
+
+    def add(
+        self,
+        type_id: int,
+        fid: int,
+        counts,
+        timestamp_ms: int,
+        aggregate,
+    ) -> FeatureStat:
+        """Record counts for a feature, merging with any existing stat."""
+        features = self._types.setdefault(type_id, {})
+        stat = features.get(fid)
+        if stat is None:
+            stat = FeatureStat(fid, counts, timestamp_ms)
+            features[fid] = stat
+        else:
+            stat.merge_counts(counts, aggregate, timestamp_ms)
+        return stat
+
+    def merge_from(self, other: "InstanceSet", aggregate) -> None:
+        """Fold another instance set into this one (used by compaction)."""
+        for type_id, features in other._types.items():
+            mine = self._types.setdefault(type_id, {})
+            for fid, stat in features.items():
+                existing = mine.get(fid)
+                if existing is None:
+                    mine[fid] = stat.copy()
+                else:
+                    existing.merge_counts(
+                        stat.counts, aggregate, stat.last_timestamp_ms
+                    )
+
+    def features_for_type(self, type_id: int | None) -> Iterator[FeatureStat]:
+        """Yield stats under one type, or under all types when ``None``."""
+        if type_id is None:
+            for features in self._types.values():
+                yield from features.values()
+        else:
+            yield from self._types.get(type_id, {}).values()
+
+    def get(self, type_id: int, fid: int) -> FeatureStat | None:
+        return self._types.get(type_id, {}).get(fid)
+
+    def replace_type(self, type_id: int, stats: Iterable[FeatureStat]) -> None:
+        """Replace the feature map of one type (used by shrink)."""
+        features = {stat.fid: stat for stat in stats}
+        if features:
+            self._types[type_id] = features
+        else:
+            self._types.pop(type_id, None)
+
+    @property
+    def type_ids(self) -> tuple[int, ...]:
+        return tuple(self._types.keys())
+
+    def feature_count(self) -> int:
+        return sum(len(features) for features in self._types.values())
+
+    def is_empty(self) -> bool:
+        return not self._types
+
+    def memory_bytes(self) -> int:
+        total = 48
+        for features in self._types.values():
+            total += 48
+            for stat in features.values():
+                total += stat.memory_bytes()
+        return total
+
+    def copy(self) -> "InstanceSet":
+        duplicate = InstanceSet()
+        for type_id, features in self._types.items():
+            duplicate._types[type_id] = {
+                fid: stat.copy() for fid, stat in features.items()
+            }
+        return duplicate
+
+    def items(self) -> Iterator[tuple[int, dict[int, FeatureStat]]]:
+        return iter(self._types.items())
+
+    def __repr__(self) -> str:
+        return f"InstanceSet(types={len(self._types)}, features={self.feature_count()})"

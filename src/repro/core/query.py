@@ -1,0 +1,278 @@
+"""Query processing: top-K, filter and decay reads over a profile.
+
+Query execution follows the two steps described in §II-B:
+
+1. locate the slices overlapping the resolved time window;
+2. multi-way merge and aggregate all feature counts under the requested
+   ``(slot, type)``, optionally applying a decay weight per slice, then sort
+   (by an attribute count, timestamp or feature id) and cut to top K.
+
+The merge is the hot path: it works directly on the per-slice hash maps and
+uses :func:`heapq.nlargest`/``nsmallest`` for the final cut so a top-K over
+thousands of long-tail features does not pay a full sort.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..config import TableConfig
+from ..errors import InvalidQueryError
+from .aggregate import AggregateFn
+from .decay import DecayFn
+from .feature import FeatureStat, clamp_int64
+from .profile import ProfileData
+from .timerange import TimeRange
+
+
+class SortType(enum.Enum):
+    """How query results are ordered before the top-K cut."""
+
+    ATTRIBUTE = "attribute"  # by one action counter, e.g. likes
+    TIMESTAMP = "timestamp"  # by most recent contributing action
+    FEATURE_ID = "feature_id"  # by fid (stable, for pagination/debugging)
+    TOTAL = "total"  # by the sum of all counters
+    WEIGHTED = "weighted"  # by a weighted sum over attributes (multi-dim)
+
+
+@dataclass(frozen=True)
+class FeatureResult:
+    """One row of a query result."""
+
+    fid: int
+    counts: tuple[int, ...]
+    last_timestamp_ms: int
+
+    def count(self, index: int) -> int:
+        if 0 <= index < len(self.counts):
+            return self.counts[index]
+        return 0
+
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+@dataclass
+class QueryStats:
+    """Execution statistics used by benchmarks and the simulator calibration."""
+
+    slices_scanned: int = 0
+    features_merged: int = 0
+    results_returned: int = 0
+
+
+#: Predicate over a merged stat used by ``get_profile_filter``.
+FilterFn = Callable[[FeatureStat], bool]
+
+
+class QueryEngine:
+    """Stateless query executor bound to one table's configuration."""
+
+    def __init__(self, config: TableConfig, aggregate: AggregateFn) -> None:
+        self._config = config
+        self._aggregate = aggregate
+
+    # ------------------------------------------------------------------
+    # Public query entry points
+    # ------------------------------------------------------------------
+
+    def top_k(
+        self,
+        profile: ProfileData,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType,
+        k: int,
+        now_ms: int,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        descending: bool = True,
+        aggregate: AggregateFn | None = None,
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        """``get_profile_topK``: merge, sort by ``sort_type`` and cut to K.
+
+        ``sort_weights`` drives ``SortType.WEIGHTED`` — the paper's
+        multi-dimensional top-K, ranking by a weighted sum of action
+        counters (e.g. ``{"share": 3, "like": 1}``).  ``aggregate``
+        overrides the table's pre-configured reduce function for this
+        query only (a query-time UDAF).
+        """
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        merged = self._merge_window(
+            profile, slot, type_id, time_range, now_ms,
+            decay=None, aggregate=aggregate, stats=stats,
+        )
+        key = self._sort_key(sort_type, sort_attribute, sort_weights)
+        select = heapq.nlargest if descending else heapq.nsmallest
+        top = select(k, merged.values(), key=key)
+        return self._finalize(top, stats)
+
+    def filter(
+        self,
+        profile: ProfileData,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate: FilterFn,
+        now_ms: int,
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        """``get_profile_filter``: merge then keep stats passing ``predicate``.
+
+        Results are returned in descending total-count order so callers get a
+        deterministic, relevance-flavoured ordering.
+        """
+        merged = self._merge_window(
+            profile, slot, type_id, time_range, now_ms, decay=None, stats=stats
+        )
+        kept = [stat for stat in merged.values() if predicate(stat)]
+        kept.sort(key=lambda stat: (stat.total(), stat.fid), reverse=True)
+        return self._finalize(kept, stats)
+
+    def decay(
+        self,
+        profile: ProfileData,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_fn: DecayFn,
+        decay_factor: float,
+        now_ms: int,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        """``get_profile_decay``: merge with per-slice decay weights.
+
+        Each slice's counts are scaled by ``decay_fn(age, decay_factor)``
+        where age is measured from the slice midpoint to the window end, then
+        merged as usual.  An optional top-K cut applies afterwards.
+        """
+        merged = self._merge_window(
+            profile,
+            slot,
+            type_id,
+            time_range,
+            now_ms,
+            decay=(decay_fn, decay_factor),
+            stats=stats,
+        )
+        key = self._sort_key(
+            SortType.ATTRIBUTE if sort_attribute else SortType.TOTAL,
+            sort_attribute,
+        )
+        if k is not None:
+            if k <= 0:
+                raise InvalidQueryError(f"k must be positive, got {k}")
+            ranked = heapq.nlargest(k, merged.values(), key=key)
+        else:
+            ranked = sorted(merged.values(), key=key, reverse=True)
+        return self._finalize(ranked, stats)
+
+    # ------------------------------------------------------------------
+    # Merge core
+    # ------------------------------------------------------------------
+
+    def _merge_window(
+        self,
+        profile: ProfileData,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        now_ms: int,
+        decay: tuple[DecayFn, float] | None,
+        aggregate: AggregateFn | None = None,
+        stats: QueryStats | None = None,
+    ) -> dict[int, FeatureStat]:
+        reduce_fn = aggregate if aggregate is not None else self._aggregate
+        window = time_range.resolve(now_ms, profile.newest_timestamp_ms())
+        if window is None:
+            return {}
+        merged: dict[int, FeatureStat] = {}
+        for profile_slice in profile.slices_in_window(
+            window.start_ms, window.end_ms
+        ):
+            if stats is not None:
+                stats.slices_scanned += 1
+            weight = 1.0
+            if decay is not None:
+                decay_fn, factor = decay
+                midpoint = (profile_slice.start_ms + profile_slice.end_ms) // 2
+                age_ms = max(0, window.end_ms - midpoint)
+                weight = decay_fn(age_ms, factor)
+                if weight <= 0.0:
+                    continue
+            for stat in profile_slice.features(slot, type_id):
+                if stats is not None:
+                    stats.features_merged += 1
+                contribution = stat if weight == 1.0 else stat.scaled(weight)
+                existing = merged.get(stat.fid)
+                if existing is None:
+                    merged[stat.fid] = contribution.copy()
+                else:
+                    existing.merge_counts(
+                        contribution.counts,
+                        reduce_fn,
+                        contribution.last_timestamp_ms,
+                    )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Sorting / materialisation
+    # ------------------------------------------------------------------
+
+    def _sort_key(
+        self,
+        sort_type: SortType,
+        sort_attribute: str | None,
+        sort_weights: dict[str, float] | None = None,
+    ) -> Callable[[FeatureStat], tuple]:
+        if sort_type is SortType.ATTRIBUTE:
+            if sort_attribute is None:
+                raise InvalidQueryError(
+                    "sort_type=ATTRIBUTE requires a sort_attribute"
+                )
+            index = self._config.attribute_index(sort_attribute)
+            return lambda stat: (stat.count_at(index), stat.last_timestamp_ms, -stat.fid)
+        if sort_type is SortType.TIMESTAMP:
+            return lambda stat: (stat.last_timestamp_ms, stat.total(), -stat.fid)
+        if sort_type is SortType.FEATURE_ID:
+            return lambda stat: (stat.fid,)
+        if sort_type is SortType.TOTAL:
+            return lambda stat: (stat.total(), stat.last_timestamp_ms, -stat.fid)
+        if sort_type is SortType.WEIGHTED:
+            if not sort_weights:
+                raise InvalidQueryError(
+                    "sort_type=WEIGHTED requires non-empty sort_weights"
+                )
+            weight_vector = [
+                (self._config.attribute_index(name), weight)
+                for name, weight in sort_weights.items()
+            ]
+            return lambda stat: (
+                sum(stat.count_at(index) * weight for index, weight in weight_vector),
+                stat.last_timestamp_ms,
+                -stat.fid,
+            )
+        raise InvalidQueryError(f"unsupported sort type: {sort_type!r}")
+
+    @staticmethod
+    def _finalize(
+        ranked: Sequence[FeatureStat], stats: QueryStats | None
+    ) -> list[FeatureResult]:
+        if stats is not None:
+            stats.results_returned = len(ranked)
+        return [
+            FeatureResult(
+                fid=stat.fid,
+                counts=tuple(clamp_int64(c) for c in stat.counts),
+                last_timestamp_ms=stat.last_timestamp_ms,
+            )
+            for stat in ranked
+        ]

@@ -1,0 +1,160 @@
+"""Shrink: long-tail feature elimination (§III-D, Listing 4).
+
+Compaction bounds the *number of slices* but the long tail of low-count
+features inside each slice still grows.  Shrink bounds the *number of
+features per (slot, type)* across a whole profile while honouring the
+paper's three principles:
+
+* **Data freshness** — a recent feature with a low count may still grow, so
+  recency earns a score boost (configurable half life); old data is shed
+  before new data.
+* **Multi-dimensional sorting** — different action counters carry different
+  significance; importance is a weighted sum over the attribute schema.
+* **Short/long-term balance** — the retained set is chosen *profile-wide*
+  per (slot, type), not per slice, so a strong long-term interest in an old
+  slice outlives a weak recent fad instead of being evicted wholesale.
+
+The retained-per-slot budget comes from the table's
+:class:`~repro.config.ShrinkConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import ShrinkConfig, SlotShrinkPolicy, TableConfig
+from .feature import FeatureStat
+from .profile import ProfileData
+
+
+@dataclass
+class ShrinkStats:
+    """Outcome of one shrink pass."""
+
+    features_before: int = 0
+    features_after: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def features_dropped(self) -> int:
+        return self.features_before - self.features_after
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+class Shrinker:
+    """Applies a shrink config to profiles."""
+
+    def __init__(self, table_config: TableConfig, shrink_config: ShrinkConfig) -> None:
+        self._table = table_config
+        self._config = shrink_config
+        self._weight_vectors: dict[int, list[float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def shrink(self, profile: ProfileData, now_ms: int) -> ShrinkStats:
+        """Shrink a profile in place, returning before/after accounting."""
+        stats = ShrinkStats(
+            features_before=profile.feature_count(),
+            bytes_before=profile.memory_bytes(),
+        )
+        slot_type_pairs = self._collect_slot_type_pairs(profile)
+        for slot, type_id in slot_type_pairs:
+            policy = self._config.policy_for_slot(slot)
+            if policy is None:
+                continue
+            self._shrink_group(profile, slot, type_id, policy, now_ms)
+        for profile_slice in profile.slices:
+            profile_slice.drop_empty_slots()
+            profile_slice.mark_mutated()
+        profile.drop_empty_slices()
+        stats.features_after = profile.feature_count()
+        stats.bytes_after = profile.memory_bytes()
+        return stats
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _collect_slot_type_pairs(profile: ProfileData) -> set[tuple[int, int]]:
+        pairs: set[tuple[int, int]] = set()
+        for profile_slice in profile.slices:
+            for slot, instance_set in profile_slice.slots_items():
+                for type_id in instance_set.type_ids:
+                    pairs.add((slot, type_id))
+        return pairs
+
+    def _shrink_group(
+        self,
+        profile: ProfileData,
+        slot: int,
+        type_id: int,
+        policy: SlotShrinkPolicy,
+        now_ms: int,
+    ) -> None:
+        """Rank a (slot, type) group profile-wide and drop the tail."""
+        # Score every fid by its aggregated importance across all slices.
+        scores: dict[int, float] = {}
+        occurrences = 0
+        for profile_slice in profile.slices:
+            instance_set = profile_slice.instance_set(slot)
+            if instance_set is None:
+                continue
+            for stat in instance_set.features_for_type(type_id):
+                occurrences += 1
+                scores[stat.fid] = scores.get(stat.fid, 0.0) + self._score(
+                    stat, policy, now_ms
+                )
+        if len(scores) <= policy.retain_features:
+            return
+        ranked = sorted(scores.items(), key=lambda item: (item[1], item[0]))
+        doomed = {fid for fid, _ in ranked[: len(scores) - policy.retain_features]}
+        for profile_slice in profile.slices:
+            instance_set = profile_slice.instance_set(slot)
+            if instance_set is None:
+                continue
+            survivors = [
+                stat
+                for stat in instance_set.features_for_type(type_id)
+                if stat.fid not in doomed
+            ]
+            instance_set.replace_type(type_id, survivors)
+            profile_slice.mark_mutated()
+
+    def _score(
+        self, stat: FeatureStat, policy: SlotShrinkPolicy, now_ms: int
+    ) -> float:
+        """Importance = weighted counts, boosted by recency."""
+        base = self._weighted_counts(stat, policy)
+        if policy.freshness_half_life_ms is None:
+            return base
+        age_ms = max(0, now_ms - stat.last_timestamp_ms)
+        boost = math.pow(0.5, age_ms / policy.freshness_half_life_ms)
+        # The boost adds up to one extra "virtual count" for brand-new
+        # features so that a fresh single-count feature outranks a stale one.
+        return base + boost
+
+    def _weighted_counts(self, stat: FeatureStat, policy: SlotShrinkPolicy) -> float:
+        if policy.attribute_weights is None:
+            return float(stat.total())
+        weights = self._weights_vector(policy)
+        return sum(
+            stat.count_at(index) * weight
+            for index, weight in enumerate(weights)
+            if weight != 0.0
+        )
+
+    def _weights_vector(self, policy: SlotShrinkPolicy) -> list[float]:
+        """Cache the attribute-name -> schema-index weight projection."""
+        cache_key = id(policy)
+        vector = self._weight_vectors.get(cache_key)
+        if vector is None:
+            vector = [0.0] * self._table.num_attributes
+            assert policy.attribute_weights is not None
+            for name, weight in policy.attribute_weights.items():
+                vector[self._table.attribute_index(name)] = weight
+            self._weight_vectors[cache_key] = vector
+        return vector

@@ -1,0 +1,126 @@
+"""Slice: a snapshot of one profile's behaviour over a time interval.
+
+A profile is a time-serial list of slices with non-overlapping, adjacent
+time ranges (newest first, as in the paper's figures).  Each slice maps
+slot ids to :class:`~repro.core.instance_set.InstanceSet` structures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import InvalidTimeRangeError
+from .feature import FeatureStat
+from .instance_set import InstanceSet
+
+
+class Slice:
+    """Feature behaviour within ``[start_ms, end_ms)``."""
+
+    __slots__ = ("start_ms", "end_ms", "_slots", "_memory_dirty", "_memory_cache")
+
+    def __init__(self, start_ms: int, end_ms: int) -> None:
+        if end_ms <= start_ms:
+            raise InvalidTimeRangeError(
+                f"slice range must be non-empty: [{start_ms}, {end_ms})"
+            )
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self._slots: dict[int, InstanceSet] = {}
+        self._memory_dirty = True
+        self._memory_cache = 0
+
+    @property
+    def duration_ms(self) -> int:
+        return self.end_ms - self.start_ms
+
+    def contains(self, timestamp_ms: int) -> bool:
+        return self.start_ms <= timestamp_ms < self.end_ms
+
+    def overlaps(self, start_ms: int, end_ms: int) -> bool:
+        """Whether this slice intersects the half-open window [start, end)."""
+        return self.start_ms < end_ms and start_ms < self.end_ms
+
+    def add(
+        self,
+        slot: int,
+        type_id: int,
+        fid: int,
+        counts: Sequence[int],
+        timestamp_ms: int,
+        aggregate,
+    ) -> FeatureStat:
+        """Record one write inside this slice."""
+        if not self.contains(timestamp_ms):
+            raise InvalidTimeRangeError(
+                f"timestamp {timestamp_ms} outside slice "
+                f"[{self.start_ms}, {self.end_ms})"
+            )
+        instance_set = self._slots.setdefault(slot, InstanceSet())
+        stat = instance_set.add(type_id, fid, counts, timestamp_ms, aggregate)
+        self._memory_dirty = True
+        return stat
+
+    def instance_set(self, slot: int) -> InstanceSet | None:
+        return self._slots.get(slot)
+
+    def features(self, slot: int, type_id: int | None) -> Iterator[FeatureStat]:
+        """Yield stats under (slot, type); empty if the slot is absent."""
+        instance_set = self._slots.get(slot)
+        if instance_set is not None:
+            yield from instance_set.features_for_type(type_id)
+
+    def merge_from(self, other: "Slice", aggregate) -> None:
+        """Absorb another slice's data and widen the time range to cover it."""
+        for slot, instance_set in other._slots.items():
+            mine = self._slots.setdefault(slot, InstanceSet())
+            mine.merge_from(instance_set, aggregate)
+        self.start_ms = min(self.start_ms, other.start_ms)
+        self.end_ms = max(self.end_ms, other.end_ms)
+        self._memory_dirty = True
+
+    def mark_mutated(self) -> None:
+        """Invalidate cached memory accounting after in-place edits."""
+        self._memory_dirty = True
+
+    @property
+    def slot_ids(self) -> tuple[int, ...]:
+        return tuple(self._slots.keys())
+
+    def slots_items(self) -> Iterator[tuple[int, InstanceSet]]:
+        return iter(self._slots.items())
+
+    def drop_empty_slots(self) -> None:
+        empty = [slot for slot, inst in self._slots.items() if inst.is_empty()]
+        for slot in empty:
+            del self._slots[slot]
+        if empty:
+            self._memory_dirty = True
+
+    def feature_count(self) -> int:
+        return sum(inst.feature_count() for inst in self._slots.values())
+
+    def is_empty(self) -> bool:
+        return all(inst.is_empty() for inst in self._slots.values())
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint, cached between mutations."""
+        if self._memory_dirty:
+            total = 64
+            for instance_set in self._slots.values():
+                total += instance_set.memory_bytes()
+            self._memory_cache = total
+            self._memory_dirty = False
+        return self._memory_cache
+
+    def copy(self) -> "Slice":
+        duplicate = Slice(self.start_ms, self.end_ms)
+        for slot, instance_set in self._slots.items():
+            duplicate._slots[slot] = instance_set.copy()
+        return duplicate
+
+    def __repr__(self) -> str:
+        return (
+            f"Slice([{self.start_ms}, {self.end_ms}), "
+            f"slots={len(self._slots)}, features={self.feature_count()})"
+        )

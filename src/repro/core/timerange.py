@@ -1,0 +1,106 @@
+"""Time-range specifications for read APIs.
+
+The paper supports three kinds of time range (§II-B):
+
+* **CURRENT** — a window of a given span ending *now*.
+* **RELATIVE** — a window of a given span ending at the profile's most
+  recent action (so a dormant user's last activity still anchors it).
+* **ABSOLUTE** — an arbitrary historical ``[start, end)`` window.
+
+A :class:`TimeRange` is resolved into a concrete half-open window against a
+clock reading and the profile's newest timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import InvalidTimeRangeError
+
+
+class TimeRangeKind(enum.Enum):
+    CURRENT = "current"
+    RELATIVE = "relative"
+    ABSOLUTE = "absolute"
+
+
+@dataclass(frozen=True)
+class ResolvedWindow:
+    """A concrete half-open window ``[start_ms, end_ms)``."""
+
+    start_ms: int
+    end_ms: int
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise InvalidTimeRangeError(
+                f"empty window: [{self.start_ms}, {self.end_ms})"
+            )
+
+    @property
+    def span_ms(self) -> int:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class TimeRange:
+    """User-facing time-range specification.
+
+    Build one with the :meth:`current`, :meth:`relative` or :meth:`absolute`
+    constructors rather than the raw dataclass fields.
+    """
+
+    kind: TimeRangeKind
+    span_ms: int | None = None
+    start_ms: int | None = None
+    end_ms: int | None = None
+
+    @classmethod
+    def current(cls, span_ms: int) -> "TimeRange":
+        """Window of ``span_ms`` ending at the current moment."""
+        if span_ms <= 0:
+            raise InvalidTimeRangeError(f"span must be positive, got {span_ms}")
+        return cls(TimeRangeKind.CURRENT, span_ms=span_ms)
+
+    @classmethod
+    def relative(cls, span_ms: int) -> "TimeRange":
+        """Window of ``span_ms`` ending at the profile's newest action."""
+        if span_ms <= 0:
+            raise InvalidTimeRangeError(f"span must be positive, got {span_ms}")
+        return cls(TimeRangeKind.RELATIVE, span_ms=span_ms)
+
+    @classmethod
+    def absolute(cls, start_ms: int, end_ms: int) -> "TimeRange":
+        """Arbitrary historical window ``[start_ms, end_ms)``."""
+        if end_ms <= start_ms:
+            raise InvalidTimeRangeError(
+                f"absolute window must be non-empty: [{start_ms}, {end_ms})"
+            )
+        if start_ms < 0:
+            raise InvalidTimeRangeError(f"start must be >= 0, got {start_ms}")
+        return cls(TimeRangeKind.ABSOLUTE, start_ms=start_ms, end_ms=end_ms)
+
+    def resolve(
+        self, now_ms: int, profile_newest_ms: int | None
+    ) -> ResolvedWindow | None:
+        """Resolve to a concrete window.
+
+        Returns ``None`` for a RELATIVE range over an empty profile (there is
+        no recent action to anchor it), which callers treat as an empty
+        result rather than an error.
+        """
+        if self.kind is TimeRangeKind.CURRENT:
+            assert self.span_ms is not None
+            start = max(0, now_ms - self.span_ms)
+            # End is now+1 so an action stamped exactly "now" is included.
+            return ResolvedWindow(start, max(now_ms + 1, start + 1))
+        if self.kind is TimeRangeKind.RELATIVE:
+            assert self.span_ms is not None
+            if profile_newest_ms is None:
+                return None
+            anchor = min(profile_newest_ms, now_ms + 1)
+            start = max(0, anchor - self.span_ms)
+            return ResolvedWindow(start, max(anchor, start + 1))
+        assert self.start_ms is not None and self.end_ms is not None
+        return ResolvedWindow(self.start_ms, self.end_ms)

@@ -1,0 +1,80 @@
+"""Truncation: dropping whole slices of low-value old data (§III-D, Fig. 11).
+
+Unlike compaction, truncation *removes* data.  IPS supports truncating by
+slice count (keep the newest N slices, e.g. "last 100 clicks" style use
+cases) and by age (drop slices whose entire range is older than a bound,
+e.g. "nothing beyond 30 days matters to this model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import TruncateConfig
+from .profile import ProfileData
+
+
+@dataclass
+class TruncateStats:
+    """Outcome of one truncation pass."""
+
+    slices_dropped: int = 0
+    features_dropped: int = 0
+    bytes_dropped: int = 0
+
+
+def truncate_by_count(profile: ProfileData, max_slices: int) -> TruncateStats:
+    """Keep only the newest ``max_slices`` slices."""
+    stats = TruncateStats()
+    if max_slices < 0:
+        raise ValueError(f"max_slices must be >= 0, got {max_slices}")
+    doomed = profile.slices[max_slices:]
+    if doomed:
+        stats.slices_dropped = len(doomed)
+        stats.features_dropped = sum(s.feature_count() for s in doomed)
+        stats.bytes_dropped = sum(s.memory_bytes() for s in doomed)
+        profile.replace_slices(profile.slices[:max_slices])
+    return stats
+
+
+def truncate_by_age(
+    profile: ProfileData, now_ms: int, max_age_ms: int
+) -> TruncateStats:
+    """Drop slices that end before ``now_ms - max_age_ms``.
+
+    A slice straddling the boundary is kept whole: truncation is a coarse
+    mechanism and never splits slices.
+    """
+    stats = TruncateStats()
+    if max_age_ms <= 0:
+        raise ValueError(f"max_age_ms must be positive, got {max_age_ms}")
+    cutoff_ms = now_ms - max_age_ms
+    kept = []
+    for profile_slice in profile.slices:
+        if profile_slice.end_ms <= cutoff_ms:
+            stats.slices_dropped += 1
+            stats.features_dropped += profile_slice.feature_count()
+            stats.bytes_dropped += profile_slice.memory_bytes()
+        else:
+            kept.append(profile_slice)
+    if stats.slices_dropped:
+        profile.replace_slices(kept)
+    return stats
+
+
+def truncate_profile(
+    profile: ProfileData, config: TruncateConfig, now_ms: int
+) -> TruncateStats:
+    """Apply a table's full truncate config (age bound first, then count)."""
+    combined = TruncateStats()
+    if config.max_age_ms is not None:
+        by_age = truncate_by_age(profile, now_ms, config.max_age_ms)
+        combined.slices_dropped += by_age.slices_dropped
+        combined.features_dropped += by_age.features_dropped
+        combined.bytes_dropped += by_age.bytes_dropped
+    if config.max_slices is not None:
+        by_count = truncate_by_count(profile, config.max_slices)
+        combined.slices_dropped += by_count.slices_dropped
+        combined.features_dropped += by_count.features_dropped
+        combined.bytes_dropped += by_count.bytes_dropped
+    return combined

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the IPS reproduction.
+
+Every error raised by the library derives from :class:`IPSError` so callers
+can catch the whole family with a single except clause.  Subsystems raise the
+most specific subclass that applies; the RPC and client layers translate
+transport problems into :class:`RPCError` subclasses so upstream retry logic
+can distinguish transient failures from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class IPSError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(IPSError):
+    """A configuration value is missing, malformed or inconsistent."""
+
+
+class TableNotFoundError(IPSError):
+    """A request referenced an IPS table that does not exist."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"table not found: {table!r}")
+        self.table = table
+
+
+class ProfileNotFoundError(IPSError):
+    """A query referenced a profile id with no stored data."""
+
+    def __init__(self, profile_id: int) -> None:
+        super().__init__(f"profile not found: {profile_id}")
+        self.profile_id = profile_id
+
+
+class InvalidTimeRangeError(IPSError):
+    """A time range is empty, inverted or otherwise unusable."""
+
+
+class InvalidQueryError(IPSError):
+    """A read request combines parameters in an unsupported way."""
+
+
+class SerializationError(IPSError):
+    """Profile data could not be encoded or decoded."""
+
+
+class CompressionError(IPSError):
+    """A compressed block is corrupt or uses an unknown framing."""
+
+
+class StorageError(IPSError):
+    """The persistent key-value store failed an operation."""
+
+
+class VersionConflictError(StorageError):
+    """A versioned ``xset`` lost the race against a newer write.
+
+    This mirrors the version fencing of the paper's Fig. 14: the caller holds
+    a stale version and must reload before retrying.
+    """
+
+    def __init__(self, key: bytes, held: int, current: int) -> None:
+        super().__init__(
+            f"stale version for key {key!r}: held {held}, current {current}"
+        )
+        self.key = key
+        self.held = held
+        self.current = current
+
+
+class QuotaExceededError(IPSError):
+    """A caller exceeded its server-side QPS quota and was rejected."""
+
+    def __init__(self, caller: str, quota: float) -> None:
+        super().__init__(f"caller {caller!r} exceeded quota of {quota:g} qps")
+        self.caller = caller
+        self.quota = quota
+
+
+class RPCError(IPSError):
+    """Base class for transport-level failures."""
+
+
+class RPCTimeoutError(RPCError):
+    """The simulated transport did not answer within the deadline."""
+
+
+class NodeUnavailableError(RPCError):
+    """The target IPS instance is down or unreachable."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node unavailable: {node_id}")
+        self.node_id = node_id
+
+
+class NoHealthyNodeError(RPCError):
+    """The client could not find any healthy instance for a key."""
+
+
+class RegionUnavailableError(RPCError):
+    """An entire region is marked failed and cannot serve reads."""
+
+    def __init__(self, region: str) -> None:
+        super().__init__(f"region unavailable: {region}")
+        self.region = region

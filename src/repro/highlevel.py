@@ -1,0 +1,198 @@
+"""Higher-level feature APIs (§V-a, "Simplify User Adoption").
+
+The paper's operational lesson: raw ``get_profile_*`` calls and manual
+parameter tuning were an adoption barrier, so the team shipped
+"higher-level APIs or templating tools" summarising the typical usage
+scenarios.  :class:`FeatureClient` wraps any IPS client (cluster- or
+deployment-backed) with the patterns the paper's customers use most:
+
+* ``top_interests`` — the Listing-1 "favourite X over the last N days";
+* ``ctr`` — click-through rate features from impression/click counters;
+* ``recent_activity`` — newest-first action history;
+* ``trending`` — short-window, recency-decayed interests;
+* ``engagement_score`` — weighted multi-dimensional scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from .core.query import FeatureResult, SortType
+from .core.timerange import TimeRange
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CTRFeature:
+    """One fid's click-through-rate feature row."""
+
+    fid: int
+    impressions: int
+    clicks: int
+
+    @property
+    def ctr(self) -> float:
+        return self.clicks / self.impressions if self.impressions else 0.0
+
+
+class FeatureClient:
+    """Scenario-level wrapper over a low-level IPS client.
+
+    ``attributes`` must be the owning table's attribute schema, which the
+    wrapper uses to locate impression/click counters and validate weights.
+    """
+
+    def __init__(self, client, attributes: tuple[str, ...] | list[str]) -> None:
+        self._client = client
+        self._attributes = tuple(attributes)
+
+    def _index(self, attribute: str) -> int:
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise ConfigError(
+                f"attribute {attribute!r} not in schema {list(self._attributes)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Scenario APIs
+    # ------------------------------------------------------------------
+
+    def top_interests(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None = None,
+        days: int = 30,
+        by: str | None = None,
+        k: int = 10,
+    ) -> list[FeatureResult]:
+        """Most-engaged features in the last ``days`` days.
+
+        ``by`` names an attribute to rank by (default: total engagement) —
+        the paper's Listing-1 query is ``top_interests(..., by="like", k=1)``.
+        """
+        window = TimeRange.current(days * MILLIS_PER_DAY)
+        if by is None:
+            return self._client.get_profile_topk(
+                profile_id, slot, type_id, window, SortType.TOTAL, k
+            )
+        self._index(by)  # Validate early for a clear error.
+        return self._client.get_profile_topk(
+            profile_id, slot, type_id, window, SortType.ATTRIBUTE, k,
+            sort_attribute=by,
+        )
+
+    def ctr(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None = None,
+        hours: int = 24,
+        min_impressions: int = 1,
+        k: int = 50,
+        impression_attribute: str = "impression",
+        click_attribute: str = "click",
+    ) -> list[CTRFeature]:
+        """Click-through-rate features over the last ``hours`` hours.
+
+        Returns rows ordered by impressions (the exposure-weighted view a
+        ranking model wants), filtered to ``min_impressions``.
+        """
+        impression_idx = self._index(impression_attribute)
+        click_idx = self._index(click_attribute)
+        window = TimeRange.current(hours * MILLIS_PER_HOUR)
+        rows = self._client.get_profile_topk(
+            profile_id, slot, type_id, window, SortType.ATTRIBUTE, k,
+            sort_attribute=impression_attribute,
+        )
+        return [
+            CTRFeature(
+                fid=row.fid,
+                impressions=row.count(impression_idx),
+                clicks=row.count(click_idx),
+            )
+            for row in rows
+            if row.count(impression_idx) >= min_impressions
+        ]
+
+    def recent_activity(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None = None,
+        days: int = 7,
+        k: int = 20,
+    ) -> list[FeatureResult]:
+        """Newest-first features the user interacted with recently."""
+        window = TimeRange.current(days * MILLIS_PER_DAY)
+        return self._client.get_profile_topk(
+            profile_id, slot, type_id, window, SortType.TIMESTAMP, k
+        )
+
+    def trending(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None = None,
+        hours: int = 6,
+        half_life_hours: float = 1.0,
+        k: int = 10,
+        by: str | None = None,
+    ) -> list[FeatureResult]:
+        """Short-window interests with exponential recency decay.
+
+        The "quickly promote the trendy content" pattern of §I-c: a small
+        window plus a sub-window half life strongly favours what the user
+        is doing *right now*.
+        """
+        window = TimeRange.current(hours * MILLIS_PER_HOUR)
+        return self._client.get_profile_decay(
+            profile_id, slot, type_id, window,
+            decay_function="exponential",
+            decay_factor=half_life_hours * MILLIS_PER_HOUR,
+            k=k,
+            sort_attribute=by,
+        )
+
+    def engagement_score(
+        self,
+        profile_id: int,
+        slot: int,
+        weights: dict[str, float],
+        type_id: int | None = None,
+        days: int = 30,
+        k: int = 10,
+    ) -> list[FeatureResult]:
+        """Multi-dimensional top-K: rank by a weighted attribute sum.
+
+        E.g. ``weights={"share": 3, "comment": 2, "like": 1}`` scores a
+        share as worth three likes.
+        """
+        if not weights:
+            raise ConfigError("engagement_score requires non-empty weights")
+        for attribute in weights:
+            self._index(attribute)
+        window = TimeRange.current(days * MILLIS_PER_DAY)
+        return self._client.get_profile_topk(
+            profile_id, slot, type_id, window, SortType.WEIGHTED, k,
+            sort_weights=weights,
+        )
+
+    def lifetime_favorites(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None = None,
+        k: int = 10,
+    ) -> list[FeatureResult]:
+        """Long-term interests anchored at the user's last activity.
+
+        Uses a RELATIVE window so a dormant user's history still answers —
+        the long-term-profile role of the legacy Lambda architecture (§I).
+        """
+        window = TimeRange.relative(365 * MILLIS_PER_DAY)
+        return self._client.get_profile_topk(
+            profile_id, slot, type_id, window, SortType.TOTAL, k
+        )

@@ -1,0 +1,44 @@
+"""Data ingestion substrate (§III-A).
+
+The paper's ingestion topology: impression, action and feature streams are
+joined by Flink jobs into *instance data* (the training samples), written
+to Kafka topics, and a final streaming job with user-defined extraction
+logic consumes the instances and writes them into IPS.  This package
+reproduces that topology in-process:
+
+* :mod:`events` — the three event kinds plus the joined instance record;
+* :mod:`streams` — Kafka-like topics with offsets and consumer groups;
+* :mod:`join` — a windowed stream join keyed by (user, item) request id;
+* :mod:`pipeline` — the extraction job that turns instances into
+  ``add_profile`` calls (end-to-end freshness within a minute);
+* :mod:`batch` — Spark-like bulk import for backfilling historical data.
+"""
+
+from .batch import BatchImporter
+from .events import ActionEvent, FeatureEvent, ImpressionEvent, InstanceRecord
+from .join import InstanceJoiner, JoinStats
+from .pipeline import ExtractionFn, IngestionJob, default_extraction
+from .streams import Topic, TopicMessage
+from .templates import (
+    StreamingPipeline,
+    advertising_pipeline,
+    content_feed_pipeline,
+)
+
+__all__ = [
+    "ActionEvent",
+    "BatchImporter",
+    "ExtractionFn",
+    "FeatureEvent",
+    "ImpressionEvent",
+    "IngestionJob",
+    "InstanceJoiner",
+    "InstanceRecord",
+    "JoinStats",
+    "StreamingPipeline",
+    "Topic",
+    "TopicMessage",
+    "advertising_pipeline",
+    "content_feed_pipeline",
+    "default_extraction",
+]

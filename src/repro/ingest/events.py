@@ -1,0 +1,72 @@
+"""Event types flowing through the ingestion pipeline (§III-A).
+
+Instance data joins three input sources:
+
+* **impressions** — an item was actually presented to a user (server- or
+  client-side);
+* **actions** — what the user did ('like', 'comment', 'share', ...);
+* **features** — backend signals about the item used for ranking.
+
+The join key is the ``request_id`` shared by all events originating from
+one recommendation request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class ImpressionEvent:
+    """An item presented to a user."""
+
+    request_id: str
+    user_id: int
+    item_id: int
+    timestamp_ms: int
+    source: str = "server"  # "server" or "client" impression
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """A user action on a presented item."""
+
+    request_id: str
+    user_id: int
+    item_id: int
+    timestamp_ms: int
+    action: str  # e.g. "click", "like", "comment", "share"
+    value: int = 1
+
+
+@dataclass(frozen=True)
+class FeatureEvent:
+    """Backend item signals for a request (category, topic, bid, ...)."""
+
+    request_id: str
+    item_id: int
+    timestamp_ms: int
+    #: Item metadata used for extraction, e.g. {"slot": 7, "type": 3}.
+    signals: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """The joined training sample produced by the stream join.
+
+    ``actions`` accumulates action name -> total value for the request;
+    requests with an impression but no action become negative samples with
+    an empty action map.
+    """
+
+    request_id: str
+    user_id: int
+    item_id: int
+    timestamp_ms: int
+    actions: Mapping[str, int]
+    signals: Mapping[str, int]
+
+    @property
+    def is_positive(self) -> bool:
+        return bool(self.actions)

@@ -1,0 +1,127 @@
+"""Windowed stream join of impression/action/feature events (§III-A).
+
+The Flink-substitute joiner buffers events per ``request_id`` and emits a
+joined :class:`~repro.ingest.events.InstanceRecord` when either
+
+* the join window expires (watermark passes the impression time), emitting
+  whatever actions arrived — including none, a negative sample; or
+* the record is complete and :meth:`flush` is called.
+
+Impressions anchor a pending join; actions and features arriving before
+their impression are buffered and matched when it shows up (out-of-order
+tolerance), and orphans whose impression never arrives are dropped when
+the window expires, counted in :class:`JoinStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import ActionEvent, FeatureEvent, ImpressionEvent, InstanceRecord
+
+
+@dataclass
+class JoinStats:
+    impressions: int = 0
+    actions: int = 0
+    features: int = 0
+    emitted: int = 0
+    positives: int = 0
+    orphans_dropped: int = 0
+
+
+@dataclass
+class _PendingJoin:
+    impression: ImpressionEvent | None = None
+    actions: dict[str, int] = field(default_factory=dict)
+    signals: dict[str, int] = field(default_factory=dict)
+    first_seen_ms: int = 0
+    last_event_ms: int = 0
+
+
+class InstanceJoiner:
+    """Join operator with a fixed event-time window."""
+
+    def __init__(self, window_ms: int = 60_000) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window must be positive, got {window_ms}")
+        self.window_ms = window_ms
+        self._pending: dict[str, _PendingJoin] = {}
+        self.stats = JoinStats()
+
+    # -- event intake ---------------------------------------------------------
+
+    def on_impression(self, event: ImpressionEvent) -> None:
+        self.stats.impressions += 1
+        pending = self._pending_for(event.request_id, event.timestamp_ms)
+        pending.impression = event
+        pending.last_event_ms = max(pending.last_event_ms, event.timestamp_ms)
+
+    def on_action(self, event: ActionEvent) -> None:
+        self.stats.actions += 1
+        pending = self._pending_for(event.request_id, event.timestamp_ms)
+        pending.actions[event.action] = (
+            pending.actions.get(event.action, 0) + event.value
+        )
+        pending.last_event_ms = max(pending.last_event_ms, event.timestamp_ms)
+
+    def on_feature(self, event: FeatureEvent) -> None:
+        self.stats.features += 1
+        pending = self._pending_for(event.request_id, event.timestamp_ms)
+        pending.signals.update(event.signals)
+        pending.last_event_ms = max(pending.last_event_ms, event.timestamp_ms)
+
+    def _pending_for(self, request_id: str, timestamp_ms: int) -> _PendingJoin:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            pending = _PendingJoin(first_seen_ms=timestamp_ms)
+            self._pending[request_id] = pending
+        return pending
+
+    # -- watermark / emission ----------------------------------------------
+
+    def advance_watermark(self, watermark_ms: int) -> list[InstanceRecord]:
+        """Emit every join whose window closed before the watermark."""
+        emitted: list[InstanceRecord] = []
+        expired = [
+            request_id
+            for request_id, pending in self._pending.items()
+            if watermark_ms - pending.first_seen_ms >= self.window_ms
+        ]
+        for request_id in expired:
+            pending = self._pending.pop(request_id)
+            record = self._emit(request_id, pending)
+            if record is not None:
+                emitted.append(record)
+        return emitted
+
+    def flush(self) -> list[InstanceRecord]:
+        """Emit everything pending regardless of window (shutdown path)."""
+        emitted = []
+        for request_id, pending in self._pending.items():
+            record = self._emit(request_id, pending)
+            if record is not None:
+                emitted.append(record)
+        self._pending.clear()
+        return emitted
+
+    def _emit(self, request_id: str, pending: _PendingJoin) -> InstanceRecord | None:
+        if pending.impression is None:
+            # Action/feature without an impression: a broken trace.
+            self.stats.orphans_dropped += 1
+            return None
+        self.stats.emitted += 1
+        if pending.actions:
+            self.stats.positives += 1
+        return InstanceRecord(
+            request_id=request_id,
+            user_id=pending.impression.user_id,
+            item_id=pending.impression.item_id,
+            timestamp_ms=pending.last_event_ms,
+            actions=dict(pending.actions),
+            signals=dict(pending.signals),
+        )
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

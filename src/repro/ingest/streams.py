@@ -1,0 +1,96 @@
+"""Kafka-like topic substrate.
+
+A :class:`Topic` is an append-only, partitioned log.  Producers append
+messages; consumer groups track per-partition offsets so multiple jobs can
+read the same topic independently (the joined-instance topic is consumed
+both by model training and by the IPS ingestion job in the paper).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TopicMessage:
+    """One message in a partition."""
+
+    partition: int
+    offset: int
+    timestamp_ms: int
+    value: Any
+
+
+class Topic:
+    """Append-only partitioned log with consumer-group offsets."""
+
+    def __init__(self, name: str, num_partitions: int = 4) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"need at least one partition, got {num_partitions}")
+        self.name = name
+        self.num_partitions = num_partitions
+        self._partitions: list[list[TopicMessage]] = [
+            [] for _ in range(num_partitions)
+        ]
+        #: group -> list of next-offset per partition
+        self._offsets: dict[str, list[int]] = {}
+        self._lock = threading.Lock()
+
+    # -- produce ------------------------------------------------------------
+
+    def produce(self, key: int, value: Any, timestamp_ms: int) -> TopicMessage:
+        """Append a message, partitioned by key hash."""
+        partition = hash(key) % self.num_partitions
+        with self._lock:
+            log = self._partitions[partition]
+            message = TopicMessage(partition, len(log), timestamp_ms, value)
+            log.append(message)
+            return message
+
+    # -- consume ------------------------------------------------------------
+
+    def poll(
+        self, group: str, max_messages: int = 1000
+    ) -> list[TopicMessage]:
+        """Take up to ``max_messages`` new messages for a consumer group.
+
+        Offsets advance on poll (auto-commit semantics), round-robin across
+        partitions for fairness.
+        """
+        with self._lock:
+            offsets = self._offsets.setdefault(group, [0] * self.num_partitions)
+            batch: list[TopicMessage] = []
+            progressed = True
+            while len(batch) < max_messages and progressed:
+                progressed = False
+                for partition in range(self.num_partitions):
+                    position = offsets[partition]
+                    log = self._partitions[partition]
+                    if position < len(log):
+                        batch.append(log[position])
+                        offsets[partition] = position + 1
+                        progressed = True
+                        if len(batch) >= max_messages:
+                            break
+            return batch
+
+    def lag(self, group: str) -> int:
+        """Messages not yet consumed by a group."""
+        with self._lock:
+            offsets = self._offsets.get(group, [0] * self.num_partitions)
+            return sum(
+                len(log) - position
+                for log, position in zip(self._partitions, offsets)
+            )
+
+    def total_messages(self) -> int:
+        with self._lock:
+            return sum(len(log) for log in self._partitions)
+
+    def iter_all(self) -> Iterator[TopicMessage]:
+        """Snapshot iterator over everything (tests/diagnostics)."""
+        with self._lock:
+            snapshot = [message for log in self._partitions for message in log]
+        return iter(snapshot)

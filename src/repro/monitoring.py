@@ -1,0 +1,200 @@
+"""Cluster monitoring: the telemetry surface behind the §IV dashboards.
+
+Production IPS is observed through per-node counters rolled up into
+cluster dashboards (throughput, latency percentiles, error rate, memory,
+hit ratio — Figs. 16-19).  :class:`ClusterMonitor` collects those rollups
+from a live in-process cluster or deployment:
+
+* :meth:`snapshot` reads every node's counters and returns a
+  :class:`ClusterSnapshot` (gauges and monotonic counters);
+* :meth:`sample` appends deltas-per-interval to named
+  :class:`~repro.sim.metrics.TimeSeries` so a driver loop produces the
+  same series the paper plots, from the *real* implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sim.metrics import TimeSeries
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """One node's counters at an instant."""
+
+    node_id: str
+    region: str
+    reads: int
+    writes: int
+    cache_hits: int
+    cache_misses: int
+    cache_swaps: int
+    flushes: int
+    flush_failures: int
+    memory_bytes: int
+    cache_capacity_bytes: int
+    resident_profiles: int
+    write_table_pending: int
+    quota_rejections: int
+
+    @property
+    def memory_ratio(self) -> float:
+        return self.memory_bytes / self.cache_capacity_bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """Fleet-wide rollup."""
+
+    time_ms: int
+    nodes: tuple[NodeSnapshot, ...]
+
+    @property
+    def reads(self) -> int:
+        return sum(node.reads for node in self.nodes)
+
+    @property
+    def writes(self) -> int:
+        return sum(node.writes for node in self.nodes)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(node.memory_bytes for node in self.nodes)
+
+    @property
+    def memory_ratio(self) -> float:
+        capacity = sum(node.cache_capacity_bytes for node in self.nodes)
+        return self.memory_bytes / capacity if capacity else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        hits = sum(node.cache_hits for node in self.nodes)
+        misses = sum(node.cache_misses for node in self.nodes)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def resident_profiles(self) -> int:
+        return sum(node.resident_profiles for node in self.nodes)
+
+    @property
+    def quota_rejections(self) -> int:
+        return sum(node.quota_rejections for node in self.nodes)
+
+
+class ClusterMonitor:
+    """Collects snapshots and rate series from a cluster or deployment."""
+
+    def __init__(self, deployment) -> None:
+        self._deployment = deployment
+        self._previous: ClusterSnapshot | None = None
+        #: node_id -> (reads, writes) at the previous sample, used for
+        #: membership-change-safe rate computation (a scaled-down node's
+        #: counters vanish; summing cluster cumulatives would go negative).
+        self._previous_counts: dict[str, tuple[int, int]] = {}
+        self.series: dict[str, TimeSeries] = {
+            name: TimeSeries(name)
+            for name in (
+                "read_qps",
+                "write_qps",
+                "memory_ratio",
+                "hit_ratio",
+                "resident_profiles",
+            )
+        }
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Roll up every node's counters right now."""
+        nodes = []
+        for region in self._deployment.regions.values():
+            for node in region.nodes.values():
+                metrics = node.cache.metrics
+                nodes.append(
+                    NodeSnapshot(
+                        node_id=node.node_id,
+                        region=region.name,
+                        reads=node.stats.reads,
+                        writes=node.stats.writes,
+                        cache_hits=metrics.hits,
+                        cache_misses=metrics.misses,
+                        cache_swaps=metrics.swaps,
+                        flushes=metrics.flushes,
+                        flush_failures=metrics.flush_failures,
+                        memory_bytes=node.memory_bytes(),
+                        cache_capacity_bytes=node.cache.capacity_bytes,
+                        resident_profiles=node.cache.resident_count(),
+                        write_table_pending=node.write_table.pending_count,
+                        quota_rejections=node.quota.rejected,
+                    )
+                )
+        clock = self._deployment.clock
+        return ClusterSnapshot(time_ms=clock.now_ms(), nodes=tuple(nodes))
+
+    def sample(self) -> ClusterSnapshot:
+        """Take a snapshot and append rate/gauge points to the series.
+
+        QPS values are deltas against the previous sample divided by the
+        elapsed simulated (or wall) time; the first sample only seeds the
+        baseline.
+        """
+        current = self.snapshot()
+        previous = self._previous
+        self._previous = current
+        if previous is not None:
+            elapsed_s = max(1e-9, (current.time_ms - previous.time_ms) / 1000.0)
+            # Per-node deltas survive membership changes: a node that left
+            # contributes nothing, a node that joined contributes its full
+            # counters (it started from zero).
+            read_delta = 0
+            write_delta = 0
+            for node in current.nodes:
+                prev_reads, prev_writes = self._previous_counts.get(
+                    node.node_id, (0, 0)
+                )
+                read_delta += max(0, node.reads - prev_reads)
+                write_delta += max(0, node.writes - prev_writes)
+            self.series["read_qps"].append(
+                current.time_ms, read_delta / elapsed_s
+            )
+            self.series["write_qps"].append(
+                current.time_ms, write_delta / elapsed_s
+            )
+        self._previous_counts = {
+            node.node_id: (node.reads, node.writes) for node in current.nodes
+        }
+        self.series["memory_ratio"].append(current.time_ms, current.memory_ratio)
+        self.series["hit_ratio"].append(current.time_ms, current.hit_ratio)
+        self.series["resident_profiles"].append(
+            current.time_ms, float(current.resident_profiles)
+        )
+        return current
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> str:
+        """Human-readable one-screen dashboard of the latest snapshot."""
+        snapshot = self.snapshot()
+        lines = [
+            f"cluster @ t={snapshot.time_ms}ms — "
+            f"{len(snapshot.nodes)} nodes, "
+            f"{snapshot.resident_profiles} resident profiles",
+            f"  reads={snapshot.reads}  writes={snapshot.writes}  "
+            f"hit_ratio={snapshot.hit_ratio:.3f}  "
+            f"memory={snapshot.memory_ratio:.1%}  "
+            f"quota_rejections={snapshot.quota_rejections}",
+        ]
+        for node in snapshot.nodes:
+            lines.append(
+                f"  {node.node_id}: reads={node.reads} writes={node.writes} "
+                f"hit={node.hit_ratio:.2f} mem={node.memory_ratio:.1%} "
+                f"pending={node.write_table_pending}"
+            )
+        return "\n".join(lines)

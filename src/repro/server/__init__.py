@@ -1,0 +1,31 @@
+"""IPS server-side components.
+
+An :class:`~repro.server.node.IPSNode` is one IPS instance: the profile
+engine fronted by GCache, persisted through a persistence manager, guarded
+by per-caller QPS quotas (§V-b), with read-write isolation via a separate
+write table (§III-F) and a simulated Thrift-style RPC surface used by the
+cluster client and the latency experiments.
+"""
+
+from .isolation import WriteTable
+from .maintenance import MaintenancePool, MaintenancePoolStats
+from .node import IPSNode, NodeStats
+from .proxy import RPCNodeProxy
+from .quota import QuotaManager, TokenBucket
+from .rpc import LatencyModel, RPCServer, RPCStats
+from .service import IPSService
+
+__all__ = [
+    "IPSNode",
+    "IPSService",
+    "LatencyModel",
+    "MaintenancePool",
+    "MaintenancePoolStats",
+    "NodeStats",
+    "QuotaManager",
+    "RPCNodeProxy",
+    "RPCServer",
+    "RPCStats",
+    "TokenBucket",
+    "WriteTable",
+]

@@ -1,0 +1,151 @@
+"""Background maintenance pool (§III-D).
+
+The paper's production lesson: running compaction on the serving path
+hurts query tails, so IPS "delegate[s] them to run asynchronously in a
+dedicated thread pool with capped parallelism", and chooses full vs
+partial compaction based on load.  :class:`MaintenancePool` implements
+that control loop for one node:
+
+* at most ``max_parallelism`` worker threads drain the engine's
+  maintenance-pending set;
+* a load signal (callable returning current utilisation in [0, 1])
+  selects the strategy: below ``full_compaction_load`` profiles get a
+  full pass, above it only the cheap partial pass runs, and above
+  ``pause_load`` maintenance pauses entirely, leaving CPU to serving;
+* :meth:`run_once` performs one deterministic scheduling round for tests
+  and benches, while :meth:`start`/:meth:`stop` run the real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.engine import ProfileEngine
+
+
+@dataclass
+class MaintenancePoolStats:
+    rounds: int = 0
+    full_passes: int = 0
+    partial_passes: int = 0
+    paused_rounds: int = 0
+
+
+class MaintenancePool:
+    """Capped-parallelism maintenance scheduler for one engine."""
+
+    def __init__(
+        self,
+        engine: ProfileEngine,
+        load_fn: Callable[[], float] | None = None,
+        max_parallelism: int = 2,
+        batch_per_round: int = 64,
+        full_compaction_load: float = 0.5,
+        pause_load: float = 0.9,
+        partial_budget: int = 32,
+    ) -> None:
+        if max_parallelism < 1:
+            raise ValueError(f"max_parallelism must be >= 1, got {max_parallelism}")
+        if not 0.0 < full_compaction_load <= pause_load <= 1.0:
+            raise ValueError(
+                "need 0 < full_compaction_load <= pause_load <= 1, got "
+                f"{full_compaction_load} / {pause_load}"
+            )
+        self._engine = engine
+        self._load_fn = load_fn if load_fn is not None else (lambda: 0.0)
+        self.max_parallelism = max_parallelism
+        self.batch_per_round = batch_per_round
+        self.full_compaction_load = full_compaction_load
+        self.pause_load = pause_load
+        self.partial_budget = partial_budget
+        self.stats = MaintenancePoolStats()
+        self._stop_event = threading.Event()
+        self._workers: list[threading.Thread] = []
+        self._claim_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def choose_strategy(self) -> str:
+        """'full', 'partial' or 'pause' based on the current load."""
+        load = self._load_fn()
+        if load >= self.pause_load:
+            return "pause"
+        if load >= self.full_compaction_load:
+            return "partial"
+        return "full"
+
+    def run_once(self) -> int:
+        """One scheduling round; returns profiles maintained."""
+        self.stats.rounds += 1
+        strategy = self.choose_strategy()
+        if strategy == "pause":
+            self.stats.paused_rounds += 1
+            return 0
+        full = strategy == "full"
+        maintained = 0
+        with self._claim_lock:
+            pending = list(self._engine.pending_maintenance())[: self.batch_per_round]
+        for profile_id in pending:
+            self._engine.maintain_profile(
+                profile_id, full=full, partial_budget=self.partial_budget
+            )
+            maintained += 1
+        if maintained:
+            if full:
+                self.stats.full_passes += maintained
+            else:
+                self.stats.partial_passes += maintained
+        return maintained
+
+    # ------------------------------------------------------------------
+
+    def start(self, interval_s: float = 0.05) -> None:
+        """Spawn the capped worker pool."""
+        if self._workers:
+            raise RuntimeError("maintenance pool already started")
+        self._stop_event.clear()
+        for index in range(self.max_parallelism):
+            worker = threading.Thread(
+                target=self._loop,
+                args=(interval_s,),
+                name=f"maintenance-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers.clear()
+
+    def _loop(self, interval_s: float) -> None:
+        while not self._stop_event.wait(interval_s):
+            self._claim_and_run()
+
+    def _claim_and_run(self) -> None:
+        """Claim one pending profile and maintain it (worker body)."""
+        with self._claim_lock:
+            pending = self._engine.pending_maintenance()
+            if not pending:
+                return
+            profile_id = next(iter(pending))
+            # Claiming = removing from pending before the (slow) pass so
+            # other workers pick different profiles.
+            self._engine._maintenance_pending.discard(profile_id)
+        strategy = self.choose_strategy()
+        if strategy == "pause":
+            self.stats.paused_rounds += 1
+            self._engine._maintenance_pending.add(profile_id)  # Put it back.
+            return
+        full = strategy == "full"
+        self._engine.maintain_profile(
+            profile_id, full=full, partial_budget=self.partial_budget
+        )
+        if full:
+            self.stats.full_passes += 1
+        else:
+            self.stats.partial_passes += 1

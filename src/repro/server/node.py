@@ -1,0 +1,376 @@
+"""IPS instance node: the composed single-server stack.
+
+One node owns a shard of the profile population and wires together:
+
+* the :class:`~repro.core.engine.ProfileEngine` (data model + queries +
+  maintenance);
+* :class:`~repro.cache.GCache` for residency, swap-out and write-back;
+* a persistence manager (bulk or fine-grained) over the KV store;
+* the write-table read-write isolation with its hot switch (§III-F);
+* per-caller QPS quotas (§V-b).
+
+Writes go through the write table when isolation is on, else straight to
+the engine.  Reads miss-through GCache: a non-resident profile is loaded
+from the KV store, installed, and queried.  Maintenance (compaction /
+truncate / shrink) runs off the serving path via :meth:`run_maintenance`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..clock import Clock, SystemClock
+from ..config import TableConfig
+from ..core.decay import DecayFn
+from ..core.engine import ProfileEngine
+from ..core.profile import ProfileData
+from ..core.query import FeatureResult, FilterFn, QueryStats, SortType
+from ..core.timerange import TimeRange
+from ..cache import GCache
+from ..storage.kvstore import KVStore
+from ..storage.persistence import (
+    BulkPersistence,
+    FineGrainedPersistence,
+    PersistenceManager,
+)
+from .isolation import PendingWrite, WriteTable
+from .quota import QuotaManager
+
+
+@dataclass
+class NodeStats:
+    """Serving counters for one node."""
+
+    reads: int = 0
+    writes: int = 0
+    writes_isolated: int = 0
+    writes_direct: int = 0
+    merge_passes: int = 0
+    quota_rejections: int = 0
+
+
+class IPSNode:
+    """One IPS instance serving a shard of profiles for one table."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: TableConfig,
+        store: KVStore,
+        clock: Clock | None = None,
+        cache_capacity_bytes: int = 256 * 1024 * 1024,
+        swap_threshold: float = 0.85,
+        swap_target: float = 0.80,
+        lru_shards: int = 16,
+        dirty_shards: int = 4,
+        isolation_enabled: bool = True,
+        write_table_limit_bytes: int = 8 * 1024 * 1024,
+        quota: QuotaManager | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.clock = clock if clock is not None else SystemClock()
+        self.engine = ProfileEngine(config, self.clock)
+        self.persistence: PersistenceManager = (
+            FineGrainedPersistence(store, config.name)
+            if config.fine_grained_persistence
+            else BulkPersistence(store, config.name)
+        )
+        self.cache = GCache(
+            load_fn=self.persistence.load,
+            flush_fn=self.persistence.flush,
+            capacity_bytes=cache_capacity_bytes,
+            swap_threshold=swap_threshold,
+            swap_target=swap_target,
+            lru_shards=lru_shards,
+            dirty_shards=dirty_shards,
+            evict_callback=self._on_evict,
+        )
+        self.write_table = WriteTable(write_table_limit_bytes)
+        self.quota = quota if quota is not None else QuotaManager(self.clock)
+        self.stats = NodeStats()
+        self._isolation_enabled = isolation_enabled
+        self._merge_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Residency plumbing
+    # ------------------------------------------------------------------
+
+    def _on_evict(self, profile: ProfileData) -> None:
+        """GCache evicted a profile: drop it from the engine's table too."""
+        self.engine.table.evict(profile.profile_id)
+
+    def _resident_profile(self, profile_id: int) -> ProfileData | None:
+        """Fetch through the cache, installing loads into the engine table."""
+        profile = self.cache.get(profile_id)
+        if profile is not None and self.engine.table.get(profile_id) is None:
+            self.engine.table.put(profile)
+        return profile
+
+    def _writable_profile(self, profile_id: int) -> ProfileData:
+        """Profile for a write: cache hit, storage load, or fresh create."""
+        profile = self._resident_profile(profile_id)
+        if profile is None:
+            profile = self.engine.table.get_or_create(profile_id)
+            self.cache.put(profile, dirty=False)
+        return profile
+
+    # ------------------------------------------------------------------
+    # Write APIs
+    # ------------------------------------------------------------------
+
+    def add_profile(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fid: int,
+        counts: Sequence[int] | dict[str, int],
+        caller: str = "default",
+    ) -> None:
+        """``add_profile`` with quota admission and optional isolation."""
+        self.quota.admit(caller)
+        self.stats.writes += 1
+        vector = self.engine._normalize_counts(counts)
+        if self._isolation_enabled:
+            pending = PendingWrite(
+                profile_id, timestamp_ms, slot, type_id, fid, vector
+            )
+            if self.write_table.append(pending):
+                self.stats.writes_isolated += 1
+                return
+            # Write table full: fall through to a synchronous write.
+        self.stats.writes_direct += 1
+        self._apply_write(profile_id, timestamp_ms, slot, type_id, fid, vector)
+
+    def add_profiles(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fids: Sequence[int],
+        counts_list: Sequence[Sequence[int] | dict[str, int]],
+        caller: str = "default",
+    ) -> None:
+        """Batched write: one quota admission for the whole batch."""
+        if len(fids) != len(counts_list):
+            raise ValueError(
+                f"fids and counts must align: {len(fids)} vs {len(counts_list)}"
+            )
+        self.quota.admit(caller)
+        for fid, counts in zip(fids, counts_list):
+            vector = self.engine._normalize_counts(counts)
+            self.stats.writes += 1
+            if self._isolation_enabled and self.write_table.append(
+                PendingWrite(profile_id, timestamp_ms, slot, type_id, fid, vector)
+            ):
+                self.stats.writes_isolated += 1
+                continue
+            self.stats.writes_direct += 1
+            self._apply_write(profile_id, timestamp_ms, slot, type_id, fid, vector)
+
+    def _apply_write(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fid: int,
+        counts: Sequence[int],
+    ) -> None:
+        profile = self._writable_profile(profile_id)
+        lock = self.cache.entry_lock(profile_id)
+        if lock is not None:
+            with lock:
+                profile.add(
+                    timestamp_ms, slot, type_id, fid, counts, self.engine.table.aggregate
+                )
+        else:
+            profile.add(
+                timestamp_ms, slot, type_id, fid, counts, self.engine.table.aggregate
+            )
+        self.cache.mark_dirty(profile_id)
+        self.engine._mark_for_maintenance(profile)
+
+    # ------------------------------------------------------------------
+    # Isolation merge (the "every few seconds" job of §III-F)
+    # ------------------------------------------------------------------
+
+    def merge_write_table(self) -> int:
+        """Merge buffered writes into the main table; returns merge count."""
+        with self._merge_lock:
+            batch = self.write_table.drain()
+            for write in batch:
+                self._apply_write(
+                    write.profile_id,
+                    write.timestamp_ms,
+                    write.slot,
+                    write.type_id,
+                    write.fid,
+                    write.counts,
+                )
+            if batch:
+                self.stats.merge_passes += 1
+            return len(batch)
+
+    def set_isolation(self, enabled: bool) -> None:
+        """The hot switch: toggle isolation live, draining on disable."""
+        self._isolation_enabled = enabled
+        if not enabled:
+            self.merge_write_table()
+
+    @property
+    def isolation_enabled(self) -> bool:
+        return self._isolation_enabled
+
+    # ------------------------------------------------------------------
+    # Read APIs
+    # ------------------------------------------------------------------
+
+    def get_profile_topk(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        aggregate: str | None = None,
+        caller: str = "default",
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        self.quota.admit(caller)
+        self.stats.reads += 1
+        if self._resident_profile(profile_id) is None:
+            return []
+        return self.engine.get_profile_topk(
+            profile_id,
+            slot,
+            type_id,
+            time_range,
+            sort_type,
+            k,
+            sort_attribute=sort_attribute,
+            sort_weights=sort_weights,
+            aggregate=aggregate,
+            stats=stats,
+        )
+
+    def get_profile_filter(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate: FilterFn,
+        caller: str = "default",
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        self.quota.admit(caller)
+        self.stats.reads += 1
+        if self._resident_profile(profile_id) is None:
+            return []
+        return self.engine.get_profile_filter(
+            profile_id, slot, type_id, time_range, predicate, stats=stats
+        )
+
+    def get_profile_decay(
+        self,
+        profile_id: int,
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_function: str | DecayFn = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        caller: str = "default",
+        stats: QueryStats | None = None,
+    ) -> list[FeatureResult]:
+        self.quota.admit(caller)
+        self.stats.reads += 1
+        if self._resident_profile(profile_id) is None:
+            return []
+        return self.engine.get_profile_decay(
+            profile_id,
+            slot,
+            type_id,
+            time_range,
+            decay_function,
+            decay_factor,
+            k=k,
+            sort_attribute=sort_attribute,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Hot reconfiguration (§V-b)
+    # ------------------------------------------------------------------
+
+    def reload_config(self, **kwargs) -> None:
+        """Hot-reload maintenance configuration (see
+        :meth:`repro.core.engine.ProfileEngine.reload_config`)."""
+        self.engine.reload_config(**kwargs)
+
+    def set_write_table_limit(self, limit_bytes: int) -> None:
+        """Hot-update the isolation buffer's memory cap."""
+        if limit_bytes <= 0:
+            raise ValueError(f"limit must be positive, got {limit_bytes}")
+        self.write_table.memory_limit_bytes = limit_bytes
+
+    # ------------------------------------------------------------------
+    # Background duties
+    # ------------------------------------------------------------------
+
+    def run_maintenance(self, max_profiles: int | None = None, full: bool = True):
+        """Compact/truncate/shrink pending profiles off the serving path."""
+        return self.engine.run_maintenance(max_profiles=max_profiles, full=full)
+
+    def maintenance_pool(self, **kwargs):
+        """Build a §III-D maintenance pool bound to this node's engine.
+
+        By default the pool's load signal is the node's cache memory
+        pressure, so maintenance backs off when serving needs the CPU.
+        """
+        from .maintenance import MaintenancePool
+
+        kwargs.setdefault("load_fn", self.cache.memory_ratio)
+        return MaintenancePool(self.engine, **kwargs)
+
+    def run_cache_cycle(self) -> tuple[int, int]:
+        """One deterministic swap + flush pass; returns (evicted, flushed)."""
+        evicted = self.cache.run_swap_once()
+        flushed = self.cache.run_flush_once()
+        return evicted, flushed
+
+    def start_background(
+        self,
+        num_swap_threads: int = 1,
+        num_flush_threads: int | None = None,
+        interval_s: float = 0.05,
+    ) -> None:
+        self.cache.start_workers(num_swap_threads, num_flush_threads, interval_s)
+
+    def stop_background(self) -> None:
+        self.cache.stop_workers()
+
+    def shutdown(self) -> None:
+        """Drain isolation buffer and flush everything dirty."""
+        self.merge_write_table()
+        self.cache.flush_all()
+
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return self.cache.memory_bytes() + self.write_table.memory_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"IPSNode(id={self.node_id!r}, table={self.engine.config.name!r}, "
+            f"resident={self.cache.resident_count()})"
+        )

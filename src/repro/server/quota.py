@@ -1,0 +1,104 @@
+"""Per-caller QPS quotas (§IV intro and §V-b).
+
+IPS clusters are multi-tenant; a QPS quota is enforced per upstream caller
+identity and requests beyond it are rejected until usage falls below the
+limit.  The implementation is a token bucket per caller: tokens refill at
+the quota rate up to a burst capacity, each admitted request consumes one
+token, and an empty bucket rejects with
+:class:`~repro.errors.QuotaExceededError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..clock import Clock, SystemClock
+from ..errors import QuotaExceededError
+
+
+class TokenBucket:
+    """Token bucket refilled continuously at ``rate_qps``."""
+
+    def __init__(
+        self, rate_qps: float, burst: float | None, clock: Clock
+    ) -> None:
+        if rate_qps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_qps}")
+        self.rate_qps = rate_qps
+        self.burst = burst if burst is not None else max(rate_qps, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last_refill_ms = clock.now_ms()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; False means over quota."""
+        with self._lock:
+            now_ms = self._clock.now_ms()
+            elapsed_s = max(0, now_ms - self._last_refill_ms) / 1000.0
+            self._tokens = min(self.burst, self._tokens + elapsed_s * self.rate_qps)
+            self._last_refill_ms = now_ms
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class QuotaManager:
+    """Quota registry keyed by caller identity.
+
+    Callers without a configured quota fall back to ``default_qps``
+    (``None`` meaning unlimited).  Quotas can be updated live, matching the
+    paper's hot-reload operational requirement.
+    """
+
+    def __init__(
+        self, clock: Clock | None = None, default_qps: float | None = None
+    ) -> None:
+        self._clock = clock if clock is not None else SystemClock()
+        self._default_qps = default_qps
+        self._buckets: dict[str, TokenBucket] = {}
+        self._quotas: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+
+    def set_quota(self, caller: str, qps: float, burst: float | None = None) -> None:
+        """Install or hot-update a caller's quota."""
+        with self._lock:
+            self._quotas[caller] = qps
+            self._buckets[caller] = TokenBucket(qps, burst, self._clock)
+
+    def remove_quota(self, caller: str) -> None:
+        with self._lock:
+            self._quotas.pop(caller, None)
+            self._buckets.pop(caller, None)
+
+    def quota_for(self, caller: str) -> float | None:
+        with self._lock:
+            return self._quotas.get(caller, self._default_qps)
+
+    def admit(self, caller: str) -> None:
+        """Admit one request or raise :class:`QuotaExceededError`."""
+        bucket = self._bucket_for(caller)
+        if bucket is None:
+            self.admitted += 1
+            return
+        if bucket.try_acquire():
+            self.admitted += 1
+            return
+        self.rejected += 1
+        raise QuotaExceededError(caller, bucket.rate_qps)
+
+    def _bucket_for(self, caller: str) -> TokenBucket | None:
+        with self._lock:
+            bucket = self._buckets.get(caller)
+            if bucket is None and self._default_qps is not None:
+                bucket = TokenBucket(self._default_qps, None, self._clock)
+                self._buckets[caller] = bucket
+            return bucket

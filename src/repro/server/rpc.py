@@ -1,0 +1,133 @@
+"""Simulated RPC transport (the Thrift substitute).
+
+The paper decomposes end-to-end latency into network transmission plus
+server-side compute (Table II): the network contributes roughly 3 ms and
+grows proportionally with the response size.  :class:`LatencyModel`
+reproduces that decomposition so client-side latency measurements in our
+experiments carry the same structure; :class:`RPCServer` wraps a node's
+handlers with the model and per-call accounting.
+
+The transport is in-process and synchronous: "sending" a request charges
+simulated milliseconds on a :class:`~repro.clock.SimulatedClock` (when one
+is used) and records client/server latency samples.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..clock import Clock, SimulatedClock
+from ..errors import NodeUnavailableError
+
+
+@dataclass
+class LatencyModel:
+    """Latency decomposition of one hop.
+
+    ``network_base_ms`` is the fixed round-trip overhead (~3 ms in the
+    paper); ``per_kb_ms`` grows the cost proportionally to the payload;
+    ``jitter_ms`` adds uniform noise so percentile curves are non-trivial.
+    """
+
+    network_base_ms: float = 3.0
+    per_kb_ms: float = 0.05
+    jitter_ms: float = 0.5
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def network_ms(self, payload_bytes: int) -> float:
+        jitter = self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms else 0.0
+        return self.network_base_ms + self.per_kb_ms * (payload_bytes / 1024.0) + jitter
+
+
+@dataclass
+class RPCStats:
+    calls: int = 0
+    failures: int = 0
+    client_latency_ms: list[float] = field(default_factory=list)
+    server_latency_ms: list[float] = field(default_factory=list)
+
+
+class RPCServer:
+    """Dispatches named methods on a target object through the latency model.
+
+    ``server_time_fn`` lets callers supply the simulated server-side compute
+    time for a call (e.g. from measured service-time distributions); when
+    omitted the server time is measured as zero and only network cost is
+    modelled.  When the shared clock is a :class:`SimulatedClock` the total
+    latency advances it, so driver loops see consistent timelines.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        clock: Clock,
+        latency_model: LatencyModel | None = None,
+        advance_clock: bool = False,
+    ) -> None:
+        self._target = target
+        self._clock = clock
+        self._model = latency_model if latency_model is not None else LatencyModel()
+        self._advance_clock = advance_clock
+        self._lock = threading.Lock()
+        self.stats = RPCStats()
+        self.available = True
+
+    def set_available(self, available: bool) -> None:
+        """Simulate the node going down / coming back (fault injection)."""
+        self.available = available
+
+    def call(
+        self,
+        method: str,
+        *args: Any,
+        request_bytes: int = 256,
+        server_time_ms: float = 0.0,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``method`` on the target, charging simulated latency.
+
+        Raises :class:`NodeUnavailableError` when the server is marked
+        down; other handler exceptions propagate unchanged after being
+        counted as failures.
+        """
+        if not self.available:
+            with self._lock:
+                self.stats.calls += 1
+                self.stats.failures += 1
+            raise NodeUnavailableError(getattr(self._target, "node_id", "unknown"))
+        handler: Callable[..., Any] = getattr(self._target, method)
+        try:
+            result = handler(*args, **kwargs)
+        except Exception:
+            with self._lock:
+                self.stats.calls += 1
+                self.stats.failures += 1
+            raise
+        response_bytes = self._estimate_size(result)
+        network_ms = self._model.network_ms(request_bytes + response_bytes)
+        client_ms = network_ms + server_time_ms
+        with self._lock:
+            self.stats.calls += 1
+            self.stats.server_latency_ms.append(server_time_ms)
+            self.stats.client_latency_ms.append(client_ms)
+        if self._advance_clock and isinstance(self._clock, SimulatedClock):
+            self._clock.advance(max(1, round(client_ms)))
+        return result
+
+    @staticmethod
+    def _estimate_size(result: Any) -> int:
+        """Rough response payload size for the proportional network cost."""
+        if result is None:
+            return 16
+        if isinstance(result, (bytes, bytearray)):
+            return len(result)
+        if isinstance(result, (list, tuple)):
+            return 16 + 48 * len(result)
+        return 64

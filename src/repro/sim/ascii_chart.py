@@ -1,0 +1,84 @@
+"""ASCII line charts for regenerating the paper's figures in a terminal.
+
+The §IV figures are time-series plots (throughput, latency percentiles,
+error rate, memory/hit ratio).  :func:`render_chart` draws one or more
+named series on a shared time axis using plain characters, so
+``python -m repro.tools.figures`` can show the regenerated curves without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: (x, y) points sharing the chart's x axis."""
+
+    name: str
+    points: list[tuple[float, float]]
+    marker: str = "*"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def render_chart(
+    title: str,
+    series_list: list[Series],
+    width: int = 72,
+    height: int = 14,
+    y_label: str = "",
+    x_label: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render series onto a character grid with axis annotations."""
+    populated = [series for series in series_list if series.points]
+    if not populated:
+        return f"{title}\n(no data)"
+    all_x = [x for series in populated for x, _ in series.points]
+    all_y = [y for series in populated for _, y in series.points]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low = y_min if y_min is not None else min(all_y)
+    y_high = y_max if y_max is not None else max(all_y)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series in populated:
+        for x, y in series.points:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = series.marker
+
+    lines = [title]
+    legend = "   ".join(
+        f"{series.marker} {series.name}" for series in populated
+    )
+    lines.append(legend)
+    top_label = f"{y_high:,.4g}"
+    bottom_label = f"{y_low:,.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(label_width)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis_note = f"x: {x_low:,.4g} .. {x_high:,.4g}"
+    if x_label:
+        x_axis_note += f" ({x_label})"
+    if y_label:
+        x_axis_note += f"   y: {y_label}"
+    lines.append(" " * (label_width + 2) + x_axis_note)
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Calibration: measure real per-operation costs from this implementation.
+
+The simulator's service-time distributions are anchored two ways:
+
+1. **Paper anchors** — Table II and §IV give the production costs (server
+   hit ≈ 1 ms p50, miss penalty 2-4 ms, network ≈ 3 ms).
+2. **Measured anchors** — this module times the actual Python engine on a
+   representative profile (the §III-D production shape: ~62 slices, a few
+   hundred features) and derives the Python/C++ scale factor implied by
+   the paper's numbers.  DESIGN.md documents this substitution.
+
+Running calibration keeps the simulator honest: if the real query path
+regresses badly, the derived factor shifts and the benchmark reports it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from ..config import TableConfig
+from ..core.engine import ProfileEngine
+from ..core.query import SortType
+from ..core.timerange import TimeRange
+from ..storage.compression import compress, decompress
+from ..storage.serialization import ProfileCodec
+
+#: Server-side cost targets from the paper (milliseconds).
+PAPER_SERVER_HIT_P50_MS = 1.0
+PAPER_MISS_PENALTY_MS = 3.0  # "cache hit saves approximately 2 to 4 ms"
+PAPER_NETWORK_MS = 3.0
+
+
+@dataclass
+class CalibrationResult:
+    """Measured single-op costs of this Python implementation."""
+
+    query_topk_ms: float
+    write_ms: float
+    serialize_ms: float
+    deserialize_ms: float
+    compress_ms: float
+    decompress_ms: float
+    profile_bytes: int
+    serialized_bytes: int
+
+    @property
+    def python_cpp_factor(self) -> float:
+        """How much slower our Python query is than the paper's C++ server.
+
+        The production server answers a feature query in about 1 ms at the
+        median; the ratio of our measured query time to that anchors the
+        simulator's conversion from measured costs to simulated costs.
+        """
+        return max(1.0, self.query_topk_ms / PAPER_SERVER_HIT_P50_MS)
+
+    @property
+    def miss_penalty_ms(self) -> float:
+        """Simulated cache-miss penalty derived from measured load costs.
+
+        A miss pays KV fetch + decompress + deserialize.  We scale the
+        measured Python decode cost by the same factor as the query cost,
+        then add a fixed KV round-trip of 2 ms, clamped to the paper's
+        2-4 ms observation.
+        """
+        decode_ms = (self.decompress_ms + self.deserialize_ms) / self.python_cpp_factor
+        return min(4.0, max(2.0, 2.0 + decode_ms))
+
+
+def build_representative_profile(
+    engine: ProfileEngine, profile_id: int, now_ms: int
+) -> None:
+    """Write the §III-D production shape: ~60 slices, hundreds of features."""
+    for day in range(30):
+        timestamp = now_ms - day * MILLIS_PER_DAY
+        for hour_step in range(2):
+            t = timestamp - hour_step * MILLIS_PER_HOUR
+            for feature_index in range(8):
+                engine.add_profile(
+                    profile_id,
+                    t,
+                    slot=feature_index % 4,
+                    type_id=feature_index % 2,
+                    fid=day * 100 + feature_index,
+                    counts=[1 + feature_index, day % 3, 1],
+                )
+
+
+def _time_ms(fn, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) * 1000.0 / repeats
+
+
+def calibrate_service_times(repeats: int = 200, seed: int = 0) -> CalibrationResult:
+    """Measure the real engine and codec costs on the representative profile."""
+    clock = SimulatedClock(start_ms=365 * MILLIS_PER_DAY)
+    config = TableConfig(
+        name="calibration", attributes=("click", "like", "share")
+    )
+    engine = ProfileEngine(config, clock)
+    now_ms = clock.now_ms()
+    build_representative_profile(engine, profile_id=1, now_ms=now_ms)
+    profile = engine.table.get_or_raise(1)
+
+    window = TimeRange.current(30 * MILLIS_PER_DAY)
+    query_ms = _time_ms(
+        lambda: engine.get_profile_topk(
+            1, 1, 1, window, SortType.ATTRIBUTE, k=10, sort_attribute="click"
+        ),
+        repeats,
+    )
+    write_counter = iter(range(10_000_000))
+    write_ms = _time_ms(
+        lambda: engine.add_profile(
+            2, now_ms - next(write_counter) % MILLIS_PER_DAY, 1, 1, 7, [1, 0, 0]
+        ),
+        repeats,
+    )
+    blob = ProfileCodec.encode_profile(profile)
+    compressed = compress(blob)
+    serialize_ms = _time_ms(lambda: ProfileCodec.encode_profile(profile), repeats)
+    deserialize_ms = _time_ms(lambda: ProfileCodec.decode_profile(blob), repeats)
+    compress_ms = _time_ms(lambda: compress(blob), max(10, repeats // 10))
+    decompress_ms = _time_ms(lambda: decompress(compressed), repeats)
+
+    return CalibrationResult(
+        query_topk_ms=query_ms,
+        write_ms=write_ms,
+        serialize_ms=serialize_ms,
+        deserialize_ms=deserialize_ms,
+        compress_ms=compress_ms,
+        decompress_ms=decompress_ms,
+        profile_bytes=profile.memory_bytes(),
+        serialized_bytes=len(compressed),
+    )

@@ -1,0 +1,107 @@
+"""Fault schedules for the availability experiment (Fig. 17).
+
+A :class:`FaultSchedule` is a list of timed :class:`FaultEvent` entries —
+machine crashes, network blips and a data-center failover — each
+contributing extra request errors while active.  The client-side retry
+policy absorbs most of a fault's impact, which is why the paper's error
+ceiling stays near 0.025 % despite real incidents; the schedule models
+that by applying a retry-survival factor to each event's raw impact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One incident.
+
+    ``raw_error_fraction`` is the fraction of requests that would fail with
+    no retries while the event is active; retries reduce the observed rate
+    to ``raw_error_fraction * retry_leak`` (the fraction of failures that
+    leak past retries).
+    """
+
+    start_ms: int
+    duration_ms: int
+    kind: str  # "node_crash" | "network_blip" | "region_failover"
+    raw_error_fraction: float
+    retry_leak: float = 0.05
+
+    def active_at(self, time_ms: int) -> bool:
+        return self.start_ms <= time_ms < self.start_ms + self.duration_ms
+
+    @property
+    def observed_error_fraction(self) -> float:
+        return self.raw_error_fraction * self.retry_leak
+
+
+class FaultSchedule:
+    """Composable fault timeline with a background error floor."""
+
+    def __init__(
+        self,
+        events: list[FaultEvent] | None = None,
+        background_error_rate: float = 0.00002,
+        seed: int = 0,
+    ) -> None:
+        self.events = list(events) if events is not None else []
+        self.background_error_rate = background_error_rate
+        self._rng = random.Random(seed)
+
+    def add(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def error_rate_at(self, time_ms: int) -> float:
+        """Observed client error rate at a moment (after retries)."""
+        rate = self.background_error_rate * self._rng.uniform(0.2, 1.8)
+        for event in self.events:
+            if event.active_at(time_ms):
+                rate += event.observed_error_fraction
+        return min(rate, 1.0)
+
+    @classmethod
+    def production_twenty_days(cls, start_ms: int = 0, seed: int = 0) -> "FaultSchedule":
+        """A 20-day schedule shaped like Fig. 17.
+
+        A handful of brief node crashes, a couple of network blips and one
+        region failover produce spikes up to ~0.025 % over a <0.01 % floor.
+        """
+        day = 24 * 3600 * 1000
+        rng = random.Random(seed)
+        events = []
+        # Node crashes: most days see none, a few see one short crash.
+        for day_index in (2, 5, 9, 13, 16):
+            events.append(
+                FaultEvent(
+                    start_ms=start_ms + day_index * day + rng.randint(0, day // 2),
+                    duration_ms=rng.randint(5, 20) * 60 * 1000,
+                    kind="node_crash",
+                    raw_error_fraction=0.002,
+                    retry_leak=0.05,
+                )
+            )
+        # Network blips: shorter but sharper.
+        for day_index in (7, 18):
+            events.append(
+                FaultEvent(
+                    start_ms=start_ms + day_index * day + rng.randint(0, day // 2),
+                    duration_ms=rng.randint(2, 6) * 60 * 1000,
+                    kind="network_blip",
+                    raw_error_fraction=0.004,
+                    retry_leak=0.05,
+                )
+            )
+        # One region failover mid-window: the Fig. 17 maximum (~0.025 %).
+        events.append(
+            FaultEvent(
+                start_ms=start_ms + 11 * day + day // 3,
+                duration_ms=12 * 60 * 1000,
+                kind="region_failover",
+                raw_error_fraction=0.005,
+                retry_leak=0.05,
+            )
+        )
+        return cls(events, seed=seed)

@@ -1,0 +1,52 @@
+"""Persistent storage substrate (§III-E).
+
+IPS keeps all serving data in memory and relies on a distributed key-value
+store (HBase in production) purely for durability.  This package provides:
+
+* :mod:`kvstore` — a key-value store with the versioned ``xget``/``xset``
+  operations the fine-grained persistence protocol requires (Fig. 14);
+* :mod:`compression` — a from-scratch snappy-style LZ codec;
+* :mod:`serialization` — a from-scratch varint/tag binary codec for the
+  profile hierarchy (the Protocol Buffers substitute, Fig. 12);
+* :mod:`persistence` — the bulk (whole-profile) and fine-grained
+  (slice-split with meta record) persistence modes (Figs. 12-14);
+* :mod:`replication` — master/slave KV clusters for multi-region reads.
+"""
+
+from .compression import compress, decompress
+from .filestore import FileKVStore
+from .kvstore import FailureInjector, InMemoryKVStore, KVStore, VersionedValue
+from .persistence import (
+    BulkPersistence,
+    FineGrainedPersistence,
+    PersistenceManager,
+    PersistenceStats,
+)
+from .replication import ReplicatedKVCluster
+from .serialization import (
+    ProfileCodec,
+    deserialize_profile,
+    serialize_profile,
+)
+from .snapshot import export_table, import_table, read_snapshot
+
+__all__ = [
+    "BulkPersistence",
+    "FailureInjector",
+    "FileKVStore",
+    "FineGrainedPersistence",
+    "InMemoryKVStore",
+    "KVStore",
+    "PersistenceManager",
+    "PersistenceStats",
+    "ProfileCodec",
+    "ReplicatedKVCluster",
+    "VersionedValue",
+    "compress",
+    "decompress",
+    "deserialize_profile",
+    "export_table",
+    "import_table",
+    "read_snapshot",
+    "serialize_profile",
+]

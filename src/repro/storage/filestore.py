@@ -1,0 +1,195 @@
+"""Disk-backed key-value store.
+
+IPS delegates durability to HBase; :class:`FileKVStore` is the
+single-machine stand-in that actually survives a process restart, so the
+recovery paths (cache miss after crash, region rebuild) can be exercised
+for real.  The design is a minimal append-only log with an in-memory
+index:
+
+* every ``set``/``delete`` appends a length-prefixed record
+  ``[op][version][key][value]`` to the log file;
+* the full key -> (offset, version) index lives in memory and is rebuilt
+  by scanning the log on open;
+* :meth:`compact_log` rewrites the log keeping only live records, the
+  same role HBase compactions play.
+
+Writes are flushed per operation (``durability="always"``) or on
+:meth:`sync` (``durability="batch"``), trading safety for throughput the
+way production tuning does.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from pathlib import Path
+
+from ..errors import StorageError, VersionConflictError
+from .kvstore import VersionedValue
+
+_OP_SET = 1
+_OP_DELETE = 2
+_HEADER = struct.Struct("<BQII")  # op, version, key_len, value_len
+
+
+class FileKVStore:
+    """Append-only-log KV store with versioned ``xget``/``xset``."""
+
+    def __init__(self, path: str | Path, durability: str = "always") -> None:
+        if durability not in ("always", "batch"):
+            raise StorageError(
+                f"durability must be 'always' or 'batch', got {durability!r}"
+            )
+        self._path = Path(path)
+        self._durability = durability
+        self._lock = threading.Lock()
+        #: key -> (value, version); values cached in memory for reads, the
+        #: log is the durable copy.
+        self._index: dict[bytes, VersionedValue] = {}
+        self.read_count = 0
+        self.write_count = 0
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._replay_log()
+        self._log = open(self._path, "ab")
+
+    # ------------------------------------------------------------------
+    # Log plumbing
+    # ------------------------------------------------------------------
+
+    def _replay_log(self) -> None:
+        if not self._path.exists():
+            return
+        with open(self._path, "rb") as log:
+            while True:
+                header = log.read(_HEADER.size)
+                if not header:
+                    break
+                if len(header) < _HEADER.size:
+                    # Torn tail from a crash mid-append: ignore it, the
+                    # record never committed.
+                    break
+                op, version, key_len, value_len = _HEADER.unpack(header)
+                key = log.read(key_len)
+                value = log.read(value_len)
+                if len(key) < key_len or len(value) < value_len:
+                    break  # Torn record.
+                if op == _OP_SET:
+                    self._index[key] = VersionedValue(value, version)
+                elif op == _OP_DELETE:
+                    self._index.pop(key, None)
+                else:
+                    raise StorageError(f"corrupt log: unknown op {op}")
+
+    def _append(self, op: int, key: bytes, value: bytes, version: int) -> None:
+        record = _HEADER.pack(op, version, len(key), len(value)) + key + value
+        self._log.write(record)
+        if self._durability == "always":
+            self._log.flush()
+            os.fsync(self._log.fileno())
+
+    def sync(self) -> None:
+        """Force buffered records to disk (for durability='batch')."""
+        with self._lock:
+            self._log.flush()
+            os.fsync(self._log.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            self._log.flush()
+            self._log.close()
+
+    # ------------------------------------------------------------------
+    # KVStore surface
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        with self._lock:
+            self.read_count += 1
+            stored = self._index.get(key)
+            return stored.value if stored is not None else None
+
+    def set(self, key: bytes, value: bytes) -> None:
+        with self._lock:
+            self.write_count += 1
+            current = self._index.get(key)
+            version = current.version + 1 if current is not None else 1
+            self._append(_OP_SET, key, value, version)
+            self._index[key] = VersionedValue(value, version)
+
+    def delete(self, key: bytes) -> None:
+        with self._lock:
+            self.write_count += 1
+            if key in self._index:
+                self._append(_OP_DELETE, key, b"", 0)
+                del self._index[key]
+
+    def xget(self, key: bytes) -> VersionedValue | None:
+        with self._lock:
+            self.read_count += 1
+            return self._index.get(key)
+
+    def xset(self, key: bytes, value: bytes, held_version: int | None) -> int:
+        with self._lock:
+            current = self._index.get(key)
+            current_version = current.version if current is not None else 0
+            if held_version is None:
+                if current is not None:
+                    raise VersionConflictError(key, 0, current_version)
+            elif held_version != current_version:
+                raise VersionConflictError(key, held_version, current_version)
+            new_version = current_version + 1
+            self.write_count += 1
+            self._append(_OP_SET, key, value, new_version)
+            self._index[key] = VersionedValue(value, new_version)
+            return new_version
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def keys(self):
+        with self._lock:
+            return iter(list(self._index.keys()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def total_value_bytes(self) -> int:
+        with self._lock:
+            return sum(len(stored.value) for stored in self._index.values())
+
+    def log_bytes(self) -> int:
+        """On-disk log size including dead records."""
+        with self._lock:
+            self._log.flush()
+            return self._path.stat().st_size
+
+    def compact_log(self) -> int:
+        """Rewrite the log with only live records; returns bytes reclaimed.
+
+        The HBase-compaction analogue: overwritten and deleted records
+        accumulate in the append-only log until a rewrite drops them.
+        """
+        with self._lock:
+            self._log.flush()
+            before = self._path.stat().st_size
+            temp_path = self._path.with_suffix(".compact")
+            with open(temp_path, "wb") as temp:
+                for key, stored in self._index.items():
+                    temp.write(
+                        _HEADER.pack(_OP_SET, stored.version, len(key), len(stored.value))
+                        + key
+                        + stored.value
+                    )
+                temp.flush()
+                os.fsync(temp.fileno())
+            self._log.close()
+            os.replace(temp_path, self._path)
+            self._log = open(self._path, "ab")
+            return before - self._path.stat().st_size

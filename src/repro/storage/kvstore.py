@@ -1,0 +1,167 @@
+"""Key-value store substrate.
+
+The paper's IPS uses HBase through a deliberately tiny surface: plain
+``set``/``get`` for bulk persistence, plus versioned ``xset``/``xget`` for
+the fine-grained slice scheme, where every write is fenced by the version
+it read (Fig. 14) so meta and slice values stay mutually consistent.
+
+:class:`InMemoryKVStore` implements that surface with per-key versions and
+an optional :class:`FailureInjector` so tests and the availability
+experiment (Fig. 17) can exercise storage errors deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from ..errors import StorageError, VersionConflictError
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A stored value together with its write version."""
+
+    value: bytes
+    version: int
+
+
+class KVStore(Protocol):
+    """The storage surface IPS depends on."""
+
+    def get(self, key: bytes) -> bytes | None:
+        ...
+
+    def set(self, key: bytes, value: bytes) -> None:
+        ...
+
+    def delete(self, key: bytes) -> None:
+        ...
+
+    def xget(self, key: bytes) -> VersionedValue | None:
+        ...
+
+    def xset(self, key: bytes, value: bytes, held_version: int | None) -> int:
+        ...
+
+
+class FailureInjector:
+    """Deterministic fault source for storage operations.
+
+    ``fail_next(n)`` forces the next *n* operations to raise; a seeded
+    ``failure_rate`` makes a fraction of operations fail randomly (used by
+    the availability experiment).
+    """
+
+    def __init__(self, failure_rate: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure rate must be in [0, 1], got {failure_rate}")
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self._forced_failures = 0
+        self._lock = threading.Lock()
+
+    def fail_next(self, count: int = 1) -> None:
+        with self._lock:
+            self._forced_failures += count
+
+    def check(self, operation: str) -> None:
+        with self._lock:
+            if self._forced_failures > 0:
+                self._forced_failures -= 1
+                raise StorageError(f"injected failure during {operation}")
+            if self.failure_rate > 0.0 and self._rng.random() < self.failure_rate:
+                raise StorageError(f"injected random failure during {operation}")
+
+
+class InMemoryKVStore:
+    """Thread-safe in-memory KV store with per-key versioning.
+
+    Versions start at 1 and increment on every successful write.  ``xset``
+    with ``held_version=None`` requires the key to be absent (insert-only
+    fence); otherwise the held version must equal the current version or
+    :class:`~repro.errors.VersionConflictError` is raised.
+    """
+
+    def __init__(self, failure_injector: FailureInjector | None = None) -> None:
+        self._data: dict[bytes, VersionedValue] = {}
+        self._lock = threading.Lock()
+        self._injector = failure_injector
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- plain API -------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        self._maybe_fail("get")
+        with self._lock:
+            self.read_count += 1
+            stored = self._data.get(key)
+            return stored.value if stored is not None else None
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._maybe_fail("set")
+        with self._lock:
+            self.write_count += 1
+            current = self._data.get(key)
+            version = current.version + 1 if current is not None else 1
+            self._data[key] = VersionedValue(value, version)
+
+    def delete(self, key: bytes) -> None:
+        self._maybe_fail("delete")
+        with self._lock:
+            self.write_count += 1
+            self._data.pop(key, None)
+
+    # -- versioned API (Fig. 14) ------------------------------------------
+
+    def xget(self, key: bytes) -> VersionedValue | None:
+        self._maybe_fail("xget")
+        with self._lock:
+            self.read_count += 1
+            return self._data.get(key)
+
+    def xset(self, key: bytes, value: bytes, held_version: int | None) -> int:
+        """Write fenced by the version the caller last read.
+
+        Returns the new version.  Raises
+        :class:`~repro.errors.VersionConflictError` when the held version is
+        stale, signalling the caller to reload before retrying.
+        """
+        self._maybe_fail("xset")
+        with self._lock:
+            current = self._data.get(key)
+            current_version = current.version if current is not None else 0
+            if held_version is None:
+                if current is not None:
+                    raise VersionConflictError(key, 0, current_version)
+            elif held_version != current_version:
+                raise VersionConflictError(key, held_version, current_version)
+            new_version = current_version + 1
+            self.write_count += 1
+            self._data[key] = VersionedValue(value, new_version)
+            return new_version
+
+    # -- introspection ----------------------------------------------------
+
+    def keys(self) -> Iterator[bytes]:
+        with self._lock:
+            return iter(list(self._data.keys()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def total_value_bytes(self) -> int:
+        with self._lock:
+            return sum(len(stored.value) for stored in self._data.values())
+
+    def _maybe_fail(self, operation: str) -> None:
+        if self._injector is not None:
+            self._injector.check(operation)

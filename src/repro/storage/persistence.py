@@ -1,0 +1,281 @@
+"""Profile persistence modes (§III-E, Figs. 12-14).
+
+Two interchangeable persistence managers:
+
+* :class:`BulkPersistence` — the simple model: the key is the profile id,
+  the value is the whole profile serialized and compressed (Fig. 12).
+* :class:`FineGrainedPersistence` — the slice-split model for very large
+  profiles: a *meta* record lists the slice keys, every slice is stored
+  under its own key, and the versioned ``xset``/``xget`` protocol of
+  Fig. 14 keeps meta and slices consistent — slice values are written
+  first, the meta record last, and any reader holding a stale meta version
+  reloads before proceeding.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..core.profile import ProfileData
+from ..core.slice import Slice
+from ..errors import SerializationError, StorageError, VersionConflictError
+from .compression import compress, decompress
+from .kvstore import KVStore
+from .serialization import ProfileCodec, read_varint, write_varint
+
+
+@dataclass
+class PersistenceStats:
+    """Accounting for flush/load traffic (feeds Table II and ablations)."""
+
+    profiles_flushed: int = 0
+    profiles_loaded: int = 0
+    slices_flushed: int = 0
+    slices_loaded: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    version_conflicts: int = 0
+
+
+class PersistenceManager(Protocol):
+    """What the cache layer needs from a persistence mode."""
+
+    stats: PersistenceStats
+
+    def flush(self, profile: ProfileData) -> None:
+        ...
+
+    def load(self, profile_id: int) -> ProfileData | None:
+        ...
+
+    def delete(self, profile_id: int) -> None:
+        ...
+
+
+def _profile_key(table: str, profile_id: int) -> bytes:
+    return f"{table}/p/{profile_id}".encode()
+
+
+def _meta_key(table: str, profile_id: int) -> bytes:
+    return f"{table}/m/{profile_id}".encode()
+
+
+def _slice_key(table: str, profile_id: int, slice_id: int) -> bytes:
+    return f"{table}/s/{profile_id}/{slice_id}".encode()
+
+
+class BulkPersistence:
+    """Whole-profile persistence: one key, one compressed value."""
+
+    def __init__(self, store: KVStore, table: str) -> None:
+        self._store = store
+        self._table = table
+        self.stats = PersistenceStats()
+
+    def flush(self, profile: ProfileData) -> None:
+        blob = compress(ProfileCodec.encode_profile(profile))
+        self._store.set(_profile_key(self._table, profile.profile_id), blob)
+        self.stats.profiles_flushed += 1
+        self.stats.bytes_written += len(blob)
+
+    def load(self, profile_id: int) -> ProfileData | None:
+        blob = self._store.get(_profile_key(self._table, profile_id))
+        if blob is None:
+            return None
+        self.stats.profiles_loaded += 1
+        self.stats.bytes_read += len(blob)
+        return ProfileCodec.decode_profile(decompress(blob))
+
+    def delete(self, profile_id: int) -> None:
+        self._store.delete(_profile_key(self._table, profile_id))
+
+    def serialized_size(self, profile: ProfileData) -> int:
+        """Size after serialization + compression (the paper's <40 KB figure)."""
+        return len(compress(ProfileCodec.encode_profile(profile)))
+
+
+# ----------------------------------------------------------------------
+# Fine-grained mode
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SliceMetaEntry:
+    """One row of the slice meta structure (Fig. 13)."""
+
+    slice_id: int
+    start_ms: int
+    end_ms: int
+
+
+def _encode_meta(
+    profile: ProfileData, entries: list[SliceMetaEntry]
+) -> bytes:
+    out = bytearray()
+    write_varint(out, profile.profile_id)
+    write_varint(out, profile.write_granularity_ms)
+    write_varint(out, len(entries))
+    for entry in entries:
+        write_varint(out, entry.slice_id)
+        write_varint(out, entry.start_ms)
+        write_varint(out, entry.end_ms)
+    return bytes(out)
+
+
+def _decode_meta(blob: bytes) -> tuple[int, int, list[SliceMetaEntry]]:
+    pos = 0
+    profile_id, pos = read_varint(blob, pos)
+    granularity, pos = read_varint(blob, pos)
+    count, pos = read_varint(blob, pos)
+    entries = []
+    for _ in range(count):
+        slice_id, pos = read_varint(blob, pos)
+        start_ms, pos = read_varint(blob, pos)
+        end_ms, pos = read_varint(blob, pos)
+        entries.append(SliceMetaEntry(slice_id, start_ms, end_ms))
+    if pos != len(blob):
+        raise SerializationError("trailing bytes after slice meta")
+    return profile_id, granularity, entries
+
+
+class FineGrainedPersistence:
+    """Slice-split persistence with the Fig. 14 version-fencing protocol.
+
+    Flush order (writes): new/changed slice values first (each compressed
+    individually), then the meta record via ``xset`` fenced by the version
+    read at the start of the flush.  A concurrent flusher that bumped the
+    meta version causes :class:`VersionConflictError`; the flush retries
+    after reloading the current meta, so the final state always matches
+    some complete flush.
+
+    Slice keys are content-addressed by ``(start_ms, end_ms)`` identity of
+    the slice at flush time; slices dropped by compaction leave garbage
+    values behind which :meth:`flush` deletes once the new meta is durable.
+    """
+
+    def __init__(self, store: KVStore, table: str, max_retries: int = 4) -> None:
+        self._store = store
+        self._table = table
+        self._max_retries = max_retries
+        self.stats = PersistenceStats()
+        self._next_slice_id = 0
+        self._id_lock = threading.Lock()
+
+    def _allocate_slice_id(self) -> int:
+        with self._id_lock:
+            self._next_slice_id += 1
+            return self._next_slice_id
+
+    def flush(self, profile: ProfileData) -> None:
+        for attempt in range(self._max_retries):
+            try:
+                self._flush_once(profile)
+                return
+            except VersionConflictError:
+                self.stats.version_conflicts += 1
+                if attempt == self._max_retries - 1:
+                    raise
+        raise StorageError("unreachable")  # pragma: no cover
+
+    def _flush_once(self, profile: ProfileData) -> None:
+        meta_key = _meta_key(self._table, profile.profile_id)
+        current = self._store.xget(meta_key)
+        held_version = current.version if current is not None else None
+        previous_ids = set()
+        if current is not None:
+            _, _, previous_entries = _decode_meta(current.value)
+            previous_ids = {entry.slice_id for entry in previous_entries}
+
+        # 1. Write every slice value under a fresh id.
+        entries = []
+        for profile_slice in profile.slices:
+            slice_id = self._allocate_slice_id()
+            blob = compress(ProfileCodec.encode_slice(profile_slice))
+            self._store.set(
+                _slice_key(self._table, profile.profile_id, slice_id), blob
+            )
+            self.stats.slices_flushed += 1
+            self.stats.bytes_written += len(blob)
+            entries.append(
+                SliceMetaEntry(slice_id, profile_slice.start_ms, profile_slice.end_ms)
+            )
+
+        # 2. Publish the meta record, fenced by the version we read.
+        meta_blob = _encode_meta(profile, entries)
+        self._store.xset(meta_key, meta_blob, held_version)
+        self.stats.profiles_flushed += 1
+        self.stats.bytes_written += len(meta_blob)
+
+        # 3. Garbage-collect slice values orphaned by this flush.
+        for orphan_id in previous_ids:
+            self._store.delete(
+                _slice_key(self._table, profile.profile_id, orphan_id)
+            )
+
+    def load(self, profile_id: int) -> ProfileData | None:
+        return self._load(profile_id, window=None)
+
+    def load_window(
+        self, profile_id: int, start_ms: int, end_ms: int
+    ) -> ProfileData | None:
+        """Load only the slices overlapping ``[start_ms, end_ms)``.
+
+        This is the payoff of the slice-split scheme (§III-E): reloading a
+        large profile for a short-window query fetches a handful of slice
+        values instead of the whole profile, bounding both KV traffic and
+        deserialization cost.  The returned profile is *partial*; callers
+        must not flush it back as the complete profile.
+        """
+        if end_ms <= start_ms:
+            raise StorageError(
+                f"empty load window [{start_ms}, {end_ms})"
+            )
+        return self._load(profile_id, window=(start_ms, end_ms))
+
+    def _load(
+        self, profile_id: int, window: tuple[int, int] | None
+    ) -> ProfileData | None:
+        meta = self._store.xget(_meta_key(self._table, profile_id))
+        if meta is None:
+            return None
+        stored_id, granularity, entries = _decode_meta(meta.value)
+        if stored_id != profile_id:
+            raise StorageError(
+                f"meta record for {profile_id} claims profile {stored_id}"
+            )
+        self.stats.bytes_read += len(meta.value)
+        if window is not None:
+            start_ms, end_ms = window
+            entries = [
+                entry
+                for entry in entries
+                if entry.start_ms < end_ms and start_ms < entry.end_ms
+            ]
+        slices: list[Slice] = []
+        for entry in entries:
+            blob = self._store.get(
+                _slice_key(self._table, profile_id, entry.slice_id)
+            )
+            if blob is None:
+                # A slice vanished under us: the meta we hold is stale
+                # relative to a concurrent flush. Reload from the top.
+                return self._load(profile_id, window)
+            self.stats.slices_loaded += 1
+            self.stats.bytes_read += len(blob)
+            slices.append(ProfileCodec.decode_slice(decompress(blob)))
+        profile = ProfileData(profile_id, granularity)
+        profile.replace_slices(slices)
+        self.stats.profiles_loaded += 1
+        return profile
+
+    def delete(self, profile_id: int) -> None:
+        meta_key = _meta_key(self._table, profile_id)
+        meta = self._store.xget(meta_key)
+        if meta is None:
+            return
+        _, _, entries = _decode_meta(meta.value)
+        self._store.delete(meta_key)
+        for entry in entries:
+            self._store.delete(_slice_key(self._table, profile_id, entry.slice_id))

@@ -1,0 +1,138 @@
+"""Master/slave KV replication for multi-region deployments (§III-G, Fig. 15).
+
+In the paper's multi-region layout, exactly one IPS instance per profile
+range persists to the *master* KV cluster; instances in other regions read
+from their local *slave* cluster, which replicates from the master
+asynchronously.  Consistency is deliberately weak: a node that fails over
+may load slightly stale data, which is acceptable for recommendations.
+
+:class:`ReplicatedKVCluster` models one master plus N regional slaves with
+a configurable replication lag measured in *applied operations*: writes go
+to the master immediately and are queued per slave, and :meth:`pump`
+applies queued operations (all of them by default, or a bounded number to
+simulate lag).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .kvstore import InMemoryKVStore, KVStore
+
+
+@dataclass
+class _ReplicationOp:
+    key: bytes
+    value: bytes | None  # None encodes a delete.
+
+
+class _SlaveHandle:
+    def __init__(self, region: str) -> None:
+        self.region = region
+        self.store = InMemoryKVStore()
+        self.queue: deque[_ReplicationOp] = deque()
+        self.applied_ops = 0
+
+
+class ReplicatedKVCluster:
+    """One master store plus per-region read-only slaves."""
+
+    def __init__(self, regions: list[str], master_region: str) -> None:
+        if master_region not in regions:
+            raise StorageError(
+                f"master region {master_region!r} not in regions {regions}"
+            )
+        self.master_region = master_region
+        self.master = InMemoryKVStore()
+        self._slaves = {
+            region: _SlaveHandle(region)
+            for region in regions
+            if region != master_region
+        }
+        self._lock = threading.Lock()
+
+    # -- write path (master only) -----------------------------------------
+
+    def write_store(self) -> KVStore:
+        """The store the single persisting instance writes to."""
+        return _ReplicatingWriter(self)
+
+    # -- read path ---------------------------------------------------------
+
+    def read_store(self, region: str) -> KVStore:
+        """The store instances in ``region`` read from."""
+        if region == self.master_region:
+            return self.master
+        try:
+            return self._slaves[region].store
+        except KeyError:
+            raise StorageError(f"unknown region {region!r}") from None
+
+    # -- replication pump ----------------------------------------------------
+
+    def pump(self, region: str | None = None, max_ops: int | None = None) -> int:
+        """Apply queued replication ops to slaves.
+
+        ``max_ops`` bounds work per slave so tests can hold a slave behind
+        the master (stale reads).  Returns total ops applied.
+        """
+        applied = 0
+        with self._lock:
+            slaves = (
+                list(self._slaves.values())
+                if region is None
+                else [self._slaves[region]]
+            )
+        for slave in slaves:
+            budget = max_ops
+            while slave.queue and (budget is None or budget > 0):
+                op = slave.queue.popleft()
+                if op.value is None:
+                    slave.store.delete(op.key)
+                else:
+                    slave.store.set(op.key, op.value)
+                slave.applied_ops += 1
+                applied += 1
+                if budget is not None:
+                    budget -= 1
+        return applied
+
+    def lag(self, region: str) -> int:
+        """Number of operations a slave is behind the master."""
+        if region == self.master_region:
+            return 0
+        return len(self._slaves[region].queue)
+
+    def _enqueue(self, key: bytes, value: bytes | None) -> None:
+        with self._lock:
+            for slave in self._slaves.values():
+                slave.queue.append(_ReplicationOp(key, value))
+
+
+class _ReplicatingWriter:
+    """KVStore adapter that writes through the master and queues replication."""
+
+    def __init__(self, cluster: ReplicatedKVCluster) -> None:
+        self._cluster = cluster
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._cluster.master.get(key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._cluster.master.set(key, value)
+        self._cluster._enqueue(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._cluster.master.delete(key)
+        self._cluster._enqueue(key, None)
+
+    def xget(self, key: bytes):
+        return self._cluster.master.xget(key)
+
+    def xset(self, key: bytes, value: bytes, held_version: int | None) -> int:
+        version = self._cluster.master.xset(key, value, held_version)
+        self._cluster._enqueue(key, value)
+        return version

@@ -1,0 +1,216 @@
+"""Binary serialization of profile data (the Protocol Buffers substitute).
+
+IPS serializes the in-memory profile hierarchy into a Protocol Buffer
+format before persisting it (§III-E, Fig. 12).  We implement the same idea
+from scratch: a varint/length-delimited wire format that encodes the
+nesting Profile → Slice → Slot → Type → FeatureStat compactly.
+
+Wire layout (all integers are unsigned LEB128 varints):
+
+``profile``  := MAGIC version profile_id granularity n_slices slice*
+``slice``    := start_ms end_ms n_slots slot*
+``slot``     := slot_id n_types type*
+``type``     := type_id n_features feature*
+``feature``  := fid last_ts n_counts zigzag(count)*
+
+Counts use zigzag encoding since aggregate functions can in principle
+produce negative values.  The codec is symmetric and bounded: decoding
+validates lengths so corrupt blobs fail with
+:class:`~repro.errors.SerializationError` instead of producing garbage.
+"""
+
+from __future__ import annotations
+
+from ..core.feature import FeatureStat
+from ..core.instance_set import InstanceSet
+from ..core.profile import ProfileData
+from ..core.slice import Slice
+from ..errors import SerializationError
+
+MAGIC = 0x49505331  # "IPS1"
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Primitive encoders
+# ----------------------------------------------------------------------
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise SerializationError(f"varint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise SerializationError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# ----------------------------------------------------------------------
+# Profile codec
+# ----------------------------------------------------------------------
+
+
+class ProfileCodec:
+    """Encode/decode whole profiles or individual slices."""
+
+    # -- slices ---------------------------------------------------------
+
+    @staticmethod
+    def encode_slice(profile_slice: Slice) -> bytes:
+        out = bytearray()
+        ProfileCodec._write_slice(out, profile_slice)
+        return bytes(out)
+
+    @staticmethod
+    def decode_slice(blob: bytes) -> Slice:
+        profile_slice, pos = ProfileCodec._read_slice(blob, 0)
+        if pos != len(blob):
+            raise SerializationError(
+                f"{len(blob) - pos} trailing bytes after slice"
+            )
+        return profile_slice
+
+    @staticmethod
+    def _write_slice(out: bytearray, profile_slice: Slice) -> None:
+        write_varint(out, profile_slice.start_ms)
+        write_varint(out, profile_slice.end_ms)
+        slots = list(profile_slice.slots_items())
+        write_varint(out, len(slots))
+        for slot_id, instance_set in slots:
+            write_varint(out, slot_id)
+            types = list(instance_set.items())
+            write_varint(out, len(types))
+            for type_id, features in types:
+                write_varint(out, type_id)
+                write_varint(out, len(features))
+                for stat in features.values():
+                    ProfileCodec._write_feature(out, stat)
+
+    @staticmethod
+    def _read_slice(data: bytes, pos: int) -> tuple[Slice, int]:
+        start_ms, pos = read_varint(data, pos)
+        end_ms, pos = read_varint(data, pos)
+        if end_ms <= start_ms:
+            raise SerializationError(
+                f"decoded slice has empty range [{start_ms}, {end_ms})"
+            )
+        profile_slice = Slice(start_ms, end_ms)
+        n_slots, pos = read_varint(data, pos)
+        for _ in range(n_slots):
+            slot_id, pos = read_varint(data, pos)
+            instance_set = InstanceSet()
+            profile_slice._slots[slot_id] = instance_set
+            n_types, pos = read_varint(data, pos)
+            for _ in range(n_types):
+                type_id, pos = read_varint(data, pos)
+                n_features, pos = read_varint(data, pos)
+                features: dict[int, FeatureStat] = {}
+                for _ in range(n_features):
+                    stat, pos = ProfileCodec._read_feature(data, pos)
+                    features[stat.fid] = stat
+                instance_set._types[type_id] = features
+        profile_slice.mark_mutated()
+        return profile_slice, pos
+
+    # -- features -------------------------------------------------------
+
+    @staticmethod
+    def _write_feature(out: bytearray, stat: FeatureStat) -> None:
+        write_varint(out, stat.fid)
+        write_varint(out, stat.last_timestamp_ms)
+        write_varint(out, len(stat.counts))
+        for count in stat.counts:
+            write_varint(out, zigzag_encode(count))
+
+    @staticmethod
+    def _read_feature(data: bytes, pos: int) -> tuple[FeatureStat, int]:
+        fid, pos = read_varint(data, pos)
+        last_ts, pos = read_varint(data, pos)
+        n_counts, pos = read_varint(data, pos)
+        if n_counts > 1024:
+            raise SerializationError(f"implausible count vector length {n_counts}")
+        counts = []
+        for _ in range(n_counts):
+            encoded, pos = read_varint(data, pos)
+            counts.append(zigzag_decode(encoded))
+        return FeatureStat(fid, counts, last_ts), pos
+
+    # -- whole profiles ---------------------------------------------------
+
+    @staticmethod
+    def encode_profile(profile: ProfileData) -> bytes:
+        out = bytearray()
+        write_varint(out, MAGIC)
+        write_varint(out, FORMAT_VERSION)
+        write_varint(out, profile.profile_id)
+        write_varint(out, profile.write_granularity_ms)
+        write_varint(out, len(profile.slices))
+        for profile_slice in profile.slices:
+            body = ProfileCodec.encode_slice(profile_slice)
+            write_varint(out, len(body))
+            out.extend(body)
+        return bytes(out)
+
+    @staticmethod
+    def decode_profile(blob: bytes) -> ProfileData:
+        pos = 0
+        magic, pos = read_varint(blob, pos)
+        if magic != MAGIC:
+            raise SerializationError(f"bad magic {magic:#x}; not an IPS profile")
+        version, pos = read_varint(blob, pos)
+        if version != FORMAT_VERSION:
+            raise SerializationError(f"unsupported format version {version}")
+        profile_id, pos = read_varint(blob, pos)
+        granularity, pos = read_varint(blob, pos)
+        n_slices, pos = read_varint(blob, pos)
+        profile = ProfileData(profile_id, granularity)
+        slices = []
+        for _ in range(n_slices):
+            length, pos = read_varint(blob, pos)
+            if pos + length > len(blob):
+                raise SerializationError("slice body past end of profile blob")
+            profile_slice, consumed = ProfileCodec._read_slice(blob, pos)
+            if consumed != pos + length:
+                raise SerializationError("slice body length mismatch")
+            pos = consumed
+            slices.append(profile_slice)
+        if pos != len(blob):
+            raise SerializationError(
+                f"{len(blob) - pos} trailing bytes after profile"
+            )
+        profile.replace_slices(slices)
+        return profile
+
+
+def serialize_profile(profile: ProfileData) -> bytes:
+    """Module-level convenience wrapper over :class:`ProfileCodec`."""
+    return ProfileCodec.encode_profile(profile)
+
+
+def deserialize_profile(blob: bytes) -> ProfileData:
+    """Module-level convenience wrapper over :class:`ProfileCodec`."""
+    return ProfileCodec.decode_profile(blob)

@@ -1,0 +1,12 @@
+"""Operational command-line tools.
+
+Each tool runs as a module::
+
+    python -m repro.tools.loadgen --requests 20000 --nodes 4
+    python -m repro.tools.calibration_report
+    python -m repro.tools.inspect_profile
+
+They exercise the real implementation end to end and print the telemetry
+rollups an operator would look at — handy for smoke-testing a checkout
+and for eyeballing the mechanisms behind the §IV figures.
+"""

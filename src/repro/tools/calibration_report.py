@@ -1,0 +1,45 @@
+"""Calibration report: measure the real implementation's op costs.
+
+Usage::
+
+    python -m repro.tools.calibration_report [--repeats N]
+
+Prints the single-operation costs the cluster simulator uses as anchors
+(see ``repro.sim.calibrate`` and DESIGN.md §1.3), plus the derived
+Python/C++ factor and simulated miss penalty.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..sim.calibrate import calibrate_service_times
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=200)
+    args = parser.parse_args(argv)
+
+    result = calibrate_service_times(repeats=args.repeats)
+    rows = [
+        ("top-K query (30d window)", f"{result.query_topk_ms:.3f} ms"),
+        ("single write", f"{result.write_ms * 1000:.1f} µs"),
+        ("serialize profile", f"{result.serialize_ms:.3f} ms"),
+        ("deserialize profile", f"{result.deserialize_ms:.3f} ms"),
+        ("compress blob", f"{result.compress_ms:.3f} ms"),
+        ("decompress blob", f"{result.decompress_ms:.3f} ms"),
+        ("profile in-memory size", f"{result.profile_bytes / 1024:.1f} KB"),
+        ("profile serialized size", f"{result.serialized_bytes / 1024:.1f} KB"),
+        ("derived python/C++ factor", f"{result.python_cpp_factor:.1f}x"),
+        ("derived sim miss penalty", f"{result.miss_penalty_ms:.2f} ms"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    print(f"calibration over {args.repeats} repeats:")
+    for label, value in rows:
+        print(f"  {label:<{width}}  {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

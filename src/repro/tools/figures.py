@@ -1,0 +1,150 @@
+"""Regenerate every §IV figure as an ASCII chart.
+
+Usage::
+
+    python -m repro.tools.figures [--days N] [--nodes N] [--seed N]
+
+Runs the calibrated cluster simulator over the Spring-Festival traffic
+curves and prints Figures 16-19 (throughput, latency percentiles, error
+rate, memory/hit ratio, write latency with the isolation A/B) as terminal
+charts, each annotated with the paper's reference values.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from ..sim import ClusterSimulator, FaultSchedule
+from ..sim.ascii_chart import Series, render_chart
+from ..workload import spring_festival_curve
+
+
+def figure16(simulator, reads, days: int) -> str:
+    result = simulator.simulate_queries(
+        reads, 0, days * MILLIS_PER_DAY, 2 * MILLIS_PER_HOUR
+    )
+    hours = lambda t: t / MILLIS_PER_HOUR
+    throughput = render_chart(
+        "Fig 16a — query throughput (paper: 30-40M qps diurnal)",
+        [Series("qps (M)", [(hours(t), v / 1e6) for t, v in result.series("offered_qps")])],
+        x_label="hours",
+        y_label="million qps",
+    )
+    latency = render_chart(
+        "Fig 16b — query latency (paper: p50 ~1ms flat, p99 9-10ms)",
+        [
+            Series("p99 ms", [(hours(t), v) for t, v in result.series("p99_ms")], "#"),
+            Series("p50 ms", [(hours(t), v) for t, v in result.series("p50_ms")], "."),
+        ],
+        x_label="hours",
+        y_label="milliseconds",
+        y_min=0.0,
+    )
+    return throughput + "\n\n" + latency
+
+
+def figure17(simulator, reads) -> str:
+    schedule = FaultSchedule.production_twenty_days(seed=7)
+    result = simulator.simulate_queries(
+        reads, 0, 20 * MILLIS_PER_DAY, 2 * MILLIS_PER_HOUR,
+        fault_schedule=schedule,
+    )
+    days = lambda t: t / MILLIS_PER_DAY
+    return render_chart(
+        "Fig 17 — client error rate over 20 days "
+        "(paper: max ~0.025%, avg <0.01%)",
+        [
+            Series(
+                "error %",
+                [(days(t), v * 100) for t, v in result.series("error_rate")],
+            )
+        ],
+        x_label="days",
+        y_label="percent",
+        y_min=0.0,
+    )
+
+
+def figure18(simulator, reads, days: int) -> str:
+    result = simulator.simulate_queries(
+        reads, 0, days * MILLIS_PER_DAY, MILLIS_PER_HOUR
+    )
+    hours = lambda t: t / MILLIS_PER_HOUR
+    return render_chart(
+        "Fig 18 — memory usage & cache hit ratio "
+        "(paper: mem ~85% stable, hit >90%)",
+        [
+            Series(
+                "hit %",
+                [(hours(t), v * 100) for t, v in result.series("hit_ratio")],
+                "#",
+            ),
+            Series(
+                "mem %",
+                [(hours(t), v * 100) for t, v in result.series("memory_ratio")],
+                ".",
+            ),
+        ],
+        x_label="hours",
+        y_label="percent",
+        y_min=70.0,
+        y_max=100.0,
+    )
+
+
+def figure19(simulator, writes, reads, days: int) -> str:
+    on = simulator.simulate_writes(
+        writes, 0, days * MILLIS_PER_DAY, 2 * MILLIS_PER_HOUR,
+        isolation=True, read_traffic_model=reads,
+    )
+    off = simulator.simulate_writes(
+        writes, 0, days * MILLIS_PER_DAY, 2 * MILLIS_PER_HOUR,
+        isolation=False, read_traffic_model=reads,
+    )
+    hours = lambda t: t / MILLIS_PER_HOUR
+    throughput = render_chart(
+        "Fig 19a — write throughput (paper: 3-4M/s, reads/10)",
+        [Series("writes (M/s)", [(hours(t), v / 1e6) for t, v in on.series("offered_qps")])],
+        x_label="hours",
+    )
+    latency = render_chart(
+        "Fig 19b — write p99 with/without isolation "
+        "(paper: isolation cuts p99 ~80%)",
+        [
+            Series("p99 isolation OFF", [(hours(t), v) for t, v in off.series("p99_ms")], "x"),
+            Series("p99 isolation ON", [(hours(t), v) for t, v in on.series("p99_ms")], "#"),
+            Series("p50 ON", [(hours(t), v) for t, v in on.series("p50_ms")], "."),
+        ],
+        x_label="hours",
+        y_label="milliseconds",
+        y_min=0.0,
+    )
+    return throughput + "\n\n" + latency
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=3)
+    parser.add_argument("--nodes", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    simulator = ClusterSimulator(
+        num_nodes=args.nodes, seed=args.seed, samples_per_step=2000
+    )
+    reads = spring_festival_curve(read_traffic=True, seed=args.seed)
+    writes = spring_festival_curve(read_traffic=False, seed=args.seed)
+
+    sections = [
+        figure16(simulator, reads, args.days),
+        figure17(simulator, reads),
+        figure18(simulator, reads, min(args.days, 2)),
+        figure19(simulator, writes, reads, args.days),
+    ]
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Profile inspector: dump a profile's slice structure.
+
+Usage::
+
+    python -m repro.tools.inspect_profile [--writes N] [--maintain]
+
+Builds a demonstration profile (the §III-D representative shape), then
+prints its slice list — time ranges, per-slot feature counts, memory —
+before and optionally after a maintenance pass, making the compaction
+band structure visible.  Useful when tuning time-dimension configs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..clock import MILLIS_PER_DAY, SimulatedClock
+from ..config import TableConfig
+from ..core.engine import ProfileEngine
+from ..core.profile import ProfileData
+from ..sim.calibrate import build_representative_profile
+
+NOW_MS = 400 * MILLIS_PER_DAY
+
+
+def format_profile(profile: ProfileData, now_ms: int, limit: int = 40) -> str:
+    """Render a profile's slice list, newest first."""
+    lines = [
+        f"profile {profile.profile_id}: {profile.slice_count()} slices, "
+        f"{profile.feature_count()} feature stats, "
+        f"{profile.memory_bytes() / 1024:.1f} KB"
+    ]
+    for index, profile_slice in enumerate(profile.slices[:limit]):
+        age_h = (now_ms - profile_slice.end_ms) / 3_600_000
+        span_s = profile_slice.duration_ms / 1000
+        slots = ", ".join(
+            f"slot{slot}:{instance_set.feature_count()}"
+            for slot, instance_set in profile_slice.slots_items()
+        )
+        lines.append(
+            f"  [{index:3d}] age={age_h:8.1f}h span={span_s:9.0f}s "
+            f"features=({slots})"
+        )
+    if profile.slice_count() > limit:
+        lines.append(f"  ... {profile.slice_count() - limit} more slices")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--maintain", action="store_true",
+                        help="also show the profile after maintenance")
+    args = parser.parse_args(argv)
+
+    clock = SimulatedClock(NOW_MS)
+    config = TableConfig(
+        name="inspect", attributes=("click", "like", "share")
+    )
+    engine = ProfileEngine(config, clock)
+    build_representative_profile(engine, profile_id=1, now_ms=NOW_MS)
+    profile = engine.table.get_or_raise(1)
+    print("== before maintenance ==")
+    print(format_profile(profile, NOW_MS))
+    if args.maintain:
+        report = engine.maintain_profile(1)
+        print("\n== after maintenance ==")
+        print(format_profile(profile, NOW_MS))
+        if report.compaction is not None:
+            print(
+                f"\ncompaction: {report.compaction.slices_before} -> "
+                f"{report.compaction.slices_after} slices "
+                f"({report.compaction.merges} merges, "
+                f"{report.compaction.bytes_saved} bytes saved)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Synthetic workload generation.
+
+The paper evaluates IPS on Jinri Toutiao production traffic; we substitute
+a synthetic workload with the same shape: Zipf-distributed user and item
+popularity, per-request action mixes calibrated to a 10:1 read:write ratio,
+and the diurnal Spring-Festival traffic curve of Fig. 16.
+"""
+
+from .diurnal import DiurnalTrafficModel, spring_festival_curve
+from .generator import ActionMix, EventStreamGenerator, WorkloadConfig
+from .zipf import ZipfGenerator
+
+__all__ = [
+    "ActionMix",
+    "DiurnalTrafficModel",
+    "EventStreamGenerator",
+    "WorkloadConfig",
+    "ZipfGenerator",
+    "spring_festival_curve",
+]

@@ -1,0 +1,81 @@
+"""Diurnal traffic curves.
+
+Fig. 16 shows the Jinri Toutiao cluster's query throughput oscillating
+between roughly 30M and 40M QPS across the days of the 2020 Spring
+Festival, with nightly troughs.  :class:`DiurnalTrafficModel` produces that
+shape: a base sinusoid with a morning/evening double peak, a nightly
+trough, and seeded noise; :func:`spring_festival_curve` instantiates the
+paper's parameters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+
+
+class DiurnalTrafficModel:
+    """QPS as a function of time-of-day."""
+
+    def __init__(
+        self,
+        base_qps: float,
+        peak_qps: float,
+        trough_hour: float = 4.0,
+        peak_hour: float = 20.0,
+        noise_fraction: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if peak_qps < base_qps:
+            raise ValueError(
+                f"peak ({peak_qps}) must be >= base ({base_qps})"
+            )
+        self.base_qps = base_qps
+        self.peak_qps = peak_qps
+        self.trough_hour = trough_hour
+        self.peak_hour = peak_hour
+        self.noise_fraction = noise_fraction
+        self._rng = random.Random(seed)
+
+    def qps_at(self, time_ms: int) -> float:
+        """Instantaneous offered load at an epoch-ms time."""
+        hour = (time_ms % MILLIS_PER_DAY) / MILLIS_PER_HOUR
+        # Phase positioned so the minimum lands on trough_hour and the
+        # maximum near peak_hour: a skewed double-hump built from two
+        # harmonics, which matches the lunch + evening peaks of Fig. 16.
+        phase = (hour - self.trough_hour) / 24.0 * 2.0 * math.pi
+        primary = (1.0 - math.cos(phase)) / 2.0  # 0 at trough, 1 half-day later
+        secondary = (1.0 - math.cos(2.0 * phase)) / 8.0
+        shape = min(1.0, primary + secondary)
+        qps = self.base_qps + (self.peak_qps - self.base_qps) * shape
+        if self.noise_fraction:
+            qps *= 1.0 + self._rng.uniform(-self.noise_fraction, self.noise_fraction)
+        return max(0.0, qps)
+
+    def series(
+        self, start_ms: int, duration_ms: int, step_ms: int
+    ) -> list[tuple[int, float]]:
+        """(time_ms, qps) samples across a span."""
+        if step_ms <= 0:
+            raise ValueError(f"step must be positive, got {step_ms}")
+        return [
+            (t, self.qps_at(t))
+            for t in range(start_ms, start_ms + duration_ms, step_ms)
+        ]
+
+
+def spring_festival_curve(
+    read_traffic: bool = True, seed: int = 0
+) -> DiurnalTrafficModel:
+    """Fig. 16 (reads: 30-40M QPS) / Fig. 19 (writes: 3-4M QPS) curves.
+
+    The paper reports read traffic at about 10x write traffic, so the write
+    curve is the read curve scaled down by 10.
+    """
+    if read_traffic:
+        return DiurnalTrafficModel(
+            base_qps=30e6, peak_qps=40e6, seed=seed
+        )
+    return DiurnalTrafficModel(base_qps=3e6, peak_qps=4e6, seed=seed)

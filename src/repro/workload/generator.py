@@ -1,0 +1,160 @@
+"""Synthetic event-stream and query workload generation.
+
+:class:`EventStreamGenerator` produces the impression/action/feature event
+streams that feed the ingestion pipeline, with Zipf-skewed users and items
+and a configurable action mix (click-through rate, like rate, ...), plus
+read-side query descriptors with the paper's ~10:1 read:write ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from ..ingest.events import ActionEvent, FeatureEvent, ImpressionEvent
+from .zipf import ZipfGenerator
+
+
+@dataclass(frozen=True)
+class ActionMix:
+    """Per-impression probability of each action type."""
+
+    probabilities: dict[str, float] = field(
+        default_factory=lambda: {
+            "click": 0.30,
+            "like": 0.06,
+            "comment": 0.02,
+            "share": 0.01,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        for action, probability in self.probabilities.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"probability for {action!r} out of range: {probability}"
+                )
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape parameters for a synthetic workload."""
+
+    num_users: int = 10_000
+    num_items: int = 50_000
+    num_slots: int = 8
+    num_types: int = 4
+    user_skew: float = 1.05
+    item_skew: float = 1.10
+    action_mix: ActionMix = field(default_factory=ActionMix)
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class QueryDescriptor:
+    """One read-side request the driver replays against IPS."""
+
+    user_id: int
+    slot: int
+    type_id: int | None
+    window_ms: int
+    k: int
+
+
+class EventStreamGenerator:
+    """Generates event triples and query descriptors."""
+
+    #: Window spans queries draw from (a mix of short and long windows, the
+    #: flexibility §I motivates).
+    QUERY_WINDOWS_MS = (
+        10 * 60 * 1000,          # 10 minutes
+        MILLIS_PER_HOUR,         # 1 hour
+        MILLIS_PER_DAY,          # 1 day
+        7 * MILLIS_PER_DAY,      # 1 week
+        30 * MILLIS_PER_DAY,     # 30 days
+    )
+
+    def __init__(self, config: WorkloadConfig | None = None) -> None:
+        self.config = config if config is not None else WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+        self._users = ZipfGenerator(
+            self.config.num_users, self.config.user_skew, self.config.seed
+        )
+        self._items = ZipfGenerator(
+            self.config.num_items, self.config.item_skew, self.config.seed + 1
+        )
+        self._request_counter = 0
+
+    # -- event side -----------------------------------------------------------
+
+    def impressions(
+        self, count: int, start_ms: int, span_ms: int
+    ) -> Iterator[tuple[ImpressionEvent, list[ActionEvent], FeatureEvent]]:
+        """Yield (impression, actions, feature) triples over a time span.
+
+        Timestamps are spread uniformly over ``[start_ms, start_ms+span_ms)``
+        in increasing order; actions trail the impression by a few seconds.
+        """
+        if count <= 0:
+            return
+        step = max(1, span_ms // count)
+        timestamp = start_ms
+        for _ in range(count):
+            yield self._one_request(timestamp)
+            timestamp += step
+
+    def _one_request(
+        self, timestamp_ms: int
+    ) -> tuple[ImpressionEvent, list[ActionEvent], FeatureEvent]:
+        self._request_counter += 1
+        request_id = f"req-{self._request_counter}"
+        user_id = self._users.sample()
+        item_id = self._items.sample()
+        impression = ImpressionEvent(
+            request_id=request_id,
+            user_id=user_id,
+            item_id=item_id,
+            timestamp_ms=timestamp_ms,
+            source="client" if self._rng.random() < 0.5 else "server",
+        )
+        actions = []
+        for action, probability in self.config.action_mix.probabilities.items():
+            if self._rng.random() < probability:
+                actions.append(
+                    ActionEvent(
+                        request_id=request_id,
+                        user_id=user_id,
+                        item_id=item_id,
+                        timestamp_ms=timestamp_ms + self._rng.randint(500, 5000),
+                        action=action,
+                    )
+                )
+        feature = FeatureEvent(
+            request_id=request_id,
+            item_id=item_id,
+            timestamp_ms=timestamp_ms,
+            signals={
+                "slot": item_id % self.config.num_slots,
+                "type": item_id % self.config.num_types,
+            },
+        )
+        return impression, actions, feature
+
+    # -- query side ----------------------------------------------------------
+
+    def queries(self, count: int) -> Iterator[QueryDescriptor]:
+        """Yield read-request descriptors with skewed users and mixed windows."""
+        for _ in range(count):
+            yield QueryDescriptor(
+                user_id=self._users.sample(),
+                slot=self._rng.randrange(self.config.num_slots),
+                type_id=(
+                    self._rng.randrange(self.config.num_types)
+                    if self._rng.random() < 0.7
+                    else None
+                ),
+                window_ms=self._rng.choice(self.QUERY_WINDOWS_MS),
+                k=self._rng.choice((5, 10, 20, 50)),
+            )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the IPS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import ShrinkConfig, TableConfig, TruncateConfig
+from repro.core.engine import ProfileEngine
+
+#: A fixed "now" far enough from the epoch that every query window and
+#: compaction band fits comfortably before it.
+NOW_MS = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock(start_ms=NOW_MS)
+
+
+@pytest.fixture
+def table_config() -> TableConfig:
+    return TableConfig(
+        name="user_profile",
+        attributes=("like", "comment", "share"),
+    )
+
+
+@pytest.fixture
+def engine(table_config, clock) -> ProfileEngine:
+    return ProfileEngine(table_config, clock)
+
+
+@pytest.fixture
+def shrink_config() -> ShrinkConfig:
+    return ShrinkConfig.from_mapping(
+        {1: 5, 2: 3},
+        default_retain=10,
+        attribute_weights={"like": 1.0, "comment": 2.0, "share": 3.0},
+        freshness_half_life_ms=MILLIS_PER_DAY,
+    )
+
+
+@pytest.fixture
+def truncate_config() -> TruncateConfig:
+    return TruncateConfig(max_slices=100, max_age_ms=365 * MILLIS_PER_DAY)

@@ -1,0 +1,75 @@
+"""Tests for the ASCII chart renderer and the figures tool."""
+
+import pytest
+
+from repro.sim.ascii_chart import Series, render_chart
+
+
+class TestRenderChart:
+    def test_empty_series(self):
+        assert "(no data)" in render_chart("t", [Series("s", [])])
+
+    def test_title_and_legend_present(self):
+        chart = render_chart(
+            "My Chart", [Series("alpha", [(0, 1), (1, 2)], "#")]
+        )
+        assert chart.startswith("My Chart")
+        assert "# alpha" in chart
+
+    def test_axis_labels(self):
+        chart = render_chart(
+            "t", [Series("s", [(0, 5), (10, 15)])],
+            x_label="hours", y_label="ms",
+        )
+        assert "(hours)" in chart
+        assert "y: ms" in chart
+        assert "x: 0 .. 10" in chart
+
+    def test_y_bounds_annotated(self):
+        chart = render_chart("t", [Series("s", [(0, 5), (1, 15)])])
+        assert "15" in chart and "5" in chart
+
+    def test_explicit_y_range(self):
+        chart = render_chart(
+            "t", [Series("s", [(0, 85), (1, 86)])], y_min=0.0, y_max=100.0
+        )
+        assert "100" in chart and "0 |" in chart
+
+    def test_markers_placed_for_each_series(self):
+        chart = render_chart(
+            "t",
+            [
+                Series("low", [(0, 0), (1, 0)], "."),
+                Series("high", [(0, 10), (1, 10)], "#"),
+            ],
+        )
+        lines = chart.splitlines()
+        # '#' rows are above '.' rows.
+        first_hash = next(i for i, line in enumerate(lines) if "#" in line and "|" in line)
+        first_dot = next(i for i, line in enumerate(lines) if "." in line and "|" in line)
+        assert first_hash < first_dot
+
+    def test_flat_series_does_not_crash(self):
+        chart = render_chart("t", [Series("s", [(0, 7), (5, 7)])])
+        assert "7" in chart
+
+    def test_dimensions_respected(self):
+        chart = render_chart(
+            "t", [Series("s", [(0, 0), (1, 1)])], width=20, height=5
+        )
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 5
+        for line in plot_lines:
+            assert len(line.split("|", 1)[1]) <= 20
+
+
+class TestFiguresTool:
+    def test_cli_runs_and_mentions_every_figure(self, capsys):
+        from repro.tools.figures import main
+
+        code = main(["--days", "1", "--nodes", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for figure in ("Fig 16a", "Fig 16b", "Fig 17", "Fig 18", "Fig 19a", "Fig 19b"):
+            assert figure in out
+        assert "isolation" in out

@@ -1,0 +1,153 @@
+"""Tests for feature assembly (training-serving skew avoidance, §I)."""
+
+import pytest
+
+from repro.assembly import AssembledFeatures, FeatureAssembler, FeatureSpec
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.errors import ConfigError
+from repro.ingest import Topic
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def setup():
+    config = TableConfig(
+        name="feed", attributes=("impression", "click", "like", "share")
+    )
+    cluster = IPSCluster(config, num_nodes=2, clock=SimulatedClock(NOW))
+    client = cluster.client("ranker")
+    client.add_profile(7, NOW, 1, 0, 10, {"click": 5, "impression": 9})
+    client.add_profile(7, NOW, 1, 0, 20, {"click": 2, "share": 1})
+    client.add_profile(7, NOW - 2 * MILLIS_PER_HOUR, 1, 0, 30, {"click": 7})
+    cluster.run_background_cycle()
+    return cluster, client
+
+
+SPECS = [
+    FeatureSpec(name="clicks_24h", slot=1, window_ms=MILLIS_PER_DAY,
+                type_id=0, attribute="click", k=4),
+    FeatureSpec(name="hot_now", slot=1, window_ms=6 * MILLIS_PER_HOUR,
+                type_id=0, kind="decay", half_life_ms=MILLIS_PER_HOUR,
+                attribute="click", k=2),
+    FeatureSpec(name="engagement", slot=1, window_ms=MILLIS_PER_DAY,
+                type_id=0, weights={"share": 5.0, "click": 1.0}, k=2),
+]
+
+
+class TestSpecValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            FeatureSpec(name="", slot=1, window_ms=1000)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            FeatureSpec(name="x", slot=1, window_ms=1000, k=0)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ConfigError):
+            FeatureSpec(name="x", slot=1, window_ms=1000, kind="magic")
+
+    def test_rejects_weights_on_decay(self):
+        with pytest.raises(ConfigError):
+            FeatureSpec(name="x", slot=1, window_ms=1000, kind="decay",
+                        weights={"click": 1.0})
+
+    def test_assembler_rejects_duplicate_names(self, setup):
+        _, client = setup
+        spec = FeatureSpec(name="a", slot=1, window_ms=1000)
+        with pytest.raises(ConfigError):
+            FeatureAssembler(client, [spec, spec], ("click",))
+
+    def test_assembler_rejects_unknown_attribute(self, setup):
+        _, client = setup
+        spec = FeatureSpec(name="a", slot=1, window_ms=1000, attribute="bogus")
+        with pytest.raises(ConfigError):
+            FeatureAssembler(client, [spec], ("click",))
+
+    def test_assembler_requires_specs(self, setup):
+        _, client = setup
+        with pytest.raises(ConfigError):
+            FeatureAssembler(client, [], ("click",))
+
+
+class TestAssembly:
+    def test_fixed_width_vector(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        record = assembler.assemble(7, NOW)
+        expected_width = sum(spec.width for spec in SPECS)
+        assert assembler.vector_width == expected_width
+        assert len(record.vector()) == expected_width
+
+    def test_padding_for_sparse_users(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        empty_user = assembler.assemble(999, NOW)
+        assert len(empty_user.vector()) == assembler.vector_width
+        assert all(value == 0 for value in empty_user.vector())
+
+    def test_topk_values_use_named_attribute(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        record = assembler.assemble(7, NOW)
+        clicks = dict(record.features["clicks_24h"])
+        assert clicks[30] == 7  # click counter, not totals.
+        assert clicks[10] == 5
+
+    def test_weighted_spec_ranks_by_weights(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        record = assembler.assemble(7, NOW)
+        engagement = record.features["engagement"]
+        # fid 30: 7 clicks = 7; fid 20: 1 share x5 + 2 clicks = 7 (tie,
+        # broken by recency toward 20); fid 10: 5 clicks = 5 loses.
+        assert {engagement[0][0], engagement[1][0]} == {20, 30}
+        assert engagement[0][0] == 20  # Newer timestamp wins the tie.
+
+    def test_decay_spec_prefers_recent(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        record = assembler.assemble(7, NOW)
+        hot = record.features["hot_now"]
+        assert hot[0][0] in (10, 20)  # The "now" writes beat the 2h-old 7.
+
+    def test_deterministic_across_calls(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        first = assembler.assemble(7, NOW)
+        second = assembler.assemble(7, NOW)
+        assert first.vector() == second.vector()
+
+
+class TestTrainingSkewAvoidance:
+    def test_training_topic_receives_identical_record(self, setup):
+        cluster, client = setup
+        topic = Topic("training")
+        assembler = FeatureAssembler(
+            client, SPECS, cluster.config.attributes, training_topic=topic
+        )
+        served = assembler.assemble(7, NOW)
+        messages = topic.poll("trainer")
+        assert len(messages) == 1
+        trained: AssembledFeatures = messages[0].value
+        # The exact same object/record: serving and training cannot skew.
+        assert trained is served
+        assert trained.vector() == served.vector()
+        assert assembler.stats.training_records_published == 1
+
+    def test_no_topic_no_publication(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        assembler.assemble(7, NOW)
+        assert assembler.stats.training_records_published == 0
+
+    def test_stats_count_specs(self, setup):
+        cluster, client = setup
+        assembler = FeatureAssembler(client, SPECS, cluster.config.attributes)
+        assembler.assemble(7, NOW)
+        assembler.assemble(8, NOW)
+        assert assembler.stats.requests == 2
+        assert assembler.stats.specs_evaluated == 2 * len(SPECS)

@@ -1,0 +1,83 @@
+"""Tests for the sharded dirty list (§III-C, Fig. 9)."""
+
+import pytest
+
+from repro.cache.dirty import DirtyShard, ShardedDirtyList
+
+
+class TestDirtyShard:
+    def test_mark_and_peek_fifo(self):
+        shard = DirtyShard(0)
+        shard.mark(1, 10)
+        shard.mark(2, 11)
+        assert shard.peek_batch(10) == [(1, 10), (2, 11)]
+
+    def test_remark_keeps_fifo_position_updates_sequence(self):
+        shard = DirtyShard(0)
+        shard.mark(1, 10)
+        shard.mark(2, 11)
+        shard.mark(1, 12)  # Re-dirty profile 1.
+        assert shard.peek_batch(10) == [(1, 12), (2, 11)]
+
+    def test_peek_respects_limit(self):
+        shard = DirtyShard(0)
+        for index in range(5):
+            shard.mark(index, index)
+        assert len(shard.peek_batch(3)) == 3
+
+    def test_clear_if_unchanged_removes_when_stable(self):
+        shard = DirtyShard(0)
+        shard.mark(1, 10)
+        assert shard.clear_if_unchanged(1, 10)
+        assert 1 not in shard
+
+    def test_clear_if_unchanged_keeps_redirtied(self):
+        """Flush raced with a write: the entry must stay for another pass."""
+        shard = DirtyShard(0)
+        shard.mark(1, 10)
+        shard.mark(1, 11)  # Write arrived mid-flush.
+        assert not shard.clear_if_unchanged(1, 10)
+        assert 1 in shard
+
+    def test_clear_of_absent_entry_is_true(self):
+        assert DirtyShard(0).clear_if_unchanged(1, 5)
+
+
+class TestShardedDirtyList:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedDirtyList(0)
+
+    def test_mark_assigns_increasing_sequences(self):
+        dirty = ShardedDirtyList(4)
+        first = dirty.mark(1)
+        second = dirty.mark(2)
+        assert second > first
+
+    def test_same_profile_same_shard(self):
+        dirty = ShardedDirtyList(4)
+        assert dirty.shard_for(42) is dirty.shard_for(42)
+
+    def test_total_entries(self):
+        dirty = ShardedDirtyList(4)
+        for profile_id in range(20):
+            dirty.mark(profile_id)
+        assert dirty.total_entries() == 20
+        dirty.mark(0)  # Re-mark is not a new entry.
+        assert dirty.total_entries() == 20
+
+    def test_discard(self):
+        dirty = ShardedDirtyList(2)
+        dirty.mark(5)
+        dirty.discard(5)
+        assert 5 not in dirty
+
+    def test_flush_thread_rule_enforced(self):
+        """Flush threads must be a positive multiple of shard count."""
+        dirty = ShardedDirtyList(4)
+        dirty.validate_flush_threads(4)
+        dirty.validate_flush_threads(8)
+        with pytest.raises(ValueError):
+            dirty.validate_flush_threads(3)
+        with pytest.raises(ValueError):
+            dirty.validate_flush_threads(0)

@@ -1,0 +1,281 @@
+"""Tests for GCache: write-back caching, swap, flush, try_lock skip."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cache import GCache
+from repro.core.aggregate import get_aggregate
+from repro.core.profile import ProfileData
+from repro.errors import StorageError
+from repro.storage import BulkPersistence, FailureInjector, InMemoryKVStore
+
+SUM = get_aggregate("sum")
+
+
+def make_profile(profile_id, writes=1):
+    profile = ProfileData(profile_id, 1000)
+    for index in range(writes):
+        profile.add(1_000_000 + index * 1000, 1, 1, index, [1], SUM)
+    return profile
+
+
+def make_cache(capacity=10_000, injector=None, **kwargs):
+    store = InMemoryKVStore(failure_injector=injector)
+    persistence = BulkPersistence(store, "t")
+    cache = GCache(
+        load_fn=persistence.load,
+        flush_fn=persistence.flush,
+        capacity_bytes=capacity,
+        swap_threshold=kwargs.pop("swap_threshold", 0.5),
+        swap_target=kwargs.pop("swap_target", 0.3),
+        **kwargs,
+    )
+    return cache, persistence, store
+
+
+class TestBasicOperations:
+    def test_put_get_hit(self):
+        cache, _, _ = make_cache()
+        profile = make_profile(1)
+        cache.put(profile)
+        assert cache.get(1) is profile
+        assert cache.metrics.hits == 1
+
+    def test_miss_on_absent_everywhere(self):
+        cache, _, _ = make_cache()
+        assert cache.get(99) is None
+        assert cache.metrics.misses == 1
+
+    def test_miss_loads_from_storage(self):
+        cache, persistence, _ = make_cache()
+        persistence.flush(make_profile(7, writes=3))
+        loaded = cache.get(7)
+        assert loaded is not None and loaded.feature_count() == 3
+        assert cache.metrics.loads == 1
+        # Second access is a hit.
+        cache.get(7)
+        assert cache.metrics.hits == 1
+
+    def test_get_resident_never_loads(self):
+        cache, persistence, _ = make_cache()
+        persistence.flush(make_profile(7))
+        assert cache.get_resident(7) is None
+        assert cache.metrics.loads == 0
+
+    def test_invalid_configuration_rejected(self):
+        store = InMemoryKVStore()
+        persistence = BulkPersistence(store, "t")
+        with pytest.raises(ValueError):
+            GCache(persistence.load, persistence.flush, capacity_bytes=0)
+        with pytest.raises(ValueError):
+            GCache(
+                persistence.load, persistence.flush,
+                swap_threshold=0.5, swap_target=0.9,
+            )
+
+
+class TestFlush:
+    def test_dirty_entries_flush_to_store(self):
+        cache, _, store = make_cache()
+        cache.put(make_profile(1))
+        cache.put(make_profile(2))
+        assert cache.dirty.total_entries() == 2
+        flushed = cache.run_flush_once()
+        assert flushed == 2
+        assert cache.dirty.total_entries() == 0
+        assert len(store) == 2
+
+    def test_clean_put_does_not_dirty(self):
+        cache, _, store = make_cache()
+        cache.put(make_profile(1), dirty=False)
+        assert cache.run_flush_once() == 0
+        assert len(store) == 0
+
+    def test_mark_dirty_requeues(self):
+        cache, _, _ = make_cache()
+        cache.put(make_profile(1))
+        cache.run_flush_once()
+        cache.mark_dirty(1)
+        assert cache.dirty.total_entries() == 1
+
+    def test_flush_failure_keeps_entry_dirty(self):
+        injector = FailureInjector()
+        cache, _, _ = make_cache(injector=injector)
+        cache.put(make_profile(1))
+        injector.fail_next(1)
+        assert cache.run_flush_once() == 0
+        assert cache.metrics.flush_failures == 1
+        assert cache.dirty.total_entries() == 1
+        # Next pass succeeds.
+        assert cache.run_flush_once() == 1
+
+    def test_flush_all_drains(self):
+        cache, _, _ = make_cache()
+        for profile_id in range(10):
+            cache.put(make_profile(profile_id))
+        assert cache.flush_all() == 10
+        assert cache.dirty.total_entries() == 0
+
+
+class TestSwap:
+    def test_swap_reduces_memory_to_target(self):
+        cache, _, _ = make_cache(capacity=10_000)
+        for profile_id in range(50):
+            cache.put(make_profile(profile_id))
+        assert cache.needs_swap()
+        evicted = cache.run_swap_once()
+        assert evicted > 0
+        assert cache.memory_ratio() <= 0.3 + 1e-9
+
+    def test_swap_noop_below_threshold(self):
+        cache, _, _ = make_cache(capacity=10_000_000)
+        cache.put(make_profile(1))
+        assert cache.run_swap_once() == 0
+
+    def test_dirty_eviction_flushes_first(self):
+        cache, persistence, store = make_cache(capacity=10_000)
+        for profile_id in range(50):
+            cache.put(make_profile(profile_id))
+        cache.run_swap_once()
+        # Every evicted profile must be durable.
+        evicted_ids = [
+            profile_id for profile_id in range(50)
+            if cache.get_resident(profile_id) is None
+        ]
+        assert evicted_ids
+        for profile_id in evicted_ids:
+            assert persistence.load(profile_id) is not None
+
+    def test_evicted_profile_reloads_on_get(self):
+        cache, _, _ = make_cache(capacity=10_000)
+        for profile_id in range(50):
+            cache.put(make_profile(profile_id))
+        cache.run_swap_once()
+        victim = next(
+            profile_id for profile_id in range(50)
+            if cache.get_resident(profile_id) is None
+        )
+        reloaded = cache.get(victim)
+        assert reloaded is not None
+        assert reloaded.profile_id == victim
+
+    def test_eviction_callback_invoked(self):
+        evicted = []
+        store = InMemoryKVStore()
+        persistence = BulkPersistence(store, "t")
+        cache = GCache(
+            persistence.load,
+            persistence.flush,
+            capacity_bytes=10_000,
+            swap_threshold=0.5,
+            swap_target=0.3,
+            evict_callback=lambda profile: evicted.append(profile.profile_id),
+        )
+        for profile_id in range(50):
+            cache.put(make_profile(profile_id))
+        count = cache.run_swap_once()
+        assert len(evicted) == count > 0
+
+    def test_locked_entries_skipped_not_blocked(self):
+        """The Fig. 8 try_lock discipline."""
+        cache, _, _ = make_cache(capacity=10_000)
+        for profile_id in range(50):
+            cache.put(make_profile(profile_id))
+        # Hold every entry's lock: the swap pass must skip them all and
+        # return without blocking.
+        locks = []
+        for profile_id in range(50):
+            lock = cache.entry_lock(profile_id)
+            lock.acquire()
+            locks.append(lock)
+        try:
+            start = time.monotonic()
+            evicted = cache.run_swap_once()
+            elapsed = time.monotonic() - start
+        finally:
+            for lock in locks:
+                lock.release()
+        assert evicted == 0
+        assert cache.metrics.swap_skips > 0
+        assert elapsed < 1.0  # No blocking on held locks.
+
+    def test_flush_failure_blocks_eviction(self):
+        injector = FailureInjector()
+        cache, _, _ = make_cache(capacity=10_000, injector=injector)
+        for profile_id in range(50):
+            cache.put(make_profile(profile_id))
+        injector.fail_next(1000)
+        evicted = cache.run_swap_once()
+        # Nothing evictable: dirty entries cannot flush, so data stays put.
+        assert evicted == 0
+        assert cache.resident_count() == 50
+
+
+class TestBackgroundWorkers:
+    def test_workers_flush_and_swap(self):
+        cache, _, store = make_cache(capacity=50_000)
+        cache.start_workers(num_swap_threads=1, interval_s=0.01)
+        try:
+            for profile_id in range(100):
+                cache.put(make_profile(profile_id))
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if cache.dirty.total_entries() == 0 and not cache.needs_swap():
+                    break
+                time.sleep(0.02)
+        finally:
+            cache.stop_workers()
+        assert cache.dirty.total_entries() == 0
+        assert len(store) > 0
+        assert not cache.needs_swap()
+
+    def test_flush_thread_count_must_be_multiple(self):
+        cache, _, _ = make_cache(dirty_shards=4)
+        with pytest.raises(ValueError):
+            cache.start_workers(num_flush_threads=3)
+
+    def test_double_start_rejected(self):
+        cache, _, _ = make_cache()
+        cache.start_workers(interval_s=0.01)
+        try:
+            with pytest.raises(RuntimeError):
+                cache.start_workers()
+        finally:
+            cache.stop_workers()
+
+    def test_concurrent_writers_and_flushers(self):
+        """Stress: serving threads mutate while flushers persist."""
+        cache, _, store = make_cache(capacity=1_000_000)
+        cache.start_workers(interval_s=0.005)
+        errors = []
+
+        def writer(base):
+            try:
+                for index in range(200):
+                    profile_id = base + (index % 20)
+                    profile = cache.get(profile_id)
+                    if profile is None:
+                        profile = make_profile(profile_id)
+                        cache.put(profile)
+                    else:
+                        lock = cache.entry_lock(profile_id)
+                        with lock:
+                            profile.add(
+                                2_000_000 + index, 1, 1, index, [1], SUM
+                            )
+                        cache.mark_dirty(profile_id)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(base * 100,)) for base in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        cache.stop_workers()
+        assert not errors
+        assert cache.dirty.total_entries() == 0

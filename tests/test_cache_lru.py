@@ -1,0 +1,123 @@
+"""Tests for the sharded LRU list (§III-C, Figs. 7-8)."""
+
+import threading
+
+import pytest
+
+from repro.cache.lru import LRUShard, ShardedLRU
+
+
+class TestLRUShard:
+    def test_touch_inserts_and_accounts_bytes(self):
+        shard = LRUShard(0)
+        shard.touch(1, 100)
+        shard.touch(2, 50)
+        assert len(shard) == 2
+        assert shard.size_bytes == 150
+
+    def test_touch_refreshes_recency(self):
+        shard = LRUShard(0)
+        shard.touch(1, 10)
+        shard.touch(2, 10)
+        shard.touch(1, 10)  # 1 becomes most recent.
+        popped = shard.pop_lru()
+        assert popped == (2, 10)
+
+    def test_touch_replaces_cost(self):
+        shard = LRUShard(0)
+        shard.touch(1, 100)
+        shard.touch(1, 40)
+        assert shard.size_bytes == 40
+
+    def test_update_cost_keeps_recency(self):
+        shard = LRUShard(0)
+        shard.touch(1, 10)
+        shard.touch(2, 10)
+        assert shard.update_cost(1, 99)
+        assert shard.size_bytes == 109
+        # 1 is still the LRU entry despite the cost update.
+        assert shard.pop_lru() == (1, 99)
+
+    def test_update_cost_missing_returns_false(self):
+        assert not LRUShard(0).update_cost(1, 10)
+
+    def test_remove(self):
+        shard = LRUShard(0)
+        shard.touch(1, 10)
+        assert shard.remove(1)
+        assert not shard.remove(1)
+        assert shard.size_bytes == 0
+
+    def test_pop_lru_empty_returns_none(self):
+        assert LRUShard(0).pop_lru() is None
+
+    def test_pop_lru_skip_discipline(self):
+        """The try_lock skip: a skipped entry stays; the next one pops."""
+        shard = LRUShard(0)
+        shard.touch(1, 10)
+        shard.touch(2, 10)
+        popped = shard.pop_lru(skip=lambda pid: pid == 1)
+        assert popped == (2, 10)
+        assert 1 in shard
+
+    def test_pop_lru_all_skipped_returns_none(self):
+        shard = LRUShard(0)
+        shard.touch(1, 10)
+        assert shard.pop_lru(skip=lambda pid: True) is None
+        assert len(shard) == 1
+
+
+class TestShardedLRU:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedLRU(0)
+
+    def test_same_id_same_shard(self):
+        lru = ShardedLRU(8)
+        assert lru.shard_for(42) is lru.shard_for(42)
+
+    def test_total_accounting_spans_shards(self):
+        lru = ShardedLRU(4)
+        for profile_id in range(100):
+            lru.touch(profile_id, 10)
+        assert lru.total_entries() == 100
+        assert lru.total_bytes() == 1000
+
+    def test_entries_spread_over_shards(self):
+        lru = ShardedLRU(8)
+        for profile_id in range(1000):
+            lru.touch(profile_id, 1)
+        occupied = sum(1 for shard in lru.iter_shards() if len(shard) > 0)
+        assert occupied == 8
+
+    def test_shards_by_size_largest_first(self):
+        lru = ShardedLRU(4)
+        for profile_id in range(200):
+            lru.touch(profile_id, profile_id % 7 + 1)
+        ordered = lru.shards_by_size()
+        sizes = [shard.size_bytes for shard in ordered]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_remove_and_contains(self):
+        lru = ShardedLRU(4)
+        lru.touch(7, 10)
+        assert 7 in lru
+        assert lru.remove(7)
+        assert 7 not in lru
+
+    def test_concurrent_touches_are_safe(self):
+        lru = ShardedLRU(4)
+
+        def touch_range(base):
+            for index in range(500):
+                lru.touch(base + index, 1)
+
+        threads = [
+            threading.Thread(target=touch_range, args=(base * 1000,))
+            for base in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert lru.total_entries() == 2000

@@ -1,0 +1,101 @@
+"""Tests for the hashed-literal feature catalog (§II-A privacy posture)."""
+
+import pytest
+
+from repro.catalog import FeatureCatalog
+from repro.errors import ConfigError
+
+
+class TestHashing:
+    def test_deterministic_across_instances(self):
+        a, b = FeatureCatalog(salt="s"), FeatureCatalog(salt="s")
+        assert a.fid("Los Angeles Lakers") == b.fid("Los Angeles Lakers")
+        assert a.slot("Sports") == b.slot("Sports")
+        assert a.type("Basketball") == b.type("Basketball")
+
+    def test_salt_changes_everything(self):
+        a, b = FeatureCatalog(salt="s1"), FeatureCatalog(salt="s2")
+        assert a.fid("Lakers") != b.fid("Lakers")
+
+    def test_distinct_literals_distinct_ids(self):
+        catalog = FeatureCatalog()
+        assert catalog.fid("Lakers") != catalog.fid("Warriors")
+
+    def test_slot_and_type_namespaces_are_separate(self):
+        """"Sports" as a slot and "Sports" as a type must not collide."""
+        catalog = FeatureCatalog()
+        assert catalog.slot("Sports") != catalog.type("Sports")
+
+    def test_fid_is_64_bit_buckets_32_bit(self):
+        catalog = FeatureCatalog()
+        assert 0 <= catalog.fid("x") < 2**64
+        assert 0 <= catalog.slot("x") < 2**32
+        assert 0 <= catalog.type("x") < 2**32
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(ConfigError):
+            FeatureCatalog().fid("")
+
+
+class TestPrivacyPosture:
+    def test_strict_mode_refuses_reverse_lookup(self):
+        catalog = FeatureCatalog(debug=False)
+        fid = catalog.fid("Lakers")
+        with pytest.raises(ConfigError):
+            catalog.feature_name(fid)
+        with pytest.raises(ConfigError):
+            catalog.bucket_name(catalog.slot("Sports"))
+
+    def test_strict_mode_retains_nothing(self):
+        catalog = FeatureCatalog(debug=False)
+        catalog.fid("Lakers")
+        assert catalog._reverse_fids == {}
+
+    def test_debug_mode_decodes_seen_literals(self):
+        catalog = FeatureCatalog(debug=True)
+        fid = catalog.fid("Lakers")
+        assert catalog.feature_name(fid) == "Lakers"
+        slot = catalog.slot("Sports")
+        assert catalog.bucket_name(slot) == "Sports"
+
+    def test_debug_mode_unknown_fid_is_none(self):
+        catalog = FeatureCatalog(debug=True)
+        assert catalog.feature_name(12345) is None
+
+
+class TestEndToEnd:
+    def test_alice_example_with_literals(self):
+        """The paper's §II-A motivating example, in actual literals."""
+        from repro.clock import MILLIS_PER_DAY, SimulatedClock
+        from repro.cluster import IPSCluster
+        from repro.config import TableConfig
+        from repro.core.query import SortType
+        from repro.core.timerange import TimeRange
+
+        now = 400 * MILLIS_PER_DAY
+        catalog = FeatureCatalog(salt="prod", debug=True)
+        config = TableConfig(
+            name="user_profile", attributes=("like", "comment", "share")
+        )
+        cluster = IPSCluster(config, num_nodes=2, clock=SimulatedClock(now))
+        client = cluster.client("app")
+        alice = 1001
+        sports = catalog.slot("Sports")
+        basketball = catalog.type("Basketball")
+        client.add_profile(
+            alice, now - 10 * MILLIS_PER_DAY, sports, basketball,
+            catalog.fid("Los Angeles Lakers"),
+            {"like": 1, "comment": 1, "share": 1},
+        )
+        client.add_profile(
+            alice, now - 2 * MILLIS_PER_DAY, sports, basketball,
+            catalog.fid("Golden State Warriors"), {"like": 2},
+        )
+        cluster.run_background_cycle()
+        top = client.get_profile_topk(
+            alice, sports, basketball,
+            TimeRange.current(10 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=1, sort_attribute="like",
+        )
+        decoded = catalog.decode_results(top)
+        assert decoded[0][0] == "Golden State Warriors"

@@ -1,0 +1,92 @@
+"""Tests for clock abstractions."""
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import (
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    MILLIS_PER_SECOND,
+    Clock,
+    SimulatedClock,
+    SystemClock,
+)
+
+
+class TestConstants:
+    def test_unit_relationships(self):
+        assert MILLIS_PER_SECOND == 1000
+        assert MILLIS_PER_MINUTE == 60 * MILLIS_PER_SECOND
+        assert MILLIS_PER_HOUR == 60 * MILLIS_PER_MINUTE
+        assert MILLIS_PER_DAY == 24 * MILLIS_PER_HOUR
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = SystemClock()
+        before = time.time() * 1000
+        now = clock.now_ms()
+        after = time.time() * 1000
+        assert before - 5 <= now <= after + 5
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SystemClock(), Clock)
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(1234).now_ms() == 1234
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1)
+
+    def test_advance_moves_forward(self):
+        clock = SimulatedClock(100)
+        assert clock.advance(50) == 150
+        assert clock.now_ms() == 150
+
+    def test_advance_zero_is_noop(self):
+        clock = SimulatedClock(100)
+        clock.advance(0)
+        assert clock.now_ms() == 100
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock(100)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_set_time_forward(self):
+        clock = SimulatedClock(100)
+        clock.set_time(500)
+        assert clock.now_ms() == 500
+
+    def test_set_time_rejects_backwards(self):
+        clock = SimulatedClock(100)
+        with pytest.raises(ValueError):
+            clock.set_time(99)
+
+    def test_set_time_same_instant_allowed(self):
+        clock = SimulatedClock(100)
+        clock.set_time(100)
+        assert clock.now_ms() == 100
+
+    def test_thread_safety_of_advance(self):
+        clock = SimulatedClock(0)
+
+        def advance_many():
+            for _ in range(1000):
+                clock.advance(1)
+
+        threads = [threading.Thread(target=advance_many) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now_ms() == 8000
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimulatedClock(), Clock)

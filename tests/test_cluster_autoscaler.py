@@ -1,0 +1,141 @@
+"""Tests for the auto-scaler (§IV: pods auto-scale with workload)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.cluster.autoscaler import AutoScaler, ScalingPolicy
+from repro.config import TableConfig
+from repro.core.timerange import TimeRange
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def cluster():
+    config = TableConfig(name="t", attributes=("click",))
+    return IPSCluster(config, num_nodes=2, clock=SimulatedClock(NOW))
+
+
+def make_scaler(cluster, **overrides):
+    settings = dict(
+        node_capacity_qps=1000,
+        scale_up_threshold=0.75,
+        scale_down_threshold=0.30,
+        min_nodes=1,
+        max_nodes=8,
+        cooldown_ticks=0,
+    )
+    settings.update(overrides)
+    return AutoScaler(cluster.region, ScalingPolicy(**settings))
+
+
+class TestPolicyValidation:
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            ScalingPolicy(scale_up_threshold=0.2, scale_down_threshold=0.5)
+
+    def test_rejects_bad_node_bounds(self):
+        with pytest.raises(ValueError):
+            ScalingPolicy(min_nodes=5, max_nodes=2)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            ScalingPolicy(step=0)
+
+
+class TestScalingDecisions:
+    def test_high_load_scales_up(self, cluster):
+        scaler = make_scaler(cluster)
+        # 2 nodes x 1000 qps capacity; 1800 qps -> 90 % utilisation.
+        events = scaler.tick(observed_qps=1800)
+        assert len(events) == 1
+        assert events[0].action == "scale_up"
+        assert len(cluster.region.nodes) == 3
+        assert events[0].node_id in cluster.region.nodes
+        assert events[0].node_id in cluster.region.ring
+
+    def test_low_load_scales_down(self, cluster):
+        scaler = make_scaler(cluster)
+        events = scaler.tick(observed_qps=100)  # 5 % utilisation.
+        assert len(events) == 1
+        assert events[0].action == "scale_down"
+        assert len(cluster.region.nodes) == 1
+
+    def test_steady_load_no_action(self, cluster):
+        scaler = make_scaler(cluster)
+        assert scaler.tick(observed_qps=1000) == []  # 50 %: inside band.
+        assert len(cluster.region.nodes) == 2
+
+    def test_max_nodes_bound(self, cluster):
+        scaler = make_scaler(cluster, max_nodes=3)
+        scaler.tick(observed_qps=10_000)
+        scaler.tick(observed_qps=10_000)
+        scaler.tick(observed_qps=10_000)
+        assert len(cluster.region.nodes) == 3
+
+    def test_min_nodes_bound(self, cluster):
+        scaler = make_scaler(cluster, min_nodes=2)
+        assert scaler.tick(observed_qps=0.0) == []
+        assert len(cluster.region.nodes) == 2
+
+    def test_cooldown_suppresses_flapping(self, cluster):
+        policy = ScalingPolicy(
+            node_capacity_qps=1000, min_nodes=1, max_nodes=8, cooldown_ticks=2
+        )
+        scaler = AutoScaler(cluster.region, policy)
+        assert scaler.tick(observed_qps=1800)  # Scales up, enters cooldown.
+        assert scaler.tick(observed_qps=5000) == []  # Suppressed.
+        assert scaler.tick(observed_qps=5000) == []  # Still cooling.
+        assert scaler.tick(observed_qps=5000)  # Acts again.
+
+
+class TestDataSafety:
+    def test_scale_down_drains_before_removal(self, cluster):
+        """Profiles owned by a removed node survive via the KV store."""
+        client = cluster.client("app")
+        for profile_id in range(100):
+            client.add_profile(profile_id, NOW, 1, 0, profile_id % 5, {"click": 1})
+        cluster.run_background_cycle()
+        scaler = make_scaler(cluster)
+        removed = scaler.tick(observed_qps=10)[0].node_id
+        assert removed not in cluster.region.nodes
+        # Every profile is still fully readable (reloaded by new owners).
+        for profile_id in range(100):
+            results = client.get_profile_topk(profile_id, 1, 0, WINDOW, k=5)
+            assert results, f"profile {profile_id} lost after scale-down"
+
+    def test_scale_up_serves_new_share_from_storage(self, cluster):
+        client = cluster.client("app")
+        for profile_id in range(100):
+            client.add_profile(profile_id, NOW, 1, 0, 1, {"click": 1})
+        cluster.run_background_cycle()
+        for node in cluster.region.nodes.values():
+            node.cache.flush_all()
+        scaler = make_scaler(cluster)
+        added = scaler.tick(observed_qps=5000)[0].node_id
+        # Keys remapped to the new node load from the KV store on demand.
+        for profile_id in range(100):
+            assert client.get_profile_topk(profile_id, 1, 0, WINDOW, k=1)
+        assert cluster.region.nodes[added].stats.reads >= 0
+
+    def test_remapping_is_bounded(self, cluster):
+        """Consistent hashing: adding one node moves roughly 1/n of keys."""
+        keys = list(range(3000))
+        before = {key: cluster.region.ring.node_for(key) for key in keys}
+        scaler = make_scaler(cluster)
+        scaler.tick(observed_qps=5000)  # 2 -> 3 nodes.
+        moved = sum(
+            1 for key in keys if cluster.region.ring.node_for(key) != before[key]
+        )
+        assert moved < len(keys) * 0.55  # ~1/3 expected; generous bound.
+        assert moved > 0
+
+    def test_stats_accumulate(self, cluster):
+        scaler = make_scaler(cluster)
+        scaler.tick(observed_qps=1800)
+        scaler.tick(observed_qps=10)
+        assert scaler.stats.scale_ups == 1
+        assert scaler.stats.scale_downs == 1
+        assert len(scaler.stats.events) == 2

@@ -1,0 +1,125 @@
+"""Tests for the unified IPS client over a single-region cluster."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import NoHealthyNodeError
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def cluster():
+    clock = SimulatedClock(NOW)
+    config = TableConfig(name="t", attributes=("click", "like"))
+    return IPSCluster(config, num_nodes=4, clock=clock)
+
+
+class TestRoutingAndBasics:
+    def test_write_then_read_roundtrip(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 1, 42, {"click": 3})
+        cluster.run_background_cycle()
+        results = client.get_profile_topk(7, 1, 1, WINDOW)
+        assert results[0].fid == 42
+
+    def test_profiles_shard_across_nodes(self, cluster):
+        client = cluster.client("app")
+        for profile_id in range(200):
+            client.add_profile(profile_id, NOW, 1, 1, 1, {"click": 1})
+        cluster.run_background_cycle()
+        populated = sum(
+            1 for node in cluster.region.nodes.values()
+            if node.cache.resident_count() > 0
+        )
+        assert populated == 4
+
+    def test_routing_is_sticky(self, cluster):
+        """The same profile always lands on the same node."""
+        client = cluster.client("app")
+        for _ in range(5):
+            client.add_profile(7, NOW, 1, 1, 42, {"click": 1})
+        cluster.run_background_cycle()
+        holders = [
+            node.node_id for node in cluster.region.nodes.values()
+            if node.cache.get_resident(7) is not None
+        ]
+        assert len(holders) == 1
+
+    def test_filter_and_decay_roundtrip(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 1, 1, {"click": 1})
+        client.add_profile(7, NOW, 1, 1, 2, {"click": 5})
+        cluster.run_background_cycle()
+        filtered = client.get_profile_filter(
+            7, 1, 1, WINDOW, lambda stat: stat.count_at(0) > 2
+        )
+        assert [r.fid for r in filtered] == [2]
+        decayed = client.get_profile_decay(
+            7, 1, 1, WINDOW, "exponential", MILLIS_PER_DAY
+        )
+        assert len(decayed) == 2
+
+    def test_batched_write(self, cluster):
+        client = cluster.client("app")
+        client.add_profiles(7, NOW, 1, 1, [1, 2, 3], [{"click": 1}] * 3)
+        cluster.run_background_cycle()
+        assert len(client.get_profile_topk(7, 1, 1, WINDOW)) == 3
+
+    def test_read_of_unknown_profile_is_empty(self, cluster):
+        client = cluster.client("app")
+        assert client.get_profile_topk(999, 1, 1, WINDOW) == []
+
+
+class TestNodeFailureHandling:
+    def test_reads_reroute_around_failed_node(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 1, 42, {"click": 1})
+        cluster.run_background_cycle()
+        owner = cluster.region.node_for(7).node_id
+        cluster.region.fail_node(owner)
+        # The replacement node loads the profile from the shared KV store.
+        results = client.get_profile_topk(7, 1, 1, WINDOW)
+        assert results and results[0].fid == 42
+
+    def test_recovery_restores_routing(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 1, 42, {"click": 1})
+        cluster.run_background_cycle()
+        owner = cluster.region.node_for(7).node_id
+        cluster.region.fail_node(owner)
+        client.get_profile_topk(7, 1, 1, WINDOW)
+        cluster.region.recover_node(owner)
+        assert cluster.region.node_for(7).node_id == owner
+
+    def test_all_nodes_failed_read_errors(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 1, 42, {"click": 1})
+        for node_id in list(cluster.region.nodes):
+            cluster.region.fail_node(node_id)
+        with pytest.raises(NoHealthyNodeError):
+            client.get_profile_topk(7, 1, 1, WINDOW)
+        assert client.stats.read_errors == 1
+
+    def test_healthy_node_count(self, cluster):
+        assert cluster.region.healthy_node_count == 4
+        cluster.region.fail_node("local-node-0")
+        assert cluster.region.healthy_node_count == 3
+
+
+class TestStats:
+    def test_error_rate_computation(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(1, NOW, 1, 1, 1, {"click": 1})
+        client.get_profile_topk(1, 1, 1, WINDOW)
+        assert client.stats.error_rate == 0.0
+        assert client.stats.reads == 1
+        assert client.stats.writes == 1
+
+    def test_empty_stats_error_rate_zero(self, cluster):
+        assert cluster.client("x").stats.error_rate == 0.0

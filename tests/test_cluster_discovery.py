@@ -1,0 +1,78 @@
+"""Tests for the Consul-substitute discovery service."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.cluster.discovery import DiscoveryService
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(0)
+
+
+class TestRegistration:
+    def test_register_and_list(self, clock):
+        discovery = DiscoveryService(clock, ttl_ms=10_000)
+        discovery.register("n1", "us", "10.0.0.1:80")
+        discovery.register("n2", "eu", "10.0.1.1:80")
+        assert [r.node_id for r in discovery.healthy_instances()] == ["n1", "n2"]
+        assert [r.node_id for r in discovery.healthy_instances("eu")] == ["n2"]
+
+    def test_deregister(self, clock):
+        discovery = DiscoveryService(clock)
+        discovery.register("n1", "us")
+        discovery.deregister("n1")
+        assert discovery.healthy_instances() == []
+        assert len(discovery) == 0
+
+    def test_epoch_bumps_on_membership_change(self, clock):
+        """Clients compare epochs to decide when to refresh (§III)."""
+        discovery = DiscoveryService(clock)
+        epoch_0 = discovery.epoch
+        discovery.register("n1", "us")
+        assert discovery.epoch > epoch_0
+        epoch_1 = discovery.epoch
+        discovery.deregister("n1")
+        assert discovery.epoch > epoch_1
+
+    def test_deregister_unknown_does_not_bump_epoch(self, clock):
+        discovery = DiscoveryService(clock)
+        epoch = discovery.epoch
+        discovery.deregister("ghost")
+        assert discovery.epoch == epoch
+
+    def test_rejects_bad_ttl(self, clock):
+        with pytest.raises(ValueError):
+            DiscoveryService(clock, ttl_ms=0)
+
+
+class TestTTL:
+    def test_stale_node_drops_out_of_healthy_set(self, clock):
+        discovery = DiscoveryService(clock, ttl_ms=5000)
+        discovery.register("n1", "us")
+        clock.advance(5001)
+        assert discovery.healthy_instances() == []
+
+    def test_heartbeat_keeps_node_alive(self, clock):
+        discovery = DiscoveryService(clock, ttl_ms=5000)
+        discovery.register("n1", "us")
+        clock.advance(4000)
+        assert discovery.heartbeat("n1")
+        clock.advance(4000)
+        assert [r.node_id for r in discovery.healthy_instances()] == ["n1"]
+
+    def test_heartbeat_unknown_node_false(self, clock):
+        assert not DiscoveryService(clock).heartbeat("ghost")
+
+    def test_expire_stale_removes_records(self, clock):
+        """A crashed node that never deregistered ages out entirely."""
+        discovery = DiscoveryService(clock, ttl_ms=5000)
+        discovery.register("n1", "us")
+        discovery.register("n2", "us")
+        clock.advance(3000)
+        discovery.heartbeat("n2")
+        clock.advance(3000)
+        expired = discovery.expire_stale()
+        assert expired == ["n1"]
+        assert len(discovery) == 1

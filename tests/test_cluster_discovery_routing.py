@@ -1,0 +1,92 @@
+"""Tests for discovery-aware client routing (the Consul flow, §III)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.core.timerange import TimeRange
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def cluster():
+    config = TableConfig(name="t", attributes=("click",))
+    return IPSCluster(config, num_nodes=3, clock=SimulatedClock(NOW))
+
+
+class TestRegistrationLifecycle:
+    def test_nodes_register_on_region_creation(self, cluster):
+        records = cluster.discovery.healthy_instances("local")
+        assert len(records) == 3
+        assert {record.node_id for record in records} == set(cluster.region.nodes)
+
+    def test_background_cycle_heartbeats(self, cluster):
+        cluster.clock.advance(cluster.discovery.ttl_ms - 1000)
+        cluster.run_background_cycle()  # Heartbeats refresh TTLs.
+        cluster.clock.advance(cluster.discovery.ttl_ms - 1000)
+        assert len(cluster.discovery.healthy_instances()) == 3
+
+    def test_crashed_node_ages_out(self, cluster):
+        victim = "local-node-0"
+        cluster.region.fail_node(victim)
+        cluster.clock.advance(cluster.discovery.ttl_ms + 1)
+        cluster.run_background_cycle()  # Heartbeats healthy nodes only.
+        healthy = {r.node_id for r in cluster.discovery.healthy_instances()}
+        assert victim not in healthy
+        assert len(healthy) == 2
+
+    def test_recovered_node_reregisters(self, cluster):
+        victim = "local-node-0"
+        cluster.region.fail_node(victim)
+        cluster.clock.advance(cluster.discovery.ttl_ms + 1)
+        cluster.run_background_cycle()
+        cluster.region.recover_node(victim)
+        healthy = {r.node_id for r in cluster.discovery.healthy_instances()}
+        assert victim in healthy
+
+
+class TestDiscoveryAwareClient:
+    def test_client_routes_around_unregistered_node(self, cluster):
+        client = cluster.client("app", use_discovery=True)
+        client.add_profile(7, NOW, 1, 0, 42, {"click": 1})
+        cluster.run_background_cycle()
+        owner = cluster.region.node_for(7).node_id
+        # The owner crashes: it stops heartbeating but the region's failed
+        # set is NOT updated (the crash is only visible via discovery).
+        cluster.discovery.deregister(owner)
+        results = client.get_profile_topk(7, 1, 0, WINDOW, k=1)
+        assert results and results[0].fid == 42
+        # The request was served by a different node than the ring owner.
+        serving_nodes = [
+            node_id for node_id, node in cluster.region.nodes.items()
+            if node.stats.reads > 0
+        ]
+        assert serving_nodes and owner not in serving_nodes
+
+    def test_refresh_only_on_epoch_change(self, cluster):
+        client = cluster.client("app", use_discovery=True)
+        client.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+        cluster.run_background_cycle()
+        for _ in range(5):
+            client.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        first = client.discovery_refreshes
+        assert first >= 1
+        for _ in range(5):
+            client.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        assert client.discovery_refreshes == first  # Epoch unchanged.
+        cluster.discovery.register("local-node-99", "local")
+        client.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        assert client.discovery_refreshes == first + 1
+
+    def test_discovery_disabled_by_default(self, cluster):
+        client = cluster.client("app")
+        client.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+        cluster.run_background_cycle()
+        owner = cluster.region.node_for(1).node_id
+        cluster.discovery.deregister(owner)
+        # Without use_discovery the client still routes to the ring owner.
+        client.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        assert cluster.region.nodes[owner].stats.reads == 1

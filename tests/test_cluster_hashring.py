@@ -1,0 +1,113 @@
+"""Tests for consistent hashing (load balance and minimal remapping)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.errors import NoHealthyNodeError
+
+
+def ring_with_nodes(count, virtual_nodes=128):
+    ring = ConsistentHashRing(virtual_nodes)
+    for index in range(count):
+        ring.add_node(f"node-{index}")
+    return ring
+
+
+class TestBasics:
+    def test_empty_ring_raises(self):
+        with pytest.raises(NoHealthyNodeError):
+            ConsistentHashRing().node_for(1)
+
+    def test_single_node_owns_everything(self):
+        ring = ring_with_nodes(1)
+        assert all(ring.node_for(key) == "node-0" for key in range(100))
+
+    def test_deterministic_routing(self):
+        ring = ring_with_nodes(5)
+        assert ring.node_for(12345) == ring.node_for(12345)
+
+    def test_routing_stable_across_instances(self):
+        """blake2b-based points: two identical rings agree exactly."""
+        a, b = ring_with_nodes(5), ring_with_nodes(5)
+        assert all(a.node_for(key) == b.node_for(key) for key in range(500))
+
+    def test_add_remove_membership(self):
+        ring = ring_with_nodes(3)
+        assert len(ring) == 3
+        ring.remove_node("node-1")
+        assert len(ring) == 2
+        assert "node-1" not in ring
+        assert all(ring.node_for(key) != "node-1" for key in range(200))
+
+    def test_duplicate_add_is_idempotent(self):
+        ring = ring_with_nodes(2)
+        ring.add_node("node-0")
+        assert len(ring) == 2
+
+    def test_remove_unknown_is_noop(self):
+        ring = ring_with_nodes(2)
+        ring.remove_node("ghost")
+        assert len(ring) == 2
+
+    def test_rejects_bad_virtual_node_count(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(0)
+
+
+class TestBalanceAndStability:
+    def test_load_is_roughly_balanced(self):
+        ring = ring_with_nodes(8)
+        distribution = ring.load_distribution(list(range(20_000)))
+        expected = 20_000 / 8
+        for count in distribution.values():
+            assert 0.5 * expected < count < 1.7 * expected
+
+    def test_node_removal_only_remaps_its_keys(self):
+        """The consistent-hashing property: removing one node moves only
+        the keys it owned."""
+        ring = ring_with_nodes(8)
+        keys = list(range(5000))
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("node-3")
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] != "node-3":
+                assert after == before[key]
+            else:
+                assert after != "node-3"
+
+    def test_node_addition_steals_a_fair_share(self):
+        ring = ring_with_nodes(7)
+        keys = list(range(5000))
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("node-7")
+        moved = sum(1 for key in keys if ring.node_for(key) != before[key])
+        # Roughly 1/8 of keys should move; allow generous slack.
+        assert 0.04 * len(keys) < moved < 0.30 * len(keys)
+
+
+class TestExclusion:
+    def test_exclude_routes_to_next_owner(self):
+        ring = ring_with_nodes(4)
+        primary = ring.node_for(42)
+        fallback = ring.node_for(42, exclude={primary})
+        assert fallback != primary
+
+    def test_all_excluded_raises(self):
+        ring = ring_with_nodes(3)
+        with pytest.raises(NoHealthyNodeError):
+            ring.node_for(42, exclude={"node-0", "node-1", "node-2"})
+
+    def test_fallback_is_deterministic(self):
+        ring = ring_with_nodes(5)
+        primary = ring.node_for(42)
+        assert ring.node_for(42, exclude={primary}) == ring.node_for(
+            42, exclude={primary}
+        )
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=100, deadline=None)
+    def test_any_key_routes_somewhere(self, key):
+        ring = ring_with_nodes(4)
+        assert ring.node_for(key) in ring.nodes

@@ -1,0 +1,100 @@
+"""Targeted coverage of codec wire-format edge forms.
+
+The compression framing has three literal-length encodings (inline,
+1-byte extension, 2-byte extension) and copy splitting at 64 bytes; the
+profile codec has the int64 zigzag corners.  These tests hit each form
+explicitly so a framing regression cannot hide behind the random
+round-trip property tests.
+"""
+
+import pytest
+
+from repro.core.feature import INT64_MAX, INT64_MIN
+from repro.storage.compression import compress, decompress
+
+
+def incompressible(length: int, seed: int = 1234) -> bytes:
+    """Pseudo-random bytes with no 4-byte repeats (forces literal runs)."""
+    out = bytearray()
+    state = seed
+    while len(out) < length:
+        state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+        out.extend(state.to_bytes(8, "little"))
+    return bytes(out[:length])
+
+
+class TestLiteralLengthForms:
+    @pytest.mark.parametrize("length", [1, 59, 60, 61])
+    def test_inline_form_boundaries(self, length):
+        data = incompressible(length)
+        assert decompress(compress(data)) == data
+
+    @pytest.mark.parametrize("length", [62, 100, 316])
+    def test_one_byte_extension_form(self, length):
+        data = incompressible(length)
+        assert decompress(compress(data)) == data
+
+    @pytest.mark.parametrize("length", [317, 1000, 0xFFFF + 61])
+    def test_two_byte_extension_form(self, length):
+        data = incompressible(length)
+        assert decompress(compress(data)) == data
+
+    def test_run_longer_than_max_single_literal(self):
+        length = (0xFFFF + 61) * 2 + 17
+        data = incompressible(length)
+        assert decompress(compress(data)) == data
+
+
+class TestCopyForms:
+    @pytest.mark.parametrize("run", [4, 63, 64, 65, 128, 1000])
+    def test_copy_split_boundaries(self, run):
+        """Match lengths around the 64-byte copy cap."""
+        data = b"ABCD" + b"\x00" * run + b"ABCD" + b"\x00" * run
+        assert decompress(compress(data)) == data
+
+    def test_maximum_offset_match(self):
+        """A repeat exactly at the 64 KiB offset window edge."""
+        filler = incompressible(65536 - 8)
+        data = b"NEEDLE!!" + filler + b"NEEDLE!!"
+        assert decompress(compress(data)) == data
+
+    def test_overlapping_copy_run(self):
+        """Runs compress via self-overlapping copies (offset < length)."""
+        data = b"x" * 5000
+        blob = compress(data)
+        assert len(blob) < 300
+        assert decompress(blob) == data
+
+
+class TestZigzagCorners:
+    def test_int64_extremes_roundtrip_through_profile_codec(self):
+        from repro.core.aggregate import get_aggregate
+        from repro.core.profile import ProfileData
+        from repro.storage.serialization import (
+            deserialize_profile,
+            serialize_profile,
+        )
+
+        profile = ProfileData(1, 1000)
+        profile.add(1000, 1, 0, 1, [INT64_MAX, INT64_MIN], get_aggregate("sum"))
+        decoded = deserialize_profile(serialize_profile(profile))
+        stat = list(decoded.slices[0].features(1, 0))[0]
+        assert stat.counts == [INT64_MAX, INT64_MIN]
+
+
+class TestCatalogCollisions:
+    def test_no_collisions_over_many_literals(self):
+        """64-bit fids over 50k distinct literals: collisions would be a
+        catalog-breaking bug at any realistic corpus size."""
+        from repro.catalog import FeatureCatalog
+
+        catalog = FeatureCatalog(salt="collision-check")
+        fids = {catalog.fid(f"feature-{index}") for index in range(50_000)}
+        assert len(fids) == 50_000
+
+    def test_bucket_space_handles_realistic_slot_counts(self):
+        from repro.catalog import FeatureCatalog
+
+        catalog = FeatureCatalog()
+        slots = {catalog.slot(f"slot-{index}") for index in range(1000)}
+        assert len(slots) == 1000

@@ -1,0 +1,204 @@
+"""Tests for configuration parsing (durations, Listings 2-4 configs)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MINUTE
+from repro.config import (
+    ShrinkConfig,
+    SlotShrinkPolicy,
+    TableConfig,
+    TimeBand,
+    TimeDimensionConfig,
+    TruncateConfig,
+    format_duration_ms,
+    parse_duration_ms,
+)
+from repro.errors import ConfigError
+
+
+class TestDurationParsing:
+    @pytest.mark.parametrize(
+        "text,expected_ms",
+        [
+            ("1ms", 1),
+            ("500ms", 500),
+            ("1s", 1000),
+            ("0s", 0),
+            ("10s", 10_000),
+            ("1m", 60_000),
+            ("10m", 600_000),
+            ("1h", MILLIS_PER_HOUR),
+            ("24h", 24 * MILLIS_PER_HOUR),
+            ("1d", MILLIS_PER_DAY),
+            ("365d", 365 * MILLIS_PER_DAY),
+        ],
+    )
+    def test_parses_valid_durations(self, text, expected_ms):
+        assert parse_duration_ms(text) == expected_ms
+
+    @pytest.mark.parametrize("bad", ["", "10", "s", "10 s", "-5s", "1.5h", "10x"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_duration_ms(bad)
+
+    def test_tolerates_surrounding_whitespace(self):
+        assert parse_duration_ms(" 5m ") == 5 * MILLIS_PER_MINUTE
+
+    @pytest.mark.parametrize("text", ["1s", "90s", "5m", "1h", "30d", "999ms"])
+    def test_format_round_trips(self, text):
+        assert parse_duration_ms(format_duration_ms(parse_duration_ms(text))) == (
+            parse_duration_ms(text)
+        )
+
+    def test_format_picks_most_compact_unit(self):
+        assert format_duration_ms(60_000) == "1m"
+        assert format_duration_ms(MILLIS_PER_DAY) == "1d"
+        assert format_duration_ms(1500) == "1500ms"
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            format_duration_ms(-1)
+
+
+class TestTimeBand:
+    def test_contains_age_is_half_open(self):
+        band = TimeBand(1000, 0, 60_000)
+        assert band.contains_age(0)
+        assert band.contains_age(59_999)
+        assert not band.contains_age(60_000)
+
+    def test_rejects_nonpositive_granularity(self):
+        with pytest.raises(ConfigError):
+            TimeBand(0, 0, 1000)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigError):
+            TimeBand(1000, 500, 500)
+
+
+class TestTimeDimensionConfig:
+    def test_production_default_matches_listing3(self):
+        config = TimeDimensionConfig.production_default()
+        # to_mapping canonicalises units ("24h" -> "1d"), so compare the
+        # parsed semantics rather than the literal Listing-3 strings.
+        expected = {
+            "1s": ["0s", "1m"],
+            "1m": ["1m", "1h"],
+            "1h": ["1h", "24h"],
+            "1d": ["24h", "30d"],
+            "30d": ["30d", "365d"],
+        }
+        actual = {
+            parse_duration_ms(granularity): [parse_duration_ms(edge) for edge in band]
+            for granularity, band in config.to_mapping().items()
+        }
+        wanted = {
+            parse_duration_ms(granularity): [parse_duration_ms(edge) for edge in band]
+            for granularity, band in expected.items()
+        }
+        assert actual == wanted
+
+    def test_granularity_for_age_selects_band(self):
+        config = TimeDimensionConfig.production_default()
+        assert config.granularity_for_age(0) == 1000
+        assert config.granularity_for_age(30 * 60_000) == 60_000
+        assert config.granularity_for_age(2 * MILLIS_PER_HOUR) == MILLIS_PER_HOUR
+        assert config.granularity_for_age(40 * MILLIS_PER_DAY) == 30 * MILLIS_PER_DAY
+
+    def test_future_timestamps_use_finest_band(self):
+        config = TimeDimensionConfig.production_default()
+        assert config.granularity_for_age(-5000) == 1000
+
+    def test_beyond_horizon_returns_none(self):
+        config = TimeDimensionConfig.production_default()
+        assert config.granularity_for_age(366 * MILLIS_PER_DAY) is None
+        assert config.horizon_ms == 365 * MILLIS_PER_DAY
+
+    def test_rejects_gap_between_bands(self):
+        with pytest.raises(ConfigError):
+            TimeDimensionConfig.from_mapping({"1s": ("0s", "1m"), "1h": ("2m", "1h")})
+
+    def test_rejects_band_not_starting_at_zero(self):
+        with pytest.raises(ConfigError):
+            TimeDimensionConfig.from_mapping({"1m": ("1m", "1h")})
+
+    def test_rejects_decreasing_granularity(self):
+        with pytest.raises(ConfigError):
+            TimeDimensionConfig.from_mapping(
+                {"1h": ("0s", "1h"), "1m": ("1h", "2h")}
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            TimeDimensionConfig([])
+
+    def test_rejects_bad_range_shape(self):
+        with pytest.raises(ConfigError):
+            TimeDimensionConfig.from_mapping({"1s": ("0s",)})
+
+
+class TestShrinkConfig:
+    def test_per_slot_policy_lookup(self):
+        config = ShrinkConfig.from_mapping({1: 100, 2: 50})
+        assert config.policy_for_slot(1).retain_features == 100
+        assert config.policy_for_slot(2).retain_features == 50
+
+    def test_unknown_slot_uses_default(self):
+        config = ShrinkConfig.from_mapping({1: 100}, default_retain=10)
+        assert config.policy_for_slot(99).retain_features == 10
+
+    def test_unknown_slot_without_default_is_unbounded(self):
+        config = ShrinkConfig.from_mapping({1: 100})
+        assert config.policy_for_slot(99) is None
+
+    def test_policy_rejects_negative_retain(self):
+        with pytest.raises(ConfigError):
+            SlotShrinkPolicy(retain_features=-1)
+
+    def test_policy_rejects_nonpositive_half_life(self):
+        with pytest.raises(ConfigError):
+            SlotShrinkPolicy(retain_features=5, freshness_half_life_ms=0)
+
+
+class TestTruncateConfig:
+    def test_defaults_disable_both_bounds(self):
+        config = TruncateConfig()
+        assert config.max_slices is None
+        assert config.max_age_ms is None
+
+    def test_rejects_negative_slice_bound(self):
+        with pytest.raises(ConfigError):
+            TruncateConfig(max_slices=-1)
+
+    def test_rejects_nonpositive_age(self):
+        with pytest.raises(ConfigError):
+            TruncateConfig(max_age_ms=0)
+
+
+class TestTableConfig:
+    def test_attribute_index_lookup(self):
+        config = TableConfig(name="t", attributes=("like", "share"))
+        assert config.attribute_index("like") == 0
+        assert config.attribute_index("share") == 1
+        assert config.num_attributes == 2
+
+    def test_unknown_attribute_raises(self):
+        config = TableConfig(name="t", attributes=("like",))
+        with pytest.raises(ConfigError):
+            config.attribute_index("nope")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            TableConfig(name="", attributes=("a",))
+
+    def test_rejects_empty_attributes(self):
+        with pytest.raises(ConfigError):
+            TableConfig(name="t", attributes=())
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(ConfigError):
+            TableConfig(name="t", attributes=("a", "a"))
+
+    def test_default_time_dimension_is_production(self):
+        config = TableConfig(name="t")
+        assert config.time_dimension.horizon_ms == 365 * MILLIS_PER_DAY

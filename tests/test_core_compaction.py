@@ -1,0 +1,181 @@
+"""Tests for slice compaction (Fig. 10 and the time-dimension bands)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MINUTE
+from repro.config import TimeDimensionConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.compaction import Compactor
+from repro.core.profile import ProfileData
+
+NOW = 400 * MILLIS_PER_DAY
+SUM = get_aggregate("sum")
+
+
+def make_compactor(mapping=None):
+    config = (
+        TimeDimensionConfig.from_mapping(mapping)
+        if mapping is not None
+        else TimeDimensionConfig.production_default()
+    )
+    return Compactor(config, SUM)
+
+
+def profile_with_writes(timestamps, granularity_ms=1000):
+    profile = ProfileData(1, granularity_ms)
+    for index, timestamp in enumerate(timestamps):
+        profile.add(timestamp, 1, 1, index, [1], SUM)
+    return profile
+
+
+class TestCompaction:
+    def test_old_fine_slices_merge_to_band_granularity(self):
+        # Six 1-second slices, all ~1 hour old: the "1m" band applies, so
+        # all writes within one minute granule collapse into one slice.
+        base = NOW - MILLIS_PER_HOUR
+        base -= base % MILLIS_PER_MINUTE  # Align to a minute granule.
+        timestamps = [base + offset * 1000 for offset in range(6)]
+        profile = profile_with_writes(timestamps)
+        assert profile.slice_count() == 6
+        stats = make_compactor().compact(profile, NOW)
+        assert profile.slice_count() == 1
+        assert stats.merges == 5
+        assert stats.slices_saved == 5
+
+    def test_fresh_slices_stay_fine(self):
+        # Writes within the last minute sit in the 1s band: no merging.
+        timestamps = [NOW - offset * 1000 for offset in range(5)]
+        profile = profile_with_writes(timestamps)
+        before = profile.slice_count()
+        make_compactor().compact(profile, NOW)
+        assert profile.slice_count() == before
+
+    def test_merging_respects_granule_boundaries(self):
+        # Two writes in *different* minute granules, both ~30 minutes old
+        # (inside the 1m band), must not collapse into one slice.
+        base = NOW - 30 * MILLIS_PER_MINUTE
+        base -= base % MILLIS_PER_MINUTE
+        profile = profile_with_writes([base + 1000, base + MILLIS_PER_MINUTE + 1000])
+        make_compactor().compact(profile, NOW)
+        assert profile.slice_count() == 2
+
+    def test_coarser_band_merges_across_minutes(self):
+        # The same two writes two hours old sit in the 1h band, where a
+        # single one-hour granule holds both: they merge.
+        base = NOW - 2 * MILLIS_PER_HOUR
+        base -= base % MILLIS_PER_HOUR
+        profile = profile_with_writes([base + 1000, base + MILLIS_PER_MINUTE + 1000])
+        make_compactor().compact(profile, NOW)
+        assert profile.slice_count() == 1
+
+    def test_counts_aggregate_across_merged_slices(self):
+        base = NOW - MILLIS_PER_HOUR
+        base -= base % MILLIS_PER_MINUTE
+        profile = ProfileData(1, 1000)
+        profile.add(base + 1000, 1, 1, 42, [2], SUM)
+        profile.add(base + 3000, 1, 1, 42, [3], SUM)
+        make_compactor().compact(profile, NOW)
+        assert profile.slice_count() == 1
+        stat = list(profile.slices[0].features(1, 1))[0]
+        assert stat.counts == [5]
+
+    def test_no_data_dropped(self):
+        timestamps = [NOW - day * MILLIS_PER_DAY for day in range(0, 29)]
+        profile = profile_with_writes(timestamps)
+        features_before = profile.feature_count()
+        make_compactor().compact(profile, NOW)
+        assert profile.feature_count() == features_before
+
+    def test_beyond_horizon_slices_left_alone(self):
+        # Data older than 365d is outside every band: compaction skips it
+        # (truncation's job).
+        old = NOW - 370 * MILLIS_PER_DAY
+        profile = profile_with_writes([old, old + 1000])
+        make_compactor().compact(profile, NOW)
+        assert profile.slice_count() >= 1  # Not crashed; may stay split.
+
+    def test_partial_budget_limits_work(self):
+        base = NOW - MILLIS_PER_HOUR
+        base -= base % MILLIS_PER_MINUTE
+        timestamps = [base + offset * 1000 for offset in range(10)]
+        profile = profile_with_writes(timestamps)
+        stats = make_compactor().compact(profile, NOW, partial_budget=3)
+        # Only the 3 oldest slices were considered: at most 2 merges.
+        assert stats.merges <= 2
+        assert profile.slice_count() >= 8
+
+    def test_partial_budget_below_two_is_noop(self):
+        base = NOW - MILLIS_PER_HOUR
+        base -= base % MILLIS_PER_MINUTE
+        profile = profile_with_writes([base, base + 1000])
+        stats = make_compactor().compact(profile, NOW, partial_budget=1)
+        assert stats.merges == 0
+
+    def test_needs_compaction_detects_mergeable_pairs(self):
+        base = NOW - MILLIS_PER_HOUR
+        base -= base % MILLIS_PER_MINUTE
+        profile = profile_with_writes([base + 1000, base + 2000])
+        assert make_compactor().needs_compaction(profile, NOW)
+        make_compactor().compact(profile, NOW)
+        assert not make_compactor().needs_compaction(profile, NOW)
+
+    def test_empty_and_single_slice_profiles(self):
+        compactor = make_compactor()
+        empty = ProfileData(1, 1000)
+        stats = compactor.compact(empty, NOW)
+        assert stats.slices_before == 0 and stats.merges == 0
+        single = profile_with_writes([NOW - 1000])
+        stats = compactor.compact(single, NOW)
+        assert stats.merges == 0
+
+    def test_figure10_shape_six_slices_to_three(self):
+        """Fig. 10: six 10-minute-band slices merging pairwise into three."""
+        mapping = {"10m": ("0s", "1h"), "1h": ("1h", "24h")}
+        # Six 5-minute-apart writes in the last 30 minutes, aligned so each
+        # 10-minute granule holds exactly two writes.
+        base = NOW - 30 * MILLIS_PER_MINUTE
+        base -= base % (10 * MILLIS_PER_MINUTE)
+        timestamps = [base + offset * 5 * MILLIS_PER_MINUTE for offset in range(6)]
+        profile = profile_with_writes(timestamps, granularity_ms=5 * MILLIS_PER_MINUTE)
+        assert profile.slice_count() == 6
+        make_compactor(mapping).compact(profile, NOW)
+        assert profile.slice_count() == 3
+
+    def test_idempotent(self):
+        timestamps = [NOW - day * MILLIS_PER_DAY - hour * MILLIS_PER_HOUR
+                      for day in range(5) for hour in range(3)]
+        profile = profile_with_writes(timestamps)
+        compactor = make_compactor()
+        compactor.compact(profile, NOW)
+        first = [(s.start_ms, s.end_ms) for s in profile.slices]
+        compactor.compact(profile, NOW)
+        second = [(s.start_ms, s.end_ms) for s in profile.slices]
+        assert first == second
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=364 * MILLIS_PER_DAY),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_compaction_preserves_totals_and_invariants(self, ages):
+        """Property: compaction never loses counts, never breaks ordering."""
+        profile = ProfileData(1, 1000)
+        for index, age in enumerate(ages):
+            profile.add(NOW - age, 1, 1, index % 10, [1], SUM)
+        total_before = sum(
+            stat.total()
+            for s in profile.slices
+            for stat in s.features(1, 1)
+        )
+        make_compactor().compact(profile, NOW)
+        profile.invariant_check()
+        total_after = sum(
+            stat.total()
+            for s in profile.slices
+            for stat in s.features(1, 1)
+        )
+        assert total_after == total_before

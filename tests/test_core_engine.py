@@ -1,0 +1,183 @@
+"""Tests for the single-node ProfileEngine (write/read/maintenance APIs)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import ShrinkConfig, TableConfig, TruncateConfig
+from repro.core.engine import ProfileEngine
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import ConfigError
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(NOW)
+
+
+@pytest.fixture
+def engine(clock):
+    config = TableConfig(name="t", attributes=("like", "comment", "share"))
+    return ProfileEngine(config, clock)
+
+
+class TestWriteAPIs:
+    def test_add_profile_with_dict_counts(self, engine):
+        engine.add_profile(1, NOW, 1, 1, 42, {"comment": 3})
+        results = engine.get_profile_topk(
+            1, 1, 1, TimeRange.current(1000), k=1
+        )
+        assert results[0].counts == (0, 3, 0)
+
+    def test_add_profile_with_vector_counts(self, engine):
+        engine.add_profile(1, NOW, 1, 1, 42, [1, 2, 3])
+        results = engine.get_profile_topk(1, 1, 1, TimeRange.current(1000), k=1)
+        assert results[0].counts == (1, 2, 3)
+
+    def test_short_vector_is_padded_implicitly(self, engine):
+        engine.add_profile(1, NOW, 1, 1, 42, [5])
+        results = engine.get_profile_topk(1, 1, 1, TimeRange.current(1000), k=1)
+        assert results[0].counts[0] == 5
+
+    def test_oversized_vector_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.add_profile(1, NOW, 1, 1, 42, [1, 2, 3, 4])
+
+    def test_unknown_attribute_rejected(self, engine):
+        with pytest.raises(ConfigError):
+            engine.add_profile(1, NOW, 1, 1, 42, {"bogus": 1})
+
+    def test_add_profiles_batch(self, engine):
+        engine.add_profiles(
+            1, NOW, 1, 1, [10, 20, 30], [{"like": 1}, {"like": 2}, {"like": 3}]
+        )
+        results = engine.get_profile_topk(
+            1, 1, 1, TimeRange.current(1000), SortType.ATTRIBUTE,
+            k=3, sort_attribute="like",
+        )
+        assert [r.fid for r in results] == [30, 20, 10]
+
+    def test_add_profiles_rejects_misaligned(self, engine):
+        with pytest.raises(ValueError):
+            engine.add_profiles(1, NOW, 1, 1, [1, 2], [{"like": 1}])
+
+
+class TestReadAPIs:
+    def test_missing_profile_returns_empty(self, engine):
+        assert engine.get_profile_topk(999, 1, 1, TimeRange.current(1000)) == []
+        assert engine.get_profile_filter(
+            999, 1, 1, TimeRange.current(1000), lambda s: True
+        ) == []
+        assert engine.get_profile_decay(999, 1, 1, TimeRange.current(1000)) == []
+
+    def test_decay_accepts_function_name(self, engine):
+        engine.add_profile(1, NOW - MILLIS_PER_HOUR, 1, 1, 42, {"like": 4})
+        results = engine.get_profile_decay(
+            1, 1, 1, TimeRange.current(MILLIS_PER_DAY),
+            decay_function="step", decay_factor=2 * MILLIS_PER_HOUR,
+        )
+        assert results[0].counts[0] == 4
+
+    def test_decay_rejects_unknown_function(self, engine):
+        engine.add_profile(1, NOW, 1, 1, 42, {"like": 1})
+        with pytest.raises(ConfigError):
+            engine.get_profile_decay(
+                1, 1, 1, TimeRange.current(1000), decay_function="bogus"
+            )
+
+    def test_filter_predicate(self, engine):
+        engine.add_profile(1, NOW, 1, 1, 10, {"like": 1})
+        engine.add_profile(1, NOW, 1, 1, 20, {"like": 5})
+        results = engine.get_profile_filter(
+            1, 1, 1, TimeRange.current(1000), lambda s: s.count_at(0) > 2
+        )
+        assert [r.fid for r in results] == [20]
+
+
+class TestMaintenance:
+    def test_write_marks_profile_pending_beyond_threshold(self, engine):
+        engine.maintenance_slice_threshold = 3
+        for hour in range(5):
+            engine.add_profile(1, NOW - hour * MILLIS_PER_HOUR, 1, 1, hour, [1])
+        assert 1 in engine.pending_maintenance()
+
+    def test_maintain_profile_compacts(self, engine, clock):
+        for hour in range(48):
+            engine.add_profile(1, NOW - hour * MILLIS_PER_HOUR, 1, 1, hour, [1])
+        before = engine.table.get(1).slice_count()
+        report = engine.maintain_profile(1)
+        after = engine.table.get(1).slice_count()
+        assert after < before
+        assert report.compaction.merges > 0
+
+    def test_maintain_applies_truncation(self, clock):
+        config = TableConfig(
+            name="t",
+            attributes=("like",),
+            truncate=TruncateConfig(max_slices=2),
+        )
+        engine = ProfileEngine(config, clock)
+        for day in range(5):
+            engine.add_profile(1, NOW - day * MILLIS_PER_DAY, 1, 1, day, [1])
+        report = engine.maintain_profile(1)
+        assert engine.table.get(1).slice_count() <= 2
+        assert report.truncation.slices_dropped > 0
+
+    def test_maintain_applies_shrink(self, clock):
+        config = TableConfig(
+            name="t",
+            attributes=("like",),
+            shrink=ShrinkConfig.from_mapping({1: 2}),
+        )
+        engine = ProfileEngine(config, clock)
+        for fid in range(10):
+            engine.add_profile(1, NOW, 1, 1, fid, [fid])
+        report = engine.maintain_profile(1)
+        assert report.shrink.features_after == 2
+
+    def test_run_maintenance_drains_pending(self, engine):
+        engine.maintenance_slice_threshold = 2
+        for profile_id in (1, 2, 3):
+            for hour in range(4):
+                engine.add_profile(
+                    profile_id, NOW - hour * MILLIS_PER_HOUR, 1, 1, hour, [1]
+                )
+        assert len(engine.pending_maintenance()) == 3
+        reports = engine.run_maintenance()
+        assert len(reports) == 3
+        assert engine.pending_maintenance() == frozenset()
+
+    def test_run_maintenance_respects_limit(self, engine):
+        engine.maintenance_slice_threshold = 2
+        for profile_id in (1, 2, 3):
+            for hour in range(4):
+                engine.add_profile(
+                    profile_id, NOW - hour * MILLIS_PER_HOUR, 1, 1, hour, [1]
+                )
+        reports = engine.run_maintenance(max_profiles=2)
+        assert len(reports) == 2
+        assert len(engine.pending_maintenance()) == 1
+
+    def test_maintain_missing_profile_is_noop(self, engine):
+        report = engine.maintain_profile(999)
+        assert report.compaction is None
+
+    def test_query_results_unchanged_by_compaction(self, engine):
+        """Compaction must be invisible to window queries (§III-D)."""
+        for hour in range(72):
+            engine.add_profile(
+                1, NOW - hour * MILLIS_PER_HOUR, 1, 1, hour % 5, {"like": 1}
+            )
+        window = TimeRange.current(4 * MILLIS_PER_DAY)
+        before = engine.get_profile_topk(
+            1, 1, 1, window, SortType.ATTRIBUTE, k=10, sort_attribute="like"
+        )
+        engine.maintain_profile(1)
+        after = engine.get_profile_topk(
+            1, 1, 1, window, SortType.ATTRIBUTE, k=10, sort_attribute="like"
+        )
+        assert {(r.fid, r.counts) for r in before} == {
+            (r.fid, r.counts) for r in after
+        }

@@ -1,0 +1,138 @@
+"""Tests for FeatureStat and the multi-way merge helper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aggregate import aggregate_last, aggregate_max, aggregate_sum
+from repro.core.feature import (
+    INT64_MAX,
+    INT64_MIN,
+    FeatureStat,
+    clamp_int64,
+    merge_feature_stats,
+)
+
+
+class TestClampInt64:
+    def test_passes_through_in_range(self):
+        assert clamp_int64(42) == 42
+        assert clamp_int64(-42) == -42
+
+    def test_clamps_overflow(self):
+        assert clamp_int64(INT64_MAX + 1) == INT64_MAX
+        assert clamp_int64(INT64_MIN - 1) == INT64_MIN
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        assert INT64_MIN <= clamp_int64(value) <= INT64_MAX
+
+
+class TestFeatureStat:
+    def test_basic_construction(self):
+        stat = FeatureStat(7, [1, 2, 3], last_timestamp_ms=100)
+        assert stat.fid == 7
+        assert stat.counts == [1, 2, 3]
+        assert stat.total() == 6
+
+    def test_counts_clamped_on_construction(self):
+        stat = FeatureStat(1, [INT64_MAX + 100])
+        assert stat.counts == [INT64_MAX]
+
+    def test_copy_is_independent(self):
+        stat = FeatureStat(1, [1, 2])
+        duplicate = stat.copy()
+        duplicate.counts[0] = 99
+        assert stat.counts[0] == 1
+
+    def test_merge_counts_sum(self):
+        stat = FeatureStat(1, [1, 2], last_timestamp_ms=10)
+        stat.merge_counts([3, 4], aggregate_sum, other_timestamp_ms=20)
+        assert stat.counts == [4, 6]
+        assert stat.last_timestamp_ms == 20
+
+    def test_merge_keeps_newest_timestamp(self):
+        stat = FeatureStat(1, [1], last_timestamp_ms=50)
+        stat.merge_counts([1], aggregate_sum, other_timestamp_ms=10)
+        assert stat.last_timestamp_ms == 50
+
+    def test_merge_max_aggregate(self):
+        stat = FeatureStat(1, [5, 1])
+        stat.merge_counts([3, 9], aggregate_max, 0)
+        assert stat.counts == [5, 9]
+
+    def test_merge_last_aggregate_replaces(self):
+        stat = FeatureStat(1, [5])
+        stat.merge_counts([3], aggregate_last, 0)
+        assert stat.counts == [3]
+
+    def test_merge_longer_vector_extends(self):
+        stat = FeatureStat(1, [1])
+        stat.merge_counts([2, 7, 9], aggregate_sum, 0)
+        assert stat.counts == [3, 7, 9]
+
+    def test_merge_shorter_vector_keeps_tail(self):
+        stat = FeatureStat(1, [1, 2, 3])
+        stat.merge_counts([1], aggregate_sum, 0)
+        assert stat.counts == [2, 2, 3]
+
+    def test_merge_saturates_at_int64(self):
+        stat = FeatureStat(1, [INT64_MAX])
+        stat.merge_counts([1], aggregate_sum, 0)
+        assert stat.counts == [INT64_MAX]
+
+    def test_count_at_out_of_range_is_zero(self):
+        stat = FeatureStat(1, [5])
+        assert stat.count_at(0) == 5
+        assert stat.count_at(3) == 0
+        assert stat.count_at(-1) == 0
+
+    def test_scaled_truncates_toward_zero(self):
+        stat = FeatureStat(1, [10, 3], last_timestamp_ms=77)
+        scaled = stat.scaled(0.5)
+        assert scaled.counts == [5, 1]
+        assert scaled.last_timestamp_ms == 77
+        assert stat.counts == [10, 3]  # Original untouched.
+
+    def test_equality_semantics(self):
+        assert FeatureStat(1, [1, 2], 5) == FeatureStat(1, [1, 2], 5)
+        assert FeatureStat(1, [1, 2], 5) != FeatureStat(2, [1, 2], 5)
+        assert FeatureStat(1, [1, 2], 5) != FeatureStat(1, [1, 3], 5)
+
+    def test_memory_accounting_grows_with_counts(self):
+        small = FeatureStat(1, [1])
+        big = FeatureStat(1, [1] * 10)
+        assert big.memory_bytes() > small.memory_bytes()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=8),
+    )
+    def test_merge_sum_is_commutative_on_overlap(self, left, right):
+        a = FeatureStat(1, left)
+        a.merge_counts(right, aggregate_sum, 0)
+        b = FeatureStat(1, right)
+        b.merge_counts(left, aggregate_sum, 0)
+        assert a.counts == b.counts
+
+
+class TestMergeFeatureStats:
+    def test_distinct_fids_pass_through(self):
+        merged = merge_feature_stats(
+            [FeatureStat(1, [1]), FeatureStat(2, [2])], aggregate_sum
+        )
+        assert set(merged) == {1, 2}
+
+    def test_same_fid_aggregates(self):
+        merged = merge_feature_stats(
+            [FeatureStat(1, [1, 1]), FeatureStat(1, [2, 3])], aggregate_sum
+        )
+        assert merged[1].counts == [3, 4]
+
+    def test_result_is_copies_not_aliases(self):
+        original = FeatureStat(1, [1])
+        merged = merge_feature_stats([original], aggregate_sum)
+        merged[1].counts[0] = 99
+        assert original.counts[0] == 1
+
+    def test_empty_input(self):
+        assert merge_feature_stats([], aggregate_sum) == {}

@@ -1,0 +1,270 @@
+"""Tests for the query engine: top-K, filter, decay, sorting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.config import TableConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.decay import exponential_decay, step_decay
+from repro.core.profile import ProfileData
+from repro.core.query import QueryEngine, QueryStats, SortType
+from repro.core.timerange import TimeRange
+from repro.errors import InvalidQueryError
+
+NOW = 100 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def config():
+    return TableConfig(name="t", attributes=("like", "comment", "share"))
+
+
+@pytest.fixture
+def query_engine(config):
+    return QueryEngine(config, get_aggregate("sum"))
+
+
+@pytest.fixture
+def profile():
+    """The paper's Alice example plus extra data in other slots/types."""
+    aggregate = get_aggregate("sum")
+    p = ProfileData(1, write_granularity_ms=1000)
+    # Lakers: 10 days ago, one like/comment/share.
+    p.add(NOW - 10 * MILLIS_PER_DAY, 7, 3, 111, [1, 1, 1], aggregate)
+    # Warriors: 2 days ago, two likes.
+    p.add(NOW - 2 * MILLIS_PER_DAY, 7, 3, 222, [2, 0, 0], aggregate)
+    # A different type in the same slot (e.g. Soccer).
+    p.add(NOW - 1 * MILLIS_PER_DAY, 7, 4, 333, [5, 0, 0], aggregate)
+    # A different slot (e.g. Music).
+    p.add(NOW - 3 * MILLIS_PER_DAY, 9, 1, 444, [9, 0, 0], aggregate)
+    return p
+
+
+class TestTopK:
+    def test_alice_motivating_example(self, query_engine, profile):
+        """Top liked basketball team over last 10 days = Warriors (fid 222)."""
+        results = query_engine.top_k(
+            profile, 7, 3, TimeRange.current(10 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=1, now_ms=NOW, sort_attribute="like",
+        )
+        assert [r.fid for r in results] == [222]
+
+    def test_window_excludes_old_data(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 7, 3, TimeRange.current(5 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=10, now_ms=NOW, sort_attribute="like",
+        )
+        assert [r.fid for r in results] == [222]  # Lakers outside window.
+
+    def test_type_none_merges_all_types(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=10, now_ms=NOW, sort_attribute="like",
+        )
+        assert {r.fid for r in results} == {111, 222, 333}
+
+    def test_slot_isolation(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 9, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            SortType.TOTAL, k=10, now_ms=NOW,
+        )
+        assert [r.fid for r in results] == [444]
+
+    def test_k_limits_results(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            SortType.TOTAL, k=2, now_ms=NOW,
+        )
+        assert len(results) == 2
+
+    def test_k_must_be_positive(self, query_engine, profile):
+        with pytest.raises(InvalidQueryError):
+            query_engine.top_k(
+                profile, 7, None, TimeRange.current(1000),
+                SortType.TOTAL, k=0, now_ms=NOW,
+            )
+
+    def test_attribute_sort_requires_attribute(self, query_engine, profile):
+        with pytest.raises(InvalidQueryError):
+            query_engine.top_k(
+                profile, 7, None, TimeRange.current(1000),
+                SortType.ATTRIBUTE, k=1, now_ms=NOW,
+            )
+
+    def test_sort_by_timestamp(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            SortType.TIMESTAMP, k=3, now_ms=NOW,
+        )
+        assert results[0].fid == 333  # Most recent action first.
+
+    def test_sort_by_feature_id_ascending(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            SortType.FEATURE_ID, k=3, now_ms=NOW, descending=False,
+        )
+        assert [r.fid for r in results] == [111, 222, 333]
+
+    def test_aggregates_same_fid_across_slices(self, query_engine, config):
+        aggregate = get_aggregate("sum")
+        p = ProfileData(2, 1000)
+        p.add(NOW - 2 * MILLIS_PER_DAY, 1, 1, 55, [1, 0, 0], aggregate)
+        p.add(NOW - 1 * MILLIS_PER_DAY, 1, 1, 55, [4, 0, 0], aggregate)
+        results = query_engine.top_k(
+            p, 1, 1, TimeRange.current(10 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=1, now_ms=NOW, sort_attribute="like",
+        )
+        assert results[0].counts[0] == 5
+
+    def test_relative_range_on_dormant_profile(self, query_engine, profile):
+        """RELATIVE anchors at the newest action even if it is old."""
+        later = NOW + 300 * MILLIS_PER_DAY
+        results = query_engine.top_k(
+            profile, 7, 3, TimeRange.relative(10 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=5, now_ms=later, sort_attribute="like",
+        )
+        assert {r.fid for r in results} == {111, 222}
+
+    def test_current_range_on_dormant_profile_is_empty(self, query_engine, profile):
+        later = NOW + 300 * MILLIS_PER_DAY
+        results = query_engine.top_k(
+            profile, 7, 3, TimeRange.current(10 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=5, now_ms=later, sort_attribute="like",
+        )
+        assert results == []
+
+    def test_absolute_range_historical(self, query_engine, profile):
+        results = query_engine.top_k(
+            profile, 7, 3,
+            TimeRange.absolute(NOW - 11 * MILLIS_PER_DAY, NOW - 9 * MILLIS_PER_DAY),
+            SortType.TOTAL, k=5, now_ms=NOW,
+        )
+        assert [r.fid for r in results] == [111]
+
+    def test_stats_populated(self, query_engine, profile):
+        stats = QueryStats()
+        query_engine.top_k(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            SortType.TOTAL, k=10, now_ms=NOW, stats=stats,
+        )
+        assert stats.slices_scanned >= 3
+        assert stats.features_merged >= 3
+        assert stats.results_returned == 3
+
+
+class TestFilter:
+    def test_predicate_filters(self, query_engine, profile):
+        results = query_engine.filter(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            predicate=lambda stat: stat.count_at(0) >= 2, now_ms=NOW,
+        )
+        assert {r.fid for r in results} == {222, 333}
+
+    def test_results_sorted_by_total_descending(self, query_engine, profile):
+        results = query_engine.filter(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            predicate=lambda stat: True, now_ms=NOW,
+        )
+        totals = [r.total() for r in results]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty_on_no_match(self, query_engine, profile):
+        results = query_engine.filter(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            predicate=lambda stat: False, now_ms=NOW,
+        )
+        assert results == []
+
+
+class TestDecay:
+    def test_exponential_decay_favours_recent(self, query_engine, config):
+        aggregate = get_aggregate("sum")
+        p = ProfileData(3, 1000)
+        # Old feature with a big count, recent feature with a small count.
+        p.add(NOW - 20 * MILLIS_PER_DAY, 1, 1, 100, [8, 0, 0], aggregate)
+        p.add(NOW - 1 * MILLIS_PER_DAY, 1, 1, 200, [3, 0, 0], aggregate)
+        results = query_engine.decay(
+            p, 1, 1, TimeRange.current(30 * MILLIS_PER_DAY),
+            exponential_decay, 2 * MILLIS_PER_DAY, now_ms=NOW,
+            sort_attribute="like",
+        )
+        assert results[0].fid == 200  # Decay flips the order.
+
+    def test_step_decay_zeroes_old_slices(self, query_engine, profile):
+        results = query_engine.decay(
+            profile, 7, 3, TimeRange.current(30 * MILLIS_PER_DAY),
+            step_decay, 5 * MILLIS_PER_DAY, now_ms=NOW,
+        )
+        fids = {r.fid for r in results}
+        assert 111 not in fids  # Lakers (10 days old) fully decayed away.
+
+    def test_decay_with_k_cut(self, query_engine, profile):
+        results = query_engine.decay(
+            profile, 7, None, TimeRange.current(30 * MILLIS_PER_DAY),
+            exponential_decay, 10 * MILLIS_PER_DAY, now_ms=NOW, k=1,
+        )
+        assert len(results) == 1
+
+    def test_decay_rejects_nonpositive_k(self, query_engine, profile):
+        with pytest.raises(InvalidQueryError):
+            query_engine.decay(
+                profile, 7, None, TimeRange.current(1000),
+                exponential_decay, 1000.0, now_ms=NOW, k=0,
+            )
+
+
+class TestQueryProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=29),  # day offset
+                st.integers(min_value=0, max_value=20),  # fid
+                st.integers(min_value=1, max_value=100),  # like count
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_matches_bruteforce_sum(self, writes):
+        """Property: engine top-K equals a brute-force dict aggregation."""
+        config = TableConfig(name="t", attributes=("like",))
+        engine = QueryEngine(config, get_aggregate("sum"))
+        aggregate = get_aggregate("sum")
+        profile = ProfileData(1, 1000)
+        expected: dict[int, int] = {}
+        for day, fid, like in writes:
+            timestamp = NOW - day * MILLIS_PER_DAY
+            profile.add(timestamp, 1, 1, fid, [like], aggregate)
+            expected[fid] = expected.get(fid, 0) + like
+        results = engine.top_k(
+            profile, 1, 1, TimeRange.current(31 * MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=len(expected), now_ms=NOW,
+            sort_attribute="like",
+        )
+        assert {r.fid: r.counts[0] for r in results} == expected
+        likes = [r.counts[0] for r in results]
+        assert likes == sorted(likes, reverse=True)
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_topk_k_monotonicity(self, k):
+        """Property: top-(k) is a prefix-set of top-(k+1)."""
+        config = TableConfig(name="t", attributes=("like",))
+        engine = QueryEngine(config, get_aggregate("sum"))
+        aggregate = get_aggregate("sum")
+        profile = ProfileData(1, 1000)
+        for fid in range(30):
+            profile.add(
+                NOW - fid * MILLIS_PER_HOUR, 1, 1, fid, [fid * 7 % 13 + 1], aggregate
+            )
+        window = TimeRange.current(40 * MILLIS_PER_DAY)
+        smaller = engine.top_k(
+            profile, 1, 1, window, SortType.ATTRIBUTE, k, NOW, sort_attribute="like"
+        )
+        larger = engine.top_k(
+            profile, 1, 1, window, SortType.ATTRIBUTE, k + 1, NOW,
+            sort_attribute="like",
+        )
+        assert {r.fid for r in smaller} <= {r.fid for r in larger}

@@ -1,0 +1,154 @@
+"""Tests for long-tail shrink (Listing 4 and the three §III-D principles)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY
+from repro.config import ShrinkConfig, SlotShrinkPolicy, TableConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.profile import ProfileData
+from repro.core.shrink import Shrinker
+
+NOW = 400 * MILLIS_PER_DAY
+SUM = get_aggregate("sum")
+
+
+def make_shrinker(retain_by_slot, **kwargs):
+    table = TableConfig(name="t", attributes=("like", "comment", "share"))
+    config = ShrinkConfig.from_mapping(retain_by_slot, **kwargs)
+    return Shrinker(table, config)
+
+
+def profile_with_features(slot, count, likes_fn, day_fn=None):
+    """One feature per fid with likes_fn(fid) likes at day_fn(fid) days ago."""
+    profile = ProfileData(1, 1000)
+    for fid in range(count):
+        days_ago = day_fn(fid) if day_fn is not None else 1
+        profile.add(
+            NOW - days_ago * MILLIS_PER_DAY, slot, 1, fid,
+            [likes_fn(fid), 0, 0], SUM,
+        )
+    return profile
+
+
+class TestShrinkBudget:
+    def test_retains_top_features_by_count(self):
+        profile = profile_with_features(1, 10, likes_fn=lambda fid: fid + 1)
+        shrinker = make_shrinker({1: 3})
+        stats = shrinker.shrink(profile, NOW)
+        survivors = {
+            stat.fid for s in profile.slices for stat in s.features(1, None)
+        }
+        assert survivors == {7, 8, 9}  # The three highest like counts.
+        assert stats.features_dropped == 7
+
+    def test_under_budget_is_noop(self):
+        profile = profile_with_features(1, 3, likes_fn=lambda fid: 1)
+        stats = make_shrinker({1: 10}).shrink(profile, NOW)
+        assert stats.features_dropped == 0
+
+    def test_unconfigured_slot_untouched(self):
+        profile = profile_with_features(5, 10, likes_fn=lambda fid: 1)
+        stats = make_shrinker({1: 2}).shrink(profile, NOW)
+        assert stats.features_dropped == 0
+
+    def test_default_policy_covers_unlisted_slots(self):
+        profile = profile_with_features(5, 10, likes_fn=lambda fid: fid)
+        stats = make_shrinker({1: 2}, default_retain=4).shrink(profile, NOW)
+        assert stats.features_dropped == 6
+
+    def test_budget_is_profile_wide_not_per_slice(self):
+        """A feature spread over many slices counts once against the budget."""
+        profile = ProfileData(1, 1000)
+        for day in range(5):
+            profile.add(NOW - day * MILLIS_PER_DAY, 1, 1, 42, [1, 0, 0], SUM)
+        profile.add(NOW, 1, 1, 7, [1, 0, 0], SUM)
+        make_shrinker({1: 2}).shrink(profile, NOW)
+        survivors = {
+            stat.fid for s in profile.slices for stat in s.features(1, None)
+        }
+        assert survivors == {42, 7}
+
+    def test_empty_slices_removed_after_shrink(self):
+        profile = profile_with_features(
+            1, 10, likes_fn=lambda fid: fid, day_fn=lambda fid: fid
+        )
+        make_shrinker({1: 1}).shrink(profile, NOW)
+        assert all(not s.is_empty() for s in profile.slices)
+
+
+class TestMultiDimensionalSorting:
+    def test_attribute_weights_rank_importance(self):
+        """A share (weight 3) outranks two likes (weight 1 each)."""
+        profile = ProfileData(1, 1000)
+        profile.add(NOW, 1, 1, 100, [2, 0, 0], SUM)  # Two likes.
+        profile.add(NOW, 1, 1, 200, [0, 0, 1], SUM)  # One share.
+        shrinker = make_shrinker(
+            {1: 1}, attribute_weights={"like": 1.0, "share": 3.0}
+        )
+        shrinker.shrink(profile, NOW)
+        survivors = {
+            stat.fid for s in profile.slices for stat in s.features(1, None)
+        }
+        assert survivors == {200}
+
+    def test_unweighted_uses_total_counts(self):
+        profile = ProfileData(1, 1000)
+        profile.add(NOW, 1, 1, 100, [2, 0, 0], SUM)
+        profile.add(NOW, 1, 1, 200, [0, 0, 1], SUM)
+        make_shrinker({1: 1}).shrink(profile, NOW)
+        survivors = {
+            stat.fid for s in profile.slices for stat in s.features(1, None)
+        }
+        assert survivors == {100}
+
+
+class TestDataFreshness:
+    def test_fresh_low_count_beats_stale_low_count(self):
+        """Freshness principle: same count, recent feature survives."""
+        profile = ProfileData(1, 1000)
+        profile.add(NOW - 30 * MILLIS_PER_DAY, 1, 1, 100, [1, 0, 0], SUM)
+        profile.add(NOW, 1, 1, 200, [1, 0, 0], SUM)
+        shrinker = make_shrinker(
+            {1: 1}, freshness_half_life_ms=MILLIS_PER_DAY
+        )
+        shrinker.shrink(profile, NOW)
+        survivors = {
+            stat.fid for s in profile.slices for stat in s.features(1, None)
+        }
+        assert survivors == {200}
+
+    def test_strong_old_interest_survives_weak_fad(self):
+        """Balance principle: a much-engaged old interest outlives a weak
+        recent one — the boost adds at most ~1 virtual count."""
+        profile = ProfileData(1, 1000)
+        profile.add(NOW - 30 * MILLIS_PER_DAY, 1, 1, 100, [10, 0, 0], SUM)
+        profile.add(NOW, 1, 1, 200, [1, 0, 0], SUM)
+        shrinker = make_shrinker(
+            {1: 1}, freshness_half_life_ms=MILLIS_PER_DAY
+        )
+        shrinker.shrink(profile, NOW)
+        survivors = {
+            stat.fid for s in profile.slices for stat in s.features(1, None)
+        }
+        assert survivors == {100}
+
+
+class TestShrinkAccounting:
+    def test_stats_track_bytes(self):
+        profile = profile_with_features(1, 50, likes_fn=lambda fid: fid)
+        stats = make_shrinker({1: 5}).shrink(profile, NOW)
+        assert stats.features_before == 50
+        assert stats.features_after == 5
+        assert stats.bytes_saved > 0
+
+    def test_types_shrink_independently(self):
+        """The retain budget applies per (slot, type) group."""
+        profile = ProfileData(1, 1000)
+        for fid in range(4):
+            profile.add(NOW, 1, 1, fid, [fid + 1, 0, 0], SUM)
+        for fid in range(10, 14):
+            profile.add(NOW, 1, 2, fid, [fid, 0, 0], SUM)
+        make_shrinker({1: 2}).shrink(profile, NOW)
+        type1 = {stat.fid for s in profile.slices for stat in s.features(1, 1)}
+        type2 = {stat.fid for s in profile.slices for stat in s.features(1, 2)}
+        assert len(type1) == 2 and len(type2) == 2

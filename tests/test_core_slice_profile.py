@@ -1,0 +1,234 @@
+"""Tests for Slice, InstanceSet and ProfileData (slice-list management)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregate import aggregate_sum
+from repro.core.instance_set import InstanceSet
+from repro.core.profile import ProfileData
+from repro.core.slice import Slice
+from repro.errors import InvalidTimeRangeError
+
+
+class TestInstanceSet:
+    def test_add_creates_and_merges(self):
+        instance_set = InstanceSet()
+        instance_set.add(1, 10, [1, 0], 100, aggregate_sum)
+        instance_set.add(1, 10, [2, 5], 200, aggregate_sum)
+        stat = instance_set.get(1, 10)
+        assert stat.counts == [3, 5]
+        assert stat.last_timestamp_ms == 200
+
+    def test_types_are_separate(self):
+        instance_set = InstanceSet()
+        instance_set.add(1, 10, [1], 0, aggregate_sum)
+        instance_set.add(2, 10, [1], 0, aggregate_sum)
+        assert len(list(instance_set.features_for_type(1))) == 1
+        assert len(list(instance_set.features_for_type(None))) == 2
+
+    def test_features_for_missing_type_is_empty(self):
+        assert list(InstanceSet().features_for_type(5)) == []
+
+    def test_merge_from_combines(self):
+        a, b = InstanceSet(), InstanceSet()
+        a.add(1, 10, [1], 0, aggregate_sum)
+        b.add(1, 10, [2], 0, aggregate_sum)
+        b.add(2, 20, [7], 0, aggregate_sum)
+        a.merge_from(b, aggregate_sum)
+        assert a.get(1, 10).counts == [3]
+        assert a.get(2, 20).counts == [7]
+
+    def test_replace_type_with_empty_removes_type(self):
+        instance_set = InstanceSet()
+        instance_set.add(1, 10, [1], 0, aggregate_sum)
+        instance_set.replace_type(1, [])
+        assert instance_set.is_empty()
+
+    def test_copy_is_deep(self):
+        instance_set = InstanceSet()
+        instance_set.add(1, 10, [1], 0, aggregate_sum)
+        duplicate = instance_set.copy()
+        duplicate.get(1, 10).counts[0] = 99
+        assert instance_set.get(1, 10).counts[0] == 1
+
+
+class TestSlice:
+    def test_rejects_empty_range(self):
+        with pytest.raises(InvalidTimeRangeError):
+            Slice(100, 100)
+
+    def test_contains_is_half_open(self):
+        s = Slice(100, 200)
+        assert s.contains(100)
+        assert s.contains(199)
+        assert not s.contains(200)
+
+    def test_overlaps(self):
+        s = Slice(100, 200)
+        assert s.overlaps(150, 250)
+        assert s.overlaps(0, 101)
+        assert not s.overlaps(200, 300)
+        assert not s.overlaps(0, 100)
+
+    def test_add_rejects_out_of_range_timestamp(self):
+        s = Slice(100, 200)
+        with pytest.raises(InvalidTimeRangeError):
+            s.add(1, 1, 1, [1], 250, aggregate_sum)
+
+    def test_add_and_features(self):
+        s = Slice(0, 1000)
+        s.add(1, 2, 42, [1, 2], 500, aggregate_sum)
+        stats = list(s.features(1, 2))
+        assert len(stats) == 1 and stats[0].fid == 42
+
+    def test_features_missing_slot_is_empty(self):
+        assert list(Slice(0, 10).features(9, None)) == []
+
+    def test_merge_from_widens_range(self):
+        a = Slice(100, 200)
+        b = Slice(0, 100)
+        b.add(1, 1, 7, [3], 50, aggregate_sum)
+        a.merge_from(b, aggregate_sum)
+        assert a.start_ms == 0 and a.end_ms == 200
+        assert list(a.features(1, 1))[0].counts == [3]
+
+    def test_memory_cache_invalidated_by_mutation(self):
+        s = Slice(0, 1000)
+        before = s.memory_bytes()
+        s.add(1, 1, 1, [1], 10, aggregate_sum)
+        assert s.memory_bytes() > before
+
+    def test_drop_empty_slots(self):
+        s = Slice(0, 1000)
+        s.add(1, 1, 1, [1], 10, aggregate_sum)
+        instance_set = s.instance_set(1)
+        instance_set.replace_type(1, [])
+        s.drop_empty_slots()
+        assert s.slot_ids == ()
+
+
+class TestProfileDataWritePlacement:
+    def test_first_write_creates_head_slice(self):
+        profile = ProfileData(1, write_granularity_ms=1000)
+        profile.add(5500, 1, 1, 1, [1], aggregate_sum)
+        assert profile.slice_count() == 1
+        head = profile.slices[0]
+        assert head.start_ms == 5000 and head.end_ms == 6000
+
+    def test_newer_write_prepends(self):
+        profile = ProfileData(1, 1000)
+        profile.add(1000, 1, 1, 1, [1], aggregate_sum)
+        profile.add(5000, 1, 1, 2, [1], aggregate_sum)
+        assert profile.slice_count() == 2
+        assert profile.slices[0].contains(5000)
+        profile.invariant_check()
+
+    def test_write_into_existing_slice(self):
+        profile = ProfileData(1, 1000)
+        profile.add(1000, 1, 1, 1, [1], aggregate_sum)
+        profile.add(1500, 1, 1, 2, [1], aggregate_sum)
+        assert profile.slice_count() == 1
+
+    def test_out_of_order_write_lands_in_gap(self):
+        profile = ProfileData(1, 1000)
+        profile.add(10_000, 1, 1, 1, [1], aggregate_sum)
+        profile.add(2000, 1, 1, 2, [1], aggregate_sum)
+        assert profile.slice_count() == 2
+        profile.invariant_check()
+        # Oldest slice is last.
+        assert profile.slices[-1].contains(2000)
+
+    def test_head_overlap_clamped(self):
+        profile = ProfileData(1, 1000)
+        profile.add(1000, 1, 1, 1, [1], aggregate_sum)
+        # Timestamp in the same granule but >= end of head: start clamps.
+        profile.add(2000, 1, 1, 2, [1], aggregate_sum)
+        profile.invariant_check()
+
+    def test_rejects_negative_timestamp(self):
+        profile = ProfileData(1, 1000)
+        with pytest.raises(InvalidTimeRangeError):
+            profile.add(-5, 1, 1, 1, [1], aggregate_sum)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(InvalidTimeRangeError):
+            ProfileData(1, 0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=100_000), min_size=1, max_size=120
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_write_order_keeps_invariants(self, timestamps):
+        """Property: arbitrary write orders never violate slice ordering."""
+        profile = ProfileData(1, 1000)
+        for index, timestamp in enumerate(timestamps):
+            profile.add(timestamp, 1, 1, index, [1], aggregate_sum)
+        profile.invariant_check()
+        # Every write is represented: feature count equals write count.
+        assert profile.feature_count() == len(timestamps)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=100_000), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_written_timestamp_is_covered(self, timestamps):
+        """Property: each written timestamp falls inside some slice."""
+        profile = ProfileData(1, 1000)
+        for timestamp in timestamps:
+            profile.add(timestamp, 1, 1, 1, [1], aggregate_sum)
+        for timestamp in timestamps:
+            assert any(s.contains(timestamp) for s in profile.slices)
+
+
+class TestProfileDataWindows:
+    def _profile_with_slices(self):
+        profile = ProfileData(1, 1000)
+        for timestamp in (1000, 3000, 5000, 7000):
+            profile.add(timestamp, 1, 1, timestamp, [1], aggregate_sum)
+        return profile
+
+    def test_window_selects_overlapping_newest_first(self):
+        profile = self._profile_with_slices()
+        window = list(profile.slices_in_window(2500, 6000))
+        assert [s.start_ms for s in window] == [5000, 3000]
+
+    def test_empty_window_yields_nothing(self):
+        profile = self._profile_with_slices()
+        assert list(profile.slices_in_window(6000, 6000)) == []
+
+    def test_window_before_all_data(self):
+        profile = self._profile_with_slices()
+        assert list(profile.slices_in_window(0, 500)) == []
+
+    def test_newest_oldest_timestamps(self):
+        profile = self._profile_with_slices()
+        assert profile.newest_timestamp_ms() == 8000
+        assert profile.oldest_timestamp_ms() == 1000
+
+    def test_empty_profile_timestamps_are_none(self):
+        profile = ProfileData(1)
+        assert profile.newest_timestamp_ms() is None
+        assert profile.oldest_timestamp_ms() is None
+
+    def test_replace_slices_validates_ordering(self):
+        profile = self._profile_with_slices()
+        bad = [Slice(0, 1000), Slice(500, 2000)]
+        with pytest.raises(InvalidTimeRangeError):
+            profile.replace_slices(bad)
+
+    def test_copy_is_deep(self):
+        profile = self._profile_with_slices()
+        duplicate = profile.copy()
+        duplicate.slices[0].add(1, 1, 99, [1], 7500, aggregate_sum)
+        assert profile.feature_count() == 4
+        assert duplicate.feature_count() == 5
+
+    def test_drop_empty_slices(self):
+        profile = self._profile_with_slices()
+        profile.slices[0]._slots.clear()
+        assert profile.drop_empty_slices() == 1
+        assert profile.slice_count() == 3

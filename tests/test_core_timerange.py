@@ -1,0 +1,100 @@
+"""Tests for CURRENT / RELATIVE / ABSOLUTE time ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timerange import ResolvedWindow, TimeRange, TimeRangeKind
+from repro.errors import InvalidTimeRangeError
+
+NOW = 1_000_000
+
+
+class TestConstructors:
+    def test_current(self):
+        tr = TimeRange.current(5000)
+        assert tr.kind is TimeRangeKind.CURRENT
+        assert tr.span_ms == 5000
+
+    def test_relative(self):
+        tr = TimeRange.relative(5000)
+        assert tr.kind is TimeRangeKind.RELATIVE
+
+    def test_absolute(self):
+        tr = TimeRange.absolute(100, 200)
+        assert tr.kind is TimeRangeKind.ABSOLUTE
+
+    @pytest.mark.parametrize("span", [0, -1])
+    def test_current_rejects_nonpositive_span(self, span):
+        with pytest.raises(InvalidTimeRangeError):
+            TimeRange.current(span)
+
+    @pytest.mark.parametrize("span", [0, -1])
+    def test_relative_rejects_nonpositive_span(self, span):
+        with pytest.raises(InvalidTimeRangeError):
+            TimeRange.relative(span)
+
+    def test_absolute_rejects_empty_window(self):
+        with pytest.raises(InvalidTimeRangeError):
+            TimeRange.absolute(200, 200)
+
+    def test_absolute_rejects_negative_start(self):
+        with pytest.raises(InvalidTimeRangeError):
+            TimeRange.absolute(-1, 200)
+
+
+class TestResolution:
+    def test_current_window_ends_after_now(self):
+        window = TimeRange.current(5000).resolve(NOW, None)
+        assert window.start_ms == NOW - 5000
+        assert window.end_ms == NOW + 1  # Inclusive of the current instant.
+
+    def test_current_write_stamped_now_is_inside(self):
+        window = TimeRange.current(5000).resolve(NOW, None)
+        assert window.start_ms <= NOW < window.end_ms
+
+    def test_current_clamps_start_at_zero(self):
+        window = TimeRange.current(5000).resolve(1000, None)
+        assert window.start_ms == 0
+
+    def test_relative_anchors_to_profile_newest(self):
+        window = TimeRange.relative(5000).resolve(NOW, profile_newest_ms=500_000)
+        assert window.end_ms == 500_000
+        assert window.start_ms == 495_000
+
+    def test_relative_empty_profile_returns_none(self):
+        assert TimeRange.relative(5000).resolve(NOW, None) is None
+
+    def test_relative_anchor_never_exceeds_now(self):
+        window = TimeRange.relative(5000).resolve(NOW, profile_newest_ms=NOW + 999)
+        assert window.end_ms <= NOW + 1
+
+    def test_absolute_passes_through(self):
+        window = TimeRange.absolute(100, 200).resolve(NOW, None)
+        assert (window.start_ms, window.end_ms) == (100, 200)
+
+    @given(
+        st.integers(min_value=1, max_value=10**10),
+        st.integers(min_value=0, max_value=10**12),
+    )
+    def test_current_windows_are_never_empty(self, span, now):
+        window = TimeRange.current(span).resolve(now, None)
+        assert window.end_ms > window.start_ms
+        assert window.span_ms <= span + 1
+
+    @given(
+        st.integers(min_value=1, max_value=10**10),
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=10**12),
+    )
+    def test_relative_windows_are_never_empty(self, span, now, newest):
+        window = TimeRange.relative(span).resolve(now, newest)
+        assert window is None or window.end_ms > window.start_ms
+
+
+class TestResolvedWindow:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidTimeRangeError):
+            ResolvedWindow(10, 10)
+
+    def test_span(self):
+        assert ResolvedWindow(10, 25).span_ms == 15

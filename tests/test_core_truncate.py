@@ -1,0 +1,104 @@
+"""Tests for truncation by count and by age (Fig. 11)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY
+from repro.config import TruncateConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.profile import ProfileData
+from repro.core.truncate import truncate_by_age, truncate_by_count, truncate_profile
+
+NOW = 400 * MILLIS_PER_DAY
+SUM = get_aggregate("sum")
+
+
+def profile_with_daily_writes(days):
+    profile = ProfileData(1, 1000)
+    for day in range(days):
+        profile.add(NOW - day * MILLIS_PER_DAY, 1, 1, day, [1], SUM)
+    return profile
+
+
+class TestTruncateByCount:
+    def test_keeps_newest_n(self):
+        profile = profile_with_daily_writes(10)
+        stats = truncate_by_count(profile, 5)
+        assert profile.slice_count() == 5
+        assert stats.slices_dropped == 5
+        # The newest slices survive.
+        assert profile.slices[0].contains(NOW)
+
+    def test_noop_when_under_limit(self):
+        profile = profile_with_daily_writes(3)
+        stats = truncate_by_count(profile, 5)
+        assert stats.slices_dropped == 0
+        assert profile.slice_count() == 3
+
+    def test_zero_keeps_nothing(self):
+        profile = profile_with_daily_writes(3)
+        truncate_by_count(profile, 0)
+        assert profile.slice_count() == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            truncate_by_count(profile_with_daily_writes(1), -1)
+
+    def test_stats_account_features_and_bytes(self):
+        profile = profile_with_daily_writes(10)
+        stats = truncate_by_count(profile, 4)
+        assert stats.features_dropped == 6
+        assert stats.bytes_dropped > 0
+
+
+class TestTruncateByAge:
+    def test_drops_entirely_old_slices(self):
+        profile = profile_with_daily_writes(10)
+        stats = truncate_by_age(profile, NOW, 5 * MILLIS_PER_DAY)
+        # Days 0..4 survive (the day-5 write is 5 days old: its slice ends
+        # just after the cutoff so it survives too; day 6+ are dropped).
+        assert stats.slices_dropped >= 4
+        assert all(s.end_ms > NOW - 5 * MILLIS_PER_DAY for s in profile.slices)
+
+    def test_straddling_slice_kept_whole(self):
+        profile = ProfileData(1, 10_000)
+        profile.add(NOW - 5000, 1, 1, 1, [1], SUM)
+        # Cutoff falls inside the slice: it must survive untouched.
+        truncate_by_age(profile, NOW, 3000)
+        assert profile.slice_count() == 1
+
+    def test_noop_when_all_recent(self):
+        profile = profile_with_daily_writes(3)
+        stats = truncate_by_age(profile, NOW, 30 * MILLIS_PER_DAY)
+        assert stats.slices_dropped == 0
+
+    def test_rejects_nonpositive_age(self):
+        with pytest.raises(ValueError):
+            truncate_by_age(profile_with_daily_writes(1), NOW, 0)
+
+
+class TestTruncateProfile:
+    def test_applies_both_bounds(self):
+        profile = profile_with_daily_writes(20)
+        config = TruncateConfig(max_slices=5, max_age_ms=10 * MILLIS_PER_DAY)
+        stats = truncate_profile(profile, config, NOW)
+        assert profile.slice_count() == 5
+        assert stats.slices_dropped == 15
+
+    def test_disabled_config_is_noop(self):
+        profile = profile_with_daily_writes(10)
+        stats = truncate_profile(profile, TruncateConfig(), NOW)
+        assert stats.slices_dropped == 0
+        assert profile.slice_count() == 10
+
+    def test_age_only(self):
+        profile = profile_with_daily_writes(20)
+        config = TruncateConfig(max_age_ms=7 * MILLIS_PER_DAY)
+        truncate_profile(profile, config, NOW)
+        assert all(
+            s.end_ms > NOW - 7 * MILLIS_PER_DAY for s in profile.slices
+        )
+
+    def test_ordering_preserved(self):
+        profile = profile_with_daily_writes(20)
+        truncate_profile(profile, TruncateConfig(max_slices=7), NOW)
+        profile.invariant_check()

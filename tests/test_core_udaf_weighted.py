@@ -1,0 +1,127 @@
+"""Tests for user-defined aggregates and multi-dimensional (weighted) top-K."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import TableConfig
+from repro.core.aggregate import (
+    AGGREGATES,
+    get_aggregate,
+    register_aggregate,
+    unregister_aggregate,
+)
+from repro.core.engine import ProfileEngine
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import ConfigError, InvalidQueryError
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def engine():
+    config = TableConfig(name="t", attributes=("like", "comment", "share"))
+    return ProfileEngine(config, SimulatedClock(NOW))
+
+
+class TestUDAFRegistry:
+    def test_register_and_use(self):
+        register_aggregate("clamp10", lambda a, b: min(10, a + b))
+        try:
+            assert get_aggregate("clamp10")(7, 8) == 10
+            assert "clamp10" in AGGREGATES
+        finally:
+            unregister_aggregate("clamp10")
+        with pytest.raises(ConfigError):
+            get_aggregate("clamp10")
+
+    def test_cannot_override_builtin(self):
+        with pytest.raises(ConfigError):
+            register_aggregate("sum", lambda a, b: 0)
+        with pytest.raises(ConfigError):
+            unregister_aggregate("max")
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ConfigError):
+            register_aggregate("bogus", 42)
+
+    def test_udaf_as_table_aggregate(self):
+        """A registered UDAF is usable as a table's pre-configured reduce."""
+        register_aggregate("capped", lambda a, b: min(5, a + b))
+        try:
+            config = TableConfig(name="t", attributes=("like",), aggregate="capped")
+            engine = ProfileEngine(config, SimulatedClock(NOW))
+            for _ in range(10):
+                engine.add_profile(1, NOW, 1, 1, 42, [1])
+            results = engine.get_profile_topk(1, 1, 1, WINDOW, k=1)
+            assert results[0].counts[0] == 5  # Saturated by the UDAF.
+        finally:
+            unregister_aggregate("capped")
+
+
+class TestQueryTimeAggregateOverride:
+    def test_max_override_on_sum_table(self, engine):
+        """Query-time aggregate changes cross-slice merging only."""
+        engine.add_profile(1, NOW - 2 * MILLIS_PER_DAY, 1, 1, 42, {"like": 3})
+        engine.add_profile(1, NOW - 1 * MILLIS_PER_DAY, 1, 1, 42, {"like": 5})
+        summed = engine.get_profile_topk(1, 1, 1, WINDOW, k=1)
+        assert summed[0].counts[0] == 8
+        maxed = engine.get_profile_topk(1, 1, 1, WINDOW, k=1, aggregate="max")
+        assert maxed[0].counts[0] == 5
+
+    def test_unknown_override_rejected(self, engine):
+        engine.add_profile(1, NOW, 1, 1, 42, {"like": 1})
+        with pytest.raises(ConfigError):
+            engine.get_profile_topk(1, 1, 1, WINDOW, k=1, aggregate="nope")
+
+
+class TestWeightedTopK:
+    def _populate(self, engine):
+        # fid 1: 5 likes; fid 2: 1 share; fid 3: 2 comments.
+        engine.add_profile(1, NOW, 1, 1, 1, {"like": 5})
+        engine.add_profile(1, NOW, 1, 1, 2, {"share": 1})
+        engine.add_profile(1, NOW, 1, 1, 3, {"comment": 2})
+
+    def test_weights_change_ranking(self, engine):
+        self._populate(engine)
+        by_likes = engine.get_profile_topk(
+            1, 1, 1, WINDOW, SortType.WEIGHTED, k=3,
+            sort_weights={"like": 1.0},
+        )
+        assert by_likes[0].fid == 1
+        share_heavy = engine.get_profile_topk(
+            1, 1, 1, WINDOW, SortType.WEIGHTED, k=3,
+            sort_weights={"like": 1.0, "share": 10.0, "comment": 3.0},
+        )
+        assert share_heavy[0].fid == 2
+        assert share_heavy[1].fid == 3
+
+    def test_weighted_requires_weights(self, engine):
+        self._populate(engine)
+        with pytest.raises(InvalidQueryError):
+            engine.get_profile_topk(1, 1, 1, WINDOW, SortType.WEIGHTED, k=1)
+
+    def test_weighted_unknown_attribute_rejected(self, engine):
+        self._populate(engine)
+        with pytest.raises(ConfigError):
+            engine.get_profile_topk(
+                1, 1, 1, WINDOW, SortType.WEIGHTED, k=1,
+                sort_weights={"bogus": 1.0},
+            )
+
+    def test_weighted_through_cluster_client(self):
+        from repro.cluster import IPSCluster
+
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=("like", "share"))
+        cluster = IPSCluster(config, num_nodes=2, clock=clock)
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 1, 1, {"like": 5})
+        client.add_profile(7, NOW, 1, 1, 2, {"share": 1})
+        cluster.run_background_cycle()
+        results = client.get_profile_topk(
+            7, 1, 1, WINDOW, SortType.WEIGHTED, k=2,
+            sort_weights={"share": 100.0},
+        )
+        assert results[0].fid == 2

@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and error payloads."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.ConfigError,
+            errors.TableNotFoundError,
+            errors.ProfileNotFoundError,
+            errors.InvalidTimeRangeError,
+            errors.InvalidQueryError,
+            errors.SerializationError,
+            errors.CompressionError,
+            errors.StorageError,
+            errors.QuotaExceededError,
+            errors.RPCError,
+        ],
+    )
+    def test_everything_derives_from_ips_error(self, subclass):
+        assert issubclass(subclass, errors.IPSError)
+
+    def test_version_conflict_is_storage_error(self):
+        assert issubclass(errors.VersionConflictError, errors.StorageError)
+
+    @pytest.mark.parametrize(
+        "transport_error",
+        [
+            errors.RPCTimeoutError,
+            errors.NodeUnavailableError,
+            errors.NoHealthyNodeError,
+            errors.RegionUnavailableError,
+        ],
+    )
+    def test_transport_errors_are_rpc_errors(self, transport_error):
+        assert issubclass(transport_error, errors.RPCError)
+
+    def test_catching_the_family(self):
+        with pytest.raises(errors.IPSError):
+            raise errors.QuotaExceededError("x", 10.0)
+
+
+class TestPayloads:
+    def test_table_not_found_carries_table(self):
+        error = errors.TableNotFoundError("feed")
+        assert error.table == "feed"
+        assert "feed" in str(error)
+
+    def test_profile_not_found_carries_id(self):
+        error = errors.ProfileNotFoundError(42)
+        assert error.profile_id == 42
+
+    def test_version_conflict_carries_versions(self):
+        error = errors.VersionConflictError(b"k", held=3, current=5)
+        assert (error.held, error.current, error.key) == (3, 5, b"k")
+        assert "3" in str(error) and "5" in str(error)
+
+    def test_quota_error_carries_caller_and_rate(self):
+        error = errors.QuotaExceededError("ads-team", 250.0)
+        assert error.caller == "ads-team"
+        assert error.quota == 250.0
+
+    def test_node_unavailable_carries_node(self):
+        error = errors.NodeUnavailableError("node-7")
+        assert error.node_id == "node-7"
+
+    def test_region_unavailable_carries_region(self):
+        error = errors.RegionUnavailableError("eu")
+        assert error.region == "eu"

@@ -1,0 +1,109 @@
+"""Fine-grained persistence exercised through the full cluster path.
+
+Tables holding very large profiles enable ``fine_grained_persistence``;
+this module checks the slice-split mode behaves identically to bulk mode
+through every layer above it: cluster writes/reads, eviction + reload,
+node failure recovery, and the documented snapshot limitation.
+"""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.storage.persistence import FineGrainedPersistence
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def cluster():
+    config = TableConfig(
+        name="big",
+        attributes=("click", "like"),
+        fine_grained_persistence=True,
+    )
+    return IPSCluster(
+        config, num_nodes=2, clock=SimulatedClock(NOW),
+        cache_capacity_bytes=64 * 1024,
+    )
+
+
+def populate(cluster, profile_id=7, hours=100):
+    client = cluster.client("app")
+    for hour in range(hours):
+        client.add_profile(
+            profile_id, NOW - hour * MILLIS_PER_HOUR, 1, 0, hour % 12,
+            {"click": 1},
+        )
+    cluster.run_background_cycle()
+    return client
+
+
+class TestFineGrainedThroughCluster:
+    def test_nodes_use_fine_grained_mode(self, cluster):
+        for node in cluster.region.nodes.values():
+            assert isinstance(node.persistence, FineGrainedPersistence)
+
+    def test_write_read_roundtrip(self, cluster):
+        client = populate(cluster)
+        results = client.get_profile_topk(
+            7, 1, 0, WINDOW, SortType.ATTRIBUTE, k=3, sort_attribute="click"
+        )
+        assert len(results) == 3
+        assert all(row.counts[0] >= 8 for row in results)  # ~100/12 each.
+
+    def test_eviction_and_reload(self, cluster):
+        client = populate(cluster)
+        owner = cluster.region.node_for(7)
+        before = client.get_profile_topk(7, 1, 0, WINDOW, k=12)
+        owner.cache.flush_all()
+        owner.cache._evict(7)
+        assert owner.cache.get_resident(7) is None
+        after = client.get_profile_topk(7, 1, 0, WINDOW, k=12)
+        assert {(r.fid, r.counts) for r in before} == {
+            (r.fid, r.counts) for r in after
+        }
+        # The reload pulled slice values, not one bulk blob.
+        assert owner.persistence.stats.slices_loaded > 1
+
+    def test_node_failure_recovery(self, cluster):
+        client = populate(cluster)
+        for node in cluster.region.nodes.values():
+            node.cache.flush_all()
+        owner = cluster.region.node_for(7)
+        before = client.get_profile_topk(7, 1, 0, WINDOW, k=12)
+        cluster.region.fail_node(owner.node_id)
+        after = client.get_profile_topk(7, 1, 0, WINDOW, k=12)
+        assert {(r.fid, r.counts) for r in before} == {
+            (r.fid, r.counts) for r in after
+        }
+
+    def test_maintenance_then_flush_updates_slice_layout(self, cluster):
+        client = populate(cluster)
+        owner = cluster.region.node_for(7)
+        owner.cache.flush_all()
+        keys_before = sum(1 for _ in owner.persistence._store.keys())
+        # Maintain the profile directly (it is below the pending-marking
+        # threshold, so run_maintenance would be a no-op here).
+        report = owner.engine.maintain_profile(7)
+        assert report.compaction.merges > 0
+        owner.cache.mark_dirty(7)
+        owner.cache.flush_all()
+        keys_after = sum(1 for _ in owner.persistence._store.keys())
+        # Compaction shrank the slice list; the re-flush garbage-collected
+        # the orphaned slice values (fewer keys).
+        assert keys_after < keys_before
+
+    def test_snapshot_export_skips_fine_grained_tables(self, cluster):
+        """Documented limitation: snapshots cover bulk key space only."""
+        from repro.storage.snapshot import export_table
+
+        populate(cluster)
+        for node in cluster.region.nodes.values():
+            node.cache.flush_all()
+        exported = export_table(cluster.store, "big", "/tmp/fg.snapshot")
+        assert exported == 0  # No bulk keys exist for this table.

@@ -1,0 +1,115 @@
+"""Tests for the scenario-level FeatureClient (§V-a)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.errors import ConfigError
+from repro.highlevel import CTRFeature, FeatureClient
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def setup():
+    config = TableConfig(
+        name="feed", attributes=("impression", "click", "like", "share")
+    )
+    cluster = IPSCluster(config, num_nodes=2, clock=SimulatedClock(NOW))
+    client = cluster.client("app")
+    features = FeatureClient(client, config.attributes)
+    return cluster, client, features
+
+
+class TestTopInterests:
+    def test_by_attribute(self, setup):
+        cluster, client, features = setup
+        client.add_profile(1, NOW, 1, 0, 10, {"like": 5})
+        client.add_profile(1, NOW, 1, 0, 20, {"like": 2})
+        cluster.run_background_cycle()
+        top = features.top_interests(1, slot=1, by="like", k=1)
+        assert top[0].fid == 10
+
+    def test_by_total_when_unspecified(self, setup):
+        cluster, client, features = setup
+        client.add_profile(1, NOW, 1, 0, 10, {"like": 1})
+        client.add_profile(1, NOW, 1, 0, 20, {"click": 2, "share": 2})
+        cluster.run_background_cycle()
+        top = features.top_interests(1, slot=1, k=1)
+        assert top[0].fid == 20
+
+    def test_unknown_attribute_rejected_early(self, setup):
+        _, _, features = setup
+        with pytest.raises(ConfigError):
+            features.top_interests(1, slot=1, by="bogus")
+
+
+class TestCTR:
+    def test_ctr_computation(self, setup):
+        cluster, client, features = setup
+        for _ in range(10):
+            client.add_profile(1, NOW, 1, 0, 10, {"impression": 1})
+        for _ in range(3):
+            client.add_profile(1, NOW, 1, 0, 10, {"click": 1})
+        client.add_profile(1, NOW, 1, 0, 20, {"impression": 1})
+        cluster.run_background_cycle()
+        rows = features.ctr(1, slot=1, min_impressions=2)
+        assert len(rows) == 1
+        assert rows[0] == CTRFeature(fid=10, impressions=10, clicks=3)
+        assert rows[0].ctr == pytest.approx(0.3)
+
+    def test_zero_impressions_guard(self):
+        assert CTRFeature(fid=1, impressions=0, clicks=0).ctr == 0.0
+
+    def test_window_bounds_ctr(self, setup):
+        cluster, client, features = setup
+        client.add_profile(1, NOW - 3 * MILLIS_PER_DAY, 1, 0, 10, {"impression": 5})
+        client.add_profile(1, NOW, 1, 0, 10, {"impression": 2, "click": 1})
+        cluster.run_background_cycle()
+        rows = features.ctr(1, slot=1, hours=24)
+        assert rows[0].impressions == 2  # Only the recent write.
+
+
+class TestRecentAndTrending:
+    def test_recent_activity_newest_first(self, setup):
+        cluster, client, features = setup
+        client.add_profile(1, NOW - 2 * MILLIS_PER_HOUR, 1, 0, 10, {"click": 9})
+        client.add_profile(1, NOW, 1, 0, 20, {"click": 1})
+        cluster.run_background_cycle()
+        recent = features.recent_activity(1, slot=1, k=2)
+        assert recent[0].fid == 20
+
+    def test_trending_prefers_the_last_hour(self, setup):
+        cluster, client, features = setup
+        client.add_profile(1, NOW - 5 * MILLIS_PER_HOUR, 1, 0, 10, {"click": 6})
+        client.add_profile(1, NOW, 1, 0, 20, {"click": 2})
+        cluster.run_background_cycle()
+        trending = features.trending(1, slot=1, hours=6, half_life_hours=1.0)
+        assert trending[0].fid == 20
+
+
+class TestEngagementAndLifetime:
+    def test_engagement_score_weights(self, setup):
+        cluster, client, features = setup
+        client.add_profile(1, NOW, 1, 0, 10, {"like": 4})
+        client.add_profile(1, NOW, 1, 0, 20, {"share": 2})
+        cluster.run_background_cycle()
+        ranked = features.engagement_score(
+            1, slot=1, weights={"like": 1.0, "share": 5.0}
+        )
+        assert ranked[0].fid == 20
+
+    def test_engagement_requires_weights(self, setup):
+        _, _, features = setup
+        with pytest.raises(ConfigError):
+            features.engagement_score(1, slot=1, weights={})
+
+    def test_lifetime_favorites_for_dormant_user(self, setup):
+        cluster, client, features = setup
+        clock = cluster.clock
+        client.add_profile(1, NOW, 1, 0, 10, {"like": 3})
+        cluster.run_background_cycle()
+        clock.advance(200 * MILLIS_PER_DAY)  # The user goes dormant.
+        favorites = features.lifetime_favorites(1, slot=1)
+        assert favorites and favorites[0].fid == 10

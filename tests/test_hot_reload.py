@@ -1,0 +1,131 @@
+"""Tests for hot configuration reload (§V-b)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MINUTE, SimulatedClock
+from repro.config import ShrinkConfig, TableConfig, TimeDimensionConfig, TruncateConfig
+from repro.core.engine import ProfileEngine
+from repro.server.node import IPSNode
+from repro.storage import InMemoryKVStore
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def engine():
+    config = TableConfig(name="t", attributes=("click",))
+    return ProfileEngine(config, SimulatedClock(NOW))
+
+
+class TestEngineReload:
+    def test_new_time_dimension_changes_compaction(self, engine):
+        # Write hourly data for two days: under the production config the
+        # day-old entries compact to 1h slices.
+        for hour in range(48):
+            engine.add_profile(1, NOW - hour * MILLIS_PER_HOUR, 1, 0, hour, [1])
+        engine.maintain_profile(1)
+        baseline = engine.table.get(1).slice_count()
+        # Hot-switch to a coarse config: everything older than a minute
+        # lives in 2-day slices.
+        coarse = TimeDimensionConfig.from_mapping(
+            {"1m": ("0s", "1m"), "2d": ("1m", "365d")}
+        )
+        engine.reload_config(time_dimension=coarse)
+        engine.maintain_profile(1)
+        assert engine.table.get(1).slice_count() < baseline
+
+    def test_reload_marks_profiles_pending(self, engine):
+        engine.add_profile(1, NOW, 1, 0, 1, [1])
+        engine.add_profile(2, NOW, 1, 0, 1, [1])
+        assert engine.pending_maintenance() == frozenset()
+        engine.reload_config(truncate=TruncateConfig(max_slices=5))
+        assert engine.pending_maintenance() == frozenset({1, 2})
+
+    def test_new_truncate_applies_on_next_maintenance(self, engine):
+        for day in range(10):
+            engine.add_profile(1, NOW - day * MILLIS_PER_DAY, 1, 0, day, [1])
+        engine.maintain_profile(1)
+        assert engine.table.get(1).slice_count() > 3
+        engine.reload_config(truncate=TruncateConfig(max_slices=3))
+        engine.maintain_profile(1)
+        assert engine.table.get(1).slice_count() <= 3
+
+    def test_enable_shrink_live(self, engine):
+        for fid in range(20):
+            engine.add_profile(1, NOW, 1, 0, fid, [fid])
+        engine.maintain_profile(1)
+        assert engine.table.get(1).feature_count() == 20
+        engine.reload_config(shrink=ShrinkConfig.from_mapping({1: 5}))
+        engine.maintain_profile(1)
+        assert engine.table.get(1).feature_count() == 5
+
+    def test_disable_shrink_live(self):
+        config = TableConfig(
+            name="t", attributes=("click",),
+            shrink=ShrinkConfig.from_mapping({1: 5}),
+        )
+        engine = ProfileEngine(config, SimulatedClock(NOW))
+        assert engine.shrinker is not None
+        engine.reload_config(clear_shrink=True)
+        assert engine.shrinker is None
+        for fid in range(20):
+            engine.add_profile(1, NOW, 1, 0, fid, [fid])
+        engine.maintain_profile(1)
+        assert engine.table.get(1).feature_count() == 20
+
+    def test_write_granularity_follows_new_finest_band(self, engine):
+        coarse = TimeDimensionConfig.from_mapping(
+            {"1m": ("0s", "1h"), "1h": ("1h", "365d")}
+        )
+        engine.reload_config(time_dimension=coarse)
+        engine.add_profile(5, NOW, 1, 0, 1, [1])
+        head = engine.table.get(5).slices[0]
+        assert head.duration_ms == MILLIS_PER_MINUTE
+
+    def test_queries_unaffected_mid_reload(self, engine):
+        for hour in range(24):
+            engine.add_profile(1, NOW - hour * MILLIS_PER_HOUR, 1, 0, hour % 4, [1])
+        from repro.core.timerange import TimeRange
+
+        window = TimeRange.current(2 * MILLIS_PER_DAY)
+        before = engine.get_profile_topk(1, 1, 0, window, k=10)
+        coarse = TimeDimensionConfig.from_mapping(
+            {"1m": ("0s", "1m"), "2d": ("1m", "365d")}
+        )
+        engine.reload_config(time_dimension=coarse)
+        engine.maintain_profile(1)
+        after = engine.get_profile_topk(1, 1, 0, window, k=10)
+        assert {(r.fid, r.counts) for r in before} == {
+            (r.fid, r.counts) for r in after
+        }
+
+
+class TestNodeReload:
+    def test_node_passthrough(self):
+        config = TableConfig(name="t", attributes=("click",))
+        node = IPSNode("n0", config, InMemoryKVStore(), clock=SimulatedClock(NOW))
+        node.reload_config(truncate=TruncateConfig(max_slices=2))
+        assert node.engine.config.truncate.max_slices == 2
+
+    def test_write_table_limit_hot_update(self):
+        config = TableConfig(name="t", attributes=("click",))
+        node = IPSNode("n0", config, InMemoryKVStore(), clock=SimulatedClock(NOW))
+        node.set_write_table_limit(123_456)
+        assert node.write_table.memory_limit_bytes == 123_456
+        with pytest.raises(ValueError):
+            node.set_write_table_limit(0)
+
+    def test_quota_hot_update_is_live(self):
+        """Quota changes are already hot (§V-b) — assert at node level."""
+        from repro.errors import QuotaExceededError
+
+        config = TableConfig(name="t", attributes=("click",))
+        clock = SimulatedClock(NOW)
+        node = IPSNode("n0", config, InMemoryKVStore(), clock=clock,
+                       isolation_enabled=False)
+        node.quota.set_quota("x", qps=10, burst=1)
+        node.add_profile(1, NOW, 1, 0, 1, [1], caller="x")
+        with pytest.raises(QuotaExceededError):
+            node.add_profile(1, NOW, 1, 0, 1, [1], caller="x")
+        node.quota.set_quota("x", qps=1000, burst=100)
+        node.add_profile(1, NOW, 1, 0, 1, [1], caller="x")

@@ -1,0 +1,110 @@
+"""Tests for the windowed impression/action/feature stream join."""
+
+import pytest
+
+from repro.ingest.events import ActionEvent, FeatureEvent, ImpressionEvent
+from repro.ingest.join import InstanceJoiner
+
+
+def impression(request_id="r1", timestamp=1000, user=1, item=10):
+    return ImpressionEvent(request_id, user, item, timestamp)
+
+
+def action(request_id="r1", timestamp=2000, name="click", value=1):
+    return ActionEvent(request_id, 1, 10, timestamp, name, value)
+
+
+def feature(request_id="r1", timestamp=1000, signals=None):
+    return FeatureEvent(request_id, 10, timestamp, signals or {"slot": 3})
+
+
+class TestJoining:
+    def test_positive_sample_joins_all_parts(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_impression(impression())
+        joiner.on_action(action())
+        joiner.on_feature(feature())
+        records = joiner.advance_watermark(10_000)
+        assert len(records) == 1
+        record = records[0]
+        assert record.is_positive
+        assert record.actions == {"click": 1}
+        assert record.signals == {"slot": 3}
+        assert record.user_id == 1 and record.item_id == 10
+
+    def test_negative_sample_without_actions(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_impression(impression())
+        records = joiner.advance_watermark(10_000)
+        assert len(records) == 1
+        assert not records[0].is_positive
+
+    def test_actions_accumulate(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_impression(impression())
+        joiner.on_action(action(name="click"))
+        joiner.on_action(action(name="click"))
+        joiner.on_action(action(name="like"))
+        records = joiner.advance_watermark(10_000)
+        assert records[0].actions == {"click": 2, "like": 1}
+
+    def test_out_of_order_action_before_impression(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_action(action(timestamp=900))
+        joiner.on_impression(impression(timestamp=1000))
+        records = joiner.advance_watermark(10_000)
+        assert len(records) == 1
+        assert records[0].is_positive
+
+    def test_orphan_actions_dropped(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_action(action(request_id="ghost"))
+        records = joiner.advance_watermark(10_000)
+        assert records == []
+        assert joiner.stats.orphans_dropped == 1
+
+    def test_window_not_expired_stays_pending(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_impression(impression(timestamp=1000))
+        assert joiner.advance_watermark(3000) == []
+        assert joiner.pending_count == 1
+
+    def test_late_action_within_window_joins(self):
+        joiner = InstanceJoiner(window_ms=60_000)
+        joiner.on_impression(impression(timestamp=1000))
+        joiner.on_action(action(timestamp=50_000))
+        records = joiner.advance_watermark(61_001)
+        assert records[0].is_positive
+        assert records[0].timestamp_ms == 50_000
+
+    def test_separate_requests_do_not_mix(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_impression(impression(request_id="a", user=1))
+        joiner.on_impression(impression(request_id="b", user=2))
+        joiner.on_action(action(request_id="a"))
+        records = {r.request_id: r for r in joiner.advance_watermark(10_000)}
+        assert records["a"].is_positive
+        assert not records["b"].is_positive
+
+    def test_flush_emits_everything(self):
+        joiner = InstanceJoiner(window_ms=1_000_000)
+        joiner.on_impression(impression(request_id="a"))
+        joiner.on_impression(impression(request_id="b"))
+        assert len(joiner.flush()) == 2
+        assert joiner.pending_count == 0
+
+    def test_stats_track_events(self):
+        joiner = InstanceJoiner(window_ms=5000)
+        joiner.on_impression(impression())
+        joiner.on_action(action())
+        joiner.on_feature(feature())
+        joiner.advance_watermark(10_000)
+        assert joiner.stats.impressions == 1
+        assert joiner.stats.actions == 1
+        assert joiner.stats.features == 1
+        assert joiner.stats.emitted == 1
+        assert joiner.stats.positives == 1
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            InstanceJoiner(window_ms=0)

@@ -1,0 +1,175 @@
+"""Tests for the ingestion job and batch importer (§III-A, §III-F)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.core.timerange import TimeRange
+from repro.ingest import (
+    BatchImporter,
+    IngestionJob,
+    InstanceJoiner,
+    Topic,
+    default_extraction,
+)
+from repro.ingest.events import ActionEvent, ImpressionEvent, InstanceRecord, FeatureEvent
+from repro.ingest.pipeline import ProfileWrite
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def cluster():
+    clock = SimulatedClock(NOW)
+    config = TableConfig(
+        name="t", attributes=("impression", "click", "like")
+    )
+    return IPSCluster(config, num_nodes=2, clock=clock)
+
+
+def make_record(user=1, item=10, actions=None, signals=None, timestamp=NOW):
+    return InstanceRecord(
+        request_id="r",
+        user_id=user,
+        item_id=item,
+        timestamp_ms=timestamp,
+        actions=actions if actions is not None else {"click": 1},
+        signals=signals if signals is not None else {"slot": 2, "type": 1},
+    )
+
+
+class TestDefaultExtraction:
+    def test_maps_actions_and_impression(self):
+        extract = default_extraction(("impression", "click", "like"))
+        writes = list(extract(make_record(actions={"click": 2, "like": 1})))
+        assert len(writes) == 1
+        write = writes[0]
+        assert write.counts == {"click": 2, "like": 1, "impression": 1}
+        assert write.slot == 2 and write.type_id == 1
+        assert write.fid == 10 and write.profile_id == 1
+
+    def test_negative_sample_counts_impression_only(self):
+        extract = default_extraction(("impression", "click"))
+        writes = list(extract(make_record(actions={})))
+        assert writes[0].counts == {"impression": 1}
+
+    def test_unknown_actions_filtered(self):
+        extract = default_extraction(("click",))
+        writes = list(extract(make_record(actions={"weird": 5, "click": 1})))
+        assert writes[0].counts == {"click": 1}
+
+    def test_no_schema_overlap_and_no_impression_yields_nothing(self):
+        extract = default_extraction(("click",))
+        assert list(extract(make_record(actions={"share": 1}))) == []
+
+    def test_missing_signals_use_defaults(self):
+        extract = default_extraction(("click",), default_slot=7, default_type=3)
+        writes = list(extract(make_record(signals={})))
+        assert writes[0].slot == 7 and writes[0].type_id == 3
+
+
+class TestIngestionJob:
+    def test_consumes_topic_into_cluster(self, cluster):
+        topic = Topic("instance", num_partitions=2)
+        for user in range(20):
+            topic.produce(user, make_record(user=user, item=user % 5), NOW)
+        job = IngestionJob(
+            topic, cluster.client("ingest"),
+            default_extraction(cluster.config.attributes),
+        )
+        consumed = job.run_until_drained()
+        assert consumed == 20
+        assert job.lag() == 0
+        cluster.run_background_cycle()
+        client = cluster.client("reader")
+        results = client.get_profile_topk(3, 2, 1, WINDOW)
+        assert results and results[0].fid == 3
+
+    def test_run_once_batch_size(self, cluster):
+        topic = Topic("instance")
+        for user in range(30):
+            topic.produce(user, make_record(user=user), NOW)
+        job = IngestionJob(
+            topic, cluster.client("ingest"),
+            default_extraction(cluster.config.attributes),
+            batch_size=10,
+        )
+        assert job.run_once() == 10
+        assert job.lag() == 20
+
+    def test_end_to_end_join_then_ingest(self, cluster):
+        """The full §III-A topology: events -> join -> topic -> IPS."""
+        joiner = InstanceJoiner(window_ms=60_000)
+        topic = Topic("instance", num_partitions=2)
+        base = NOW - MILLIS_PER_HOUR
+        for index in range(50):
+            timestamp = base + index * 1000
+            request = f"req-{index}"
+            joiner.on_impression(
+                ImpressionEvent(request, index % 5, index % 7, timestamp)
+            )
+            joiner.on_feature(
+                FeatureEvent(request, index % 7, timestamp, {"slot": 1, "type": 0})
+            )
+            if index % 2 == 0:
+                joiner.on_action(
+                    ActionEvent(request, index % 5, index % 7, timestamp + 10, "click")
+                )
+            for record in joiner.advance_watermark(timestamp):
+                topic.produce(record.user_id, record, record.timestamp_ms)
+        for record in joiner.flush():
+            topic.produce(record.user_id, record, record.timestamp_ms)
+        job = IngestionJob(
+            topic, cluster.client("ingest"),
+            default_extraction(cluster.config.attributes),
+        )
+        job.run_until_drained()
+        cluster.run_background_cycle()
+        client = cluster.client("reader")
+        results = client.get_profile_topk(0, 1, 0, TimeRange.current(2 * MILLIS_PER_HOUR))
+        assert results  # User 0 saw several items.
+        assert job.stats.write_failures == 0
+
+
+class TestBatchImporter:
+    def test_bulk_import_restores_isolation_state(self, cluster):
+        # Nodes start with isolation on; flip one off to check restoration.
+        some_node = next(iter(cluster.region.nodes.values()))
+        some_node.set_isolation(False)
+        writes = [
+            ProfileWrite(user, NOW, 1, 0, user % 3, {"click": 1})
+            for user in range(30)
+        ]
+        importer = BatchImporter(cluster)
+        importer.run(iter(writes))
+        assert importer.stats.records == 30
+        assert importer.stats.failures == 0
+        # The hot switch was restored.
+        assert not some_node.isolation_enabled
+        others = [
+            node for node in cluster.region.nodes.values() if node is not some_node
+        ]
+        assert all(node.isolation_enabled for node in others)
+
+    def test_imported_data_queryable_after_cycle(self, cluster):
+        writes = [
+            ProfileWrite(5, NOW - day * MILLIS_PER_DAY, 1, 0, day % 4, {"click": 1})
+            for day in range(10)
+        ]
+        BatchImporter(cluster).run(iter(writes))
+        cluster.run_background_cycle()
+        client = cluster.client("reader")
+        results = client.get_profile_topk(
+            5, 1, 0, TimeRange.current(30 * MILLIS_PER_DAY)
+        )
+        assert len(results) == 4
+
+    def test_batching_uses_add_profiles(self, cluster):
+        writes = [
+            ProfileWrite(1, NOW, 1, 0, fid, {"click": 1}) for fid in range(100)
+        ]
+        importer = BatchImporter(cluster, batch_size=30)
+        importer.run(iter(writes))
+        assert importer.stats.batches == 4  # ceil(100/30)

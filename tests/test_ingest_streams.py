@@ -1,0 +1,64 @@
+"""Tests for the Kafka-substitute topic substrate."""
+
+import pytest
+
+from repro.ingest.streams import Topic
+
+
+class TestProduceConsume:
+    def test_produce_assigns_offsets_per_partition(self):
+        topic = Topic("t", num_partitions=1)
+        first = topic.produce(1, "a", 100)
+        second = topic.produce(2, "b", 200)
+        assert (first.offset, second.offset) == (0, 1)
+
+    def test_key_determines_partition(self):
+        topic = Topic("t", num_partitions=4)
+        a = topic.produce(42, "x", 0)
+        b = topic.produce(42, "y", 0)
+        assert a.partition == b.partition
+
+    def test_poll_returns_everything_once(self):
+        topic = Topic("t", num_partitions=3)
+        for index in range(10):
+            topic.produce(index, index, 0)
+        batch = topic.poll("g")
+        assert len(batch) == 10
+        assert topic.poll("g") == []
+
+    def test_poll_respects_max_messages(self):
+        topic = Topic("t", num_partitions=2)
+        for index in range(10):
+            topic.produce(index, index, 0)
+        assert len(topic.poll("g", max_messages=4)) == 4
+        assert topic.lag("g") == 6
+
+    def test_consumer_groups_are_independent(self):
+        topic = Topic("t")
+        topic.produce(1, "a", 0)
+        assert len(topic.poll("g1")) == 1
+        assert len(topic.poll("g2")) == 1
+
+    def test_lag_for_new_group_counts_all(self):
+        topic = Topic("t")
+        for index in range(5):
+            topic.produce(index, index, 0)
+        assert topic.lag("new-group") == 5
+
+    def test_rejects_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            Topic("t", num_partitions=0)
+
+    def test_iter_all_snapshot(self):
+        topic = Topic("t", num_partitions=2)
+        for index in range(6):
+            topic.produce(index, index, 0)
+        assert len(list(topic.iter_all())) == 6
+        assert topic.total_messages() == 6
+
+    def test_ordering_preserved_within_partition(self):
+        topic = Topic("t", num_partitions=1)
+        for index in range(20):
+            topic.produce(0, index, 0)
+        values = [message.value for message in topic.poll("g", 100)]
+        assert values == list(range(20))

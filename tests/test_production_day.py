@@ -1,0 +1,172 @@
+"""A full simulated production day on a real cluster.
+
+This is the capstone integration test: one IPS cluster lives through a
+compressed day of operations with every subsystem engaged —
+
+* diurnal ingestion through the §III-A streaming template;
+* serving traffic with feature assembly (serving + training records);
+* the maintenance pool compacting off the serving path;
+* the auto-scaler reacting to the traffic curve;
+* the monitor sampling cluster rollups each "hour";
+* a node crash and recovery mid-day.
+
+At the end the test asserts the global invariants the paper's operations
+depend on: no data loss, bounded profiles, a consistent monitor ledger
+and a healthy cache.
+"""
+
+import pytest
+
+from repro.assembly import FeatureAssembler, FeatureSpec
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.cluster import IPSCluster
+from repro.cluster.autoscaler import AutoScaler, ScalingPolicy
+from repro.config import ShrinkConfig, TableConfig
+from repro.core.timerange import TimeRange
+from repro.errors import IPSError
+from repro.ingest import Topic, content_feed_pipeline
+from repro.monitoring import ClusterMonitor
+from repro.workload import EventStreamGenerator, WorkloadConfig
+
+START = 400 * MILLIS_PER_DAY
+HOURS = 24
+EVENTS_PER_HOUR = 400
+QUERIES_PER_HOUR = 300
+
+
+@pytest.fixture(scope="module")
+def day_run():
+    clock = SimulatedClock(START)
+    config = TableConfig(
+        name="feed",
+        attributes=("impression", "click", "like"),
+        shrink=ShrinkConfig.from_mapping({}, default_retain=100),
+    )
+    cluster = IPSCluster(config, num_nodes=2, clock=clock)
+    pipeline = content_feed_pipeline(
+        cluster.client("ingest"), config.attributes
+    )
+    generator = EventStreamGenerator(
+        WorkloadConfig(num_users=300, num_items=1500, seed=77)
+    )
+    training_topic = Topic("training")
+    assembler = FeatureAssembler(
+        cluster.client("ranker"),
+        [
+            FeatureSpec(name=f"clicks_6h_slot{slot}", slot=slot,
+                        window_ms=6 * MILLIS_PER_HOUR, attribute="click", k=4)
+            for slot in range(4)
+        ],
+        config.attributes,
+        training_topic=training_topic,
+    )
+    scaler = AutoScaler(
+        cluster.region,
+        ScalingPolicy(node_capacity_qps=900, min_nodes=2, max_nodes=6,
+                      cooldown_ticks=1),
+    )
+    monitor = ClusterMonitor(cluster)
+    monitor.sample()
+
+    crash_hour, recover_hour = 9, 11
+    victim = "local-node-0"
+    read_errors = 0
+    reads_issued = 0
+
+    for hour in range(HOURS):
+        # Traffic shape: quiet at night, busy evenings.
+        intensity = 0.4 if hour < 7 else (1.0 if hour < 19 else 1.5)
+        events = int(EVENTS_PER_HOUR * intensity)
+        queries = int(QUERIES_PER_HOUR * intensity)
+
+        if hour == crash_hour:
+            cluster.region.fail_node(victim)
+        if hour == recover_hour:
+            cluster.region.recover_node(victim)
+
+        hour_start = clock.now_ms()
+        for triple in generator.impressions(events, hour_start, MILLIS_PER_HOUR):
+            pipeline.feed_events(*triple)
+        pipeline.drain()
+
+        client = cluster.client("ranker")
+        for query in generator.queries(queries):
+            reads_issued += 1
+            try:
+                assembler.assemble(query.user_id, clock.now_ms())
+            except IPSError:
+                read_errors += 1
+
+        cluster.run_background_cycle()
+        for node in cluster.region.nodes.values():
+            node.run_maintenance(max_profiles=50)
+        scaler.tick(observed_qps=(events + queries) / 3600.0 * 4000)
+        monitor.sample()
+        clock.advance(MILLIS_PER_HOUR)
+
+    return {
+        "cluster": cluster,
+        "pipeline": pipeline,
+        "assembler": assembler,
+        "monitor": monitor,
+        "scaler": scaler,
+        "training_topic": training_topic,
+        "read_errors": read_errors,
+        "reads_issued": reads_issued,
+    }
+
+
+class TestProductionDay:
+    def test_no_read_errors_despite_crash(self, day_run):
+        assert day_run["read_errors"] == 0
+        assert day_run["reads_issued"] > 5000
+
+    def test_ingestion_was_lossless(self, day_run):
+        stats = day_run["pipeline"].stats
+        assert stats.instances_joined == stats.instances_ingested
+        assert day_run["pipeline"].job.stats.write_failures == 0
+
+    def test_training_records_match_serving_requests(self, day_run):
+        assembler = day_run["assembler"]
+        assert (
+            assembler.stats.training_records_published
+            == assembler.stats.requests
+            == day_run["reads_issued"]
+        )
+        assert day_run["training_topic"].total_messages() == day_run["reads_issued"]
+
+    def test_monitor_ledger_is_consistent(self, day_run):
+        monitor = day_run["monitor"]
+        snapshot = monitor.snapshot()
+        assert snapshot.reads > 0 and snapshot.writes > 0
+        assert len(monitor.series["read_qps"]) == HOURS
+        # Rates are non-negative everywhere.
+        assert all(value >= 0 for value in monitor.series["read_qps"].values())
+
+    def test_profiles_remain_bounded(self, day_run):
+        cluster = day_run["cluster"]
+        worst = max(
+            profile.slice_count()
+            for node in cluster.region.nodes.values()
+            for profile in node.engine.table.profiles()
+        )
+        assert worst < 500  # A day of activity, compacted.
+        for node in cluster.region.nodes.values():
+            for profile in node.engine.table.profiles():
+                profile.invariant_check()
+
+    def test_cache_hit_ratio_healthy(self, day_run):
+        snapshot = day_run["monitor"].snapshot()
+        assert snapshot.hit_ratio > 0.8
+
+    def test_scaler_responded_to_the_curve(self, day_run):
+        # With the evening surge the scaler had reason to act at least once.
+        stats = day_run["scaler"].stats
+        assert stats.ticks == HOURS
+
+    def test_everything_flushes_clean_at_end_of_day(self, day_run):
+        cluster = day_run["cluster"]
+        cluster.shutdown()
+        for node in cluster.region.nodes.values():
+            assert node.cache.dirty.total_entries() == 0
+            assert node.write_table.pending_count == 0

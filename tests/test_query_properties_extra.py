@@ -1,0 +1,195 @@
+"""Extra property tests on query semantics and cross-API consistency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import TableConfig
+from repro.core.decay import exponential_decay, linear_decay
+from repro.core.engine import ProfileEngine
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+
+NOW = 400 * MILLIS_PER_DAY
+
+write_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=25 * 24),  # age in hours
+        st.integers(min_value=0, max_value=15),  # fid
+        st.integers(min_value=1, max_value=50),  # like count
+        st.integers(min_value=0, max_value=20),  # comment count
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def build_engine(writes):
+    config = TableConfig(name="t", attributes=("like", "comment"))
+    engine = ProfileEngine(config, SimulatedClock(NOW))
+    for age_hours, fid, likes, comments in writes:
+        engine.add_profile(
+            1, NOW - age_hours * MILLIS_PER_HOUR, 1, 0, fid, [likes, comments]
+        )
+    return engine
+
+
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+
+
+class TestDecayProperties:
+    @given(write_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_decayed_counts_never_exceed_raw(self, writes):
+        """Decay weights are <= 1, so decayed counts <= raw counts per fid."""
+        engine = build_engine(writes)
+        raw = {
+            r.fid: r.counts
+            for r in engine.get_profile_topk(1, 1, 0, WINDOW, k=100)
+        }
+        decayed = engine.get_profile_decay(
+            1, 1, 0, WINDOW, "exponential", decay_factor=MILLIS_PER_DAY
+        )
+        for row in decayed:
+            for index, value in enumerate(row.counts):
+                assert value <= raw[row.fid][index]
+
+    @given(write_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_longer_half_life_decays_less(self, writes):
+        engine = build_engine(writes)
+        short = {
+            r.fid: r.total()
+            for r in engine.get_profile_decay(
+                1, 1, 0, WINDOW, "exponential", decay_factor=MILLIS_PER_HOUR
+            )
+        }
+        long = {
+            r.fid: r.total()
+            for r in engine.get_profile_decay(
+                1, 1, 0, WINDOW, "exponential", decay_factor=100 * MILLIS_PER_DAY
+            )
+        }
+        for fid, short_total in short.items():
+            assert short_total <= long[fid]
+
+    def test_decay_function_monotonicity(self):
+        """Both families weight older ages no more than newer ones."""
+        for age in range(0, 48):
+            newer = age * MILLIS_PER_HOUR
+            older = (age + 1) * MILLIS_PER_HOUR
+            assert exponential_decay(older, MILLIS_PER_DAY) <= exponential_decay(
+                newer, MILLIS_PER_DAY
+            )
+            assert linear_decay(older, 2 * MILLIS_PER_DAY) <= linear_decay(
+                newer, 2 * MILLIS_PER_DAY
+            )
+
+
+class TestCrossAPIConsistency:
+    @given(write_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_true_equals_topk_universe(self, writes):
+        """filter(always True) returns exactly the top-K universe."""
+        engine = build_engine(writes)
+        top = engine.get_profile_topk(1, 1, 0, WINDOW, k=1000)
+        filtered = engine.get_profile_filter(1, 1, 0, WINDOW, lambda s: True)
+        assert {r.fid for r in top} == {r.fid for r in filtered}
+        assert {(r.fid, r.counts) for r in top} == {
+            (r.fid, r.counts) for r in filtered
+        }
+
+    @given(write_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_single_attribute_matches_attribute_sort(self, writes):
+        """WEIGHTED with one unit weight ranks exactly like ATTRIBUTE."""
+        engine = build_engine(writes)
+        by_attribute = engine.get_profile_topk(
+            1, 1, 0, WINDOW, SortType.ATTRIBUTE, k=100, sort_attribute="like"
+        )
+        by_weight = engine.get_profile_topk(
+            1, 1, 0, WINDOW, SortType.WEIGHTED, k=100,
+            sort_weights={"like": 1.0},
+        )
+        assert [r.fid for r in by_attribute] == [r.fid for r in by_weight]
+
+    @given(write_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_current_equals_equivalent_absolute_window(self, writes):
+        """A CURRENT range equals the ABSOLUTE window it resolves to."""
+        engine = build_engine(writes)
+        span = 30 * MILLIS_PER_DAY
+        current = engine.get_profile_topk(
+            1, 1, 0, TimeRange.current(span), k=100
+        )
+        absolute = engine.get_profile_topk(
+            1, 1, 0, TimeRange.absolute(NOW - span, NOW + 1), k=100
+        )
+        assert {(r.fid, r.counts) for r in current} == {
+            (r.fid, r.counts) for r in absolute
+        }
+
+    @given(write_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_sub_window_counts_bounded_by_full_window(self, writes):
+        """Counts over a sub-window never exceed the full window (sum agg)."""
+        engine = build_engine(writes)
+        full = {
+            r.fid: r.total()
+            for r in engine.get_profile_topk(1, 1, 0, WINDOW, k=1000)
+        }
+        sub = engine.get_profile_topk(
+            1, 1, 0, TimeRange.current(3 * MILLIS_PER_DAY), k=1000
+        )
+        for row in sub:
+            assert row.total() <= full[row.fid]
+
+
+class TestBoundaryValues:
+    def test_uint64_profile_id_boundary(self):
+        config = TableConfig(name="t", attributes=("like",))
+        engine = ProfileEngine(config, SimulatedClock(NOW))
+        max_id = 2**64 - 1
+        engine.add_profile(max_id, NOW, 1, 0, 1, [1])
+        assert engine.get_profile_topk(max_id, 1, 0, WINDOW, k=1)
+        with pytest.raises(ValueError):
+            engine.add_profile(2**64, NOW, 1, 0, 1, [1])
+        with pytest.raises(ValueError):
+            engine.add_profile(-1, NOW, 1, 0, 1, [1])
+
+    def test_zero_counts_write_is_recorded(self):
+        config = TableConfig(name="t", attributes=("like",))
+        engine = ProfileEngine(config, SimulatedClock(NOW))
+        engine.add_profile(1, NOW, 1, 0, 42, [0])
+        results = engine.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        assert results and results[0].counts == (0,)
+
+    def test_empty_batch_write_is_noop(self):
+        config = TableConfig(name="t", attributes=("like",))
+        engine = ProfileEngine(config, SimulatedClock(NOW))
+        engine.add_profiles(1, NOW, 1, 0, [], [])
+        assert engine.get_profile_topk(1, 1, 0, WINDOW, k=1) == []
+
+    def test_last_aggregate_respects_merge_order_in_slices(self):
+        """'last' keeps the most recently *merged* value within a slice."""
+        config = TableConfig(name="t", attributes=("bid",), aggregate="last")
+        engine = ProfileEngine(config, SimulatedClock(NOW))
+        engine.add_profile(1, NOW, 1, 0, 42, [100])
+        engine.add_profile(1, NOW, 1, 0, 42, [250])
+        results = engine.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        assert results[0].counts == (250,)
+
+    def test_huge_fid_survives_roundtrip(self):
+        from repro.storage import BulkPersistence, InMemoryKVStore
+
+        config = TableConfig(name="t", attributes=("like",))
+        engine = ProfileEngine(config, SimulatedClock(NOW))
+        huge_fid = 2**63 + 7
+        engine.add_profile(1, NOW, 1, 0, huge_fid, [1])
+        persistence = BulkPersistence(InMemoryKVStore(), "t")
+        persistence.flush(engine.table.get(1))
+        loaded = persistence.load(1)
+        fids = [
+            stat.fid for s in loaded.slices for stat in s.features(1, 0)
+        ]
+        assert fids == [huge_fid]

@@ -1,0 +1,49 @@
+"""The README quickstart snippet must actually work.
+
+Documentation rots silently; this test executes the exact flow the
+README shows (modulo the placeholder timestamp) so a breaking API change
+fails CI instead of the first new user.
+"""
+
+from repro import IPSCluster, MILLIS_PER_DAY, SimulatedClock, SortType, TableConfig, TimeRange
+
+
+def test_readme_quickstart_flow():
+    config = TableConfig(name="feed", attributes=("click", "like"))
+    cluster = IPSCluster(
+        config, num_nodes=4, clock=SimulatedClock(400 * MILLIS_PER_DAY)
+    )
+    client = cluster.client("my-app")
+
+    now = cluster.clock.now_ms()
+    client.add_profile(
+        profile_id=1, timestamp_ms=now, slot=0, type_id=0,
+        fid=42, counts={"click": 1},
+    )
+    cluster.run_background_cycle()  # merge write tables, flush cache
+    top = client.get_profile_topk(
+        1, 0, 0, TimeRange.current(86_400_000),
+        SortType.ATTRIBUTE, k=10, sort_attribute="click",
+    )
+    assert top and top[0].fid == 42
+
+
+def test_readme_alice_snippet():
+    config = TableConfig(
+        name="user_profile", attributes=("like", "comment", "share")
+    )
+    cluster = IPSCluster(
+        config, num_nodes=4, clock=SimulatedClock(400 * MILLIS_PER_DAY)
+    )
+    client = cluster.client(caller="my-app")
+    now = cluster.clock.now_ms()
+    client.add_profile(1001, now - 10 * MILLIS_PER_DAY, slot=7, type_id=3,
+                       fid=111, counts={"like": 1, "comment": 1, "share": 1})
+    client.add_profile(1001, now - 2 * MILLIS_PER_DAY, slot=7, type_id=3,
+                       fid=222, counts={"like": 2})
+    cluster.run_background_cycle()
+    top = client.get_profile_topk(
+        1001, 7, 3, TimeRange.current(10 * MILLIS_PER_DAY),
+        SortType.ATTRIBUTE, k=1, sort_attribute="like",
+    )
+    assert top[0].fid == 222  # Golden State Warriors

@@ -1,0 +1,62 @@
+"""Tests for the write table and read-write isolation (§III-F)."""
+
+import pytest
+
+from repro.server.isolation import PendingWrite, WriteTable
+
+
+def make_write(profile_id=1, fid=1):
+    return PendingWrite(profile_id, 1000, 1, 1, fid, [1, 2])
+
+
+class TestWriteTable:
+    def test_append_buffers(self):
+        table = WriteTable()
+        assert table.append(make_write())
+        assert table.pending_count == 1
+        assert table.stats.buffered == 1
+
+    def test_drain_takes_everything(self):
+        table = WriteTable()
+        for fid in range(5):
+            table.append(make_write(fid=fid))
+        batch = table.drain()
+        assert len(batch) == 5
+        assert table.pending_count == 0
+        assert table.memory_bytes == 0
+        assert table.stats.merged == 5
+        assert table.stats.merge_passes == 1
+
+    def test_drain_empty_is_noop(self):
+        table = WriteTable()
+        assert table.drain() == []
+        assert table.stats.merge_passes == 0
+
+    def test_memory_cap_triggers_overflow(self):
+        """§III-F: the write table's memory is bounded; over-cap writes
+        fall back to the synchronous path."""
+        table = WriteTable(memory_limit_bytes=200)
+        accepted = 0
+        while table.append(make_write(fid=accepted)):
+            accepted += 1
+            if accepted > 100:
+                pytest.fail("memory cap never enforced")
+        assert accepted >= 1
+        assert table.stats.overflow_syncs == 1
+        # After a drain there is room again.
+        table.drain()
+        assert table.append(make_write())
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            WriteTable(memory_limit_bytes=0)
+
+    def test_memory_accounting_tracks_counts_vector(self):
+        table = WriteTable()
+        small = PendingWrite(1, 0, 1, 1, 1, [1])
+        large = PendingWrite(1, 0, 1, 1, 1, [1] * 50)
+        assert large.memory_bytes() > small.memory_bytes()
+        table.append(small)
+        first = table.memory_bytes
+        table.append(large)
+        assert table.memory_bytes == first + large.memory_bytes()

@@ -1,0 +1,142 @@
+"""Tests for the capped-parallelism maintenance pool (§III-D)."""
+
+import time
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import TableConfig
+from repro.core.engine import ProfileEngine
+from repro.server.maintenance import MaintenancePool
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def engine():
+    config = TableConfig(name="t", attributes=("click",))
+    engine = ProfileEngine(config, SimulatedClock(NOW))
+    engine.maintenance_slice_threshold = 4
+    return engine
+
+
+def populate(engine, profiles=5, hours=30):
+    for profile_id in range(profiles):
+        for hour in range(hours):
+            engine.add_profile(
+                profile_id, NOW - hour * MILLIS_PER_HOUR, 1, 0, hour % 5, [1]
+            )
+
+
+class TestStrategySelection:
+    def test_low_load_runs_full(self, engine):
+        pool = MaintenancePool(engine, load_fn=lambda: 0.2)
+        assert pool.choose_strategy() == "full"
+
+    def test_medium_load_runs_partial(self, engine):
+        pool = MaintenancePool(engine, load_fn=lambda: 0.7)
+        assert pool.choose_strategy() == "partial"
+
+    def test_high_load_pauses(self, engine):
+        pool = MaintenancePool(engine, load_fn=lambda: 0.95)
+        assert pool.choose_strategy() == "pause"
+
+    def test_rejects_bad_configuration(self, engine):
+        with pytest.raises(ValueError):
+            MaintenancePool(engine, max_parallelism=0)
+        with pytest.raises(ValueError):
+            MaintenancePool(engine, full_compaction_load=0.9, pause_load=0.5)
+
+
+class TestRunOnce:
+    def test_drains_pending_at_low_load(self, engine):
+        populate(engine)
+        assert len(engine.pending_maintenance()) == 5
+        pool = MaintenancePool(engine, load_fn=lambda: 0.1)
+        maintained = pool.run_once()
+        assert maintained == 5
+        assert engine.pending_maintenance() == frozenset()
+        assert pool.stats.full_passes == 5
+
+    def test_partial_under_medium_load(self, engine):
+        populate(engine)
+        pool = MaintenancePool(engine, load_fn=lambda: 0.7)
+        pool.run_once()
+        assert pool.stats.partial_passes == 5
+        assert pool.stats.full_passes == 0
+
+    def test_pauses_under_peak_load(self, engine):
+        populate(engine)
+        pool = MaintenancePool(engine, load_fn=lambda: 0.95)
+        assert pool.run_once() == 0
+        assert pool.stats.paused_rounds == 1
+        assert len(engine.pending_maintenance()) == 5  # Untouched.
+
+    def test_batch_limit_respected(self, engine):
+        populate(engine, profiles=10)
+        pool = MaintenancePool(engine, load_fn=lambda: 0.0, batch_per_round=3)
+        assert pool.run_once() == 3
+        assert len(engine.pending_maintenance()) == 7
+
+    def test_adaptive_strategy_switch(self, engine):
+        """Load drops mid-run: strategy flips from partial to full."""
+        populate(engine, profiles=4)
+        load = {"value": 0.7}
+        pool = MaintenancePool(
+            engine, load_fn=lambda: load["value"], batch_per_round=2
+        )
+        pool.run_once()
+        assert pool.stats.partial_passes == 2
+        load["value"] = 0.1
+        populate(engine, profiles=4)
+        pool.run_once()
+        assert pool.stats.full_passes >= 2
+
+
+class TestBackgroundWorkers:
+    def test_workers_drain_pending(self, engine):
+        populate(engine, profiles=8)
+        pool = MaintenancePool(engine, load_fn=lambda: 0.0, max_parallelism=3)
+        pool.start(interval_s=0.005)
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if not engine.pending_maintenance():
+                    break
+                time.sleep(0.01)
+        finally:
+            pool.stop()
+        assert engine.pending_maintenance() == frozenset()
+        assert pool.stats.full_passes == 8
+
+    def test_double_start_rejected(self, engine):
+        pool = MaintenancePool(engine)
+        pool.start(interval_s=0.01)
+        try:
+            with pytest.raises(RuntimeError):
+                pool.start()
+        finally:
+            pool.stop()
+
+    def test_pause_requeues_claimed_profile(self, engine):
+        populate(engine, profiles=1)
+        load = {"value": 0.95}
+        pool = MaintenancePool(engine, load_fn=lambda: load["value"])
+        pool._claim_and_run()
+        # Paused: the claimed profile went back on the pending set.
+        assert len(engine.pending_maintenance()) == 1
+
+
+class TestQueryEquivalence:
+    def test_pool_maintenance_preserves_window_queries(self, engine):
+        from repro.core.timerange import TimeRange
+
+        populate(engine, profiles=1, hours=100)
+        window = TimeRange.current(2 * MILLIS_PER_DAY)
+        before = engine.get_profile_topk(0, 1, 0, window, k=10)
+        pool = MaintenancePool(engine, load_fn=lambda: 0.0)
+        pool.run_once()
+        after = engine.get_profile_topk(0, 1, 0, window, k=10)
+        assert {(r.fid, r.counts) for r in before} == {
+            (r.fid, r.counts) for r in after
+        }

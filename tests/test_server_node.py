@@ -1,0 +1,156 @@
+"""Tests for the composed IPS node: writes, reads, isolation, cache plumbing."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import QuotaExceededError
+from repro.server.node import IPSNode
+from repro.storage import InMemoryKVStore
+
+NOW = 400 * MILLIS_PER_DAY
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(NOW)
+
+
+def make_node(clock, isolation=True, fine_grained=False, **kwargs):
+    config = TableConfig(
+        name="t",
+        attributes=("click", "like"),
+        fine_grained_persistence=fine_grained,
+    )
+    return IPSNode(
+        "node-0", config, InMemoryKVStore(), clock=clock,
+        isolation_enabled=isolation, **kwargs,
+    )
+
+
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+class TestIsolationPath:
+    def test_write_is_invisible_until_merge(self, clock):
+        node = make_node(clock, isolation=True)
+        node.add_profile(1, NOW, 1, 1, 42, {"click": 1})
+        assert node.get_profile_topk(1, 1, 1, WINDOW) == []
+        node.merge_write_table()
+        results = node.get_profile_topk(1, 1, 1, WINDOW)
+        assert results[0].fid == 42
+
+    def test_direct_path_when_isolation_off(self, clock):
+        node = make_node(clock, isolation=False)
+        node.add_profile(1, NOW, 1, 1, 42, {"click": 1})
+        assert node.get_profile_topk(1, 1, 1, WINDOW)[0].fid == 42
+        assert node.stats.writes_direct == 1
+        assert node.stats.writes_isolated == 0
+
+    def test_hot_switch_drains_on_disable(self, clock):
+        node = make_node(clock, isolation=True)
+        node.add_profile(1, NOW, 1, 1, 42, {"click": 1})
+        node.set_isolation(False)
+        assert node.get_profile_topk(1, 1, 1, WINDOW)[0].fid == 42
+        assert not node.isolation_enabled
+
+    def test_write_table_overflow_falls_back_to_direct(self, clock):
+        node = make_node(clock, isolation=True, write_table_limit_bytes=300)
+        for fid in range(50):
+            node.add_profile(1, NOW, 1, 1, fid, {"click": 1})
+        assert node.stats.writes_direct > 0
+        assert node.stats.writes_isolated > 0
+
+    def test_batched_write_through_isolation(self, clock):
+        node = make_node(clock, isolation=True)
+        node.add_profiles(1, NOW, 1, 1, [10, 20], [{"click": 1}, {"click": 2}])
+        node.merge_write_table()
+        results = node.get_profile_topk(
+            1, 1, 1, WINDOW, SortType.ATTRIBUTE, k=5, sort_attribute="click"
+        )
+        assert [r.fid for r in results] == [20, 10]
+
+    def test_merge_applies_aggregate(self, clock):
+        node = make_node(clock, isolation=True)
+        node.add_profile(1, NOW, 1, 1, 42, {"click": 1})
+        node.add_profile(1, NOW, 1, 1, 42, {"click": 2})
+        node.merge_write_table()
+        results = node.get_profile_topk(1, 1, 1, WINDOW)
+        assert results[0].counts[0] == 3
+
+
+class TestCachePlumbing:
+    def test_eviction_then_read_reloads_from_store(self, clock):
+        node = make_node(
+            clock, isolation=False, cache_capacity_bytes=20_000,
+            swap_threshold=0.5, swap_target=0.2,
+        )
+        for profile_id in range(60):
+            node.add_profile(profile_id, NOW, 1, 1, profile_id, {"click": 1})
+        node.run_cache_cycle()
+        evicted = [
+            profile_id for profile_id in range(60)
+            if node.cache.get_resident(profile_id) is None
+        ]
+        assert evicted, "swap should have evicted something"
+        victim = evicted[0]
+        # Engine table was kept in sync by the eviction callback.
+        assert node.engine.table.get(victim) is None
+        results = node.get_profile_topk(victim, 1, 1, WINDOW)
+        assert results[0].fid == victim
+
+    def test_shutdown_makes_all_writes_durable(self, clock):
+        node = make_node(clock, isolation=True)
+        for profile_id in range(10):
+            node.add_profile(profile_id, NOW, 1, 1, 7, {"click": 1})
+        node.shutdown()
+        # A fresh node over the same store sees everything.
+        fresh = IPSNode(
+            "node-1", node.engine.config,
+            node.persistence._store if hasattr(node.persistence, "_store") else None,
+            clock=clock,
+        )
+        results = fresh.get_profile_topk(3, 1, 1, WINDOW)
+        assert results and results[0].fid == 7
+
+    def test_fine_grained_persistence_mode(self, clock):
+        node = make_node(clock, isolation=False, fine_grained=True)
+        node.add_profile(1, NOW, 1, 1, 42, {"click": 1})
+        node.shutdown()
+        from repro.storage.persistence import FineGrainedPersistence
+
+        assert isinstance(node.persistence, FineGrainedPersistence)
+        assert node.persistence.load(1) is not None
+
+
+class TestQuotas:
+    def test_quota_rejection_on_reads_and_writes(self, clock):
+        node = make_node(clock, isolation=False)
+        node.quota.set_quota("greedy", qps=10, burst=2)
+        node.add_profile(1, NOW, 1, 1, 1, {"click": 1}, caller="greedy")
+        node.get_profile_topk(1, 1, 1, WINDOW, caller="greedy")
+        with pytest.raises(QuotaExceededError):
+            node.get_profile_topk(1, 1, 1, WINDOW, caller="greedy")
+
+    def test_stats_count_reads_and_writes(self, clock):
+        node = make_node(clock, isolation=False)
+        node.add_profile(1, NOW, 1, 1, 1, {"click": 1})
+        node.get_profile_topk(1, 1, 1, WINDOW)
+        node.get_profile_filter(1, 1, 1, WINDOW, lambda s: True)
+        node.get_profile_decay(1, 1, 1, WINDOW)
+        assert node.stats.writes == 1
+        assert node.stats.reads == 3
+
+
+class TestMaintenanceIntegration:
+    def test_node_maintenance_compacts_old_profiles(self, clock):
+        node = make_node(clock, isolation=False)
+        node.engine.maintenance_slice_threshold = 4
+        for hour in range(48):
+            node.add_profile(1, NOW - hour * MILLIS_PER_HOUR, 1, 1, hour, {"click": 1})
+        before = node.engine.table.get(1).slice_count()
+        reports = node.run_maintenance()
+        assert reports
+        assert node.engine.table.get(1).slice_count() < before

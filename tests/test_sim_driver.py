@@ -1,0 +1,191 @@
+"""Tests for the calibrated cluster simulator and fault schedules.
+
+These check the *mechanisms* behind each figure's shape: flat p50 vs
+load-sensitive p99, the hit/miss gap, isolation's effect on write tails,
+bounded error rates under the production fault schedule.
+"""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.sim import (
+    ClusterSimulator,
+    FaultEvent,
+    FaultSchedule,
+    ServiceProfile,
+    calibrate_service_times,
+)
+from repro.workload import spring_festival_curve
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return ClusterSimulator(num_nodes=1000, seed=7, samples_per_step=2500)
+
+
+@pytest.fixture(scope="module")
+def read_curve():
+    return spring_festival_curve(read_traffic=True, seed=7)
+
+
+@pytest.fixture(scope="module")
+def write_curve():
+    return spring_festival_curve(read_traffic=False, seed=7)
+
+
+@pytest.fixture(scope="module")
+def read_result(simulator, read_curve):
+    return simulator.simulate_queries(
+        read_curve, 0, MILLIS_PER_DAY, 2 * MILLIS_PER_HOUR
+    )
+
+
+class TestQuerySimulation:
+    def test_throughput_tracks_offered_load(self, read_result):
+        assert 28e6 < read_result.trough("offered_qps") < 33e6
+        assert 37e6 < read_result.peak("offered_qps") < 43e6
+
+    def test_p50_flat_near_one_ms(self, read_result):
+        """Fig. 16's signature: the median barely moves with load."""
+        assert 0.8 < read_result.trough("p50_ms") < 1.6
+        assert read_result.peak("p50_ms") - read_result.trough("p50_ms") < 0.7
+
+    def test_p99_grows_with_load(self, read_result):
+        """...while the tail visibly responds to traffic."""
+        assert read_result.peak("p99_ms") > read_result.trough("p99_ms") + 1.0
+        assert 4.0 < read_result.trough("p99_ms") < 11.0
+        assert 6.0 < read_result.peak("p99_ms") < 13.0
+
+    def test_hit_ratio_stays_above_ninety(self, read_result):
+        assert read_result.trough("hit_ratio") > 0.90
+
+    def test_memory_hovers_near_threshold(self, read_result):
+        """Fig. 18: memory oscillates in the swap target/threshold band."""
+        assert 0.78 < read_result.trough("memory_ratio")
+        assert read_result.peak("memory_ratio") < 0.87
+
+    def test_utilization_has_headroom(self, read_result):
+        assert read_result.peak("utilization") < 0.8
+
+
+class TestWriteSimulation:
+    def test_write_p50_near_half_ms(self, simulator, write_curve, read_curve):
+        result = simulator.simulate_writes(
+            write_curve, 0, MILLIS_PER_DAY, 3 * MILLIS_PER_HOUR,
+            isolation=True, read_traffic_model=read_curve,
+        )
+        assert 0.35 < result.mean("p50_ms") < 0.8
+
+    def test_isolation_cuts_write_tail(self, simulator, write_curve, read_curve):
+        """§IV-C: enabling isolation cut write p99 by ~80 %."""
+        on = simulator.simulate_writes(
+            write_curve, 0, MILLIS_PER_DAY, 3 * MILLIS_PER_HOUR,
+            isolation=True, read_traffic_model=read_curve,
+        )
+        off = simulator.simulate_writes(
+            write_curve, 0, MILLIS_PER_DAY, 3 * MILLIS_PER_HOUR,
+            isolation=False, read_traffic_model=read_curve,
+        )
+        reduction = 1.0 - on.mean("p99_ms") / off.mean("p99_ms")
+        assert 0.6 < reduction < 0.95
+
+    def test_isolation_does_not_change_median_much(
+        self, simulator, write_curve, read_curve
+    ):
+        on = simulator.simulate_writes(
+            write_curve, 0, MILLIS_PER_DAY, 4 * MILLIS_PER_HOUR,
+            isolation=True, read_traffic_model=read_curve,
+        )
+        off = simulator.simulate_writes(
+            write_curve, 0, MILLIS_PER_DAY, 4 * MILLIS_PER_HOUR,
+            isolation=False, read_traffic_model=read_curve,
+        )
+        assert off.mean("p50_ms") < on.mean("p50_ms") * 4
+
+
+class TestLatencyTable:
+    def test_hit_saves_two_to_four_ms(self, simulator):
+        """Table II: cache hits save ~2-4 ms on the mean."""
+        table = simulator.latency_table(samples=3000)
+        for side in ("client", "server"):
+            saving = table[side]["miss_mean_ms"] - table[side]["hit_mean_ms"]
+            assert 2.0 < saving < 4.5
+
+    def test_network_adds_about_three_ms(self, simulator):
+        table = simulator.latency_table(samples=3000)
+        gap = table["client"]["hit_mean_ms"] - table["server"]["hit_mean_ms"]
+        assert 2.5 < gap < 4.0
+
+    def test_server_hit_median_about_one_ms(self, simulator):
+        table = simulator.latency_table(samples=3000)
+        assert 0.8 < table["server"]["hit_p50_ms"] < 1.6
+
+
+class TestFaultSchedule:
+    def test_event_activity_window(self):
+        event = FaultEvent(1000, 500, "node_crash", 0.01)
+        assert event.active_at(1000)
+        assert event.active_at(1499)
+        assert not event.active_at(1500)
+        assert not event.active_at(999)
+
+    def test_retry_leak_scales_observed_rate(self):
+        event = FaultEvent(0, 10, "x", raw_error_fraction=0.01, retry_leak=0.05)
+        assert event.observed_error_fraction == pytest.approx(0.0005)
+
+    def test_production_schedule_matches_fig17_band(self, simulator, read_curve):
+        """Fig. 17: max error ≈ 0.025 %, average < 0.01 %."""
+        schedule = FaultSchedule.production_twenty_days(seed=3)
+        result = simulator.simulate_queries(
+            read_curve, 0, 20 * MILLIS_PER_DAY, 4 * MILLIS_PER_HOUR,
+            fault_schedule=schedule,
+        )
+        max_error = result.peak("error_rate")
+        mean_error = result.mean("error_rate")
+        assert max_error < 0.0005     # well under 0.05 %
+        assert max_error > 0.00005    # the failover spike is visible
+        assert mean_error < 0.0001    # average below 0.01 %
+
+    def test_sla_implied_by_schedule(self, simulator, read_curve):
+        """Mean error rate must keep the SLA above 99.99 % (§IV-B)."""
+        schedule = FaultSchedule.production_twenty_days(seed=5)
+        result = simulator.simulate_queries(
+            read_curve, 0, 20 * MILLIS_PER_DAY, 6 * MILLIS_PER_HOUR,
+            fault_schedule=schedule,
+        )
+        assert 1.0 - result.mean("error_rate") > 0.9999
+
+    def test_background_floor_without_events(self):
+        schedule = FaultSchedule(events=[], background_error_rate=0.00002, seed=1)
+        rates = [schedule.error_rate_at(t * 1000) for t in range(100)]
+        assert all(rate < 0.0001 for rate in rates)
+
+
+class TestCalibration:
+    def test_calibration_measures_positive_costs(self):
+        calibration = calibrate_service_times(repeats=20)
+        assert calibration.query_topk_ms > 0
+        assert calibration.write_ms > 0
+        assert calibration.serialize_ms > 0
+        assert calibration.deserialize_ms > 0
+        assert calibration.profile_bytes > 0
+        assert calibration.serialized_bytes > 0
+
+    def test_serialized_smaller_than_memory(self):
+        calibration = calibrate_service_times(repeats=10)
+        assert calibration.serialized_bytes < calibration.profile_bytes
+
+    def test_miss_penalty_within_paper_band(self):
+        calibration = calibrate_service_times(repeats=10)
+        assert 2.0 <= calibration.miss_penalty_ms <= 4.0
+
+    def test_service_profile_from_calibration(self):
+        calibration = calibrate_service_times(repeats=10)
+        profile = ServiceProfile.from_calibration(calibration)
+        assert profile.miss_penalty_ms == calibration.miss_penalty_ms
+
+
+class TestSimulatorValidation:
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(num_nodes=0)

@@ -1,0 +1,110 @@
+"""Extra coverage for the cluster simulator's secondary paths."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.sim import ClusterSimulator, ServiceProfile
+from repro.sim.driver import SimulationResult, StepMetrics
+from repro.workload import DiurnalTrafficModel, spring_festival_curve
+
+
+@pytest.fixture(scope="module")
+def small_simulator():
+    return ClusterSimulator(num_nodes=100, seed=3, samples_per_step=800)
+
+
+@pytest.fixture(scope="module")
+def small_reads():
+    return DiurnalTrafficModel(base_qps=3e6, peak_qps=4e6, seed=3)
+
+
+class TestClientSideMode:
+    def test_client_side_adds_network_cost(self, small_simulator, small_reads):
+        server = small_simulator.simulate_queries(
+            small_reads, 0, 6 * MILLIS_PER_HOUR, 2 * MILLIS_PER_HOUR,
+            client_side=False,
+        )
+        client = small_simulator.simulate_queries(
+            small_reads, 0, 6 * MILLIS_PER_HOUR, 2 * MILLIS_PER_HOUR,
+            client_side=True,
+        )
+        # Every client-side p50 carries the ~3 ms network base on top.
+        assert client.mean("p50_ms") > server.mean("p50_ms") + 2.5
+
+    def test_client_side_writes(self, small_simulator, small_reads):
+        writes = DiurnalTrafficModel(base_qps=3e5, peak_qps=4e5, seed=3)
+        result = small_simulator.simulate_writes(
+            writes, 0, 4 * MILLIS_PER_HOUR, 2 * MILLIS_PER_HOUR,
+            isolation=True, client_side=True,
+        )
+        assert result.mean("p50_ms") > 3.0
+
+
+class TestSimulationResult:
+    def _result(self):
+        result = SimulationResult()
+        for index in range(4):
+            result.steps.append(
+                StepMetrics(
+                    time_ms=index * 1000,
+                    offered_qps=100.0 * (index + 1),
+                    utilization=0.1 * index,
+                    p50_ms=1.0,
+                    p99_ms=float(index),
+                    mean_ms=1.5,
+                    error_rate=0.0,
+                    hit_ratio=0.9,
+                    memory_ratio=0.8,
+                )
+            )
+        return result
+
+    def test_series_helpers(self):
+        result = self._result()
+        assert result.series("offered_qps") == [
+            (0, 100.0), (1000, 200.0), (2000, 300.0), (3000, 400.0)
+        ]
+        assert result.peak("offered_qps") == 400.0
+        assert result.trough("offered_qps") == 100.0
+        assert result.mean("offered_qps") == 250.0
+        assert result.peak("p99_ms") == 3.0
+
+
+class TestServiceProfile:
+    def test_from_calibration_overrides(self):
+        from repro.sim import calibrate_service_times
+
+        calibration = calibrate_service_times(repeats=5)
+        profile = ServiceProfile.from_calibration(
+            calibration, node_capacity_qps=99_999.0
+        )
+        assert profile.node_capacity_qps == 99_999.0
+        assert profile.miss_penalty_ms == calibration.miss_penalty_ms
+
+    def test_defaults_match_paper_anchors(self):
+        profile = ServiceProfile()
+        assert profile.server_hit_p50_ms == 1.0
+        assert profile.network_base_ms == 3.0
+        assert profile.write_p50_ms == 0.5
+        assert profile.cache_hit_ratio > 0.9
+
+
+class TestWorkloadEdgeCases:
+    def test_write_curve_without_read_model_uses_default_utilisation(
+        self, small_simulator
+    ):
+        writes = DiurnalTrafficModel(base_qps=3e5, peak_qps=4e5, seed=1)
+        result = small_simulator.simulate_writes(
+            writes, 0, 4 * MILLIS_PER_HOUR, 2 * MILLIS_PER_HOUR,
+            isolation=False, read_traffic_model=None,
+        )
+        # Contention still applies through the default read utilisation.
+        assert result.mean("p99_ms") > result.mean("p50_ms")
+
+    def test_memory_band_holds_over_long_horizon(self, small_simulator):
+        reads = spring_festival_curve(read_traffic=True, seed=9)
+        result = small_simulator.simulate_queries(
+            reads, 0, MILLIS_PER_DAY, MILLIS_PER_HOUR
+        )
+        assert 0.78 <= result.trough("memory_ratio")
+        assert result.peak("memory_ratio") <= 0.87

@@ -1,0 +1,157 @@
+"""Hypothesis stateful (model-based) tests for the stateful substrates.
+
+Each RuleBasedStateMachine drives the real component through random
+operation sequences while maintaining a trivially correct model, then
+checks the component against the model as an invariant:
+
+* GCache against a plain dict (write-back semantics: any profile ever
+  put must be retrievable, from cache or through storage);
+* FileKVStore against a dict (durability: a reopened store equals the
+  model, including through log compaction).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cache import GCache
+from repro.core.aggregate import get_aggregate
+from repro.core.profile import ProfileData
+from repro.storage import BulkPersistence, FileKVStore, InMemoryKVStore
+
+SUM = get_aggregate("sum")
+
+
+def _profile(profile_id: int, version: int) -> ProfileData:
+    profile = ProfileData(profile_id, 1000)
+    profile.add(1_000_000 + version, 1, 0, version, [1], SUM)
+    return profile
+
+
+class GCacheMachine(RuleBasedStateMachine):
+    """Model: profile_id -> latest version number ever put/mutated."""
+
+    @initialize()
+    def setup(self) -> None:
+        store = InMemoryKVStore()
+        persistence = BulkPersistence(store, "t")
+        self.cache = GCache(
+            load_fn=persistence.load,
+            flush_fn=persistence.flush,
+            capacity_bytes=4000,  # Small: eviction happens constantly.
+            swap_threshold=0.6,
+            swap_target=0.4,
+            lru_shards=4,
+            dirty_shards=2,
+        )
+        self.model: dict[int, int] = {}
+        self.version = 0
+
+    @rule(profile_id=st.integers(min_value=0, max_value=30))
+    def put_profile(self, profile_id: int) -> None:
+        self.version += 1
+        self.cache.put(_profile(profile_id, self.version))
+        self.model[profile_id] = self.version
+
+    @rule(profile_id=st.integers(min_value=0, max_value=30))
+    def mutate_resident(self, profile_id: int) -> None:
+        profile = self.cache.get_resident(profile_id)
+        if profile is None:
+            return
+        self.version += 1
+        profile.add(2_000_000 + self.version, 1, 0, self.version, [1], SUM)
+        self.cache.mark_dirty(profile_id)
+        self.model[profile_id] = self.version
+
+    @rule()
+    def swap(self) -> None:
+        self.cache.run_swap_once()
+
+    @rule()
+    def flush(self) -> None:
+        self.cache.run_flush_once()
+
+    @rule(profile_id=st.integers(min_value=0, max_value=40))
+    def read(self, profile_id: int) -> None:
+        profile = self.cache.get(profile_id)
+        if profile_id in self.model:
+            assert profile is not None, f"profile {profile_id} lost"
+            newest_fid = max(
+                stat.fid
+                for profile_slice in profile.slices
+                for stat in profile_slice.features(1, 0)
+            )
+            assert newest_fid == self.model[profile_id], (
+                f"profile {profile_id}: stale version {newest_fid} "
+                f"!= {self.model[profile_id]}"
+            )
+        else:
+            assert profile is None
+
+    @invariant()
+    def no_negative_accounting(self) -> None:
+        assert self.cache.memory_bytes() >= 0
+        assert self.cache.lru.total_entries() >= 0
+
+
+TestGCacheStateful = GCacheMachine.TestCase
+TestGCacheStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+class FileKVStoreMachine(RuleBasedStateMachine):
+    """Model: dict of key -> value, checked across reopen and compaction."""
+
+    KEYS = [f"k{i}".encode() for i in range(12)]
+
+    @initialize()
+    def setup(self) -> None:
+        import tempfile
+        from pathlib import Path
+
+        self._dir = tempfile.TemporaryDirectory()
+        self.path = Path(self._dir.name) / "store.log"
+        self.store = FileKVStore(self.path)
+        self.model: dict[bytes, bytes] = {}
+
+    def teardown(self) -> None:
+        self.store.close()
+        self._dir.cleanup()
+
+    @rule(key=st.sampled_from(KEYS), value=st.binary(min_size=0, max_size=40))
+    def set_value(self, key: bytes, value: bytes) -> None:
+        self.store.set(key, value)
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete_value(self, key: bytes) -> None:
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def reopen(self) -> None:
+        """Simulated restart: close and replay the log."""
+        self.store.close()
+        self.store = FileKVStore(self.path)
+
+    @rule()
+    def compact(self) -> None:
+        self.store.compact_log()
+
+    @invariant()
+    def store_matches_model(self) -> None:
+        assert len(self.store) == len(self.model)
+        for key, value in self.model.items():
+            assert self.store.get(key) == value
+
+
+TestFileKVStoreStateful = FileKVStoreMachine.TestCase
+TestFileKVStoreStateful.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,173 @@
+"""Tests for the disk-backed KV store (crash recovery, log compaction)."""
+
+import threading
+
+import pytest
+
+from repro.errors import StorageError, VersionConflictError
+from repro.storage import FileKVStore
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "kv" / "store.log"
+
+
+class TestBasicOperations:
+    def test_set_get_roundtrip(self, store_path):
+        store = FileKVStore(store_path)
+        store.set(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        store.close()
+
+    def test_get_missing_is_none(self, store_path):
+        store = FileKVStore(store_path)
+        assert store.get(b"nope") is None
+        store.close()
+
+    def test_delete(self, store_path):
+        store = FileKVStore(store_path)
+        store.set(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+        assert len(store) == 0
+        store.close()
+
+    def test_rejects_bad_durability(self, store_path):
+        with pytest.raises(StorageError):
+            FileKVStore(store_path, durability="sometimes")
+
+
+class TestDurability:
+    def test_survives_reopen(self, store_path):
+        store = FileKVStore(store_path)
+        store.set(b"a", b"1")
+        store.set(b"b", b"22")
+        store.set(b"a", b"111")  # Overwrite.
+        store.delete(b"b")
+        store.close()
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"a") == b"111"
+        assert reopened.get(b"b") is None
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_versions_survive_reopen(self, store_path):
+        store = FileKVStore(store_path)
+        store.set(b"k", b"v1")
+        store.set(b"k", b"v2")
+        store.close()
+        reopened = FileKVStore(store_path)
+        assert reopened.xget(b"k").version == 2
+        reopened.close()
+
+    def test_torn_tail_ignored(self, store_path):
+        """A crash mid-append leaves a torn record; replay drops it."""
+        store = FileKVStore(store_path)
+        store.set(b"committed", b"yes")
+        store.close()
+        with open(store_path, "ab") as log:
+            log.write(b"\x01\x02\x03")  # Garbage partial header.
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"committed") == b"yes"
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_batch_durability_needs_sync(self, store_path):
+        store = FileKVStore(store_path, durability="batch")
+        store.set(b"k", b"v")
+        store.sync()
+        store.close()
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"k") == b"v"
+        reopened.close()
+
+
+class TestVersionedAPI:
+    def test_xset_fencing(self, store_path):
+        store = FileKVStore(store_path)
+        version = store.xset(b"k", b"v1", None)
+        store.xset(b"k", b"v2", version)
+        with pytest.raises(VersionConflictError):
+            store.xset(b"k", b"v3", version)
+        store.close()
+
+    def test_insert_fence(self, store_path):
+        store = FileKVStore(store_path)
+        store.xset(b"k", b"v", None)
+        with pytest.raises(VersionConflictError):
+            store.xset(b"k", b"v2", None)
+        store.close()
+
+
+class TestLogCompaction:
+    def test_compaction_reclaims_dead_records(self, store_path):
+        store = FileKVStore(store_path)
+        for round_index in range(20):
+            store.set(b"hot-key", f"value-{round_index}".encode() * 10)
+        before = store.log_bytes()
+        reclaimed = store.compact_log()
+        assert reclaimed > 0
+        assert store.log_bytes() < before
+        assert store.get(b"hot-key") == b"value-19" * 10
+        store.close()
+        # Compaction preserved durability.
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"hot-key") == b"value-19" * 10
+        reopened.close()
+
+    def test_store_usable_after_compaction(self, store_path):
+        store = FileKVStore(store_path)
+        store.set(b"a", b"1")
+        store.compact_log()
+        store.set(b"b", b"2")
+        store.close()
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"a") == b"1"
+        assert reopened.get(b"b") == b"2"
+        reopened.close()
+
+
+class TestIntegrationWithPersistence:
+    def test_node_recovers_after_restart(self, store_path):
+        """Full crash-recovery: node writes, 'crashes', a new node over the
+        same file store serves the data."""
+        from repro.clock import MILLIS_PER_DAY, SimulatedClock
+        from repro.config import TableConfig
+        from repro.core.timerange import TimeRange
+        from repro.server.node import IPSNode
+
+        now = 400 * MILLIS_PER_DAY
+        config = TableConfig(name="t", attributes=("click",))
+        store = FileKVStore(store_path)
+        node = IPSNode("n0", config, store, clock=SimulatedClock(now))
+        for fid in range(10):
+            node.add_profile(1, now, 1, 0, fid, {"click": fid + 1})
+        node.shutdown()
+        store.close()
+
+        recovered_store = FileKVStore(store_path)
+        fresh = IPSNode("n1", config, recovered_store, clock=SimulatedClock(now))
+        results = fresh.get_profile_topk(
+            1, 1, 0, TimeRange.current(MILLIS_PER_DAY), k=3
+        )
+        assert [r.fid for r in results] == [9, 8, 7]
+        recovered_store.close()
+
+    def test_concurrent_writers(self, store_path):
+        store = FileKVStore(store_path)
+
+        def writer(base):
+            for index in range(100):
+                store.set(f"k-{base}-{index}".encode(), b"v")
+
+        threads = [threading.Thread(target=writer, args=(b,)) for b in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == 400
+        store.close()
+        reopened = FileKVStore(store_path)
+        assert len(reopened) == 400
+        reopened.close()

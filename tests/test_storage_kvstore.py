@@ -1,0 +1,136 @@
+"""Tests for the versioned KV store and failure injection."""
+
+import threading
+
+import pytest
+
+from repro.errors import StorageError, VersionConflictError
+from repro.storage import FailureInjector, InMemoryKVStore
+
+
+class TestPlainAPI:
+    def test_set_get_roundtrip(self):
+        store = InMemoryKVStore()
+        store.set(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing_is_none(self):
+        assert InMemoryKVStore().get(b"nope") is None
+
+    def test_overwrite(self):
+        store = InMemoryKVStore()
+        store.set(b"k", b"v1")
+        store.set(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self):
+        store = InMemoryKVStore()
+        store.set(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+        store.delete(b"k")  # Deleting absent key is fine.
+
+    def test_len_contains_and_bytes(self):
+        store = InMemoryKVStore()
+        store.set(b"a", b"12345")
+        store.set(b"b", b"1")
+        assert len(store) == 2
+        assert b"a" in store
+        assert store.total_value_bytes() == 6
+
+    def test_read_write_counters(self):
+        store = InMemoryKVStore()
+        store.set(b"a", b"1")
+        store.get(b"a")
+        store.get(b"b")
+        assert store.write_count == 1
+        assert store.read_count == 2
+
+
+class TestVersionedAPI:
+    def test_versions_start_at_one_and_increment(self):
+        store = InMemoryKVStore()
+        store.set(b"k", b"v1")
+        assert store.xget(b"k").version == 1
+        store.set(b"k", b"v2")
+        assert store.xget(b"k").version == 2
+
+    def test_xset_insert_requires_absent_key(self):
+        store = InMemoryKVStore()
+        version = store.xset(b"k", b"v", held_version=None)
+        assert version == 1
+        with pytest.raises(VersionConflictError):
+            store.xset(b"k", b"v2", held_version=None)
+
+    def test_xset_update_requires_current_version(self):
+        store = InMemoryKVStore()
+        version = store.xset(b"k", b"v1", None)
+        new_version = store.xset(b"k", b"v2", version)
+        assert new_version == version + 1
+
+    def test_stale_version_conflicts(self):
+        """The Fig. 14 fence: losing a race forces a reload."""
+        store = InMemoryKVStore()
+        version = store.xset(b"k", b"v1", None)
+        store.xset(b"k", b"v2", version)  # Someone else updated.
+        with pytest.raises(VersionConflictError) as exc_info:
+            store.xset(b"k", b"v3", version)
+        assert exc_info.value.held == version
+        assert exc_info.value.current == version + 1
+        # The store still has the winner's value.
+        assert store.get(b"k") == b"v2"
+
+    def test_xget_missing_is_none(self):
+        assert InMemoryKVStore().xget(b"nope") is None
+
+    def test_concurrent_xset_exactly_one_winner_per_round(self):
+        store = InMemoryKVStore()
+        store.xset(b"k", b"v0", None)
+        wins = []
+
+        def contender(name):
+            current = store.xget(b"k")
+            try:
+                store.xset(b"k", name.encode(), current.version)
+                wins.append(name)
+            except VersionConflictError:
+                pass
+
+        threads = [
+            threading.Thread(target=contender, args=(f"t{i}",)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) >= 1
+        # Version advanced exactly once per winner.
+        assert store.xget(b"k").version == 1 + len(wins)
+
+
+class TestFailureInjection:
+    def test_forced_failures_raise(self):
+        injector = FailureInjector()
+        store = InMemoryKVStore(failure_injector=injector)
+        injector.fail_next(2)
+        with pytest.raises(StorageError):
+            store.get(b"k")
+        with pytest.raises(StorageError):
+            store.set(b"k", b"v")
+        store.set(b"k", b"v")  # Third op succeeds.
+
+    def test_random_failure_rate(self):
+        injector = FailureInjector(failure_rate=1.0, seed=1)
+        store = InMemoryKVStore(failure_injector=injector)
+        with pytest.raises(StorageError):
+            store.get(b"k")
+
+    def test_zero_rate_never_fails(self):
+        injector = FailureInjector(failure_rate=0.0)
+        store = InMemoryKVStore(failure_injector=injector)
+        for _ in range(100):
+            store.set(b"k", b"v")
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FailureInjector(failure_rate=1.5)

@@ -1,0 +1,80 @@
+"""Tests for window-scoped slice loading in fine-grained persistence."""
+
+import pytest
+
+from repro.core.aggregate import get_aggregate
+from repro.core.profile import ProfileData
+from repro.errors import StorageError
+from repro.storage import FineGrainedPersistence, InMemoryKVStore
+
+SUM = get_aggregate("sum")
+
+
+@pytest.fixture
+def stored_profile():
+    """A 20-slice profile flushed through fine-grained persistence."""
+    store = InMemoryKVStore()
+    manager = FineGrainedPersistence(store, "t")
+    profile = ProfileData(1, 1000)
+    for hour in range(20):
+        profile.add(hour * 3_600_000, 1, 0, hour, [hour + 1], SUM)
+    manager.flush(profile)
+    return manager, profile
+
+
+class TestLoadWindow:
+    def test_loads_only_overlapping_slices(self, stored_profile):
+        manager, profile = stored_profile
+        baseline_reads = manager.stats.slices_loaded
+        window_start = 5 * 3_600_000
+        window_end = 8 * 3_600_000
+        partial = manager.load_window(1, window_start, window_end)
+        assert partial is not None
+        loaded = manager.stats.slices_loaded - baseline_reads
+        assert loaded < profile.slice_count()
+        # Every loaded slice overlaps the window.
+        for profile_slice in partial.slices:
+            assert profile_slice.overlaps(window_start, window_end)
+
+    def test_window_data_matches_full_load(self, stored_profile):
+        manager, _ = stored_profile
+        window_start = 3 * 3_600_000
+        window_end = 10 * 3_600_000
+        partial = manager.load_window(1, window_start, window_end)
+        full = manager.load(1)
+        partial_fids = {
+            stat.fid
+            for s in partial.slices_in_window(window_start, window_end)
+            for stat in s.features(1, 0)
+        }
+        full_fids = {
+            stat.fid
+            for s in full.slices_in_window(window_start, window_end)
+            for stat in s.features(1, 0)
+        }
+        assert partial_fids == full_fids
+
+    def test_bytes_read_scale_with_window(self, stored_profile):
+        manager, _ = stored_profile
+        small_manager_reads = manager.stats.bytes_read
+        manager.load_window(1, 0, 2 * 3_600_000)
+        small = manager.stats.bytes_read - small_manager_reads
+        large_baseline = manager.stats.bytes_read
+        manager.load(1)
+        large = manager.stats.bytes_read - large_baseline
+        assert small < large
+
+    def test_missing_profile_is_none(self, stored_profile):
+        manager, _ = stored_profile
+        assert manager.load_window(999, 0, 1000) is None
+
+    def test_empty_window_rejected(self, stored_profile):
+        manager, _ = stored_profile
+        with pytest.raises(StorageError):
+            manager.load_window(1, 5000, 5000)
+
+    def test_window_outside_history_is_empty_profile(self, stored_profile):
+        manager, _ = stored_profile
+        partial = manager.load_window(1, 10**12, 10**12 + 1000)
+        assert partial is not None
+        assert partial.slice_count() == 0

@@ -1,0 +1,206 @@
+"""Tests for bulk and fine-grained persistence (Figs. 12-14)."""
+
+import threading
+
+import pytest
+
+from repro.core.aggregate import get_aggregate
+from repro.core.profile import ProfileData
+from repro.errors import VersionConflictError
+from repro.storage import (
+    BulkPersistence,
+    FineGrainedPersistence,
+    InMemoryKVStore,
+)
+
+SUM = get_aggregate("sum")
+
+
+def make_profile(profile_id=1, writes=50):
+    profile = ProfileData(profile_id, 1000)
+    for index in range(writes):
+        profile.add(
+            1_000_000 + index * 2000, index % 3, index % 2, index % 11,
+            [1, index], SUM,
+        )
+    return profile
+
+
+@pytest.fixture(params=["bulk", "fine"])
+def persistence(request):
+    store = InMemoryKVStore()
+    if request.param == "bulk":
+        return BulkPersistence(store, "t"), store
+    return FineGrainedPersistence(store, "t"), store
+
+
+class TestCommonBehaviour:
+    def test_flush_load_roundtrip(self, persistence):
+        manager, _ = persistence
+        original = make_profile()
+        manager.flush(original)
+        loaded = manager.load(1)
+        assert loaded.profile_id == 1
+        assert loaded.feature_count() == original.feature_count()
+        assert loaded.slice_count() == original.slice_count()
+
+    def test_load_missing_is_none(self, persistence):
+        manager, _ = persistence
+        assert manager.load(42) is None
+
+    def test_reflush_overwrites(self, persistence):
+        manager, _ = persistence
+        profile = make_profile(writes=5)
+        manager.flush(profile)
+        profile.add(9_999_999, 1, 1, 77, [3, 0], SUM)
+        manager.flush(profile)
+        loaded = manager.load(1)
+        assert loaded.feature_count() == profile.feature_count()
+
+    def test_delete_removes_everything(self, persistence):
+        manager, store = persistence
+        manager.flush(make_profile())
+        manager.delete(1)
+        assert manager.load(1) is None
+        assert len(store) == 0
+
+    def test_delete_missing_is_noop(self, persistence):
+        manager, _ = persistence
+        manager.delete(999)
+
+    def test_multiple_profiles_are_isolated(self, persistence):
+        manager, _ = persistence
+        manager.flush(make_profile(1, writes=5))
+        manager.flush(make_profile(2, writes=10))
+        assert manager.load(1).feature_count() == 5
+        assert manager.load(2).feature_count() == 10
+
+    def test_stats_track_traffic(self, persistence):
+        manager, _ = persistence
+        manager.flush(make_profile())
+        manager.load(1)
+        assert manager.stats.profiles_flushed == 1
+        assert manager.stats.profiles_loaded == 1
+        assert manager.stats.bytes_written > 0
+        assert manager.stats.bytes_read > 0
+
+
+class TestBulkSpecifics:
+    def test_single_key_per_profile(self):
+        store = InMemoryKVStore()
+        manager = BulkPersistence(store, "t")
+        manager.flush(make_profile())
+        assert len(store) == 1
+
+    def test_serialized_size_under_paper_bound(self):
+        """§III-E: a typical serialized+compressed profile is < 40 KB."""
+        store = InMemoryKVStore()
+        manager = BulkPersistence(store, "t")
+        profile = make_profile(writes=500)
+        assert manager.serialized_size(profile) < 40 * 1024
+
+
+class TestFineGrainedSpecifics:
+    def test_meta_plus_slice_keys(self):
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        profile = make_profile(writes=20)
+        manager.flush(profile)
+        # One meta record + one key per slice.
+        assert len(store) == 1 + profile.slice_count()
+
+    def test_reflush_garbage_collects_old_slices(self):
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        profile = make_profile(writes=20)
+        manager.flush(profile)
+        first_keys = len(store)
+        manager.flush(profile)
+        # Orphaned slice values from flush #1 were deleted.
+        assert len(store) == first_keys
+
+    def test_meta_version_advances_per_flush(self):
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        profile = make_profile(writes=5)
+        manager.flush(profile)
+        version_1 = store.xget(b"t/m/1").version
+        manager.flush(profile)
+        assert store.xget(b"t/m/1").version == version_1 + 1
+
+    def test_concurrent_flushers_converge(self):
+        """Fig. 14: racing flushes retry on version conflict; the final
+        state is one complete flush, never an interleaving."""
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        profile = make_profile(writes=30)
+        errors = []
+
+        def flusher():
+            try:
+                for _ in range(5):
+                    manager.flush(profile)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=flusher) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        loaded = manager.load(1)
+        assert loaded.feature_count() == profile.feature_count()
+
+    def test_conflict_counted_in_stats(self):
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        profile = make_profile(writes=3)
+        manager.flush(profile)
+        # Sabotage: bump the meta version behind the manager's back between
+        # its xget and xset by pre-writing with the plain API.
+        meta = store.xget(b"t/m/1")
+        store.set(b"t/m/1", meta.value)
+
+        # The next flush reads version N, another bump happens, conflict.
+        class RacingStore:
+            def __init__(self, inner):
+                self._inner = inner
+                self._raced = False
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def xset(self, key, value, held):
+                if not self._raced and key == b"t/m/1":
+                    self._raced = True
+                    current = self._inner.xget(key)
+                    self._inner.set(key, current.value)  # Version bump.
+                return self._inner.xset(key, value, held)
+
+        racing_manager = FineGrainedPersistence(RacingStore(store), "t")
+        racing_manager.flush(profile)
+        assert racing_manager.stats.version_conflicts == 1
+        assert racing_manager.load(1).feature_count() == profile.feature_count()
+
+    def test_gives_up_after_max_retries(self):
+        store = InMemoryKVStore()
+        # Seed a valid meta record so the conflicting rewrites stay
+        # decodable.
+        FineGrainedPersistence(store, "t").flush(make_profile(writes=2))
+
+        class AlwaysConflicting:
+            def __getattr__(self, name):
+                return getattr(store, name)
+
+            def xset(self, key, value, held):
+                # Bump the version right before every fenced write so the
+                # held version is always stale.
+                current = store.xget(key)
+                store.set(key, current.value)
+                return store.xset(key, value, held)
+
+        manager = FineGrainedPersistence(AlwaysConflicting(), "t", max_retries=2)
+        with pytest.raises(VersionConflictError):
+            manager.flush(make_profile(writes=2))
+        assert manager.stats.version_conflicts == 2

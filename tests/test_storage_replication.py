@@ -1,0 +1,82 @@
+"""Tests for master/slave KV replication (Fig. 15's storage tier)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import InMemoryKVStore, ReplicatedKVCluster
+
+
+@pytest.fixture
+def cluster():
+    return ReplicatedKVCluster(["us", "eu", "asia"], master_region="us")
+
+
+class TestConstruction:
+    def test_master_must_be_a_region(self):
+        with pytest.raises(StorageError):
+            ReplicatedKVCluster(["us"], master_region="mars")
+
+    def test_unknown_read_region_rejected(self, cluster):
+        with pytest.raises(StorageError):
+            cluster.read_store("mars")
+
+
+class TestReplicationFlow:
+    def test_writes_visible_on_master_immediately(self, cluster):
+        writer = cluster.write_store()
+        writer.set(b"k", b"v")
+        assert cluster.read_store("us").get(b"k") == b"v"
+
+    def test_slaves_lag_until_pumped(self, cluster):
+        writer = cluster.write_store()
+        writer.set(b"k", b"v")
+        assert cluster.read_store("eu").get(b"k") is None
+        assert cluster.lag("eu") == 1
+        cluster.pump()
+        assert cluster.read_store("eu").get(b"k") == b"v"
+        assert cluster.lag("eu") == 0
+
+    def test_master_region_has_zero_lag(self, cluster):
+        assert cluster.lag("us") == 0
+
+    def test_bounded_pump_leaves_remainder(self, cluster):
+        writer = cluster.write_store()
+        for index in range(10):
+            writer.set(f"k{index}".encode(), b"v")
+        applied = cluster.pump(max_ops=4)
+        assert applied == 8  # 4 per slave, two slaves.
+        assert cluster.lag("eu") == 6
+
+    def test_deletes_replicate(self, cluster):
+        writer = cluster.write_store()
+        writer.set(b"k", b"v")
+        cluster.pump()
+        writer.delete(b"k")
+        cluster.pump()
+        assert cluster.read_store("asia").get(b"k") is None
+
+    def test_xset_replicates_value(self, cluster):
+        writer = cluster.write_store()
+        version = writer.xset(b"k", b"v1", None)
+        writer.xset(b"k", b"v2", version)
+        cluster.pump()
+        assert cluster.read_store("eu").get(b"k") == b"v2"
+
+    def test_stale_read_shows_weak_consistency(self, cluster):
+        """§III-G: a failed-over reader may see stale data; that is by
+        design and bounded by the replication queue."""
+        writer = cluster.write_store()
+        writer.set(b"k", b"old")
+        cluster.pump()
+        writer.set(b"k", b"new")
+        # eu has not applied the update yet.
+        assert cluster.read_store("eu").get(b"k") == b"old"
+        cluster.pump()
+        assert cluster.read_store("eu").get(b"k") == b"new"
+
+    def test_per_region_pump(self, cluster):
+        writer = cluster.write_store()
+        writer.set(b"k", b"v")
+        cluster.pump(region="eu")
+        assert cluster.read_store("eu").get(b"k") == b"v"
+        assert cluster.read_store("asia").get(b"k") is None

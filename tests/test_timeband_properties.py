@@ -1,0 +1,80 @@
+"""Property tests on the time-dimension band structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import MILLIS_PER_DAY
+from repro.config import TimeDimensionConfig
+
+PRODUCTION = TimeDimensionConfig.production_default()
+
+
+class TestBandLookupProperties:
+    @given(st.integers(min_value=0, max_value=364 * MILLIS_PER_DAY))
+    @settings(max_examples=200, deadline=None)
+    def test_every_in_horizon_age_has_a_granularity(self, age_ms):
+        granularity = PRODUCTION.granularity_for_age(age_ms)
+        assert granularity is not None
+        assert granularity > 0
+
+    @given(
+        st.integers(min_value=0, max_value=364 * MILLIS_PER_DAY),
+        st.integers(min_value=0, max_value=MILLIS_PER_DAY),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_granularity_non_decreasing_with_age(self, age_ms, delta_ms):
+        """Older data is never kept at finer granularity than newer data."""
+        younger = PRODUCTION.granularity_for_age(age_ms)
+        older = PRODUCTION.granularity_for_age(age_ms + delta_ms)
+        if older is not None:
+            assert older >= younger
+
+    @given(st.integers(min_value=365 * MILLIS_PER_DAY, max_value=10**13))
+    @settings(max_examples=50, deadline=None)
+    def test_beyond_horizon_is_none(self, age_ms):
+        assert PRODUCTION.granularity_for_age(age_ms) is None
+
+    @given(st.integers(min_value=-10**10, max_value=-1))
+    @settings(max_examples=50, deadline=None)
+    def test_future_ages_use_finest_band(self, age_ms):
+        assert (
+            PRODUCTION.granularity_for_age(age_ms)
+            == PRODUCTION.bands[0].granularity_ms
+        )
+
+    def test_band_edges_belong_to_the_newer_band(self):
+        """At an exact band boundary, the older (coarser) band applies —
+        contains_age is half-open on the end."""
+        for earlier, later in zip(PRODUCTION.bands, PRODUCTION.bands[1:]):
+            boundary = earlier.age_end_ms
+            assert PRODUCTION.granularity_for_age(boundary) == (
+                later.granularity_ms
+            )
+            assert PRODUCTION.granularity_for_age(boundary - 1) == (
+                earlier.granularity_ms
+            )
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=10**8),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_synthesised_configs_round_trip(self, durations):
+        """Any contiguous non-decreasing-granularity config survives the
+        to_mapping/from_mapping round trip."""
+        # Duplicate granularities would collide as mapping keys, so the
+        # synthesised config uses each distinct duration once.
+        durations = sorted(set(durations))
+        bands = {}
+        start = 0
+        for index, granularity in enumerate(durations):
+            end = start + granularity * 10
+            bands[f"{granularity}ms"] = (f"{start}ms", f"{end}ms")
+            start = end
+        config = TimeDimensionConfig.from_mapping(bands)
+        rebuilt = TimeDimensionConfig.from_mapping(config.to_mapping())
+        assert rebuilt.to_mapping() == config.to_mapping()
+        assert rebuilt.horizon_ms == config.horizon_ms

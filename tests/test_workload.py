@@ -1,0 +1,146 @@
+"""Tests for workload generation: Zipf sampling, diurnal curves, events."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.workload import (
+    ActionMix,
+    DiurnalTrafficModel,
+    EventStreamGenerator,
+    WorkloadConfig,
+    ZipfGenerator,
+    spring_festival_curve,
+)
+
+
+class TestZipfGenerator:
+    def test_samples_in_range(self):
+        zipf = ZipfGenerator(100, seed=1)
+        assert all(0 <= zipf.sample() < 100 for _ in range(1000))
+
+    def test_skew_favours_low_ranks(self):
+        zipf = ZipfGenerator(1000, s=1.05, seed=2)
+        samples = zipf.sample_many(20_000)
+        assert samples.count(0) > samples.count(100) > 0 or samples.count(100) == 0
+        top_decile = sum(1 for value in samples if value < 100)
+        assert top_decile > len(samples) * 0.4
+
+    def test_probability_masses_sum_to_one(self):
+        zipf = ZipfGenerator(50)
+        total = sum(zipf.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        zipf = ZipfGenerator(50, s=1.2)
+        probabilities = [zipf.probability(rank) for rank in range(50)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_deterministic_with_seed(self):
+        a = ZipfGenerator(100, seed=7).sample_many(100)
+        b = ZipfGenerator(100, seed=7).sample_many(100)
+        assert a == b
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, s=0)
+
+    def test_probability_bounds_checked(self):
+        zipf = ZipfGenerator(10)
+        with pytest.raises(ValueError):
+            zipf.probability(10)
+
+
+class TestDiurnalTraffic:
+    def test_spring_festival_read_band(self):
+        """Fig. 16: read traffic oscillates in the ~30-40M band."""
+        curve = spring_festival_curve(read_traffic=True)
+        values = [curve.qps_at(hour * MILLIS_PER_HOUR) for hour in range(48)]
+        assert min(values) > 28e6
+        assert max(values) < 43e6
+        assert max(values) - min(values) > 5e6  # Real diurnal swing.
+
+    def test_write_band_is_tenth_of_reads(self):
+        """§IV-C: read traffic ≈ 10x write traffic."""
+        reads = spring_festival_curve(read_traffic=True, seed=1)
+        writes = spring_festival_curve(read_traffic=False, seed=1)
+        read_mean = sum(
+            reads.qps_at(hour * MILLIS_PER_HOUR) for hour in range(24)
+        ) / 24
+        write_mean = sum(
+            writes.qps_at(hour * MILLIS_PER_HOUR) for hour in range(24)
+        ) / 24
+        assert read_mean / write_mean == pytest.approx(10.0, rel=0.05)
+
+    def test_trough_near_configured_hour(self):
+        curve = DiurnalTrafficModel(
+            base_qps=10, peak_qps=20, trough_hour=4.0, noise_fraction=0.0
+        )
+        values = {
+            hour: curve.qps_at(hour * MILLIS_PER_HOUR) for hour in range(24)
+        }
+        trough = min(values, key=values.get)
+        assert abs(trough - 4.0) <= 1.0
+
+    def test_series_shape(self):
+        curve = spring_festival_curve()
+        series = curve.series(0, MILLIS_PER_DAY, MILLIS_PER_HOUR)
+        assert len(series) == 24
+        assert all(qps > 0 for _, qps in series)
+
+    def test_rejects_peak_below_base(self):
+        with pytest.raises(ValueError):
+            DiurnalTrafficModel(base_qps=10, peak_qps=5)
+
+    def test_series_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            spring_festival_curve().series(0, 100, 0)
+
+
+class TestEventStreamGenerator:
+    def test_impressions_produce_consistent_triples(self):
+        generator = EventStreamGenerator(
+            WorkloadConfig(num_users=50, num_items=100, seed=3)
+        )
+        triples = list(generator.impressions(100, 0, MILLIS_PER_HOUR))
+        assert len(triples) == 100
+        for impression, actions, feature in triples:
+            assert impression.request_id == feature.request_id
+            assert impression.item_id == feature.item_id
+            for action in actions:
+                assert action.request_id == impression.request_id
+                assert action.timestamp_ms > impression.timestamp_ms
+            assert 0 <= impression.user_id < 50
+            assert 0 <= impression.item_id < 100
+
+    def test_timestamps_increase(self):
+        generator = EventStreamGenerator(WorkloadConfig(seed=1))
+        triples = list(generator.impressions(50, 1000, MILLIS_PER_HOUR))
+        timestamps = [impression.timestamp_ms for impression, _, _ in triples]
+        assert timestamps == sorted(timestamps)
+
+    def test_action_mix_rates_roughly_honoured(self):
+        config = WorkloadConfig(
+            seed=5, action_mix=ActionMix({"click": 0.5})
+        )
+        generator = EventStreamGenerator(config)
+        triples = list(generator.impressions(2000, 0, MILLIS_PER_HOUR))
+        clicks = sum(1 for _, actions, _ in triples if actions)
+        assert 0.4 < clicks / 2000 < 0.6
+
+    def test_queries_are_well_formed(self):
+        generator = EventStreamGenerator(WorkloadConfig(num_users=10, seed=2))
+        for query in generator.queries(200):
+            assert 0 <= query.user_id < 10
+            assert 0 <= query.slot < 8
+            assert query.window_ms in EventStreamGenerator.QUERY_WINDOWS_MS
+            assert query.k in (5, 10, 20, 50)
+
+    def test_action_mix_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            ActionMix({"click": 1.5})
+
+    def test_zero_count_impressions(self):
+        generator = EventStreamGenerator()
+        assert list(generator.impressions(0, 0, 1000)) == []
