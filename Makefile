@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench-batch
+
+## check: tier-1 test suite plus the batch-query benchmark smoke run.
+check: test bench-batch
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch_query.py --smoke

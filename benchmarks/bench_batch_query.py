@@ -1,0 +1,230 @@
+"""Batched multi-get vs looped single-gets over the RPC-proxied cluster.
+
+Recommendation backends fetch profiles for hundreds of candidate items per
+ranking request.  The looped path pays one RPC round-trip per key; the
+batched path deduplicates the keys, groups them by owning shard via the
+hash ring, and issues one RPC per shard.  This bench drives both paths over
+the same warm cluster (every node behind an :class:`RPCNodeProxy`, so each
+call pays the Table II network model) and reports:
+
+* modelled end-to-end latency (the RPC layer's client-latency samples) —
+  the serving-side win the batch architecture exists for;
+* wall-clock time of the real Python implementation;
+* the dedup ratio and per-shard fan-out telemetry from
+  :class:`~repro.monitoring.BatchQueryMetrics`.
+
+Run standalone (``python benchmarks/bench_batch_query.py [--smoke]``, with
+``src`` on ``PYTHONPATH``) or via pytest (``pytest benchmarks/bench_batch_query.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro import IPSCluster, SortType, TableConfig, TimeRange
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.server.proxy import RPCNodeProxy
+from repro.workload.zipf import ZipfGenerator
+
+NOW_MS = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+SEED = 42
+
+
+def build_cluster(num_nodes: int, population: int, writes_per_profile: int):
+    """A warm single-region cluster with every node behind an RPC proxy."""
+    clock = SimulatedClock(NOW_MS)
+    config = TableConfig(name="bench", attributes=("click", "like", "share"))
+    cluster = IPSCluster(config, num_nodes=num_nodes, clock=clock)
+    for node_id in list(cluster.region.nodes):
+        cluster.region.nodes[node_id] = RPCNodeProxy(
+            cluster.region.nodes[node_id], clock
+        )
+    client = cluster.client("bench")
+    rng = random.Random(SEED)
+    for profile_id in range(population):
+        for _ in range(writes_per_profile):
+            client.add_profile(
+                profile_id,
+                NOW_MS - rng.randrange(30 * MILLIS_PER_DAY),
+                1,
+                1,
+                rng.randrange(200),
+                {"click": rng.randrange(1, 10), "like": rng.randrange(5)},
+            )
+    cluster.run_background_cycle()
+    return cluster, client
+
+
+def make_batches(
+    num_batches: int, batch_size: int, dup_fraction: float, population: int
+) -> list[list[int]]:
+    """Zipf-skewed batches with an exact in-batch duplicate fraction."""
+    zipf = ZipfGenerator(population, s=1.05, seed=SEED)
+    rng = random.Random(SEED + 1)
+    batches = []
+    unique_count = max(1, round(batch_size * (1.0 - dup_fraction)))
+    for _ in range(num_batches):
+        unique: list[int] = []
+        seen: set[int] = set()
+        while len(unique) < unique_count:
+            candidate = zipf.sample()
+            if candidate not in seen:
+                seen.add(candidate)
+                unique.append(candidate)
+        duplicates = rng.choices(unique, k=batch_size - unique_count)
+        batch = unique + duplicates
+        rng.shuffle(batch)
+        batches.append(batch)
+    return batches
+
+
+def modelled_latency_ms(cluster) -> float:
+    """Total modelled client latency accumulated across all node proxies."""
+    return sum(
+        sum(proxy.rpc.stats.client_latency_ms)
+        for proxy in cluster.region.nodes.values()
+    )
+
+
+def run_bench(
+    batch_size: int = 256,
+    dup_fraction: float = 0.25,
+    num_batches: int = 20,
+    num_nodes: int = 8,
+    population: int = 2000,
+    writes_per_profile: int = 6,
+) -> dict[str, float]:
+    cluster, client = build_cluster(num_nodes, population, writes_per_profile)
+    batches = make_batches(num_batches, batch_size, dup_fraction, population)
+
+    # Warm both paths once so cache residency is identical for the
+    # measured passes.
+    for profile_id in batches[0]:
+        client.get_profile_topk(profile_id, 1, 1, WINDOW, SortType.TOTAL, k=10)
+    client.multi_get_topk(batches[0], 1, 1, WINDOW, SortType.TOTAL, k=10)
+    client.batch_metrics = type(client.batch_metrics)()  # reset telemetry
+
+    looped_model_start = modelled_latency_ms(cluster)
+    looped_wall_start = time.perf_counter()
+    looped_results = []
+    for batch in batches:
+        looped_results.append(
+            [
+                client.get_profile_topk(
+                    profile_id, 1, 1, WINDOW, SortType.TOTAL, k=10
+                )
+                for profile_id in batch
+            ]
+        )
+    looped_wall_ms = (time.perf_counter() - looped_wall_start) * 1000.0
+    looped_model_ms = modelled_latency_ms(cluster) - looped_model_start
+
+    batched_model_start = modelled_latency_ms(cluster)
+    batched_wall_start = time.perf_counter()
+    batched_results = []
+    for batch in batches:
+        batched_results.append(
+            client.multi_get_topk(batch, 1, 1, WINDOW, SortType.TOTAL, k=10)
+        )
+    batched_wall_ms = (time.perf_counter() - batched_wall_start) * 1000.0
+    batched_model_ms = modelled_latency_ms(cluster) - batched_model_start
+
+    # The two paths must answer identically — a correctness gate so the
+    # speedup is never bought with wrong results.
+    for looped, batched in zip(looped_results, batched_results):
+        assert all(result.ok for result in batched)
+        assert [result.value for result in batched] == looped
+
+    metrics = client.batch_metrics
+    return {
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "num_nodes": num_nodes,
+        "looped_model_ms": looped_model_ms,
+        "batched_model_ms": batched_model_ms,
+        "model_speedup": looped_model_ms / batched_model_ms,
+        "looped_wall_ms": looped_wall_ms,
+        "batched_wall_ms": batched_wall_ms,
+        "wall_speedup": looped_wall_ms / batched_wall_ms,
+        "dedup_ratio": metrics.dedup_ratio,
+        "mean_fanout": metrics.mean_fanout,
+    }
+
+
+def report(result: dict[str, float]) -> None:
+    print()
+    print("=== Batched multi-get vs looped single-gets ===")
+    print(
+        f"batches={result['num_batches']:.0f}  "
+        f"batch_size={result['batch_size']:.0f}  "
+        f"nodes={result['num_nodes']:.0f}"
+    )
+    print(
+        f"modelled latency: looped={result['looped_model_ms']:9.1f} ms   "
+        f"batched={result['batched_model_ms']:9.1f} ms   "
+        f"speedup={result['model_speedup']:5.1f}x"
+    )
+    print(
+        f"wall clock:       looped={result['looped_wall_ms']:9.1f} ms   "
+        f"batched={result['batched_wall_ms']:9.1f} ms   "
+        f"speedup={result['wall_speedup']:5.1f}x"
+    )
+    print(
+        f"dedup_ratio={result['dedup_ratio']:.3f}   "
+        f"mean per-shard fan-out={result['mean_fanout']:.2f} RPCs/batch"
+    )
+
+
+def test_batched_multiget_speedup():
+    """Smoke-sized pytest entry point: batched must be >= 2x on the model."""
+    result = run_bench(
+        batch_size=64, num_batches=3, num_nodes=4, population=300,
+        writes_per_profile=3,
+    )
+    report(result)
+    assert result["model_speedup"] >= 2.0
+    assert abs(result["dedup_ratio"] - 0.25) < 0.02
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--dup-fraction", type=float, default=0.25)
+    parser.add_argument("--batches", type=int, default=20)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--population", type=int, default=2000)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (same assertions, seconds not minutes)",
+    )
+    args = parser.parse_args()
+    if args.batch_size < 1 or args.batches < 1 or args.nodes < 1 or args.population < 1:
+        parser.error("--batch-size, --batches, --nodes and --population must be >= 1")
+    if not 0.0 <= args.dup_fraction < 1.0:
+        parser.error("--dup-fraction must be in [0, 1)")
+    if args.smoke:
+        result = run_bench(
+            batch_size=64, num_batches=3, num_nodes=4, population=300,
+            writes_per_profile=3,
+        )
+    else:
+        result = run_bench(
+            batch_size=args.batch_size,
+            dup_fraction=args.dup_fraction,
+            num_batches=args.batches,
+            num_nodes=args.nodes,
+            population=args.population,
+        )
+    report(result)
+    if result["model_speedup"] < 2.0:
+        raise SystemExit(
+            f"batched path only {result['model_speedup']:.2f}x on the "
+            "latency model; expected >= 2x"
+        )
+
+
+if __name__ == "__main__":
+    main()

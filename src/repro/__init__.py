@@ -62,7 +62,7 @@ from .cluster import (
 from .assembly import AssembledFeatures, FeatureAssembler, FeatureSpec
 from .catalog import FeatureCatalog
 from .highlevel import CTRFeature, FeatureClient
-from .monitoring import ClusterMonitor, ClusterSnapshot
+from .monitoring import BatchQueryMetrics, ClusterMonitor, ClusterSnapshot
 from .errors import (
     ConfigError,
     IPSError,
@@ -73,13 +73,16 @@ from .errors import (
     StorageError,
     VersionConflictError,
 )
-from .server import IPSNode, IPSService
+from .server import BatchKeyResult, BatchReadOutcome, IPSNode, IPSService
 
 __version__ = "0.1.0"
 
 __all__ = [
     "AssembledFeatures",
     "AutoScaler",
+    "BatchKeyResult",
+    "BatchQueryMetrics",
+    "BatchReadOutcome",
     "CTRFeature",
     "FeatureAssembler",
     "FeatureCatalog",

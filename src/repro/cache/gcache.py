@@ -126,6 +126,49 @@ class GCache:
         entry = self._entry(profile_id)
         return entry.profile if entry is not None else None
 
+    def get_many(
+        self, profile_ids
+    ) -> tuple[dict[int, ProfileData | None], dict[int, Exception]]:
+        """Batched lookup: one probe pass, then a grouped miss-fill.
+
+        The residency probe runs over the whole batch first (hits are
+        counted and LRU-touched exactly as :meth:`get` would), and only
+        then are the collected misses loaded from persistence in one
+        grouped pass.  A load failure is captured per key instead of
+        aborting the batch; the second mapping carries those exceptions.
+        ``None`` in the first mapping means the profile exists in neither
+        the cache nor the persistent store.
+        """
+        profiles: dict[int, ProfileData | None] = {}
+        errors: dict[int, Exception] = {}
+        missing: list[int] = []
+        with self._entries_lock:
+            for profile_id in profile_ids:
+                if profile_id in profiles or profile_id in errors:
+                    continue
+                entry = self._entries.get(profile_id)
+                if entry is not None:
+                    profiles[profile_id] = entry.profile
+                else:
+                    missing.append(profile_id)
+        for profile_id, profile in profiles.items():
+            self.metrics.hits += 1
+            self.lru.touch(profile_id, profile.memory_bytes())
+        for profile_id in missing:
+            self.metrics.misses += 1
+            try:
+                loaded = self._load_fn(profile_id)
+            except Exception as exc:  # Degrade the key, not the batch.
+                errors[profile_id] = exc
+                continue
+            if loaded is None:
+                profiles[profile_id] = None
+                continue
+            self.metrics.loads += 1
+            self._install(loaded, dirty=False)
+            profiles[profile_id] = loaded
+        return profiles, errors
+
     def put(self, profile: ProfileData, dirty: bool = True) -> None:
         """Install (or replace) a resident profile, marking it dirty."""
         self._install(profile, dirty=dirty)

@@ -26,6 +26,8 @@ from ..errors import (
     RPCError,
     StorageError,
 )
+from ..monitoring import BatchQueryMetrics
+from ..server.batch import BatchKeyResult, BatchReadOutcome, dedup_preserving_order
 
 #: Errors a retry may fix (transient transport / storage hiccups).
 _RETRYABLE = (NodeUnavailableError, StorageError)
@@ -43,6 +45,9 @@ class ClientStats:
     write_errors: int = 0
     retries: int = 0
     region_failovers: int = 0
+    batch_reads: int = 0
+    batch_keys: int = 0
+    batch_key_errors: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -75,6 +80,8 @@ class IPSClient:
         #: "refresh the IPS instance list from Consul periodically") and
         #: routes around instances missing from it.
         self.use_discovery = use_discovery
+        #: Telemetry for the batched read path (size / dedup / fan-out).
+        self.batch_metrics = BatchQueryMetrics()
         self._discovery_epoch = -1
         self._healthy_by_region: dict[str, frozenset[str]] = {}
         self.discovery_refreshes = 0
@@ -230,6 +237,214 @@ class IPSClient:
         self.stats.read_errors += 1
         assert last_error is not None
         raise last_error
+
+    # ------------------------------------------------------------------
+    # Batched reads: dedup + shard-grouped fan-out + partial failure
+    # ------------------------------------------------------------------
+
+    def multi_get_topk(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        aggregate: str | None = None,
+    ) -> BatchReadOutcome:
+        """Batched ``get_profile_topk`` over many profiles.
+
+        Results are positionally aligned with ``profile_ids``; each carries
+        an ok/error status instead of raising, so one bad shard degrades
+        only its keys (the partial-failure contract of the batch path).
+        """
+        return self._multi_get(
+            profile_ids,
+            "multi_get_topk",
+            slot,
+            type_id,
+            time_range,
+            sort_type,
+            k,
+            sort_attribute=sort_attribute,
+            sort_weights=sort_weights,
+            aggregate=aggregate,
+        )
+
+    def multi_get_filter(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate,
+    ) -> BatchReadOutcome:
+        """Batched ``get_profile_filter``; see :meth:`multi_get_topk`."""
+        return self._multi_get(
+            profile_ids,
+            "multi_get_filter",
+            slot,
+            type_id,
+            time_range,
+            predicate,
+        )
+
+    def multi_get_decay(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_function: str = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+    ) -> BatchReadOutcome:
+        """Batched ``get_profile_decay``; see :meth:`multi_get_topk`."""
+        return self._multi_get(
+            profile_ids,
+            "multi_get_decay",
+            slot,
+            type_id,
+            time_range,
+            decay_function,
+            decay_factor,
+            k=k,
+            sort_attribute=sort_attribute,
+        )
+
+    def _multi_get(
+        self, profile_ids: Sequence[int], method: str, *args, **kwargs
+    ) -> BatchReadOutcome:
+        """Shared batched-read driver.
+
+        1. **Dedup** — repeated profile ids are resolved once and fanned
+           back to every requesting position.
+        2. **Shard grouping** — per region, keys are grouped by owning
+           node via the hash ring so one RPC carries all keys destined
+           for that node instead of N round-trips.
+        3. **Retry / failover** — a node-level transient failure retries
+           the affected keys around the ring (bounded, like the single-key
+           path); keys a region cannot serve fail over to the next region
+           in :meth:`_read_region_order`.
+        4. **Partial failure** — keys unresolved after every region carry
+           their last error as a per-key status; the batch never raises.
+        """
+        requested = list(profile_ids)
+        unique = dedup_preserving_order(requested)
+        self.stats.batch_reads += 1
+        self.stats.batch_keys += len(requested)
+        self.batch_metrics.observe_batch(len(requested), len(unique))
+        resolved: dict[int, BatchKeyResult] = {}
+        errors: dict[int, BatchKeyResult] = {}
+        pending = unique
+        shard_calls = 0
+        for index, region in enumerate(self._read_region_order()):
+            if not pending:
+                break
+            if index > 0:
+                self.stats.region_failovers += 1
+            pending, calls = self._batch_region(
+                region, pending, resolved, errors, method, *args, **kwargs
+            )
+            shard_calls += calls
+        self.batch_metrics.observe_fanout(shard_calls)
+        results = []
+        for profile_id in requested:
+            result = resolved.get(profile_id)
+            if result is None:
+                result = errors.get(profile_id)
+            assert result is not None, f"key {profile_id} left unanswered"
+            results.append(result)
+        failed = sum(1 for result in results if not result.ok)
+        self.stats.batch_key_errors += failed
+        self.batch_metrics.observe_key_errors(failed)
+        return BatchReadOutcome(results)
+
+    def _batch_region(
+        self,
+        region,
+        profile_ids: list[int],
+        resolved: dict[int, BatchKeyResult],
+        errors: dict[int, BatchKeyResult],
+        method: str,
+        *args,
+        **kwargs,
+    ) -> tuple[list[int], int]:
+        """Serve as many keys as possible from one region.
+
+        Returns the keys this region could not serve (for failover) and
+        the number of per-shard RPCs issued.  Every returned key has a
+        per-key error recorded in ``errors``.
+        """
+        kwargs.setdefault("caller", self.caller)
+        exclude: set[str] = set(self._unhealthy_in(region))
+        remaining = list(profile_ids)
+        deferred: list[int] = []
+        shard_calls = 0
+        for _attempt in range(self.max_retries + 1):
+            if not remaining:
+                break
+            groups: dict[str, list[int]] = {}
+            nodes_by_id: dict[str, object] = {}
+            unroutable: list[int] = []
+            for profile_id in remaining:
+                try:
+                    node = region.node_for(profile_id, exclude=exclude or None)
+                except (_REGION_FATAL + (RPCError,)) as error:
+                    errors[profile_id] = BatchKeyResult.failure(profile_id, error)
+                    unroutable.append(profile_id)
+                    continue
+                groups.setdefault(node.node_id, []).append(profile_id)
+                nodes_by_id[node.node_id] = node
+            deferred.extend(unroutable)
+            next_remaining: list[int] = []
+            for node_id, keys in groups.items():
+                shard_calls += 1
+                try:
+                    per_key = getattr(nodes_by_id[node_id], method)(
+                        keys, *args, **kwargs
+                    )
+                except _RETRYABLE as error:
+                    # Transient node failure: exclude it and retry these
+                    # keys against the next ring owner.
+                    exclude.add(node_id)
+                    self.stats.retries += 1
+                    for profile_id in keys:
+                        errors[profile_id] = BatchKeyResult.failure(
+                            profile_id, error
+                        )
+                    next_remaining.extend(keys)
+                    continue
+                except (_REGION_FATAL + (RPCError,)) as error:
+                    # Region-level failure (quota, no healthy node): stop
+                    # trying these keys here, let the next region serve them.
+                    for profile_id in keys:
+                        errors[profile_id] = BatchKeyResult.failure(
+                            profile_id, error
+                        )
+                    deferred.extend(keys)
+                    continue
+                for profile_id in keys:
+                    result = per_key.get(profile_id)
+                    if result is None:
+                        result = BatchKeyResult.failure(
+                            profile_id,
+                            NoHealthyNodeError(
+                                f"node {node_id} dropped key {profile_id}"
+                            ),
+                        )
+                    if result.ok:
+                        resolved[profile_id] = result
+                    else:
+                        errors[profile_id] = result
+                        next_remaining.append(profile_id)
+            remaining = next_remaining
+        # Keys still remaining exhausted their in-region retries; their
+        # last error is already recorded.
+        return remaining + deferred, shard_calls
 
     def _read_region_order(self):
         """Local region first, then the others as failover candidates."""

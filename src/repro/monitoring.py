@@ -18,6 +18,72 @@ from dataclasses import dataclass, field
 
 from .sim.metrics import TimeSeries
 
+#: Power-of-two bucket upper bounds for batch-size / fan-out histograms.
+_HIST_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def _bucket_label(value: int) -> str:
+    for bound in _HIST_BUCKETS:
+        if value <= bound:
+            return f"<={bound}"
+    return f">{_HIST_BUCKETS[-1]}"
+
+
+@dataclass
+class BatchQueryMetrics:
+    """Telemetry for the batched (multi-get) read path.
+
+    Tracks the three quantities the batch architecture lives or dies by:
+    how large batches actually are (``batch_size_hist``), how much
+    in-batch deduplication saves (``dedup_ratio``), and how many per-shard
+    RPCs a batch fans out into (``fanout_hist`` / ``shard_calls``).
+    """
+
+    batches: int = 0
+    keys_total: int = 0
+    keys_unique: int = 0
+    key_errors: int = 0
+    shard_calls: int = 0
+    batch_size_hist: dict[str, int] = field(default_factory=dict)
+    fanout_hist: dict[str, int] = field(default_factory=dict)
+
+    def observe_batch(self, size: int, unique: int) -> None:
+        self.batches += 1
+        self.keys_total += size
+        self.keys_unique += unique
+        label = _bucket_label(size)
+        self.batch_size_hist[label] = self.batch_size_hist.get(label, 0) + 1
+
+    def observe_fanout(self, shard_calls: int) -> None:
+        self.shard_calls += shard_calls
+        label = _bucket_label(shard_calls)
+        self.fanout_hist[label] = self.fanout_hist.get(label, 0) + 1
+
+    def observe_key_errors(self, count: int) -> None:
+        self.key_errors += count
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of requested keys removed by in-batch deduplication."""
+        if self.keys_total == 0:
+            return 0.0
+        return 1.0 - self.keys_unique / self.keys_total
+
+    @property
+    def mean_fanout(self) -> float:
+        """Average number of per-shard RPCs a batch fans out into."""
+        return self.shard_calls / self.batches if self.batches else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "batches": float(self.batches),
+            "keys_total": float(self.keys_total),
+            "keys_unique": float(self.keys_unique),
+            "key_errors": float(self.key_errors),
+            "dedup_ratio": self.dedup_ratio,
+            "mean_fanout": self.mean_fanout,
+        }
+
 
 @dataclass(frozen=True)
 class NodeSnapshot:
@@ -37,6 +103,8 @@ class NodeSnapshot:
     resident_profiles: int
     write_table_pending: int
     quota_rejections: int
+    batch_reads: int = 0
+    batch_keys: int = 0
 
     @property
     def memory_ratio(self) -> float:
@@ -133,6 +201,8 @@ class ClusterMonitor:
                         resident_profiles=node.cache.resident_count(),
                         write_table_pending=node.write_table.pending_count,
                         quota_rejections=node.quota.rejected,
+                        batch_reads=node.stats.batch_reads,
+                        batch_keys=node.stats.batch_keys,
                     )
                 )
         clock = self._deployment.clock

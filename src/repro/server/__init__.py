@@ -7,6 +7,7 @@ write table (§III-F) and a simulated Thrift-style RPC surface used by the
 cluster client and the latency experiments.
 """
 
+from .batch import BatchKeyResult, BatchReadOutcome
 from .isolation import WriteTable
 from .maintenance import MaintenancePool, MaintenancePoolStats
 from .node import IPSNode, NodeStats
@@ -16,6 +17,8 @@ from .rpc import LatencyModel, RPCServer, RPCStats
 from .service import IPSService
 
 __all__ = [
+    "BatchKeyResult",
+    "BatchReadOutcome",
     "IPSNode",
     "IPSService",
     "LatencyModel",

@@ -29,12 +29,14 @@ from ..core.profile import ProfileData
 from ..core.query import FeatureResult, FilterFn, QueryStats, SortType
 from ..core.timerange import TimeRange
 from ..cache import GCache
+from ..errors import IPSError
 from ..storage.kvstore import KVStore
 from ..storage.persistence import (
     BulkPersistence,
     FineGrainedPersistence,
     PersistenceManager,
 )
+from .batch import BatchKeyResult, dedup_preserving_order
 from .isolation import PendingWrite, WriteTable
 from .quota import QuotaManager
 
@@ -49,6 +51,8 @@ class NodeStats:
     writes_direct: int = 0
     merge_passes: int = 0
     quota_rejections: int = 0
+    batch_reads: int = 0
+    batch_keys: int = 0
 
 
 class IPSNode:
@@ -107,6 +111,16 @@ class IPSNode:
         if profile is not None and self.engine.table.get(profile_id) is None:
             self.engine.table.put(profile)
         return profile
+
+    def _resident_profiles(
+        self, profile_ids: Sequence[int]
+    ) -> tuple[dict[int, ProfileData | None], dict[int, Exception]]:
+        """Batched cache fetch: one probe pass, loads installed in the table."""
+        profiles, errors = self.cache.get_many(profile_ids)
+        for profile_id, profile in profiles.items():
+            if profile is not None and self.engine.table.get(profile_id) is None:
+                self.engine.table.put(profile)
+        return profiles, errors
 
     def _writable_profile(self, profile_id: int) -> ProfileData:
         """Profile for a write: cache hit, storage load, or fresh create."""
@@ -306,6 +320,119 @@ class IPSNode:
             k=k,
             sort_attribute=sort_attribute,
             stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched read APIs (multi-get)
+    # ------------------------------------------------------------------
+
+    def _multi_get(
+        self, profile_ids: Sequence[int], caller: str, query_one
+    ) -> dict[int, BatchKeyResult]:
+        """Shared batched-read skeleton.
+
+        One quota admission covers the whole batch, duplicated keys are
+        resolved once, and residency is established with a single GCache
+        probe pass (grouped miss-fill).  Failures — a storage error on the
+        miss-fill, an invalid per-key query — are captured per key so the
+        rest of the batch is still served.
+        """
+        self.quota.admit(caller)
+        unique = dedup_preserving_order(profile_ids)
+        self.stats.batch_reads += 1
+        self.stats.batch_keys += len(unique)
+        self.stats.reads += len(unique)
+        profiles, load_errors = self._resident_profiles(unique)
+        out: dict[int, BatchKeyResult] = {}
+        for profile_id in unique:
+            error = load_errors.get(profile_id)
+            if error is not None:
+                out[profile_id] = BatchKeyResult.failure(profile_id, error)
+                continue
+            try:
+                if profiles.get(profile_id) is None:
+                    value: list[FeatureResult] = []
+                else:
+                    value = query_one(profile_id)
+                out[profile_id] = BatchKeyResult.success(profile_id, value)
+            except IPSError as exc:
+                out[profile_id] = BatchKeyResult.failure(profile_id, exc)
+        return out
+
+    def multi_get_topk(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        aggregate: str | None = None,
+        caller: str = "default",
+    ) -> dict[int, BatchKeyResult]:
+        """Batched ``get_profile_topk`` over deduplicated profile ids."""
+        return self._multi_get(
+            profile_ids,
+            caller,
+            lambda profile_id: self.engine.get_profile_topk(
+                profile_id,
+                slot,
+                type_id,
+                time_range,
+                sort_type,
+                k,
+                sort_attribute=sort_attribute,
+                sort_weights=sort_weights,
+                aggregate=aggregate,
+            ),
+        )
+
+    def multi_get_filter(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate: FilterFn,
+        caller: str = "default",
+    ) -> dict[int, BatchKeyResult]:
+        """Batched ``get_profile_filter`` over deduplicated profile ids."""
+        return self._multi_get(
+            profile_ids,
+            caller,
+            lambda profile_id: self.engine.get_profile_filter(
+                profile_id, slot, type_id, time_range, predicate
+            ),
+        )
+
+    def multi_get_decay(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_function: str | DecayFn = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        caller: str = "default",
+    ) -> dict[int, BatchKeyResult]:
+        """Batched ``get_profile_decay`` over deduplicated profile ids."""
+        return self._multi_get(
+            profile_ids,
+            caller,
+            lambda profile_id: self.engine.get_profile_decay(
+                profile_id,
+                slot,
+                type_id,
+                time_range,
+                decay_function,
+                decay_factor,
+                k=k,
+                sort_attribute=sort_attribute,
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -32,6 +32,9 @@ class RPCNodeProxy:
             "get_profile_topk",
             "get_profile_filter",
             "get_profile_decay",
+            "multi_get_topk",
+            "multi_get_filter",
+            "multi_get_decay",
         }
     )
 

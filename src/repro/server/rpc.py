@@ -130,4 +130,13 @@ class RPCServer:
             return len(result)
         if isinstance(result, (list, tuple)):
             return 16 + 48 * len(result)
+        if isinstance(result, dict):
+            # Batched responses: one envelope per key plus its payload.
+            return 16 + sum(
+                32 + RPCServer._estimate_size(value) for value in result.values()
+            )
+        value = getattr(result, "value", None)
+        if isinstance(value, (list, tuple)):
+            # A per-key result envelope wrapping a row list.
+            return 16 + 48 * len(value)
         return 64

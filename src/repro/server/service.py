@@ -29,6 +29,7 @@ from ..core.query import FeatureResult, FilterFn, SortType
 from ..core.timerange import TimeRange
 from ..errors import ConfigError, TableNotFoundError
 from ..storage.kvstore import KVStore
+from .batch import BatchKeyResult
 from .node import IPSNode
 from .quota import QuotaManager
 
@@ -182,6 +183,64 @@ class IPSService:
     ) -> list[FeatureResult]:
         return self._node(table).get_profile_decay(
             profile_id, slot, type, time_range, decay_function, decay_factor,
+            k=k, sort_attribute=sort_attribute, caller=caller,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched read APIs (multi-get)
+    # ------------------------------------------------------------------
+
+    def multi_get_topk(
+        self,
+        table: str,
+        profile_ids: Sequence[int],
+        slot: int,
+        type: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        caller: str = "default",
+    ) -> dict[int, "BatchKeyResult"]:
+        """Batched top-K over many profiles of one table (one quota admit)."""
+        return self._node(table).multi_get_topk(
+            profile_ids, slot, type, time_range, sort_type, k,
+            sort_attribute=sort_attribute, sort_weights=sort_weights,
+            caller=caller,
+        )
+
+    def multi_get_filter(
+        self,
+        table: str,
+        profile_ids: Sequence[int],
+        slot: int,
+        type: int | None,
+        time_range: TimeRange,
+        filter_type: FilterFn,
+        caller: str = "default",
+    ) -> dict[int, "BatchKeyResult"]:
+        """Batched filter over many profiles of one table."""
+        return self._node(table).multi_get_filter(
+            profile_ids, slot, type, time_range, filter_type, caller=caller
+        )
+
+    def multi_get_decay(
+        self,
+        table: str,
+        profile_ids: Sequence[int],
+        slot: int,
+        type: int | None,
+        time_range: TimeRange,
+        decay_function: str | DecayFn = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        caller: str = "default",
+    ) -> dict[int, "BatchKeyResult"]:
+        """Batched decay read over many profiles of one table."""
+        return self._node(table).multi_get_decay(
+            profile_ids, slot, type, time_range, decay_function, decay_factor,
             k=k, sort_attribute=sort_attribute, caller=caller,
         )
 

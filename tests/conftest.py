@@ -2,15 +2,62 @@
 
 from __future__ import annotations
 
+import hashlib
+import random
+
 import pytest
 
 from repro.clock import MILLIS_PER_DAY, SimulatedClock
 from repro.config import ShrinkConfig, TableConfig, TruncateConfig
 from repro.core.engine import ProfileEngine
+from repro.workload.zipf import ZipfGenerator
 
 #: A fixed "now" far enough from the epoch that every query window and
 #: compaction band fits comfortably before it.
 NOW_MS = 400 * MILLIS_PER_DAY
+
+# Hypothesis-based tests must draw the same examples on every run so the
+# tier-1 suite is deterministic.
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile("deterministic", derandomize=True)
+    _hypothesis_settings.load_profile("deterministic")
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+
+
+def _seed_for(nodeid: str) -> int:
+    """Stable per-test seed derived from the test's node id."""
+    digest = hashlib.blake2b(nodeid.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_global_rng(request):
+    """Reseed the module-level RNG per test.
+
+    Any test (or code under test) that draws from the global ``random``
+    module gets a reproducible stream, independent of execution order.
+    """
+    random.seed(_seed_for(request.node.nodeid))
+    yield
+
+
+@pytest.fixture
+def rng(request) -> random.Random:
+    """A private RNG seeded from the test's node id (always deterministic)."""
+    return random.Random(_seed_for(request.node.nodeid))
+
+
+@pytest.fixture
+def make_zipf():
+    """Factory for seeded Zipf samplers (keeps workload draws deterministic)."""
+
+    def _make(n: int, s: float = 1.05, seed: int = 0) -> ZipfGenerator:
+        return ZipfGenerator(n, s=s, seed=seed)
+
+    return _make
 
 
 @pytest.fixture

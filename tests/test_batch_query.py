@@ -1,0 +1,302 @@
+"""Batch-equivalence tests for the multi-get read path.
+
+The contract under test: for any workload, ``multi_get_*`` answers are
+element-wise identical to looping the single-key ``get_profile_*`` calls
+— including duplicated keys and unknown profiles — and failures degrade
+per key (ok/error statuses) instead of raising.  Randomness comes from
+the seeded ``rng`` fixture so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import IPSCluster, MultiRegionDeployment
+from repro.cluster.client import IPSClient
+from repro.cluster.region import Region
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.server import IPSService
+from repro.server.proxy import RPCNodeProxy
+from repro.storage.kvstore import FailureInjector, InMemoryKVStore
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(30 * MILLIS_PER_DAY)
+ATTRS = ("click", "like")
+
+
+def populate(client, rng, population=60, writes=150):
+    for _ in range(writes):
+        client.add_profile(
+            rng.randrange(population),
+            NOW - rng.randrange(30 * MILLIS_PER_DAY),
+            1,
+            rng.choice((1, 2)),
+            rng.randrange(1, 25),
+            {"click": rng.randrange(1, 6), "like": rng.randrange(3)},
+        )
+
+
+def random_batch(rng, population=60, size=40):
+    """A batch with duplicates and a few unknown profile ids mixed in."""
+    batch = [rng.randrange(population + 10) for _ in range(size)]
+    batch.extend(rng.choices(batch, k=size // 4))  # guaranteed duplicates
+    rng.shuffle(batch)
+    return batch
+
+
+@pytest.fixture
+def cluster():
+    clock = SimulatedClock(NOW)
+    config = TableConfig(name="t", attributes=ATTRS)
+    return IPSCluster(config, num_nodes=4, clock=clock)
+
+
+class TestEquivalence:
+    def test_topk_matches_looped_single_gets(self, cluster, rng):
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        for _ in range(5):
+            batch = random_batch(rng)
+            outcome = client.multi_get_topk(
+                batch, 1, 1, WINDOW, SortType.TOTAL, k=5
+            )
+            looped = [
+                client.get_profile_topk(pid, 1, 1, WINDOW, SortType.TOTAL, k=5)
+                for pid in batch
+            ]
+            assert len(outcome) == len(batch)
+            assert all(result.ok for result in outcome)
+            assert [result.value for result in outcome] == looped
+
+    def test_filter_matches_looped_single_gets(self, cluster, rng):
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        predicate = lambda stat: stat.count_at(0) >= 3
+        batch = random_batch(rng)
+        outcome = client.multi_get_filter(batch, 1, 1, WINDOW, predicate)
+        looped = [
+            client.get_profile_filter(pid, 1, 1, WINDOW, predicate)
+            for pid in batch
+        ]
+        assert [result.value for result in outcome] == looped
+
+    def test_decay_matches_looped_single_gets(self, cluster, rng):
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        batch = random_batch(rng)
+        outcome = client.multi_get_decay(
+            batch, 1, 1, WINDOW, "exponential", 7 * MILLIS_PER_DAY, k=5
+        )
+        looped = [
+            client.get_profile_decay(
+                pid, 1, 1, WINDOW, "exponential", 7 * MILLIS_PER_DAY, k=5
+            )
+            for pid in batch
+        ]
+        assert [result.value for result in outcome] == looped
+
+    def test_all_duplicates_resolved_once(self, cluster, rng):
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        reads_before = sum(
+            node.stats.reads for node in cluster.region.nodes.values()
+        )
+        outcome = client.multi_get_topk([7] * 16, 1, 1, WINDOW)
+        reads_after = sum(
+            node.stats.reads for node in cluster.region.nodes.values()
+        )
+        assert len(outcome) == 16
+        assert len({id(result) for result in outcome}) == 1  # one envelope
+        assert reads_after - reads_before == 1  # resolved once server-side
+        assert client.batch_metrics.dedup_ratio == pytest.approx(15 / 16)
+
+    def test_empty_batch(self, cluster):
+        outcome = cluster.client("app").multi_get_topk([], 1, 1, WINDOW)
+        assert len(outcome) == 0
+        assert outcome.ok_count == 0
+
+    def test_unknown_profiles_are_ok_and_empty(self, cluster):
+        outcome = cluster.client("app").multi_get_topk(
+            [9001, 9002], 1, 1, WINDOW
+        )
+        assert all(result.ok for result in outcome)
+        assert outcome.values() == [[], []]
+
+
+class TestShardGrouping:
+    def test_one_rpc_per_owning_node(self, cluster, rng):
+        """A batch fans out as one call per owning shard, not one per key."""
+        clock = cluster.clock
+        for node_id in list(cluster.region.nodes):
+            cluster.region.nodes[node_id] = RPCNodeProxy(
+                cluster.region.nodes[node_id], clock
+            )
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        calls_before = sum(
+            proxy.rpc.stats.calls for proxy in cluster.region.nodes.values()
+        )
+        batch = random_batch(rng, size=32)
+        outcome = client.multi_get_topk(batch, 1, 1, WINDOW)
+        calls_after = sum(
+            proxy.rpc.stats.calls for proxy in cluster.region.nodes.values()
+        )
+        assert all(result.ok for result in outcome)
+        fanout = calls_after - calls_before
+        assert fanout <= len(cluster.region.nodes)
+        assert client.batch_metrics.shard_calls == fanout
+
+    def test_fanout_telemetry(self, cluster, rng):
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        client.multi_get_topk(random_batch(rng), 1, 1, WINDOW)
+        metrics = client.batch_metrics
+        assert metrics.batches == 1
+        assert 1 <= metrics.mean_fanout <= len(cluster.region.nodes)
+        assert sum(metrics.batch_size_hist.values()) == 1
+        assert sum(metrics.fanout_hist.values()) == 1
+
+
+class TestPartialFailure:
+    def test_dead_local_region_fails_over(self, rng):
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=ATTRS)
+        deployment = MultiRegionDeployment(
+            config, ["us", "eu"], nodes_per_region=2, clock=clock
+        )
+        client = deployment.client("us", "app")
+        populate(client, rng, population=30)
+        deployment.run_background_cycle()
+        batch = random_batch(rng, population=30, size=20)
+        expected = [result.value for result in client.multi_get_topk(batch, 1, 1, WINDOW)]
+        deployment.fail_region("us")
+        outcome = client.multi_get_topk(batch, 1, 1, WINDOW)
+        assert all(result.ok for result in outcome)
+        assert [result.value for result in outcome] == expected
+        assert client.stats.region_failovers >= 1
+
+    def test_all_regions_dead_returns_statuses_not_raise(self, rng):
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=ATTRS)
+        deployment = MultiRegionDeployment(
+            config, ["us", "eu"], nodes_per_region=2, clock=clock
+        )
+        client = deployment.client("us", "app")
+        populate(client, rng, population=30)
+        deployment.run_background_cycle()
+        deployment.fail_region("us")
+        deployment.fail_region("eu")
+        batch = random_batch(rng, population=30, size=20)
+        outcome = client.multi_get_topk(batch, 1, 1, WINDOW)  # must not raise
+        assert len(outcome) == len(batch)
+        assert outcome.ok_count == 0
+        for result in outcome:
+            assert result.error == "RegionUnavailableError"
+            assert result.value is None
+        assert client.stats.batch_key_errors == len(batch)
+        # Recovery restores full service for the same batch.
+        deployment.recover_region("us")
+        recovered = client.multi_get_topk(batch, 1, 1, WINDOW)
+        assert recovered.ok_count == len(batch)
+
+    def test_storage_failure_degrades_only_cold_keys(self, rng):
+        """Injected per-key storage errors surface as per-key statuses."""
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=ATTRS)
+        injector = FailureInjector()
+        store = InMemoryKVStore(failure_injector=injector)
+        warm_region = Region("warm", config, store, clock, num_nodes=2)
+
+        class _Deployment:
+            def __init__(self, regions, clock):
+                self.regions = regions
+                self.clock = clock
+
+        writer = IPSClient(
+            _Deployment({"warm": warm_region}, clock), "warm", "app"
+        )
+        for pid in range(10):
+            writer.add_profile(pid, NOW, 1, 1, 5, {"click": pid + 1})
+        warm_region.merge_all_write_tables()
+        for node in warm_region.nodes.values():
+            node.cache.flush_all()
+
+        # A cold region over the same store: every read must load from KV.
+        cold_region = Region("cold", config, store, clock, num_nodes=2)
+        client = IPSClient(
+            _Deployment({"cold": cold_region}, clock), "cold", "app",
+            max_retries=0,
+        )
+        # Warm up keys 0-4 so they are resident, then break the store.
+        warmup = client.multi_get_topk(list(range(5)), 1, 1, WINDOW)
+        assert warmup.ok_count == 5
+        injector.failure_rate = 1.0
+        outcome = client.multi_get_topk(list(range(10)), 1, 1, WINDOW)
+        assert [result.ok for result in outcome] == [True] * 5 + [False] * 5
+        for result in outcome[5:]:
+            assert result.error == "StorageError"
+        assert outcome.error_count == 5
+        # The store heals: the previously failed keys recover.
+        injector.failure_rate = 0.0
+        healed = client.multi_get_topk(list(range(10)), 1, 1, WINDOW)
+        assert healed.ok_count == 10
+
+    def test_node_failure_retries_around_ring(self, cluster, rng):
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        batch = random_batch(rng)
+        expected = [r.value for r in client.multi_get_topk(batch, 1, 1, WINDOW)]
+        failed = next(iter(cluster.region.nodes))
+        cluster.region.fail_node(failed)
+        outcome = client.multi_get_topk(batch, 1, 1, WINDOW)
+        assert all(result.ok for result in outcome)
+        # The replacement owners reload from the shared KV store, so the
+        # answers are unchanged.
+        assert [result.value for result in outcome] == expected
+
+
+class TestServiceSurface:
+    def test_table_first_multi_get(self, rng):
+        clock = SimulatedClock(NOW)
+        service = IPSService(InMemoryKVStore(), clock=clock)
+        service.create_table(TableConfig(name="feed", attributes=ATTRS))
+        for pid in range(8):
+            service.add_profile("feed", pid, NOW, 1, 1, pid, {"click": pid + 1})
+        service.run_background_cycle()
+        batch = [3, 5, 3, 99]
+        per_key = service.multi_get_topk("feed", batch, 1, 1, WINDOW)
+        assert set(per_key) == {3, 5, 99}
+        for pid in (3, 5, 99):
+            assert per_key[pid].ok
+            assert per_key[pid].value == service.get_profile_topk(
+                "feed", pid, 1, 1, WINDOW
+            )
+        filtered = service.multi_get_filter(
+            "feed", batch, 1, 1, WINDOW, lambda stat: stat.count_at(0) > 4
+        )
+        decayed = service.multi_get_decay(
+            "feed", batch, 1, 1, WINDOW, "exponential", 7 * MILLIS_PER_DAY
+        )
+        assert all(result.ok for result in filtered.values())
+        assert all(result.ok for result in decayed.values())
+
+    def test_batch_counters_roll_up_in_monitoring(self, cluster, rng):
+        from repro.monitoring import ClusterMonitor
+
+        client = cluster.client("app")
+        populate(client, rng)
+        cluster.run_background_cycle()
+        client.multi_get_topk(random_batch(rng), 1, 1, WINDOW)
+        snapshot = ClusterMonitor(cluster).snapshot()
+        assert sum(node.batch_reads for node in snapshot.nodes) >= 1
+        assert sum(node.batch_keys for node in snapshot.nodes) >= 1

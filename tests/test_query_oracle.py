@@ -1,0 +1,288 @@
+"""Property tests: core/query.py against a brute-force oracle.
+
+The query engine's merge is heavily optimised (hash-map merge plus
+``heapq.nlargest`` cuts).  The oracle here recomputes every query the
+dumb, obviously-correct way — walk *all* slices, check window overlap by
+hand, sum counts into a dict, full-sort with an independently written key
+— and the two must agree exactly, across randomized profiles, sort types
+and time ranges.  All randomness is seeded (no hypothesis needed): the
+per-test ``rng`` fixture derives its seed from the test's node id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.config import TableConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.decay import exponential_decay, linear_decay, step_decay
+from repro.core.profile import ProfileData
+from repro.core.query import QueryEngine, SortType
+from repro.core.timerange import TimeRange
+
+NOW = 400 * MILLIS_PER_DAY
+SPAN = 70 * MILLIS_PER_DAY  # writes land in [NOW - SPAN, NOW]
+ATTRIBUTES = ("like", "comment", "share")
+
+
+@pytest.fixture
+def config():
+    return TableConfig(name="oracle", attributes=ATTRIBUTES)
+
+
+@pytest.fixture
+def query_engine(config):
+    return QueryEngine(config, get_aggregate("sum"))
+
+
+# ----------------------------------------------------------------------
+# Random inputs
+# ----------------------------------------------------------------------
+
+
+def random_profile(rng, num_writes: int | None = None) -> ProfileData:
+    aggregate = get_aggregate("sum")
+    profile = ProfileData(1, write_granularity_ms=6 * MILLIS_PER_HOUR)
+    if num_writes is None:
+        num_writes = rng.randrange(0, 120)
+    for _ in range(num_writes):
+        profile.add(
+            NOW - rng.randrange(SPAN),
+            rng.choice((1, 2)),
+            rng.choice((1, 2, 3)),
+            rng.randrange(1, 40),
+            [rng.randrange(0, 9) for _ in ATTRIBUTES],
+            aggregate,
+        )
+    return profile
+
+
+def random_time_range(rng) -> TimeRange:
+    kind = rng.choice(("current", "relative", "absolute"))
+    if kind == "current":
+        return TimeRange.current(rng.randrange(1, SPAN))
+    if kind == "relative":
+        return TimeRange.relative(rng.randrange(1, SPAN))
+    start = NOW - rng.randrange(1, SPAN)
+    end = start + rng.randrange(1, SPAN)
+    return TimeRange.absolute(start, end)
+
+
+# ----------------------------------------------------------------------
+# The oracle: full scan, dict merge, full sort
+# ----------------------------------------------------------------------
+
+
+def oracle_merge(profile, slot, type_id, window, decay=None):
+    """fid -> (counts list, last_ts), by brute force over all slices."""
+    merged: dict[int, tuple[list[int], int]] = {}
+    for profile_slice in profile.slices:
+        overlaps = (
+            profile_slice.start_ms < window.end_ms
+            and profile_slice.end_ms > window.start_ms
+        )
+        if not overlaps:
+            continue
+        weight = 1.0
+        if decay is not None:
+            decay_fn, factor = decay
+            midpoint = (profile_slice.start_ms + profile_slice.end_ms) // 2
+            weight = decay_fn(max(0, window.end_ms - midpoint), factor)
+            if weight <= 0.0:
+                continue
+        for stat in profile_slice.features(slot, type_id):
+            counts = (
+                list(stat.counts)
+                if weight == 1.0
+                else [int(count * weight) for count in stat.counts]
+            )
+            existing = merged.get(stat.fid)
+            if existing is None:
+                merged[stat.fid] = (counts, stat.last_timestamp_ms)
+            else:
+                summed = [a + b for a, b in zip(existing[0], counts)]
+                merged[stat.fid] = (
+                    summed,
+                    max(existing[1], stat.last_timestamp_ms),
+                )
+    return merged
+
+
+def oracle_key(sort_type, counts, ts, fid, sort_attribute=None, sort_weights=None):
+    total = sum(counts)
+    if sort_type is SortType.TOTAL:
+        return (total, ts, -fid)
+    if sort_type is SortType.TIMESTAMP:
+        return (ts, total, -fid)
+    if sort_type is SortType.FEATURE_ID:
+        return (fid,)
+    if sort_type is SortType.ATTRIBUTE:
+        index = ATTRIBUTES.index(sort_attribute)
+        value = counts[index] if index < len(counts) else 0
+        return (value, ts, -fid)
+    assert sort_type is SortType.WEIGHTED
+    weighted = sum(
+        (counts[ATTRIBUTES.index(name)] if ATTRIBUTES.index(name) < len(counts) else 0)
+        * weight
+        for name, weight in sort_weights.items()
+    )
+    return (weighted, ts, -fid)
+
+
+def oracle_topk(merged, sort_type, k, sort_attribute=None, sort_weights=None):
+    rows = [
+        (fid, tuple(counts), ts) for fid, (counts, ts) in merged.items()
+    ]
+    rows.sort(
+        key=lambda row: oracle_key(
+            sort_type, row[1], row[2], row[0], sort_attribute, sort_weights
+        ),
+        reverse=True,
+    )
+    return rows[:k]
+
+
+def as_rows(results):
+    return [(r.fid, r.counts, r.last_timestamp_ms) for r in results]
+
+
+def resolve(profile, time_range):
+    return time_range.resolve(NOW, profile.newest_timestamp_ms())
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+SORT_CASES = [
+    (SortType.TOTAL, {}),
+    (SortType.TIMESTAMP, {}),
+    (SortType.FEATURE_ID, {}),
+    (SortType.ATTRIBUTE, {"sort_attribute": "comment"}),
+    (SortType.WEIGHTED, {"sort_weights": {"share": 3.0, "like": 1.0}}),
+]
+
+
+class TestTopKOracle:
+    @pytest.mark.parametrize(
+        "sort_type,extra", SORT_CASES, ids=[case[0].value for case in SORT_CASES]
+    )
+    def test_topk_matches_bruteforce(self, query_engine, rng, sort_type, extra):
+        for _ in range(25):
+            profile = random_profile(rng)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            k = rng.randrange(1, 50)
+            got = query_engine.top_k(
+                profile, slot, type_id, time_range, sort_type, k,
+                now_ms=NOW, **extra,
+            )
+            window = resolve(profile, time_range)
+            expected = (
+                []
+                if window is None
+                else oracle_topk(
+                    oracle_merge(profile, slot, type_id, window),
+                    sort_type,
+                    k,
+                    extra.get("sort_attribute"),
+                    extra.get("sort_weights"),
+                )
+            )
+            assert as_rows(got) == expected
+
+    def test_empty_profile_returns_empty(self, query_engine, rng):
+        profile = random_profile(rng, num_writes=0)
+        for time_range in (
+            TimeRange.current(MILLIS_PER_DAY),
+            TimeRange.relative(MILLIS_PER_DAY),
+        ):
+            assert (
+                query_engine.top_k(
+                    profile, 1, 1, time_range, SortType.TOTAL, 10, now_ms=NOW
+                )
+                == []
+            )
+
+
+class TestFilterOracle:
+    def test_filter_matches_bruteforce(self, query_engine, rng):
+        for _ in range(40):
+            profile = random_profile(rng)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            threshold = rng.randrange(0, 20)
+            got = query_engine.filter(
+                profile, slot, type_id, time_range,
+                lambda stat: stat.total() > threshold, now_ms=NOW,
+            )
+            window = resolve(profile, time_range)
+            if window is None:
+                assert got == []
+                continue
+            merged = oracle_merge(profile, slot, type_id, window)
+            kept = [
+                (fid, tuple(counts), ts)
+                for fid, (counts, ts) in merged.items()
+                if sum(counts) > threshold
+            ]
+            # get_profile_filter orders by (total, fid) descending.
+            kept.sort(key=lambda row: (sum(row[1]), row[0]), reverse=True)
+            assert as_rows(got) == kept
+
+
+class TestDecayOracle:
+    @pytest.mark.parametrize(
+        "decay_fn,factor",
+        [
+            (exponential_decay, 7 * MILLIS_PER_DAY),
+            (linear_decay, 30 * MILLIS_PER_DAY),
+            (step_decay, 10 * MILLIS_PER_DAY),
+        ],
+        ids=["exponential", "linear", "step"],
+    )
+    def test_decay_matches_bruteforce(self, query_engine, rng, decay_fn, factor):
+        for _ in range(20):
+            profile = random_profile(rng)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            k = rng.choice((None, rng.randrange(1, 30)))
+            got = query_engine.decay(
+                profile, slot, type_id, time_range, decay_fn, factor,
+                now_ms=NOW, k=k,
+            )
+            window = resolve(profile, time_range)
+            if window is None:
+                assert got == []
+                continue
+            merged = oracle_merge(
+                profile, slot, type_id, window, decay=(decay_fn, factor)
+            )
+            cut = len(merged) if k is None else k
+            expected = oracle_topk(merged, SortType.TOTAL, cut)
+            assert as_rows(got) == expected
+
+    def test_decay_with_sort_attribute(self, query_engine, rng):
+        for _ in range(10):
+            profile = random_profile(rng)
+            time_range = random_time_range(rng)
+            got = query_engine.decay(
+                profile, 1, 1, time_range, exponential_decay,
+                7 * MILLIS_PER_DAY, now_ms=NOW, sort_attribute="share",
+            )
+            window = resolve(profile, time_range)
+            if window is None:
+                assert got == []
+                continue
+            merged = oracle_merge(
+                profile, 1, 1, window,
+                decay=(exponential_decay, 7 * MILLIS_PER_DAY),
+            )
+            expected = oracle_topk(
+                merged, SortType.ATTRIBUTE, len(merged), sort_attribute="share"
+            )
+            assert as_rows(got) == expected

@@ -25,13 +25,13 @@ class TestZipfGenerator:
         top_decile = sum(1 for value in samples if value < 100)
         assert top_decile > len(samples) * 0.4
 
-    def test_probability_masses_sum_to_one(self):
-        zipf = ZipfGenerator(50)
+    def test_probability_masses_sum_to_one(self, make_zipf):
+        zipf = make_zipf(50, seed=3)
         total = sum(zipf.probability(rank) for rank in range(50))
         assert total == pytest.approx(1.0)
 
-    def test_probability_monotone_decreasing(self):
-        zipf = ZipfGenerator(50, s=1.2)
+    def test_probability_monotone_decreasing(self, make_zipf):
+        zipf = make_zipf(50, s=1.2, seed=4)
         probabilities = [zipf.probability(rank) for rank in range(50)]
         assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
 
