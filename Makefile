@@ -1,13 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-batch
+.PHONY: check test lint bench-batch bench-trace dash
 
-## check: tier-1 test suite plus the batch-query benchmark smoke run.
-check: test bench-batch
+## check: lint + tier-1 tests + benchmark smoke runs (batch query, tracing overhead).
+check: lint test bench-batch bench-trace
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+## lint: fail on direct time.time() usage outside clock.py.
+lint:
+	$(PYTHON) tools/check_clock_usage.py
+
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_query.py --smoke
+
+## bench-trace: tracing must cost <10% enabled and ~0 disabled.
+bench-trace:
+	$(PYTHON) benchmarks/bench_trace_overhead.py --smoke
+
+## dash: one-screen ASCII observability dashboard over a demo workload.
+dash:
+	$(PYTHON) -m repro.tools.dashboard

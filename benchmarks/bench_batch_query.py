@@ -84,7 +84,7 @@ def make_batches(
 def modelled_latency_ms(cluster) -> float:
     """Total modelled client latency accumulated across all node proxies."""
     return sum(
-        sum(proxy.rpc.stats.client_latency_ms)
+        proxy.rpc.stats.client_hist.sum
         for proxy in cluster.region.nodes.values()
     )
 

@@ -63,6 +63,17 @@ from .assembly import AssembledFeatures, FeatureAssembler, FeatureSpec
 from .catalog import FeatureCatalog
 from .highlevel import CTRFeature, FeatureClient
 from .monitoring import BatchQueryMetrics, ClusterMonitor, ClusterSnapshot
+from .obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    render_span_tree,
+)
 from .errors import (
     ConfigError,
     IPSError,
@@ -91,8 +102,11 @@ __all__ = [
     "ClusterMonitor",
     "ClusterSnapshot",
     "ConfigError",
+    "Counter",
     "FeatureClient",
     "FeatureResult",
+    "Gauge",
+    "Histogram",
     "IPSClient",
     "IPSCluster",
     "IPSError",
@@ -104,7 +118,10 @@ __all__ = [
     "MILLIS_PER_HOUR",
     "MILLIS_PER_MINUTE",
     "MILLIS_PER_SECOND",
+    "MetricsRegistry",
     "MultiRegionDeployment",
+    "NULL_TRACER",
+    "NullTracer",
     "ProfileEngine",
     "ProfileNotFoundError",
     "QuotaExceededError",
@@ -113,6 +130,7 @@ __all__ = [
     "SimulatedClock",
     "SlotShrinkPolicy",
     "SortType",
+    "Span",
     "StorageError",
     "SystemClock",
     "TableConfig",
@@ -120,9 +138,11 @@ __all__ = [
     "TimeDimensionConfig",
     "TimeRange",
     "TimeRangeKind",
+    "Tracer",
     "TruncateConfig",
     "VersionConflictError",
     "format_duration_ms",
     "parse_duration_ms",
+    "render_span_tree",
     "__version__",
 ]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.profile import ProfileData
+from ..obs.trace import NULL_TRACER
 from .dirty import ShardedDirtyList
 from .lru import ShardedLRU
 
@@ -76,6 +77,7 @@ class GCache:
         lru_shards: int = 16,
         dirty_shards: int = 4,
         evict_callback: EvictFn | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if not 0.0 < swap_target <= swap_threshold <= 1.0:
             raise ValueError(
@@ -87,6 +89,7 @@ class GCache:
         self._load_fn = load_fn
         self._flush_fn = flush_fn
         self._evict_callback = evict_callback
+        self.tracer = tracer
         self.capacity_bytes = capacity_bytes
         self.swap_threshold = swap_threshold
         self.swap_target = swap_target
@@ -108,18 +111,21 @@ class GCache:
         Returns ``None`` only when the profile exists in neither the cache
         nor the persistent store.
         """
-        entry = self._entry(profile_id)
-        if entry is not None:
-            self.metrics.hits += 1
-            self.lru.touch(profile_id, entry.profile.memory_bytes())
-            return entry.profile
-        self.metrics.misses += 1
-        loaded = self._load_fn(profile_id)
-        if loaded is None:
-            return None
-        self.metrics.loads += 1
-        self._install(loaded, dirty=False)
-        return loaded
+        with self.tracer.span("cache.get", profile=profile_id) as span:
+            entry = self._entry(profile_id)
+            if entry is not None:
+                self.metrics.hits += 1
+                self.lru.touch(profile_id, entry.profile.memory_bytes())
+                span.tag(hit=True)
+                return entry.profile
+            self.metrics.misses += 1
+            span.tag(hit=False)
+            loaded = self._load_fn(profile_id)
+            if loaded is None:
+                return None
+            self.metrics.loads += 1
+            self._install(loaded, dirty=False)
+            return loaded
 
     def get_resident(self, profile_id: int) -> ProfileData | None:
         """Look up a profile without triggering a load (peeking)."""
@@ -139,35 +145,38 @@ class GCache:
         ``None`` in the first mapping means the profile exists in neither
         the cache nor the persistent store.
         """
-        profiles: dict[int, ProfileData | None] = {}
-        errors: dict[int, Exception] = {}
-        missing: list[int] = []
-        with self._entries_lock:
-            for profile_id in profile_ids:
-                if profile_id in profiles or profile_id in errors:
+        with self.tracer.span("cache.get_many") as span:
+            profiles: dict[int, ProfileData | None] = {}
+            errors: dict[int, Exception] = {}
+            missing: list[int] = []
+            with self._entries_lock:
+                for profile_id in profile_ids:
+                    if profile_id in profiles or profile_id in errors:
+                        continue
+                    entry = self._entries.get(profile_id)
+                    if entry is not None:
+                        profiles[profile_id] = entry.profile
+                    else:
+                        missing.append(profile_id)
+            hits = len(profiles)
+            for profile_id, profile in profiles.items():
+                self.metrics.hits += 1
+                self.lru.touch(profile_id, profile.memory_bytes())
+            for profile_id in missing:
+                self.metrics.misses += 1
+                try:
+                    loaded = self._load_fn(profile_id)
+                except Exception as exc:  # Degrade the key, not the batch.
+                    errors[profile_id] = exc
                     continue
-                entry = self._entries.get(profile_id)
-                if entry is not None:
-                    profiles[profile_id] = entry.profile
-                else:
-                    missing.append(profile_id)
-        for profile_id, profile in profiles.items():
-            self.metrics.hits += 1
-            self.lru.touch(profile_id, profile.memory_bytes())
-        for profile_id in missing:
-            self.metrics.misses += 1
-            try:
-                loaded = self._load_fn(profile_id)
-            except Exception as exc:  # Degrade the key, not the batch.
-                errors[profile_id] = exc
-                continue
-            if loaded is None:
-                profiles[profile_id] = None
-                continue
-            self.metrics.loads += 1
-            self._install(loaded, dirty=False)
-            profiles[profile_id] = loaded
-        return profiles, errors
+                if loaded is None:
+                    profiles[profile_id] = None
+                    continue
+                self.metrics.loads += 1
+                self._install(loaded, dirty=False)
+                profiles[profile_id] = loaded
+            span.tag(hits=hits, misses=len(missing))
+            return profiles, errors
 
     def put(self, profile: ProfileData, dirty: bool = True) -> None:
         """Install (or replace) a resident profile, marking it dirty."""

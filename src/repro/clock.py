@@ -27,11 +27,27 @@ class Clock(Protocol):
         ...
 
 
+def perf_ms() -> float:
+    """Monotonic high-resolution wall milliseconds.
+
+    The one sanctioned escape hatch for *measuring real compute cost*
+    (span durations, handler service times, benchmark walls): everything
+    that needs a timestamp holds a :class:`Clock`; everything that needs a
+    duration calls this, so ``time`` stays quarantined in this module
+    (enforced by ``tools/check_clock_usage.py``).
+    """
+    return time.perf_counter() * MILLIS_PER_SECOND
+
+
 class SystemClock:
     """Wall-clock backed :class:`Clock` used in production paths."""
 
     def now_ms(self) -> int:
         return int(time.time() * MILLIS_PER_SECOND)
+
+    def perf_ms(self) -> float:
+        """High-resolution monotonic milliseconds for duration measurement."""
+        return perf_ms()
 
 
 class SimulatedClock:

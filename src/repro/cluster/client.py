@@ -26,7 +26,10 @@ from ..errors import (
     RPCError,
     StorageError,
 )
+from ..clock import perf_ms
 from ..monitoring import BatchQueryMetrics
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..server.batch import BatchKeyResult, BatchReadOutcome, dedup_preserving_order
 
 #: Errors a retry may fix (transient transport / storage hiccups).
@@ -67,6 +70,8 @@ class IPSClient:
         caller: str = "default",
         max_retries: int = 2,
         use_discovery: bool = False,
+        tracer=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if local_region not in deployment.regions:
             raise NoHealthyNodeError(f"unknown local region {local_region!r}")
@@ -80,8 +85,24 @@ class IPSClient:
         #: "refresh the IPS instance list from Consul periodically") and
         #: routes around instances missing from it.
         self.use_discovery = use_discovery
+        #: Tracing/metrics default to the deployment's (cluster-wide) ones,
+        #: so one tracer sees client -> rpc -> node -> cache -> storage.
+        if tracer is None:
+            tracer = getattr(deployment, "tracer", NULL_TRACER)
+        if registry is None:
+            registry = getattr(deployment, "registry", None)
+        self.tracer = tracer
+        self.registry = registry
+        if registry is not None:
+            self._read_hist = registry.histogram("client_read_ms", caller=caller)
+            self._write_hist = registry.histogram("client_write_ms", caller=caller)
+            self._batch_hist = registry.histogram(
+                "client_multi_get_ms", caller=caller
+            )
+        else:
+            self._read_hist = self._write_hist = self._batch_hist = None
         #: Telemetry for the batched read path (size / dedup / fan-out).
-        self.batch_metrics = BatchQueryMetrics()
+        self.batch_metrics = BatchQueryMetrics(registry)
         self._discovery_epoch = -1
         self._healthy_by_region: dict[str, frozenset[str]] = {}
         self.discovery_refreshes = 0
@@ -137,14 +158,21 @@ class IPSClient:
     def _write_all_regions(self, method: str, profile_id: int, *args) -> int:
         self.stats.writes += 1
         written = 0
-        for region in self._deployment.regions.values():
-            try:
-                self._call_in_region(
-                    region, profile_id, method, profile_id, *args
-                )
-                written += 1
-            except (_REGION_FATAL + _RETRYABLE + (RPCError,)):
-                continue
+        start = perf_ms()
+        with self.tracer.span(
+            f"client.{method}", profile=profile_id, caller=self.caller
+        ) as span:
+            for region in self._deployment.regions.values():
+                try:
+                    self._call_in_region(
+                        region, profile_id, method, profile_id, *args
+                    )
+                    written += 1
+                except (_REGION_FATAL + _RETRYABLE + (RPCError,)):
+                    continue
+            span.tag(regions_written=written)
+        if self._write_hist is not None:
+            self._write_hist.observe(perf_ms() - start)
         if written == 0:
             self.stats.write_errors += 1
         return written
@@ -224,19 +252,27 @@ class IPSClient:
     def _read(self, profile_id: int, method: str, *args, **kwargs):
         self.stats.reads += 1
         last_error: Exception | None = None
-        for index, region in enumerate(self._read_region_order()):
-            if index > 0:
-                self.stats.region_failovers += 1
+        start = perf_ms()
+        with self.tracer.span(
+            f"client.{method}", profile=profile_id, caller=self.caller
+        ):
             try:
-                return self._call_in_region(
-                    region, profile_id, method, *args, **kwargs
-                )
-            except (_REGION_FATAL + _RETRYABLE + (RPCError,)) as error:
-                last_error = error
-                continue
-        self.stats.read_errors += 1
-        assert last_error is not None
-        raise last_error
+                for index, region in enumerate(self._read_region_order()):
+                    if index > 0:
+                        self.stats.region_failovers += 1
+                    try:
+                        return self._call_in_region(
+                            region, profile_id, method, *args, **kwargs
+                        )
+                    except (_REGION_FATAL + _RETRYABLE + (RPCError,)) as error:
+                        last_error = error
+                        continue
+                self.stats.read_errors += 1
+                assert last_error is not None
+                raise last_error
+            finally:
+                if self._read_hist is not None:
+                    self._read_hist.observe(perf_ms() - start)
 
     # ------------------------------------------------------------------
     # Batched reads: dedup + shard-grouped fan-out + partial failure
@@ -341,15 +377,25 @@ class IPSClient:
         errors: dict[int, BatchKeyResult] = {}
         pending = unique
         shard_calls = 0
-        for index, region in enumerate(self._read_region_order()):
-            if not pending:
-                break
-            if index > 0:
-                self.stats.region_failovers += 1
-            pending, calls = self._batch_region(
-                region, pending, resolved, errors, method, *args, **kwargs
-            )
-            shard_calls += calls
+        start = perf_ms()
+        with self.tracer.span(
+            f"client.{method}",
+            keys=len(requested),
+            unique=len(unique),
+            caller=self.caller,
+        ) as span:
+            for index, region in enumerate(self._read_region_order()):
+                if not pending:
+                    break
+                if index > 0:
+                    self.stats.region_failovers += 1
+                pending, calls = self._batch_region(
+                    region, pending, resolved, errors, method, *args, **kwargs
+                )
+                shard_calls += calls
+            span.tag(shard_calls=shard_calls)
+        if self._batch_hist is not None:
+            self._batch_hist.observe(perf_ms() - start)
         self.batch_metrics.observe_fanout(shard_calls)
         results = []
         for profile_id in requested:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from ..clock import Clock, SystemClock
 from ..config import TableConfig
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..storage.kvstore import InMemoryKVStore
 from ..storage.replication import ReplicatedKVCluster
 from .client import IPSClient
@@ -29,9 +31,13 @@ class IPSCluster:
         cache_capacity_bytes: int = 256 * 1024 * 1024,
         isolation_enabled: bool = True,
         region_name: str = "local",
+        tracer=NULL_TRACER,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.clock = clock if clock is not None else SystemClock()
         self.config = config
+        self.tracer = tracer
+        self.registry = registry
         self.store = InMemoryKVStore()
         self.discovery = DiscoveryService(self.clock)
         self.region = Region(
@@ -43,6 +49,7 @@ class IPSCluster:
             cache_capacity_bytes=cache_capacity_bytes,
             isolation_enabled=isolation_enabled,
             discovery=self.discovery,
+            tracer=tracer,
         )
         #: Expose a deployment-compatible view so IPSClient works unchanged.
         self.regions = {region_name: self.region}
@@ -72,11 +79,15 @@ class MultiRegionDeployment:
         clock: Clock | None = None,
         cache_capacity_bytes: int = 256 * 1024 * 1024,
         isolation_enabled: bool = True,
+        tracer=NULL_TRACER,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not region_names:
             raise ValueError("need at least one region")
         self.clock = clock if clock is not None else SystemClock()
         self.config = config
+        self.tracer = tracer
+        self.registry = registry
         self.master_region = master_region or region_names[0]
         self.kv_cluster = ReplicatedKVCluster(region_names, self.master_region)
         self.discovery = DiscoveryService(self.clock)
@@ -98,6 +109,7 @@ class MultiRegionDeployment:
                 cache_capacity_bytes=cache_capacity_bytes,
                 isolation_enabled=isolation_enabled,
                 discovery=self.discovery,
+                tracer=tracer,
             )
             self.regions[name] = region
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..clock import Clock
 from ..config import TableConfig
 from ..errors import RegionUnavailableError
+from ..obs.trace import NULL_TRACER
 from ..server.node import IPSNode
 from ..storage.kvstore import KVStore
 from .discovery import DiscoveryService
@@ -36,12 +37,14 @@ class Region:
         isolation_enabled: bool = True,
         virtual_nodes: int = 64,
         discovery: DiscoveryService | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError(f"region needs at least one node, got {num_nodes}")
         self.name = name
         self.store = store
         self.discovery = discovery
+        self.tracer = tracer
         self.ring = ConsistentHashRing(virtual_nodes)
         self.nodes: dict[str, IPSNode] = {}
         self._failed_nodes: set[str] = set()
@@ -55,6 +58,7 @@ class Region:
                 clock=clock,
                 cache_capacity_bytes=cache_capacity_bytes,
                 isolation_enabled=isolation_enabled,
+                tracer=tracer,
             )
             self.nodes[node_id] = node
             self.ring.add_node(node_id)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from .events import InstanceRecord
 from .streams import Topic
 
@@ -88,6 +90,8 @@ class IngestionJob:
         extraction: ExtractionFn,
         group: str = "ips-ingest",
         batch_size: int = 1000,
+        tracer=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._topic = topic
         self._client = client
@@ -95,25 +99,58 @@ class IngestionJob:
         self._group = group
         self._batch_size = batch_size
         self.stats = IngestionStats()
+        #: Default to the client's tracer/registry so ingest writes appear
+        #: in the same trace tree and exposition as the serving path.
+        if tracer is None:
+            tracer = getattr(client, "tracer", NULL_TRACER)
+        if registry is None:
+            registry = getattr(client, "registry", None)
+        self.tracer = tracer
+        if registry is not None:
+            self._consumed_counter = registry.counter(
+                "ingest_instances_total", group=group
+            )
+            self._writes_counter = registry.counter(
+                "ingest_writes_total", group=group
+            )
+            self._failures_counter = registry.counter(
+                "ingest_write_failures_total", group=group
+            )
+        else:
+            self._consumed_counter = None
+            self._writes_counter = None
+            self._failures_counter = None
 
     def run_once(self) -> int:
         """One poll-extract-write cycle; returns instances consumed."""
         batch = self._topic.poll(self._group, self._batch_size)
-        for message in batch:
-            record: InstanceRecord = message.value
-            self.stats.instances_consumed += 1
-            for write in self._extraction(record):
-                written = self._client.add_profile(
-                    write.profile_id,
-                    write.timestamp_ms,
-                    write.slot,
-                    write.type_id,
-                    write.fid,
-                    write.counts,
-                )
-                self.stats.writes_issued += 1
-                if written == 0:
-                    self.stats.write_failures += 1
+        writes_before = self.stats.writes_issued
+        failures_before = self.stats.write_failures
+        with self.tracer.span(
+            "ingest.cycle", group=self._group, instances=len(batch)
+        ) as span:
+            for message in batch:
+                record: InstanceRecord = message.value
+                self.stats.instances_consumed += 1
+                for write in self._extraction(record):
+                    written = self._client.add_profile(
+                        write.profile_id,
+                        write.timestamp_ms,
+                        write.slot,
+                        write.type_id,
+                        write.fid,
+                        write.counts,
+                    )
+                    self.stats.writes_issued += 1
+                    if written == 0:
+                        self.stats.write_failures += 1
+            writes = self.stats.writes_issued - writes_before
+            failures = self.stats.write_failures - failures_before
+            span.tag(writes=writes, failures=failures)
+        if self._consumed_counter is not None:
+            self._consumed_counter.inc(len(batch))
+            self._writes_counter.inc(writes)
+            self._failures_counter.inc(failures)
         return len(batch)
 
     def run_until_drained(self, max_cycles: int = 1_000_000) -> int:

@@ -14,22 +14,24 @@ from a live in-process cluster or deployment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from .obs.registry import Histogram, MetricsRegistry
 from .sim.metrics import TimeSeries
 
-#: Power-of-two bucket upper bounds for batch-size / fan-out histograms.
-_HIST_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+def _size_histogram() -> Histogram:
+    """Power-of-two buckets (1, 2, 4, ... 1024) as a log-bucket histogram."""
+    return Histogram(min_ms=1.0, max_ms=1024.0, growth=2.0)
 
 
-def _bucket_label(value: int) -> str:
-    for bound in _HIST_BUCKETS:
-        if value <= bound:
-            return f"<={bound}"
-    return f">{_HIST_BUCKETS[-1]}"
+def _bucket_labels(histogram: Histogram) -> dict[str, int]:
+    """Populated buckets as the ``<=N`` label dict the dashboards show."""
+    return {
+        f"<={upper:g}": count for upper, count in histogram.nonzero_buckets()
+    }
 
 
-@dataclass
 class BatchQueryMetrics:
     """Telemetry for the batched (multi-get) read path.
 
@@ -37,27 +39,48 @@ class BatchQueryMetrics:
     how large batches actually are (``batch_size_hist``), how much
     in-batch deduplication saves (``dedup_ratio``), and how many per-shard
     RPCs a batch fans out into (``fanout_hist`` / ``shard_calls``).
+    Distributions live in :class:`~repro.obs.registry.Histogram` instances;
+    when a :class:`~repro.obs.registry.MetricsRegistry` is supplied, they
+    are registered there (``batch_size`` / ``batch_fanout``) so the same
+    objects show up in the process-wide exposition.
     """
 
-    batches: int = 0
-    keys_total: int = 0
-    keys_unique: int = 0
-    key_errors: int = 0
-    shard_calls: int = 0
-    batch_size_hist: dict[str, int] = field(default_factory=dict)
-    fanout_hist: dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.batches = 0
+        self.keys_total = 0
+        self.keys_unique = 0
+        self.key_errors = 0
+        self.shard_calls = 0
+        if registry is not None:
+            self.size_hist = registry.histogram(
+                "batch_size", min_ms=1.0, max_ms=1024.0, growth=2.0
+            )
+            self.fan_hist = registry.histogram(
+                "batch_fanout", min_ms=1.0, max_ms=1024.0, growth=2.0
+            )
+        else:
+            self.size_hist = _size_histogram()
+            self.fan_hist = _size_histogram()
+
+    @property
+    def batch_size_hist(self) -> dict[str, int]:
+        """Batch-size distribution as ``<=N`` labels (dashboard view)."""
+        return _bucket_labels(self.size_hist)
+
+    @property
+    def fanout_hist(self) -> dict[str, int]:
+        """Per-batch shard fan-out distribution as ``<=N`` labels."""
+        return _bucket_labels(self.fan_hist)
 
     def observe_batch(self, size: int, unique: int) -> None:
         self.batches += 1
         self.keys_total += size
         self.keys_unique += unique
-        label = _bucket_label(size)
-        self.batch_size_hist[label] = self.batch_size_hist.get(label, 0) + 1
+        self.size_hist.record(size)
 
     def observe_fanout(self, shard_calls: int) -> None:
         self.shard_calls += shard_calls
-        label = _bucket_label(shard_calls)
-        self.fanout_hist[label] = self.fanout_hist.get(label, 0) + 1
+        self.fan_hist.record(shard_calls)
 
     def observe_key_errors(self, count: int) -> None:
         self.key_errors += count
@@ -108,6 +131,8 @@ class NodeSnapshot:
 
     @property
     def memory_ratio(self) -> float:
+        if self.cache_capacity_bytes == 0:
+            return 0.0
         return self.memory_bytes / self.cache_capacity_bytes
 
     @property

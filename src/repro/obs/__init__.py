@@ -1,0 +1,21 @@
+"""Observability: request tracing and the unified metrics registry.
+
+See :mod:`repro.obs.trace` for the span/tracer API and
+:mod:`repro.obs.registry` for counters, gauges, histograms and the
+Prometheus-style / JSON expositions.
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, render_span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+]

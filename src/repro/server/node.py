@@ -30,6 +30,7 @@ from ..core.query import FeatureResult, FilterFn, QueryStats, SortType
 from ..core.timerange import TimeRange
 from ..cache import GCache
 from ..errors import IPSError
+from ..obs.trace import NULL_TRACER
 from ..storage.kvstore import KVStore
 from ..storage.persistence import (
     BulkPersistence,
@@ -72,14 +73,16 @@ class IPSNode:
         isolation_enabled: bool = True,
         write_table_limit_bytes: int = 8 * 1024 * 1024,
         quota: QuotaManager | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.node_id = node_id
         self.clock = clock if clock is not None else SystemClock()
+        self.tracer = tracer
         self.engine = ProfileEngine(config, self.clock)
         self.persistence: PersistenceManager = (
-            FineGrainedPersistence(store, config.name)
+            FineGrainedPersistence(store, config.name, tracer=tracer)
             if config.fine_grained_persistence
-            else BulkPersistence(store, config.name)
+            else BulkPersistence(store, config.name, tracer=tracer)
         )
         self.cache = GCache(
             load_fn=self.persistence.load,
@@ -90,6 +93,7 @@ class IPSNode:
             lru_shards=lru_shards,
             dirty_shards=dirty_shards,
             evict_callback=self._on_evict,
+            tracer=tracer,
         )
         self.write_table = WriteTable(write_table_limit_bytes)
         self.quota = quota if quota is not None else QuotaManager(self.clock)
@@ -145,19 +149,22 @@ class IPSNode:
         caller: str = "default",
     ) -> None:
         """``add_profile`` with quota admission and optional isolation."""
-        self.quota.admit(caller)
-        self.stats.writes += 1
-        vector = self.engine._normalize_counts(counts)
-        if self._isolation_enabled:
-            pending = PendingWrite(
+        with self.tracer.span("node.add_profile", profile=profile_id):
+            self.quota.admit(caller)
+            self.stats.writes += 1
+            vector = self.engine._normalize_counts(counts)
+            if self._isolation_enabled:
+                pending = PendingWrite(
+                    profile_id, timestamp_ms, slot, type_id, fid, vector
+                )
+                if self.write_table.append(pending):
+                    self.stats.writes_isolated += 1
+                    return
+                # Write table full: fall through to a synchronous write.
+            self.stats.writes_direct += 1
+            self._apply_write(
                 profile_id, timestamp_ms, slot, type_id, fid, vector
             )
-            if self.write_table.append(pending):
-                self.stats.writes_isolated += 1
-                return
-            # Write table full: fall through to a synchronous write.
-        self.stats.writes_direct += 1
-        self._apply_write(profile_id, timestamp_ms, slot, type_id, fid, vector)
 
     def add_profiles(
         self,
@@ -174,17 +181,24 @@ class IPSNode:
             raise ValueError(
                 f"fids and counts must align: {len(fids)} vs {len(counts_list)}"
             )
-        self.quota.admit(caller)
-        for fid, counts in zip(fids, counts_list):
-            vector = self.engine._normalize_counts(counts)
-            self.stats.writes += 1
-            if self._isolation_enabled and self.write_table.append(
-                PendingWrite(profile_id, timestamp_ms, slot, type_id, fid, vector)
-            ):
-                self.stats.writes_isolated += 1
-                continue
-            self.stats.writes_direct += 1
-            self._apply_write(profile_id, timestamp_ms, slot, type_id, fid, vector)
+        with self.tracer.span(
+            "node.add_profiles", profile=profile_id, fids=len(fids)
+        ):
+            self.quota.admit(caller)
+            for fid, counts in zip(fids, counts_list):
+                vector = self.engine._normalize_counts(counts)
+                self.stats.writes += 1
+                if self._isolation_enabled and self.write_table.append(
+                    PendingWrite(
+                        profile_id, timestamp_ms, slot, type_id, fid, vector
+                    )
+                ):
+                    self.stats.writes_isolated += 1
+                    continue
+                self.stats.writes_direct += 1
+                self._apply_write(
+                    profile_id, timestamp_ms, slot, type_id, fid, vector
+                )
 
     def _apply_write(
         self,
@@ -258,22 +272,24 @@ class IPSNode:
         caller: str = "default",
         stats: QueryStats | None = None,
     ) -> list[FeatureResult]:
-        self.quota.admit(caller)
-        self.stats.reads += 1
-        if self._resident_profile(profile_id) is None:
-            return []
-        return self.engine.get_profile_topk(
-            profile_id,
-            slot,
-            type_id,
-            time_range,
-            sort_type,
-            k,
-            sort_attribute=sort_attribute,
-            sort_weights=sort_weights,
-            aggregate=aggregate,
-            stats=stats,
-        )
+        with self.tracer.span("node.get_profile_topk", profile=profile_id):
+            self.quota.admit(caller)
+            self.stats.reads += 1
+            if self._resident_profile(profile_id) is None:
+                return []
+            with self.tracer.span("engine.execute", profile=profile_id):
+                return self.engine.get_profile_topk(
+                    profile_id,
+                    slot,
+                    type_id,
+                    time_range,
+                    sort_type,
+                    k,
+                    sort_attribute=sort_attribute,
+                    sort_weights=sort_weights,
+                    aggregate=aggregate,
+                    stats=stats,
+                )
 
     def get_profile_filter(
         self,
@@ -285,13 +301,15 @@ class IPSNode:
         caller: str = "default",
         stats: QueryStats | None = None,
     ) -> list[FeatureResult]:
-        self.quota.admit(caller)
-        self.stats.reads += 1
-        if self._resident_profile(profile_id) is None:
-            return []
-        return self.engine.get_profile_filter(
-            profile_id, slot, type_id, time_range, predicate, stats=stats
-        )
+        with self.tracer.span("node.get_profile_filter", profile=profile_id):
+            self.quota.admit(caller)
+            self.stats.reads += 1
+            if self._resident_profile(profile_id) is None:
+                return []
+            with self.tracer.span("engine.execute", profile=profile_id):
+                return self.engine.get_profile_filter(
+                    profile_id, slot, type_id, time_range, predicate, stats=stats
+                )
 
     def get_profile_decay(
         self,
@@ -306,28 +324,34 @@ class IPSNode:
         caller: str = "default",
         stats: QueryStats | None = None,
     ) -> list[FeatureResult]:
-        self.quota.admit(caller)
-        self.stats.reads += 1
-        if self._resident_profile(profile_id) is None:
-            return []
-        return self.engine.get_profile_decay(
-            profile_id,
-            slot,
-            type_id,
-            time_range,
-            decay_function,
-            decay_factor,
-            k=k,
-            sort_attribute=sort_attribute,
-            stats=stats,
-        )
+        with self.tracer.span("node.get_profile_decay", profile=profile_id):
+            self.quota.admit(caller)
+            self.stats.reads += 1
+            if self._resident_profile(profile_id) is None:
+                return []
+            with self.tracer.span("engine.execute", profile=profile_id):
+                return self.engine.get_profile_decay(
+                    profile_id,
+                    slot,
+                    type_id,
+                    time_range,
+                    decay_function,
+                    decay_factor,
+                    k=k,
+                    sort_attribute=sort_attribute,
+                    stats=stats,
+                )
 
     # ------------------------------------------------------------------
     # Batched read APIs (multi-get)
     # ------------------------------------------------------------------
 
     def _multi_get(
-        self, profile_ids: Sequence[int], caller: str, query_one
+        self,
+        profile_ids: Sequence[int],
+        caller: str,
+        query_one,
+        method: str = "multi_get",
     ) -> dict[int, BatchKeyResult]:
         """Shared batched-read skeleton.
 
@@ -337,27 +361,32 @@ class IPSNode:
         miss-fill, an invalid per-key query — are captured per key so the
         rest of the batch is still served.
         """
-        self.quota.admit(caller)
-        unique = dedup_preserving_order(profile_ids)
-        self.stats.batch_reads += 1
-        self.stats.batch_keys += len(unique)
-        self.stats.reads += len(unique)
-        profiles, load_errors = self._resident_profiles(unique)
-        out: dict[int, BatchKeyResult] = {}
-        for profile_id in unique:
-            error = load_errors.get(profile_id)
-            if error is not None:
-                out[profile_id] = BatchKeyResult.failure(profile_id, error)
-                continue
-            try:
-                if profiles.get(profile_id) is None:
-                    value: list[FeatureResult] = []
-                else:
-                    value = query_one(profile_id)
-                out[profile_id] = BatchKeyResult.success(profile_id, value)
-            except IPSError as exc:
-                out[profile_id] = BatchKeyResult.failure(profile_id, exc)
-        return out
+        with self.tracer.span(f"node.{method}", keys=len(profile_ids)) as span:
+            self.quota.admit(caller)
+            unique = dedup_preserving_order(profile_ids)
+            span.tag(unique=len(unique))
+            self.stats.batch_reads += 1
+            self.stats.batch_keys += len(unique)
+            self.stats.reads += len(unique)
+            profiles, load_errors = self._resident_profiles(unique)
+            out: dict[int, BatchKeyResult] = {}
+            for profile_id in unique:
+                error = load_errors.get(profile_id)
+                if error is not None:
+                    out[profile_id] = BatchKeyResult.failure(profile_id, error)
+                    continue
+                try:
+                    # No per-key engine.execute span here: a batch would pay
+                    # for hundreds of them; the node span's keys/unique tags
+                    # carry the same information at O(1) cost.
+                    if profiles.get(profile_id) is None:
+                        value: list[FeatureResult] = []
+                    else:
+                        value = query_one(profile_id)
+                    out[profile_id] = BatchKeyResult.success(profile_id, value)
+                except IPSError as exc:
+                    out[profile_id] = BatchKeyResult.failure(profile_id, exc)
+            return out
 
     def multi_get_topk(
         self,
@@ -387,6 +416,7 @@ class IPSNode:
                 sort_weights=sort_weights,
                 aggregate=aggregate,
             ),
+            method="multi_get_topk",
         )
 
     def multi_get_filter(
@@ -405,6 +435,7 @@ class IPSNode:
             lambda profile_id: self.engine.get_profile_filter(
                 profile_id, slot, type_id, time_range, predicate
             ),
+            method="multi_get_filter",
         )
 
     def multi_get_decay(
@@ -433,6 +464,7 @@ class IPSNode:
                 k=k,
                 sort_attribute=sort_attribute,
             ),
+            method="multi_get_decay",
         )
 
     # ------------------------------------------------------------------

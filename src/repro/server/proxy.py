@@ -4,8 +4,15 @@
 the :class:`~repro.server.rpc.RPCServer` transport so every call pays the
 modelled network cost and both server-side and client-side latency are
 recorded per request — the decomposition Table II reports.  Server-side
-time is the *measured* wall-clock time of the real handler, so proxied
-traffic yields a real-code Table II.
+time is the *measured* wall-clock time of the real handler (the RPC layer
+times it), so proxied traffic yields a real-code Table II.
+
+Each hop can be observed two ways:
+
+* a :class:`~repro.obs.trace.Tracer` records an ``rpc.call`` span per
+  proxied call (child of whatever client span is open on the thread);
+* a :class:`~repro.obs.registry.MetricsRegistry` accumulates
+  ``rpc_client_ms`` / ``rpc_server_ms`` histograms labelled by node.
 
 The proxy exposes the same read/write surface as the node, which makes it
 drop-in for the cluster client (duck-typed via ``getattr`` dispatch).
@@ -13,10 +20,11 @@ drop-in for the cluster client (duck-typed via ``getattr`` dispatch).
 
 from __future__ import annotations
 
-import time
 from typing import Any
 
 from ..clock import Clock
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from .node import IPSNode
 from .rpc import LatencyModel, RPCServer
 
@@ -43,9 +51,23 @@ class RPCNodeProxy:
         node: IPSNode,
         clock: Clock,
         latency_model: LatencyModel | None = None,
+        tracer=NULL_TRACER,
+        registry: MetricsRegistry | None = None,
+        advance_clock: bool = False,
     ) -> None:
         self.node = node
-        self.rpc = RPCServer(node, clock, latency_model)
+        self.rpc = RPCServer(node, clock, latency_model, advance_clock=advance_clock)
+        self.tracer = tracer
+        self._client_hist = (
+            registry.histogram("rpc_client_ms", node=node.node_id)
+            if registry is not None
+            else None
+        )
+        self._server_hist = (
+            registry.histogram("rpc_server_ms", node=node.node_id)
+            if registry is not None
+            else None
+        )
 
     @property
     def node_id(self) -> str:
@@ -57,25 +79,20 @@ class RPCNodeProxy:
     def __getattr__(self, name: str) -> Any:
         if name in self._RPC_METHODS:
             def call(*args: Any, **kwargs: Any) -> Any:
-                start = time.perf_counter()
-                # The RPC layer measures the real handler cost: invoke the
-                # handler inside, then charge its wall time as server time.
-                def timed_handler(*inner_args: Any, **inner_kwargs: Any) -> Any:
-                    return getattr(self.node, name)(*inner_args, **inner_kwargs)
-
-                # RPCServer resolves the method on its target, so install a
-                # shim attribute pointing at the timed handler.
-                result = self.rpc.call(
-                    name, *args,
-                    server_time_ms=0.0,  # Placeholder; patched below.
-                    **kwargs,
-                )
-                elapsed_ms = (time.perf_counter() - start) * 1000.0
-                # Replace the recorded zero server time with the measured
-                # handler time (the call above already appended entries).
-                if self.rpc.stats.server_latency_ms:
-                    self.rpc.stats.server_latency_ms[-1] = elapsed_ms
-                    self.rpc.stats.client_latency_ms[-1] += elapsed_ms
+                with self.tracer.span(
+                    "rpc.call", node=self.node.node_id, method=name
+                ) as span:
+                    result = self.rpc.call(
+                        name, *args, measure_server_time=True, **kwargs
+                    )
+                    stats = self.rpc.stats
+                    span.tag(
+                        client_ms=round(stats.last_client_ms, 3),
+                        server_ms=round(stats.last_server_ms, 3),
+                    )
+                if self._client_hist is not None:
+                    self._client_hist.observe(stats.last_client_ms)
+                    self._server_hist.observe(stats.last_server_ms)
                 return result
 
             return call
@@ -85,15 +102,13 @@ class RPCNodeProxy:
 
     def latency_summary(self) -> dict[str, float]:
         """Client/server latency summary over proxied calls (milliseconds)."""
-        from ..sim.metrics import percentile
-
         stats = self.rpc.stats
-        if not stats.client_latency_ms:
+        if not stats.client_hist.count:
             return {}
         return {
             "calls": float(stats.calls),
-            "client_p50_ms": percentile(stats.client_latency_ms, 50),
-            "client_p99_ms": percentile(stats.client_latency_ms, 99),
-            "server_p50_ms": percentile(stats.server_latency_ms, 50),
-            "server_p99_ms": percentile(stats.server_latency_ms, 99),
+            "client_p50_ms": stats.percentile(50, "client"),
+            "client_p99_ms": stats.percentile(99, "client"),
+            "server_p50_ms": stats.percentile(50, "server"),
+            "server_p99_ms": stats.percentile(99, "server"),
         }

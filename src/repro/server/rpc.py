@@ -9,7 +9,9 @@ handlers with the model and per-call accounting.
 
 The transport is in-process and synchronous: "sending" a request charges
 simulated milliseconds on a :class:`~repro.clock.SimulatedClock` (when one
-is used) and records client/server latency samples.
+is used) and records client/server latencies into bounded log-bucket
+histograms (:class:`RPCStats`), so a node can take billions of calls
+without the stats growing.
 """
 
 from __future__ import annotations
@@ -19,8 +21,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..clock import Clock, SimulatedClock
+from ..clock import Clock, SimulatedClock, perf_ms
 from ..errors import NodeUnavailableError
+from ..obs.registry import Histogram
 
 
 @dataclass
@@ -46,22 +49,57 @@ class LatencyModel:
         return self.network_base_ms + self.per_kb_ms * (payload_bytes / 1024.0) + jitter
 
 
-@dataclass
 class RPCStats:
-    calls: int = 0
-    failures: int = 0
-    client_latency_ms: list[float] = field(default_factory=list)
-    server_latency_ms: list[float] = field(default_factory=list)
+    """Bounded per-server call accounting.
+
+    Latency samples go into fixed-size log-bucket histograms instead of
+    unbounded lists; ``last_client_ms`` / ``last_server_ms`` keep the most
+    recent sample for call-level assertions and per-call exports.
+    """
+
+    __slots__ = (
+        "calls",
+        "failures",
+        "client_hist",
+        "server_hist",
+        "last_client_ms",
+        "last_server_ms",
+    )
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.failures = 0
+        self.client_hist = Histogram()
+        self.server_hist = Histogram()
+        self.last_client_ms = 0.0
+        self.last_server_ms = 0.0
+
+    def observe(self, client_ms: float, server_ms: float) -> None:
+        self.client_hist.record(client_ms)
+        self.server_hist.record(server_ms)
+        self.last_client_ms = client_ms
+        self.last_server_ms = server_ms
+
+    def percentile(self, q: float, kind: str = "client") -> float:
+        """Latency percentile (``q`` in [0, 100]) for ``client`` or
+        ``server`` samples — the accessor existing callers keep using."""
+        if kind == "client":
+            return self.client_hist.percentile(q)
+        if kind == "server":
+            return self.server_hist.percentile(q)
+        raise ValueError(f"kind must be 'client' or 'server', got {kind!r}")
 
 
 class RPCServer:
     """Dispatches named methods on a target object through the latency model.
 
-    ``server_time_fn`` lets callers supply the simulated server-side compute
-    time for a call (e.g. from measured service-time distributions); when
-    omitted the server time is measured as zero and only network cost is
-    modelled.  When the shared clock is a :class:`SimulatedClock` the total
-    latency advances it, so driver loops see consistent timelines.
+    ``server_time_ms`` lets callers supply the simulated server-side
+    compute time for a call (e.g. from measured service-time
+    distributions); ``measure_server_time=True`` instead measures the real
+    handler wall time through the clock's perf source — the mode the node
+    proxy uses so proxied traffic yields a real-code Table II.  When the
+    shared clock is a :class:`SimulatedClock` the total latency advances
+    it, so driver loops see consistent timelines.
     """
 
     def __init__(
@@ -89,6 +127,7 @@ class RPCServer:
         *args: Any,
         request_bytes: int = 256,
         server_time_ms: float = 0.0,
+        measure_server_time: bool = False,
         **kwargs: Any,
     ) -> Any:
         """Invoke ``method`` on the target, charging simulated latency.
@@ -103,6 +142,7 @@ class RPCServer:
                 self.stats.failures += 1
             raise NodeUnavailableError(getattr(self._target, "node_id", "unknown"))
         handler: Callable[..., Any] = getattr(self._target, method)
+        start = perf_ms() if measure_server_time else 0.0
         try:
             result = handler(*args, **kwargs)
         except Exception:
@@ -110,13 +150,14 @@ class RPCServer:
                 self.stats.calls += 1
                 self.stats.failures += 1
             raise
+        if measure_server_time:
+            server_time_ms = perf_ms() - start
         response_bytes = self._estimate_size(result)
         network_ms = self._model.network_ms(request_bytes + response_bytes)
         client_ms = network_ms + server_time_ms
         with self._lock:
             self.stats.calls += 1
-            self.stats.server_latency_ms.append(server_time_ms)
-            self.stats.client_latency_ms.append(client_ms)
+            self.stats.observe(client_ms, server_time_ms)
         if self._advance_clock and isinstance(self._clock, SimulatedClock):
             self._clock.advance(max(1, round(client_ms)))
         return result

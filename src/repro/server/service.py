@@ -28,6 +28,8 @@ from ..core.decay import DecayFn
 from ..core.query import FeatureResult, FilterFn, SortType
 from ..core.timerange import TimeRange
 from ..errors import ConfigError, TableNotFoundError
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..storage.kvstore import KVStore
 from .batch import BatchKeyResult
 from .node import IPSNode
@@ -44,12 +46,16 @@ class IPSService:
         node_id: str = "service",
         cache_capacity_bytes_per_table: int = 64 * 1024 * 1024,
         isolation_enabled: bool = True,
+        tracer=NULL_TRACER,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.clock = clock if clock is not None else SystemClock()
         self.node_id = node_id
         self._store = store
         self._cache_capacity = cache_capacity_bytes_per_table
         self._isolation_enabled = isolation_enabled
+        self.tracer = tracer
+        self.registry = registry
         #: One quota manager shared across tables: multi-tenancy quotas are
         #: per *caller*, not per (caller, table).
         self.quota = QuotaManager(self.clock)
@@ -73,6 +79,7 @@ class IPSService:
                 cache_capacity_bytes=self._cache_capacity,
                 isolation_enabled=self._isolation_enabled,
                 quota=self.quota,
+                tracer=self.tracer,
             )
 
     def drop_table(self, table: str) -> None:
@@ -97,6 +104,10 @@ class IPSService:
         """Expose a table's node stack (maintenance, monitoring, reload)."""
         return self._node(table)
 
+    def _span(self, method: str, table: str):
+        """Root span for one table-first API call."""
+        return self.tracer.span(f"service.{method}", table=table)
+
     # ------------------------------------------------------------------
     # Write APIs (paper §II-B signatures)
     # ------------------------------------------------------------------
@@ -112,9 +123,11 @@ class IPSService:
         feature_counts: Sequence[int] | dict[str, int],
         caller: str = "default",
     ) -> None:
-        self._node(table).add_profile(
-            profile_id, timestamp, slot, type, fid, feature_counts, caller=caller
-        )
+        with self._span("add_profile", table):
+            self._node(table).add_profile(
+                profile_id, timestamp, slot, type, fid, feature_counts,
+                caller=caller,
+            )
 
     def add_profiles(
         self,
@@ -127,9 +140,11 @@ class IPSService:
         feature_counts: Sequence[Sequence[int] | dict[str, int]],
         caller: str = "default",
     ) -> None:
-        self._node(table).add_profiles(
-            profile_id, timestamp, slot, type, fids, feature_counts, caller=caller
-        )
+        with self._span("add_profiles", table):
+            self._node(table).add_profiles(
+                profile_id, timestamp, slot, type, fids, feature_counts,
+                caller=caller,
+            )
 
     # ------------------------------------------------------------------
     # Read APIs (paper §II-B signatures)
@@ -148,11 +163,12 @@ class IPSService:
         sort_weights: dict[str, float] | None = None,
         caller: str = "default",
     ) -> list[FeatureResult]:
-        return self._node(table).get_profile_topk(
-            profile_id, slot, type, time_range, sort_type, k,
-            sort_attribute=sort_attribute, sort_weights=sort_weights,
-            caller=caller,
-        )
+        with self._span("get_profile_topk", table):
+            return self._node(table).get_profile_topk(
+                profile_id, slot, type, time_range, sort_type, k,
+                sort_attribute=sort_attribute, sort_weights=sort_weights,
+                caller=caller,
+            )
 
     def get_profile_filter(
         self,
@@ -164,9 +180,10 @@ class IPSService:
         filter_type: FilterFn,
         caller: str = "default",
     ) -> list[FeatureResult]:
-        return self._node(table).get_profile_filter(
-            profile_id, slot, type, time_range, filter_type, caller=caller
-        )
+        with self._span("get_profile_filter", table):
+            return self._node(table).get_profile_filter(
+                profile_id, slot, type, time_range, filter_type, caller=caller
+            )
 
     def get_profile_decay(
         self,
@@ -181,10 +198,12 @@ class IPSService:
         sort_attribute: str | None = None,
         caller: str = "default",
     ) -> list[FeatureResult]:
-        return self._node(table).get_profile_decay(
-            profile_id, slot, type, time_range, decay_function, decay_factor,
-            k=k, sort_attribute=sort_attribute, caller=caller,
-        )
+        with self._span("get_profile_decay", table):
+            return self._node(table).get_profile_decay(
+                profile_id, slot, type, time_range, decay_function,
+                decay_factor, k=k, sort_attribute=sort_attribute,
+                caller=caller,
+            )
 
     # ------------------------------------------------------------------
     # Batched read APIs (multi-get)
@@ -204,11 +223,12 @@ class IPSService:
         caller: str = "default",
     ) -> dict[int, "BatchKeyResult"]:
         """Batched top-K over many profiles of one table (one quota admit)."""
-        return self._node(table).multi_get_topk(
-            profile_ids, slot, type, time_range, sort_type, k,
-            sort_attribute=sort_attribute, sort_weights=sort_weights,
-            caller=caller,
-        )
+        with self._span("multi_get_topk", table):
+            return self._node(table).multi_get_topk(
+                profile_ids, slot, type, time_range, sort_type, k,
+                sort_attribute=sort_attribute, sort_weights=sort_weights,
+                caller=caller,
+            )
 
     def multi_get_filter(
         self,
@@ -221,9 +241,10 @@ class IPSService:
         caller: str = "default",
     ) -> dict[int, "BatchKeyResult"]:
         """Batched filter over many profiles of one table."""
-        return self._node(table).multi_get_filter(
-            profile_ids, slot, type, time_range, filter_type, caller=caller
-        )
+        with self._span("multi_get_filter", table):
+            return self._node(table).multi_get_filter(
+                profile_ids, slot, type, time_range, filter_type, caller=caller
+            )
 
     def multi_get_decay(
         self,
@@ -239,10 +260,12 @@ class IPSService:
         caller: str = "default",
     ) -> dict[int, "BatchKeyResult"]:
         """Batched decay read over many profiles of one table."""
-        return self._node(table).multi_get_decay(
-            profile_ids, slot, type, time_range, decay_function, decay_factor,
-            k=k, sort_attribute=sort_attribute, caller=caller,
-        )
+        with self._span("multi_get_decay", table):
+            return self._node(table).multi_get_decay(
+                profile_ids, slot, type, time_range, decay_function,
+                decay_factor, k=k, sort_attribute=sort_attribute,
+                caller=caller,
+            )
 
     # ------------------------------------------------------------------
     # Background duties across tables

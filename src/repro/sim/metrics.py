@@ -1,9 +1,18 @@
-"""Metric primitives: percentiles, latency histograms, time series."""
+"""Metric primitives: percentiles, latency histograms, time series.
+
+The log-bucketed histogram lives in :mod:`repro.obs.registry` (the one
+histogram implementation in the codebase); ``LatencyHistogram`` is kept
+here as a compatibility alias for the simulator and older callers.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+
+from ..obs.registry import Histogram as LatencyHistogram
+
+__all__ = ["LatencyHistogram", "TimeSeries", "percentile"]
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -24,105 +33,6 @@ def percentile(samples: list[float], q: float) -> float:
     interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
     # Guard against float rounding drifting outside the bracketing samples.
     return min(max(interpolated, ordered[lower]), ordered[upper])
-
-
-class LatencyHistogram:
-    """Log-bucketed latency histogram for high-volume percentile tracking.
-
-    Buckets grow geometrically from ``min_ms`` so quantile error stays
-    below the growth factor anywhere in the range; memory is O(buckets)
-    regardless of sample count, which lets simulation steps record millions
-    of request latencies.
-    """
-
-    def __init__(
-        self,
-        min_ms: float = 0.01,
-        max_ms: float = 60_000.0,
-        growth: float = 1.05,
-    ) -> None:
-        if not 0 < min_ms < max_ms:
-            raise ValueError("need 0 < min_ms < max_ms")
-        if growth <= 1.0:
-            raise ValueError(f"growth must exceed 1, got {growth}")
-        self._min_ms = min_ms
-        self._log_growth = math.log(growth)
-        self._num_buckets = (
-            int(math.log(max_ms / min_ms) / self._log_growth) + 2
-        )
-        self._counts = [0] * self._num_buckets
-        self._total = 0
-        self._sum_ms = 0.0
-        self._max_seen = 0.0
-
-    def record(self, latency_ms: float) -> None:
-        if latency_ms < 0:
-            raise ValueError(f"negative latency {latency_ms}")
-        self._counts[self._bucket_index(latency_ms)] += 1
-        self._total += 1
-        self._sum_ms += latency_ms
-        if latency_ms > self._max_seen:
-            self._max_seen = latency_ms
-
-    def record_many(self, latencies_ms: list[float]) -> None:
-        for latency in latencies_ms:
-            self.record(latency)
-
-    def _bucket_index(self, latency_ms: float) -> int:
-        if latency_ms <= self._min_ms:
-            return 0
-        index = int(math.log(latency_ms / self._min_ms) / self._log_growth) + 1
-        return min(index, self._num_buckets - 1)
-
-    def _bucket_upper_ms(self, index: int) -> float:
-        if index == 0:
-            return self._min_ms
-        return self._min_ms * math.exp(index * self._log_growth)
-
-    def quantile(self, q: float) -> float:
-        """Latency at quantile ``q`` in [0, 1] (upper bucket edge)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"q must be in [0, 1], got {q}")
-        if self._total == 0:
-            raise ValueError("histogram is empty")
-        target = q * self._total
-        running = 0
-        for index, count in enumerate(self._counts):
-            running += count
-            if running >= target:
-                return min(self._bucket_upper_ms(index), self._max_seen)
-        return self._max_seen
-
-    @property
-    def p50(self) -> float:
-        return self.quantile(0.50)
-
-    @property
-    def p99(self) -> float:
-        return self.quantile(0.99)
-
-    @property
-    def count(self) -> int:
-        return self._total
-
-    @property
-    def mean(self) -> float:
-        if self._total == 0:
-            raise ValueError("histogram is empty")
-        return self._sum_ms / self._total
-
-    @property
-    def max(self) -> float:
-        return self._max_seen
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        if len(other._counts) != len(self._counts):
-            raise ValueError("histograms have incompatible bucket layouts")
-        for index, count in enumerate(other._counts):
-            self._counts[index] += count
-        self._total += other._total
-        self._sum_ms += other._sum_ms
-        self._max_seen = max(self._max_seen, other._max_seen)
 
 
 @dataclass

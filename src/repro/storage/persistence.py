@@ -21,6 +21,7 @@ from typing import Protocol
 from ..core.profile import ProfileData
 from ..core.slice import Slice
 from ..errors import SerializationError, StorageError, VersionConflictError
+from ..obs.trace import NULL_TRACER
 from .compression import compress, decompress
 from .kvstore import KVStore
 from .serialization import ProfileCodec, read_varint, write_varint
@@ -69,24 +70,32 @@ def _slice_key(table: str, profile_id: int, slice_id: int) -> bytes:
 class BulkPersistence:
     """Whole-profile persistence: one key, one compressed value."""
 
-    def __init__(self, store: KVStore, table: str) -> None:
+    def __init__(self, store: KVStore, table: str, tracer=NULL_TRACER) -> None:
         self._store = store
         self._table = table
         self.stats = PersistenceStats()
+        self.tracer = tracer
 
     def flush(self, profile: ProfileData) -> None:
-        blob = compress(ProfileCodec.encode_profile(profile))
-        self._store.set(_profile_key(self._table, profile.profile_id), blob)
-        self.stats.profiles_flushed += 1
-        self.stats.bytes_written += len(blob)
+        with self.tracer.span(
+            "storage.flush", profile=profile.profile_id
+        ) as span:
+            blob = compress(ProfileCodec.encode_profile(profile))
+            self._store.set(_profile_key(self._table, profile.profile_id), blob)
+            self.stats.profiles_flushed += 1
+            self.stats.bytes_written += len(blob)
+            span.tag(bytes=len(blob))
 
     def load(self, profile_id: int) -> ProfileData | None:
-        blob = self._store.get(_profile_key(self._table, profile_id))
-        if blob is None:
-            return None
-        self.stats.profiles_loaded += 1
-        self.stats.bytes_read += len(blob)
-        return ProfileCodec.decode_profile(decompress(blob))
+        with self.tracer.span("storage.load", profile=profile_id) as span:
+            blob = self._store.get(_profile_key(self._table, profile_id))
+            if blob is None:
+                span.tag(found=False)
+                return None
+            self.stats.profiles_loaded += 1
+            self.stats.bytes_read += len(blob)
+            span.tag(found=True, bytes=len(blob))
+            return ProfileCodec.decode_profile(decompress(blob))
 
     def delete(self, profile_id: int) -> None:
         self._store.delete(_profile_key(self._table, profile_id))
@@ -155,11 +164,18 @@ class FineGrainedPersistence:
     values behind which :meth:`flush` deletes once the new meta is durable.
     """
 
-    def __init__(self, store: KVStore, table: str, max_retries: int = 4) -> None:
+    def __init__(
+        self,
+        store: KVStore,
+        table: str,
+        max_retries: int = 4,
+        tracer=NULL_TRACER,
+    ) -> None:
         self._store = store
         self._table = table
         self._max_retries = max_retries
         self.stats = PersistenceStats()
+        self.tracer = tracer
         self._next_slice_id = 0
         self._id_lock = threading.Lock()
 
@@ -169,15 +185,19 @@ class FineGrainedPersistence:
             return self._next_slice_id
 
     def flush(self, profile: ProfileData) -> None:
-        for attempt in range(self._max_retries):
-            try:
-                self._flush_once(profile)
-                return
-            except VersionConflictError:
-                self.stats.version_conflicts += 1
-                if attempt == self._max_retries - 1:
-                    raise
-        raise StorageError("unreachable")  # pragma: no cover
+        with self.tracer.span(
+            "storage.flush", profile=profile.profile_id
+        ) as span:
+            for attempt in range(self._max_retries):
+                try:
+                    self._flush_once(profile)
+                    span.tag(slices=len(profile.slices), attempts=attempt + 1)
+                    return
+                except VersionConflictError:
+                    self.stats.version_conflicts += 1
+                    if attempt == self._max_retries - 1:
+                        raise
+            raise StorageError("unreachable")  # pragma: no cover
 
     def _flush_once(self, profile: ProfileData) -> None:
         meta_key = _meta_key(self._table, profile.profile_id)
@@ -235,6 +255,14 @@ class FineGrainedPersistence:
         return self._load(profile_id, window=(start_ms, end_ms))
 
     def _load(
+        self, profile_id: int, window: tuple[int, int] | None
+    ) -> ProfileData | None:
+        with self.tracer.span("storage.load", profile=profile_id) as span:
+            profile = self._load_inner(profile_id, window)
+            span.tag(found=profile is not None)
+            return profile
+
+    def _load_inner(
         self, profile_id: int, window: tuple[int, int] | None
     ) -> ProfileData | None:
         meta = self._store.xget(_meta_key(self._table, profile_id))

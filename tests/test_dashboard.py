@@ -1,0 +1,107 @@
+"""Exposition round-trip through the dashboard CLI's parser/renderer."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.tools.dashboard import parse_exposition, render_dashboard
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    read = registry.histogram("client_read_ms", caller="app")
+    read.record_many([0.5, 1.0, 2.0, 5.0, 40.0])
+    write = registry.histogram("client_write_ms", caller="app")
+    write.record_many([0.2, 0.4, 0.9])
+    registry.counter("requests_total", region="eu").inc(8)
+    registry.gauge("resident_profiles").set(120)
+    return registry
+
+
+class TestParseExposition:
+    def test_round_trip_recovers_quantiles(self, registry):
+        families = parse_exposition(registry.render_text())
+        read = registry.get("client_read_ms", caller="app")
+        entry = families["client_read_ms"]["metrics"][0]
+        assert entry["labels"] == {"caller": "app"}
+        assert entry["count"] == 5
+        assert entry["sum"] == pytest.approx(read.sum, rel=1e-4)
+        # p50/p95/p99 come from the quantile summary lines, matching the
+        # live histogram to exposition float precision.
+        assert entry["p50"] == pytest.approx(read.p50, rel=1e-4)
+        assert entry["p95"] == pytest.approx(read.p95, rel=1e-4)
+        assert entry["p99"] == pytest.approx(read.p99, rel=1e-4)
+
+    def test_round_trip_buckets_cumulative(self, registry):
+        families = parse_exposition(registry.render_text())
+        entry = families["client_read_ms"]["metrics"][0]
+        counts = [count for _, count in entry["buckets"]]
+        assert counts == sorted(counts)
+        assert entry["buckets"][-1] == ("+Inf", 5)
+
+    def test_round_trip_counters_and_gauges(self, registry):
+        families = parse_exposition(registry.render_text())
+        assert families["requests_total"]["type"] == "counter"
+        assert families["requests_total"]["metrics"][0]["value"] == 8.0
+        assert families["resident_profiles"]["metrics"][0] == {
+            "labels": {},
+            "value": 120.0,
+        }
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line at all!")
+
+    def test_empty_exposition(self):
+        assert parse_exposition("") == {}
+        assert parse_exposition(MetricsRegistry().render_text()) == {}
+
+
+class TestRenderDashboard:
+    def test_reports_read_and_write_percentiles(self, registry):
+        """The acceptance check: text exposition -> dashboard showing
+        p50/p95/p99 for the read and write paths."""
+        read = registry.get("client_read_ms", caller="app")
+        write = registry.get("client_write_ms", caller="app")
+        text = render_dashboard(parse_exposition(registry.render_text()))
+        lines = {
+            line.split()[0]: line for line in text.splitlines() if line
+        }
+        read_line = lines["client_read_ms{caller=app}"]
+        write_line = lines["client_write_ms{caller=app}"]
+        for hist, line in ((read, read_line), (write, write_line)):
+            rendered = line.split()
+            assert float(rendered[-3]) == pytest.approx(hist.p50, abs=5e-4)
+            assert float(rendered[-2]) == pytest.approx(hist.p95, abs=5e-4)
+            assert float(rendered[-1]) == pytest.approx(hist.p99, abs=5e-4)
+
+    def test_includes_counters_section(self, registry):
+        text = render_dashboard(parse_exposition(registry.render_text()))
+        assert "-- counters / gauges --" in text
+        assert "requests_total{region=eu}" in text
+
+    def test_monitor_section_with_charts(self):
+        from repro.clock import MILLIS_PER_DAY, SimulatedClock
+        from repro.cluster import IPSCluster
+        from repro.config import TableConfig
+        from repro.monitoring import ClusterMonitor
+
+        now = 400 * MILLIS_PER_DAY
+        cluster = IPSCluster(
+            TableConfig(name="t", attributes=("click",)),
+            num_nodes=2,
+            clock=SimulatedClock(now),
+        )
+        client = cluster.client("app")
+        monitor = ClusterMonitor(cluster)
+        monitor.sample()
+        for step in range(3):
+            for profile_id in range(5):
+                client.add_profile(profile_id, now, 1, 0, 1, {"click": 1})
+            cluster.clock.advance(1000)
+            monitor.sample()
+        text = render_dashboard({}, monitor=monitor)
+        assert "-- cluster --" in text
+        assert "cluster @" in text
+        assert "read QPS" in text
+        assert "cache hit ratio" in text

@@ -136,3 +136,78 @@ class TestSeries:
         # Exactly 20 writes per second counted, including any landing on
         # the new node.
         assert monitor.series["write_qps"].values()[-1] == 20.0
+
+    def test_rates_survive_join_and_leave_in_one_interval(self, cluster):
+        """A node joining while another leaves still yields sane rates."""
+        from repro.cluster.autoscaler import AutoScaler, ScalingPolicy
+
+        client = cluster.client("app")
+        monitor = ClusterMonitor(cluster)
+        for profile_id in range(12):
+            client.add_profile(profile_id, NOW, 1, 0, 1, {"click": 1})
+        monitor.sample()  # Baseline: 3 nodes with counters.
+        scaler = AutoScaler(
+            cluster.region,
+            ScalingPolicy(node_capacity_qps=1000, min_nodes=1,
+                          max_nodes=8, cooldown_ticks=0),
+        )
+        scaler.tick(observed_qps=1)        # One node leaves...
+        scaler.tick(observed_qps=10_000)   # ...and new ones join.
+        for profile_id in range(12):
+            client.add_profile(profile_id, NOW, 1, 0, 1, {"click": 1})
+        cluster.clock.advance(1000)
+        monitor.sample()
+        values = monitor.series["write_qps"].values()
+        assert all(value >= 0 for value in values)
+        # The 12 new writes are counted at most once each (a leave must
+        # not double-count and a join must not inflate).
+        assert values[-1] <= 12.0
+
+
+class TestNodeSnapshotRatios:
+    def test_memory_ratio_with_zero_capacity(self):
+        """capacity == 0 (test doubles, pre-sizing nodes) must not divide."""
+        from repro.monitoring import NodeSnapshot
+
+        snapshot = NodeSnapshot(
+            node_id="n0", region="local", reads=0, writes=0,
+            cache_hits=0, cache_misses=0, cache_swaps=0, flushes=0,
+            flush_failures=0, memory_bytes=123, cache_capacity_bytes=0,
+            resident_profiles=1, write_table_pending=0, quota_rejections=0,
+        )
+        assert snapshot.memory_ratio == 0.0
+
+    def test_memory_ratio_normal(self):
+        from repro.monitoring import NodeSnapshot
+
+        snapshot = NodeSnapshot(
+            node_id="n0", region="local", reads=0, writes=0,
+            cache_hits=0, cache_misses=0, cache_swaps=0, flushes=0,
+            flush_failures=0, memory_bytes=50, cache_capacity_bytes=200,
+            resident_profiles=1, write_table_pending=0, quota_rejections=0,
+        )
+        assert snapshot.memory_ratio == 0.25
+
+
+class TestBatchQueryMetricsRegistry:
+    def test_histograms_register_in_registry(self):
+        from repro.monitoring import BatchQueryMetrics
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        metrics = BatchQueryMetrics(registry)
+        metrics.observe_batch(64, 48)
+        metrics.observe_fanout(3)
+        # Same objects: the registry's view reflects the client's records.
+        assert registry.get("batch_size").count == 1
+        assert registry.get("batch_fanout").count == 1
+        assert metrics.batch_size_hist == {"<=128": 1}
+        assert metrics.fanout_hist == {"<=4": 1}
+
+    def test_standalone_without_registry(self):
+        from repro.monitoring import BatchQueryMetrics
+
+        metrics = BatchQueryMetrics()
+        metrics.observe_batch(10, 5)
+        assert metrics.dedup_ratio == 0.5
+        assert sum(metrics.batch_size_hist.values()) == 1

@@ -36,19 +36,17 @@ class TestProxyDispatch:
         proxy.add_profile(1, NOW, 1, 0, 42, {"click": 1})
         proxy.get_profile_topk(1, 1, 0, WINDOW, k=1)
         stats = proxy.rpc.stats
-        assert len(stats.client_latency_ms) == 2
-        assert len(stats.server_latency_ms) == 2
+        assert stats.client_hist.count == 2
+        assert stats.server_hist.count == 2
         # Client latency = network (>= 3 ms base) + measured server time.
-        for client_ms, server_ms in zip(
-            stats.client_latency_ms, stats.server_latency_ms
-        ):
-            assert client_ms >= server_ms + 3.0
+        assert stats.last_client_ms >= stats.last_server_ms + 3.0
+        assert stats.client_hist.sum >= stats.server_hist.sum + 2 * 3.0
 
     def test_server_time_is_real_measured_cost(self, proxy):
         for hour in range(50):
             proxy.add_profile(1, NOW - hour * 3_600_000, 1, 0, hour, {"click": 1})
         proxy.get_profile_topk(1, 1, 0, TimeRange.current(30 * MILLIS_PER_DAY), k=10)
-        assert proxy.rpc.stats.server_latency_ms[-1] > 0.0
+        assert proxy.rpc.stats.last_server_ms > 0.0
 
     def test_unavailable_proxy_raises(self, proxy):
         proxy.set_available(False)

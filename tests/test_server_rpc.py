@@ -42,16 +42,36 @@ class TestRPCServer:
         server = RPCServer(Target(), clock, LatencyModel(jitter_ms=0.0))
         assert server.call("echo", 42) == 42
         assert server.stats.calls == 1
-        assert len(server.stats.client_latency_ms) == 1
+        assert server.stats.client_hist.count == 1
         # Client latency includes the 3 ms network base.
-        assert server.stats.client_latency_ms[0] >= 3.0
+        assert server.stats.last_client_ms >= 3.0
 
     def test_server_time_recorded(self):
         clock = SimulatedClock(0)
         server = RPCServer(Target(), clock)
         server.call("echo", 1, server_time_ms=2.5)
-        assert server.stats.server_latency_ms == [2.5]
-        assert server.stats.client_latency_ms[0] >= 5.5
+        assert server.stats.last_server_ms == 2.5
+        assert server.stats.server_hist.count == 1
+        assert server.stats.last_client_ms >= 5.5
+
+    def test_measured_server_time(self):
+        clock = SimulatedClock(0)
+        server = RPCServer(Target(), clock)
+        server.call("big", measure_server_time=True)
+        assert server.stats.last_server_ms > 0.0
+
+    def test_stats_bounded_memory(self):
+        """The histograms keep O(buckets) state however many calls land."""
+        clock = SimulatedClock(0)
+        server = RPCServer(Target(), clock, LatencyModel(jitter_ms=0.0))
+        buckets_before = len(server.stats.client_hist._counts)
+        for _ in range(2000):
+            server.call("echo", 1)
+        assert server.stats.client_hist.count == 2000
+        assert len(server.stats.client_hist._counts) == buckets_before
+        assert server.stats.percentile(50, "client") >= 3.0
+        with pytest.raises(ValueError):
+            server.stats.percentile(50, "bogus")
 
     def test_unavailable_node_raises(self):
         clock = SimulatedClock(0)
@@ -75,9 +95,9 @@ class TestRPCServer:
         model = LatencyModel(network_base_ms=3.0, per_kb_ms=1.0, jitter_ms=0.0)
         server = RPCServer(Target(), clock, model)
         server.call("echo", None, request_bytes=0)
-        small = server.stats.client_latency_ms[-1]
+        small = server.stats.last_client_ms
         server.call("big", request_bytes=0)
-        large = server.stats.client_latency_ms[-1]
+        large = server.stats.last_client_ms
         assert large > small
 
     def test_advance_clock_mode(self):

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Lint: no module outside ``clock.py`` may call ``time.time()`` directly.
+
+All simulated/modelled time must flow through the active
+:class:`repro.clock.Clock` (``now_ms``), and all real compute measurement
+through :func:`repro.clock.perf_ms` — otherwise simulated runs silently
+mix wall time into modelled results.  This script walks ``src/repro`` and
+fails the build on any direct ``time.time(...)`` call elsewhere.
+
+Run from the repo root (``make lint`` does): ``python tools/check_clock_usage.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIR = ROOT / "src" / "repro"
+#: The one module allowed to touch the wall clock.
+ALLOWED = {SOURCE_DIR / "clock.py"}
+
+
+def _is_time_time(node: ast.Call) -> bool:
+    func = node.func
+    # time.time(...)
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return True
+    return False
+
+
+def _offenders_in(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _is_time_time(node):
+            lines.append(node.lineno)
+        # from time import time  — an alias that hides the call form above.
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            if any(alias.name == "time" for alias in node.names):
+                lines.append(node.lineno)
+    return lines
+
+
+def main() -> int:
+    failures = []
+    for path in sorted(SOURCE_DIR.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno in _offenders_in(path):
+            failures.append(f"{path.relative_to(ROOT)}:{lineno}")
+    if failures:
+        print("direct time.time() usage outside clock.py:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "use the active Clock's now_ms() for modelled time or "
+            "repro.clock.perf_ms() for real compute measurement",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"clock usage OK ({SOURCE_DIR.relative_to(ROOT)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
