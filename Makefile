@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint bench-batch bench-trace dash
+.PHONY: check test lint bench-batch bench-trace chaos dash
 
-## check: lint + tier-1 tests + benchmark smoke runs (batch query, tracing overhead).
-check: lint test bench-batch bench-trace
+## check: lint + tier-1 tests + benchmark smoke runs + chaos determinism smoke.
+check: lint test bench-batch bench-trace chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,11 @@ bench-batch:
 ## bench-trace: tracing must cost <10% enabled and ~0 disabled.
 bench-trace:
 	$(PYTHON) benchmarks/bench_trace_overhead.py --smoke
+
+## chaos: seeded fault-injection smoke — no unhandled exceptions, and two
+## same-seed runs must produce byte-identical fault/error counts.
+chaos:
+	$(PYTHON) -m repro.chaos.smoke
 
 ## dash: one-screen ASCII observability dashboard over a demo workload.
 dash:

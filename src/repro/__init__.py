@@ -52,11 +52,13 @@ from .core import (
     TimeRange,
     TimeRangeKind,
 )
+from .chaos import ChaosEngine, ChaosEvent, paper_fault_timeline
 from .cluster import (
     AutoScaler,
     IPSClient,
     IPSCluster,
     MultiRegionDeployment,
+    ResilienceConfig,
     ScalingPolicy,
 )
 from .assembly import AssembledFeatures, FeatureAssembler, FeatureSpec
@@ -95,6 +97,8 @@ __all__ = [
     "BatchQueryMetrics",
     "BatchReadOutcome",
     "CTRFeature",
+    "ChaosEngine",
+    "ChaosEvent",
     "FeatureAssembler",
     "FeatureCatalog",
     "FeatureSpec",
@@ -125,6 +129,7 @@ __all__ = [
     "ProfileEngine",
     "ProfileNotFoundError",
     "QuotaExceededError",
+    "ResilienceConfig",
     "ScalingPolicy",
     "ShrinkConfig",
     "SimulatedClock",
@@ -142,6 +147,7 @@ __all__ = [
     "TruncateConfig",
     "VersionConflictError",
     "format_duration_ms",
+    "paper_fault_timeline",
     "parse_duration_ms",
     "render_span_tree",
     "__version__",

@@ -319,6 +319,23 @@ class GCache:
                     self.metrics.flush_requeues += 1
         return flushed
 
+    def drop_all(self) -> int:
+        """Drop every resident entry *without* flushing (crash semantics).
+
+        Used by the chaos engine's node-crash fault: a crashed process
+        loses its cache and any unflushed dirty state; profiles reload
+        from the KV store on the next miss.  Returns the number dropped.
+        """
+        with self._entries_lock:
+            entries = list(self._entries.items())
+            self._entries.clear()
+        for profile_id, entry in entries:
+            self.dirty.discard(profile_id)
+            self.lru.remove(profile_id)
+            if self._evict_callback is not None:
+                self._evict_callback(entry.profile)
+        return len(entries)
+
     def flush_all(self) -> int:
         """Drain every dirty entry (shutdown / test helper)."""
         total = 0

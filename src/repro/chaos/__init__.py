@@ -1,0 +1,14 @@
+"""Chaos engine: deterministic fault injection for the live cluster.
+
+Turns the Fig. 17 availability result from an analytic model into an
+executable experiment: :class:`ChaosEngine` wraps the real cluster's seams
+(RPC transport, KV stores, nodes, replication pump) and injects scheduled
+or probabilistic faults — node crash/restart, added RPC latency,
+dropped/erroring RPCs, KV read/write errors, replica-lag spikes and whole-
+region outages — all driven by the injected clock and a seeded RNG so
+runs replay byte-identically.
+"""
+
+from .engine import ChaosEngine, ChaosEvent, paper_fault_timeline
+
+__all__ = ["ChaosEngine", "ChaosEvent", "paper_fault_timeline"]

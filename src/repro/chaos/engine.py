@@ -1,0 +1,331 @@
+"""The chaos engine: scheduled, seeded fault injection into real seams.
+
+Faults are described by :class:`ChaosEvent` entries on a timeline measured
+in the deployment clock's milliseconds.  A driver loop calls
+:meth:`ChaosEngine.tick` as the clock advances; the engine activates and
+deactivates events, flips the corresponding seams, and answers the RPC
+transport's per-call fault hook for the probabilistic kinds.
+
+Fault kinds and the seams they use:
+
+==================  ====================================================
+``node_crash``      :meth:`RPCNodeProxy.crash` — transport down *and*
+                    volatile node state (cache, write table) lost; the
+                    restart comes up cold.
+``region_outage``   :meth:`Region.fail_region` / ``recover_region``.
+``rpc_latency``     added milliseconds on matching calls via the
+                    transport's :attr:`~repro.server.rpc.RPCServer
+                    .fault_hook` (magnitude = extra ms).
+``rpc_error``       matching calls raise a retryable
+                    :class:`~repro.errors.RPCTimeoutError` with
+                    probability ``magnitude``.
+``kv_error``        the targeted region's KV store fails reads/writes
+                    with probability ``magnitude`` (attached
+                    :class:`~repro.storage.kvstore.FailureInjector`).
+``replica_lag``     the replication pump is throttled to ``magnitude``
+                    ops per pump (0 stalls it) for the duration.
+==================  ====================================================
+
+Determinism: all randomness flows from the engine seed, and every applied
+injection is counted in an insertion-ordered dict (:meth:`fault_counts`)
+so two same-seed runs over the same workload produce identical counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..errors import RPCTimeoutError, StorageError
+from ..obs.registry import MetricsRegistry
+from ..server.proxy import RPCNodeProxy, wrap_region_with_proxies
+from ..server.rpc import RPCFault
+from ..storage.kvstore import FailureInjector, InMemoryKVStore
+
+#: The fault kinds the engine understands.
+FAULT_KINDS = frozenset(
+    {
+        "node_crash",
+        "region_outage",
+        "rpc_latency",
+        "rpc_error",
+        "kv_error",
+        "replica_lag",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault on the chaos timeline.
+
+    ``target`` selects the blast radius: a node id for node-scoped kinds,
+    a region name for region-scoped ones, or ``None`` for everything the
+    kind can reach.  ``magnitude`` is kind-specific (see module docs).
+    """
+
+    start_ms: int
+    duration_ms: int
+    kind: str
+    target: str | None = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if self.duration_ms <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ms}")
+
+    def active_at(self, time_ms: int) -> bool:
+        return self.start_ms <= time_ms < self.start_ms + self.duration_ms
+
+    @property
+    def end_ms(self) -> int:
+        return self.start_ms + self.duration_ms
+
+
+class _CountingInjector(FailureInjector):
+    """KV failure injector that reports each injected error to the engine."""
+
+    def __init__(self, engine: "ChaosEngine", seed: int) -> None:
+        super().__init__(failure_rate=0.0, seed=seed)
+        self._engine = engine
+
+    def check(self, operation: str) -> None:
+        try:
+            super().check(operation)
+        except StorageError:
+            self._engine._count("kv_error")
+            raise
+
+
+class ChaosEngine:
+    """Injects scheduled faults into a live cluster or deployment.
+
+    The engine wraps every node behind an :class:`RPCNodeProxy` (idempotent
+    — already-proxied deployments are untouched) and registers itself as
+    the transport fault hook, attaches counting failure injectors to each
+    region's KV store, and drives region/node/replication seams from
+    :meth:`tick`.  Call :meth:`tick` from the driver loop at least as often
+    as the shortest event window.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.deployment = deployment
+        self.clock: Clock = deployment.clock
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._registry = registry
+        self._tracer = tracer
+        self._events: list[ChaosEvent] = []
+        self._active: set[int] = set()  # indices into _events
+        self.injections: dict[str, int] = {}
+        #: node_id -> (region_name, proxy)
+        self._nodes: dict[str, tuple[str, RPCNodeProxy]] = {}
+        for proxy in wrap_region_with_proxies(deployment):
+            self._nodes[proxy.node_id] = (
+                self._region_of(proxy.node_id),
+                proxy,
+            )
+            proxy.rpc.fault_hook = self._rpc_fault
+        #: region name -> counting injector on that region's raw store.
+        self._injectors: dict[str, FailureInjector] = {}
+        kv_cluster = getattr(deployment, "kv_cluster", None)
+        for index, (name, region) in enumerate(deployment.regions.items()):
+            store = (
+                kv_cluster.injection_store(name)
+                if kv_cluster is not None
+                else region.store
+            )
+            if isinstance(store, InMemoryKVStore):
+                injector = store.failure_injector
+                if injector is None:
+                    injector = _CountingInjector(self, seed=seed + 1 + index)
+                    store.attach_failure_injector(injector)
+                self._injectors[name] = injector
+
+    def _region_of(self, node_id: str) -> str:
+        for name, region in self.deployment.regions.items():
+            if node_id in region.nodes:
+                return name
+        raise ValueError(f"node {node_id!r} not found in any region")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: ChaosEvent) -> None:
+        self._events.append(event)
+
+    def schedule_many(self, events) -> None:
+        for event in events:
+            self.schedule(event)
+
+    @property
+    def events(self) -> tuple[ChaosEvent, ...]:
+        return tuple(self._events)
+
+    def active_events(self) -> list[ChaosEvent]:
+        return [self._events[index] for index in sorted(self._active)]
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Activate/deactivate events against the current clock time."""
+        now_ms = self.clock.now_ms()
+        for index, event in enumerate(self._events):
+            active = index in self._active
+            should_be = event.active_at(now_ms)
+            if should_be and not active:
+                self._active.add(index)
+                self._apply(event)
+            elif active and not should_be:
+                self._active.discard(index)
+                self._revert(event)
+
+    def _apply(self, event: ChaosEvent) -> None:
+        self._count(event.kind)
+        if event.kind == "node_crash":
+            for proxy in self._matching_proxies(event.target):
+                proxy.crash()
+        elif event.kind == "region_outage":
+            for region in self._matching_regions(event.target):
+                region.fail_region()
+        elif event.kind == "kv_error":
+            for injector in self._matching_injectors(event.target):
+                injector.set_rate(event.magnitude)
+        elif event.kind == "replica_lag":
+            kv_cluster = getattr(self.deployment, "kv_cluster", None)
+            if kv_cluster is not None:
+                kv_cluster.set_pump_throttle(int(event.magnitude))
+        # rpc_latency / rpc_error are consulted per call by the fault hook.
+
+    def _revert(self, event: ChaosEvent) -> None:
+        if event.kind == "node_crash":
+            for proxy in self._matching_proxies(event.target):
+                proxy.restart()
+        elif event.kind == "region_outage":
+            for region in self._matching_regions(event.target):
+                region.recover_region()
+        elif event.kind == "kv_error":
+            for injector in self._matching_injectors(event.target):
+                injector.set_rate(0.0)
+        elif event.kind == "replica_lag":
+            kv_cluster = getattr(self.deployment, "kv_cluster", None)
+            if kv_cluster is not None:
+                kv_cluster.set_pump_throttle(None)
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+
+    def _matching_proxies(self, target: str | None) -> list[RPCNodeProxy]:
+        if target is None:
+            return [proxy for _, proxy in self._nodes.values()]
+        if target in self._nodes:
+            return [self._nodes[target][1]]
+        return [
+            proxy
+            for region_name, proxy in self._nodes.values()
+            if region_name == target
+        ]
+
+    def _matching_regions(self, target: str | None):
+        regions = self.deployment.regions
+        if target is None:
+            return list(regions.values())
+        return [regions[target]] if target in regions else []
+
+    def _matching_injectors(self, target: str | None) -> list[FailureInjector]:
+        if target is None:
+            return list(self._injectors.values())
+        injector = self._injectors.get(target)
+        return [injector] if injector is not None else []
+
+    def _event_matches_node(self, event: ChaosEvent, node_id: str) -> bool:
+        if event.target is None or event.target == node_id:
+            return True
+        region_name, _ = self._nodes.get(node_id, (None, None))
+        return event.target == region_name
+
+    # ------------------------------------------------------------------
+    # The transport fault hook
+    # ------------------------------------------------------------------
+
+    def _rpc_fault(self, node_id: str, method: str) -> RPCFault | None:
+        """Per-call decision for the RPC transport (latency and/or error)."""
+        extra_latency_ms = 0.0
+        error: Exception | None = None
+        for index in sorted(self._active):
+            event = self._events[index]
+            if event.kind == "rpc_latency" and self._event_matches_node(
+                event, node_id
+            ):
+                extra_latency_ms += event.magnitude
+                self._count("rpc_latency_injected")
+            elif (
+                event.kind == "rpc_error"
+                and error is None
+                and self._event_matches_node(event, node_id)
+                and self._rng.random() < event.magnitude
+            ):
+                error = RPCTimeoutError(
+                    f"chaos: dropped {method} rpc to {node_id}"
+                )
+                self._count("rpc_error_injected")
+        if extra_latency_ms == 0.0 and error is None:
+            return None
+        return RPCFault(extra_latency_ms=extra_latency_ms, error=error)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        self.injections[kind] = self.injections.get(kind, 0) + 1
+        if self._registry is not None:
+            self._registry.counter("chaos_injections", kind=kind).inc()
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injection counts by kind, key-sorted (deterministic exports)."""
+        return dict(sorted(self.injections.items()))
+
+
+def paper_fault_timeline(
+    start_ms: int,
+    region: str = "eu",
+    node: str | None = None,
+    round_ms: int = 60_000,
+) -> list[ChaosEvent]:
+    """The Fig. 17 incident mix, compressed onto a benchmark timeline.
+
+    One machine crash, one network blip (erroring + slowed RPCs) and one
+    whole-region failover, spaced over 40 ``round_ms`` windows — the same
+    three incident kinds the paper's 20-day window contains.
+    """
+    node = node if node is not None else f"{region}-node-0"
+    return [
+        ChaosEvent(start_ms + 8 * round_ms, 7 * round_ms, "node_crash", node),
+        ChaosEvent(
+            start_ms + 20 * round_ms, 4 * round_ms, "rpc_error", region, 0.25
+        ),
+        ChaosEvent(
+            start_ms + 20 * round_ms, 4 * round_ms, "rpc_latency", region, 40.0
+        ),
+        ChaosEvent(start_ms + 30 * round_ms, 4 * round_ms, "region_outage", region),
+        ChaosEvent(
+            start_ms + 30 * round_ms, 4 * round_ms, "replica_lag", None, 0
+        ),
+    ]

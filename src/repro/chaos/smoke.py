@@ -1,0 +1,143 @@
+"""Chaos smoke run (``python -m repro.chaos.smoke``; ``make chaos``).
+
+Builds a two-region mini-deployment, injects a short seeded fault
+timeline (node crash, RPC error/latency blip, KV errors), drives a
+resilient client through it and checks the two properties the chaos
+subsystem promises:
+
+* **no unhandled exceptions** — every failure surfaces as a typed
+  :class:`~repro.errors.IPSError` the client either absorbs or reports;
+* **determinism** — two runs with the same seed produce identical fault
+  injection counts and identical client error counts.
+
+Exit status is non-zero if either property fails, so the target can gate
+``make check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+
+from ..clock import MILLIS_PER_DAY, SimulatedClock
+from ..cluster.cluster import MultiRegionDeployment
+from ..cluster.resilience import ResilienceConfig
+from ..config import TableConfig
+from ..core.query import SortType
+from ..core.timerange import TimeRange
+from ..errors import IPSError
+from ..obs.registry import MetricsRegistry
+from .engine import ChaosEngine, ChaosEvent
+
+
+def run_once(seed: int, rounds: int = 20, reads_per_round: int = 30) -> dict:
+    """One seeded chaos run; returns a JSON-able result summary."""
+    start_ms = 400 * MILLIS_PER_DAY
+    round_ms = 1_000
+    clock = SimulatedClock(start_ms)
+    registry = MetricsRegistry()
+    config = TableConfig(name="chaos-smoke", attributes=("click",))
+    deployment = MultiRegionDeployment(
+        config,
+        ["us", "eu"],
+        nodes_per_region=2,
+        clock=clock,
+        registry=registry,
+    )
+    engine = ChaosEngine(deployment, seed=seed, registry=registry)
+    engine.schedule_many(
+        [
+            ChaosEvent(start_ms + 3 * round_ms, 3 * round_ms, "node_crash", "us-node-0"),
+            ChaosEvent(start_ms + 8 * round_ms, 3 * round_ms, "rpc_error", "us", 0.3),
+            ChaosEvent(start_ms + 8 * round_ms, 3 * round_ms, "rpc_latency", "us", 20.0),
+            ChaosEvent(start_ms + 13 * round_ms, 2 * round_ms, "kv_error", "us", 0.5),
+        ]
+    )
+    client = deployment.client(
+        "us",
+        caller="chaos-smoke",
+        resilience=ResilienceConfig(seed=seed),
+    )
+    window = TimeRange.absolute(
+        start_ms - 30 * MILLIS_PER_DAY, start_ms + rounds * round_ms
+    )
+
+    for profile_id in range(40):
+        client.add_profile(
+            profile_id,
+            start_ms - (profile_id + 1) * 3_600_000,
+            1,
+            1,
+            profile_id % 20,
+            {"click": 1 + profile_id % 3},
+        )
+    deployment.run_background_cycle()
+
+    rng = random.Random(seed)
+    reads = 0
+    errors = 0
+    for _ in range(rounds):
+        engine.tick()
+        for _ in range(reads_per_round):
+            profile_id = rng.randrange(40)
+            reads += 1
+            try:
+                client.get_profile_topk(
+                    profile_id, 1, 1, window, SortType.TOTAL, k=5
+                )
+            except IPSError:
+                errors += 1
+        clock.advance(round_ms)
+    engine.tick()  # past the last window: revert everything still active
+
+    summary = {
+        key: value
+        for key, value in client.resilience_summary().items()
+        if key != "breaker_states"
+    }
+    return {
+        "seed": seed,
+        "reads": reads,
+        "errors": errors,
+        "faults": engine.fault_counts(),
+        "resilience": summary,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the run summaries as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    first = run_once(args.seed, rounds=args.rounds)
+    second = run_once(args.seed, rounds=args.rounds)
+
+    if args.json:
+        print(json.dumps({"first": first, "second": second}, indent=2))
+    else:
+        print(f"chaos smoke: seed={args.seed} rounds={args.rounds}")
+        print(f"  reads={first['reads']} errors={first['errors']}")
+        print(f"  faults={first['faults']}")
+        print(f"  resilience={first['resilience']}")
+
+    first_bytes = json.dumps(first, sort_keys=True)
+    second_bytes = json.dumps(second, sort_keys=True)
+    if first_bytes != second_bytes:
+        print("FAIL: same-seed runs diverged")
+        print(f"  first : {first_bytes}")
+        print(f"  second: {second_bytes}")
+        return 1
+    if not first["faults"]:
+        print("FAIL: no faults were injected")
+        return 1
+    print("OK: two same-seed runs produced identical fault/error counts")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,17 +14,33 @@ from .cluster import IPSCluster, MultiRegionDeployment
 from .discovery import DiscoveryService, InstanceRecord
 from .hashring import ConsistentHashRing
 from .region import Region
+from .resilience import (
+    BackoffPolicy,
+    CircuitBreaker,
+    Deadline,
+    HedgePolicy,
+    ResilienceConfig,
+    ResilienceStats,
+    ResilientExecutor,
+)
 
 __all__ = [
     "AutoScaler",
+    "BackoffPolicy",
+    "CircuitBreaker",
     "ClientStats",
     "ConsistentHashRing",
+    "Deadline",
     "DiscoveryService",
+    "HedgePolicy",
     "IPSCluster",
     "IPSClient",
     "InstanceRecord",
     "MultiRegionDeployment",
     "Region",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "ResilientExecutor",
     "ScalingEvent",
     "ScalingPolicy",
 ]

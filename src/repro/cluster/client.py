@@ -19,23 +19,27 @@ from typing import Sequence
 from ..core.query import FeatureResult, SortType
 from ..core.timerange import TimeRange
 from ..errors import (
-    NodeUnavailableError,
+    REGION_FATAL_ERRORS,
+    RETRYABLE_ERRORS,
+    CircuitOpenError,
+    DeadlineExceededError,
+    IPSError,
     NoHealthyNodeError,
-    QuotaExceededError,
-    RegionUnavailableError,
     RPCError,
-    StorageError,
+    is_retryable,
 )
 from ..clock import perf_ms
 from ..monitoring import BatchQueryMetrics
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import NULL_TRACER
 from ..server.batch import BatchKeyResult, BatchReadOutcome, dedup_preserving_order
+from .resilience import Deadline, ResilienceConfig, ResilientExecutor
 
-#: Errors a retry may fix (transient transport / storage hiccups).
-_RETRYABLE = (NodeUnavailableError, StorageError)
+#: Shared retry taxonomy (see :mod:`repro.errors`): the client and the
+#: resilience layer classify errors identically.
+_RETRYABLE = RETRYABLE_ERRORS
 #: Errors that fail the region outright (handled by region failover).
-_REGION_FATAL = (RegionUnavailableError, NoHealthyNodeError, QuotaExceededError)
+_REGION_FATAL = REGION_FATAL_ERRORS
 
 
 @dataclass
@@ -72,6 +76,8 @@ class IPSClient:
         use_discovery: bool = False,
         tracer=None,
         registry: MetricsRegistry | None = None,
+        resilience: ResilienceConfig | None = None,
+        region_failover: bool = True,
     ) -> None:
         if local_region not in deployment.regions:
             raise NoHealthyNodeError(f"unknown local region {local_region!r}")
@@ -79,6 +85,9 @@ class IPSClient:
         self.local_region = local_region
         self.caller = caller
         self.max_retries = max_retries
+        #: When False, reads never fail over to another region — the
+        #: "no resilience" baseline of the Fig. 17 bench.
+        self.region_failover = region_failover
         self.stats = ClientStats()
         #: When enabled, the client refreshes the healthy instance set from
         #: the discovery service whenever its epoch changes (§III: clients
@@ -101,6 +110,13 @@ class IPSClient:
             )
         else:
             self._read_hist = self._write_hist = self._batch_hist = None
+        #: Resilience layer (deadlines / backoff / hedging / breakers);
+        #: ``None`` keeps the legacy bare-retry behaviour.
+        self.resilience = (
+            ResilientExecutor(deployment.clock, resilience, registry)
+            if resilience is not None
+            else None
+        )
         #: Telemetry for the batched read path (size / dedup / fan-out).
         self.batch_metrics = BatchQueryMetrics(registry)
         self._discovery_epoch = -1
@@ -253,6 +269,9 @@ class IPSClient:
         self.stats.reads += 1
         last_error: Exception | None = None
         start = perf_ms()
+        deadline = (
+            self.resilience.deadline() if self.resilience is not None else None
+        )
         with self.tracer.span(
             f"client.{method}", profile=profile_id, caller=self.caller
         ):
@@ -262,8 +281,18 @@ class IPSClient:
                         self.stats.region_failovers += 1
                     try:
                         return self._call_in_region(
-                            region, profile_id, method, *args, **kwargs
+                            region,
+                            profile_id,
+                            method,
+                            *args,
+                            deadline=deadline,
+                            **kwargs,
                         )
+                    except DeadlineExceededError:
+                        # No budget left: surface instead of failing over.
+                        self.stats.read_errors += 1
+                        self.resilience.record_deadline_exceeded()
+                        raise
                     except (_REGION_FATAL + _RETRYABLE + (RPCError,)) as error:
                         last_error = error
                         continue
@@ -378,6 +407,9 @@ class IPSClient:
         pending = unique
         shard_calls = 0
         start = perf_ms()
+        deadline = (
+            self.resilience.deadline() if self.resilience is not None else None
+        )
         with self.tracer.span(
             f"client.{method}",
             keys=len(requested),
@@ -387,10 +419,22 @@ class IPSClient:
             for index, region in enumerate(self._read_region_order()):
                 if not pending:
                     break
+                if deadline is not None and deadline.expired:
+                    # The shared fan-out budget is gone: remaining keys
+                    # fail fast instead of starting another region pass.
+                    self._fail_pending_on_deadline(pending, method, errors)
+                    break
                 if index > 0:
                     self.stats.region_failovers += 1
                 pending, calls = self._batch_region(
-                    region, pending, resolved, errors, method, *args, **kwargs
+                    region,
+                    pending,
+                    resolved,
+                    errors,
+                    method,
+                    *args,
+                    deadline=deadline,
+                    **kwargs,
                 )
                 shard_calls += calls
             span.tag(shard_calls=shard_calls)
@@ -409,6 +453,21 @@ class IPSClient:
         self.batch_metrics.observe_key_errors(failed)
         return BatchReadOutcome(results)
 
+    def _fail_pending_on_deadline(
+        self,
+        pending: list[int],
+        method: str,
+        errors: dict[int, BatchKeyResult],
+    ) -> None:
+        """Mark every still-pending key failed with a deadline error."""
+        assert self.resilience is not None
+        budget = self.resilience.config.deadline_ms or 0.0
+        self.resilience.record_deadline_exceeded()
+        for profile_id in pending:
+            errors[profile_id] = BatchKeyResult.failure(
+                profile_id, DeadlineExceededError(method, budget)
+            )
+
     def _batch_region(
         self,
         region,
@@ -417,22 +476,31 @@ class IPSClient:
         errors: dict[int, BatchKeyResult],
         method: str,
         *args,
+        deadline: Deadline | None = None,
         **kwargs,
     ) -> tuple[list[int], int]:
         """Serve as many keys as possible from one region.
 
         Returns the keys this region could not serve (for failover) and
         the number of per-shard RPCs issued.  Every returned key has a
-        per-key error recorded in ``errors``.
+        per-key error recorded in ``errors``.  The request ``deadline`` is
+        shared by every shard call: once it expires, unserved keys fail
+        with :class:`DeadlineExceededError` instead of spawning more RPCs.
         """
         kwargs.setdefault("caller", self.caller)
+        executor = self.resilience
         exclude: set[str] = set(self._unhealthy_in(region))
+        if executor is not None:
+            exclude |= executor.open_nodes()
         remaining = list(profile_ids)
         deferred: list[int] = []
         shard_calls = 0
-        for _attempt in range(self.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
             if not remaining:
                 break
+            if deadline is not None and deadline.expired:
+                self._fail_pending_on_deadline(remaining, method, errors)
+                return deferred, shard_calls
             groups: dict[str, list[int]] = {}
             nodes_by_id: dict[str, object] = {}
             unroutable: list[int] = []
@@ -448,14 +516,23 @@ class IPSClient:
             deferred.extend(unroutable)
             next_remaining: list[int] = []
             for node_id, keys in groups.items():
+                if deadline is not None and deadline.expired:
+                    self._fail_pending_on_deadline(keys, method, errors)
+                    continue
                 shard_calls += 1
                 try:
+                    if executor is not None:
+                        executor.admit(node_id)
                     per_key = getattr(nodes_by_id[node_id], method)(
                         keys, *args, **kwargs
                     )
                 except _RETRYABLE as error:
                     # Transient node failure: exclude it and retry these
                     # keys against the next ring owner.
+                    if executor is not None and not isinstance(
+                        error, CircuitOpenError
+                    ):
+                        executor.record_failure(node_id)
                     exclude.add(node_id)
                     self.stats.retries += 1
                     for profile_id in keys:
@@ -473,6 +550,8 @@ class IPSClient:
                         )
                     deferred.extend(keys)
                     continue
+                if executor is not None:
+                    executor.record_success(node_id)
                 for profile_id in keys:
                     result = per_key.get(profile_id)
                     if result is None:
@@ -487,6 +566,12 @@ class IPSClient:
                     else:
                         errors[profile_id] = result
                         next_remaining.append(profile_id)
+            if (
+                executor is not None
+                and next_remaining
+                and attempt < self.max_retries
+            ):
+                executor.backoff_before_retry(attempt, deadline)
             remaining = next_remaining
         # Keys still remaining exhausted their in-region retries; their
         # last error is already recorded.
@@ -496,30 +581,129 @@ class IPSClient:
         """Local region first, then the others as failover candidates."""
         regions = self._deployment.regions
         ordered = [regions[self.local_region]]
-        ordered.extend(
-            region for name, region in regions.items() if name != self.local_region
-        )
+        if self.region_failover:
+            ordered.extend(
+                region
+                for name, region in regions.items()
+                if name != self.local_region
+            )
         return ordered
 
     # ------------------------------------------------------------------
     # Shared routing with node-level retry
     # ------------------------------------------------------------------
 
-    def _call_in_region(self, region, profile_id: int, method: str, *args, **kwargs):
-        """Call a method on the owning node, retrying around the ring."""
+    def _call_in_region(
+        self,
+        region,
+        profile_id: int,
+        method: str,
+        *args,
+        deadline: Deadline | None = None,
+        **kwargs,
+    ):
+        """Call a method on the owning node, retrying around the ring.
+
+        With a resilience layer attached, each attempt also passes the
+        per-node circuit breaker, waits out a jittered exponential backoff
+        between retries, honours the request deadline, and may hedge a
+        slow successful read against another replica.
+        """
         kwargs.setdefault("caller", self.caller)
+        executor = self.resilience
         exclude: set[str] = set(self._unhealthy_in(region))
+        if executor is not None:
+            exclude |= executor.open_nodes()
+        attempts = self.max_retries + 1
+        if executor is not None:
+            attempts = max(attempts, executor.config.max_attempts)
         last_error: Exception | None = None
-        for attempt in range(self.max_retries + 1):
+        for attempt in range(attempts):
+            if deadline is not None:
+                deadline.check(method)
             node = region.node_for(profile_id, exclude=exclude or None)
+            node_id = node.node_id
             try:
-                return getattr(node, method)(*args, **kwargs)
-            except _RETRYABLE as error:
+                if executor is not None:
+                    executor.admit(node_id)
+                result = getattr(node, method)(*args, **kwargs)
+            except IPSError as error:
+                if executor is not None and not isinstance(
+                    error, CircuitOpenError
+                ):
+                    executor.record_failure(node_id)
+                if not is_retryable(error):
+                    raise
                 last_error = error
-                exclude.add(node.node_id)
-                self.stats.retries += 1
+                exclude.add(node_id)
+                if attempt + 1 < attempts:
+                    # Only count attempts that actually get a retry; the
+                    # final failed attempt just surfaces the error.
+                    self.stats.retries += 1
+                    if executor is not None and not isinstance(
+                        error, CircuitOpenError
+                    ):
+                        executor.backoff_before_retry(attempt, deadline)
+                continue
+            if executor is not None:
+                executor.record_success(node_id)
+                result = self._maybe_hedge(
+                    region, profile_id, method, node, result, exclude,
+                    *args, **kwargs,
+                )
+            return result
         assert last_error is not None
         raise last_error
+
+    def _maybe_hedge(
+        self, region, profile_id: int, method: str, primary, result,
+        exclude: set[str], *args, **kwargs,
+    ):
+        """Hedge a slow successful read against the next ring replica.
+
+        Fires only for read methods over an RPC-proxied node (the modelled
+        per-call latency is the trigger signal); the faster result wins.
+        Writes never hedge.
+        """
+        executor = self.resilience
+        rpc = getattr(primary, "rpc", None)
+        if executor is None or rpc is None or not method.startswith("get_"):
+            return result
+        # Trigger on the *modelled* latency only (network model + injected
+        # chaos latency): client_ms also carries measured wall-clock server
+        # time, which would make hedge decisions non-reproducible.
+        latency_ms = rpc.stats.last_client_ms - rpc.stats.last_server_ms
+        executor.observe_latency(latency_ms)
+        if not executor.should_hedge(latency_ms):
+            return result
+        try:
+            alternate = region.node_for(
+                profile_id, exclude=exclude | {primary.node_id}
+            )
+        except IPSError:
+            return result  # No second replica available; keep the result.
+        try:
+            hedge_result = getattr(alternate, method)(*args, **kwargs)
+        except IPSError:
+            executor.record_hedge(won=False)
+            return result
+        alternate_rpc = getattr(alternate, "rpc", None)
+        hedge_ms = (
+            alternate_rpc.stats.last_client_ms - alternate_rpc.stats.last_server_ms
+            if alternate_rpc is not None
+            else latency_ms
+        )
+        won = hedge_ms < latency_ms
+        executor.record_hedge(won=won)
+        return hedge_result if won else result
+
+    def resilience_summary(self) -> dict:
+        """Resilience counters + breaker states (dashboards, Fig. 17 bench)."""
+        if self.resilience is None:
+            return {}
+        summary = dict(self.resilience.stats.as_dict())
+        summary["breaker_states"] = self.resilience.breaker_states()
+        return summary
 
     def _unhealthy_in(self, region) -> frozenset[str]:
         """Nodes of a region absent from the discovery healthy set."""

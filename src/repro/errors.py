@@ -79,15 +79,26 @@ class QuotaExceededError(IPSError):
         self.quota = quota
 
 
+class RetryableError:
+    """Marker mixin: retrying the operation (ideally against another
+    replica) has a reasonable chance of succeeding.
+
+    The retry taxonomy below is the single source of truth the cluster
+    client and the resilience layer share, so both classify errors
+    identically.  New exception types opt into retries either by mixing
+    this class in or by appearing in :data:`RETRYABLE_ERRORS`.
+    """
+
+
 class RPCError(IPSError):
     """Base class for transport-level failures."""
 
 
-class RPCTimeoutError(RPCError):
+class RPCTimeoutError(RPCError, RetryableError):
     """The simulated transport did not answer within the deadline."""
 
 
-class NodeUnavailableError(RPCError):
+class NodeUnavailableError(RPCError, RetryableError):
     """The target IPS instance is down or unreachable."""
 
     def __init__(self, node_id: str) -> None:
@@ -105,3 +116,58 @@ class RegionUnavailableError(RPCError):
     def __init__(self, region: str) -> None:
         super().__init__(f"region unavailable: {region}")
         self.region = region
+
+
+class CircuitOpenError(RPCError, RetryableError):
+    """A per-node circuit breaker is open and rejected the call locally.
+
+    Retryable in the routing sense: another node may serve the key; the
+    broken node itself must not be retried until its breaker half-opens.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"circuit open for node: {node_id}")
+        self.node_id = node_id
+
+
+class DeadlineExceededError(RPCError):
+    """The per-request deadline expired before the request completed.
+
+    Deliberately *not* retryable: there is no time budget left, so the
+    client surfaces the error instead of burning another attempt.
+    """
+
+    def __init__(self, operation: str, budget_ms: float) -> None:
+        super().__init__(
+            f"deadline exceeded after {budget_ms:g} ms during {operation}"
+        )
+        self.operation = operation
+        self.budget_ms = budget_ms
+
+
+#: Errors a retry may fix (transient transport / storage hiccups).  Kept in
+#: sync with the :class:`RetryableError` mixin; prefer :func:`is_retryable`.
+RETRYABLE_ERRORS = (NodeUnavailableError, RPCTimeoutError, StorageError,
+                    CircuitOpenError)
+
+#: Errors that fail a whole region for the request (handled by region
+#: failover, never by same-region retries).
+REGION_FATAL_ERRORS = (RegionUnavailableError, NoHealthyNodeError,
+                       QuotaExceededError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Shared retryability test for the client and the resilience layer.
+
+    An exception is retryable when it carries the :class:`RetryableError`
+    mixin or is one of the legacy :data:`RETRYABLE_ERRORS` types, and is
+    not region-fatal or deadline-related.
+    """
+    if isinstance(exc, (DeadlineExceededError,) + REGION_FATAL_ERRORS):
+        return False
+    return isinstance(exc, (RetryableError,) + RETRYABLE_ERRORS)
+
+
+def is_region_fatal(exc: BaseException) -> bool:
+    """True when the error fails the whole region for this request."""
+    return isinstance(exc, REGION_FATAL_ERRORS)

@@ -186,6 +186,7 @@ class ClusterMonitor:
 
     def __init__(self, deployment) -> None:
         self._deployment = deployment
+        self._watched_clients: list = []
         self._previous: ClusterSnapshot | None = None
         #: node_id -> (reads, writes) at the previous sample, used for
         #: membership-change-safe rate computation (a scaled-down node's
@@ -203,6 +204,24 @@ class ClusterMonitor:
         }
 
     # ------------------------------------------------------------------
+
+    def watch_client(self, client) -> None:
+        """Include a client's resilience rollup (breakers, retries, hedges)
+        in :meth:`report`.  Clients without a resilience executor are
+        accepted and simply contribute nothing."""
+        self._watched_clients.append(client)
+
+    def resilience_rollup(self) -> dict[str, dict]:
+        """Per-watched-client resilience summaries, keyed by caller."""
+        rollup: dict[str, dict] = {}
+        for client in self._watched_clients:
+            summary = getattr(client, "resilience_summary", None)
+            if summary is None:
+                continue
+            data = summary()
+            if data:
+                rollup[getattr(client, "caller", repr(client))] = data
+        return rollup
 
     def snapshot(self) -> ClusterSnapshot:
         """Roll up every node's counters right now."""
@@ -292,4 +311,21 @@ class ClusterMonitor:
                 f"hit={node.hit_ratio:.2f} mem={node.memory_ratio:.1%} "
                 f"pending={node.write_table_pending}"
             )
+        for caller, summary in self.resilience_rollup().items():
+            breakers = summary.pop("breaker_states", {})
+            counters = "  ".join(
+                f"{key}={value:g}" for key, value in sorted(summary.items())
+            )
+            lines.append(f"  resilience[{caller}]: {counters}")
+            open_or_probing = {
+                node_id: state
+                for node_id, state in sorted(breakers.items())
+                if state != "closed"
+            }
+            if open_or_probing:
+                states = "  ".join(
+                    f"{node_id}={state}"
+                    for node_id, state in open_or_probing.items()
+                )
+                lines.append(f"    breakers: {states}")
         return "\n".join(lines)

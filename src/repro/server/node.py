@@ -523,6 +523,18 @@ class IPSNode:
         self.merge_write_table()
         self.cache.flush_all()
 
+    def crash(self) -> int:
+        """Simulate a process crash: volatile state is lost, not flushed.
+
+        The isolation write table and all cache residency vanish (unflushed
+        dirty profiles included — that is what a crash costs); persisted
+        data survives in the KV store and reloads on the next miss.
+        Returns the number of resident profiles dropped.
+        """
+        with self._merge_lock:
+            self.write_table.drain()
+            return self.cache.drop_all()
+
     # ------------------------------------------------------------------
 
     def memory_bytes(self) -> int:

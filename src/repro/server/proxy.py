@@ -100,6 +100,15 @@ class RPCNodeProxy:
         # operational tooling keeps working against the proxy.
         return getattr(self.node, name)
 
+    def crash(self) -> None:
+        """Chaos seam: take the transport down *and* lose volatile state."""
+        self.rpc.set_available(False)
+        self.node.crash()
+
+    def restart(self) -> None:
+        """Chaos seam: bring the transport back up (cache stays cold)."""
+        self.rpc.set_available(True)
+
     def latency_summary(self) -> dict[str, float]:
         """Client/server latency summary over proxied calls (milliseconds)."""
         stats = self.rpc.stats
@@ -112,3 +121,36 @@ class RPCNodeProxy:
             "server_p50_ms": stats.percentile(50, "server"),
             "server_p99_ms": stats.percentile(99, "server"),
         }
+
+
+def wrap_region_with_proxies(
+    deployment,
+    latency_model: LatencyModel | None = None,
+    tracer=NULL_TRACER,
+    registry: MetricsRegistry | None = None,
+    advance_clock: bool = False,
+) -> list[RPCNodeProxy]:
+    """Put every node of a cluster/deployment behind an :class:`RPCNodeProxy`.
+
+    The standard way to build a "real" mini-cluster whose traffic pays the
+    Table II network model — and the seam the chaos engine injects RPC
+    faults into.  Idempotent: already-proxied nodes are left alone.
+    Returns the proxies (one per node).
+    """
+    proxies: list[RPCNodeProxy] = []
+    clock = deployment.clock
+    for region in deployment.regions.values():
+        for node_id in list(region.nodes):
+            node = region.nodes[node_id]
+            if not isinstance(node, RPCNodeProxy):
+                node = RPCNodeProxy(
+                    node,
+                    clock,
+                    latency_model=latency_model,
+                    tracer=tracer,
+                    registry=registry,
+                    advance_clock=advance_clock,
+                )
+                region.nodes[node_id] = node
+            proxies.append(node)
+    return proxies

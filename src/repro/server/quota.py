@@ -37,7 +37,9 @@ class TokenBucket:
             now_ms = self._clock.now_ms()
             elapsed_s = max(0, now_ms - self._last_refill_ms) / 1000.0
             self._tokens = min(self.burst, self._tokens + elapsed_s * self.rate_qps)
-            self._last_refill_ms = now_ms
+            # Never move the watermark backwards: a clock step into the past
+            # must not let the same wall-time interval refill twice.
+            self._last_refill_ms = max(self._last_refill_ms, now_ms)
             if self._tokens >= tokens:
                 self._tokens -= tokens
                 return True

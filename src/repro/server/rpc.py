@@ -26,6 +26,21 @@ from ..errors import NodeUnavailableError
 from ..obs.registry import Histogram
 
 
+@dataclass(frozen=True)
+class RPCFault:
+    """One transport-level fault decision for a single call.
+
+    Produced by a fault hook (see :attr:`RPCServer.fault_hook`) — normally
+    the chaos engine — and applied by :meth:`RPCServer.call`:
+    ``extra_latency_ms`` is added to the modelled client latency (and the
+    simulated clock when the server advances it); a non-``None`` ``error``
+    is raised instead of dispatching the handler.
+    """
+
+    extra_latency_ms: float = 0.0
+    error: Exception | None = None
+
+
 @dataclass
 class LatencyModel:
     """Latency decomposition of one hop.
@@ -116,6 +131,10 @@ class RPCServer:
         self._lock = threading.Lock()
         self.stats = RPCStats()
         self.available = True
+        #: Optional per-call fault source ``(node_id, method) -> RPCFault |
+        #: None`` consulted before dispatch — the chaos engine's injection
+        #: point for dropped/erroring RPCs and added latency.
+        self.fault_hook: Callable[[str, str], RPCFault | None] | None = None
 
     def set_available(self, available: bool) -> None:
         """Simulate the node going down / coming back (fault injection)."""
@@ -136,11 +155,29 @@ class RPCServer:
         down; other handler exceptions propagate unchanged after being
         counted as failures.
         """
+        node_id = getattr(self._target, "node_id", "unknown")
         if not self.available:
             with self._lock:
                 self.stats.calls += 1
                 self.stats.failures += 1
-            raise NodeUnavailableError(getattr(self._target, "node_id", "unknown"))
+            raise NodeUnavailableError(node_id)
+        fault = (
+            self.fault_hook(node_id, method) if self.fault_hook is not None else None
+        )
+        extra_latency_ms = 0.0
+        if fault is not None:
+            extra_latency_ms = fault.extra_latency_ms
+            if fault.error is not None:
+                with self._lock:
+                    self.stats.calls += 1
+                    self.stats.failures += 1
+                if self._advance_clock and isinstance(self._clock, SimulatedClock):
+                    # A dropped/erroring call still burns wire time before
+                    # the client sees the failure.
+                    self._clock.advance(
+                        max(1, round(self._model.network_base_ms + extra_latency_ms))
+                    )
+                raise fault.error
         handler: Callable[..., Any] = getattr(self._target, method)
         start = perf_ms() if measure_server_time else 0.0
         try:
@@ -154,7 +191,7 @@ class RPCServer:
             server_time_ms = perf_ms() - start
         response_bytes = self._estimate_size(result)
         network_ms = self._model.network_ms(request_bytes + response_bytes)
-        client_ms = network_ms + server_time_ms
+        client_ms = network_ms + server_time_ms + extra_latency_ms
         with self._lock:
             self.stats.calls += 1
             self.stats.observe(client_ms, server_time_ms)

@@ -49,14 +49,25 @@ class FaultSchedule:
     ) -> None:
         self.events = list(events) if events is not None else []
         self.background_error_rate = background_error_rate
-        self._rng = random.Random(seed)
+        self._seed = seed
 
     def add(self, event: FaultEvent) -> None:
         self.events.append(event)
 
+    def _noise_at(self, time_ms: int) -> float:
+        """Background-noise multiplier derived purely from (seed, time_ms).
+
+        A shared RNG would make the rate depend on *how many times* the
+        schedule had been queried; mixing the seed with the timestamp keeps
+        ``error_rate_at`` a pure function, so replays and out-of-order
+        queries see identical rates.
+        """
+        mixed = (self._seed * 0x9E3779B97F4A7C15 + int(time_ms)) & (2**64 - 1)
+        return random.Random(mixed).uniform(0.2, 1.8)
+
     def error_rate_at(self, time_ms: int) -> float:
         """Observed client error rate at a moment (after retries)."""
-        rate = self.background_error_rate * self._rng.uniform(0.2, 1.8)
+        rate = self.background_error_rate * self._noise_at(time_ms)
         for event in self.events:
             if event.active_at(time_ms):
                 rate += event.observed_error_fraction

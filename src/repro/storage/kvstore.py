@@ -67,6 +67,13 @@ class FailureInjector:
         with self._lock:
             self._forced_failures += count
 
+    def set_rate(self, failure_rate: float) -> None:
+        """Hot-update the random failure rate (chaos engine control knob)."""
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure rate must be in [0, 1], got {failure_rate}")
+        with self._lock:
+            self.failure_rate = failure_rate
+
     def check(self, operation: str) -> None:
         with self._lock:
             if self._forced_failures > 0:
@@ -165,3 +172,15 @@ class InMemoryKVStore:
     def _maybe_fail(self, operation: str) -> None:
         if self._injector is not None:
             self._injector.check(operation)
+
+    @property
+    def failure_injector(self) -> FailureInjector | None:
+        return self._injector
+
+    def attach_failure_injector(self, injector: FailureInjector | None) -> None:
+        """Install (or remove) a fault source after construction.
+
+        The chaos engine uses this to target stores that were built without
+        one — e.g. the per-region replicas of a live deployment.
+        """
+        self._injector = injector

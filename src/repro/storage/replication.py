@@ -53,6 +53,10 @@ class ReplicatedKVCluster:
             if region != master_region
         }
         self._lock = threading.Lock()
+        #: When set, caps ops applied per slave per :meth:`pump` call — the
+        #: chaos engine's replica-lag-spike knob (``0`` stalls replication
+        #: entirely, ``None`` removes the throttle).
+        self._pump_throttle: int | None = None
 
     # -- write path (master only) -----------------------------------------
 
@@ -86,8 +90,11 @@ class ReplicatedKVCluster:
                 if region is None
                 else [self._slaves[region]]
             )
+            throttle = self._pump_throttle
         for slave in slaves:
             budget = max_ops
+            if throttle is not None:
+                budget = throttle if budget is None else min(budget, throttle)
             while slave.queue and (budget is None or budget > 0):
                 op = slave.queue.popleft()
                 if op.value is None:
@@ -99,6 +106,31 @@ class ReplicatedKVCluster:
                 if budget is not None:
                     budget -= 1
         return applied
+
+    def set_pump_throttle(self, max_ops: int | None) -> None:
+        """Cap ops applied per slave per pump (``0`` stalls, ``None`` clears)."""
+        if max_ops is not None and max_ops < 0:
+            raise StorageError(f"pump throttle must be >= 0, got {max_ops}")
+        with self._lock:
+            self._pump_throttle = max_ops
+
+    @property
+    def pump_throttle(self) -> int | None:
+        with self._lock:
+            return self._pump_throttle
+
+    def injection_store(self, region: str) -> InMemoryKVStore:
+        """The raw store backing a region, for fault-injector attachment.
+
+        The master region's writer is an adapter; faults must land on the
+        underlying master store so reads and writes both feel them.
+        """
+        if region == self.master_region:
+            return self.master
+        try:
+            return self._slaves[region].store
+        except KeyError:
+            raise StorageError(f"unknown region {region!r}") from None
 
     def lag(self, region: str) -> int:
         """Number of operations a slave is behind the master."""

@@ -164,10 +164,25 @@ def render_dashboard(
         if family["type"] in ("counter", "gauge")
         for entry in family["metrics"]
     ]
+    # Chaos injections and resilience counters get their own section so a
+    # fault-injection run reads as one block: what was injected vs how the
+    # client coped (retries, hedges, breaker flips, deadline misses).
+    chaos = [
+        item
+        for item in scalars
+        if item[0].startswith(("chaos_", "resilience_"))
+    ]
+    scalars = [item for item in scalars if item not in chaos]
     if scalars:
         lines.append("")
         lines.append("-- counters / gauges --")
         for name, kind, entry in scalars:
+            label = f"{name}{_fmt_labels(entry['labels'])}"
+            lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
+    if chaos:
+        lines.append("")
+        lines.append("-- chaos / resilience --")
+        for name, kind, entry in chaos:
             label = f"{name}{_fmt_labels(entry['labels'])}"
             lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
 

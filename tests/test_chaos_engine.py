@@ -1,0 +1,236 @@
+"""Tests for the chaos engine's fault seams and determinism."""
+
+import pytest
+
+from repro.chaos import ChaosEngine, ChaosEvent, paper_fault_timeline
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import IPSCluster, MultiRegionDeployment
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import IPSError, NodeUnavailableError, RPCTimeoutError, StorageError
+from repro.obs.registry import MetricsRegistry
+from repro.server.proxy import RPCNodeProxy
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def deployment():
+    clock = SimulatedClock(NOW)
+    config = TableConfig(name="t", attributes=("click",))
+    return MultiRegionDeployment(
+        config, ["us", "eu"], nodes_per_region=2, clock=clock
+    )
+
+
+class TestChaosEvent:
+    def test_window_is_half_open(self):
+        event = ChaosEvent(100, 50, "node_crash")
+        assert not event.active_at(99)
+        assert event.active_at(100)
+        assert event.active_at(149)
+        assert not event.active_at(150)
+        assert event.end_ms == 150
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(0, 10, "gamma_rays")
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(0, 0, "node_crash")
+
+
+class TestEngineWiring:
+    def test_engine_proxies_every_node(self, deployment):
+        ChaosEngine(deployment, seed=1)
+        for region in deployment.regions.values():
+            for node in region.nodes.values():
+                assert isinstance(node, RPCNodeProxy)
+
+    def test_idempotent_over_preproxied_deployments(self, deployment):
+        ChaosEngine(deployment, seed=1)
+        before = {
+            node_id: node
+            for region in deployment.regions.values()
+            for node_id, node in region.nodes.items()
+        }
+        ChaosEngine(deployment, seed=2)
+        after = {
+            node_id: node
+            for region in deployment.regions.values()
+            for node_id, node in region.nodes.items()
+        }
+        assert before == after  # No double wrapping.
+
+
+class TestFaultKinds:
+    def test_node_crash_takes_transport_down_and_drops_state(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        client = deployment.client("us", caller="app")
+        client.add_profile(3, NOW, 1, 0, 1, {"click": 1})
+        deployment.run_background_cycle()
+        victim = None
+        for region in deployment.regions.values():
+            for node in region.nodes.values():
+                if node.cache.resident_count() > 0:
+                    victim = node
+                    break
+        assert victim is not None
+        engine.schedule(
+            ChaosEvent(NOW + 100, 200, "node_crash", victim.node_id)
+        )
+        deployment.clock.advance(100)
+        engine.tick()
+        assert victim.cache.resident_count() == 0  # Volatile state lost.
+        with pytest.raises(NodeUnavailableError):
+            victim.get_profile_topk(3, 1, 0, WINDOW, SortType.TOTAL, 3)
+        deployment.clock.advance(200)
+        engine.tick()
+        # Restarted: transport back, cache cold but reloads from KV.
+        results = client.get_profile_topk(3, 1, 0, WINDOW, SortType.TOTAL, k=3)
+        assert results and results[0].fid == 1
+
+    def test_region_outage_and_recovery(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        engine.schedule(ChaosEvent(NOW, 100, "region_outage", "eu"))
+        engine.tick()
+        assert not deployment.regions["eu"].available
+        assert deployment.regions["us"].available
+        deployment.clock.advance(100)
+        engine.tick()
+        assert deployment.regions["eu"].available
+
+    def test_rpc_error_injection_is_probabilistic_and_counted(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        engine.schedule(ChaosEvent(NOW, 1_000, "rpc_error", "us", 0.5))
+        engine.tick()
+        node = deployment.regions["us"].nodes["us-node-0"]
+        outcomes = {"ok": 0, "err": 0}
+        for _ in range(100):
+            try:
+                node.get_profile_topk(1, 1, 0, WINDOW, SortType.TOTAL, 3)
+                outcomes["ok"] += 1
+            except RPCTimeoutError:
+                outcomes["err"] += 1
+        assert outcomes["err"] > 10
+        assert outcomes["ok"] > 10
+        assert engine.injections["rpc_error_injected"] == outcomes["err"]
+        # eu is outside the blast radius.
+        eu_node = deployment.regions["eu"].nodes["eu-node-0"]
+        eu_node.get_profile_topk(1, 1, 0, WINDOW, SortType.TOTAL, 3)
+
+    def test_rpc_latency_inflates_modelled_client_time(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        node = deployment.regions["us"].nodes["us-node-0"]
+        node.get_profile_topk(1, 1, 0, WINDOW, SortType.TOTAL, 3)
+        baseline = node.rpc.stats.last_client_ms
+        engine.schedule(ChaosEvent(NOW, 1_000, "rpc_latency", "us", 75.0))
+        engine.tick()
+        node.get_profile_topk(1, 1, 0, WINDOW, SortType.TOTAL, 3)
+        assert node.rpc.stats.last_client_ms >= baseline + 70.0
+
+    def test_kv_error_injection_hits_the_region_store(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        engine.schedule(ChaosEvent(NOW, 1_000, "kv_error", "us", 1.0))
+        engine.tick()
+        store = deployment.kv_cluster.injection_store("us")
+        with pytest.raises(StorageError):
+            store.get(b"any-key")
+        assert engine.injections["kv_error"] >= 1
+        deployment.clock.advance(1_000)
+        engine.tick()
+        store.get(b"any-key")  # Injector reverted to rate 0.
+
+    def test_replica_lag_stalls_and_resumes_the_pump(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        writer = deployment.kv_cluster.write_store()
+        writer.set(b"k", b"v")
+        engine.schedule(ChaosEvent(NOW, 500, "replica_lag", None, 0))
+        engine.tick()
+        assert deployment.replicate() == 0  # Stalled.
+        assert deployment.kv_cluster.lag("eu") == 1
+        deployment.clock.advance(500)
+        engine.tick()
+        assert deployment.replicate() == 1  # Throttle cleared.
+        assert deployment.kv_cluster.lag("eu") == 0
+
+
+class TestDeterminismAndAccounting:
+    def test_fault_counts_are_key_sorted(self, deployment):
+        engine = ChaosEngine(deployment, seed=1)
+        engine.schedule(ChaosEvent(NOW, 100, "rpc_error", None, 1.0))
+        engine.tick()
+        node = deployment.regions["us"].nodes["us-node-0"]
+        with pytest.raises(RPCTimeoutError):
+            node.get_profile_topk(1, 1, 0, WINDOW, SortType.TOTAL, 3)
+        counts = engine.fault_counts()
+        assert list(counts) == sorted(counts)
+        assert counts["rpc_error"] == 1
+        assert counts["rpc_error_injected"] == 1
+
+    def test_same_seed_same_counts(self):
+        def run(seed):
+            clock = SimulatedClock(NOW)
+            config = TableConfig(name="t", attributes=("click",))
+            deployment = MultiRegionDeployment(
+                config, ["us", "eu"], nodes_per_region=2, clock=clock
+            )
+            engine = ChaosEngine(deployment, seed=seed)
+            engine.schedule(ChaosEvent(NOW, 10_000, "rpc_error", "us", 0.4))
+            engine.tick()
+            client = deployment.client("us", caller="app", max_retries=0)
+            errors = 0
+            for profile_id in range(200):
+                try:
+                    client.get_profile_topk(
+                        profile_id, 1, 0, WINDOW, SortType.TOTAL, k=3
+                    )
+                except IPSError:
+                    errors += 1
+            return errors, engine.fault_counts()
+
+        assert run(9) == run(9)
+        # A different seed draws a different error sequence (overwhelmingly
+        # likely over 200 Bernoulli(0.4) trials).
+        assert run(9) != run(10)
+
+    def test_injections_flow_to_the_registry(self, deployment):
+        registry = MetricsRegistry()
+        engine = ChaosEngine(deployment, seed=1, registry=registry)
+        engine.schedule(ChaosEvent(NOW, 100, "node_crash", "us-node-0"))
+        engine.tick()
+        assert 'chaos_injections{kind="node_crash"}' in registry.render_text()
+
+    def test_single_region_cluster_is_supported(self):
+        clock = SimulatedClock(NOW)
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=2, clock=clock)
+        engine = ChaosEngine(cluster, seed=1)
+        engine.schedule(ChaosEvent(NOW, 100, "kv_error", "local", 1.0))
+        engine.tick()
+        with pytest.raises(StorageError):
+            cluster.store.get(b"k")
+        clock.advance(100)
+        engine.tick()
+        cluster.store.get(b"k")
+
+
+class TestPaperTimeline:
+    def test_shape_of_the_fig17_timeline(self):
+        events = paper_fault_timeline(0, region="eu", round_ms=1_000)
+        kinds = sorted(event.kind for event in events)
+        assert kinds == [
+            "node_crash",
+            "region_outage",
+            "replica_lag",
+            "rpc_error",
+            "rpc_latency",
+        ]
+        crash = next(e for e in events if e.kind == "node_crash")
+        assert crash.target == "eu-node-0"
+        outage = next(e for e in events if e.kind == "region_outage")
+        assert outage.target == "eu"
+        assert all(event.end_ms <= 40 * 1_000 for event in events)

@@ -105,3 +105,29 @@ class TestRenderDashboard:
         assert "cluster @" in text
         assert "read QPS" in text
         assert "cache hit ratio" in text
+
+
+class TestChaosSection:
+    def test_chaos_and_resilience_counters_get_their_own_section(self):
+        from repro.obs.registry import MetricsRegistry
+        from repro.tools.dashboard import parse_exposition, render_dashboard
+
+        registry = MetricsRegistry()
+        registry.counter("chaos_injections", kind="node_crash").inc()
+        registry.counter("resilience_retries").inc(4)
+        registry.counter("plain_counter").inc()
+        text = render_dashboard(parse_exposition(registry.render_text()))
+        assert "-- chaos / resilience --" in text
+        chaos_section = text.split("-- chaos / resilience --")[1]
+        assert 'chaos_injections{kind=node_crash}' in chaos_section
+        assert "resilience_retries" in chaos_section
+        assert "plain_counter" not in chaos_section
+
+    def test_no_section_without_chaos_metrics(self):
+        from repro.obs.registry import MetricsRegistry
+        from repro.tools.dashboard import parse_exposition, render_dashboard
+
+        registry = MetricsRegistry()
+        registry.counter("plain_counter").inc()
+        text = render_dashboard(parse_exposition(registry.render_text()))
+        assert "-- chaos / resilience --" not in text

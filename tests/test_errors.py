@@ -71,3 +71,52 @@ class TestPayloads:
     def test_region_unavailable_carries_region(self):
         error = errors.RegionUnavailableError("eu")
         assert error.region == "eu"
+
+    def test_circuit_open_carries_node(self):
+        error = errors.CircuitOpenError("node-3")
+        assert error.node_id == "node-3"
+        assert "node-3" in str(error)
+
+    def test_deadline_exceeded_carries_operation_and_budget(self):
+        error = errors.DeadlineExceededError("multi_get_topk", 250.0)
+        assert error.operation == "multi_get_topk"
+        assert error.budget_ms == 250.0
+
+
+class TestRetryability:
+    """The shared taxonomy every retry loop consults (client, batch path)."""
+
+    def test_transient_errors_are_retryable(self):
+        for error in (
+            errors.NodeUnavailableError("n0"),
+            errors.RPCTimeoutError("slow"),
+            errors.StorageError("blip"),
+            errors.CircuitOpenError("n0"),
+        ):
+            assert errors.is_retryable(error), error
+
+    def test_region_fatal_errors_are_not_retryable(self):
+        for error in (
+            errors.RegionUnavailableError("eu"),
+            errors.NoHealthyNodeError("none left"),
+            errors.QuotaExceededError("ads", 10.0),
+        ):
+            assert not errors.is_retryable(error), error
+            assert errors.is_region_fatal(error), error
+
+    def test_deadline_exceeded_is_never_retryable(self):
+        # Even though it subclasses RPCError, retrying a request whose
+        # budget is spent only multiplies load during incidents.
+        assert not errors.is_retryable(
+            errors.DeadlineExceededError("get", 100.0)
+        )
+
+    def test_custom_retryable_mixin(self):
+        class TransientFlake(errors.IPSError, errors.RetryableError):
+            pass
+
+        assert errors.is_retryable(TransientFlake("flaky"))
+        assert not errors.is_retryable(errors.IPSError("generic"))
+
+    def test_plain_exceptions_are_not_retryable(self):
+        assert not errors.is_retryable(ValueError("nope"))

@@ -211,3 +211,49 @@ class TestBatchQueryMetricsRegistry:
         metrics.observe_batch(10, 5)
         assert metrics.dedup_ratio == 0.5
         assert sum(metrics.batch_size_hist.values()) == 1
+
+
+class TestResilienceRollup:
+    def test_watched_client_summary_appears_in_report(self):
+        from repro.clock import MILLIS_PER_DAY, SimulatedClock
+        from repro.cluster import IPSCluster, ResilienceConfig
+        from repro.config import TableConfig
+        from repro.core.query import SortType
+        from repro.core.timerange import TimeRange
+        from repro.monitoring import ClusterMonitor
+        from repro.server.proxy import wrap_region_with_proxies
+
+        now = 400 * MILLIS_PER_DAY
+        clock = SimulatedClock(now)
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=3, clock=clock)
+        wrap_region_with_proxies(cluster)
+        client = cluster.client("rec-app", resilience=ResilienceConfig(seed=1))
+        monitor = ClusterMonitor(cluster)
+        monitor.watch_client(client)
+
+        client.add_profile(1, now, 1, 1, 5, {"click": 1})
+        cluster.run_background_cycle()
+        client.get_profile_topk(
+            1, 1, 1, TimeRange.current(MILLIS_PER_DAY), SortType.TOTAL, k=3
+        )
+        rollup = monitor.resilience_rollup()
+        assert "rec-app" in rollup
+        assert "retries" in rollup["rec-app"]
+        assert "resilience[rec-app]" in monitor.report()
+
+    def test_clients_without_resilience_contribute_nothing(self):
+        from repro.clock import SimulatedClock
+        from repro.cluster import IPSCluster
+        from repro.config import TableConfig
+        from repro.monitoring import ClusterMonitor
+
+        cluster = IPSCluster(
+            TableConfig(name="t", attributes=("click",)),
+            num_nodes=2,
+            clock=SimulatedClock(0),
+        )
+        monitor = ClusterMonitor(cluster)
+        monitor.watch_client(cluster.client("plain"))
+        assert monitor.resilience_rollup() == {}
+        assert "resilience[" not in monitor.report()

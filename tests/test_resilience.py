@@ -1,0 +1,378 @@
+"""Tests for the resilience layer: deadlines, backoff, breakers, hedging."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import IPSCluster, MultiRegionDeployment
+from repro.cluster.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    Deadline,
+    HedgePolicy,
+    ResilienceConfig,
+    ResilientExecutor,
+)
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    IPSError,
+    is_retryable,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.server.proxy import wrap_region_with_proxies
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(NOW)
+
+
+class TestDeadline:
+    def test_counts_down_with_the_clock(self, clock):
+        deadline = Deadline(clock, 100.0)
+        assert deadline.remaining_ms() == pytest.approx(100.0)
+        clock.advance(60)
+        assert deadline.remaining_ms() == pytest.approx(40.0)
+        assert not deadline.expired
+
+    def test_check_raises_once_expired(self, clock):
+        deadline = Deadline(clock, 50.0)
+        deadline.check("get_profile_topk")  # Fine while budget remains.
+        clock.advance(50)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("get_profile_topk")
+        assert "get_profile_topk" in str(excinfo.value)
+
+    def test_deadline_exceeded_is_not_retryable(self, clock):
+        # Retrying a request whose budget is gone only multiplies load.
+        assert not is_retryable(DeadlineExceededError("op", 10.0))
+
+    def test_rejects_non_positive_budget(self, clock):
+        with pytest.raises(ValueError):
+            Deadline(clock, 0.0)
+
+
+class TestBackoffPolicy:
+    def test_grows_geometrically_and_caps(self):
+        import random
+
+        policy = BackoffPolicy(base_ms=10, multiplier=2, max_ms=50, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_ms(attempt, rng) for attempt in range(5)]
+        assert delays == [10, 20, 40, 50, 50]
+
+    def test_jitter_only_shrinks_the_delay(self):
+        import random
+
+        policy = BackoffPolicy(base_ms=10, multiplier=2, max_ms=500, jitter=0.5)
+        rng = random.Random(1)
+        for attempt in range(6):
+            delay = policy.delay_ms(attempt, rng)
+            ceiling = min(500, 10 * 2**attempt)
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_ms=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3, recovery_ms=1000)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_and_close(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, recovery_ms=1000)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1000)
+        assert breaker.state == HALF_OPEN
+        # Only one probe slot: the first caller gets it, the second waits.
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, recovery_ms=1000)
+        breaker.record_failure()
+        clock.advance(1000)
+        assert breaker.allow()  # The probe.
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(1000)
+        assert breaker.state == HALF_OPEN
+
+    def test_transitions_are_recorded(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, recovery_ms=100)
+        breaker.record_failure()
+        clock.advance(100)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+
+class TestHedgePolicy:
+    def test_not_armed_until_min_samples(self):
+        policy = HedgePolicy(percentile=95, min_samples=10)
+        for _ in range(9):
+            policy.observe(5.0)
+        assert policy.current_threshold_ms() is None
+        assert not policy.should_hedge(1000.0)
+
+    def test_fires_above_trailing_percentile(self):
+        policy = HedgePolicy(percentile=90, min_samples=10, min_threshold_ms=0.5)
+        for _ in range(50):
+            policy.observe(4.0)
+        threshold = policy.current_threshold_ms()
+        assert threshold is not None
+        assert not policy.should_hedge(threshold)
+        assert policy.should_hedge(threshold * 4)
+
+    def test_fixed_threshold_override(self):
+        policy = HedgePolicy(threshold_ms=25.0)
+        assert policy.should_hedge(26.0)
+        assert not policy.should_hedge(24.0)
+
+
+class TestResilientExecutor:
+    def test_admit_raises_circuit_open(self, clock):
+        executor = ResilientExecutor(
+            clock, ResilienceConfig(breaker_failure_threshold=1)
+        )
+        executor.admit("n0")
+        executor.record_failure("n0")
+        with pytest.raises(CircuitOpenError):
+            executor.admit("n0")
+        assert executor.stats.breaker_rejections == 1
+        assert executor.open_nodes() == {"n0"}
+        assert executor.breaker_states() == {"n0": "open"}
+
+    def test_circuit_open_error_is_retryable(self):
+        # Rejection by one node's breaker must reroute, not fail the read.
+        assert is_retryable(CircuitOpenError("n0"))
+
+    def test_backoff_charges_the_simulated_clock(self, clock):
+        executor = ResilientExecutor(clock, ResilienceConfig())
+        before = clock.now_ms()
+        executor.backoff_before_retry(0, None)
+        assert clock.now_ms() > before
+        assert executor.stats.backoff_waits == 1
+        assert executor.stats.backoff_wait_ms > 0
+
+    def test_backoff_never_overshoots_the_deadline(self, clock):
+        executor = ResilientExecutor(
+            clock,
+            ResilienceConfig(
+                backoff=BackoffPolicy(base_ms=500, max_ms=500, jitter=0.0)
+            ),
+        )
+        deadline = Deadline(clock, 20.0)
+        executor.backoff_before_retry(0, deadline)
+        # Waited at most the remaining budget, not the full 500 ms.
+        assert clock.now_ms() - NOW <= 20
+
+    def test_registry_counters_flow(self, clock):
+        registry = MetricsRegistry()
+        executor = ResilientExecutor(
+            clock,
+            ResilienceConfig(breaker_failure_threshold=1),
+            registry=registry,
+        )
+        executor.record_failure("n0")
+        executor.backoff_before_retry(0, None)
+        executor.record_hedge(won=True)
+        executor.record_deadline_exceeded()
+        text = registry.render_text()
+        assert "resilience_retries" in text
+        assert 'resilience_breaker_transitions{node="n0",to="open"}' in text
+        assert 'resilience_hedges{outcome="won"}' in text
+        assert "resilience_deadline_exceeded" in text
+
+
+# ----------------------------------------------------------------------
+# Client integration
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def proxied_cluster(clock):
+    config = TableConfig(name="t", attributes=("click",))
+    cluster = IPSCluster(config, num_nodes=4, clock=clock)
+    wrap_region_with_proxies(cluster)
+    client = cluster.client("app", resilience=ResilienceConfig(seed=3))
+    for profile_id in range(100):
+        client.add_profile(profile_id, NOW, 1, 1, profile_id % 9, {"click": 1})
+    cluster.run_background_cycle()
+    return cluster, client
+
+
+class TestClientIntegration:
+    def test_breaker_opens_and_excludes_a_dead_node(self, proxied_cluster, clock):
+        cluster, client = proxied_cluster
+        victim_id = sorted(cluster.region.nodes)[0]
+        cluster.region.nodes[victim_id].crash()
+        # Hammer reads: the victim's breaker should open, after which its
+        # keys reroute without even touching the dead transport.
+        for profile_id in range(100):
+            client.get_profile_topk(profile_id, 1, 1, WINDOW, SortType.TOTAL, k=3)
+        summary = client.resilience_summary()
+        assert summary["breaker_states"][victim_id] == "open"
+        assert summary["retries"] > 0
+        rejections_mid = summary["breaker_rejections"]
+        for profile_id in range(100):
+            client.get_profile_topk(profile_id, 1, 1, WINDOW, SortType.TOTAL, k=3)
+        assert (
+            client.resilience_summary()["breaker_rejections"] >= rejections_mid
+        )
+
+    def test_recovered_node_closes_its_breaker(self, proxied_cluster, clock):
+        cluster, client = proxied_cluster
+        victim_id = sorted(cluster.region.nodes)[0]
+        victim = cluster.region.nodes[victim_id]
+        victim.crash()
+        for profile_id in range(100):
+            client.get_profile_topk(profile_id, 1, 1, WINDOW, SortType.TOTAL, k=3)
+        assert client.resilience_summary()["breaker_states"][victim_id] == "open"
+        victim.restart()
+        clock.advance(10_000)  # Past breaker recovery: half-open probes.
+        for _ in range(3):
+            for profile_id in range(100):
+                client.get_profile_topk(
+                    profile_id, 1, 1, WINDOW, SortType.TOTAL, k=3
+                )
+        assert (
+            client.resilience_summary()["breaker_states"][victim_id] == "closed"
+        )
+
+    def test_expired_deadline_fails_single_reads(self, clock):
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=2, clock=clock)
+        proxies = wrap_region_with_proxies(cluster)
+        client = cluster.client(
+            "app", resilience=ResilienceConfig(deadline_ms=1.0, hedge=None)
+        )
+        client.add_profile(5, NOW, 1, 1, 1, {"click": 1})
+        cluster.run_background_cycle()
+        client.get_profile_topk(5, 1, 1, WINDOW, SortType.TOTAL, k=3)  # Warm.
+        # With every node down the first attempt fails, the backoff burns
+        # the 1 ms budget on the simulated clock, and the second attempt's
+        # deadline check fires instead of retrying forever.
+        for proxy in proxies:
+            proxy.crash()
+        with pytest.raises(DeadlineExceededError):
+            client.get_profile_topk(5, 1, 1, WINDOW, SortType.TOTAL, k=3)
+        assert client.resilience_summary()["deadline_exceeded"] >= 1
+
+    def test_expired_deadline_fails_batch_keys(self, clock):
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=2, clock=clock)
+        proxies = wrap_region_with_proxies(cluster)
+        client = cluster.client(
+            "app", resilience=ResilienceConfig(deadline_ms=1.0, hedge=None)
+        )
+        for profile_id in range(8):
+            client.add_profile(profile_id, NOW, 1, 1, 1, {"click": 1})
+        cluster.run_background_cycle()
+        for proxy in proxies:
+            proxy.crash()
+        batch = client.multi_get_topk(
+            list(range(8)), 1, 1, WINDOW, SortType.TOTAL, k=3
+        )
+        failed = [entry for entry in batch if not entry.ok]
+        assert failed, "expected deadline failures in the batch"
+        # The batch never raises; expired keys carry the deadline error in
+        # their per-key envelope.
+        assert any(
+            entry.error == "DeadlineExceededError" for entry in failed
+        )
+
+    def test_hedging_fires_on_slow_calls(self, clock):
+        config = TableConfig(name="t", attributes=("click",))
+        cluster = IPSCluster(config, num_nodes=4, clock=clock)
+        proxies = wrap_region_with_proxies(cluster)
+        client = cluster.client(
+            "app",
+            resilience=ResilienceConfig(
+                hedge=HedgePolicy(threshold_ms=0.0), deadline_ms=None
+            ),
+        )
+        for profile_id in range(50):
+            client.add_profile(profile_id, NOW, 1, 1, 1, {"click": 1})
+        cluster.run_background_cycle()
+        for profile_id in range(50):
+            client.get_profile_topk(profile_id, 1, 1, WINDOW, SortType.TOTAL, k=3)
+        summary = client.resilience_summary()
+        # Threshold 0 means every successful read hedges (4 nodes, so an
+        # alternate replica always exists).
+        assert summary["hedges_fired"] > 0
+        assert summary["hedges_won"] <= summary["hedges_fired"]
+
+    def test_resilient_client_survives_multiregion_outage(self, clock):
+        config = TableConfig(name="t", attributes=("click",))
+        deployment = MultiRegionDeployment(
+            config, ["us", "eu"], nodes_per_region=2, clock=clock
+        )
+        wrap_region_with_proxies(deployment)
+        client = deployment.client(
+            "eu", caller="app", resilience=ResilienceConfig(seed=1)
+        )
+        for profile_id in range(40):
+            client.add_profile(profile_id, NOW, 1, 0, profile_id % 5, {"click": 1})
+        deployment.run_background_cycle()
+        deployment.fail_region("eu")
+        errors = 0
+        for profile_id in range(40):
+            try:
+                client.get_profile_topk(
+                    profile_id, 1, 0, WINDOW, SortType.TOTAL, k=3
+                )
+            except IPSError:
+                errors += 1
+        assert errors == 0  # us serves everything eu cannot.
+        assert client.stats.region_failovers > 0
+
+    def test_region_failover_flag_disables_failover(self, clock):
+        config = TableConfig(name="t", attributes=("click",))
+        deployment = MultiRegionDeployment(
+            config, ["us", "eu"], nodes_per_region=2, clock=clock
+        )
+        client = deployment.client("eu", caller="app", region_failover=False)
+        for profile_id in range(10):
+            client.add_profile(profile_id, NOW, 1, 0, 1, {"click": 1})
+        deployment.run_background_cycle()
+        deployment.fail_region("eu")
+        with pytest.raises(IPSError):
+            client.get_profile_topk(0, 1, 0, WINDOW, SortType.TOTAL, k=3)

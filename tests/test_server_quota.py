@@ -39,6 +39,94 @@ class TestTokenBucket:
             TokenBucket(0, None, SimulatedClock(0))
 
 
+class _SteppableClock:
+    """Clock stub that, unlike SimulatedClock, can step backwards —
+    the NTP-correction scenario a wall clock exposes a bucket to."""
+
+    def __init__(self, now_ms: int = 0) -> None:
+        self._now_ms = now_ms
+
+    def now_ms(self) -> int:
+        return self._now_ms
+
+    def step(self, delta_ms: int) -> None:
+        self._now_ms += delta_ms
+
+
+class TestTokenBucketEdgeCases:
+    def test_backwards_clock_step_grants_no_tokens(self):
+        clock = _SteppableClock(10_000)
+        bucket = TokenBucket(rate_qps=10, burst=5, clock=clock)
+        for _ in range(5):
+            assert bucket.try_acquire()
+        clock.step(-5_000)  # NTP correction into the past.
+        assert not bucket.try_acquire()
+
+    def test_backwards_step_does_not_double_refill(self):
+        """The refill watermark must not move backwards: after a backwards
+        step, the same wall-time interval must not be credited twice."""
+        clock = _SteppableClock(10_000)
+        bucket = TokenBucket(rate_qps=10, burst=10, clock=clock)
+        for _ in range(10):
+            assert bucket.try_acquire()
+        clock.step(-1_000)
+        assert not bucket.try_acquire()  # Must not reset the watermark.
+        clock.step(1_000)  # Back to the original time: zero net elapsed.
+        assert not bucket.try_acquire()
+        clock.step(100)  # 0.1 s of genuinely new time -> 1 token.
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_fractional_token_costs(self):
+        clock = SimulatedClock(0)
+        bucket = TokenBucket(rate_qps=10, burst=1.0, clock=clock)
+        assert bucket.try_acquire(0.25)
+        assert bucket.try_acquire(0.25)
+        assert bucket.try_acquire(0.5)
+        assert not bucket.try_acquire(0.25)
+        clock.advance(25)  # 0.025 s -> 0.25 tokens at 10 qps.
+        assert bucket.try_acquire(0.25)
+        assert not bucket.try_acquire(0.25)
+
+    def test_burst_smaller_than_rate(self):
+        """A sub-second burst cap must bound spikes even when the per-second
+        rate is larger: at most ``burst`` admits in any instant."""
+        clock = SimulatedClock(0)
+        bucket = TokenBucket(rate_qps=1000, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(60_000)  # A minute of refill still caps at burst.
+        admitted = sum(1 for _ in range(10) if bucket.try_acquire())
+        assert admitted == 2
+
+    def test_concurrent_try_acquire_never_overspends(self):
+        import threading
+
+        clock = SimulatedClock(0)
+        bucket = TokenBucket(rate_qps=1, burst=50, clock=clock)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            count = 0
+            for _ in range(25):
+                if bucket.try_acquire():
+                    count += 1
+            admitted.append(count)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 8 x 25 = 200 attempts against 50 tokens and no refill (the
+        # simulated clock never moves): exactly the burst is admitted.
+        assert sum(admitted) == 50
+        assert not bucket.try_acquire()
+
+
 class TestQuotaManager:
     def test_unquota_caller_unlimited_by_default(self):
         manager = QuotaManager(SimulatedClock(0))

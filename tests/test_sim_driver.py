@@ -160,6 +160,24 @@ class TestFaultSchedule:
         rates = [schedule.error_rate_at(t * 1000) for t in range(100)]
         assert all(rate < 0.0001 for rate in rates)
 
+    def test_error_rate_is_a_pure_function_of_seed_and_time(self):
+        """Querying must not mutate state: the same (seed, time) pair gives
+        the same rate regardless of how often or in what order it's asked."""
+        first = FaultSchedule(events=[], background_error_rate=0.0001, seed=9)
+        second = FaultSchedule(events=[], background_error_rate=0.0001, seed=9)
+        times = [0, 5_000, 1_000, 5_000, 999_999, 0]
+        for _ in range(3):  # Repeated queries on `first` change nothing.
+            forward = [first.error_rate_at(t) for t in times]
+        fresh = [second.error_rate_at(t) for t in times]
+        assert forward == fresh
+        assert first.error_rate_at(5_000) == first.error_rate_at(5_000)
+
+    def test_noise_varies_with_seed_and_time(self):
+        schedule = FaultSchedule(events=[], background_error_rate=0.0001, seed=1)
+        other = FaultSchedule(events=[], background_error_rate=0.0001, seed=2)
+        assert schedule.error_rate_at(1_000) != other.error_rate_at(1_000)
+        assert schedule.error_rate_at(1_000) != schedule.error_rate_at(2_000)
+
 
 class TestCalibration:
     def test_calibration_measures_positive_costs(self):
