@@ -1,10 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint bench-batch bench-trace chaos dash
+.PHONY: check test lint bench-batch bench-trace bench-recovery chaos crashcheck dash
 
-## check: lint + tier-1 tests + benchmark smoke runs + chaos determinism smoke.
-check: lint test bench-batch bench-trace chaos
+## check: lint + tier-1 tests + benchmark smoke runs + chaos determinism smoke
+## + seeded crash-point recovery schedules.
+check: lint test bench-batch bench-trace bench-recovery chaos crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,10 +21,20 @@ bench-batch:
 bench-trace:
 	$(PYTHON) benchmarks/bench_trace_overhead.py --smoke
 
+## bench-recovery: WAL replay cost vs length/checkpoint cadence + ack tax.
+bench-recovery:
+	$(PYTHON) benchmarks/bench_recovery.py --smoke
+
 ## chaos: seeded fault-injection smoke — no unhandled exceptions, and two
 ## same-seed runs must produce byte-identical fault/error counts.
 chaos:
 	$(PYTHON) -m repro.chaos.smoke
+
+## crashcheck: 20 seeded crash-point schedules — every acked write must
+## survive a byte/op-granular node death, same seed replays identically,
+## and the oracle must prove it still catches loss with the WAL off.
+crashcheck:
+	$(PYTHON) -m repro.chaos.crashpoints --seeds 20
 
 ## dash: one-screen ASCII observability dashboard over a demo workload.
 dash:

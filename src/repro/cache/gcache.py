@@ -48,6 +48,7 @@ class CacheMetrics:
     flushes: int = 0
     flush_failures: int = 0
     flush_requeues: int = 0
+    recovered_installs: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -189,6 +190,22 @@ class GCache:
             return
         self.dirty.mark(profile_id)
         self.lru.update_cost(profile_id, entry.profile.memory_bytes())
+
+    def install_recovered(self, profile: ProfileData) -> None:
+        """Install a crash-recovered profile as resident *and dirty*.
+
+        Recovery rebuilds profiles from the checkpoint base plus the WAL
+        tail, so the freshly rebuilt state supersedes whatever the KV
+        store holds and must be queued for re-flush — this is how the
+        dirty list is rebuilt after a crash.
+        """
+        self._install(profile, dirty=True)
+        self.metrics.recovered_installs += 1
+
+    def resident_ids(self) -> list[int]:
+        """Ids of every resident profile (checkpoint enumeration)."""
+        with self._entries_lock:
+            return list(self._entries.keys())
 
     def entry_lock(self, profile_id: int) -> threading.Lock | None:
         """Expose the per-entry lock for serving-path critical sections."""

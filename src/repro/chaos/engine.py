@@ -11,7 +11,9 @@ Fault kinds and the seams they use:
 ==================  ====================================================
 ``node_crash``      :meth:`RPCNodeProxy.crash` — transport down *and*
                     volatile node state (cache, write table) lost; the
-                    restart comes up cold.
+                    restart comes up cold, or — when the node has a
+                    durability layer — replays checkpoint + WAL first
+                    (counted as ``node_recovery``).
 ``region_outage``   :meth:`Region.fail_region` / ``recover_region``.
 ``rpc_latency``     added milliseconds on matching calls via the
                     transport's :attr:`~repro.server.rpc.RPCServer
@@ -215,7 +217,9 @@ class ChaosEngine:
     def _revert(self, event: ChaosEvent) -> None:
         if event.kind == "node_crash":
             for proxy in self._matching_proxies(event.target):
-                proxy.restart()
+                report = proxy.restart()
+                if report is not None:
+                    self._count("node_recovery")
         elif event.kind == "region_outage":
             for region in self._matching_regions(event.target):
                 region.recover_region()

@@ -70,6 +70,30 @@ class VersionConflictError(StorageError):
         self.current = current
 
 
+class WALCorruptionError(StorageError):
+    """A write-ahead-log record failed its CRC or framing check.
+
+    Raised only by explicit integrity probes; replay never raises it —
+    corruption truncates the log at the last valid record instead, because
+    a torn tail is the *expected* outcome of a crash mid-append.
+    """
+
+
+class SimulatedCrashError(BaseException):
+    """Process death injected by the crash-point harness.
+
+    Deliberately derives from :class:`BaseException`, not
+    :class:`IPSError`: a simulated crash must rip through the ``except
+    Exception`` handlers that make the serving and flush paths resilient,
+    exactly as a real SIGKILL would.  Only the harness itself catches it.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"simulated crash at {site}{suffix}")
+        self.site = site
+
+
 class QuotaExceededError(IPSError):
     """A caller exceeded its server-side QPS quota and was rejected."""
 

@@ -128,6 +128,11 @@ class NodeSnapshot:
     quota_rejections: int
     batch_reads: int = 0
     batch_keys: int = 0
+    #: Durability-layer counters (zero when the node runs without a WAL).
+    wal_appends: int = 0
+    wal_replay_lag: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
 
     @property
     def memory_ratio(self) -> float:
@@ -180,6 +185,15 @@ class ClusterSnapshot:
     def quota_rejections(self) -> int:
         return sum(node.quota_rejections for node in self.nodes)
 
+    @property
+    def wal_replay_lag(self) -> int:
+        """WAL records a fleet-wide crash right now would have to replay."""
+        return sum(node.wal_replay_lag for node in self.nodes)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(node.recoveries for node in self.nodes)
+
 
 class ClusterMonitor:
     """Collects snapshots and rate series from a cluster or deployment."""
@@ -229,6 +243,7 @@ class ClusterMonitor:
         for region in self._deployment.regions.values():
             for node in region.nodes.values():
                 metrics = node.cache.metrics
+                durability = getattr(node, "durability", None)
                 nodes.append(
                     NodeSnapshot(
                         node_id=node.node_id,
@@ -247,6 +262,18 @@ class ClusterMonitor:
                         quota_rejections=node.quota.rejected,
                         batch_reads=node.stats.batch_reads,
                         batch_keys=node.stats.batch_keys,
+                        wal_appends=(
+                            durability.stats.writes_logged if durability else 0
+                        ),
+                        wal_replay_lag=(
+                            durability.replay_lag_records() if durability else 0
+                        ),
+                        checkpoints=(
+                            durability.stats.checkpoints if durability else 0
+                        ),
+                        recoveries=(
+                            durability.stats.recoveries if durability else 0
+                        ),
                     )
                 )
         clock = self._deployment.clock
@@ -305,6 +332,15 @@ class ClusterMonitor:
             f"memory={snapshot.memory_ratio:.1%}  "
             f"quota_rejections={snapshot.quota_rejections}",
         ]
+        if any(node.wal_appends or node.recoveries for node in snapshot.nodes):
+            appends = sum(node.wal_appends for node in snapshot.nodes)
+            checkpoints = sum(node.checkpoints for node in snapshot.nodes)
+            lines.append(
+                f"  durability: wal_appends={appends}  "
+                f"replay_lag={snapshot.wal_replay_lag}  "
+                f"checkpoints={checkpoints}  "
+                f"recoveries={snapshot.recoveries}"
+            )
         for node in snapshot.nodes:
             lines.append(
                 f"  {node.node_id}: reads={node.reads} writes={node.writes} "

@@ -13,22 +13,32 @@ from .maintenance import MaintenancePool, MaintenancePoolStats
 from .node import IPSNode, NodeStats
 from .proxy import RPCNodeProxy
 from .quota import QuotaManager, TokenBucket
+from .recovery import (
+    CheckpointReport,
+    NodeDurability,
+    RecoveryReport,
+    attach_memory_durability,
+)
 from .rpc import LatencyModel, RPCServer, RPCStats
 from .service import IPSService
 
 __all__ = [
     "BatchKeyResult",
     "BatchReadOutcome",
+    "CheckpointReport",
     "IPSNode",
     "IPSService",
     "LatencyModel",
     "MaintenancePool",
     "MaintenancePoolStats",
+    "NodeDurability",
     "NodeStats",
     "QuotaManager",
     "RPCNodeProxy",
     "RPCServer",
     "RPCStats",
+    "RecoveryReport",
     "TokenBucket",
     "WriteTable",
+    "attach_memory_durability",
 ]

@@ -74,6 +74,7 @@ class IPSNode:
         write_table_limit_bytes: int = 8 * 1024 * 1024,
         quota: QuotaManager | None = None,
         tracer=NULL_TRACER,
+        durability=None,
     ) -> None:
         self.node_id = node_id
         self.clock = clock if clock is not None else SystemClock()
@@ -97,6 +98,10 @@ class IPSNode:
         )
         self.write_table = WriteTable(write_table_limit_bytes)
         self.quota = quota if quota is not None else QuotaManager(self.clock)
+        #: Optional :class:`~repro.server.recovery.NodeDurability`: when
+        #: set, every write is WAL-logged before it is acked, and
+        #: :meth:`recover` replays the log after a crash.
+        self.durability = durability
         self.stats = NodeStats()
         self._isolation_enabled = isolation_enabled
         self._merge_lock = threading.Lock()
@@ -148,23 +153,28 @@ class IPSNode:
         counts: Sequence[int] | dict[str, int],
         caller: str = "default",
     ) -> None:
-        """``add_profile`` with quota admission and optional isolation."""
+        """``add_profile`` with quota admission and optional isolation.
+
+        With durability attached, the logical write enters the WAL before
+        it is buffered or applied, and this method returns (= acks) only
+        once the record is committed under the WAL's sync mode.
+        """
         with self.tracer.span("node.add_profile", profile=profile_id):
             self.quota.admit(caller)
             self.stats.writes += 1
             vector = self.engine._normalize_counts(counts)
-            if self._isolation_enabled:
-                pending = PendingWrite(
+            if self.durability is not None:
+                self.durability.log_write(
+                    profile_id, timestamp_ms, slot, type_id, fid, vector,
+                    apply=lambda: self._buffer_or_apply(
+                        profile_id, timestamp_ms, slot, type_id, fid, vector
+                    ),
+                )
+                self.durability.ack_barrier()
+            else:
+                self._buffer_or_apply(
                     profile_id, timestamp_ms, slot, type_id, fid, vector
                 )
-                if self.write_table.append(pending):
-                    self.stats.writes_isolated += 1
-                    return
-                # Write table full: fall through to a synchronous write.
-            self.stats.writes_direct += 1
-            self._apply_write(
-                profile_id, timestamp_ms, slot, type_id, fid, vector
-            )
 
     def add_profiles(
         self,
@@ -188,17 +198,47 @@ class IPSNode:
             for fid, counts in zip(fids, counts_list):
                 vector = self.engine._normalize_counts(counts)
                 self.stats.writes += 1
-                if self._isolation_enabled and self.write_table.append(
-                    PendingWrite(
+                if self.durability is not None:
+                    # Appends buffer under group/manual sync; the single
+                    # ack barrier below group-commits the whole batch.
+                    self.durability.log_write(
+                        profile_id, timestamp_ms, slot, type_id, fid, vector,
+                        apply=lambda fid=fid, vector=vector: (
+                            self._buffer_or_apply(
+                                profile_id, timestamp_ms, slot, type_id,
+                                fid, vector,
+                            )
+                        ),
+                    )
+                else:
+                    self._buffer_or_apply(
                         profile_id, timestamp_ms, slot, type_id, fid, vector
                     )
-                ):
-                    self.stats.writes_isolated += 1
-                    continue
-                self.stats.writes_direct += 1
-                self._apply_write(
-                    profile_id, timestamp_ms, slot, type_id, fid, vector
-                )
+            if self.durability is not None:
+                self.durability.ack_barrier()
+
+    def _buffer_or_apply(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fid: int,
+        vector: Sequence[int],
+    ) -> None:
+        """Isolation buffer when enabled (and not full), else direct apply."""
+        if self._isolation_enabled:
+            pending = PendingWrite(
+                profile_id, timestamp_ms, slot, type_id, fid, vector
+            )
+            if self.write_table.append(pending):
+                self.stats.writes_isolated += 1
+                return
+            # Write table full: fall through to a synchronous write.
+        self.stats.writes_direct += 1
+        self._apply_write(
+            profile_id, timestamp_ms, slot, type_id, fid, vector
+        )
 
     def _apply_write(
         self,
@@ -502,9 +542,16 @@ class IPSNode:
         return MaintenancePool(self.engine, **kwargs)
 
     def run_cache_cycle(self) -> tuple[int, int]:
-        """One deterministic swap + flush pass; returns (evicted, flushed)."""
+        """One deterministic swap + flush pass; returns (evicted, flushed).
+
+        With durability attached, this is also the periodic checkpoint
+        driver: once the WAL outgrows the configured interval, the cycle
+        snapshots state and truncates the log.
+        """
         evicted = self.cache.run_swap_once()
         flushed = self.cache.run_flush_once()
+        if self.durability is not None:
+            self.durability.maybe_checkpoint(self)
         return evicted, flushed
 
     def start_background(
@@ -519,21 +566,50 @@ class IPSNode:
         self.cache.stop_workers()
 
     def shutdown(self) -> None:
-        """Drain isolation buffer and flush everything dirty."""
+        """Drain isolation buffer and flush everything dirty.
+
+        A clean shutdown also takes a final checkpoint so the WAL is empty
+        and the next start needs no replay.
+        """
         self.merge_write_table()
         self.cache.flush_all()
+        if self.durability is not None:
+            self.durability.checkpoint(self)
 
     def crash(self) -> int:
         """Simulate a process crash: volatile state is lost, not flushed.
 
         The isolation write table and all cache residency vanish (unflushed
-        dirty profiles included — that is what a crash costs); persisted
-        data survives in the KV store and reloads on the next miss.
-        Returns the number of resident profiles dropped.
+        dirty profiles included — without durability, that is what a crash
+        costs); persisted data survives in the KV store and reloads on the
+        next miss.  With durability attached, :meth:`recover` rebuilds the
+        lost acked writes from checkpoint + WAL on restart.  Returns the
+        number of resident profiles dropped.
         """
         with self._merge_lock:
             self.write_table.drain()
             return self.cache.drop_all()
+
+    # ------------------------------------------------------------------
+    # Durability (checkpoint + crash recovery)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Snapshot state and truncate the WAL; None without durability."""
+        if self.durability is None:
+            return None
+        return self.durability.checkpoint(self)
+
+    def recover(self):
+        """Replay checkpoint + WAL tail after a crash (restart path).
+
+        Returns the :class:`~repro.server.recovery.RecoveryReport`, or
+        ``None`` when the node has no durability layer (nothing to replay
+        — the pre-WAL behaviour of coming back cold).
+        """
+        if self.durability is None:
+            return None
+        return self.durability.recover(self)
 
     # ------------------------------------------------------------------
 

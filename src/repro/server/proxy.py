@@ -105,9 +105,17 @@ class RPCNodeProxy:
         self.rpc.set_available(False)
         self.node.crash()
 
-    def restart(self) -> None:
-        """Chaos seam: bring the transport back up (cache stays cold)."""
+    def restart(self):
+        """Chaos seam: bring the transport back up and recover durable state.
+
+        With a durability layer attached, the restart replays checkpoint +
+        WAL before accepting traffic and returns the
+        :class:`~repro.server.recovery.RecoveryReport`; without one the
+        node simply comes up cold and ``None`` is returned.
+        """
+        report = self.node.recover()
         self.rpc.set_available(True)
+        return report
 
     def latency_summary(self) -> dict[str, float]:
         """Client/server latency summary over proxied calls (milliseconds)."""

@@ -1,0 +1,509 @@
+"""Crash recovery: checkpoints + WAL replay behind the node's ack.
+
+The durability contract (Monolith-style snapshot + log replay, grafted
+onto IPS §III-E's asynchronous flush path):
+
+* every acked write is first appended to the node's
+  :class:`~repro.storage.wal.WriteAheadLog` — the ack happens only after
+  the append commits under the log's sync mode;
+* a **checkpoint** captures a complete replay base — the state every
+  profile had at a WAL sequence barrier — then truncates the log through
+  that barrier;
+* **recovery** loads the checkpoint, replays the WAL tail (idempotent:
+  records are deduplicated by sequence and applied onto the checkpoint
+  base, never onto whatever happens to sit in the KV store), reinstalls
+  the rebuilt profiles as resident *and dirty* — rebuilding the dirty
+  list — and sweeps fine-grained slice orphans left by torn flushes.
+
+Why replay onto the checkpoint base instead of the KV value: a background
+flusher may have persisted a profile *after* the checkpoint barrier, so
+the KV value can already contain tail writes; replaying onto it would
+double-apply them.  The checkpoint base contains exactly the writes with
+``sequence <= checkpoint barrier``, so base + tail is exact.
+
+Checkpoints serialize writes against the ack path (no write can ack while
+the barrier sequence is being captured) and must not run concurrently
+with engine maintenance — call :meth:`NodeDurability.checkpoint` from the
+same driver loop that runs maintenance, like every other background duty
+in this codebase.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from ..clock import perf_ms
+from ..core.profile import ProfileData
+from ..errors import StorageError
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
+from ..storage.compression import compress, decompress
+from ..storage.serialization import (
+    ProfileCodec,
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from ..storage.wal import (
+    NULL_SITE,
+    CrashPointSite,
+    LogFile,
+    MemoryLogFile,
+    WriteAheadLog,
+)
+
+CHECKPOINT_MAGIC = 0x49505343  # "IPSC"
+CHECKPOINT_VERSION = 1
+_CRC = struct.Struct("<I")
+
+
+# ----------------------------------------------------------------------
+# Logical write records
+# ----------------------------------------------------------------------
+
+
+def encode_write(
+    profile_id: int,
+    timestamp_ms: int,
+    slot: int,
+    type_id: int,
+    fid: int,
+    counts,
+) -> bytes:
+    """Varint-encode one logical ``add_profile`` for the WAL payload."""
+    out = bytearray()
+    write_varint(out, profile_id)
+    write_varint(out, timestamp_ms)
+    write_varint(out, slot)
+    write_varint(out, type_id)
+    write_varint(out, fid)
+    write_varint(out, len(counts))
+    for count in counts:
+        write_varint(out, zigzag_encode(int(count)))
+    return bytes(out)
+
+
+def decode_write(payload: bytes) -> tuple[int, int, int, int, int, list[int]]:
+    pos = 0
+    profile_id, pos = read_varint(payload, pos)
+    timestamp_ms, pos = read_varint(payload, pos)
+    slot, pos = read_varint(payload, pos)
+    type_id, pos = read_varint(payload, pos)
+    fid, pos = read_varint(payload, pos)
+    count_len, pos = read_varint(payload, pos)
+    counts = []
+    for _ in range(count_len):
+        value, pos = read_varint(payload, pos)
+        counts.append(zigzag_decode(value))
+    if pos != len(payload):
+        raise StorageError("trailing bytes after WAL write record")
+    return profile_id, timestamp_ms, slot, type_id, fid, counts
+
+
+# ----------------------------------------------------------------------
+# Checkpoint file
+# ----------------------------------------------------------------------
+
+
+def _encode_checkpoint(sequence: int, image: dict[int, bytes]) -> bytes:
+    body = bytearray()
+    write_varint(body, CHECKPOINT_MAGIC)
+    write_varint(body, CHECKPOINT_VERSION)
+    write_varint(body, sequence)
+    write_varint(body, len(image))
+    for profile_id in sorted(image):
+        blob = image[profile_id]
+        write_varint(body, profile_id)
+        write_varint(body, len(blob))
+        body.extend(blob)
+    return _CRC.pack(zlib.crc32(body)) + bytes(body)
+
+
+def _decode_checkpoint(data: bytes) -> tuple[int, dict[int, bytes]]:
+    """Parse a checkpoint file; empty input means "never checkpointed"."""
+    if not data:
+        return 0, {}
+    if len(data) < _CRC.size:
+        raise StorageError("checkpoint file shorter than its checksum")
+    (crc,) = _CRC.unpack_from(data, 0)
+    body = data[_CRC.size :]
+    if zlib.crc32(body) != crc:
+        # Unlike the WAL, a checkpoint is written atomically, so damage is
+        # disk rot rather than an expected crash artefact: refuse to
+        # recover from a base we cannot trust.
+        raise StorageError("checkpoint failed its CRC32 check")
+    pos = 0
+    magic, pos = read_varint(body, pos)
+    if magic != CHECKPOINT_MAGIC:
+        raise StorageError(f"bad checkpoint magic {magic:#x}")
+    version, pos = read_varint(body, pos)
+    if version != CHECKPOINT_VERSION:
+        raise StorageError(f"unsupported checkpoint version {version}")
+    sequence, pos = read_varint(body, pos)
+    count, pos = read_varint(body, pos)
+    image: dict[int, bytes] = {}
+    for _ in range(count):
+        profile_id, pos = read_varint(body, pos)
+        length, pos = read_varint(body, pos)
+        if pos + length > len(body):
+            raise StorageError("truncated checkpoint record")
+        image[profile_id] = body[pos : pos + length]
+        pos += length
+    return sequence, image
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointReport:
+    """What one checkpoint captured.
+
+    ``skipped`` is set when the pre-truncation flush could not drain the
+    dirty list (failing KV store): committing then would leave acked data
+    whose only durable copy is about to be truncated out of the WAL, so
+    the checkpoint aborts and the WAL stays intact.
+    """
+
+    sequence: int = 0
+    profiles: int = 0
+    bytes_written: int = 0
+    wal_records_truncated: int = 0
+    skipped: bool = False
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass did (the numbers the dashboard shows)."""
+
+    checkpoint_sequence: int = 0
+    last_sequence: int = 0
+    records_scanned: int = 0
+    records_replayed: int = 0
+    records_deduped: int = 0
+    torn_tail_bytes: int = 0
+    corrupt_records: int = 0
+    profiles_rebuilt: int = 0
+    profiles_created: int = 0
+    dirty_rebuilt: int = 0
+    orphan_slices_swept: int = 0
+    replay_ms: float = 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "checkpoint_sequence": float(self.checkpoint_sequence),
+            "records_replayed": float(self.records_replayed),
+            "profiles_rebuilt": float(self.profiles_rebuilt),
+            "dirty_rebuilt": float(self.dirty_rebuilt),
+            "orphan_slices_swept": float(self.orphan_slices_swept),
+            "replay_ms": self.replay_ms,
+        }
+
+
+@dataclass
+class DurabilityStats:
+    """Cumulative counters for one node's durability layer."""
+
+    writes_logged: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
+    records_replayed: int = 0
+    last_recovery: RecoveryReport | None = field(default=None, repr=False)
+
+
+# ----------------------------------------------------------------------
+# The durability layer
+# ----------------------------------------------------------------------
+
+
+class NodeDurability:
+    """Binds a WAL + checkpoint file to a node's write and restart paths.
+
+    One instance per node.  The node calls :meth:`log_write` before a
+    write is applied (and :meth:`ack_barrier` before acking a group-mode
+    batch), :meth:`maybe_checkpoint` from its background cycle, and
+    :meth:`recover` on restart.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        checkpoint_file: LogFile,
+        checkpoint_interval_records: int = 0,
+        node_id: str = "node",
+        registry: MetricsRegistry | None = None,
+        tracer=NULL_TRACER,
+        site: CrashPointSite = NULL_SITE,
+    ) -> None:
+        if checkpoint_interval_records < 0:
+            raise ValueError(
+                "checkpoint_interval_records must be >= 0, got "
+                f"{checkpoint_interval_records}"
+            )
+        self.wal = wal
+        self._checkpoint_file = checkpoint_file
+        self.checkpoint_interval_records = checkpoint_interval_records
+        self.node_id = node_id
+        self.tracer = tracer
+        self._site = site
+        self.stats = DurabilityStats()
+        #: Serializes acks against the checkpoint barrier capture.
+        self._ack_lock = threading.Lock()
+        #: Highest sequence covered by the durable checkpoint.
+        self.checkpoint_sequence, _ = _decode_checkpoint(
+            checkpoint_file.read_all()
+        )
+        self._registry = registry
+        if registry is not None:
+            self._appends = registry.counter("wal_appends", node=node_id)
+            self._checkpoint_counter = registry.counter(
+                "checkpoints", node=node_id
+            )
+            self._recovery_counter = registry.counter(
+                "recoveries", node=node_id
+            )
+            self._replayed_counter = registry.counter(
+                "wal_records_replayed", node=node_id
+            )
+            self._lag_gauge = registry.gauge("wal_replay_lag", node=node_id)
+        else:
+            self._appends = None
+            self._checkpoint_counter = None
+            self._recovery_counter = None
+            self._replayed_counter = None
+            self._lag_gauge = None
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def log_write(
+        self,
+        profile_id: int,
+        timestamp_ms: int,
+        slot: int,
+        type_id: int,
+        fid: int,
+        counts,
+        apply=None,
+    ) -> int:
+        """Append one logical write; durable on return in ``always`` mode.
+
+        ``apply`` (the node's buffer-or-apply continuation) runs under the
+        same ack lock as the append, so a checkpoint barrier can never
+        fall between a record entering the WAL and its effect entering
+        the node — the window that would lose the write at truncation.
+        """
+        payload = encode_write(
+            profile_id, timestamp_ms, slot, type_id, fid, counts
+        )
+        with self._ack_lock:
+            sequence = self.wal.append(payload)
+            if apply is not None:
+                apply()
+        self.stats.writes_logged += 1
+        if self._appends is not None:
+            self._appends.inc()
+        if self._lag_gauge is not None:
+            self._lag_gauge.set(float(self.replay_lag_records()))
+        return sequence
+
+    def ack_barrier(self) -> None:
+        """Commit buffered records so the pending ack is crash-safe."""
+        if self.wal.sync_mode != "always":
+            self.wal.commit()
+
+    def replay_lag_records(self) -> int:
+        """WAL records a crash right now would have to replay."""
+        return max(0, self.wal.last_sequence - self.checkpoint_sequence)
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        return (
+            self.checkpoint_interval_records > 0
+            and self.replay_lag_records() >= self.checkpoint_interval_records
+        )
+
+    def maybe_checkpoint(self, node) -> CheckpointReport | None:
+        """Checkpoint when the WAL outgrew the configured interval."""
+        if not self.should_checkpoint():
+            return None
+        return self.checkpoint(node)
+
+    def checkpoint(self, node) -> CheckpointReport:
+        """Capture a replay base at the current sequence, truncate the WAL.
+
+        The barrier is captured under the ack lock, so every write with
+        ``sequence <= barrier`` is fully applied (or buffered in the write
+        table, which is merged below) before the image is built, and no
+        new write can sneak under the barrier afterwards.
+        """
+        with self.tracer.span("node.checkpoint", node=self.node_id):
+            with self._ack_lock:
+                self._site.reach("checkpoint.begin")
+                barrier = self.wal.last_sequence
+                node.merge_write_table()
+                image = self._build_image(node)
+            # The flush must fully drain before the WAL may be truncated:
+            # a dirty entry that survives (failing KV store) exists only
+            # in memory and the WAL, and the image alone is not consulted
+            # for profiles the replay tail never touches.
+            node.cache.flush_all()
+            if node.cache.dirty.total_entries():
+                return CheckpointReport(
+                    sequence=self.checkpoint_sequence, skipped=True
+                )
+            data = _encode_checkpoint(barrier, image)
+            staged = bytearray()
+            self._site.write("checkpoint.write", data, staged.extend)
+            self._site.reach("checkpoint.commit")
+            self._checkpoint_file.rewrite(bytes(staged))
+            self.checkpoint_sequence = barrier
+            self._site.reach("checkpoint.post_commit")
+            truncated = self.wal.truncate_through(barrier)
+            self.stats.checkpoints += 1
+            if self._checkpoint_counter is not None:
+                self._checkpoint_counter.inc()
+            if self._lag_gauge is not None:
+                self._lag_gauge.set(float(self.replay_lag_records()))
+            return CheckpointReport(
+                sequence=barrier,
+                profiles=len(image),
+                bytes_written=len(data),
+                wal_records_truncated=truncated,
+            )
+
+    def _build_image(self, node) -> dict[int, bytes]:
+        """Encode every profile the node knows: resident and persisted.
+
+        Resident profiles are encoded from memory (they are the freshest
+        copy); profiles that were flushed and evicted are loaded from the
+        persistence manager — their KV value is complete, since a profile
+        with unflushed writes is by construction still resident.
+        """
+        image: dict[int, bytes] = {}
+        for profile_id in sorted(self._known_profile_ids(node)):
+            profile = node.cache.get_resident(profile_id)
+            if profile is None:
+                profile = node.persistence.load(profile_id)
+            if profile is None:
+                continue  # Deleted between enumeration and encode.
+            image[profile_id] = compress(
+                ProfileCodec.encode_profile(profile)
+            )
+        return image
+
+    def _known_profile_ids(self, node) -> set[int]:
+        known = node.persistence.stored_profile_ids()
+        known.update(node.cache.resident_ids())
+        return known
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, node) -> RecoveryReport:
+        """Rebuild acked state: checkpoint base + deduped WAL tail replay.
+
+        Idempotent — every pass rebuilds the touched profiles from the
+        checkpoint base, so recovering twice (or recovering a node that
+        did not actually lose state) converges on the same result.
+        """
+        with self.tracer.span("node.recover", node=self.node_id):
+            started = perf_ms()
+            report = RecoveryReport()
+            records, scan = self.wal.replay()
+            checkpoint_seq, image = _decode_checkpoint(
+                self._checkpoint_file.read_all()
+            )
+            self.checkpoint_sequence = checkpoint_seq
+            report.checkpoint_sequence = checkpoint_seq
+            report.last_sequence = scan.last_sequence
+            report.records_scanned = scan.records
+            report.torn_tail_bytes = scan.torn_tail_bytes
+            report.corrupt_records = scan.corrupt_records
+
+            granularity = node.engine.config.time_dimension.bands[0].granularity_ms
+            aggregate = node.engine.table.aggregate
+            seen: set[int] = set()
+            rebuilt: dict[int, ProfileData] = {}
+            for record in records:
+                if record.sequence <= checkpoint_seq or record.sequence in seen:
+                    report.records_deduped += 1
+                    continue
+                seen.add(record.sequence)
+                profile_id, ts, slot, type_id, fid, counts = decode_write(
+                    record.payload
+                )
+                profile = rebuilt.get(profile_id)
+                if profile is None:
+                    blob = image.get(profile_id)
+                    if blob is not None:
+                        profile = ProfileCodec.decode_profile(decompress(blob))
+                        report.profiles_rebuilt += 1
+                    else:
+                        profile = ProfileData(profile_id, granularity)
+                        report.profiles_created += 1
+                    rebuilt[profile_id] = profile
+                profile.add(ts, slot, type_id, fid, counts, aggregate)
+                report.records_replayed += 1
+
+            for profile in rebuilt.values():
+                node.engine.table.put(profile)
+                node.cache.install_recovered(profile)
+                report.dirty_rebuilt += 1
+
+            sweep = getattr(node.persistence, "sweep_orphans", None)
+            if sweep is not None:
+                report.orphan_slices_swept = sweep()
+
+            report.replay_ms = perf_ms() - started
+            self.stats.recoveries += 1
+            self.stats.records_replayed += report.records_replayed
+            self.stats.last_recovery = report
+            if self._recovery_counter is not None:
+                self._recovery_counter.inc()
+            if self._replayed_counter is not None:
+                self._replayed_counter.inc(report.records_replayed)
+            if self._lag_gauge is not None:
+                self._lag_gauge.set(float(self.replay_lag_records()))
+            return report
+
+    def close(self) -> None:
+        self.wal.close()
+        self._checkpoint_file.close()
+
+
+def attach_memory_durability(
+    node,
+    sync: str = "always",
+    checkpoint_interval_records: int = 256,
+    registry: MetricsRegistry | None = None,
+    site: CrashPointSite = NULL_SITE,
+) -> NodeDurability:
+    """Give a node an in-memory WAL + checkpoint (tests, chaos clusters).
+
+    The backing :class:`~repro.storage.wal.MemoryLogFile` objects survive
+    as long as the durability object does, so a chaos ``node_crash`` →
+    ``restart`` cycle over the same node exercises real replay.
+    """
+    durability = NodeDurability(
+        WriteAheadLog(MemoryLogFile(), sync=sync, site=site),
+        MemoryLogFile(),
+        checkpoint_interval_records=checkpoint_interval_records,
+        node_id=node.node_id,
+        registry=registry,
+        tracer=node.tracer,
+        site=site,
+    )
+    node.durability = durability
+    return durability

@@ -10,7 +10,9 @@ store (HBase in production) purely for durability.  This package provides:
   profile hierarchy (the Protocol Buffers substitute, Fig. 12);
 * :mod:`persistence` — the bulk (whole-profile) and fine-grained
   (slice-split with meta record) persistence modes (Figs. 12-14);
-* :mod:`replication` — master/slave KV clusters for multi-region reads.
+* :mod:`replication` — master/slave KV clusters for multi-region reads;
+* :mod:`wal` — the per-node write-ahead log (CRC-framed records, group
+  commit) the crash-recovery path replays after a node death.
 """
 
 from .compression import compress, decompress
@@ -29,19 +31,33 @@ from .serialization import (
     serialize_profile,
 )
 from .snapshot import export_table, import_table, read_snapshot
+from .wal import (
+    NULL_SITE,
+    FileLogFile,
+    MemoryLogFile,
+    ReplayReport,
+    WALRecord,
+    WriteAheadLog,
+)
 
 __all__ = [
     "BulkPersistence",
     "FailureInjector",
     "FileKVStore",
+    "FileLogFile",
     "FineGrainedPersistence",
     "InMemoryKVStore",
     "KVStore",
+    "MemoryLogFile",
+    "NULL_SITE",
     "PersistenceManager",
     "PersistenceStats",
     "ProfileCodec",
+    "ReplayReport",
     "ReplicatedKVCluster",
     "VersionedValue",
+    "WALRecord",
+    "WriteAheadLog",
     "compress",
     "decompress",
     "deserialize_profile",

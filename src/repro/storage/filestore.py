@@ -6,12 +6,19 @@ recovery paths (cache miss after crash, region rebuild) can be exercised
 for real.  The design is a minimal append-only log with an in-memory
 index:
 
-* every ``set``/``delete`` appends a length-prefixed record
-  ``[op][version][key][value]`` to the log file;
+* every ``set``/``delete`` appends a CRC32-framed record
+  ``[0xC3][crc][op][version][key][value]`` to the log file; the checksum
+  covers everything after itself, so a bit flip or torn write is detected
+  before the record is applied;
 * the full key -> (offset, version) index lives in memory and is rebuilt
-  by scanning the log on open;
-* :meth:`compact_log` rewrites the log keeping only live records, the
-  same role HBase compactions play.
+  by scanning the log on open; the scan stops at the first torn or
+  corrupt record and truncates the file there — everything before it
+  committed, everything after it never happened;
+* logs written before the checksum existed are still readable: a record
+  whose lead byte is a raw op code (1 or 2) parses with the legacy
+  un-checksummed framing;
+* :meth:`compact_log` rewrites the log keeping only live records (in the
+  checksummed format), the same role HBase compactions play.
 
 Writes are flushed per operation (``durability="always"``) or on
 :meth:`sync` (``durability="batch"``), trading safety for throughput the
@@ -23,6 +30,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import zlib
 from pathlib import Path
 
 from ..errors import StorageError, VersionConflictError
@@ -31,6 +39,10 @@ from .kvstore import VersionedValue
 _OP_SET = 1
 _OP_DELETE = 2
 _HEADER = struct.Struct("<BQII")  # op, version, key_len, value_len
+#: Lead byte of CRC-framed records.  Legacy records begin with their op
+#: byte (1 or 2), so the formats are distinguishable per record.
+_MAGIC_CRC = 0xC3
+_CRC_FRAME = struct.Struct("<BI")  # magic, crc32 of everything after
 
 
 class FileKVStore:
@@ -49,6 +61,9 @@ class FileKVStore:
         self._index: dict[bytes, VersionedValue] = {}
         self.read_count = 0
         self.write_count = 0
+        #: What the opening scan had to cut off (0 for a clean log).
+        self.replay_truncated_bytes = 0
+        self.replay_corrupt_records = 0
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._replay_log()
         self._log = open(self._path, "ab")
@@ -58,32 +73,74 @@ class FileKVStore:
     # ------------------------------------------------------------------
 
     def _replay_log(self) -> None:
+        """Rebuild the index; stop and truncate at the first bad record.
+
+        A torn frame, a CRC mismatch, a nonsense op, or an unknown lead
+        byte all mean the same thing: the record never committed (or rot
+        got to it), and nothing after it can be trusted — the framing has
+        lost sync.  The file is cut back to the last good record so later
+        appends cannot hide behind garbage.
+        """
         if not self._path.exists():
             return
-        with open(self._path, "rb") as log:
-            while True:
-                header = log.read(_HEADER.size)
-                if not header:
+        data = self._path.read_bytes()
+        pos = 0
+        while pos < len(data):
+            lead = data[pos]
+            if lead == _MAGIC_CRC:
+                body_start = pos + _CRC_FRAME.size
+                if body_start + _HEADER.size > len(data):
+                    break  # Torn frame.
+                _, crc = _CRC_FRAME.unpack_from(data, pos)
+                op, version, key_len, value_len = _HEADER.unpack_from(
+                    data, body_start
+                )
+                end = body_start + _HEADER.size + key_len + value_len
+                if end > len(data):
+                    break  # Torn body.
+                body = data[body_start:end]
+                if zlib.crc32(body) != crc or op not in (_OP_SET, _OP_DELETE):
+                    self.replay_corrupt_records += 1
                     break
-                if len(header) < _HEADER.size:
-                    # Torn tail from a crash mid-append: ignore it, the
-                    # record never committed.
+                key_start = body_start + _HEADER.size
+                key = data[key_start : key_start + key_len]
+                value = data[key_start + key_len : end]
+            elif lead in (_OP_SET, _OP_DELETE):
+                # Legacy pre-checksum record: nothing to verify beyond
+                # the frame lengths.
+                if pos + _HEADER.size > len(data):
                     break
-                op, version, key_len, value_len = _HEADER.unpack(header)
-                key = log.read(key_len)
-                value = log.read(value_len)
-                if len(key) < key_len or len(value) < value_len:
-                    break  # Torn record.
-                if op == _OP_SET:
-                    self._index[key] = VersionedValue(value, version)
-                elif op == _OP_DELETE:
-                    self._index.pop(key, None)
-                else:
-                    raise StorageError(f"corrupt log: unknown op {op}")
+                op, version, key_len, value_len = _HEADER.unpack_from(data, pos)
+                end = pos + _HEADER.size + key_len + value_len
+                if end > len(data):
+                    break
+                key_start = pos + _HEADER.size
+                key = data[key_start : key_start + key_len]
+                value = data[key_start + key_len : end]
+            else:
+                self.replay_corrupt_records += 1
+                break
+            if op == _OP_SET:
+                self._index[key] = VersionedValue(value, version)
+            else:
+                self._index.pop(key, None)
+            pos = end
+        if pos < len(data):
+            self.replay_truncated_bytes = len(data) - pos
+            with open(self._path, "r+b") as log:
+                log.truncate(pos)
+                log.flush()
+                os.fsync(log.fileno())
+
+    @staticmethod
+    def _encode_record(
+        op: int, key: bytes, value: bytes, version: int
+    ) -> bytes:
+        body = _HEADER.pack(op, version, len(key), len(value)) + key + value
+        return _CRC_FRAME.pack(_MAGIC_CRC, zlib.crc32(body)) + body
 
     def _append(self, op: int, key: bytes, value: bytes, version: int) -> None:
-        record = _HEADER.pack(op, version, len(key), len(value)) + key + value
-        self._log.write(record)
+        self._log.write(self._encode_record(op, key, value, version))
         if self._durability == "always":
             self._log.flush()
             os.fsync(self._log.fileno())
@@ -183,9 +240,9 @@ class FileKVStore:
             with open(temp_path, "wb") as temp:
                 for key, stored in self._index.items():
                     temp.write(
-                        _HEADER.pack(_OP_SET, stored.version, len(key), len(stored.value))
-                        + key
-                        + stored.value
+                        self._encode_record(
+                            _OP_SET, key, stored.value, stored.version
+                        )
                     )
                 temp.flush()
                 os.fsync(temp.fileno())

@@ -46,6 +46,9 @@ class KVStore(Protocol):
     def xset(self, key: bytes, value: bytes, held_version: int | None) -> int:
         ...
 
+    def keys(self) -> Iterator[bytes]:
+        ...
+
 
 class FailureInjector:
     """Deterministic fault source for storage operations.

@@ -38,6 +38,7 @@ class PersistenceStats:
     bytes_written: int = 0
     bytes_read: int = 0
     version_conflicts: int = 0
+    orphan_slices_swept: int = 0
 
 
 class PersistenceManager(Protocol):
@@ -65,6 +66,18 @@ def _meta_key(table: str, profile_id: int) -> bytes:
 
 def _slice_key(table: str, profile_id: int, slice_id: int) -> bytes:
     return f"{table}/s/{profile_id}/{slice_id}".encode()
+
+
+def _ids_under_prefix(store: KVStore, prefix: bytes) -> set[int]:
+    """Profile ids whose key is ``prefix + str(id)`` (key-space scan)."""
+    ids: set[int] = set()
+    for key in store.keys():
+        if key.startswith(prefix):
+            try:
+                ids.add(int(key[len(prefix) :]))
+            except ValueError:
+                continue
+    return ids
 
 
 class BulkPersistence:
@@ -99,6 +112,10 @@ class BulkPersistence:
 
     def delete(self, profile_id: int) -> None:
         self._store.delete(_profile_key(self._table, profile_id))
+
+    def stored_profile_ids(self) -> set[int]:
+        """Every profile id persisted for this table (recovery/checkpoint)."""
+        return _ids_under_prefix(self._store, f"{self._table}/p/".encode())
 
     def serialized_size(self, profile: ProfileData) -> int:
         """Size after serialization + compression (the paper's <40 KB figure)."""
@@ -307,3 +324,42 @@ class FineGrainedPersistence:
         self._store.delete(meta_key)
         for entry in entries:
             self._store.delete(_slice_key(self._table, profile_id, entry.slice_id))
+
+    def stored_profile_ids(self) -> set[int]:
+        """Every profile id with a meta record (recovery/checkpoint)."""
+        return _ids_under_prefix(self._store, f"{self._table}/m/".encode())
+
+    def sweep_orphans(self) -> int:
+        """Delete slice values no meta record references; returns the count.
+
+        A flush that dies between step 1 (slice values written) and step 2
+        (meta ``xset``) leaks its fresh slice keys forever — no meta ever
+        points at them, and the step 3 GC of later flushes only collects
+        ids that *were* published.  Recovery calls this sweep to reclaim
+        them.  Must not run concurrently with flushers: a sweep cannot
+        tell an orphan from a slice whose meta publish is in flight.
+        """
+        slice_prefix = f"{self._table}/s/".encode()
+        by_profile: dict[int, list[tuple[int, bytes]]] = {}
+        for key in self._store.keys():
+            if not key.startswith(slice_prefix):
+                continue
+            try:
+                profile_part, slice_part = key[len(slice_prefix) :].split(b"/")
+                profile_id, slice_id = int(profile_part), int(slice_part)
+            except ValueError:
+                continue
+            by_profile.setdefault(profile_id, []).append((slice_id, key))
+        swept = 0
+        for profile_id, slices in sorted(by_profile.items()):
+            meta = self._store.xget(_meta_key(self._table, profile_id))
+            referenced: set[int] = set()
+            if meta is not None:
+                _, _, entries = _decode_meta(meta.value)
+                referenced = {entry.slice_id for entry in entries}
+            for slice_id, key in sorted(slices):
+                if slice_id not in referenced:
+                    self._store.delete(key)
+                    swept += 1
+        self.stats.orphan_slices_swept += swept
+        return swept

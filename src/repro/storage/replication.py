@@ -168,3 +168,6 @@ class _ReplicatingWriter:
         version = self._cluster.master.xset(key, value, held_version)
         self._cluster._enqueue(key, value)
         return version
+
+    def keys(self):
+        return self._cluster.master.keys()

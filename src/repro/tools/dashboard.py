@@ -173,6 +173,15 @@ def render_dashboard(
         if item[0].startswith(("chaos_", "resilience_"))
     ]
     scalars = [item for item in scalars if item not in chaos]
+    # Durability counters (WAL appends, replay lag, checkpoints,
+    # recoveries) likewise read as one block: how far behind the durable
+    # checkpoint each node is, and how often it had to replay.
+    durability = [
+        item
+        for item in scalars
+        if item[0].startswith(("wal_", "checkpoint", "recover"))
+    ]
+    scalars = [item for item in scalars if item not in durability]
     if scalars:
         lines.append("")
         lines.append("-- counters / gauges --")
@@ -183,6 +192,12 @@ def render_dashboard(
         lines.append("")
         lines.append("-- chaos / resilience --")
         for name, kind, entry in chaos:
+            label = f"{name}{_fmt_labels(entry['labels'])}"
+            lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
+    if durability:
+        lines.append("")
+        lines.append("-- durability --")
+        for name, kind, entry in durability:
             label = f"{name}{_fmt_labels(entry['labels'])}"
             lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
 
@@ -234,6 +249,7 @@ def _run_demo():
     from ..obs.registry import MetricsRegistry
     from ..obs.trace import Tracer
     from ..server.proxy import RPCNodeProxy
+    from ..server.recovery import attach_memory_durability
 
     now_ms = 400 * MILLIS_PER_DAY
     clock = SimulatedClock(now_ms)
@@ -243,6 +259,10 @@ def _run_demo():
     cluster = IPSCluster(
         config, num_nodes=3, clock=clock, tracer=tracer, registry=registry
     )
+    for node in cluster.region.nodes.values():
+        attach_memory_durability(
+            node, checkpoint_interval_records=64, registry=registry
+        )
     for node_id in list(cluster.region.nodes):
         cluster.region.nodes[node_id] = RPCNodeProxy(
             cluster.region.nodes[node_id],

@@ -81,3 +81,73 @@ class TestShardedDirtyList:
             dirty.validate_flush_threads(3)
         with pytest.raises(ValueError):
             dirty.validate_flush_threads(0)
+
+
+class TestFlushInterleaving:
+    """clear_if_unchanged under writes that land *during* the flush."""
+
+    def _make_cache(self, flush_fn):
+        from repro.cache.gcache import GCache
+
+        return GCache(
+            load_fn=lambda pid: None,
+            flush_fn=flush_fn,
+            capacity_bytes=1 << 20,
+            dirty_shards=1,
+        )
+
+    def test_remark_during_flush_keeps_entry_for_next_pass(self):
+        from repro.core.profile import ProfileData
+
+        cache = None
+        flushed = []
+
+        def flush(profile):
+            flushed.append(profile.profile_id)
+            if len(flushed) == 1:
+                # A concurrent write re-dirties the profile while its
+                # bytes are on the wire.
+                cache.mark_dirty(profile.profile_id)
+
+        cache = self._make_cache(flush)
+        cache.put(ProfileData(1, 1000), dirty=True)
+        assert cache.run_flush_once() == 1
+        # The entry survived the clear because its sequence moved on.
+        assert 1 in cache.dirty
+        assert cache.metrics.flush_requeues == 1
+        # The next pass flushes the newer state and clears for real.
+        assert cache.run_flush_once() == 1
+        assert 1 not in cache.dirty
+        assert flushed == [1, 1]
+
+    def test_unchanged_entry_clears_in_one_pass(self):
+        from repro.core.profile import ProfileData
+
+        cache = self._make_cache(lambda profile: None)
+        cache.put(ProfileData(1, 1000), dirty=True)
+        assert cache.run_flush_once() == 1
+        assert 1 not in cache.dirty
+        assert cache.metrics.flush_requeues == 0
+
+    def test_remark_storm_converges(self):
+        """Every flush pass races a re-mark for a while; once the writer
+        stops, the list drains."""
+        from repro.core.profile import ProfileData
+
+        cache = None
+        storm = {"remaining": 3}
+
+        def flush(profile):
+            if storm["remaining"] > 0:
+                storm["remaining"] -= 1
+                cache.mark_dirty(profile.profile_id)
+
+        cache = self._make_cache(flush)
+        cache.put(ProfileData(1, 1000), dirty=True)
+        passes = 0
+        while 1 in cache.dirty:
+            cache.run_flush_once()
+            passes += 1
+            assert passes < 10
+        assert passes == 4  # Three raced passes plus the clean one.
+        assert cache.metrics.flush_requeues == 3

@@ -65,6 +65,29 @@ class TestSnapshots:
         if rejections:
             assert snapshot.quota_rejections > 0
 
+    def test_durability_counters_surface(self, cluster):
+        from repro.server.recovery import attach_memory_durability
+
+        for node in cluster.region.nodes.values():
+            attach_memory_durability(node)
+        client = cluster.client("app")
+        for profile_id in range(12):
+            client.add_profile(profile_id, NOW, 1, 0, 1, {"click": 1})
+        for node in cluster.region.nodes.values():
+            node.crash()
+            node.recover()
+        snapshot = ClusterMonitor(cluster).snapshot()
+        assert sum(node.wal_appends for node in snapshot.nodes) == 12
+        assert snapshot.wal_replay_lag == 12  # Nothing checkpointed yet.
+        assert snapshot.recoveries == 3
+        assert "durability:" in ClusterMonitor(cluster).report()
+
+    def test_durability_counters_default_zero(self, cluster):
+        snapshot = ClusterMonitor(cluster).snapshot()
+        assert snapshot.wal_replay_lag == 0
+        assert snapshot.recoveries == 0
+        assert "durability:" not in ClusterMonitor(cluster).report()
+
 
 class TestSeries:
     def test_sample_builds_rate_series(self, cluster):

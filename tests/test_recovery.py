@@ -1,0 +1,221 @@
+"""Tests for node durability: WAL-acked writes, checkpoints, recovery."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.config import TableConfig
+from repro.core.timerange import TimeRange
+from repro.errors import StorageError
+from repro.server.node import IPSNode
+from repro.server.recovery import (
+    NodeDurability,
+    attach_memory_durability,
+    decode_write,
+    encode_write,
+)
+from repro.storage import InMemoryKVStore
+from repro.storage.kvstore import FailureInjector
+from repro.storage.wal import MemoryLogFile, WriteAheadLog
+
+NOW = 400 * MILLIS_PER_DAY
+WINDOW = TimeRange.current(2 * MILLIS_PER_DAY)
+
+
+def make_node(fine_grained=False, store=None, **kwargs):
+    config = TableConfig(
+        name="t", attributes=("click",), fine_grained_persistence=fine_grained
+    )
+    return IPSNode(
+        "n0",
+        config,
+        store if store is not None else InMemoryKVStore(),
+        clock=SimulatedClock(NOW),
+        **kwargs,
+    )
+
+
+def topk(node, profile_id):
+    return node.get_profile_topk(profile_id, 1, 0, WINDOW, k=64)
+
+
+class TestWriteEncoding:
+    def test_roundtrip(self):
+        payload = encode_write(7, NOW, 1, 0, 42, (3, 9))
+        assert decode_write(payload) == (7, NOW, 1, 0, 42, [3, 9])
+
+    def test_roundtrip_large_values(self):
+        payload = encode_write(2**62, NOW, 15, 255, 2**60, (2**40,))
+        assert decode_write(payload) == (2**62, NOW, 15, 255, 2**60, [2**40])
+
+
+class TestCrashRecovery:
+    def test_acked_writes_survive_crash(self):
+        node = make_node()
+        attach_memory_durability(node)
+        for fid in range(10):
+            node.add_profile(1, NOW, 1, 0, fid, {"click": fid + 1})
+        node.merge_write_table()
+        before = topk(node, 1)
+        node.crash()
+        assert topk(node, 1) == []  # Volatile state really died.
+        report = node.recover()
+        assert report.records_replayed == 10
+        assert topk(node, 1) == before
+
+    def test_crash_without_durability_loses_unflushed(self):
+        node = make_node()
+        for fid in range(10):
+            node.add_profile(1, NOW, 1, 0, fid, {"click": 1})
+        node.merge_write_table()
+        node.crash()
+        assert node.recover() is None
+        assert topk(node, 1) == []
+
+    def test_recovery_is_idempotent(self):
+        node = make_node()
+        attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 5, {"click": 3})
+        node.crash()
+        node.recover()
+        first = topk(node, 1)
+        node.recover()  # Recovering again must not double-apply.
+        assert topk(node, 1) == first
+
+    def test_flushed_and_evicted_profiles_still_served(self):
+        node = make_node()
+        attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 5, {"click": 3})
+        node.merge_write_table()
+        node.cache.flush_all()
+        before = topk(node, 1)
+        node.crash()
+        node.recover()
+        assert topk(node, 1) == before
+
+    def test_rebuilds_dirty_list_from_wal_replay(self):
+        """Recovered profiles re-enter the ShardedDirtyList for flushing."""
+        node = make_node()
+        attach_memory_durability(node)
+        for profile_id in (1, 2, 3):
+            node.add_profile(profile_id, NOW, 1, 0, 9, {"click": 2})
+        node.crash()
+        assert node.cache.dirty.total_entries() == 0
+        report = node.recover()
+        assert report.dirty_rebuilt == 3
+        assert node.cache.dirty.total_entries() == 3
+        assert all(pid in node.cache.dirty for pid in (1, 2, 3))
+        # The rebuilt entries flush normally...
+        assert node.cache.flush_all() == 3
+        # ... and the flushed state round-trips through the KV store.
+        node.crash()
+        node.recover()
+        assert [r.fid for r in topk(node, 1)] == [9]
+
+    def test_group_mode_batch_is_durable_after_ack(self):
+        node = make_node()
+        attach_memory_durability(node, sync="group")
+        node.add_profiles(1, NOW, 1, 0, [1, 2, 3], [(1,), (2,), (3,)])
+        node.durability.wal._file.crash()  # Machine death right after ack.
+        node.crash()
+        report = node.recover()
+        assert report.records_replayed == 3
+        assert {r.fid for r in topk(node, 1)} == {1, 2, 3}
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_wal(self):
+        node = make_node()
+        durability = attach_memory_durability(node)
+        for fid in range(8):
+            node.add_profile(1, NOW, 1, 0, fid, {"click": 1})
+        assert durability.wal.pending_records() == 8
+        report = node.checkpoint()
+        assert report.sequence == 8
+        assert report.wal_records_truncated == 8
+        assert durability.wal.pending_records() == 0
+
+    def test_recovery_dedups_checkpointed_records(self):
+        node = make_node()
+        attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 1, {"click": 5})
+        node.checkpoint()
+        node.add_profile(1, NOW, 1, 0, 2, {"click": 7})
+        before_counts = {
+            r.fid: r.counts for r in (lambda: (node.merge_write_table(), topk(node, 1))[1])()
+        }
+        node.crash()
+        report = node.recover()
+        assert report.checkpoint_sequence == 1
+        assert report.records_replayed == 1  # Only the post-checkpoint write.
+        assert {r.fid: r.counts for r in topk(node, 1)} == before_counts
+
+    def test_maybe_checkpoint_runs_from_cache_cycle(self):
+        node = make_node()
+        durability = attach_memory_durability(
+            node, checkpoint_interval_records=4
+        )
+        for fid in range(5):
+            node.add_profile(1, NOW, 1, 0, fid, {"click": 1})
+        assert durability.stats.checkpoints == 0
+        node.run_cache_cycle()
+        assert durability.stats.checkpoints == 1
+        assert durability.wal.pending_records() == 0
+
+    def test_checkpoint_skipped_when_store_failing(self):
+        """A checkpoint must never truncate records it could not flush."""
+        injector = FailureInjector()
+        node = make_node(store=InMemoryKVStore(injector))
+        durability = attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+        node.merge_write_table()
+        injector.set_rate(1.0)  # Every KV op now fails.
+        report = node.checkpoint()
+        assert report.skipped
+        assert durability.wal.pending_records() == 1  # Nothing truncated.
+        injector.set_rate(0.0)
+        assert not node.checkpoint().skipped
+
+    def test_shutdown_checkpoints(self):
+        node = make_node()
+        durability = attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+        node.shutdown()
+        assert durability.stats.checkpoints == 1
+        assert durability.wal.pending_records() == 0
+
+    def test_corrupt_checkpoint_raises(self):
+        checkpoint_file = MemoryLogFile()
+        checkpoint_file.rewrite(b"\x00\x01\x02garbage")
+        with pytest.raises(StorageError):
+            NodeDurability(
+                WriteAheadLog(MemoryLogFile()), checkpoint_file
+            )
+
+
+class TestFineGrainedRecovery:
+    def test_recovery_with_fine_grained_persistence(self):
+        node = make_node(fine_grained=True)
+        attach_memory_durability(node)
+        for fid in range(6):
+            node.add_profile(1, NOW + fid * 3_600_000, 1, 0, fid, {"click": 1})
+        node.merge_write_table()
+        node.cache.flush_all()
+        node.add_profile(1, NOW + 7 * 3_600_000, 1, 0, 99, {"click": 4})
+        node.merge_write_table()
+        before = topk(node, 1)
+        node.crash()
+        node.recover()
+        assert topk(node, 1) == before
+
+    def test_recovery_sweeps_orphan_slices(self):
+        node = make_node(fine_grained=True)
+        attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 5, {"click": 1})
+        node.merge_write_table()
+        node.cache.flush_all()
+        # Plant an orphan the way a mid-flush death would.
+        node.persistence._store.set(b"t/s/1/999", b"orphan-blob")
+        node.crash()
+        report = node.recover()
+        assert report.orphan_slices_swept == 1
+        assert node.persistence._store.get(b"t/s/1/999") is None

@@ -83,6 +83,94 @@ class TestDurability:
         reopened.close()
 
 
+class TestChecksummedLog:
+    def test_bit_flip_truncates_from_corrupt_record(self, store_path):
+        """Rot in record 2 of 3: record 1 survives, the rest is cut off."""
+        store = FileKVStore(store_path)
+        store.set(b"a", b"1")
+        store.set(b"b", b"2")
+        store.set(b"c", b"3")
+        store.close()
+        data = bytearray(store_path.read_bytes())
+        record_len = len(data) // 3
+        data[record_len + record_len // 2] ^= 0x20
+        store_path.write_bytes(bytes(data))
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"a") == b"1"
+        assert reopened.get(b"b") is None
+        assert reopened.get(b"c") is None
+        assert reopened.replay_corrupt_records == 1
+        assert reopened.replay_truncated_bytes == 2 * record_len
+        # The file was physically truncated, so appends can't hide
+        # behind garbage.
+        assert store_path.stat().st_size == record_len
+        reopened.set(b"d", b"4")
+        reopened.close()
+        again = FileKVStore(store_path)
+        assert again.get(b"a") == b"1"
+        assert again.get(b"d") == b"4"
+        assert again.replay_corrupt_records == 0
+        again.close()
+
+    def test_unknown_lead_byte_truncates(self, store_path):
+        store = FileKVStore(store_path)
+        store.set(b"a", b"1")
+        store.close()
+        with open(store_path, "ab") as log:
+            log.write(b"\x7fjunk-from-another-format")
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"a") == b"1"
+        assert reopened.replay_corrupt_records == 1
+        reopened.close()
+
+    def test_legacy_uncrc_records_still_readable(self, store_path):
+        """Logs written before the checksum existed replay unchanged."""
+        import struct
+
+        legacy_header = struct.Struct("<BQII")
+
+        def legacy(op, key, value, version):
+            return (
+                legacy_header.pack(op, version, len(key), len(value))
+                + key
+                + value
+            )
+
+        store_path.parent.mkdir(parents=True, exist_ok=True)
+        store_path.write_bytes(
+            legacy(1, b"old", b"value", 1)
+            + legacy(1, b"old", b"value2", 2)
+            + legacy(2, b"gone", b"", 0)
+        )
+        store = FileKVStore(store_path)
+        assert store.get(b"old") == b"value2"
+        assert store.xget(b"old").version == 2
+        assert store.replay_corrupt_records == 0
+        # New writes append in the checksummed format to the same log.
+        store.set(b"new", b"n")
+        store.close()
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"old") == b"value2"
+        assert reopened.get(b"new") == b"n"
+        reopened.close()
+
+    def test_compaction_upgrades_legacy_records(self, store_path):
+        import struct
+
+        legacy_header = struct.Struct("<BQII")
+        store_path.parent.mkdir(parents=True, exist_ok=True)
+        store_path.write_bytes(
+            legacy_header.pack(1, 1, 1, 1) + b"k" + b"v"
+        )
+        store = FileKVStore(store_path)
+        store.compact_log()
+        store.close()
+        assert store_path.read_bytes()[0] == 0xC3
+        reopened = FileKVStore(store_path)
+        assert reopened.get(b"k") == b"v"
+        reopened.close()
+
+
 class TestVersionedAPI:
     def test_xset_fencing(self, store_path):
         store = FileKVStore(store_path)

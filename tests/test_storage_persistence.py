@@ -204,3 +204,78 @@ class TestFineGrainedSpecifics:
         with pytest.raises(VersionConflictError):
             manager.flush(make_profile(writes=2))
         assert manager.stats.version_conflicts == 2
+
+
+class TestStoredProfileIds:
+    def test_enumerates_flushed_profiles(self, persistence):
+        manager, _ = persistence
+        for profile_id in (3, 7, 11):
+            manager.flush(make_profile(profile_id, writes=4))
+        assert manager.stored_profile_ids() == {3, 7, 11}
+
+    def test_empty_store(self, persistence):
+        manager, _ = persistence
+        assert manager.stored_profile_ids() == set()
+
+    def test_ignores_other_tables(self):
+        store = InMemoryKVStore()
+        BulkPersistence(store, "t").flush(make_profile(1, writes=2))
+        BulkPersistence(store, "other").flush(make_profile(2, writes=2))
+        assert BulkPersistence(store, "t").stored_profile_ids() == {1}
+
+
+class TestOrphanSweep:
+    def test_mid_flush_failure_leaks_slices_and_sweep_reclaims(self):
+        """Regression: a flush dying between the slice writes and the meta
+        fence used to leak the fresh slice keys forever."""
+        from repro.errors import StorageError
+
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        manager.flush(make_profile(1, writes=6))
+        keys_after_clean_flush = len(list(store.keys()))
+
+        class MetaFenceFails:
+            def __init__(self, inner):
+                self._inner = inner
+                self.armed = True
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def xset(self, key, value, held):
+                if self.armed and key.startswith(b"t/m/"):
+                    self.armed = False
+                    raise StorageError("injected death before meta fence")
+                return self._inner.xset(key, value, held)
+
+        failing = FineGrainedPersistence(MetaFenceFails(store), "t")
+        # Keep slice-id allocation disjoint from the first manager's.
+        failing._next_slice_id = 1000
+        with pytest.raises(StorageError):
+            failing.flush(make_profile(2, writes=6))
+
+        leaked = len(list(store.keys())) - keys_after_clean_flush
+        assert leaked > 0  # Slices written, meta never published.
+        assert manager.load(2) is None
+
+        swept = manager.sweep_orphans()
+        assert swept == leaked
+        assert manager.stats.orphan_slices_swept == leaked
+        assert len(list(store.keys())) == keys_after_clean_flush
+        # The surviving profile is untouched.
+        assert manager.load(1).feature_count() > 0
+
+    def test_sweep_on_clean_store_is_noop(self):
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        manager.flush(make_profile(1, writes=4))
+        assert manager.sweep_orphans() == 0
+        assert manager.load(1).feature_count() > 0
+
+    def test_sweep_ignores_unparsable_slice_keys(self):
+        store = InMemoryKVStore()
+        manager = FineGrainedPersistence(store, "t")
+        store.set(b"t/s/not-a-number", b"junk")
+        assert manager.sweep_orphans() == 0
+        assert store.get(b"t/s/not-a-number") == b"junk"

@@ -1,0 +1,189 @@
+"""Tests for the write-ahead log (framing, sync modes, damage handling)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import (
+    FileLogFile,
+    MemoryLogFile,
+    WriteAheadLog,
+)
+
+
+class TestFraming:
+    def test_append_replay_roundtrip(self):
+        wal = WriteAheadLog(MemoryLogFile())
+        sequences = [wal.append(f"payload-{i}".encode()) for i in range(5)]
+        records, report = wal.replay()
+        assert sequences == [1, 2, 3, 4, 5]
+        assert [r.sequence for r in records] == sequences
+        assert [r.payload for r in records] == [
+            f"payload-{i}".encode() for i in range(5)
+        ]
+        assert report.torn_tail_bytes == 0
+        assert report.corrupt_records == 0
+
+    def test_sequences_continue_after_reopen(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file)
+        wal.append(b"a")
+        wal.append(b"b")
+        reopened = WriteAheadLog(log_file)
+        assert reopened.append(b"c") == 3
+        records, _ = reopened.replay()
+        assert [r.sequence for r in records] == [1, 2, 3]
+
+    def test_empty_payload_allowed(self):
+        wal = WriteAheadLog(MemoryLogFile())
+        wal.append(b"")
+        records, _ = wal.replay()
+        assert records[0].payload == b""
+
+    def test_rejects_unknown_sync_mode(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog(MemoryLogFile(), sync="sometimes")
+
+
+class TestSyncModes:
+    def test_always_mode_is_durable_per_append(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file, sync="always")
+        wal.append(b"x")
+        log_file.crash()
+        records, _ = WriteAheadLog(log_file).replay()
+        assert len(records) == 1
+
+    def test_group_mode_loses_uncommitted_tail(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file, sync="group", group_size=100)
+        wal.append(b"a")
+        wal.append(b"b")
+        log_file.crash()  # No commit barrier ran: both records volatile.
+        records, _ = WriteAheadLog(log_file).replay()
+        assert records == []
+
+    def test_group_mode_commit_barrier(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file, sync="group", group_size=100)
+        wal.append(b"a")
+        wal.commit()
+        wal.append(b"b")
+        log_file.crash()
+        records, _ = WriteAheadLog(log_file).replay()
+        assert [r.payload for r in records] == [b"a"]
+
+    def test_group_size_triggers_auto_commit(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file, sync="group", group_size=2)
+        wal.append(b"a")
+        wal.append(b"b")  # Second append crosses the group threshold.
+        log_file.crash()
+        records, _ = WriteAheadLog(log_file).replay()
+        assert len(records) == 2
+
+    def test_append_many_commits_once(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file, sync="group", group_size=100)
+        wal.append_many([b"a", b"b", b"c"])
+        log_file.crash()
+        records, _ = WriteAheadLog(log_file).replay()
+        assert len(records) == 3
+
+
+class TestDamage:
+    def test_torn_tail_truncated_at_open(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file)
+        wal.append(b"good")
+        log_file.append(b"\xff\x01torn")  # Partial record, never synced.
+        log_file.fsync()  # ... but the OS flushed it before the crash.
+        reopened = WriteAheadLog(log_file)
+        records, report = reopened.replay()
+        assert [r.payload for r in records] == [b"good"]
+        assert report.torn_tail_bytes == 0  # Open-time repair removed it.
+        # And a fresh append after the repair replays cleanly.
+        reopened.append(b"after")
+        records, _ = reopened.replay()
+        assert [r.payload for r in records] == [b"good", b"after"]
+
+    def test_bit_flip_stops_replay_at_crc(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file)
+        wal.append(b"one")
+        wal.append(b"two")
+        data = bytearray(log_file.read_all())
+        data[-1] ^= 0x40  # Corrupt record 2's payload.
+        log_file.rewrite(bytes(data))
+        records, report = wal.replay()
+        assert [r.payload for r in records] == [b"one"]
+        assert report.corrupt_records == 1
+
+    def test_sequence_regression_stops_replay(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file)
+        wal.append(b"a")
+        log_file.append(log_file.read_all())  # Duplicate: sequence repeats.
+        records, report = wal.replay()
+        assert len(records) == 1
+        assert report.corrupt_records == 1
+        # A reopen repairs the file, so the next scan is clean.
+        _, repaired = WriteAheadLog(log_file).replay()
+        assert repaired.corrupt_records == 0
+
+
+class TestTruncation:
+    def test_truncate_through_drops_prefix(self):
+        log_file = MemoryLogFile()
+        wal = WriteAheadLog(log_file)
+        for i in range(5):
+            wal.append(f"r{i}".encode())
+        assert wal.truncate_through(3) == 3
+        records, _ = wal.replay()
+        assert [r.sequence for r in records] == [4, 5]
+        # New appends continue the global sequence.
+        assert wal.append(b"next") == 6
+
+    def test_truncate_everything(self):
+        wal = WriteAheadLog(MemoryLogFile())
+        wal.append(b"a")
+        assert wal.truncate_through(1) == 1
+        assert wal.pending_records() == 0
+
+
+class TestMemoryLogFile:
+    def test_crash_discards_unsynced_bytes(self):
+        log_file = MemoryLogFile()
+        log_file.append(b"durable")
+        log_file.fsync()
+        log_file.append(b"volatile")
+        log_file.crash()
+        assert log_file.read_all() == b"durable"
+        assert log_file.crash_count == 1
+
+    def test_rewrite_is_durable(self):
+        log_file = MemoryLogFile()
+        log_file.rewrite(b"snapshot")
+        log_file.crash()
+        assert log_file.read_all() == b"snapshot"
+
+
+class TestFileLogFile:
+    def test_roundtrip_on_disk(self, tmp_path):
+        path = tmp_path / "node" / "wal.log"
+        wal = WriteAheadLog(FileLogFile(path), sync="always")
+        wal.append(b"persisted")
+        wal.close()
+        reopened = WriteAheadLog(FileLogFile(path))
+        records, _ = reopened.replay()
+        assert [r.payload for r in records] == [b"persisted"]
+        reopened.close()
+
+    def test_truncate_rewrites_atomically(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(FileLogFile(path))
+        for i in range(4):
+            wal.append(f"r{i}".encode())
+        wal.truncate_through(2)
+        wal.close()
+        records, _ = WriteAheadLog(FileLogFile(path)).replay()
+        assert [r.sequence for r in records] == [3, 4]

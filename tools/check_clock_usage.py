@@ -4,8 +4,9 @@
 All simulated/modelled time must flow through the active
 :class:`repro.clock.Clock` (``now_ms``), and all real compute measurement
 through :func:`repro.clock.perf_ms` — otherwise simulated runs silently
-mix wall time into modelled results.  This script walks ``src/repro`` and
-fails the build on any direct ``time.time(...)`` call elsewhere.
+mix wall time into modelled results.  This script walks ``src/repro``,
+``benchmarks`` and ``tools`` and fails the build on any direct
+``time.time(...)`` call outside ``clock.py``.
 
 Run from the repo root (``make lint`` does): ``python tools/check_clock_usage.py``.
 """
@@ -18,6 +19,9 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SOURCE_DIR = ROOT / "src" / "repro"
+#: Benchmarks and tools measure real elapsed time too — they must go
+#: through ``perf_ms`` just like the library, so they are linted as well.
+SCAN_DIRS = (SOURCE_DIR, ROOT / "benchmarks", ROOT / "tools")
 #: The one module allowed to touch the wall clock.
 ALLOWED = {SOURCE_DIR / "clock.py"}
 
@@ -50,11 +54,12 @@ def _offenders_in(path: Path) -> list[int]:
 
 def main() -> int:
     failures = []
-    for path in sorted(SOURCE_DIR.rglob("*.py")):
-        if path in ALLOWED:
-            continue
-        for lineno in _offenders_in(path):
-            failures.append(f"{path.relative_to(ROOT)}:{lineno}")
+    for scan_dir in SCAN_DIRS:
+        for path in sorted(scan_dir.rglob("*.py")):
+            if path in ALLOWED:
+                continue
+            for lineno in _offenders_in(path):
+                failures.append(f"{path.relative_to(ROOT)}:{lineno}")
     if failures:
         print("direct time.time() usage outside clock.py:", file=sys.stderr)
         for failure in failures:
@@ -65,7 +70,10 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"clock usage OK ({SOURCE_DIR.relative_to(ROOT)})")
+    scanned = ", ".join(
+        str(scan_dir.relative_to(ROOT)) for scan_dir in SCAN_DIRS
+    )
+    print(f"clock usage OK ({scanned})")
     return 0
 
 
