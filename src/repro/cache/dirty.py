@@ -65,6 +65,16 @@ class DirtyShard:
         with self.lock:
             self._entries.pop(profile_id, None)
 
+    def ids(self) -> list[int]:
+        """Snapshot of the profile ids currently dirty in this shard."""
+        with self.lock:
+            return list(self._entries.keys())
+
+    def sequence_of(self, profile_id: int) -> int | None:
+        """Current dirty sequence for a profile, or None if clean."""
+        with self.lock:
+            return self._entries.get(profile_id)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -103,6 +113,13 @@ class ShardedDirtyList:
 
     def discard(self, profile_id: int) -> None:
         self.shard_for(profile_id).discard(profile_id)
+
+    def dirty_ids(self) -> list[int]:
+        """Snapshot of every dirty profile id across all shards."""
+        ids: list[int] = []
+        for shard in self._shards:
+            ids.extend(shard.ids())
+        return ids
 
     def __contains__(self, profile_id: int) -> bool:
         return profile_id in self.shard_for(profile_id)

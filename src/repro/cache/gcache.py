@@ -336,6 +336,39 @@ class GCache:
                     self.metrics.flush_requeues += 1
         return flushed
 
+    def flush_ids(self, profile_ids) -> list[int]:
+        """Flush exactly these profiles now; returns the ids that failed.
+
+        The checkpoint path uses this to drain the profiles that were
+        dirty *at the barrier* without chasing entries re-dirtied by
+        writes arriving mid-flush (which would starve the checkpoint
+        under sustained load).  Same discipline as :meth:`run_flush_once`:
+        a profile re-dirtied during its flush stays on the dirty list,
+        but its flush still persisted all pre-flush state, so it does not
+        count as a failure.
+        """
+        failed: list[int] = []
+        for profile_id in profile_ids:
+            shard = self.dirty.shard_for(profile_id)
+            entry = self._entry(profile_id)
+            if entry is None:
+                shard.discard(profile_id)
+                continue
+            sequence = shard.sequence_of(profile_id)
+            if sequence is None:
+                continue  # Already flushed (e.g. by a concurrent pass).
+            try:
+                with entry.lock:
+                    self._flush_fn(entry.profile)
+            except Exception:
+                self.metrics.flush_failures += 1
+                failed.append(profile_id)
+                continue
+            self.metrics.flushes += 1
+            if not shard.clear_if_unchanged(profile_id, sequence):
+                self.metrics.flush_requeues += 1
+        return failed
+
     def drop_all(self) -> int:
         """Drop every resident entry *without* flushing (crash semantics).
 

@@ -195,27 +195,22 @@ class IPSNode:
             "node.add_profiles", profile=profile_id, fids=len(fids)
         ):
             self.quota.admit(caller)
+            writes = []
             for fid, counts in zip(fids, counts_list):
                 vector = self.engine._normalize_counts(counts)
                 self.stats.writes += 1
-                if self.durability is not None:
-                    # Appends buffer under group/manual sync; the single
-                    # ack barrier below group-commits the whole batch.
-                    self.durability.log_write(
-                        profile_id, timestamp_ms, slot, type_id, fid, vector,
-                        apply=lambda fid=fid, vector=vector: (
-                            self._buffer_or_apply(
-                                profile_id, timestamp_ms, slot, type_id,
-                                fid, vector,
-                            )
-                        ),
-                    )
-                else:
-                    self._buffer_or_apply(
-                        profile_id, timestamp_ms, slot, type_id, fid, vector
-                    )
+                writes.append(
+                    (profile_id, timestamp_ms, slot, type_id, fid, vector)
+                )
             if self.durability is not None:
-                self.durability.ack_barrier()
+                # Appends buffer under group/manual sync; log_write_many
+                # issues the single ack barrier for the whole batch.
+                self.durability.log_write_many(
+                    writes, apply=self._buffer_or_apply
+                )
+            else:
+                for write in writes:
+                    self._buffer_or_apply(*write)
 
     def _buffer_or_apply(
         self,

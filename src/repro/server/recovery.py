@@ -165,10 +165,10 @@ def _decode_checkpoint(data: bytes) -> tuple[int, dict[int, bytes]]:
 class CheckpointReport:
     """What one checkpoint captured.
 
-    ``skipped`` is set when the pre-truncation flush could not drain the
-    dirty list (failing KV store): committing then would leave acked data
-    whose only durable copy is about to be truncated out of the WAL, so
-    the checkpoint aborts and the WAL stays intact.
+    ``skipped`` is set when a profile that was dirty at the barrier could
+    not be flushed (failing KV store): committing then would leave acked
+    data whose only durable copy is about to be truncated out of the WAL,
+    so the checkpoint aborts and the WAL stays intact.
     """
 
     sequence: int = 0
@@ -226,9 +226,9 @@ class NodeDurability:
     """Binds a WAL + checkpoint file to a node's write and restart paths.
 
     One instance per node.  The node calls :meth:`log_write` before a
-    write is applied (and :meth:`ack_barrier` before acking a group-mode
-    batch), :meth:`maybe_checkpoint` from its background cycle, and
-    :meth:`recover` on restart.
+    write is applied (:meth:`log_write_many` for a batched call, which
+    also issues the batch's single ack barrier), :meth:`maybe_checkpoint`
+    from its background cycle, and :meth:`recover` on restart.
     """
 
     def __init__(
@@ -259,6 +259,11 @@ class NodeDurability:
         self.checkpoint_sequence, _ = _decode_checkpoint(
             checkpoint_file.read_all()
         )
+        # A restart after a checkpoint opens a truncated (possibly empty)
+        # WAL whose scan restarts sequences at 0; new appends must still
+        # be numbered past the barrier or recovery's dedup would discard
+        # them as already-checkpointed.
+        self.wal.ensure_sequence_at_least(self.checkpoint_sequence)
         self._registry = registry
         if registry is not None:
             self._appends = registry.counter("wal_appends", node=node_id)
@@ -314,6 +319,32 @@ class NodeDurability:
             self._lag_gauge.set(float(self.replay_lag_records()))
         return sequence
 
+    def log_write_many(self, writes, apply=None) -> list[int]:
+        """Batch variant of :meth:`log_write`: the node's batched write
+        path (``add_profiles``).
+
+        One ack-lock hold covers every append *and* apply in the batch —
+        the same no-barrier-between-append-and-apply invariant as
+        :meth:`log_write`, extended over the whole batch — and the WAL's
+        :meth:`~repro.storage.wal.WriteAheadLog.append_many` issues the
+        single group commit the batch ack needs.  ``writes`` are
+        ``(profile_id, timestamp_ms, slot, type_id, fid, counts)``
+        tuples; ``apply`` is called with each tuple's fields.
+        """
+        payloads = [encode_write(*write) for write in writes]
+        with self._ack_lock:
+            sequences = self.wal.append_many(payloads)
+            if apply is not None:
+                for write in writes:
+                    apply(*write)
+        self.ack_barrier()
+        self.stats.writes_logged += len(sequences)
+        if self._appends is not None:
+            self._appends.inc(len(sequences))
+        if self._lag_gauge is not None:
+            self._lag_gauge.set(float(self.replay_lag_records()))
+        return sequences
+
     def ack_barrier(self) -> None:
         """Commit buffered records so the pending ack is crash-safe."""
         if self.wal.sync_mode != "always":
@@ -353,12 +384,16 @@ class NodeDurability:
                 barrier = self.wal.last_sequence
                 node.merge_write_table()
                 image = self._build_image(node)
-            # The flush must fully drain before the WAL may be truncated:
-            # a dirty entry that survives (failing KV store) exists only
-            # in memory and the WAL, and the image alone is not consulted
-            # for profiles the replay tail never touches.
-            node.cache.flush_all()
-            if node.cache.dirty.total_entries():
+                dirty_at_barrier = node.cache.dirty.dirty_ids()
+            # Only the profiles dirty AT the barrier gate truncation: a
+            # barrier-dirty entry that cannot flush (failing KV store)
+            # exists only in memory and the records about to be cut, and
+            # the image alone is not consulted for profiles the replay
+            # tail never touches.  Writes landing during this flush keep
+            # their WAL records (sequence > barrier survives truncation),
+            # so they cannot starve the checkpoint — flushing just the
+            # barrier snapshot is both sufficient and bounded.
+            if node.cache.flush_ids(dirty_at_barrier):
                 return CheckpointReport(
                     sequence=self.checkpoint_sequence, skipped=True
                 )
@@ -426,6 +461,9 @@ class NodeDurability:
                 self._checkpoint_file.read_all()
             )
             self.checkpoint_sequence = checkpoint_seq
+            # Same restart hazard as in __init__: post-recovery appends
+            # must be numbered past the barrier the checkpoint restored.
+            self.wal.ensure_sequence_at_least(checkpoint_seq)
             report.checkpoint_sequence = checkpoint_seq
             report.last_sequence = scan.last_sequence
             report.records_scanned = scan.records

@@ -35,6 +35,7 @@ from pathlib import Path
 
 from ..errors import StorageError, VersionConflictError
 from .kvstore import VersionedValue
+from .wal import fsync_dir
 
 _OP_SET = 1
 _OP_DELETE = 2
@@ -248,5 +249,6 @@ class FileKVStore:
                 os.fsync(temp.fileno())
             self._log.close()
             os.replace(temp_path, self._path)
+            fsync_dir(self._path.parent)
             self._log = open(self._path, "ab")
             return before - self._path.stat().st_size

@@ -80,6 +80,21 @@ class _NullSite:
 NULL_SITE = _NullSite()
 
 
+def fsync_dir(path: Path) -> None:
+    """Make a rename inside ``path`` durable.
+
+    ``os.replace`` updates a directory entry; fsyncing the replaced file
+    does not cover that entry, so after a crash the rename itself may be
+    lost.  Databases fsync the parent directory after every rename — so
+    do we.
+    """
+    fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 # ----------------------------------------------------------------------
 # Log files
 # ----------------------------------------------------------------------
@@ -135,6 +150,10 @@ class FileLogFile:
             os.fsync(temp.fileno())
         self._handle.close()
         os.replace(temp_path, self.path)
+        # Without this, a crash can undo the rename itself: e.g. the WAL
+        # truncation survives but the checkpoint rewrite does not, and
+        # recovery replays the truncated tail onto the *old* base.
+        fsync_dir(self.path.parent)
         self._handle = open(self.path, "ab")
 
     def size(self) -> int:
@@ -257,6 +276,21 @@ class WriteAheadLog:
     @property
     def sync_mode(self) -> str:
         return self._sync
+
+    def ensure_sequence_at_least(self, sequence: int) -> None:
+        """Seed the sequence space; never moves it backwards.
+
+        A checkpoint truncates the log, so a process restart can open an
+        *empty* file whose scan yields ``last_sequence == 0`` while the
+        checkpoint barrier sits at some higher value.  New appends would
+        then be numbered inside the already-checkpointed range and
+        recovery's ``sequence <= checkpoint_sequence`` dedup would
+        silently discard them — acked-write loss.  The durability layer
+        calls this with the checkpoint barrier at open and recover time.
+        """
+        with self._lock:
+            if sequence > self.last_sequence:
+                self.last_sequence = sequence
 
     # ------------------------------------------------------------------
     # Append / commit

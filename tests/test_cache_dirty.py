@@ -72,6 +72,23 @@ class TestShardedDirtyList:
         dirty.discard(5)
         assert 5 not in dirty
 
+    def test_dirty_ids_snapshots_all_shards(self):
+        dirty = ShardedDirtyList(4)
+        for profile_id in range(12):
+            dirty.mark(profile_id)
+        assert sorted(dirty.dirty_ids()) == list(range(12))
+        dirty.discard(3)
+        assert 3 not in dirty.dirty_ids()
+
+    def test_sequence_of_tracks_remarks(self):
+        dirty = ShardedDirtyList(2)
+        shard = dirty.shard_for(7)
+        assert shard.sequence_of(7) is None
+        first = dirty.mark(7)
+        assert shard.sequence_of(7) == first
+        second = dirty.mark(7)
+        assert shard.sequence_of(7) == second
+
     def test_flush_thread_rule_enforced(self):
         """Flush threads must be a positive multiple of shard count."""
         dirty = ShardedDirtyList(4)

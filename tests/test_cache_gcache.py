@@ -118,6 +118,32 @@ class TestFlush:
         assert cache.flush_all() == 10
         assert cache.dirty.total_entries() == 0
 
+    def test_flush_ids_targets_only_given_profiles(self):
+        cache, _, store = make_cache()
+        cache.put(make_profile(1))
+        cache.put(make_profile(2))
+        assert cache.flush_ids([1]) == []
+        assert len(store) == 1
+        assert cache.dirty.total_entries() == 1  # Profile 2 untouched.
+        assert 2 in cache.dirty
+
+    def test_flush_ids_reports_failures(self):
+        injector = FailureInjector()
+        cache, _, _ = make_cache(injector=injector)
+        cache.put(make_profile(1))
+        injector.fail_next(1)
+        assert cache.flush_ids([1]) == [1]
+        assert cache.metrics.flush_failures == 1
+        assert cache.dirty.total_entries() == 1  # Still queued.
+        assert cache.flush_ids([1]) == []  # Next attempt succeeds.
+        assert cache.dirty.total_entries() == 0
+
+    def test_flush_ids_skips_clean_and_absent(self):
+        cache, _, store = make_cache()
+        cache.put(make_profile(1), dirty=False)
+        assert cache.flush_ids([1, 99]) == []
+        assert len(store) == 0
+
 
 class TestSwap:
     def test_swap_reduces_memory_to_target(self):

@@ -15,7 +15,7 @@ from repro.server.recovery import (
 )
 from repro.storage import InMemoryKVStore
 from repro.storage.kvstore import FailureInjector
-from repro.storage.wal import MemoryLogFile, WriteAheadLog
+from repro.storage.wal import FileLogFile, MemoryLogFile, WriteAheadLog
 
 NOW = 400 * MILLIS_PER_DAY
 WINDOW = TimeRange.current(2 * MILLIS_PER_DAY)
@@ -121,6 +121,15 @@ class TestCrashRecovery:
         assert report.records_replayed == 3
         assert {r.fid for r in topk(node, 1)} == {1, 2, 3}
 
+    def test_batch_write_group_commits_once(self):
+        """add_profiles routes through append_many: one commit per batch."""
+        node = make_node()
+        durability = attach_memory_durability(node, sync="group")
+        node.add_profiles(1, NOW, 1, 0, [1, 2, 3], [(1,), (2,), (3,)])
+        assert durability.wal.stats.appends == 3
+        assert durability.wal.stats.commits == 1
+        assert durability.stats.writes_logged == 3
+
 
 class TestCheckpoint:
     def test_checkpoint_truncates_wal(self):
@@ -174,6 +183,84 @@ class TestCheckpoint:
         assert durability.wal.pending_records() == 1  # Nothing truncated.
         injector.set_rate(0.0)
         assert not node.checkpoint().skipped
+
+    def test_checkpoint_commits_despite_writes_during_flush(self):
+        """Writes landing mid-flush must not starve the checkpoint.
+
+        Only profiles dirty at the barrier gate truncation; a write that
+        arrives during the flush keeps its WAL record (sequence > barrier
+        survives truncation), so the checkpoint commits, leaves the new
+        entry dirty for the normal flush loop, and the write still
+        recovers from the tail after a crash.
+        """
+        node = make_node()
+        durability = attach_memory_durability(node)
+        node.add_profile(1, NOW, 1, 0, 1, {"click": 1})
+        node.merge_write_table()
+        real_flush = node.cache._flush_fn
+
+        def flush_then_write(profile):
+            real_flush(profile)
+            node.cache._flush_fn = real_flush  # Inject exactly once.
+            node.add_profile(2, NOW, 1, 0, 9, {"click": 2})
+            node.merge_write_table()
+
+        node.cache._flush_fn = flush_then_write
+        report = node.checkpoint()
+        assert not report.skipped
+        assert report.sequence == 1
+        # The mid-flush write's record survived the truncation, and its
+        # profile stays dirty for the regular flush loop (the checkpoint
+        # did not chase it).
+        assert durability.wal.pending_records() == 1
+        assert node.cache.dirty.total_entries() == 1
+        node.crash()
+        node.recover()
+        assert [r.fid for r in topk(node, 2)] == [9]
+        assert [r.fid for r in topk(node, 1)] == [1]
+
+    def test_file_backed_restart_preserves_sequence_space(self, tmp_path):
+        """Writes acked after a restart must survive the next crash.
+
+        Regression: a checkpoint truncates the WAL to empty, so a process
+        restart used to rescan ``last_sequence = 0`` while the checkpoint
+        barrier restored to 3; new acked writes then took sequences 1..2
+        and the next recovery silently discarded them via the
+        ``sequence <= checkpoint_sequence`` dedup.
+        """
+
+        def open_durability(node):
+            durability = NodeDurability(
+                WriteAheadLog(FileLogFile(tmp_path / "wal.log")),
+                FileLogFile(tmp_path / "checkpoint.bin"),
+                node_id=node.node_id,
+            )
+            node.durability = durability
+            return durability
+
+        store = InMemoryKVStore()  # The KV cluster outlives the process.
+        node = make_node(store=store)
+        durability = open_durability(node)
+        for fid in range(3):
+            node.add_profile(1, NOW, 1, 0, fid, {"click": 1})
+        node.merge_write_table()
+        assert node.checkpoint().sequence == 3
+        durability.close()
+
+        # Process restart: fresh node + durability over the same files.
+        node = make_node(store=store)
+        durability = open_durability(node)
+        assert durability.wal.last_sequence == 3  # Seeded from the barrier.
+        node.add_profile(1, NOW, 1, 0, 10, {"click": 1})
+        node.add_profile(1, NOW, 1, 0, 11, {"click": 1})
+        node.merge_write_table()
+        before = topk(node, 1)
+        node.crash()
+        report = node.recover()
+        assert report.records_replayed == 2  # Not deduped away.
+        assert topk(node, 1) == before
+        assert {r.fid for r in topk(node, 1)} == {0, 1, 2, 10, 11}
+        durability.close()
 
     def test_shutdown_checkpoints(self):
         node = make_node()

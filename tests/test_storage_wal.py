@@ -43,6 +43,15 @@ class TestFraming:
         with pytest.raises(StorageError):
             WriteAheadLog(MemoryLogFile(), sync="sometimes")
 
+    def test_ensure_sequence_at_least_seeds_forward_only(self):
+        """Restart seeding: an empty (checkpoint-truncated) log must not
+        restart numbering below the checkpoint barrier."""
+        wal = WriteAheadLog(MemoryLogFile())
+        wal.ensure_sequence_at_least(10)
+        assert wal.append(b"x") == 11
+        wal.ensure_sequence_at_least(5)  # Never moves backwards.
+        assert wal.append(b"y") == 12
+
 
 class TestSyncModes:
     def test_always_mode_is_durable_per_append(self):
