@@ -1,21 +1,43 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint bench-batch bench-trace bench-recovery chaos crashcheck dash
+.PHONY: check test lint kernel-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery chaos crashcheck dash
 
-## check: lint + tier-1 tests + benchmark smoke runs + chaos determinism smoke
+## check: lint + tier-1 tests + kernel differential oracle (both backends)
+## + core coverage floor + benchmark smoke runs + chaos determinism smoke
 ## + seeded crash-point recovery schedules.
-check: lint test bench-batch bench-trace bench-recovery chaos crashcheck
+check: lint test kernel-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery chaos crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-## lint: fail on direct time.time() usage outside clock.py.
+## lint: fail on direct time.time() usage outside clock.py, and on numpy
+## imports outside repro.core.kernels.
 lint:
 	$(PYTHON) tools/check_clock_usage.py
+	$(PYTHON) tools/check_numpy_isolation.py
+
+## kernel-oracle: the differential oracle + property suites three ways —
+## numpy auto-detected, pinned to the python reference, and with numpy
+## forced absent (IPS_KERNEL_DISABLE_NUMPY) so CI proves the numpy-free
+## configuration keeps working without uninstalling anything.
+kernel-oracle:
+	$(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
+	IPS_KERNEL_BACKEND=python $(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
+	IPS_KERNEL_DISABLE_NUMPY=1 $(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
+
+## coverage-core: stdlib-tracer line coverage over src/repro/core with a
+## hard floor (no coverage/pytest-cov in the image).
+coverage-core:
+	$(PYTHON) tools/check_core_coverage.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_query.py --smoke
+
+## bench-kernels: reference vs columnar kernels across profile sizes and K;
+## asserts the 10k-feature top-K speedup gate when numpy is available.
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py --smoke
 
 ## bench-trace: tracing must cost <10% enabled and ~0 disabled.
 bench-trace:

@@ -1,0 +1,210 @@
+"""Benchmark: reference (python) vs columnar (numpy) query kernels.
+
+Times the hot top-K path — multi-way slice merge, aggregate, sort, cut —
+on a single profile through both kernel backends, across profile sizes
+(distinct feature count) and K values.  Before any timing, both backends
+must return identical ``FeatureResult`` lists *and* identical
+``QueryStats`` (the differential contract `tests/test_kernel_oracle.py`
+enforces exhaustively), so a speedup can never be bought with wrong
+answers.
+
+Two numbers per numpy case:
+
+* **cold** — first query after the writes, paying the one-off
+  list-of-lists -> columnar conversion that is then memoised per slice
+  (``Slice.kernel_cache``);
+* **warm** — steady state, where the gather is a C-speed concat of
+  cached int64 blocks.  This is the number that matters for the serving
+  read path (profiles are read-hot/write-cold between slice rollovers)
+  and the one the ``>= 5x on the 10k-feature top-K`` gate asserts.
+
+Run from the repo root: ``python benchmarks/bench_kernels.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, perf_ms
+from repro.config import TableConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.kernels import available_backends
+from repro.core.profile import ProfileData
+from repro.core.query import QueryEngine, QueryStats, SortType
+from repro.core.timerange import TimeRange
+from repro.workload.zipf import ZipfGenerator
+
+NOW_MS = 400 * MILLIS_PER_DAY
+ATTRIBUTES = ("like", "comment", "share")
+WINDOW = TimeRange.current(31 * MILLIS_PER_DAY)
+NUM_SLICES = 30
+
+#: The acceptance gate: warm numpy top-K on the 10k-feature profile.
+GATE_FIDS = 10_000
+GATE_K = 100
+GATE_SPEEDUP = 5.0
+
+
+def build_profile(n_fids: int, seed: int = 0) -> ProfileData:
+    """One day-granular profile: 30 slices of zipf-distributed writes.
+
+    Writes per slice scale with the fid universe so the big case lands
+    near the production shape (10k distinct fids -> ~30k merged rows
+    across 30 slices, width 3).
+    """
+    aggregate = get_aggregate("sum")
+    zipf = ZipfGenerator(n_fids, s=1.05, seed=seed)
+    profile = ProfileData(1, write_granularity_ms=MILLIS_PER_DAY)
+    writes_per_slice = max(64, n_fids // 6)
+    for day in range(NUM_SLICES):
+        base_ms = NOW_MS - day * MILLIS_PER_DAY
+        for i in range(writes_per_slice):
+            fid = zipf.sample()
+            profile.add(
+                base_ms - (i % 20) * MILLIS_PER_HOUR // 20,
+                slot=1,
+                type_id=1,
+                fid=fid,
+                counts=[1 + fid % 7, i % 3, 1],
+                aggregate=aggregate,
+            )
+    return profile
+
+
+def _run_query(engine: QueryEngine, profile: ProfileData, k: int):
+    stats = QueryStats()
+    results = engine.top_k(
+        profile, 1, 1, WINDOW, SortType.ATTRIBUTE, k=k, now_ms=NOW_MS,
+        sort_attribute="like", stats=stats,
+    )
+    return results, stats
+
+
+def _time_query(engine: QueryEngine, profile: ProfileData, k: int,
+                repeats: int) -> float:
+    start = perf_ms()
+    for _ in range(repeats):
+        _run_query(engine, profile, k)
+    return (perf_ms() - start) / repeats
+
+
+def run_case(n_fids: int, k: int, repeats: int, seed: int = 0) -> dict:
+    config = TableConfig(name="bench_kernels", attributes=ATTRIBUTES)
+    aggregate = get_aggregate("sum")
+    profile = build_profile(n_fids, seed=seed)
+    rows = sum(
+        len(fids)
+        for profile_slice in profile.slices
+        for fids in profile_slice.feature_maps(1, 1)
+    )
+
+    python_engine = QueryEngine(config, aggregate, backend="python")
+    case = {"n_fids": n_fids, "rows": rows, "k": k}
+
+    if "numpy" in available_backends():
+        numpy_engine = QueryEngine(config, aggregate, backend="numpy")
+        # Cold: the first columnar query converts every slice to int64
+        # blocks (memoised in Slice.kernel_cache thereafter).
+        cold_start = perf_ms()
+        numpy_results, numpy_stats = _run_query(numpy_engine, profile, k)
+        case["numpy_cold_ms"] = perf_ms() - cold_start
+
+        # Correctness gate before any timing claims.
+        python_results, python_stats = _run_query(python_engine, profile, k)
+        assert numpy_results == python_results, "backends disagree on results"
+        assert numpy_stats == python_stats, "backends disagree on stats"
+
+        case["numpy_ms"] = _time_query(numpy_engine, profile, k, repeats)
+
+    case["python_ms"] = _time_query(python_engine, profile, k, repeats)
+    if "numpy_ms" in case:
+        case["speedup"] = case["python_ms"] / case["numpy_ms"]
+    return case
+
+
+def run_bench(repeats: int) -> list[dict]:
+    cases = []
+    for n_fids in (300, 3_000, GATE_FIDS):
+        for k in (10, GATE_K, 1_000):
+            cases.append(run_case(n_fids, k, repeats))
+    return cases
+
+
+def report(cases: list[dict]) -> None:
+    print()
+    print("=== Kernel backends: python reference vs numpy columnar ===")
+    print(f"{NUM_SLICES} slices, width {len(ATTRIBUTES)}, zipf(s=1.05) fids,"
+          " 31-day window, sort=ATTRIBUTE(like), warm numbers are"
+          " steady-state (per-slice columnar cache populated)")
+    header = (
+        f"{'fids':>7} {'rows':>7} {'K':>5} {'python':>10} {'numpy':>10} "
+        f"{'cold':>10} {'speedup':>8}"
+    )
+    print(header)
+    for case in cases:
+        numpy_ms = case.get("numpy_ms")
+        print(
+            f"{case['n_fids']:>7} {case['rows']:>7} {case['k']:>5} "
+            f"{case['python_ms']:>8.3f}ms "
+            + (f"{numpy_ms:>8.3f}ms " if numpy_ms is not None
+               else f"{'n/a':>10} ")
+            + (f"{case['numpy_cold_ms']:>8.3f}ms " if numpy_ms is not None
+               else f"{'n/a':>10} ")
+            + (f"{case['speedup']:>7.1f}x" if numpy_ms is not None
+               else f"{'n/a':>8}")
+        )
+    if "numpy" not in available_backends():
+        print("numpy backend unavailable: columnar columns skipped, "
+              "speedup gate not applicable")
+
+
+def gate_case(cases: list[dict]) -> dict | None:
+    for case in cases:
+        if case["n_fids"] == GATE_FIDS and case["k"] == GATE_K:
+            return case
+    return None
+
+
+def check_gate(cases: list[dict]) -> bool:
+    """True when the acceptance gate holds (or numpy is unavailable)."""
+    if "numpy" not in available_backends():
+        return True
+    case = gate_case(cases)
+    assert case is not None, "gate case missing from the sweep"
+    ok = case["speedup"] >= GATE_SPEEDUP
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"gate [{verdict}]: {GATE_FIDS}-fid top-{GATE_K} numpy speedup "
+        f"{case['speedup']:.1f}x (required >= {GATE_SPEEDUP:.0f}x)"
+    )
+    return ok
+
+
+def test_kernel_topk_speedup():
+    """Pytest entry point: the 10k-feature gate at smoke repeats."""
+    cases = [run_case(GATE_FIDS, GATE_K, repeats=3)]
+    report(cases)
+    assert check_gate(cases)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=20)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="gate case only, few repeats (same assertion, seconds not minutes)",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.smoke:
+        cases = [run_case(GATE_FIDS, GATE_K, repeats=3)]
+    else:
+        cases = run_bench(args.repeats)
+    report(cases)
+    if not check_gate(cases):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

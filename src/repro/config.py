@@ -304,6 +304,11 @@ class TableConfig:
     truncate: TruncateConfig = field(default_factory=TruncateConfig)
     shrink: ShrinkConfig | None = None
     fine_grained_persistence: bool = False
+    #: Columnar kernel backend for this table's query/compaction hot loops:
+    #: "python" (reference), "numpy" (columnar), "auto"/None (env override
+    #: via IPS_KERNEL_BACKEND, else numpy when available).  See
+    #: repro.core.kernels for the selection rules and guarantees.
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -316,6 +321,13 @@ class TableConfig:
                 raise ConfigError(f"duplicate attribute {attribute!r}")
             seen.add(attribute)
         self.attributes = tuple(self.attributes)
+        if self.kernel_backend is not None and not isinstance(
+            self.kernel_backend, str
+        ):
+            raise ConfigError(
+                "kernel_backend must be a backend name or None, "
+                f"got {self.kernel_backend!r}"
+            )
 
     @property
     def num_attributes(self) -> int:

@@ -42,13 +42,25 @@ class CompactionStats:
 
 
 class Compactor:
-    """Applies a time-dimension config to profiles."""
+    """Applies a time-dimension config to profiles.
+
+    The per-feature slice fold runs on a kernel backend (see
+    :mod:`repro.core.kernels`): the ``python`` reference folds stat maps
+    through ``Slice.merge_from``; the ``numpy`` backend rebuilds large
+    ``(slot, type)`` groups column-wise.  Both are result-identical.
+    """
 
     def __init__(
-        self, time_dimension: TimeDimensionConfig, aggregate: AggregateFn
+        self,
+        time_dimension: TimeDimensionConfig,
+        aggregate: AggregateFn,
+        backend=None,
     ) -> None:
+        from .kernels import get_backend
+
         self._time_dimension = time_dimension
         self._aggregate = aggregate
+        self._backend = get_backend(backend)
 
     # ------------------------------------------------------------------
 
@@ -111,7 +123,7 @@ class Compactor:
         compacted: list[Slice] = []
         for current in workset:
             if compacted and self._should_merge(current, compacted[-1], now_ms):
-                compacted[-1].merge_from(current, self._aggregate)
+                self._backend.fold_slice(compacted[-1], current, self._aggregate)
                 stats.merges += 1
             else:
                 compacted.append(current)

@@ -42,10 +42,20 @@ class ProfileEngine:
     """Write/read/maintain engine over one table."""
 
     def __init__(self, config: TableConfig, clock: Clock | None = None) -> None:
+        from .kernels import get_backend
+
         self.table = ProfileTable(config)
         self.clock = clock if clock is not None else SystemClock()
-        self.query_engine = QueryEngine(config, self.table.aggregate)
-        self.compactor = Compactor(config.time_dimension, self.table.aggregate)
+        #: Kernel backend shared by the query engine and the compactor
+        #: (``config.kernel_backend``, else env/auto — see repro.core.kernels).
+        self.kernel_backend = get_backend(config.kernel_backend)
+        self.query_engine = QueryEngine(
+            config, self.table.aggregate, backend=self.kernel_backend
+        )
+        self.compactor = Compactor(
+            config.time_dimension, self.table.aggregate,
+            backend=self.kernel_backend,
+        )
         self.shrinker = (
             Shrinker(config, config.shrink) if config.shrink is not None else None
         )
@@ -252,7 +262,10 @@ class ProfileEngine:
         config = self.table.config
         if time_dimension is not None:
             config.time_dimension = time_dimension
-            self.compactor = Compactor(time_dimension, self.table.aggregate)
+            self.compactor = Compactor(
+                time_dimension, self.table.aggregate,
+                backend=self.kernel_backend,
+            )
             new_granularity = time_dimension.bands[0].granularity_ms
             self.table._write_granularity_ms = new_granularity
             for profile in self.table.profiles():

@@ -61,8 +61,13 @@ class FeatureStat:
     ) -> None:
         """Fold another count vector into this one with an aggregate function.
 
-        Vectors of different lengths (after a schema change) are merged over
-        the overlap and the longer tail is kept as-is.
+        Vectors of different lengths (after a schema change) are implicitly
+        zero-padded to the longer length and aggregated positionwise — the
+        same "missing positions read as zero" rule that :meth:`count_at`
+        applies on reads.  Under SUM this matches the historical
+        keep-the-tail behaviour; under MIN/MAX/LAST the absent side now
+        participates as an explicit zero instead of being silently skipped.
+        The merged vector always has ``max(len(self), len(other))`` entries.
         """
         overlap = min(len(self.counts), len(other_counts))
         for index in range(overlap):
@@ -71,8 +76,14 @@ class FeatureStat:
             )
         if len(other_counts) > len(self.counts):
             self.counts.extend(
-                clamp_int64(int(count)) for count in other_counts[overlap:]
+                clamp_int64(aggregate(0, int(count)))
+                for count in other_counts[overlap:]
             )
+        elif len(self.counts) > overlap:
+            for index in range(overlap, len(self.counts)):
+                self.counts[index] = clamp_int64(
+                    aggregate(self.counts[index], 0)
+                )
         if other_timestamp_ms > self.last_timestamp_ms:
             self.last_timestamp_ms = other_timestamp_ms
 

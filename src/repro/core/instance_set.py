@@ -60,6 +60,18 @@ class InstanceSet:
         else:
             yield from self._types.get(type_id, {}).values()
 
+    def feature_maps(self, type_id: int | None) -> list[dict[int, FeatureStat]]:
+        """The internal fid -> stat maps for one type (all when ``None``).
+
+        Bulk read-only accessor for kernel backends: iterating the returned
+        maps' values visits stats in exactly ``features_for_type`` order
+        without per-stat generator overhead.  Callers must not mutate.
+        """
+        if type_id is None:
+            return list(self._types.values())
+        features = self._types.get(type_id)
+        return [features] if features else []
+
     def get(self, type_id: int, fid: int) -> FeatureStat | None:
         return self._types.get(type_id, {}).get(fid)
 

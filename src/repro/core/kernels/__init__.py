@@ -1,0 +1,108 @@
+"""Pluggable columnar query kernels (backend registry).
+
+Two backends implement the hot-loop interface in :mod:`.base`:
+
+* ``python`` — the reference per-``FeatureStat`` loops; always available
+  and the semantics contract for everything else;
+* ``numpy`` — columnar kernels over flat int64 arrays; auto-detected,
+  byte-identical to the reference (it delegates whenever an exactness
+  guard trips).
+
+Selection, most specific wins:
+
+1. an explicit backend name (``TableConfig.kernel_backend`` or the
+   ``backend=`` argument to :class:`~repro.core.query.QueryEngine` /
+   :class:`~repro.core.compaction.Compactor`);
+2. the ``IPS_KERNEL_BACKEND`` environment variable (``python`` /
+   ``numpy`` / ``auto``) — how CI forces a whole run onto one backend;
+3. auto: ``numpy`` when importable, else ``python``.
+
+``IPS_KERNEL_DISABLE_NUMPY=1`` makes the numpy backend unavailable even
+when the package is installed, so CI can exercise the numpy-absent
+configuration without uninstalling anything.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+from ...errors import ConfigError
+from .base import KernelBackend, SortSpec, aggregate_name
+from .python_backend import PythonBackend
+
+__all__ = [
+    "KernelBackend",
+    "SortSpec",
+    "aggregate_name",
+    "PythonBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "numpy_disabled",
+]
+
+ENV_BACKEND = "IPS_KERNEL_BACKEND"
+ENV_DISABLE_NUMPY = "IPS_KERNEL_DISABLE_NUMPY"
+
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def numpy_disabled() -> bool:
+    """Whether ``IPS_KERNEL_DISABLE_NUMPY`` forces the numpy backend off."""
+    return os.environ.get(ENV_DISABLE_NUMPY, "") not in ("", "0")
+
+
+def _numpy_importable() -> bool:
+    try:
+        return importlib.util.find_spec("numpy") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic installs
+        return False
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names usable right now (env-sensitive, re-evaluated)."""
+    if not numpy_disabled() and _numpy_importable():
+        return ("python", "numpy")
+    return ("python",)
+
+
+def default_backend_name() -> str:
+    """Resolve the unconfigured default: env override, then auto-detect."""
+    env = os.environ.get(ENV_BACKEND, "").strip().lower()
+    if env and env != "auto":
+        return env
+    return "numpy" if "numpy" in available_backends() else "python"
+
+
+def get_backend(name: "str | KernelBackend | None" = None) -> KernelBackend:
+    """Return a kernel backend by name (or pass an instance through).
+
+    ``None``/``"auto"`` resolve via :func:`default_backend_name`.  Asking
+    for ``numpy`` explicitly when it is disabled or not importable raises
+    :class:`~repro.errors.ConfigError` — an explicit configuration must
+    not silently degrade.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None or name == "" or name == "auto":
+        name = default_backend_name()
+    name = name.lower()
+    if name == "python":
+        return _INSTANCES.setdefault("python", PythonBackend())
+    if name == "numpy":
+        if numpy_disabled():
+            raise ConfigError(
+                "numpy kernel backend disabled via "
+                f"{ENV_DISABLE_NUMPY}; unset it or use backend 'python'"
+            )
+        try:
+            from .numpy_backend import NumpyBackend
+        except ImportError as exc:
+            raise ConfigError(
+                f"numpy kernel backend unavailable: {exc}"
+            ) from None
+        return _INSTANCES.setdefault("numpy", NumpyBackend())
+    raise ConfigError(
+        f"unknown kernel backend {name!r}; available: {available_backends()}"
+    )

@@ -1,0 +1,610 @@
+"""Columnar kernel backend: flat int64 arrays instead of per-stat folds.
+
+The three hot loops become array programs:
+
+* **fused multi-way merge** — gather every contributing ``FeatureStat``
+  row (fid, counts, timestamp) across the window into flat arrays, group
+  by fid with one sort, and reduce each group with a single
+  ``np.{add,maximum,minimum}.reduceat`` (or a take-last gather for the
+  LAST aggregate);
+* **batch decay scaling** — scale whole slice segments of the count
+  matrix by their decay weight in float64 and truncate toward zero with
+  ``np.trunc``, exactly like ``FeatureStat.scaled``;
+* **sort / top-K cut** — build the reference key columns and order them
+  with one ``np.lexsort``; only the selected rows are materialised back
+  into ``FeatureResult`` objects.
+
+The gather step is the only part that touches Python objects, so its
+output — the per-``(slot, type)`` columnar projection of a slice — is
+memoised in ``Slice.kernel_cache``.  Slices are append-mostly and every
+mutation path clears the cache, so warm queries skip straight to the
+array program; this is the columnar layout the tentpole asks for, kept
+as derived data (never serialised, not in ``memory_bytes``).
+
+**Byte-identical results are a hard contract** (the differential oracle
+enforces it), so the kernel refuses any input where vectorised arithmetic
+could diverge from the reference's stepwise semantics and delegates the
+whole query to :class:`PythonBackend` instead:
+
+* SUM merges where an intermediate fold could saturate int64
+  (``rows * max|count| >= 2**63`` — the reference clamps per fold);
+* decay scaling where counts reach 2**53 (float64 rounding edges);
+* total-based sort keys whose row sums could overflow int64;
+* fids outside int64 (or exactly INT64_MIN, which cannot be negated);
+* user-defined aggregate functions (only SUM/MAX/MIN/LAST vectorise).
+
+Everything outside ``repro.core.kernels`` must stay numpy-free — a lint
+(``tools/check_numpy_isolation.py``) enforces the isolation.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from operator import attrgetter
+
+import numpy as np
+
+from ..aggregate import AggregateFn
+from ..feature import INT64_MIN, FeatureStat
+from .base import KernelBackend, SortSpec, aggregate_name
+from .python_backend import PythonBackend
+
+#: Above this magnitude int64 -> float64 round-trips stop being exact.
+_FLOAT_EXACT_BOUND = 2**53
+#: int64 overflow bound for summation guards.
+_INT64_BOUND = 2**63
+
+# C-speed field extractors for the bulk gather (map + list.extend).
+_GET_FID = attrgetter("fid")
+_GET_COUNTS = attrgetter("counts")
+_GET_TS = attrgetter("last_timestamp_ms")
+_GET_FID_INDEX = attrgetter("fid_index")
+
+#: ``Slice.kernel_cache`` sentinel: this (slot, type) group cannot be
+#: vectorised (e.g. a fid outside int64) — delegate to the reference.
+_UNVECTORIZABLE = False
+
+
+def _max_abs(matrix: np.ndarray) -> int:
+    """Largest magnitude in an int64 array, exact (Python ints), 0 if empty."""
+    if matrix.size == 0:
+        return 0
+    return max(int(matrix.max()), -int(matrix.min()))
+
+
+def _make_stat(fid, counts, last_timestamp_ms, fid_index) -> FeatureStat:
+    """Build a FeatureStat from already-clamped Python ints, skipping the
+    constructor's per-element re-clamping."""
+    stat = FeatureStat.__new__(FeatureStat)
+    stat.fid = fid
+    stat.counts = counts
+    stat.last_timestamp_ms = last_timestamp_ms
+    stat.fid_index = fid_index
+    return stat
+
+
+class _Columns:
+    """Columnar projection of one row block, in reference iteration order."""
+
+    __slots__ = ("fids", "matrix", "ts", "widths", "fid_index", "uniform")
+
+    def __init__(self, fids, matrix, ts, widths, fid_index, uniform) -> None:
+        self.fids = fids          # (n,) int64
+        self.matrix = matrix      # (n, W) int64, short rows zero-padded
+        self.ts = ts              # (n,) int64
+        self.widths = widths      # (n,) int64 native row widths
+        self.fid_index = fid_index  # (n,) int64 insertion indices
+        self.uniform = uniform    # every row natively W wide
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.fids)
+
+    @property
+    def width(self) -> int:
+        return self.matrix.shape[1]
+
+
+def _columns_from_lists(fids, rows, ts, fid_index):
+    """Convert gathered Python lists into :class:`_Columns`.
+
+    Returns ``None`` for an empty block and ``_UNVECTORIZABLE`` when a
+    value does not fit int64 (counts are pre-clamped, so in practice
+    only fids can trip this) or a fid is exactly INT64_MIN (its ``-fid``
+    sort key would not be representable).
+    """
+    n_rows = len(fids)
+    if not n_rows:
+        return None
+    try:
+        fid_arr = np.fromiter(fids, dtype=np.int64, count=n_rows)
+        width_arr = np.fromiter(map(len, rows), dtype=np.int64, count=n_rows)
+        max_width = int(width_arr.max())
+        uniform = int(width_arr.min()) == max_width
+        if uniform:
+            # Uniform widths: one C pass over a chained iterator beats
+            # np.array's list-of-lists walk by a wide margin.
+            matrix = np.fromiter(
+                chain.from_iterable(rows),
+                dtype=np.int64,
+                count=n_rows * max_width,
+            ).reshape(n_rows, max_width)
+        else:
+            matrix = np.array(
+                [
+                    list(row) + [0] * (max_width - len(row))
+                    if len(row) < max_width
+                    else row
+                    for row in rows
+                ],
+                dtype=np.int64,
+            )
+        ts_arr = np.fromiter(ts, dtype=np.int64, count=n_rows)
+        fid_index_arr = np.fromiter(fid_index, dtype=np.int64, count=n_rows)
+    except (OverflowError, ValueError):
+        return _UNVECTORIZABLE
+    if int(fid_arr.min()) == INT64_MIN:
+        return _UNVECTORIZABLE
+    return _Columns(fid_arr, matrix, ts_arr, width_arr, fid_index_arr, uniform)
+
+
+class _Gathered:
+    """Concatenated columnar blocks for one window."""
+
+    __slots__ = ("columns", "segments", "slices_scanned")
+
+    def __init__(self, columns, segments, slices_scanned) -> None:
+        self.columns = columns    # _Columns | None (no rows in window)
+        #: (start_row, end_row, weight) for slices with weight != 1.0.
+        self.segments = segments
+        self.slices_scanned = slices_scanned
+
+    @property
+    def n_rows(self) -> int:
+        return 0 if self.columns is None else self.columns.n_rows
+
+
+class _Merged:
+    """Columnar accumulator: one row per distinct fid, fid-ascending."""
+
+    __slots__ = ("fids", "counts", "ts", "widths", "first_row")
+
+    def __init__(self, fids, counts, ts, widths, first_row) -> None:
+        self.fids = fids          # (n,) int64, ascending
+        self.counts = counts      # (n, W) int64
+        self.ts = ts              # (n,) int64 max contributor timestamp
+        self.widths = widths      # (n,) int64 max width; None = all W wide
+        self.first_row = first_row  # original row of first contribution
+
+
+class NumpyBackend(KernelBackend):
+    """numpy-accelerated kernels, reference-exact or delegating."""
+
+    name = "numpy"
+
+    #: Compaction folds below this combined feature count stay on the
+    #: reference path — tiny dict merges beat array setup costs.
+    fold_min_features = 128
+
+    def __init__(self) -> None:
+        self._reference = PythonBackend()
+
+    # ------------------------------------------------------------------
+    # Gather: per-slice columnar projections, memoised on the slice
+    # ------------------------------------------------------------------
+
+    def _slice_columns(self, profile_slice, slot, type_id):
+        """The (slot, type) projection of one slice, cached until mutation."""
+        cache = profile_slice.kernel_cache
+        key = (slot, type_id)
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        fids: list = []
+        rows: list = []
+        ts: list = []
+        fid_index: list = []
+        for feature_map in profile_slice.feature_maps(slot, type_id):
+            values = feature_map.values()
+            fids.extend(map(_GET_FID, values))
+            rows.extend(map(_GET_COUNTS, values))
+            ts.extend(map(_GET_TS, values))
+            fid_index.extend(map(_GET_FID_INDEX, values))
+        columns = _columns_from_lists(fids, rows, ts, fid_index)
+        cache[key] = columns
+        return columns
+
+    def _gather(self, profile, slot, type_id, window, decay):
+        """Collect the window's blocks; ``None`` means delegate."""
+        blocks: list[_Columns] = []
+        segments: list[tuple[int, int, float]] = []
+        scanned = 0
+        total = 0
+        for profile_slice, weight in self.iter_weighted_slices(
+            profile, window, decay
+        ):
+            scanned += 1
+            if weight <= 0.0:
+                continue
+            columns = self._slice_columns(profile_slice, slot, type_id)
+            if columns is _UNVECTORIZABLE:
+                return None
+            if columns is None:
+                continue
+            start = total
+            total += columns.n_rows
+            blocks.append(columns)
+            if weight != 1.0:
+                segments.append((start, total, weight))
+        return _Gathered(self._combine(blocks), segments, scanned)
+
+    @staticmethod
+    def _combine(blocks: list[_Columns]):
+        """Concatenate blocks, zero-padding narrower matrices."""
+        if not blocks:
+            return None
+        if len(blocks) == 1:
+            return blocks[0]  # Aliases the cache; merge never writes it.
+        width = max(block.width for block in blocks)
+        if all(block.width == width for block in blocks):
+            matrix = np.concatenate([block.matrix for block in blocks])
+        else:
+            total = sum(block.n_rows for block in blocks)
+            matrix = np.zeros((total, width), dtype=np.int64)
+            offset = 0
+            for block in blocks:
+                matrix[offset : offset + block.n_rows, : block.width] = (
+                    block.matrix
+                )
+                offset += block.n_rows
+        uniform = all(
+            block.uniform and block.width == width for block in blocks
+        )
+        return _Columns(
+            np.concatenate([block.fids for block in blocks]),
+            matrix,
+            np.concatenate([block.ts for block in blocks]),
+            np.concatenate([block.widths for block in blocks]),
+            np.concatenate([block.fid_index for block in blocks]),
+            uniform,
+        )
+
+    # ------------------------------------------------------------------
+    # Reduce: group by fid and aggregate column-wise
+    # ------------------------------------------------------------------
+
+    def _reduce(
+        self, gathered: _Gathered, agg: str, need_first_row: bool
+    ) -> _Merged | None:
+        """Columnar merge; ``None`` means an exactness guard tripped.
+
+        ``need_first_row`` asks for each group's first contributing row
+        (the surviving ``fid_index`` when stats are materialised); it
+        forces a stable grouping sort, as does the LAST aggregate.
+        """
+        columns = gathered.columns
+        n_rows = columns.n_rows
+        matrix = columns.matrix
+
+        if gathered.segments and matrix.size:
+            if _max_abs(matrix) >= _FLOAT_EXACT_BOUND:
+                return None
+            scaled = matrix.astype(np.float64)
+            for start, end, weight in gathered.segments:
+                np.trunc(scaled[start:end] * weight, out=scaled[start:end])
+            matrix = scaled.astype(np.int64)
+
+        fid_arr = columns.fids
+        if need_first_row or agg == "last":
+            order = np.argsort(fid_arr, kind="stable")
+        else:
+            order = np.argsort(fid_arr)  # SUM/MAX/MIN are order-free.
+        sorted_fids = fid_arr[order]
+        group_head = np.empty(n_rows, dtype=bool)
+        group_head[0] = True
+        group_head[1:] = sorted_fids[1:] != sorted_fids[:-1]
+        starts = np.flatnonzero(group_head)
+
+        matrix_sorted = matrix[order]
+        if agg == "sum":
+            if n_rows * _max_abs(matrix) >= _INT64_BOUND:
+                return None  # Reference clamps per fold; delegate.
+            counts = np.add.reduceat(matrix_sorted, starts, axis=0)
+        elif agg == "max":
+            counts = np.maximum.reduceat(matrix_sorted, starts, axis=0)
+        elif agg == "min":
+            counts = np.minimum.reduceat(matrix_sorted, starts, axis=0)
+        else:  # "last": the final contribution in iteration order wins.
+            group_last = np.append(starts[1:], n_rows) - 1
+            counts = matrix_sorted[group_last]
+        return _Merged(
+            fids=sorted_fids[starts],
+            counts=counts,
+            ts=np.maximum.reduceat(columns.ts[order], starts),
+            widths=(
+                None  # Every contributor is full-width already.
+                if columns.uniform
+                else np.maximum.reduceat(columns.widths[order], starts)
+            ),
+            first_row=order[starts] if need_first_row else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Sort / top-K cut
+    # ------------------------------------------------------------------
+
+    def _totals(self, merged: _Merged) -> np.ndarray | None:
+        if merged.counts.shape[1] * _max_abs(merged.counts) >= _INT64_BOUND:
+            return None  # Row sums could overflow int64.
+        return merged.counts.sum(axis=1)
+
+    def _attribute_column(self, merged: _Merged, index: int) -> np.ndarray:
+        if 0 <= index < merged.counts.shape[1]:
+            return merged.counts[:, index]
+        return np.zeros(len(merged.fids), dtype=np.int64)
+
+    def _ascending_order(
+        self, merged: _Merged, spec: SortSpec
+    ) -> np.ndarray | None:
+        """The reference key tuples as a lexsort; ``None`` = guard trip.
+
+        Every key ends in a unique fid component, so the total order is
+        unique and ascending-then-reverse equals the reference's
+        descending sort exactly.
+        """
+        from ..query import SortType
+
+        if spec.sort_type is SortType.FEATURE_ID:
+            return np.arange(len(merged.fids))  # fids already ascending
+        neg_fid = -merged.fids
+        if spec.sort_type is SortType.ATTRIBUTE:
+            primary = self._attribute_column(merged, spec.attribute_index)
+            return np.lexsort((neg_fid, merged.ts, primary))
+        if spec.sort_type is SortType.TIMESTAMP:
+            totals = self._totals(merged)
+            if totals is None:
+                return None
+            return np.lexsort((neg_fid, totals, merged.ts))
+        if spec.sort_type is SortType.TOTAL:
+            totals = self._totals(merged)
+            if totals is None:
+                return None
+            return np.lexsort((neg_fid, merged.ts, totals))
+        # WEIGHTED: accumulate columns left-to-right in caller order so the
+        # float result matches the reference's sum() bit-for-bit.
+        score = np.zeros(len(merged.fids), dtype=np.float64)
+        for index, weight in spec.weight_vector:
+            score += self._attribute_column(merged, index).astype(np.float64) * weight
+        return np.lexsort((neg_fid, merged.ts, score))
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def _materialize_results(self, merged: _Merged, selection: np.ndarray):
+        from ..query import FeatureResult
+
+        rows = merged.counts[selection].tolist()
+        fids = merged.fids[selection].tolist()
+        timestamps = merged.ts[selection].tolist()
+        if merged.widths is None:
+            return [
+                FeatureResult(
+                    fid=fid, counts=tuple(row), last_timestamp_ms=timestamp
+                )
+                for fid, row, timestamp in zip(fids, rows, timestamps)
+            ]
+        widths = merged.widths[selection].tolist()
+        return [
+            FeatureResult(
+                fid=fid,
+                counts=tuple(row[:width]),
+                last_timestamp_ms=timestamp,
+            )
+            for fid, row, width, timestamp in zip(fids, rows, widths, timestamps)
+        ]
+
+    def _materialize_stats(
+        self, merged: _Merged, gathered: _Gathered
+    ) -> list[FeatureStat]:
+        rows = merged.counts.tolist()
+        fids = merged.fids.tolist()
+        timestamps = merged.ts.tolist()
+        fid_index = gathered.columns.fid_index[merged.first_row].tolist()
+        if merged.widths is None:
+            return [
+                _make_stat(fid, row, timestamp, index)
+                for fid, row, timestamp, index in zip(
+                    fids, rows, timestamps, fid_index
+                )
+            ]
+        widths = merged.widths.tolist()
+        return [
+            _make_stat(fid, row[:width], timestamp, index)
+            for fid, row, width, timestamp, index in zip(
+                fids, rows, widths, timestamps, fid_index
+            )
+        ]
+
+    @staticmethod
+    def _commit_stats(stats, gathered: _Gathered, results) -> None:
+        if stats is not None:
+            stats.slices_scanned += gathered.slices_scanned
+            stats.features_merged += gathered.n_rows
+            stats.results_returned = len(results)
+
+    # ------------------------------------------------------------------
+    # Query kernels
+    # ------------------------------------------------------------------
+
+    def run_topk(
+        self, profile, slot, type_id, window, reduce_fn, spec, k, descending, stats
+    ):
+        agg = aggregate_name(reduce_fn)
+        if agg is not None:
+            gathered = self._gather(profile, slot, type_id, window, None)
+            if gathered is not None:
+                results = []
+                if gathered.n_rows:
+                    merged = self._reduce(gathered, agg, False)
+                    ascending = (
+                        None
+                        if merged is None
+                        else self._ascending_order(merged, spec)
+                    )
+                    if ascending is None:
+                        return self._reference.run_topk(
+                            profile, slot, type_id, window, reduce_fn, spec,
+                            k, descending, stats,
+                        )
+                    order = ascending[::-1] if descending else ascending
+                    results = self._materialize_results(merged, order[:k])
+                self._commit_stats(stats, gathered, results)
+                return results
+        return self._reference.run_topk(
+            profile, slot, type_id, window, reduce_fn, spec, k,
+            descending, stats,
+        )
+
+    def run_filter(
+        self, profile, slot, type_id, window, reduce_fn, predicate, stats
+    ):
+        agg = aggregate_name(reduce_fn)
+        if agg is not None:
+            gathered = self._gather(profile, slot, type_id, window, None)
+            if gathered is not None:
+                results = []
+                if gathered.n_rows:
+                    merged = self._reduce(gathered, agg, True)
+                    if merged is None:
+                        return self._reference.run_filter(
+                            profile, slot, type_id, window, reduce_fn,
+                            predicate, stats,
+                        )
+                    kept = [
+                        stat
+                        for stat in self._materialize_stats(merged, gathered)
+                        if predicate(stat)
+                    ]
+                    kept.sort(
+                        key=lambda stat: (stat.total(), stat.fid), reverse=True
+                    )
+                    results = self._reference.finalize(kept, None)
+                self._commit_stats(stats, gathered, results)
+                return results
+        return self._reference.run_filter(
+            profile, slot, type_id, window, reduce_fn, predicate, stats
+        )
+
+    def run_decay(
+        self,
+        profile,
+        slot,
+        type_id,
+        window,
+        reduce_fn,
+        decay_fn,
+        decay_factor,
+        spec,
+        k,
+        stats,
+    ):
+        agg = aggregate_name(reduce_fn)
+        if agg is not None:
+            gathered = self._gather(
+                profile, slot, type_id, window, (decay_fn, decay_factor)
+            )
+            if gathered is not None:
+                results = []
+                if gathered.n_rows:
+                    merged = self._reduce(gathered, agg, False)
+                    ascending = (
+                        None
+                        if merged is None
+                        else self._ascending_order(merged, spec)
+                    )
+                    if ascending is None:
+                        return self._reference.run_decay(
+                            profile, slot, type_id, window, reduce_fn,
+                            decay_fn, decay_factor, spec, k, stats,
+                        )
+                    order = ascending[::-1]
+                    if k is not None:
+                        order = order[:k]
+                    results = self._materialize_results(merged, order)
+                self._commit_stats(stats, gathered, results)
+                return results
+        return self._reference.run_decay(
+            profile, slot, type_id, window, reduce_fn, decay_fn,
+            decay_factor, spec, k, stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction kernel
+    # ------------------------------------------------------------------
+
+    def fold_slice(self, target, source, reduce_fn: AggregateFn) -> None:
+        agg = aggregate_name(reduce_fn)
+        if (
+            agg is None
+            or target.feature_count() + source.feature_count()
+            < self.fold_min_features
+        ):
+            self._reference.fold_slice(target, source, reduce_fn)
+            return
+        for slot, source_set in source.slots_items():
+            target_set = target.ensure_slot(slot)
+            for type_id in source_set.type_ids:
+                source_stats = list(source_set.features_for_type(type_id))
+                if not source_stats:
+                    continue
+                target_stats = list(target_set.features_for_type(type_id))
+                folded = self._fold_type(
+                    target_stats, source_stats, agg, reduce_fn
+                )
+                target_set.replace_type(type_id, folded)
+        target.start_ms = min(target.start_ms, source.start_ms)
+        target.end_ms = max(target.end_ms, source.end_ms)
+        target.mark_mutated()
+
+    def _fold_type(
+        self,
+        target_stats: list[FeatureStat],
+        source_stats: list[FeatureStat],
+        agg: str,
+        reduce_fn: AggregateFn,
+    ) -> list[FeatureStat]:
+        """Merge one ``(slot, type)`` group, target rows first.
+
+        Target-first ordering reproduces the reference fold direction:
+        LAST keeps the source value for shared fids, and the surviving
+        ``fid_index`` is the target's (first contribution).
+        """
+        fids: list = []
+        rows: list = []
+        ts: list = []
+        fid_index: list = []
+        for stats_list in (target_stats, source_stats):
+            fids.extend(map(_GET_FID, stats_list))
+            rows.extend(map(_GET_COUNTS, stats_list))
+            ts.extend(map(_GET_TS, stats_list))
+            fid_index.extend(map(_GET_FID_INDEX, stats_list))
+        columns = _columns_from_lists(fids, rows, ts, fid_index)
+        merged = None
+        if columns is not _UNVECTORIZABLE:
+            gathered = _Gathered(columns, [], 0)
+            merged = self._reduce(gathered, agg, True)
+        if merged is None:
+            # Exactness guard: reference per-stat fold for this group only.
+            by_fid = {stat.fid: stat for stat in target_stats}
+            for stat in source_stats:
+                existing = by_fid.get(stat.fid)
+                if existing is None:
+                    by_fid[stat.fid] = stat.copy()
+                else:
+                    existing.merge_counts(
+                        stat.counts, reduce_fn, stat.last_timestamp_ms
+                    )
+            return list(by_fid.values())
+        return self._materialize_stats(merged, gathered)

@@ -1,0 +1,164 @@
+"""Reference kernel backend: the original per-``FeatureStat`` loops.
+
+This backend *is* the semantics contract.  It folds slice hash maps one
+stat at a time through :meth:`FeatureStat.merge_counts` (stepwise int64
+clamping), scales with :meth:`FeatureStat.scaled` (truncation toward
+zero) and cuts top-K with ``heapq`` over the same key tuples the query
+engine has always used.  The columnar backend must reproduce its output
+byte-for-byte; when in doubt, the columnar code *delegates* to this one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..aggregate import AggregateFn
+from ..feature import FeatureStat, clamp_int64
+from .base import KernelBackend, SortSpec
+
+
+class PythonBackend(KernelBackend):
+    """Pure-Python reference implementation of the kernel interface."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    # Merge core (the reference fused multi-way merge)
+    # ------------------------------------------------------------------
+
+    def merge_window(
+        self, profile, slot, type_id, window, decay, reduce_fn, stats
+    ) -> dict[int, FeatureStat]:
+        """fid -> merged stat over the window, reference semantics."""
+        merged: dict[int, FeatureStat] = {}
+        for profile_slice, weight in self.iter_weighted_slices(
+            profile, window, decay
+        ):
+            if stats is not None:
+                stats.slices_scanned += 1
+            if weight <= 0.0:
+                continue
+            for stat in profile_slice.features(slot, type_id):
+                if stats is not None:
+                    stats.features_merged += 1
+                contribution = stat if weight == 1.0 else stat.scaled(weight)
+                existing = merged.get(stat.fid)
+                if existing is None:
+                    merged[stat.fid] = contribution.copy()
+                else:
+                    existing.merge_counts(
+                        contribution.counts,
+                        reduce_fn,
+                        contribution.last_timestamp_ms,
+                    )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Sort keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def sort_key(spec: SortSpec) -> Callable[[FeatureStat], tuple]:
+        """Key function over merged stats for one resolved sort spec."""
+        from ..query import SortType
+
+        sort_type = spec.sort_type
+        if sort_type is SortType.ATTRIBUTE:
+            index = spec.attribute_index
+            return lambda stat: (
+                stat.count_at(index),
+                stat.last_timestamp_ms,
+                -stat.fid,
+            )
+        if sort_type is SortType.TIMESTAMP:
+            return lambda stat: (stat.last_timestamp_ms, stat.total(), -stat.fid)
+        if sort_type is SortType.FEATURE_ID:
+            return lambda stat: (stat.fid,)
+        if sort_type is SortType.TOTAL:
+            return lambda stat: (stat.total(), stat.last_timestamp_ms, -stat.fid)
+        weight_vector = spec.weight_vector
+        return lambda stat: (
+            sum(stat.count_at(index) * weight for index, weight in weight_vector),
+            stat.last_timestamp_ms,
+            -stat.fid,
+        )
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def finalize(ranked, stats) -> list:
+        from ..query import FeatureResult
+
+        if stats is not None:
+            stats.results_returned = len(ranked)
+        return [
+            FeatureResult(
+                fid=stat.fid,
+                counts=tuple(clamp_int64(c) for c in stat.counts),
+                last_timestamp_ms=stat.last_timestamp_ms,
+            )
+            for stat in ranked
+        ]
+
+    # ------------------------------------------------------------------
+    # Query kernels
+    # ------------------------------------------------------------------
+
+    def run_topk(
+        self, profile, slot, type_id, window, reduce_fn, spec, k, descending, stats
+    ):
+        merged = self.merge_window(
+            profile, slot, type_id, window, None, reduce_fn, stats
+        )
+        select = heapq.nlargest if descending else heapq.nsmallest
+        top = select(k, merged.values(), key=self.sort_key(spec))
+        return self.finalize(top, stats)
+
+    def run_filter(
+        self, profile, slot, type_id, window, reduce_fn, predicate, stats
+    ):
+        merged = self.merge_window(
+            profile, slot, type_id, window, None, reduce_fn, stats
+        )
+        kept = [stat for stat in merged.values() if predicate(stat)]
+        kept.sort(key=lambda stat: (stat.total(), stat.fid), reverse=True)
+        return self.finalize(kept, stats)
+
+    def run_decay(
+        self,
+        profile,
+        slot,
+        type_id,
+        window,
+        reduce_fn,
+        decay_fn,
+        decay_factor,
+        spec,
+        k,
+        stats,
+    ):
+        merged = self.merge_window(
+            profile,
+            slot,
+            type_id,
+            window,
+            (decay_fn, decay_factor),
+            reduce_fn,
+            stats,
+        )
+        key = self.sort_key(spec)
+        if k is not None:
+            ranked = heapq.nlargest(k, merged.values(), key=key)
+        else:
+            ranked = sorted(merged.values(), key=key, reverse=True)
+        return self.finalize(ranked, stats)
+
+    # ------------------------------------------------------------------
+    # Compaction kernel
+    # ------------------------------------------------------------------
+
+    def fold_slice(self, target, source, reduce_fn: AggregateFn) -> None:
+        target.merge_from(source, reduce_fn)

@@ -7,16 +7,19 @@ Query execution follows the two steps described in §II-B:
    ``(slot, type)``, optionally applying a decay weight per slice, then sort
    (by an attribute count, timestamp or feature id) and cut to top K.
 
-The merge is the hot path: it works directly on the per-slice hash maps and
-uses :func:`heapq.nlargest`/``nsmallest`` for the final cut so a top-K over
-thousands of long-tail features does not pay a full sort.
+The merge, decay scaling and top-K cut are the hot path.  They live behind
+the pluggable kernel layer in :mod:`repro.core.kernels`: the ``python``
+reference backend folds per-slice hash maps one stat at a time and cuts
+with ``heapq``; the ``numpy`` backend runs the same three loops column-wise
+over flat int64 arrays.  Both produce byte-identical results (enforced by
+the differential oracle in ``tests/test_kernel_oracle.py``); this module
+owns validation, window resolution and sort-spec building only.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..config import TableConfig
@@ -69,11 +72,32 @@ FilterFn = Callable[[FeatureStat], bool]
 
 
 class QueryEngine:
-    """Stateless query executor bound to one table's configuration."""
+    """Stateless query executor bound to one table's configuration.
 
-    def __init__(self, config: TableConfig, aggregate: AggregateFn) -> None:
+    ``backend`` picks the kernel implementation (a name, a
+    :class:`~repro.core.kernels.KernelBackend` instance, or ``None`` to
+    follow ``config.kernel_backend`` / the ``IPS_KERNEL_BACKEND``
+    environment variable / auto-detection).
+    """
+
+    def __init__(
+        self,
+        config: TableConfig,
+        aggregate: AggregateFn,
+        backend=None,
+    ) -> None:
+        from .kernels import get_backend
+
         self._config = config
         self._aggregate = aggregate
+        if backend is None:
+            backend = getattr(config, "kernel_backend", None)
+        self._backend = get_backend(backend)
+
+    @property
+    def backend(self):
+        """The active kernel backend (shared with the compactor)."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Public query entry points
@@ -104,14 +128,15 @@ class QueryEngine:
         """
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
-        merged = self._merge_window(
-            profile, slot, type_id, time_range, now_ms,
-            decay=None, aggregate=aggregate, stats=stats,
+        spec = self._resolve_sort_spec(sort_type, sort_attribute, sort_weights)
+        window = time_range.resolve(now_ms, profile.newest_timestamp_ms())
+        if window is None:
+            return self._empty(stats)
+        reduce_fn = aggregate if aggregate is not None else self._aggregate
+        return self._backend.run_topk(
+            profile, slot, type_id, window, reduce_fn, spec, k,
+            descending, stats,
         )
-        key = self._sort_key(sort_type, sort_attribute, sort_weights)
-        select = heapq.nlargest if descending else heapq.nsmallest
-        top = select(k, merged.values(), key=key)
-        return self._finalize(top, stats)
 
     def filter(
         self,
@@ -128,12 +153,12 @@ class QueryEngine:
         Results are returned in descending total-count order so callers get a
         deterministic, relevance-flavoured ordering.
         """
-        merged = self._merge_window(
-            profile, slot, type_id, time_range, now_ms, decay=None, stats=stats
+        window = time_range.resolve(now_ms, profile.newest_timestamp_ms())
+        if window is None:
+            return self._empty(stats)
+        return self._backend.run_filter(
+            profile, slot, type_id, window, self._aggregate, predicate, stats
         )
-        kept = [stat for stat in merged.values() if predicate(stat)]
-        kept.sort(key=lambda stat: (stat.total(), stat.fid), reverse=True)
-        return self._finalize(kept, stats)
 
     def decay(
         self,
@@ -154,118 +179,74 @@ class QueryEngine:
         where age is measured from the slice midpoint to the window end, then
         merged as usual.  An optional top-K cut applies afterwards.
         """
-        merged = self._merge_window(
-            profile,
-            slot,
-            type_id,
-            time_range,
-            now_ms,
-            decay=(decay_fn, decay_factor),
-            stats=stats,
-        )
-        key = self._sort_key(
+        if k is not None and k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        spec = self._resolve_sort_spec(
             SortType.ATTRIBUTE if sort_attribute else SortType.TOTAL,
             sort_attribute,
+            None,
         )
-        if k is not None:
-            if k <= 0:
-                raise InvalidQueryError(f"k must be positive, got {k}")
-            ranked = heapq.nlargest(k, merged.values(), key=key)
-        else:
-            ranked = sorted(merged.values(), key=key, reverse=True)
-        return self._finalize(ranked, stats)
-
-    # ------------------------------------------------------------------
-    # Merge core
-    # ------------------------------------------------------------------
-
-    def _merge_window(
-        self,
-        profile: ProfileData,
-        slot: int,
-        type_id: int | None,
-        time_range: TimeRange,
-        now_ms: int,
-        decay: tuple[DecayFn, float] | None,
-        aggregate: AggregateFn | None = None,
-        stats: QueryStats | None = None,
-    ) -> dict[int, FeatureStat]:
-        reduce_fn = aggregate if aggregate is not None else self._aggregate
         window = time_range.resolve(now_ms, profile.newest_timestamp_ms())
         if window is None:
-            return {}
-        merged: dict[int, FeatureStat] = {}
-        for profile_slice in profile.slices_in_window(
-            window.start_ms, window.end_ms
-        ):
-            if stats is not None:
-                stats.slices_scanned += 1
-            weight = 1.0
-            if decay is not None:
-                decay_fn, factor = decay
-                midpoint = (profile_slice.start_ms + profile_slice.end_ms) // 2
-                age_ms = max(0, window.end_ms - midpoint)
-                weight = decay_fn(age_ms, factor)
-                if weight <= 0.0:
-                    continue
-            for stat in profile_slice.features(slot, type_id):
-                if stats is not None:
-                    stats.features_merged += 1
-                contribution = stat if weight == 1.0 else stat.scaled(weight)
-                existing = merged.get(stat.fid)
-                if existing is None:
-                    merged[stat.fid] = contribution.copy()
-                else:
-                    existing.merge_counts(
-                        contribution.counts,
-                        reduce_fn,
-                        contribution.last_timestamp_ms,
-                    )
-        return merged
+            return self._empty(stats)
+        return self._backend.run_decay(
+            profile, slot, type_id, window, self._aggregate,
+            decay_fn, decay_factor, spec, k, stats,
+        )
 
     # ------------------------------------------------------------------
-    # Sorting / materialisation
+    # Sort-spec resolution
     # ------------------------------------------------------------------
 
-    def _sort_key(
+    def _resolve_sort_spec(
         self,
         sort_type: SortType,
         sort_attribute: str | None,
         sort_weights: dict[str, float] | None = None,
-    ) -> Callable[[FeatureStat], tuple]:
+    ):
+        """Validate sort arguments and resolve attribute names to indices."""
+        from .kernels import SortSpec
+
         if sort_type is SortType.ATTRIBUTE:
             if sort_attribute is None:
                 raise InvalidQueryError(
                     "sort_type=ATTRIBUTE requires a sort_attribute"
                 )
-            index = self._config.attribute_index(sort_attribute)
-            return lambda stat: (stat.count_at(index), stat.last_timestamp_ms, -stat.fid)
-        if sort_type is SortType.TIMESTAMP:
-            return lambda stat: (stat.last_timestamp_ms, stat.total(), -stat.fid)
-        if sort_type is SortType.FEATURE_ID:
-            return lambda stat: (stat.fid,)
-        if sort_type is SortType.TOTAL:
-            return lambda stat: (stat.total(), stat.last_timestamp_ms, -stat.fid)
+            return SortSpec(
+                sort_type=sort_type,
+                attribute_index=self._config.attribute_index(sort_attribute),
+            )
+        if sort_type in (SortType.TIMESTAMP, SortType.FEATURE_ID, SortType.TOTAL):
+            return SortSpec(sort_type=sort_type)
         if sort_type is SortType.WEIGHTED:
             if not sort_weights:
                 raise InvalidQueryError(
                     "sort_type=WEIGHTED requires non-empty sort_weights"
                 )
-            weight_vector = [
-                (self._config.attribute_index(name), weight)
-                for name, weight in sort_weights.items()
-            ]
-            return lambda stat: (
-                sum(stat.count_at(index) * weight for index, weight in weight_vector),
-                stat.last_timestamp_ms,
-                -stat.fid,
+            return SortSpec(
+                sort_type=sort_type,
+                weight_vector=tuple(
+                    (self._config.attribute_index(name), weight)
+                    for name, weight in sort_weights.items()
+                ),
             )
         raise InvalidQueryError(f"unsupported sort type: {sort_type!r}")
+
+    # ------------------------------------------------------------------
+    # Materialisation helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _empty(stats: QueryStats | None) -> list[FeatureResult]:
+        if stats is not None:
+            stats.results_returned = 0
+        return []
 
     @staticmethod
     def _finalize(
         ranked: Sequence[FeatureStat], stats: QueryStats | None
     ) -> list[FeatureResult]:
+        """Materialise merged stats into results (kept for compatibility)."""
         if stats is not None:
             stats.results_returned = len(ranked)
         return [

@@ -17,7 +17,14 @@ from .instance_set import InstanceSet
 class Slice:
     """Feature behaviour within ``[start_ms, end_ms)``."""
 
-    __slots__ = ("start_ms", "end_ms", "_slots", "_memory_dirty", "_memory_cache")
+    __slots__ = (
+        "start_ms",
+        "end_ms",
+        "_slots",
+        "_memory_dirty",
+        "_memory_cache",
+        "kernel_cache",
+    )
 
     def __init__(self, start_ms: int, end_ms: int) -> None:
         if end_ms <= start_ms:
@@ -29,6 +36,11 @@ class Slice:
         self._slots: dict[int, InstanceSet] = {}
         self._memory_dirty = True
         self._memory_cache = 0
+        #: Opaque per-slice scratch for kernel backends (columnar
+        #: projections of the feature maps).  Derived data only — cleared
+        #: on every mutation, never serialised, not counted in
+        #: ``memory_bytes``.
+        self.kernel_cache: dict = {}
 
     @property
     def duration_ms(self) -> int:
@@ -59,16 +71,35 @@ class Slice:
         instance_set = self._slots.setdefault(slot, InstanceSet())
         stat = instance_set.add(type_id, fid, counts, timestamp_ms, aggregate)
         self._memory_dirty = True
+        if self.kernel_cache:
+            self.kernel_cache.clear()
         return stat
 
     def instance_set(self, slot: int) -> InstanceSet | None:
         return self._slots.get(slot)
+
+    def ensure_slot(self, slot: int) -> InstanceSet:
+        """Get (or create) the instance set for a slot.
+
+        Used by kernel backends that rebuild per-type feature maps during
+        columnar compaction folds; callers must ``mark_mutated()`` after
+        editing the returned set.
+        """
+        return self._slots.setdefault(slot, InstanceSet())
 
     def features(self, slot: int, type_id: int | None) -> Iterator[FeatureStat]:
         """Yield stats under (slot, type); empty if the slot is absent."""
         instance_set = self._slots.get(slot)
         if instance_set is not None:
             yield from instance_set.features_for_type(type_id)
+
+    def feature_maps(self, slot: int, type_id: int | None):
+        """Bulk fid -> stat maps under (slot, type); same order as
+        :meth:`features`.  Read-only accessor for kernel backends."""
+        instance_set = self._slots.get(slot)
+        if instance_set is None:
+            return []
+        return instance_set.feature_maps(type_id)
 
     def merge_from(self, other: "Slice", aggregate) -> None:
         """Absorb another slice's data and widen the time range to cover it."""
@@ -78,10 +109,15 @@ class Slice:
         self.start_ms = min(self.start_ms, other.start_ms)
         self.end_ms = max(self.end_ms, other.end_ms)
         self._memory_dirty = True
+        if self.kernel_cache:
+            self.kernel_cache.clear()
 
     def mark_mutated(self) -> None:
-        """Invalidate cached memory accounting after in-place edits."""
+        """Invalidate cached memory accounting and kernel projections
+        after in-place edits."""
         self._memory_dirty = True
+        if self.kernel_cache:
+            self.kernel_cache.clear()
 
     @property
     def slot_ids(self) -> tuple[int, ...]:
@@ -96,6 +132,8 @@ class Slice:
             del self._slots[slot]
         if empty:
             self._memory_dirty = True
+            if self.kernel_cache:
+                self.kernel_cache.clear()
 
     def feature_count(self) -> int:
         return sum(inst.feature_count() for inst in self._slots.values())

@@ -44,6 +44,10 @@ class CalibrationResult:
     decompress_ms: float
     profile_bytes: int
     serialized_bytes: int
+    #: Kernel backend the query cost was measured under ("python" or
+    #: "numpy").  Appended with a default so older positional callers
+    #: keep working.
+    kernel_backend: str = "python"
 
     @property
     def python_cpp_factor(self) -> float:
@@ -94,11 +98,21 @@ def _time_ms(fn, repeats: int) -> float:
     return (time.perf_counter() - start) * 1000.0 / repeats
 
 
-def calibrate_service_times(repeats: int = 200, seed: int = 0) -> CalibrationResult:
-    """Measure the real engine and codec costs on the representative profile."""
+def calibrate_service_times(
+    repeats: int = 200, seed: int = 0, kernel_backend: str | None = None
+) -> CalibrationResult:
+    """Measure the real engine and codec costs on the representative profile.
+
+    ``kernel_backend`` pins the query-kernel implementation ("python" or
+    "numpy"); the default ``None`` keeps auto-detection, so the derived
+    python/C++ factor reflects whatever backend production queries would
+    actually use on this install.
+    """
     clock = SimulatedClock(start_ms=365 * MILLIS_PER_DAY)
     config = TableConfig(
-        name="calibration", attributes=("click", "like", "share")
+        name="calibration",
+        attributes=("click", "like", "share"),
+        kernel_backend=kernel_backend,
     )
     engine = ProfileEngine(config, clock)
     now_ms = clock.now_ms()
@@ -135,4 +149,5 @@ def calibrate_service_times(repeats: int = 200, seed: int = 0) -> CalibrationRes
         decompress_ms=decompress_ms,
         profile_bytes=profile.memory_bytes(),
         serialized_bytes=len(compressed),
+        kernel_backend=engine.kernel_backend.name,
     )

@@ -19,10 +19,18 @@ from ..sim.calibrate import calibrate_service_times
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=200)
+    parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        help="pin the query kernel backend (python/numpy; default: auto)",
+    )
     args = parser.parse_args(argv)
 
-    result = calibrate_service_times(repeats=args.repeats)
+    result = calibrate_service_times(
+        repeats=args.repeats, kernel_backend=args.kernel_backend
+    )
     rows = [
+        ("kernel backend", result.kernel_backend),
         ("top-K query (30d window)", f"{result.query_topk_ms:.3f} ms"),
         ("single write", f"{result.write_ms * 1000:.1f} µs"),
         ("serialize profile", f"{result.serialize_ms:.3f} ms"),

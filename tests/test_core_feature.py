@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.aggregate import aggregate_last, aggregate_max, aggregate_sum
+from repro.core.aggregate import (
+    aggregate_last,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+)
 from repro.core.feature import (
     INT64_MAX,
     INT64_MIN,
@@ -71,6 +76,49 @@ class TestFeatureStat:
         assert stat.counts == [3, 7, 9]
 
     def test_merge_shorter_vector_keeps_tail(self):
+        stat = FeatureStat(1, [1, 2, 3])
+        stat.merge_counts([1], aggregate_sum, 0)
+        assert stat.counts == [2, 2, 3]
+
+    # ------------------------------------------------------------------
+    # Schema-length mismatches: vectors are zero-padded to the longer
+    # length and aggregated positionwise, matching count_at's
+    # missing-reads-as-zero rule.  Regression tests for the latent edge
+    # where the extended tail used to skip the aggregate fn entirely
+    # (acting like SUM-with-zero even under MIN/LAST).
+    # ------------------------------------------------------------------
+
+    def test_merge_min_longer_other_aggregates_tail_with_zero(self):
+        stat = FeatureStat(1, [5])
+        stat.merge_counts([5, 3], aggregate_min, 0)
+        assert stat.counts == [5, 0]  # min(0, 3) — not a bare copy of 3
+
+    def test_merge_min_longer_self_aggregates_tail_with_zero(self):
+        stat = FeatureStat(1, [5, 3])
+        stat.merge_counts([5], aggregate_min, 0)
+        assert stat.counts == [5, 0]  # min(3, 0) — symmetric with the above
+
+    def test_merge_mismatch_is_commutative_under_min(self):
+        a = FeatureStat(1, [5])
+        a.merge_counts([5, 3], aggregate_min, 0)
+        b = FeatureStat(1, [5, 3])
+        b.merge_counts([5], aggregate_min, 0)
+        assert a.counts == b.counts
+
+    def test_merge_max_negative_tail_reads_absent_as_zero(self):
+        stat = FeatureStat(1, [1])
+        stat.merge_counts([1, -5], aggregate_max, 0)
+        assert stat.counts == [1, 0]  # max(0, -5)
+
+    def test_merge_last_shorter_other_zeroes_tail(self):
+        stat = FeatureStat(1, [5, 3])
+        stat.merge_counts([7], aggregate_last, 0)
+        assert stat.counts == [7, 0]  # the new observation reports 0 there
+
+    def test_merge_sum_tail_behaviour_unchanged(self):
+        stat = FeatureStat(1, [1])
+        stat.merge_counts([2, 7], aggregate_sum, 0)
+        assert stat.counts == [3, 7]
         stat = FeatureStat(1, [1, 2, 3])
         stat.merge_counts([1], aggregate_sum, 0)
         assert stat.counts == [2, 2, 3]

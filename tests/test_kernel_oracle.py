@@ -1,0 +1,468 @@
+"""Differential oracle: the numpy kernels against the python reference.
+
+The columnar backend's contract is **byte-identical** results — not
+"close", not "same set, different order".  Every test here runs the same
+query against both backends on seeded corpora (zipf-skewed fids,
+schema-length mismatches, negative counts, int64-overflow sums) and
+asserts the full ``FeatureResult`` lists *and* the ``QueryStats`` agree
+exactly.  A teeth test proves the harness actually bites by checking it
+rejects a deliberately broken kernel.
+
+When the numpy backend is unavailable (not installed, or forced off via
+``IPS_KERNEL_DISABLE_NUMPY=1`` — how ``make kernel-oracle`` exercises the
+numpy-absent configuration), the differential tests skip and the
+backend-selection tests prove the registry degrades correctly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.config import TableConfig, TimeDimensionConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.compaction import Compactor
+from repro.core.decay import exponential_decay, linear_decay, step_decay
+from repro.core.feature import INT64_MAX
+from repro.core.profile import ProfileData
+from repro.core.query import QueryEngine, QueryStats, SortType
+from repro.core.kernels import (
+    available_backends,
+    default_backend_name,
+    get_backend,
+)
+from repro.core.timerange import TimeRange
+from repro.errors import ConfigError
+
+NOW = 400 * MILLIS_PER_DAY
+SPAN = 70 * MILLIS_PER_DAY
+ATTRIBUTES = ("like", "comment", "share")
+AGGREGATE_NAMES = ("sum", "max", "min", "last")
+
+numpy_available = "numpy" in available_backends()
+requires_numpy = pytest.mark.skipif(
+    not numpy_available, reason="numpy kernel backend unavailable"
+)
+
+
+@pytest.fixture
+def config():
+    return TableConfig(name="kernel_oracle", attributes=ATTRIBUTES)
+
+
+# ----------------------------------------------------------------------
+# Seeded corpora
+# ----------------------------------------------------------------------
+
+
+def _fill(profile, rng, fids, counts_fn, num_writes, aggregate):
+    for _ in range(num_writes):
+        profile.add(
+            NOW - rng.randrange(SPAN),
+            rng.choice((1, 2)),
+            rng.choice((1, 2, 3)),
+            fids(),
+            counts_fn(),
+            aggregate,
+        )
+    return profile
+
+
+def zipf_corpus(rng, aggregate, zipf=None):
+    """Zipf-skewed fids: many collisions on hot features, a long tail."""
+    profile = ProfileData(1, write_granularity_ms=6 * MILLIS_PER_HOUR)
+    draw = zipf.sample if zipf is not None else lambda: rng.randrange(1, 40)
+    return _fill(
+        profile, rng, draw,
+        lambda: [rng.randrange(0, 9) for _ in ATTRIBUTES],
+        rng.randrange(40, 160), aggregate,
+    )
+
+
+def ragged_corpus(rng, aggregate, zipf=None):
+    """Schema-length mismatches: count vectors shorter than the schema."""
+    profile = ProfileData(1, write_granularity_ms=6 * MILLIS_PER_HOUR)
+    return _fill(
+        profile, rng, lambda: rng.randrange(1, 25),
+        lambda: [rng.randrange(0, 9) for _ in range(rng.randrange(0, 4))],
+        rng.randrange(40, 120), aggregate,
+    )
+
+
+def negative_corpus(rng, aggregate, zipf=None):
+    """Negative counts (corrections / retractions) mixed with positives."""
+    profile = ProfileData(1, write_granularity_ms=6 * MILLIS_PER_HOUR)
+    return _fill(
+        profile, rng, lambda: rng.randrange(1, 25),
+        lambda: [rng.randrange(-20, 20) for _ in ATTRIBUTES],
+        rng.randrange(40, 120), aggregate,
+    )
+
+
+def overflow_corpus(rng, aggregate, zipf=None):
+    """Counts near INT64_MAX: stepwise clamping differs from a plain sum,
+    so the columnar guards must trip and delegate."""
+    profile = ProfileData(1, write_granularity_ms=6 * MILLIS_PER_HOUR)
+    huge = (INT64_MAX // 2, INT64_MAX - 1, INT64_MAX, 7)
+    return _fill(
+        profile, rng, lambda: rng.randrange(1, 6),
+        lambda: [rng.choice(huge) for _ in ATTRIBUTES],
+        rng.randrange(10, 40), aggregate,
+    )
+
+
+CORPORA = [zipf_corpus, ragged_corpus, negative_corpus, overflow_corpus]
+CORPUS_IDS = ["zipf", "ragged", "negative", "overflow"]
+
+
+def random_time_range(rng) -> TimeRange:
+    kind = rng.choice(("current", "relative", "absolute"))
+    if kind == "current":
+        return TimeRange.current(rng.randrange(1, SPAN))
+    if kind == "relative":
+        return TimeRange.relative(rng.randrange(1, SPAN))
+    start = NOW - rng.randrange(1, SPAN)
+    return TimeRange.absolute(start, start + rng.randrange(1, SPAN))
+
+
+# ----------------------------------------------------------------------
+# The comparator (shared with the teeth tests)
+# ----------------------------------------------------------------------
+
+
+def assert_backends_agree(config, aggregate, run, candidate="numpy"):
+    """Run one query on the reference and ``candidate``; demand identity.
+
+    ``run(engine, stats)`` executes the query.  Both the result lists and
+    the ``QueryStats`` must match exactly; returns the reference result.
+    """
+    reference_stats, candidate_stats = QueryStats(), QueryStats()
+    reference = run(
+        QueryEngine(config, aggregate, backend="python"), reference_stats
+    )
+    got = run(QueryEngine(config, aggregate, backend=candidate), candidate_stats)
+    assert got == reference
+    assert candidate_stats == reference_stats
+    return reference
+
+
+SORT_CASES = [
+    (SortType.TOTAL, {}),
+    (SortType.TIMESTAMP, {}),
+    (SortType.FEATURE_ID, {}),
+    (SortType.ATTRIBUTE, {"sort_attribute": "comment"}),
+    (SortType.WEIGHTED, {"sort_weights": {"share": 3.0, "like": 1.0}}),
+]
+
+
+# ----------------------------------------------------------------------
+# Differential suites: every query shape x sort type x aggregate
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestTopKDifferential:
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    @pytest.mark.parametrize(
+        "sort_type,extra", SORT_CASES, ids=[case[0].value for case in SORT_CASES]
+    )
+    def test_topk_identical(
+        self, config, rng, make_zipf, aggregate_name, sort_type, extra
+    ):
+        aggregate = get_aggregate(aggregate_name)
+        zipf = make_zipf(200, seed=rng.randrange(2**32))
+        for corpus in CORPORA:
+            for _ in range(3):
+                profile = corpus(rng, aggregate, zipf)
+                time_range = random_time_range(rng)
+                slot = rng.choice((1, 2))
+                type_id = rng.choice((None, 1, 2, 3))
+                k = rng.randrange(1, 50)
+                descending = rng.random() < 0.8
+
+                def run(engine, stats):
+                    return engine.top_k(
+                        profile, slot, type_id, time_range, sort_type, k,
+                        now_ms=NOW, descending=descending, stats=stats,
+                        **extra,
+                    )
+
+                assert_backends_agree(config, aggregate, run)
+
+
+@requires_numpy
+class TestFilterDifferential:
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    @pytest.mark.parametrize(
+        "corpus", CORPORA, ids=CORPUS_IDS
+    )
+    def test_filter_identical(self, config, rng, aggregate_name, corpus):
+        aggregate = get_aggregate(aggregate_name)
+        for _ in range(4):
+            profile = corpus(rng, aggregate)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            threshold = rng.randrange(-10, 25)
+
+            def run(engine, stats):
+                return engine.filter(
+                    profile, slot, type_id, time_range,
+                    lambda stat: stat.total() > threshold,
+                    now_ms=NOW, stats=stats,
+                )
+
+            assert_backends_agree(config, aggregate, run)
+
+
+@requires_numpy
+class TestDecayDifferential:
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    @pytest.mark.parametrize(
+        "decay_fn,factor",
+        [
+            (exponential_decay, 7 * MILLIS_PER_DAY),
+            (linear_decay, 30 * MILLIS_PER_DAY),
+            (step_decay, 10 * MILLIS_PER_DAY),
+        ],
+        ids=["exponential", "linear", "step"],
+    )
+    def test_decay_identical(
+        self, config, rng, aggregate_name, decay_fn, factor
+    ):
+        aggregate = get_aggregate(aggregate_name)
+        for corpus in CORPORA:
+            for _ in range(2):
+                profile = corpus(rng, aggregate)
+                time_range = random_time_range(rng)
+                slot = rng.choice((1, 2))
+                type_id = rng.choice((None, 1, 2, 3))
+                k = rng.choice((None, rng.randrange(1, 30)))
+                sort_attribute = rng.choice((None, "share"))
+
+                def run(engine, stats):
+                    return engine.decay(
+                        profile, slot, type_id, time_range, decay_fn,
+                        factor, now_ms=NOW, k=k,
+                        sort_attribute=sort_attribute, stats=stats,
+                    )
+
+                assert_backends_agree(config, aggregate, run)
+
+
+@requires_numpy
+class TestUdafDelegation:
+    def test_udaf_identical(self, config, rng):
+        """An unrecognised reduce fn must route through the reference on
+        both backends — and still agree exactly."""
+
+        def clipped_sum(left: int, right: int) -> int:
+            return min(left + right, 100)
+
+        for _ in range(5):
+            profile = zipf_corpus(rng, clipped_sum)
+            time_range = random_time_range(rng)
+            type_id = rng.choice((None, 1, 2))
+
+            def run(engine, stats):
+                return engine.top_k(
+                    profile, 1, type_id, time_range,
+                    SortType.TOTAL, 10, now_ms=NOW, stats=stats,
+                )
+
+            assert_backends_agree(config, clipped_sum, run)
+
+
+@requires_numpy
+class TestCacheInvalidation:
+    def test_identical_across_interleaved_writes(self, config, rng):
+        """Warm columnar caches must be dropped on every mutation path:
+        plain writes, compaction folds and direct slice merges."""
+        aggregate = get_aggregate("sum")
+        profile = zipf_corpus(rng, aggregate)
+        time_range = TimeRange.current(SPAN)
+
+        def run(engine, stats):
+            return engine.top_k(
+                profile, 1, None, time_range, SortType.TOTAL, 25,
+                now_ms=NOW, stats=stats,
+            )
+
+        assert_backends_agree(config, aggregate, run)  # caches now warm
+        for _ in range(30):  # hit existing slices, not just the head
+            profile.add(
+                NOW - rng.randrange(SPAN), 1, rng.choice((1, 2)),
+                rng.randrange(1, 40),
+                [rng.randrange(0, 9) for _ in ATTRIBUTES], aggregate,
+            )
+        assert_backends_agree(config, aggregate, run)
+        Compactor(
+            TimeDimensionConfig.production_default(), aggregate,
+            backend="python",
+        ).compact(profile, NOW)
+        assert_backends_agree(config, aggregate, run)
+
+
+# ----------------------------------------------------------------------
+# Compaction folds: whole-profile equivalence
+# ----------------------------------------------------------------------
+
+
+def profile_snapshot(profile):
+    """Full structural fingerprint of a profile's slices and stats."""
+    out = []
+    for profile_slice in profile.slices:
+        slots = {}
+        for slot, instance_set in profile_slice.slots_items():
+            slots[slot] = {
+                type_id: sorted(
+                    (stat.fid, tuple(stat.counts), stat.last_timestamp_ms,
+                     stat.fid_index)
+                    for stat in instance_set.features_for_type(type_id)
+                )
+                for type_id in instance_set.type_ids
+            }
+        out.append((profile_slice.start_ms, profile_slice.end_ms, slots))
+    return out
+
+
+@requires_numpy
+class TestCompactionDifferential:
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    @pytest.mark.parametrize(
+        "corpus", CORPORA, ids=CORPUS_IDS
+    )
+    def test_fold_identical(self, rng, aggregate_name, corpus):
+        aggregate = get_aggregate(aggregate_name)
+        seed = rng.randrange(2**32)
+        import random as _random
+
+        reference_profile = corpus(_random.Random(seed), aggregate)
+        columnar_profile = corpus(_random.Random(seed), aggregate)
+        assert profile_snapshot(reference_profile) == profile_snapshot(
+            columnar_profile
+        )
+
+        time_dimension = TimeDimensionConfig.production_default()
+        columnar_backend = type(get_backend("numpy"))()
+        columnar_backend.fold_min_features = 0  # force the columnar fold
+        reference_stats = Compactor(
+            time_dimension, aggregate, backend="python"
+        ).compact(reference_profile, NOW)
+        columnar_stats = Compactor(
+            time_dimension, aggregate, backend=columnar_backend
+        ).compact(columnar_profile, NOW)
+
+        assert profile_snapshot(columnar_profile) == profile_snapshot(
+            reference_profile
+        )
+        assert columnar_stats == reference_stats
+        assert (
+            columnar_profile.memory_bytes() == reference_profile.memory_bytes()
+        )
+
+
+# ----------------------------------------------------------------------
+# Teeth: the oracle must catch a broken kernel
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestOracleTeeth:
+    def _profile(self, rng):
+        return zipf_corpus(rng, get_aggregate("sum"))
+
+    def _run(self, profile):
+        def run(engine, stats):
+            return engine.top_k(
+                profile, 1, None, TimeRange.current(SPAN), SortType.TOTAL,
+                20, now_ms=NOW, stats=stats,
+            )
+
+        return run
+
+    def test_catches_wrong_counts(self, config, rng):
+        from repro.core.kernels.numpy_backend import NumpyBackend
+
+        class OffByOneKernel(NumpyBackend):
+            name = "broken-counts"
+
+            def _reduce(self, gathered, agg, need_first_row):
+                merged = super()._reduce(gathered, agg, need_first_row)
+                if merged is not None and merged.counts.size:
+                    merged.counts = merged.counts + 1  # the planted bug
+                return merged
+
+        profile = self._profile(rng)
+        with pytest.raises(AssertionError):
+            assert_backends_agree(
+                config, get_aggregate("sum"), self._run(profile),
+                candidate=OffByOneKernel(),
+            )
+
+    def test_catches_wrong_stats(self, config, rng):
+        from repro.core.kernels.numpy_backend import NumpyBackend
+
+        class UndercountingKernel(NumpyBackend):
+            name = "broken-stats"
+
+            @staticmethod
+            def _commit_stats(stats, gathered, results):
+                if stats is not None:
+                    stats.slices_scanned += gathered.slices_scanned
+                    stats.features_merged += max(0, gathered.n_rows - 1)
+                    stats.results_returned = len(results)
+
+        profile = self._profile(rng)
+        with pytest.raises(AssertionError):
+            assert_backends_agree(
+                config, get_aggregate("sum"), self._run(profile),
+                candidate=UndercountingKernel(),
+            )
+
+
+# ----------------------------------------------------------------------
+# Backend selection (runs with or without numpy)
+# ----------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_python_always_available(self):
+        assert "python" in available_backends()
+        assert get_backend("python").name == "python"
+
+    def test_auto_resolves_to_available(self):
+        assert get_backend("auto").name in available_backends()
+        assert get_backend(None).name == default_backend_name()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            get_backend("cuda")
+
+    def test_instance_passthrough(self):
+        backend = get_backend("python")
+        assert get_backend(backend) is backend
+
+    def test_config_field_selects_backend(self):
+        config = TableConfig(
+            name="t", attributes=ATTRIBUTES, kernel_backend="python"
+        )
+        engine = QueryEngine(config, get_aggregate("sum"))
+        assert engine.backend.name == "python"
+
+    def test_disable_env_forces_python(self, monkeypatch):
+        monkeypatch.setenv("IPS_KERNEL_DISABLE_NUMPY", "1")
+        assert available_backends() == ("python",)
+        assert get_backend(None).name == "python"
+        with pytest.raises(ConfigError):
+            get_backend("numpy")
+
+    @requires_numpy
+    def test_env_override_picks_python(self, monkeypatch):
+        monkeypatch.setenv("IPS_KERNEL_BACKEND", "python")
+        assert default_backend_name() == "python"
+        assert get_backend(None).name == "python"
+
+    @requires_numpy
+    def test_numpy_selectable_when_available(self):
+        assert get_backend("numpy").name == "numpy"

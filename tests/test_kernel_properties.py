@@ -1,0 +1,188 @@
+"""Property tests for the kernel-layer arithmetic contracts.
+
+Hypothesis-driven checks of the algebra the columnar backend relies on:
+
+* ``FeatureStat.merge_counts`` is commutative, and associative away from
+  the int64 saturation boundary, for SUM; fully associative/commutative
+  for MAX (order-free, which is why the numpy backend may group with an
+  unstable sort);
+* ``clamp_int64`` saturates exactly at INT64_MAX / INT64_MIN;
+* ``FeatureStat.scaled`` truncates toward zero (C++ ``int64(c * w)``
+  semantics) — and the numpy decay kernel reproduces it bit-for-bit,
+  including for negative counts.
+
+The suite runs under the "deterministic" hypothesis profile registered in
+``conftest.py`` so tier-1 runs draw identical examples every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.clock import MILLIS_PER_DAY  # noqa: E402
+from repro.config import TableConfig  # noqa: E402
+from repro.core.aggregate import (  # noqa: E402
+    aggregate_max,
+    aggregate_sum,
+    get_aggregate,
+)
+from repro.core.feature import (  # noqa: E402
+    INT64_MAX,
+    INT64_MIN,
+    FeatureStat,
+    clamp_int64,
+)
+from repro.core.kernels import available_backends  # noqa: E402
+from repro.core.profile import ProfileData  # noqa: E402
+from repro.core.query import QueryEngine, QueryStats  # noqa: E402
+from repro.core.timerange import TimeRange  # noqa: E402
+
+NOW = 400 * MILLIS_PER_DAY
+ATTRIBUTES = ("like", "comment", "share")
+
+requires_numpy = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy kernel backend unavailable",
+)
+
+#: Anywhere in int64 (the stored domain — writes are clamped on entry).
+int64s = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+#: Far from saturation: sums of three never leave int64.
+small_ints = st.integers(min_value=-(2**60), max_value=2**60)
+
+
+def count_lists(values, max_size=4):
+    return st.lists(values, min_size=0, max_size=max_size)
+
+
+def merged(counts_a, ts_a, counts_b, ts_b, aggregate):
+    stat = FeatureStat(1, counts_a, ts_a)
+    stat.merge_counts(counts_b, aggregate, ts_b)
+    return (stat.counts, stat.last_timestamp_ms)
+
+
+class TestMergeAlgebra:
+    @given(a=count_lists(int64s), b=count_lists(int64s))
+    def test_max_merge_commutative(self, a, b):
+        assert merged(a, 10, b, 20, aggregate_max) == merged(
+            b, 20, a, 10, aggregate_max
+        )
+
+    @given(a=count_lists(int64s), b=count_lists(int64s), c=count_lists(int64s))
+    def test_max_merge_associative(self, a, b, c):
+        left = FeatureStat(1, a, 1)
+        left.merge_counts(b, aggregate_max, 2)
+        left.merge_counts(c, aggregate_max, 3)
+        bc = FeatureStat(1, b, 2)
+        bc.merge_counts(c, aggregate_max, 3)
+        right = FeatureStat(1, a, 1)
+        right.merge_counts(bc.counts, aggregate_max, bc.last_timestamp_ms)
+        assert left.counts == right.counts
+        assert left.last_timestamp_ms == right.last_timestamp_ms
+
+    @given(a=count_lists(small_ints), b=count_lists(small_ints))
+    def test_sum_merge_commutative(self, a, b):
+        assert merged(a, 10, b, 20, aggregate_sum) == merged(
+            b, 20, a, 10, aggregate_sum
+        )
+
+    @given(
+        a=count_lists(small_ints),
+        b=count_lists(small_ints),
+        c=count_lists(small_ints),
+    )
+    def test_sum_merge_associative_away_from_saturation(self, a, b, c):
+        left = FeatureStat(1, a, 1)
+        left.merge_counts(b, aggregate_sum, 2)
+        left.merge_counts(c, aggregate_sum, 3)
+        bc = FeatureStat(1, b, 2)
+        bc.merge_counts(c, aggregate_sum, 3)
+        right = FeatureStat(1, a, 1)
+        right.merge_counts(bc.counts, aggregate_sum, bc.last_timestamp_ms)
+        assert left.counts == right.counts
+
+    def test_sum_merge_not_associative_at_saturation(self):
+        """The boundary case that justifies the columnar overflow guard:
+        stepwise clamping makes saturated sums order-dependent."""
+        left = FeatureStat(1, [INT64_MAX], 1)
+        left.merge_counts([1], aggregate_sum, 2)   # clamps at MAX
+        left.merge_counts([-1], aggregate_sum, 3)  # then steps back down
+        right = FeatureStat(1, [INT64_MAX], 1)
+        right.merge_counts([0], aggregate_sum, 3)  # 1 + (-1) pre-combined
+        assert left.counts == [INT64_MAX - 1]
+        assert right.counts == [INT64_MAX]
+
+
+class TestClampSaturation:
+    @given(value=st.integers(min_value=-(2**80), max_value=2**80))
+    def test_clamp_matches_spec(self, value):
+        assert clamp_int64(value) == min(max(value, INT64_MIN), INT64_MAX)
+
+    @given(bump=st.integers(min_value=0, max_value=2**70))
+    def test_saturates_at_int64_max(self, bump):
+        stat = FeatureStat(1, [INT64_MAX], 1)
+        stat.merge_counts([bump], aggregate_sum, 2)
+        assert stat.counts == [INT64_MAX]
+
+    @given(bump=st.integers(min_value=0, max_value=2**70))
+    def test_saturates_at_int64_min(self, bump):
+        stat = FeatureStat(1, [INT64_MIN], 1)
+        stat.merge_counts([-bump], aggregate_sum, 2)
+        assert stat.counts == [INT64_MIN]
+
+
+class TestScaledTruncation:
+    @given(
+        counts=count_lists(st.integers(-(2**40), 2**40)),
+        weight=st.floats(min_value=0.001, max_value=0.999),
+    )
+    def test_scaled_truncates_toward_zero(self, counts, weight):
+        stat = FeatureStat(1, counts, 5)
+        scaled = stat.scaled(weight)
+        assert scaled.counts == [int(count * weight) for count in counts]
+        # Truncation toward zero, not floor: negatives round up.
+        for count, value in zip(counts, scaled.counts):
+            assert abs(value) <= abs(count * weight)
+
+    @requires_numpy
+    @given(
+        counts=st.lists(
+            st.integers(-(2**40), 2**40),
+            min_size=1,
+            max_size=len(ATTRIBUTES),
+        ),
+        weight=st.floats(min_value=0.001, max_value=0.999),
+    )
+    def test_decay_truncation_parity_between_backends(self, counts, weight):
+        """One-slice decay with a constant weight: the numpy batch scaler
+        must reproduce ``scaled()`` exactly, negatives included."""
+        aggregate = get_aggregate("sum")
+        profile = ProfileData(1, write_granularity_ms=MILLIS_PER_DAY)
+        profile.add(NOW - MILLIS_PER_DAY, 1, 1, 42, counts, aggregate)
+        config = TableConfig(name="parity", attributes=ATTRIBUTES)
+        time_range = TimeRange.current(10 * MILLIS_PER_DAY)
+
+        def constant_weight(age_ms: int, factor: float) -> float:
+            return weight
+
+        outputs = []
+        for backend in ("python", "numpy"):
+            stats = QueryStats()
+            engine = QueryEngine(config, aggregate, backend=backend)
+            outputs.append(
+                (
+                    engine.decay(
+                        profile, 1, 1, time_range, constant_weight, 1.0,
+                        now_ms=NOW, stats=stats,
+                    ),
+                    stats,
+                )
+            )
+        assert outputs[0] == outputs[1]
+        results = outputs[0][0]
+        assert [tuple(int(c * weight) for c in counts)] == [
+            result.counts for result in results
+        ]

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Lint: only ``repro.core.kernels`` may import numpy.
+
+The columnar backend is an *optional* accelerator: every other module
+must run (and every test must pass) on a numpy-free install, with the
+``python`` reference backend picked automatically.  A stray top-level
+``import numpy`` anywhere else would break the numpy-absent
+configuration and smuggle float semantics into code that is specified
+over Python ints.  This script walks ``src/repro``, ``benchmarks`` and
+``tools`` and fails the build on any numpy import (plain, ``from``,
+``__import__`` or ``importlib.import_module`` with a literal name)
+outside ``src/repro/core/kernels``.
+
+Run from the repo root (``make lint`` does):
+``python tools/check_numpy_isolation.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIR = ROOT / "src" / "repro"
+SCAN_DIRS = (SOURCE_DIR, ROOT / "benchmarks", ROOT / "tools")
+#: The one package allowed to touch numpy.
+ALLOWED_DIR = SOURCE_DIR / "core" / "kernels"
+
+
+def _is_numpy(module: str | None) -> bool:
+    return module is not None and (
+        module == "numpy" or module.startswith("numpy.")
+    )
+
+
+def _dynamic_import_target(node: ast.Call) -> str | None:
+    """The literal module name of ``__import__(...)`` /
+    ``importlib.import_module(...)`` calls, if statically visible."""
+    func = node.func
+    is_dunder = isinstance(func, ast.Name) and func.id == "__import__"
+    is_import_module = (
+        isinstance(func, ast.Attribute)
+        and func.attr == "import_module"
+    )
+    if not (is_dunder or is_import_module):
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _offenders_in(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(_is_numpy(alias.name) for alias in node.names):
+                lines.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if _is_numpy(node.module):
+                lines.append(node.lineno)
+        elif isinstance(node, ast.Call):
+            if _is_numpy(_dynamic_import_target(node)):
+                lines.append(node.lineno)
+    return lines
+
+
+def main() -> int:
+    failures = []
+    for scan_dir in SCAN_DIRS:
+        for path in sorted(scan_dir.rglob("*.py")):
+            if path.is_relative_to(ALLOWED_DIR):
+                continue
+            for lineno in _offenders_in(path):
+                failures.append(f"{path.relative_to(ROOT)}:{lineno}")
+    if failures:
+        print("numpy imported outside repro.core.kernels:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "route columnar work through repro.core.kernels.get_backend() "
+            "so numpy stays an optional accelerator",
+            file=sys.stderr,
+        )
+        return 1
+    scanned = ", ".join(
+        str(scan_dir.relative_to(ROOT)) for scan_dir in SCAN_DIRS
+    )
+    print(f"numpy isolation OK ({scanned})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
