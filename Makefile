@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint kernel-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery chaos crashcheck dash
+.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck dash
 
 ## check: lint + tier-1 tests + kernel differential oracle (both backends)
-## + core coverage floor + benchmark smoke runs + chaos determinism smoke
-## + seeded crash-point recovery schedules.
-check: lint test kernel-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery chaos crashcheck
+## + result-cache invalidation oracle + coverage floors (core + server)
+## + benchmark smoke runs + chaos determinism smoke + seeded crash-point
+## recovery schedules.
+check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,8 +27,14 @@ kernel-oracle:
 	IPS_KERNEL_BACKEND=python $(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
 	IPS_KERNEL_DISABLE_NUMPY=1 $(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
 
-## coverage-core: stdlib-tracer line coverage over src/repro/core with a
-## hard floor (no coverage/pytest-cov in the image).
+## invalidation-oracle: the result-cache differential oracle — seeded
+## interleavings of every mutation path against a cache-disabled node,
+## byte-identical reads, plus the coalescing concurrency suite.
+invalidation-oracle:
+	$(PYTHON) -m pytest tests/test_result_cache_oracle.py tests/test_result_cache.py tests/test_server_coalesce.py -q
+
+## coverage-core: stdlib-tracer line coverage over src/repro/core and
+## src/repro/server with hard floors (no coverage/pytest-cov in the image).
 coverage-core:
 	$(PYTHON) tools/check_core_coverage.py
 
@@ -46,6 +53,12 @@ bench-trace:
 ## bench-recovery: WAL replay cost vs length/checkpoint cadence + ack tax.
 bench-recovery:
 	$(PYTHON) benchmarks/bench_recovery.py --smoke
+
+## bench-server: hot-read path A/B under diurnal Zipf load — gates the
+## hot-tier hit ratio (>= 50%) and cached-vs-bare p99, and re-proves the
+## cached node byte-identical to the baseline on the whole trace.
+bench-server:
+	$(PYTHON) benchmarks/bench_server_batching.py --smoke
 
 ## chaos: seeded fault-injection smoke — no unhandled exceptions, and two
 ## same-seed runs must produce byte-identical fault/error counts.

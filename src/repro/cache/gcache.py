@@ -34,6 +34,13 @@ LoadFn = Callable[[int], ProfileData | None]
 FlushFn = Callable[[ProfileData], None]
 #: Receives a profile that was evicted while still dirty (flush-before-swap).
 EvictFn = Callable[[ProfileData], None]
+#: Observer of profile mutations crossing the cache: called with the
+#: profile id whenever resident state changes (dirty mark, dirty/replace
+#: install, recovery install) and with ``None`` when every entry is
+#: dropped at once (crash semantics).  Clean miss-loads and flush-before-
+#: evict do not fire — they change residency, not data.  The server's
+#: query-result cache hangs its invalidation off this hook.
+InvalidationHook = Callable[[int | None], None]
 
 
 @dataclass
@@ -78,6 +85,7 @@ class GCache:
         lru_shards: int = 16,
         dirty_shards: int = 4,
         evict_callback: EvictFn | None = None,
+        invalidation_hook: InvalidationHook | None = None,
         tracer=NULL_TRACER,
     ) -> None:
         if not 0.0 < swap_target <= swap_threshold <= 1.0:
@@ -90,6 +98,7 @@ class GCache:
         self._load_fn = load_fn
         self._flush_fn = flush_fn
         self._evict_callback = evict_callback
+        self._invalidation_hook = invalidation_hook
         self.tracer = tracer
         self.capacity_bytes = capacity_bytes
         self.swap_threshold = swap_threshold
@@ -183,6 +192,14 @@ class GCache:
         """Install (or replace) a resident profile, marking it dirty."""
         self._install(profile, dirty=dirty)
 
+    def set_invalidation_hook(self, hook: InvalidationHook | None) -> None:
+        """Attach (or clear) the mutation observer after construction."""
+        self._invalidation_hook = hook
+
+    def _notify_invalidation(self, profile_id: int | None) -> None:
+        if self._invalidation_hook is not None:
+            self._invalidation_hook(profile_id)
+
     def mark_dirty(self, profile_id: int) -> None:
         """Record that a resident profile mutated and must be re-flushed."""
         entry = self._entry(profile_id)
@@ -190,6 +207,7 @@ class GCache:
             return
         self.dirty.mark(profile_id)
         self.lru.update_cost(profile_id, entry.profile.memory_bytes())
+        self._notify_invalidation(profile_id)
 
     def install_recovered(self, profile: ProfileData) -> None:
         """Install a crash-recovered profile as resident *and dirty*.
@@ -218,10 +236,16 @@ class GCache:
 
     def _install(self, profile: ProfileData, dirty: bool) -> None:
         with self._entries_lock:
+            replaced = self._entries.get(profile.profile_id)
             self._entries[profile.profile_id] = CacheEntry(profile)
         self.lru.touch(profile.profile_id, profile.memory_bytes())
         if dirty:
             self.dirty.mark(profile.profile_id)
+        # Dirty installs (writes, recovery) and replacements of a resident
+        # entry with a different object change readable state; a clean
+        # miss-load of an absent profile does not.
+        if dirty or (replaced is not None and replaced.profile is not profile):
+            self._notify_invalidation(profile.profile_id)
 
     # ------------------------------------------------------------------
     # Swap (eviction)
@@ -384,6 +408,9 @@ class GCache:
             self.lru.remove(profile_id)
             if self._evict_callback is not None:
                 self._evict_callback(entry.profile)
+        # A crash loses unflushed dirty state: the next miss reloads an
+        # *older* profile, so everything cached about this node is suspect.
+        self._notify_invalidation(None)
         return len(entries)
 
     def flush_all(self) -> int:

@@ -149,6 +149,7 @@ class AutoScaler:
             clock=template.clock,
             cache_capacity_bytes=template.cache.capacity_bytes,
             isolation_enabled=template.isolation_enabled,
+            **getattr(self.region, "node_kwargs", {}),
         )
         self.region.nodes[node_id] = node
         self.region.ring.add_node(node_id)

@@ -33,6 +33,7 @@ class IPSCluster:
         region_name: str = "local",
         tracer=NULL_TRACER,
         registry: MetricsRegistry | None = None,
+        node_kwargs: dict | None = None,
     ) -> None:
         self.clock = clock if clock is not None else SystemClock()
         self.config = config
@@ -50,6 +51,7 @@ class IPSCluster:
             isolation_enabled=isolation_enabled,
             discovery=self.discovery,
             tracer=tracer,
+            node_kwargs=node_kwargs,
         )
         #: Expose a deployment-compatible view so IPSClient works unchanged.
         self.regions = {region_name: self.region}

@@ -38,6 +38,7 @@ class Region:
         virtual_nodes: int = 64,
         discovery: DiscoveryService | None = None,
         tracer=NULL_TRACER,
+        node_kwargs: dict | None = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError(f"region needs at least one node, got {num_nodes}")
@@ -45,6 +46,10 @@ class Region:
         self.store = store
         self.discovery = discovery
         self.tracer = tracer
+        #: Extra :class:`IPSNode` constructor kwargs applied to every node
+        #: in the region (current and autoscaled) — e.g. ``result_cache``
+        #: and ``coalesce`` for the server-side hot-read path.
+        self.node_kwargs = dict(node_kwargs) if node_kwargs else {}
         self.ring = ConsistentHashRing(virtual_nodes)
         self.nodes: dict[str, IPSNode] = {}
         self._failed_nodes: set[str] = set()
@@ -59,6 +64,7 @@ class Region:
                 cache_capacity_bytes=cache_capacity_bytes,
                 isolation_enabled=isolation_enabled,
                 tracer=tracer,
+                **self.node_kwargs,
             )
             self.nodes[node_id] = node
             self.ring.add_node(node_id)

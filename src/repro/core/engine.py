@@ -63,6 +63,23 @@ class ProfileEngine:
         #: Profiles with at least this many slices trigger eager maintenance
         #: marking on the write path.
         self.maintenance_slice_threshold = 128
+        #: Observers of profile mutations performed *by the engine itself*
+        #: (maintenance rewrites, hot config reloads, direct engine
+        #: writes).  Called with the profile id, or ``None`` for a
+        #: whole-table change.  The node wires these to its query-result
+        #: cache so maintenance invalidates precisely, whichever driver
+        #: runs it (node, MaintenancePool, tests).
+        self._mutation_listeners: list[Callable[[int | None], None]] = []
+
+    def add_mutation_listener(
+        self, listener: Callable[[int | None], None]
+    ) -> None:
+        """Register an observer of engine-driven profile mutations."""
+        self._mutation_listeners.append(listener)
+
+    def _notify_mutation(self, profile_id: int | None) -> None:
+        for listener in self._mutation_listeners:
+            listener(profile_id)
 
     @property
     def config(self) -> TableConfig:
@@ -92,6 +109,7 @@ class ProfileEngine:
             self.table.aggregate,
         )
         self._mark_for_maintenance(profile)
+        self._notify_mutation(profile_id)
 
     def add_profiles(
         self,
@@ -118,6 +136,7 @@ class ProfileEngine:
                 self.table.aggregate,
             )
         self._mark_for_maintenance(profile)
+        self._notify_mutation(profile_id)
 
     def _normalize_counts(
         self, counts: Sequence[int] | dict[str, int]
@@ -281,6 +300,9 @@ class ProfileEngine:
         # Everything resident is now maintenance-pending under new rules.
         for profile_id in self.table.profile_ids():
             self._maintenance_pending.add(profile_id)
+        # New write granularity changes how the next writes slice, which a
+        # cached result cannot anticipate — conservative table-wide drop.
+        self._notify_mutation(None)
 
     # ------------------------------------------------------------------
     # Maintenance (§III-D)
@@ -317,6 +339,9 @@ class ProfileEngine:
         if self.shrinker is not None:
             report.shrink = self.shrinker.shrink(profile, now_ms)
         self._maintenance_pending.discard(profile_id)
+        # Compaction re-buckets, truncation/shrink discard data: cached
+        # window reads over this profile are stale either way.
+        self._notify_mutation(profile_id)
         return report
 
     def run_maintenance(

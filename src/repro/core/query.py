@@ -25,10 +25,10 @@ from typing import Callable, Sequence
 from ..config import TableConfig
 from ..errors import InvalidQueryError
 from .aggregate import AggregateFn
-from .decay import DecayFn
+from .decay import DECAYS, DecayFn
 from .feature import FeatureStat, clamp_int64
 from .profile import ProfileData
-from .timerange import TimeRange
+from .timerange import ResolvedWindow, TimeRange
 
 
 class SortType(enum.Enum):
@@ -69,6 +69,149 @@ class QueryStats:
 
 #: Predicate over a merged stat used by ``get_profile_filter``.
 FilterFn = Callable[[FeatureStat], bool]
+
+
+# ----------------------------------------------------------------------
+# Canonical query fingerprints (result-cache keys)
+# ----------------------------------------------------------------------
+
+
+def cacheable_filter(key):
+    """Mark a filter predicate as cacheable under a stable ``key``.
+
+    Filter predicates are opaque callables, so by default a filter query
+    has no fingerprint and bypasses the server-side result cache.  A
+    predicate whose identity *is* stable (e.g. "total >= 5") can opt in::
+
+        @cacheable_filter(("total_at_least", 5))
+        def popular(stat):
+            return sum(stat.counts) >= 5
+
+    ``key`` must be hashable and must uniquely determine the predicate's
+    behaviour — two predicates sharing a key share cached results.
+    """
+
+    def mark(fn: FilterFn) -> FilterFn:
+        fn.cache_key = ("filter_fn", key)  # type: ignore[attr-defined]
+        return fn
+
+    return mark
+
+
+def canonical_sort_weights(
+    config: TableConfig, sort_weights: dict[str, float]
+) -> tuple[tuple[int, float], ...]:
+    """Normalize a WEIGHTED sort's weight mapping to a canonical tuple.
+
+    Attribute names resolve to schema indices, zero weights are dropped
+    (they contribute exactly zero to every score) and the remaining
+    pairs are sorted by index — so ``{"share": 3, "like": 1}`` and
+    ``{"like": 1, "share": 3, "comment": 0}`` describe the same sort.
+    Weight values keep their numeric type (int weights stay exact in the
+    kernels; ``1 == 1.0`` already hashes identically for key sharing).
+    An all-zero mapping keeps its (sorted) entries rather than becoming
+    empty, which would look like a missing-weights validation error.
+    """
+    items = sorted(
+        (config.attribute_index(name), weight)
+        for name, weight in sort_weights.items()
+    )
+    nonzero = tuple(pair for pair in items if pair[1] != 0)
+    return nonzero if nonzero else tuple(items)
+
+
+def _decay_name(decay_function: "str | DecayFn") -> str | None:
+    """Canonical registry name for a decay function, or None if opaque."""
+    if isinstance(decay_function, str):
+        name = decay_function.lower()
+        return name if name in DECAYS else None
+    for name, fn in DECAYS.items():
+        if fn is decay_function:
+            return name
+    return None
+
+
+def query_fingerprint(
+    config: TableConfig,
+    method: str,
+    slot: int,
+    type_id: int | None,
+    window: ResolvedWindow,
+    sort_type: SortType | None = None,
+    k: int | None = None,
+    sort_attribute: str | None = None,
+    sort_weights: dict[str, float] | None = None,
+    aggregate: str | None = None,
+    decay_function: "str | DecayFn | None" = None,
+    decay_factor: float | None = None,
+    predicate: FilterFn | None = None,
+) -> tuple | None:
+    """Canonical cache key for one read, or ``None`` when uncacheable.
+
+    Semantically identical queries must share a fingerprint, and queries
+    that can return different bytes must not.  The normalization rules:
+
+    * the time range is keyed by its *resolved* half-open window, so a
+      CURRENT range naturally changes key as the clock advances and an
+      ABSOLUTE range spelling out the same instants matches it;
+    * ``aggregate=None`` collapses to the table's configured aggregate
+      name (an explicit ``"sum"`` on a sum table is the default spelled
+      out), and names are case-insensitive like the registry;
+    * ``sort_attribute`` only participates for ``SortType.ATTRIBUTE``
+      (other sorts ignore it) and is resolved to its schema index;
+      a decay query's empty-string attribute means "sort by total",
+      exactly like ``None``;
+    * ``sort_weights`` only participate for ``SortType.WEIGHTED`` and
+      are canonicalized by :func:`canonical_sort_weights`;
+    * a decay function is keyed by registry name whether passed as a
+      string or as the registered callable; unregistered callables are
+      opaque, hence uncacheable;
+    * filter predicates are uncacheable unless marked with
+      :func:`cacheable_filter`.
+
+    Invalid queries (unknown attribute, bad k) return ``None`` so the
+    caller executes them directly and raises the real validation error.
+    """
+    try:
+        base = (method, slot, type_id, window.start_ms, window.end_ms)
+        if method == "topk":
+            if sort_type is None or k is None or int(k) < 1:
+                return None
+            agg = (aggregate if aggregate is not None else config.aggregate)
+            sort_part: tuple
+            if sort_type is SortType.ATTRIBUTE:
+                if sort_attribute is None:
+                    return None
+                sort_part = ("attr", config.attribute_index(sort_attribute))
+            elif sort_type is SortType.WEIGHTED:
+                if not sort_weights:
+                    return None
+                sort_part = ("weights", canonical_sort_weights(config, sort_weights))
+            else:
+                sort_part = (sort_type.value,)
+            return base + (int(k), agg.lower(), sort_part)
+        if method == "decay":
+            if decay_function is None or decay_factor is None:
+                return None
+            name = _decay_name(decay_function)
+            if name is None:
+                return None
+            attr = (
+                config.attribute_index(sort_attribute) if sort_attribute else None
+            )
+            cut = int(k) if k is not None else None
+            if cut is not None and cut < 1:
+                return None
+            return base + (name, float(decay_factor), cut, attr)
+        if method == "filter":
+            key = getattr(predicate, "cache_key", None)
+            if key is None:
+                return None
+            hash(key)  # Unhashable opt-in keys degrade to uncacheable.
+            return base + (key,)
+        return None
+    except Exception:
+        return None
 
 
 class QueryEngine:
@@ -223,12 +366,13 @@ class QueryEngine:
                 raise InvalidQueryError(
                     "sort_type=WEIGHTED requires non-empty sort_weights"
                 )
+            # Canonical order (and zero-weight dropping) makes reordered
+            # weight mappings sum in the same float order, so semantically
+            # identical queries are bit-identical — required for them to
+            # share a result-cache entry.
             return SortSpec(
                 sort_type=sort_type,
-                weight_vector=tuple(
-                    (self._config.attribute_index(name), weight)
-                    for name, weight in sort_weights.items()
-                ),
+                weight_vector=canonical_sort_weights(self._config, sort_weights),
             )
         raise InvalidQueryError(f"unsupported sort type: {sort_type!r}")
 

@@ -133,6 +133,15 @@ class NodeSnapshot:
     wal_replay_lag: int = 0
     checkpoints: int = 0
     recoveries: int = 0
+    #: Hot-read-path counters (zero when the node runs without the
+    #: result cache / coalescing layer).
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    result_cache_entries: int = 0
+    result_cache_invalidations: int = 0
+    coalesced_reads: int = 0
+    batch_windows: int = 0
+    batch_window_keys: int = 0
 
     @property
     def memory_ratio(self) -> float:
@@ -144,6 +153,11 @@ class NodeSnapshot:
     def hit_ratio(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def result_cache_hit_ratio(self) -> float:
+        total = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -193,6 +207,23 @@ class ClusterSnapshot:
     @property
     def recoveries(self) -> int:
         return sum(node.recoveries for node in self.nodes)
+
+    @property
+    def result_cache_hit_ratio(self) -> float:
+        hits = sum(node.result_cache_hits for node in self.nodes)
+        total = hits + sum(node.result_cache_misses for node in self.nodes)
+        return hits / total if total else 0.0
+
+    @property
+    def coalesced_reads(self) -> int:
+        return sum(node.coalesced_reads for node in self.nodes)
+
+    @property
+    def batch_window_occupancy(self) -> float:
+        """Mean keys per executed batch window, fleet-wide."""
+        windows = sum(node.batch_windows for node in self.nodes)
+        keys = sum(node.batch_window_keys for node in self.nodes)
+        return keys / windows if windows else 0.0
 
 
 class ClusterMonitor:
@@ -244,6 +275,9 @@ class ClusterMonitor:
             for node in region.nodes.values():
                 metrics = node.cache.metrics
                 durability = getattr(node, "durability", None)
+                result_cache = getattr(node, "result_cache", None)
+                singleflight = getattr(node, "singleflight", None)
+                batcher = getattr(node, "batcher", None)
                 nodes.append(
                     NodeSnapshot(
                         node_id=node.node_id,
@@ -273,6 +307,27 @@ class ClusterMonitor:
                         ),
                         recoveries=(
                             durability.stats.recoveries if durability else 0
+                        ),
+                        result_cache_hits=(
+                            result_cache.stats.hits if result_cache else 0
+                        ),
+                        result_cache_misses=(
+                            result_cache.stats.misses if result_cache else 0
+                        ),
+                        result_cache_entries=(
+                            len(result_cache) if result_cache else 0
+                        ),
+                        result_cache_invalidations=(
+                            result_cache.stats.invalidations
+                            if result_cache
+                            else 0
+                        ),
+                        coalesced_reads=(
+                            singleflight.stats.coalesced if singleflight else 0
+                        ),
+                        batch_windows=(batcher.stats.batches if batcher else 0),
+                        batch_window_keys=(
+                            batcher.stats.batched_keys if batcher else 0
                         ),
                     )
                 )
@@ -332,6 +387,25 @@ class ClusterMonitor:
             f"memory={snapshot.memory_ratio:.1%}  "
             f"quota_rejections={snapshot.quota_rejections}",
         ]
+        if any(
+            node.result_cache_hits
+            or node.result_cache_misses
+            or node.coalesced_reads
+            or node.batch_windows
+            for node in snapshot.nodes
+        ):
+            invalidations = sum(
+                node.result_cache_invalidations for node in snapshot.nodes
+            )
+            lines.append(
+                "  hot reads: result_cache_hit_ratio="
+                f"{snapshot.result_cache_hit_ratio:.3f}  "
+                f"invalidations={invalidations}  "
+                f"coalesced={snapshot.coalesced_reads}  "
+                f"batch_windows="
+                f"{sum(node.batch_windows for node in snapshot.nodes)}  "
+                f"window_occupancy={snapshot.batch_window_occupancy:.1f}"
+            )
         if any(node.wal_appends or node.recoveries for node in snapshot.nodes):
             appends = sum(node.wal_appends for node in snapshot.nodes)
             checkpoints = sum(node.checkpoints for node in snapshot.nodes)

@@ -8,6 +8,13 @@ cluster client and the latency experiments.
 """
 
 from .batch import BatchKeyResult, BatchReadOutcome
+from .coalesce import (
+    AdaptiveBatcher,
+    BatchWindowStats,
+    CoalesceConfig,
+    SingleFlight,
+    SingleFlightStats,
+)
 from .isolation import WriteTable
 from .maintenance import MaintenancePool, MaintenancePoolStats
 from .node import IPSNode, NodeStats
@@ -19,13 +26,17 @@ from .recovery import (
     RecoveryReport,
     attach_memory_durability,
 )
+from .result_cache import QueryResultCache, ResultCacheStats
 from .rpc import LatencyModel, RPCServer, RPCStats
 from .service import IPSService
 
 __all__ = [
+    "AdaptiveBatcher",
     "BatchKeyResult",
     "BatchReadOutcome",
+    "BatchWindowStats",
     "CheckpointReport",
+    "CoalesceConfig",
     "IPSNode",
     "IPSService",
     "LatencyModel",
@@ -33,11 +44,15 @@ __all__ = [
     "MaintenancePoolStats",
     "NodeDurability",
     "NodeStats",
+    "QueryResultCache",
     "QuotaManager",
     "RPCNodeProxy",
     "RPCServer",
     "RPCStats",
     "RecoveryReport",
+    "ResultCacheStats",
+    "SingleFlight",
+    "SingleFlightStats",
     "TokenBucket",
     "WriteTable",
     "attach_memory_durability",

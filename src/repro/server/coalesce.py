@@ -1,0 +1,303 @@
+"""Server-side request coalescing: singleflight + adaptive batch windows.
+
+Two layers sit between the node's read API and the engine, both from the
+"Enhanced Batch Query Architecture" playbook (PAPERS.md):
+
+* :class:`SingleFlight` — concurrent reads for the *same* ``(profile,
+  normalized query)`` key collapse into one execution; the leader runs
+  the query, every coalesced waiter shares the result (or the failure —
+  a partial failure propagates to all waiters, never silently drops).
+* :class:`AdaptiveBatcher` — concurrent reads for the same normalized
+  query *shape* but different profiles accumulate inside a short batch
+  window and execute as one node-level multi-get pass.  The window is
+  adaptive: it stays at zero (no added latency) until concurrent
+  arrivals are actually observed, and disarms again after consecutive
+  under-filled batches — so idle traffic never pays the window.
+
+Both honour a per-waiter :class:`~repro.cluster.resilience.Deadline`:
+waiters re-check their own budget while blocked, so one slow execution
+cannot pin a short-deadline request past its budget.  Window timing uses
+``repro.clock.perf_ms`` (wall time) because batch windows bound *real*
+queueing delay, not modelled time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import DeadlineExceededError
+from ..obs.registry import Histogram
+
+
+@dataclass(frozen=True)
+class CoalesceConfig:
+    """Tuning for the node's coalescing layer.
+
+    ``window_ms`` is the maximum wall time an *armed* batch window stays
+    open; ``max_batch`` closes it early.  A window arms itself once
+    concurrent arrivals are observed and disarms after ``disarm_after``
+    consecutive batches smaller than ``min_batch``.  ``batching=False``
+    keeps singleflight only.
+    """
+
+    window_ms: float = 2.0
+    max_batch: int = 64
+    min_batch: int = 2
+    disarm_after: int = 2
+    batching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {self.window_ms}")
+        if self.max_batch < 1 or self.min_batch < 1:
+            raise ValueError(
+                f"batch bounds must be >= 1, got max={self.max_batch} "
+                f"min={self.min_batch}"
+            )
+        if self.disarm_after < 1:
+            raise ValueError(
+                f"disarm_after must be >= 1, got {self.disarm_after}"
+            )
+
+
+def _wait_event(event: threading.Event, deadline, operation: str) -> None:
+    """Block on ``event``, honouring the waiter's own deadline.
+
+    The loop re-checks the deadline's clock each pass so it works with
+    both system and simulated clocks; a bounded poll interval keeps
+    simulated-clock waiters from sleeping past their budget.
+    """
+    if deadline is None:
+        event.wait()
+        return
+    while not event.is_set():
+        deadline.check(operation)
+        remaining_s = max(deadline.remaining_ms(), 0.0) / 1000.0
+        if event.wait(timeout=max(0.001, min(remaining_s, 0.05))):
+            return
+    # Event set between the loop check and the wait: nothing left to do.
+
+
+# ----------------------------------------------------------------------
+# Singleflight
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SingleFlightStats:
+    """How much duplicate work the singleflight layer absorbed."""
+
+    executions: int = 0
+    #: Requests that joined an in-flight execution instead of running.
+    coalesced: int = 0
+    #: Coalesced waiters that received the leader's failure.
+    errors_shared: int = 0
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Coalesce concurrent identical calls into one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict = {}
+        self.stats = SingleFlightStats()
+
+    def execute(self, key, fn, deadline=None):
+        """Run ``fn`` once per concurrent ``key``; returns ``(value, leader)``.
+
+        The first caller for a key becomes the leader and executes
+        ``fn``; callers arriving while it runs block until it finishes
+        and share its outcome.  A leader exception is re-raised by every
+        waiter.  ``leader`` in the return tells the caller whether the
+        value is privately owned (leader) or shared (copy before
+        mutating).  Waiters honour their own ``deadline`` while blocked.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                is_leader = True
+            else:
+                is_leader = False
+        if is_leader:
+            try:
+                flight.value = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                self.stats.executions += 1
+                flight.done.set()
+            return flight.value, True
+        self.stats.coalesced += 1
+        _wait_event(flight.done, deadline, "singleflight.wait")
+        if flight.error is not None:
+            self.stats.errors_shared += 1
+            raise flight.error
+        return flight.value, False
+
+
+# ----------------------------------------------------------------------
+# Adaptive batch windows
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchWindowStats:
+    """Occupancy telemetry for the adaptive batch windows."""
+
+    batches: int = 0
+    batched_keys: int = 0
+    #: Requests that joined an already-open window.
+    joined: int = 0
+    #: Batches whose leader actually held an armed (non-zero) window.
+    armed_windows: int = 0
+    #: Window-occupancy distribution (keys per executed batch).
+    occupancy_hist: Histogram = field(
+        default_factory=lambda: Histogram(min_ms=1.0, max_ms=1024.0, growth=2.0)
+    )
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.batched_keys / self.batches if self.batches else 0.0
+
+
+class _Batch:
+    __slots__ = ("profile_ids", "full", "done", "results", "error", "closed")
+
+    def __init__(self, first_profile_id: int) -> None:
+        #: Insertion-ordered, deduplicated member profiles.
+        self.profile_ids: dict[int, None] = {first_profile_id: None}
+        self.full = threading.Event()
+        self.done = threading.Event()
+        self.results: dict | None = None
+        self.error: BaseException | None = None
+        self.closed = False
+
+
+class AdaptiveBatcher:
+    """Accumulate same-shape reads into one multi-get execution.
+
+    ``submit`` is called with the query's fingerprint as the *shape key*
+    — fingerprint equality means the normalized query (window included)
+    is identical, so one execution closure is valid for every member
+    profile.  The first caller for a shape becomes the batch leader: it
+    holds the window open (if armed), snapshots the members, runs
+    ``execute_many`` once and distributes per-profile results; members
+    arriving during the window just wait.
+    """
+
+    def __init__(self, config: CoalesceConfig, registry=None) -> None:
+        self.config = config
+        self.stats = BatchWindowStats()
+        if registry is not None:
+            self.stats.occupancy_hist = registry.histogram(
+                "batch_window_occupancy", min_ms=1.0, max_ms=1024.0, growth=2.0
+            )
+        self._lock = threading.Lock()
+        self._open: dict = {}
+        #: shape_key -> number of closed batches currently executing;
+        #: an arrival during a same-shape execution is the "concurrent
+        #: arrivals observed" signal that arms the window (a disarmed
+        #: leader closes its batch too fast for joins to witness it).
+        self._executing: dict = {}
+        self._armed = False
+        self._small_batches = 0
+
+    @property
+    def armed(self) -> bool:
+        """Whether the next batch leader will hold the window open."""
+        return self._armed
+
+    def submit(self, shape_key, profile_id: int, execute_many, deadline=None):
+        """Route one read through the batch window for its query shape.
+
+        ``execute_many(profile_ids)`` must return ``{profile_id: result
+        | Exception}`` — per-profile failures are raised only for their
+        own waiter, while an exception escaping ``execute_many`` itself
+        fails the whole batch (every waiter re-raises it).
+        """
+        with self._lock:
+            batch = self._open.get(shape_key)
+            if batch is not None and not batch.closed:
+                is_leader = False
+                batch.profile_ids.setdefault(profile_id, None)
+                # Concurrency observed: keep (or start) holding windows.
+                self._armed = True
+                self._small_batches = 0
+                if len(batch.profile_ids) >= self.config.max_batch:
+                    batch.full.set()
+            else:
+                batch = _Batch(profile_id)
+                self._open[shape_key] = batch
+                is_leader = True
+                if self._executing.get(shape_key, 0) > 0:
+                    # A same-shape batch is executing right now: this
+                    # arrival would have fit in its window.  Arm.
+                    self._armed = True
+                    self._small_batches = 0
+                window_armed = self._armed and self.config.window_ms > 0
+        if not is_leader:
+            self.stats.joined += 1
+            _wait_event(batch.done, deadline, "batch_window.wait")
+            return self._extract(batch, profile_id)
+
+        if window_armed:
+            self.stats.armed_windows += 1
+            batch.full.wait(self.config.window_ms / 1000.0)
+        with self._lock:
+            batch.closed = True
+            if self._open.get(shape_key) is batch:
+                del self._open[shape_key]
+            members = list(batch.profile_ids)
+            if len(members) >= self.config.min_batch:
+                self._armed = True
+                self._small_batches = 0
+            else:
+                self._small_batches += 1
+                if self._small_batches >= self.config.disarm_after:
+                    self._armed = False
+            self._executing[shape_key] = self._executing.get(shape_key, 0) + 1
+        self.stats.batches += 1
+        self.stats.batched_keys += len(members)
+        self.stats.occupancy_hist.record(len(members))
+        try:
+            # A leader whose own budget died during the window still must
+            # settle the batch (inside try: waiters share the failure).
+            if deadline is not None:
+                deadline.check("batch_window.execute")
+            batch.results = execute_many(members)
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            batch.done.set()
+            with self._lock:
+                remaining = self._executing.get(shape_key, 1) - 1
+                if remaining > 0:
+                    self._executing[shape_key] = remaining
+                else:
+                    self._executing.pop(shape_key, None)
+        return self._extract(batch, profile_id)
+
+    @staticmethod
+    def _extract(batch: _Batch, profile_id: int):
+        if batch.error is not None:
+            raise batch.error
+        result = (batch.results or {}).get(profile_id)
+        if isinstance(result, BaseException):
+            raise result
+        return result

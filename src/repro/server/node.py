@@ -26,7 +26,13 @@ from ..config import TableConfig
 from ..core.decay import DecayFn
 from ..core.engine import ProfileEngine
 from ..core.profile import ProfileData
-from ..core.query import FeatureResult, FilterFn, QueryStats, SortType
+from ..core.query import (
+    FeatureResult,
+    FilterFn,
+    QueryStats,
+    SortType,
+    query_fingerprint,
+)
 from ..core.timerange import TimeRange
 from ..cache import GCache
 from ..errors import IPSError
@@ -38,8 +44,10 @@ from ..storage.persistence import (
     PersistenceManager,
 )
 from .batch import BatchKeyResult, dedup_preserving_order
+from .coalesce import AdaptiveBatcher, CoalesceConfig, SingleFlight
 from .isolation import PendingWrite, WriteTable
 from .quota import QuotaManager
+from .result_cache import QueryResultCache
 
 
 @dataclass
@@ -75,6 +83,8 @@ class IPSNode:
         quota: QuotaManager | None = None,
         tracer=NULL_TRACER,
         durability=None,
+        result_cache: QueryResultCache | int | None = None,
+        coalesce: CoalesceConfig | None = None,
     ) -> None:
         self.node_id = node_id
         self.clock = clock if clock is not None else SystemClock()
@@ -105,6 +115,44 @@ class IPSNode:
         self.stats = NodeStats()
         self._isolation_enabled = isolation_enabled
         self._merge_lock = threading.Lock()
+        # ---- server-side hot-read path (off by default) --------------
+        #: Query-result cache: pass an instance, or an int for a private
+        #: cache of that many entries (each node needs its own — entries
+        #: key on this node's profile state).
+        if isinstance(result_cache, int):
+            result_cache = (
+                QueryResultCache(max_entries=result_cache)
+                if result_cache > 0
+                else None
+            )
+        self.result_cache = result_cache
+        self.coalesce_config = coalesce
+        self.singleflight = SingleFlight() if coalesce is not None else None
+        self.batcher = (
+            AdaptiveBatcher(coalesce)
+            if coalesce is not None and coalesce.batching
+            else None
+        )
+        self._hot_read = (
+            self.result_cache is not None or self.singleflight is not None
+        )
+        if self._hot_read:
+            # Invalidation hooks sit on the existing mutation seams:
+            # GCache observes node writes (direct, merged, ingested),
+            # recovery installs and crash drops; the engine observes
+            # maintenance rewrites and hot reloads.
+            self.cache.set_invalidation_hook(self._on_profile_mutation)
+            self.engine.add_mutation_listener(self._on_profile_mutation)
+
+    def _on_profile_mutation(self, profile_id: int | None) -> None:
+        """A mutation path touched ``profile_id`` (None = whole node)."""
+        result_cache = self.result_cache
+        if result_cache is None:
+            return
+        if profile_id is None:
+            result_cache.invalidate_all()
+        else:
+            result_cache.invalidate(profile_id)
 
     # ------------------------------------------------------------------
     # Residency plumbing
@@ -293,6 +341,102 @@ class IPSNode:
     # Read APIs
     # ------------------------------------------------------------------
 
+    def _serve_read(
+        self,
+        profile_id: int,
+        profile: ProfileData,
+        time_range: TimeRange,
+        build_fingerprint,
+        execute,
+        stats: QueryStats | None,
+        deadline,
+    ) -> list[FeatureResult]:
+        """Shared hot-read skeleton: cache probe, singleflight, batching.
+
+        ``execute(profile_id, time_range)`` runs the real engine query;
+        ``build_fingerprint(window)`` canonicalizes it.  The window is
+        resolved *once* here and frozen to an ABSOLUTE range so the
+        executed query matches the cache key exactly (CURRENT windows
+        would otherwise drift between fingerprint and execution).
+        Queries carrying a ``stats`` collector want execution telemetry
+        and bypass the hot path entirely.
+        """
+        if not self._hot_read or stats is not None:
+            with self.tracer.span("engine.execute", profile=profile_id):
+                return execute(profile_id, time_range)
+        window = time_range.resolve(
+            self.clock.now_ms(), profile.newest_timestamp_ms()
+        )
+        if window is None:
+            # Let the engine resolve (to None) itself so argument
+            # validation errors surface exactly as on the cold path.
+            with self.tracer.span("engine.execute", profile=profile_id):
+                return execute(profile_id, time_range)
+        frozen = TimeRange.absolute(window.start_ms, window.end_ms)
+        fingerprint = build_fingerprint(window)
+        result_cache = self.result_cache
+        if fingerprint is None:
+            if result_cache is not None:
+                result_cache.stats.uncacheable += 1
+            if deadline is not None:
+                deadline.check("node.read")
+            with self.tracer.span("engine.execute", profile=profile_id):
+                return execute(profile_id, frozen)
+        if result_cache is not None:
+            cached = result_cache.get(profile_id, fingerprint)
+            if cached is not None:
+                return cached
+
+        def leader() -> list[FeatureResult]:
+            epoch = (
+                result_cache.epoch(profile_id)
+                if result_cache is not None
+                else None
+            )
+            if self.batcher is not None:
+                value = self.batcher.submit(
+                    fingerprint,
+                    profile_id,
+                    lambda members: self._execute_batch_window(
+                        members, frozen, execute
+                    ),
+                    deadline=deadline,
+                )
+            else:
+                if deadline is not None:
+                    deadline.check("node.read")
+                with self.tracer.span("engine.execute", profile=profile_id):
+                    value = execute(profile_id, frozen)
+            if result_cache is not None:
+                result_cache.put(profile_id, fingerprint, value, epoch)
+            return value
+
+        if self.singleflight is not None:
+            value, was_leader = self.singleflight.execute(
+                (profile_id, fingerprint), leader, deadline=deadline
+            )
+            # Coalesced waiters share the leader's list: hand out copies.
+            return value if was_leader else list(value)
+        return leader()
+
+    def _execute_batch_window(
+        self, profile_ids: Sequence[int], frozen: TimeRange, execute
+    ) -> dict[int, list[FeatureResult] | IPSError]:
+        """One multi-get pass for a closed batch window (same query shape).
+
+        Per-profile failures degrade that profile only, exactly like
+        :meth:`_multi_get`; the batcher re-raises them for the owning
+        waiter.
+        """
+        with self.tracer.span("node.batch_window", keys=len(profile_ids)):
+            out: dict[int, list[FeatureResult] | IPSError] = {}
+            for member in profile_ids:
+                try:
+                    out[member] = execute(member, frozen)
+                except IPSError as exc:
+                    out[member] = exc
+            return out
+
     def get_profile_topk(
         self,
         profile_id: int,
@@ -306,25 +450,45 @@ class IPSNode:
         aggregate: str | None = None,
         caller: str = "default",
         stats: QueryStats | None = None,
+        deadline=None,
     ) -> list[FeatureResult]:
         with self.tracer.span("node.get_profile_topk", profile=profile_id):
             self.quota.admit(caller)
             self.stats.reads += 1
-            if self._resident_profile(profile_id) is None:
+            profile = self._resident_profile(profile_id)
+            if profile is None:
                 return []
-            with self.tracer.span("engine.execute", profile=profile_id):
-                return self.engine.get_profile_topk(
-                    profile_id,
+            return self._serve_read(
+                profile_id,
+                profile,
+                time_range,
+                lambda window: query_fingerprint(
+                    self.engine.config,
+                    "topk",
                     slot,
                     type_id,
-                    time_range,
+                    window,
+                    sort_type=sort_type,
+                    k=k,
+                    sort_attribute=sort_attribute,
+                    sort_weights=sort_weights,
+                    aggregate=aggregate,
+                ),
+                lambda member, window: self.engine.get_profile_topk(
+                    member,
+                    slot,
+                    type_id,
+                    window,
                     sort_type,
                     k,
                     sort_attribute=sort_attribute,
                     sort_weights=sort_weights,
                     aggregate=aggregate,
                     stats=stats,
-                )
+                ),
+                stats,
+                deadline,
+            )
 
     def get_profile_filter(
         self,
@@ -335,16 +499,32 @@ class IPSNode:
         predicate: FilterFn,
         caller: str = "default",
         stats: QueryStats | None = None,
+        deadline=None,
     ) -> list[FeatureResult]:
         with self.tracer.span("node.get_profile_filter", profile=profile_id):
             self.quota.admit(caller)
             self.stats.reads += 1
-            if self._resident_profile(profile_id) is None:
+            profile = self._resident_profile(profile_id)
+            if profile is None:
                 return []
-            with self.tracer.span("engine.execute", profile=profile_id):
-                return self.engine.get_profile_filter(
-                    profile_id, slot, type_id, time_range, predicate, stats=stats
-                )
+            return self._serve_read(
+                profile_id,
+                profile,
+                time_range,
+                lambda window: query_fingerprint(
+                    self.engine.config,
+                    "filter",
+                    slot,
+                    type_id,
+                    window,
+                    predicate=predicate,
+                ),
+                lambda member, window: self.engine.get_profile_filter(
+                    member, slot, type_id, window, predicate, stats=stats
+                ),
+                stats,
+                deadline,
+            )
 
     def get_profile_decay(
         self,
@@ -358,24 +538,43 @@ class IPSNode:
         sort_attribute: str | None = None,
         caller: str = "default",
         stats: QueryStats | None = None,
+        deadline=None,
     ) -> list[FeatureResult]:
         with self.tracer.span("node.get_profile_decay", profile=profile_id):
             self.quota.admit(caller)
             self.stats.reads += 1
-            if self._resident_profile(profile_id) is None:
+            profile = self._resident_profile(profile_id)
+            if profile is None:
                 return []
-            with self.tracer.span("engine.execute", profile=profile_id):
-                return self.engine.get_profile_decay(
-                    profile_id,
+            return self._serve_read(
+                profile_id,
+                profile,
+                time_range,
+                lambda window: query_fingerprint(
+                    self.engine.config,
+                    "decay",
                     slot,
                     type_id,
-                    time_range,
+                    window,
+                    decay_function=decay_function,
+                    decay_factor=decay_factor,
+                    k=k,
+                    sort_attribute=sort_attribute,
+                ),
+                lambda member, window: self.engine.get_profile_decay(
+                    member,
+                    slot,
+                    type_id,
+                    window,
                     decay_function,
                     decay_factor,
                     k=k,
                     sort_attribute=sort_attribute,
                     stats=stats,
-                )
+                ),
+                stats,
+                deadline,
+            )
 
     # ------------------------------------------------------------------
     # Batched read APIs (multi-get)

@@ -182,6 +182,14 @@ def render_dashboard(
         if item[0].startswith(("wal_", "checkpoint", "recover"))
     ]
     scalars = [item for item in scalars if item not in durability]
+    # Hot-read-path counters (server-side result cache + coalescing): hit
+    # ratio, invalidation churn and window occupancy in one block.
+    hot_reads = [
+        item
+        for item in scalars
+        if item[0].startswith(("result_cache_", "singleflight_", "batch_window_"))
+    ]
+    scalars = [item for item in scalars if item not in hot_reads]
     if scalars:
         lines.append("")
         lines.append("-- counters / gauges --")
@@ -198,6 +206,12 @@ def render_dashboard(
         lines.append("")
         lines.append("-- durability --")
         for name, kind, entry in durability:
+            label = f"{name}{_fmt_labels(entry['labels'])}"
+            lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
+    if hot_reads:
+        lines.append("")
+        lines.append("-- hot read path --")
+        for name, kind, entry in hot_reads:
             label = f"{name}{_fmt_labels(entry['labels'])}"
             lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
 
@@ -255,10 +269,23 @@ def _run_demo():
     clock = SimulatedClock(now_ms)
     registry = MetricsRegistry()
     tracer = Tracer(clock=clock, registry=registry)
+    from ..server.coalesce import CoalesceConfig
+    from ..server.result_cache import QueryResultCache
+
     config = TableConfig(name="demo", attributes=("click", "like"))
     cluster = IPSCluster(
-        config, num_nodes=3, clock=clock, tracer=tracer, registry=registry
+        config,
+        num_nodes=3,
+        clock=clock,
+        tracer=tracer,
+        registry=registry,
+        node_kwargs={"coalesce": CoalesceConfig(window_ms=0.0)},
     )
+    # Each node needs a private result cache (entries key on that node's
+    # profile state) but they share the registry, so the dashboard's hot
+    # read block shows fleet-wide counters.
+    for node in cluster.region.nodes.values():
+        node.result_cache = QueryResultCache(max_entries=512, registry=registry)
     for node in cluster.region.nodes.values():
         attach_memory_durability(
             node, checkpoint_interval_records=64, registry=registry
@@ -273,7 +300,13 @@ def _run_demo():
         )
     monitor = ClusterMonitor(cluster)
     client = cluster.client("demo-app")
-    window = TimeRange.current(30 * MILLIS_PER_DAY)
+    # A fixed absolute window keeps the query fingerprint stable across
+    # reads (the RPC proxies advance the clock per call, so a relative
+    # window would resolve to fresh bounds — and a fresh cache key —
+    # on every request).
+    window = TimeRange.absolute(
+        now_ms - 30 * MILLIS_PER_DAY, now_ms + MILLIS_PER_DAY
+    )
 
     import random
 
@@ -292,8 +325,11 @@ def _run_demo():
             )
         cluster.run_background_cycle()
         for _ in range(25):
+            # Skewed read traffic: most requests land on a hot subset,
+            # which is what makes the result cache earn its keep.
+            profile_id = rng.randrange(8) if rng.random() < 0.7 else rng.randrange(60)
             client.get_profile_topk(
-                rng.randrange(60), 1, 1, window, SortType.TOTAL, k=5
+                profile_id, 1, 1, window, SortType.TOTAL, k=5
             )
         client.multi_get_topk(
             [rng.randrange(60) for _ in range(32)],

@@ -268,3 +268,165 @@ class TestQueryProperties:
             sort_attribute="like",
         )
         assert {r.fid for r in smaller} <= {r.fid for r in larger}
+
+
+class TestQueryFingerprint:
+    """Normalization rules for the result-cache fingerprint.
+
+    Semantically identical queries must share one fingerprint (one cache
+    entry); semantically different ones must not.  Queries whose meaning
+    the fingerprint cannot capture (opaque callables, invalid arguments)
+    must map to ``None`` — uncacheable, never silently wrong.
+    """
+
+    WINDOW = TimeRange.absolute(0, NOW)
+
+    def _fp(self, config, method="topk", **kwargs):
+        from repro.core.query import query_fingerprint
+
+        kwargs.setdefault("sort_type", SortType.TOTAL)
+        kwargs.setdefault("k", 10)
+        if method != "topk":
+            kwargs.pop("sort_type"), kwargs.pop("k")
+        return query_fingerprint(config, method, 7, 3, self.WINDOW, **kwargs)
+
+    def test_weight_order_is_irrelevant(self, config):
+        a = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 2, "share": 5})
+        b = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"share": 5, "like": 2})
+        assert a is not None
+        assert a == b
+
+    def test_zero_weights_are_dropped(self, config):
+        a = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 2, "comment": 0})
+        b = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 2})
+        assert a is not None
+        assert a == b
+
+    def test_int_and_float_weights_share_an_entry(self, config):
+        a = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 1, "share": 2})
+        b = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 1.0, "share": 2.0})
+        assert a is not None
+        assert hash(a) == hash(b) and a == b
+
+    def test_different_weights_differ(self, config):
+        a = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 2})
+        b = self._fp(config, sort_type=SortType.WEIGHTED,
+                     sort_weights={"like": 3})
+        assert a != b
+
+    def test_none_aggregate_collapses_to_config_default(self, config):
+        assert config.aggregate == "sum"
+        a = self._fp(config, aggregate=None)
+        b = self._fp(config, aggregate="sum")
+        c = self._fp(config, aggregate="SUM")
+        assert a is not None
+        assert a == b == c
+
+    def test_sort_attribute_ignored_unless_attribute_sort(self, config):
+        a = self._fp(config, sort_type=SortType.TOTAL)
+        b = self._fp(config, sort_type=SortType.TOTAL, sort_attribute="like")
+        assert a is not None
+        assert a == b
+        # But for ATTRIBUTE sort it is load-bearing.
+        c = self._fp(config, sort_type=SortType.ATTRIBUTE,
+                     sort_attribute="like")
+        d = self._fp(config, sort_type=SortType.ATTRIBUTE,
+                     sort_attribute="share")
+        assert c is not None and d is not None
+        assert c != d and c != a
+
+    def test_decay_name_and_callable_share_an_entry(self, config):
+        a = self._fp(config, method="decay", decay_function="exponential",
+                     decay_factor=2.0)
+        b = self._fp(config, method="decay", decay_function=exponential_decay,
+                     decay_factor=2.0)
+        c = self._fp(config, method="decay", decay_function="EXPONENTIAL",
+                     decay_factor=2.0)
+        assert a is not None
+        assert a == b == c
+
+    def test_unregistered_decay_callable_is_uncacheable(self, config):
+        assert self._fp(
+            config, method="decay",
+            decay_function=lambda age, factor: 1.0, decay_factor=2.0,
+        ) is None
+
+    def test_opaque_filter_predicate_is_uncacheable(self, config):
+        assert self._fp(
+            config, method="filter", predicate=lambda stat: True
+        ) is None
+
+    def test_marked_filter_predicate_is_cacheable(self, config):
+        from repro.core.query import cacheable_filter
+
+        @cacheable_filter(("total_at_least", 3))
+        def predicate(stat):
+            return stat.total() >= 3
+
+        @cacheable_filter(("total_at_least", 4))
+        def other(stat):
+            return stat.total() >= 4
+
+        a = self._fp(config, method="filter", predicate=predicate)
+        b = self._fp(config, method="filter", predicate=predicate)
+        c = self._fp(config, method="filter", predicate=other)
+        assert a is not None
+        assert a == b
+        assert a != c
+
+    def test_invalid_arguments_are_uncacheable_not_wrong(self, config):
+        # k <= 0 and a bad attribute raise in the engine; the fingerprint
+        # must refuse them so the error path is never cached away.
+        assert self._fp(config, k=0) is None
+        assert self._fp(config, sort_type=SortType.ATTRIBUTE,
+                        sort_attribute="nope") is None
+
+    def test_distinct_queries_stay_distinct(self, config):
+        from repro.core.query import query_fingerprint
+
+        base = dict(sort_type=SortType.TOTAL, k=10)
+        fingerprints = {
+            query_fingerprint(config, "topk", 7, 3, self.WINDOW, **base),
+            query_fingerprint(config, "topk", 7, 4, self.WINDOW, **base),
+            query_fingerprint(config, "topk", 9, 3, self.WINDOW, **base),
+            query_fingerprint(config, "topk", 7, None, self.WINDOW, **base),
+            query_fingerprint(config, "topk", 7, 3, self.WINDOW,
+                              sort_type=SortType.TOTAL, k=11),
+            query_fingerprint(config, "topk", 7, 3,
+                              TimeRange.absolute(0, NOW - 1), **base),
+        }
+        assert None not in fingerprints
+        assert len(fingerprints) == 6
+
+    def test_window_bounds_are_part_of_the_key(self, config):
+        from repro.core.query import query_fingerprint
+
+        a = self._fp(config)
+        b = query_fingerprint(
+            config, "topk", 7, 3, TimeRange.absolute(1, NOW),
+            sort_type=SortType.TOTAL, k=10,
+        )
+        assert a != b
+
+    def test_reordered_weights_give_bit_identical_results(
+        self, query_engine, profile
+    ):
+        """Execution-side normalization: same floats summed in the same
+        order regardless of how the caller spelled the weight dict."""
+        window = TimeRange.absolute(0, NOW)
+        a = query_engine.top_k(
+            profile, 7, 3, window, SortType.WEIGHTED, 10, NOW,
+            sort_weights={"like": 0.1, "comment": 0.7, "share": 0.2},
+        )
+        b = query_engine.top_k(
+            profile, 7, 3, window, SortType.WEIGHTED, 10, NOW,
+            sort_weights={"share": 0.2, "comment": 0.7, "like": 0.1},
+        )
+        assert repr(a) == repr(b)

@@ -1,0 +1,384 @@
+"""Differential invalidation oracle for the server-side result cache.
+
+Two nodes share one simulated clock: one runs the full hot-read path
+(result cache + singleflight + batch windows), the other runs bare.  A
+seeded plan interleaves every write path the node has — direct puts,
+batched puts, ingestion applies, isolation merges, full and partial
+maintenance (compaction / truncation), cache cycles, checkpoints, crash +
+recovery — and after every step a battery of reads (top-K across sort
+types, decay, filter, over CURRENT / RELATIVE / ABSOLUTE windows) must be
+*byte-identical* between the two nodes, with the cached node read twice
+so the second read is served from the cache whenever the query is
+cacheable.
+
+If any mutation path missed its invalidation hook, the cached node would
+keep serving the pre-mutation result and the oracle trips.  The teeth
+tests prove the oracle has teeth: deliberately unhooking an invalidation
+seam makes it fail.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR, SimulatedClock
+from repro.config import TableConfig, TruncateConfig
+from repro.core.query import SortType, cacheable_filter
+from repro.core.timerange import TimeRange
+from repro.ingest import IngestionJob, InstanceRecord, Topic, default_extraction
+from repro.server import CoalesceConfig, IPSNode, attach_memory_durability
+from repro.storage import InMemoryKVStore
+
+NOW_MS = 400 * MILLIS_PER_DAY
+
+ATTRIBUTES = ("like", "comment", "share")
+PROFILE_IDS = (1, 2, 3, 7)
+
+
+@cacheable_filter(("likes_at_least", 2))
+def _likes_at_least_two(stat):
+    return stat.counts[0] >= 2
+
+
+def _opaque_filter(stat):  # Deliberately unmarked: uncacheable.
+    return sum(stat.counts) >= 3
+
+
+def _table_config() -> TableConfig:
+    # Truncation makes maintenance lossy, so a missed maintenance-path
+    # invalidation changes real results (compaction alone preserves sums).
+    return TableConfig(
+        name="oracle",
+        attributes=ATTRIBUTES,
+        truncate=TruncateConfig(max_slices=200, max_age_ms=10 * MILLIS_PER_DAY),
+    )
+
+
+def _make_node(clock: SimulatedClock, cached: bool, durable: bool) -> IPSNode:
+    node = IPSNode(
+        "cached" if cached else "plain",
+        _table_config(),
+        InMemoryKVStore(),
+        clock=clock,
+        cache_capacity_bytes=4 * 1024 * 1024,
+        result_cache=512 if cached else None,
+        coalesce=CoalesceConfig(window_ms=0.0) if cached else None,
+    )
+    if durable:
+        attach_memory_durability(node, checkpoint_interval_records=64)
+    return node
+
+
+class _NodeIngestClient:
+    """Adapter giving IngestionJob the client surface over one node."""
+
+    def __init__(self, node: IPSNode) -> None:
+        self._node = node
+
+    def add_profile(self, profile_id, timestamp_ms, slot, type_id, fid, counts):
+        self._node.add_profile(
+            profile_id, timestamp_ms, slot, type_id, fid, counts,
+            caller="ingest",
+        )
+        return 1
+
+
+# ----------------------------------------------------------------------
+# The seeded interleaving plan
+# ----------------------------------------------------------------------
+
+
+def _random_write(rng: random.Random, now_ms: int) -> tuple:
+    return (
+        rng.choice(PROFILE_IDS),
+        now_ms - rng.randrange(12 * MILLIS_PER_DAY),
+        rng.randrange(2),
+        rng.randrange(2),
+        rng.randrange(40),
+        {attr: rng.randrange(1, 5) for attr in rng.sample(ATTRIBUTES, 2)},
+    )
+
+
+_REQUIRED_OPS = (
+    "put", "put_many", "ingest", "merge", "maintain_full",
+    "maintain_partial", "cache_cycle", "checkpoint", "crash_revert",
+)
+
+
+def _make_op(op: str, rng: random.Random, now_ms: int) -> tuple:
+    if op == "put":
+        return ("put", _random_write(rng, now_ms))
+    if op == "put_many":
+        profile_id = rng.choice(PROFILE_IDS)
+        timestamp = now_ms - rng.randrange(8 * MILLIS_PER_DAY)
+        fids = rng.sample(range(40), rng.randrange(2, 6))
+        counts = [
+            {attr: rng.randrange(1, 4) for attr in ATTRIBUTES} for _ in fids
+        ]
+        return (
+            "put_many",
+            (profile_id, timestamp, rng.randrange(2), rng.randrange(2),
+             fids, counts),
+        )
+    if op == "ingest":
+        records = [
+            InstanceRecord(
+                request_id=f"r{rng.randrange(10**6)}",
+                user_id=rng.choice(PROFILE_IDS),
+                item_id=rng.randrange(40),
+                timestamp_ms=now_ms - rng.randrange(5 * MILLIS_PER_DAY),
+                actions={
+                    attr: rng.randrange(1, 3)
+                    for attr in rng.sample(ATTRIBUTES, 1)
+                },
+                signals={"slot": rng.randrange(2), "type": rng.randrange(2)},
+            )
+            for _ in range(rng.randrange(1, 4))
+        ]
+        return ("ingest", tuple(records))
+    return (op, None)
+
+
+def _build_plan(rng: random.Random, steps: int) -> list[tuple]:
+    """A concrete op list (no randomness left) applied to both nodes."""
+    ops = [
+        "put", "put", "put", "put_many", "put_many", "ingest", "merge",
+        "merge", "maintain_full", "maintain_partial", "cache_cycle",
+        "checkpoint", "crash_revert", "advance_clock",
+    ]
+    plan: list[tuple] = []
+    now_ms = NOW_MS
+    for _ in range(steps):
+        op = rng.choice(ops)
+        if op == "advance_clock":
+            delta = rng.randrange(1, 18) * MILLIS_PER_HOUR
+            now_ms += delta
+            plan.append(("advance_clock", delta))
+        else:
+            plan.append(_make_op(op, rng, now_ms))
+    # Every op class must appear, whatever the draw — otherwise the oracle
+    # silently proves less than it claims.
+    exercised = {op for op, _ in plan}
+    for op in _REQUIRED_OPS:
+        if op not in exercised:
+            plan.insert(rng.randrange(len(plan) + 1), _make_op(op, rng, now_ms))
+    return plan
+
+
+def _apply(node: IPSNode, op: str, arg) -> None:
+    if op == "put":
+        node.add_profile(*arg)
+    elif op == "put_many":
+        node.add_profiles(*arg)
+    elif op == "ingest":
+        topic = Topic("instances", num_partitions=2)
+        for record in arg:
+            topic.produce(record.user_id, record, record.timestamp_ms)
+        job = IngestionJob(
+            topic, _NodeIngestClient(node), default_extraction(ATTRIBUTES)
+        )
+        job.run_until_drained()
+    elif op == "merge":
+        node.merge_write_table()
+    elif op == "maintain_full":
+        node.run_maintenance(full=True)
+    elif op == "maintain_partial":
+        node.run_maintenance(full=False)
+    elif op == "cache_cycle":
+        node.run_cache_cycle()
+    elif op == "checkpoint":
+        node.checkpoint()
+    elif op == "crash_revert":
+        # The chaos engine's node_crash fault followed by its revert:
+        # RPCNodeProxy.crash() -> node.crash(), restart() -> node.recover().
+        node.crash()
+        node.recover()
+    elif op != "advance_clock":  # pragma: no cover - plan/apply drift guard
+        raise AssertionError(f"unknown op {op}")
+
+
+# ----------------------------------------------------------------------
+# The read battery
+# ----------------------------------------------------------------------
+
+
+def _query_battery():
+    """(name, callable(node, profile_id)) pairs covering the read APIs."""
+    current_2d = TimeRange.current(2 * MILLIS_PER_DAY)
+    current_7d = TimeRange.current(7 * MILLIS_PER_DAY)
+    relative_3d = TimeRange.relative(3 * MILLIS_PER_DAY)
+    full_window = TimeRange.absolute(0, NOW_MS + 400 * MILLIS_PER_DAY)
+    return [
+        (
+            "topk_total_full",
+            lambda node, pid: node.get_profile_topk(
+                pid, 1, 0, full_window, SortType.TOTAL, 10
+            ),
+        ),
+        (
+            "topk_attr_current",
+            lambda node, pid: node.get_profile_topk(
+                pid, 1, 0, current_2d, SortType.ATTRIBUTE, 5,
+                sort_attribute="like",
+            ),
+        ),
+        (
+            "topk_weighted_current",
+            lambda node, pid: node.get_profile_topk(
+                pid, 0, None, current_7d, SortType.WEIGHTED, 8,
+                sort_weights={"share": 3, "like": 1},
+            ),
+        ),
+        (
+            "topk_explicit_default_aggregate",
+            lambda node, pid: node.get_profile_topk(
+                pid, 1, 0, full_window, SortType.FEATURE_ID, 6, aggregate="sum"
+            ),
+        ),
+        (
+            "decay_exponential_relative",
+            lambda node, pid: node.get_profile_decay(
+                pid, 1, 0, relative_3d, "exponential", MILLIS_PER_DAY / 2.0
+            ),
+        ),
+        (
+            "decay_linear_attr",
+            lambda node, pid: node.get_profile_decay(
+                pid, 0, None, current_7d, "linear", 5 * MILLIS_PER_DAY,
+                k=5, sort_attribute="comment",
+            ),
+        ),
+        (
+            "filter_cacheable",
+            lambda node, pid: node.get_profile_filter(
+                pid, 1, 0, current_7d, _likes_at_least_two
+            ),
+        ),
+        (
+            "filter_opaque",
+            lambda node, pid: node.get_profile_filter(
+                pid, 0, None, full_window, _opaque_filter
+            ),
+        ),
+    ]
+
+
+def _assert_reads_identical(cached: IPSNode, plain: IPSNode, step: str) -> None:
+    """Every battery read, byte-identical, cached node read twice."""
+    for name, query in _query_battery():
+        for profile_id in PROFILE_IDS:
+            expected = query(plain, profile_id)
+            first = query(cached, profile_id)
+            second = query(cached, profile_id)  # Cache-hit path when cacheable.
+            assert repr(first) == repr(expected), (
+                f"{step}: {name}(profile={profile_id}) diverged on first "
+                f"read:\n  cached={first!r}\n  plain ={expected!r}"
+            )
+            assert repr(second) == repr(expected), (
+                f"{step}: {name}(profile={profile_id}) diverged on cached "
+                f"re-read:\n  cached={second!r}\n  plain ={expected!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("durable", [True, False], ids=["wal", "no-wal"])
+def test_oracle_all_mutation_paths(rng, durable):
+    """Seeded interleavings of every write path stay byte-identical."""
+    clock = SimulatedClock(start_ms=NOW_MS)
+    cached = _make_node(clock, cached=True, durable=durable)
+    plain = _make_node(clock, cached=False, durable=durable)
+    plan = _build_plan(rng, steps=50)
+    exercised = {op for op, _ in plan}
+    assert set(_REQUIRED_OPS) <= exercised
+
+    for index, (op, arg) in enumerate(plan):
+        if op == "advance_clock":
+            clock.advance(arg)
+        else:
+            _apply(cached, op, arg)
+            _apply(plain, op, arg)
+        _assert_reads_identical(cached, plain, step=f"step {index} ({op})")
+
+    # The run must have exercised the cache for the comparison to mean
+    # anything: hits come from the double reads, invalidations from writes.
+    stats = cached.result_cache.stats
+    assert stats.hits > 0
+    assert stats.installs > 0
+    assert stats.invalidations > 0
+    assert stats.uncacheable > 0  # The opaque filter bypassed the cache.
+
+
+def test_oracle_many_seeds():
+    """Shorter interleavings across independent seeds."""
+    for seed in range(5):
+        clock = SimulatedClock(start_ms=NOW_MS)
+        cached = _make_node(clock, cached=True, durable=True)
+        plain = _make_node(clock, cached=False, durable=True)
+        for index, (op, arg) in enumerate(
+            _build_plan(random.Random(seed), steps=20)
+        ):
+            if op == "advance_clock":
+                clock.advance(arg)
+            else:
+                _apply(cached, op, arg)
+                _apply(plain, op, arg)
+            _assert_reads_identical(
+                cached, plain, step=f"seed {seed} step {index} ({op})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Teeth: a deliberately skipped hook must be caught
+# ----------------------------------------------------------------------
+
+
+def test_oracle_teeth_write_hook_removed():
+    """Unhooking GCache's invalidation seam makes the oracle trip."""
+    clock = SimulatedClock(start_ms=NOW_MS)
+    cached = _make_node(clock, cached=True, durable=False)
+    plain = _make_node(clock, cached=False, durable=False)
+    write = (1, NOW_MS - MILLIS_PER_HOUR, 1, 0, 5, {"like": 3})
+    for node in (cached, plain):
+        _apply(node, "put", write)
+        _apply(node, "merge", None)
+    _assert_reads_identical(cached, plain, step="warmup")
+
+    cached.cache.set_invalidation_hook(None)  # The deliberate bug.
+    newer = (1, NOW_MS, 1, 0, 5, {"like": 40, "share": 7})
+    for node in (cached, plain):
+        _apply(node, "put", newer)
+        _apply(node, "merge", None)
+    with pytest.raises(AssertionError, match="diverged"):
+        _assert_reads_identical(cached, plain, step="unhooked write")
+
+
+def test_oracle_teeth_maintenance_hook_removed():
+    """Unhooking the engine's maintenance listener makes the oracle trip.
+
+    Truncation during maintenance drops out-of-retention slices, so a
+    cached wide-window read that survives maintenance is provably stale.
+    """
+    clock = SimulatedClock(start_ms=NOW_MS)
+    cached = _make_node(clock, cached=True, durable=False)
+    plain = _make_node(clock, cached=False, durable=False)
+    old = (2, NOW_MS - 9 * MILLIS_PER_DAY, 1, 0, 7, {"comment": 9})
+    fresh = (2, NOW_MS - MILLIS_PER_HOUR, 1, 0, 8, {"like": 1})
+    for node in (cached, plain):
+        _apply(node, "put", old)
+        _apply(node, "put", fresh)
+        _apply(node, "merge", None)
+    _assert_reads_identical(cached, plain, step="warmup")
+
+    cached.engine._mutation_listeners.clear()  # The deliberate bug.
+    clock.advance(2 * MILLIS_PER_DAY)  # The old write leaves retention.
+    for node in (cached, plain):
+        node.engine._maintenance_pending.add(2)
+        _apply(node, "maintain_full", None)
+    with pytest.raises(AssertionError, match="diverged"):
+        _assert_reads_identical(cached, plain, step="unhooked maintenance")

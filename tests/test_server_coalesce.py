@@ -1,0 +1,569 @@
+"""Server-side request coalescing: singleflight + adaptive batch windows.
+
+Concurrency tests for the hot-read path: N threads issuing the same hot
+read must observe exactly one engine execution; a leader failure (partial
+or total) must propagate to every coalesced waiter; and per-waiter
+resilience primitives from the batch-query stack — deadlines and circuit
+breakers — must keep working when requests are coalesced.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import MILLIS_PER_DAY, SimulatedClock, SystemClock
+from repro.cluster.resilience import CircuitBreaker, Deadline
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import DeadlineExceededError, IPSError
+from repro.server import (
+    AdaptiveBatcher,
+    CoalesceConfig,
+    IPSNode,
+    SingleFlight,
+)
+from repro.storage import InMemoryKVStore
+
+NOW_MS = 400 * MILLIS_PER_DAY
+
+
+def _run_threads(count, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    return threads
+
+
+def _join_all(threads, timeout=10.0):
+    for thread in threads:
+        thread.join(timeout)
+        assert not thread.is_alive(), "worker thread hung"
+
+
+# ----------------------------------------------------------------------
+# SingleFlight
+# ----------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_calls_execute_once(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        calls = []
+        results = {}
+
+        def slow_fn():
+            calls.append(1)
+            assert release.wait(5.0)
+            return [1, 2, 3]
+
+        def worker(index):
+            results[index] = flight.execute("key", slow_fn)
+
+        threads = _run_threads(8, worker)
+        # The leader is inside slow_fn; wait until every other thread has
+        # joined its flight (coalesced increments before the wait).
+        deadline = time.monotonic() + 5.0
+        while flight.stats.coalesced < 7:
+            assert time.monotonic() < deadline, "waiters never coalesced"
+            time.sleep(0.001)
+        release.set()
+        _join_all(threads)
+
+        assert len(calls) == 1
+        assert flight.stats.executions == 1
+        assert flight.stats.coalesced == 7
+        leaders = [index for index, (_, lead) in results.items() if lead]
+        assert len(leaders) == 1
+        assert all(value == [1, 2, 3] for value, _ in results.values())
+
+    def test_sequential_calls_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.execute("k", lambda: 1) == (1, True)
+        assert flight.execute("k", lambda: 2) == (2, True)
+        assert flight.stats.executions == 2
+        assert flight.stats.coalesced == 0
+
+    def test_different_keys_run_independently(self):
+        flight = SingleFlight()
+        assert flight.execute("a", lambda: "A") == ("A", True)
+        assert flight.execute("b", lambda: "B") == ("B", True)
+        assert flight.stats.coalesced == 0
+
+    def test_leader_failure_propagates_to_every_waiter(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        outcomes = {}
+
+        def failing_fn():
+            assert release.wait(5.0)
+            raise IPSError("backend exploded")
+
+        def worker(index):
+            try:
+                flight.execute("key", failing_fn)
+                outcomes[index] = None
+            except IPSError as exc:
+                outcomes[index] = exc
+
+        threads = _run_threads(5, worker)
+        deadline = time.monotonic() + 5.0
+        while flight.stats.coalesced < 4:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        release.set()
+        _join_all(threads)
+
+        assert len(outcomes) == 5
+        assert all(isinstance(exc, IPSError) for exc in outcomes.values())
+        # Every waiter re-raised the leader's exception object.
+        assert len({id(exc) for exc in outcomes.values()}) == 1
+        assert flight.stats.errors_shared == 4
+        # The failed flight was cleaned up: the key executes again.
+        assert flight.execute("key", lambda: "ok") == ("ok", True)
+
+    def test_waiter_deadline_honored_while_leader_runs(self):
+        flight = SingleFlight()
+        clock = SystemClock()
+        release = threading.Event()
+        leader_done = {}
+
+        def slow_fn():
+            assert release.wait(5.0)
+            return "slow result"
+
+        def leader_worker(index):
+            leader_done[index] = flight.execute("key", slow_fn)
+
+        threads = _run_threads(1, leader_worker)
+        deadline = time.monotonic() + 5.0
+        while flight.stats.executions == 0 and not flight._flights:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+
+        # A short-deadline waiter joins the in-flight execution and gives
+        # up on its own budget; the leader is unaffected.
+        with pytest.raises(DeadlineExceededError):
+            flight.execute("key", slow_fn, deadline=Deadline(clock, 30.0))
+        release.set()
+        _join_all(threads)
+        assert leader_done[0] == ("slow result", True)
+        assert flight.stats.coalesced == 1
+
+
+# ----------------------------------------------------------------------
+# AdaptiveBatcher
+# ----------------------------------------------------------------------
+
+
+class TestAdaptiveBatcher:
+    def _batcher(self, **overrides):
+        defaults = dict(window_ms=200.0, max_batch=4, min_batch=2,
+                        disarm_after=2)
+        defaults.update(overrides)
+        return AdaptiveBatcher(CoalesceConfig(**defaults))
+
+    def test_starts_disarmed_and_solo_reads_stay_windowless(self):
+        batcher = self._batcher()
+        assert not batcher.armed
+        start = time.monotonic()
+        result = batcher.submit("shape", 1, lambda ids: {1: "r1"})
+        assert result == "r1"
+        # No window was held: a disarmed solo read returns immediately.
+        assert time.monotonic() - start < 0.1
+        assert not batcher.armed
+        assert batcher.stats.batches == 1
+        assert batcher.stats.armed_windows == 0
+
+    def test_concurrent_arrivals_arm_the_window(self):
+        batcher = self._batcher(window_ms=0.0)
+        release = threading.Event()
+        results = {}
+
+        def blocked_execute(ids):
+            assert release.wait(5.0)
+            return {pid: f"r{pid}" for pid in ids}
+
+        def leader(index):
+            results["leader"] = batcher.submit("shape", 1, blocked_execute)
+
+        threads = _run_threads(1, leader)
+        deadline = time.monotonic() + 5.0
+        while not batcher._executing:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        assert not batcher.armed
+
+        # A same-shape arrival lands while the first batch is executing:
+        # that is observed concurrency, and it arms the window.
+        results["second"] = batcher.submit(
+            "shape", 2, lambda ids: {pid: f"r{pid}" for pid in ids}
+        )
+        assert batcher.armed
+        release.set()
+        _join_all(threads)
+        assert results["leader"] == "r1"
+        assert results["second"] == "r2"
+
+        # A different-shape arrival during execution would not arm.
+        batcher2 = self._batcher(window_ms=0.0)
+        batcher2.submit("a", 1, lambda ids: {1: "x"})
+        assert not batcher2.armed
+
+    def test_consecutive_small_batches_disarm(self):
+        batcher = self._batcher(window_ms=0.0, disarm_after=2)
+        batcher._armed = True  # As if concurrency had been observed.
+
+        def execute_many(ids):
+            return {pid: f"r{pid}" for pid in ids}
+
+        batcher.submit("shape", 5, execute_many)
+        assert batcher.armed  # One small batch is tolerated...
+        batcher.submit("shape", 6, execute_many)
+        assert not batcher.armed  # ...two consecutive ones disarm.
+
+    def test_armed_window_accumulates_members_into_one_execution(self):
+        batcher = self._batcher(window_ms=500.0, max_batch=2)
+        batcher._armed = True  # Pre-arm: concurrency already observed.
+        executions = []
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def execute_many(ids):
+            executions.append(tuple(ids))
+            return {pid: pid * 10 for pid in ids}
+
+        def worker(index):
+            barrier.wait(5.0)
+            results[index] = batcher.submit(
+                "shape", index + 1, execute_many
+            )
+
+        threads = _run_threads(2, worker)
+        _join_all(threads)
+
+        # One execution served both profiles (max_batch=2 closed the
+        # window as soon as the second member joined).
+        assert len(executions) == 1
+        assert sorted(executions[0]) == [1, 2]
+        assert results == {0: 10, 1: 20}
+        assert batcher.stats.batches == 1
+        assert batcher.stats.batched_keys == 2
+        assert batcher.stats.joined == 1
+        assert batcher.stats.armed_windows == 1
+        assert batcher.stats.mean_occupancy == 2.0
+
+    def test_per_profile_failure_isolated_to_its_waiter(self):
+        batcher = self._batcher(window_ms=500.0, max_batch=2)
+        batcher._armed = True
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def execute_many(ids):
+            return {
+                pid: IPSError(f"profile {pid} failed") if pid == 2 else "ok"
+                for pid in ids
+            }
+
+        def worker(index):
+            barrier.wait(5.0)
+            try:
+                outcomes[index] = batcher.submit(
+                    "shape", index + 1, execute_many
+                )
+            except IPSError as exc:
+                outcomes[index] = exc
+
+        threads = _run_threads(2, worker)
+        _join_all(threads)
+
+        assert outcomes[0] == "ok"
+        assert isinstance(outcomes[1], IPSError)
+        assert "profile 2 failed" in str(outcomes[1])
+
+    def test_whole_batch_failure_propagates_to_all_waiters(self):
+        batcher = self._batcher(window_ms=500.0, max_batch=2)
+        batcher._armed = True
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def execute_many(ids):
+            raise IPSError("multi-get pass failed")
+
+        def worker(index):
+            barrier.wait(5.0)
+            try:
+                outcomes[index] = batcher.submit(
+                    "shape", index + 1, execute_many
+                )
+            except IPSError as exc:
+                outcomes[index] = exc
+
+        threads = _run_threads(2, worker)
+        _join_all(threads)
+        assert all(isinstance(exc, IPSError) for exc in outcomes.values())
+        assert len(outcomes) == 2
+
+    def test_joiner_deadline_honored_during_long_window(self):
+        batcher = self._batcher(window_ms=800.0, max_batch=64)
+        batcher._armed = True
+        clock = SystemClock()
+        results = {}
+
+        def execute_many(ids):
+            return {pid: "late" for pid in ids}
+
+        def leader(index):
+            results["leader"] = batcher.submit("shape", 1, execute_many)
+
+        threads = _run_threads(1, leader)
+        deadline = time.monotonic() + 5.0
+        while "shape" not in batcher._open:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+
+        # The joiner's own 30ms budget expires while the leader holds the
+        # 800ms window open; it bails without sinking the batch.
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            batcher.submit(
+                "shape", 2, execute_many, deadline=Deadline(clock, 30.0)
+            )
+        assert time.monotonic() - start < 0.7
+        _join_all(threads)
+        assert results["leader"] == "late"
+
+    def test_dedup_same_profile_in_window(self):
+        batcher = self._batcher(window_ms=0.0)
+        result = batcher.submit("shape", 3, lambda ids: {3: len(ids)})
+        assert result == 1
+
+
+# ----------------------------------------------------------------------
+# Node-level: N identical hot reads -> one engine execution
+# ----------------------------------------------------------------------
+
+
+def _hot_node(clock=None, coalesce=None):
+    config = TableConfig(name="coalesce", attributes=("like", "share"))
+    node = IPSNode(
+        "hot",
+        config,
+        InMemoryKVStore(),
+        clock=clock if clock is not None else SimulatedClock(start_ms=NOW_MS),
+        result_cache=256,
+        coalesce=coalesce if coalesce is not None else CoalesceConfig(window_ms=0.0),
+    )
+    for fid in range(10):
+        node.add_profile(1, NOW_MS - fid * 1000, 1, 0, fid, {"like": fid + 1})
+        node.add_profile(
+            2, NOW_MS - fid * 1000, 1, 0, fid + 20, {"share": fid + 1}
+        )
+    node.merge_write_table()
+    return node
+
+
+class TestNodeCoalescing:
+    def test_identical_hot_reads_execute_once(self):
+        node = _hot_node()
+        window = TimeRange.absolute(0, NOW_MS + 1)
+        release = threading.Event()
+        engine_calls = []
+        real_topk = node.engine.get_profile_topk
+
+        def slow_topk(*args, **kwargs):
+            engine_calls.append(1)
+            assert release.wait(5.0)
+            return real_topk(*args, **kwargs)
+
+        node.engine.get_profile_topk = slow_topk
+        results = {}
+
+        def worker(index):
+            results[index] = node.get_profile_topk(
+                1, 1, 0, window, SortType.TOTAL, 5
+            )
+
+        threads = _run_threads(6, worker)
+        deadline = time.monotonic() + 5.0
+        while node.singleflight.stats.coalesced < 5:
+            assert time.monotonic() < deadline, "reads never coalesced"
+            time.sleep(0.001)
+        release.set()
+        _join_all(threads)
+
+        # Exactly one engine execution served all six readers.
+        assert len(engine_calls) == 1
+        assert node.singleflight.stats.executions == 1
+        assert node.singleflight.stats.coalesced == 5
+        baseline = repr(results[0])
+        assert all(repr(value) == baseline for value in results.values())
+        # Waiters received private copies, not aliases of one list.
+        assert len({id(value) for value in results.values()}) == 6
+
+        # Afterwards the result cache serves the same read with zero
+        # additional executions.
+        node.engine.get_profile_topk = real_topk
+        hits_before = node.result_cache.stats.hits
+        again = node.get_profile_topk(1, 1, 0, window, SortType.TOTAL, 5)
+        assert repr(again) == baseline
+        assert node.result_cache.stats.hits == hits_before + 1
+        assert node.singleflight.stats.executions == 1
+
+    def test_coalesced_partial_failure_reaches_every_waiter(self):
+        node = _hot_node()
+        window = TimeRange.absolute(0, NOW_MS + 1)
+        release = threading.Event()
+
+        def failing_topk(*args, **kwargs):
+            assert release.wait(5.0)
+            raise IPSError("storage fault mid-read")
+
+        node.engine.get_profile_topk = failing_topk
+        outcomes = {}
+
+        def worker(index):
+            try:
+                outcomes[index] = node.get_profile_topk(
+                    1, 1, 0, window, SortType.TOTAL, 5
+                )
+            except IPSError as exc:
+                outcomes[index] = exc
+
+        threads = _run_threads(4, worker)
+        deadline = time.monotonic() + 5.0
+        while node.singleflight.stats.coalesced < 3:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        release.set()
+        _join_all(threads)
+
+        assert len(outcomes) == 4
+        assert all(isinstance(exc, IPSError) for exc in outcomes.values())
+        assert node.singleflight.stats.errors_shared == 3
+        # The failure was never installed in the result cache.
+        assert node.result_cache.stats.installs == 0
+
+    def test_waiter_deadline_honored_through_node_read(self):
+        node = _hot_node()
+        window = TimeRange.absolute(0, NOW_MS + 1)
+        release = threading.Event()
+        real_topk = node.engine.get_profile_topk
+
+        def slow_topk(*args, **kwargs):
+            assert release.wait(5.0)
+            return real_topk(*args, **kwargs)
+
+        node.engine.get_profile_topk = slow_topk
+        results = {}
+
+        def leader(index):
+            results["leader"] = node.get_profile_topk(
+                1, 1, 0, window, SortType.TOTAL, 5
+            )
+
+        threads = _run_threads(1, leader)
+        deadline = time.monotonic() + 5.0
+        while node.singleflight.stats.executions == 0 and not (
+            node.singleflight._flights
+        ):
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+
+        wall = SystemClock()
+        with pytest.raises(DeadlineExceededError):
+            node.get_profile_topk(
+                1, 1, 0, window, SortType.TOTAL, 5,
+                deadline=Deadline(wall, 30.0),
+            )
+        release.set()
+        _join_all(threads)
+        assert results["leader"]
+
+    def test_circuit_breaker_honored_per_waiter(self):
+        """Coalesced failures still feed each waiter's breaker.
+
+        Every waiter that shares the leader's failure records it against
+        its own circuit breaker, and a tripped breaker rejects the next
+        read locally — no execution, no coalescing.
+        """
+        node = _hot_node()
+        window = TimeRange.absolute(0, NOW_MS + 1)
+        clock = SystemClock()
+        release = threading.Event()
+
+        def failing_topk(*args, **kwargs):
+            assert release.wait(5.0)
+            raise IPSError("node sick")
+
+        node.engine.get_profile_topk = failing_topk
+        breakers = {i: CircuitBreaker(clock, failure_threshold=1) for i in range(3)}
+        outcomes = {}
+
+        def worker(index):
+            breaker = breakers[index]
+            if not breaker.allow():
+                outcomes[index] = "rejected"
+                return
+            try:
+                outcomes[index] = node.get_profile_topk(
+                    1, 1, 0, window, SortType.TOTAL, 5
+                )
+                breaker.record_success()
+            except IPSError as exc:
+                breaker.record_failure()
+                outcomes[index] = exc
+
+        threads = _run_threads(3, worker)
+        deadline = time.monotonic() + 5.0
+        while node.singleflight.stats.coalesced < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        release.set()
+        _join_all(threads)
+
+        # One shared failure tripped all three waiters' breakers.
+        assert all(isinstance(exc, IPSError) for exc in outcomes.values())
+        assert all(not b.allow() for b in breakers.values())
+        executions_before = node.singleflight.stats.executions
+
+        # The next read is rejected locally by the open breaker — the
+        # coalescing layer never even sees it.
+        for breaker in breakers.values():
+            assert not breaker.allow()
+        assert node.singleflight.stats.executions == executions_before
+
+    def test_batch_window_merges_distinct_profiles_same_shape(self):
+        node = _hot_node(coalesce=CoalesceConfig(window_ms=500.0, max_batch=2))
+        node.batcher._armed = True  # Concurrency already observed.
+        window = TimeRange.absolute(0, NOW_MS + 1)
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def worker(index):
+            profile_id = index + 1
+            barrier.wait(5.0)
+            results[profile_id] = node.get_profile_topk(
+                profile_id, 1, 0, window, SortType.TOTAL, 5
+            )
+
+        threads = _run_threads(2, worker)
+        _join_all(threads)
+
+        # Both profiles were served out of one batch-window execution.
+        assert node.batcher.stats.batches == 1
+        assert node.batcher.stats.batched_keys == 2
+        assert results[1] and results[2]
+        assert repr(results[1]) != repr(results[2])
+        # And the results match a cold per-profile read on a fresh node.
+        fresh = _hot_node()
+        for profile_id in (1, 2):
+            assert repr(results[profile_id]) == repr(
+                fresh.get_profile_topk(
+                    profile_id, 1, 0, window, SortType.TOTAL, 5
+                )
+            )

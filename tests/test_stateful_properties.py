@@ -155,3 +155,132 @@ TestFileKVStoreStateful = FileKVStoreMachine.TestCase
 TestFileKVStoreStateful.settings = settings(
     max_examples=15, stateful_step_count=30, deadline=None
 )
+
+
+class ResultCacheNodeMachine(RuleBasedStateMachine):
+    """A hot-read node against a dict model of its merged writes.
+
+    Model: ``profile_id -> fid -> [per-attribute sums]`` of every write
+    *visible* to reads (merged or recovered; buffered writes stay in a
+    separate pending list until a merge makes them visible).  The node
+    runs the full hot-read path — result cache (tiny, so LRU eviction is
+    constant), singleflight, invalidation hooks — and every read must
+    match the model exactly: a read served from the result cache that
+    survived a write, merge, maintenance pass, cache cycle or crash
+    recovery would diverge immediately.
+
+    Sum aggregation over the full-history window makes the expected
+    answer compaction-invariant, so maintenance must *not* change reads
+    while writes must.
+    """
+
+    ATTRS = ("a", "b")
+
+    @initialize()
+    def setup(self) -> None:
+        from repro.clock import MILLIS_PER_DAY, SimulatedClock
+        from repro.config import TableConfig
+        from repro.core.query import SortType
+        from repro.core.timerange import TimeRange
+        from repro.server import (
+            CoalesceConfig,
+            IPSNode,
+            attach_memory_durability,
+        )
+        from repro.storage import InMemoryKVStore
+
+        self.SortType = SortType
+        self.now_ms = 400 * MILLIS_PER_DAY
+        self.day_ms = MILLIS_PER_DAY
+        self.window = TimeRange.absolute(0, self.now_ms + 1)
+        self.node = IPSNode(
+            "stateful",
+            TableConfig(name="stateful", attributes=self.ATTRS),
+            InMemoryKVStore(),
+            clock=SimulatedClock(start_ms=self.now_ms),
+            cache_capacity_bytes=64 * 1024,  # Small: GCache churns.
+            result_cache=8,  # Tiny: result-cache eviction is constant.
+            coalesce=CoalesceConfig(window_ms=0.0),
+        )
+        attach_memory_durability(self.node, checkpoint_interval_records=32)
+        #: Visible state: profile -> fid -> [sum per attribute].
+        self.model: dict[int, dict[int, list[int]]] = {}
+        #: Writes buffered in the write table, invisible until merged.
+        self.pending: list[tuple[int, int, dict[str, int]]] = []
+
+    def _absorb_pending(self) -> None:
+        for profile_id, fid, counts in self.pending:
+            sums = self.model.setdefault(profile_id, {}).setdefault(
+                fid, [0] * len(self.ATTRS)
+            )
+            for index, attr in enumerate(self.ATTRS):
+                sums[index] += counts.get(attr, 0)
+        self.pending.clear()
+
+    @rule(
+        profile_id=st.integers(min_value=0, max_value=5),
+        fid=st.integers(min_value=0, max_value=9),
+        day=st.integers(min_value=0, max_value=5),
+        count=st.integers(min_value=1, max_value=4),
+    )
+    def write(self, profile_id: int, fid: int, day: int, count: int) -> None:
+        counts = {self.ATTRS[fid % 2]: count}
+        self.node.add_profile(
+            profile_id, self.now_ms - day * self.day_ms, 1, 0, fid, counts
+        )
+        self.pending.append((profile_id, fid, counts))
+
+    @rule()
+    def merge(self) -> None:
+        self.node.merge_write_table()
+        self._absorb_pending()
+
+    @rule()
+    def maintain(self) -> None:
+        """Compaction: must not change full-window sum reads."""
+        self.node.run_maintenance(full=True)
+
+    @rule()
+    def cache_cycle(self) -> None:
+        self.node.run_cache_cycle()
+
+    @rule()
+    def invalidate_all(self) -> None:
+        """Spurious invalidation is always safe (never wrong, only slow)."""
+        self.node.result_cache.invalidate_all()
+
+    @rule()
+    def crash_recover(self) -> None:
+        """WAL-logged writes — buffered or merged — survive the crash."""
+        self.node.crash()
+        self.node.recover()
+        self._absorb_pending()
+
+    @rule(profile_id=st.integers(min_value=0, max_value=6))
+    def read(self, profile_id: int) -> None:
+        expected = {
+            fid: tuple(sums)
+            for fid, sums in self.model.get(profile_id, {}).items()
+        }
+        for _ in range(2):  # Second read exercises the cache-hit path.
+            results = self.node.get_profile_topk(
+                profile_id, 1, 0, self.window, self.SortType.FEATURE_ID, 64
+            )
+            got = {result.fid: result.counts for result in results}
+            assert got == expected, (
+                f"profile {profile_id}: cached node returned {got}, "
+                f"model says {expected}"
+            )
+
+    @invariant()
+    def cache_accounting_consistent(self) -> None:
+        cache = self.node.result_cache
+        assert len(cache) <= 8
+        stats = cache.stats
+        assert stats.hits + stats.misses >= stats.installs
+
+
+TestResultCacheNodeStateful = ResultCacheNodeMachine.TestCase
+TestResultCacheNodeStateful.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)

@@ -1,19 +1,25 @@
 #!/usr/bin/env python
-"""Line-coverage floor for ``src/repro/core`` with zero external deps.
+"""Line-coverage floors for the hot subsystems with zero external deps.
 
 The image has neither ``coverage`` nor ``pytest-cov``, and Python 3.11
 predates ``sys.monitoring`` — so this uses the stdlib tracer directly: a
-``sys.settrace`` hook records executed lines for files under
-``src/repro/core`` while the core-focused test files run in-process via
+``sys.settrace`` hook records executed lines for files under the target
+directories while the focused test files run in-process via
 ``pytest.main``.  Executable lines come from the compiled code objects'
 ``co_lines`` tables (every nested function/class body included).
 
-Fails the build when aggregate line coverage over the core drops below
-the floor — the kernels tentpole doubled the number of hot-path
-implementations, and the differential suites must keep reaching both.
+Each target carries its own floor:
 
-Run from the repo root (``make coverage-core`` does):
-``python tools/check_core_coverage.py [--floor 0.85]``.
+* ``src/repro/core`` — the query/profile engine the kernels tentpole
+  doubled the implementations of; the differential suites must keep
+  reaching both.
+* ``src/repro/server`` — the node read/write paths plus the hot-read
+  layer (result cache, singleflight, batch windows, durability), kept
+  honest by the invalidation oracle and the coalescing suite.
+
+Fails the build when any target's aggregate line coverage drops below
+its floor.  Run from the repo root (``make coverage-core`` does):
+``python tools/check_core_coverage.py [--floor NAME=0.85 ...]``.
 """
 
 from __future__ import annotations
@@ -24,14 +30,16 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
-TARGET_DIR = SRC / "repro" / "core"
 
-#: Aggregate executed/executable line ratio the core must keep.
-DEFAULT_FLOOR = 0.85
+#: (name, directory, aggregate executed/executable floor).
+TARGETS = (
+    ("core", SRC / "repro" / "core", 0.85),
+    ("server", SRC / "repro" / "server", 0.85),
+)
 
-#: Test files that exercise repro.core (kept explicit so the traced run
+#: Test files that exercise the targets (kept explicit so the traced run
 #: stays fast; the full suite is covered by ``make test`` untraced).
-CORE_TEST_FILES = (
+TRACED_TEST_FILES = (
     "tests/test_core_compaction.py",
     "tests/test_core_engine.py",
     "tests/test_core_feature.py",
@@ -46,6 +54,20 @@ CORE_TEST_FILES = (
     "tests/test_query_oracle.py",
     "tests/test_query_properties_extra.py",
     "tests/test_hot_reload.py",
+    # server targets
+    "tests/test_server_node.py",
+    "tests/test_server_isolation.py",
+    "tests/test_server_quota.py",
+    "tests/test_server_rpc.py",
+    "tests/test_server_proxy.py",
+    "tests/test_server_service.py",
+    "tests/test_server_maintenance_pool.py",
+    "tests/test_server_coalesce.py",
+    "tests/test_result_cache.py",
+    "tests/test_result_cache_oracle.py",
+    "tests/test_recovery.py",
+    "tests/test_crashpoints.py",
+    "tests/test_batch_query.py",
 )
 
 
@@ -66,20 +88,35 @@ def executable_lines(path: Path) -> set[int]:
     return lines
 
 
+def parse_floor_override(raw: str) -> tuple[str, float]:
+    name, _, value = raw.partition("=")
+    if not value:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=RATIO, got {raw!r}"
+        )
+    return name, float(value)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--floor",
-        type=float,
-        default=DEFAULT_FLOOR,
-        help=f"minimum aggregate line coverage (default {DEFAULT_FLOOR})",
+        type=parse_floor_override,
+        action="append",
+        default=[],
+        metavar="NAME=RATIO",
+        help="override one target's floor, e.g. --floor server=0.80",
     )
     args = parser.parse_args()
+    overrides = dict(args.floor)
+    unknown = set(overrides) - {name for name, _, _ in TARGETS}
+    if unknown:
+        parser.error(f"unknown coverage targets: {sorted(unknown)}")
 
     sys.path.insert(0, str(SRC))
     import pytest  # after the path tweak, mirroring the Makefile env
 
-    target_prefix = str(TARGET_DIR)
+    target_prefixes = tuple(str(directory) for _, directory, _ in TARGETS)
     executed: dict[str, set[int]] = {}
     wanted: dict[str, bool] = {}
 
@@ -87,7 +124,7 @@ def main() -> int:
         filename = frame.f_code.co_filename
         take = wanted.get(filename)
         if take is None:
-            take = filename.startswith(target_prefix)
+            take = filename.startswith(target_prefixes)
             wanted[filename] = take
         if not take:
             return None
@@ -104,43 +141,50 @@ def main() -> int:
     sys.settrace(tracer)
     try:
         exit_code = pytest.main(
-            ["-q", "-p", "no:cacheprovider", *CORE_TEST_FILES]
+            ["-q", "-p", "no:cacheprovider", *TRACED_TEST_FILES]
         )
     finally:
         sys.settrace(None)
     if exit_code != 0:
         print(
-            f"core test run failed (pytest exit {exit_code}); "
+            f"traced test run failed (pytest exit {exit_code}); "
             "coverage not evaluated",
             file=sys.stderr,
         )
         return 1
 
-    total_executable = 0
-    total_executed = 0
-    report = []
-    for path in sorted(TARGET_DIR.rglob("*.py")):
-        lines = executable_lines(path)
-        hit = executed.get(str(path), set()) & lines
-        total_executable += len(lines)
-        total_executed += len(hit)
-        ratio = len(hit) / len(lines) if lines else 1.0
-        report.append((ratio, path.relative_to(ROOT), len(hit), len(lines)))
+    failed = False
+    for name, directory, default_floor in TARGETS:
+        floor = overrides.get(name, default_floor)
+        total_executable = 0
+        total_executed = 0
+        report = []
+        for path in sorted(directory.rglob("*.py")):
+            lines = executable_lines(path)
+            hit = executed.get(str(path), set()) & lines
+            total_executable += len(lines)
+            total_executed += len(hit)
+            ratio = len(hit) / len(lines) if lines else 1.0
+            report.append(
+                (ratio, path.relative_to(ROOT), len(hit), len(lines))
+            )
 
-    coverage = total_executed / total_executable if total_executable else 1.0
-    for ratio, rel_path, hit, lines in sorted(report):
-        print(f"  {ratio:6.1%}  {hit:4d}/{lines:<4d}  {rel_path}")
-    print(
-        f"core coverage {coverage:.1%} "
-        f"({total_executed}/{total_executable} lines, floor {args.floor:.0%})"
-    )
-    if coverage < args.floor:
-        print(
-            f"core coverage {coverage:.1%} below floor {args.floor:.0%}",
-            file=sys.stderr,
+        coverage = (
+            total_executed / total_executable if total_executable else 1.0
         )
-        return 1
-    return 0
+        for ratio, rel_path, hit, lines in sorted(report):
+            print(f"  {ratio:6.1%}  {hit:4d}/{lines:<4d}  {rel_path}")
+        print(
+            f"{name} coverage {coverage:.1%} "
+            f"({total_executed}/{total_executable} lines, floor {floor:.0%})"
+        )
+        if coverage < floor:
+            print(
+                f"{name} coverage {coverage:.1%} below floor {floor:.0%}",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
