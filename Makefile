@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck dash
+.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history dash
 
 ## check: lint + tier-1 tests + kernel differential oracle (both backends)
-## + result-cache invalidation oracle + coverage floors (core + server)
-## + benchmark smoke runs + chaos determinism smoke + seeded crash-point
-## recovery schedules.
-check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck
+## + result-cache invalidation oracle + coverage floors (core + server +
+## obs) + benchmark smoke runs + chaos determinism smoke + seeded
+## crash-point recovery schedules + SLO alert falsification + the
+## perf-history snapshot/regression diff.
+check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -70,6 +71,19 @@ chaos:
 ## and the oracle must prove it still catches loss with the WAL off.
 crashcheck:
 	$(PYTHON) -m repro.chaos.crashpoints --seeds 20
+
+## slo-check: burn-rate alerting must be falsifiable — the paper incident
+## mix pages within the incident window, a fault-free run never alerts,
+## the resilient tenant stays silent, and same-seed alert timelines
+## replay byte-identically.
+slo-check:
+	$(PYTHON) benchmarks/bench_slo_alerts.py --smoke
+
+## bench-history: run the gated benches, record a schema-versioned
+## BENCH_<n>.json snapshot, and diff against the committed baseline with
+## per-metric tolerance bands (exit 1 on regression).
+bench-history:
+	$(PYTHON) tools/bench_history.py
 
 ## dash: one-screen ASCII observability dashboard over a demo workload.
 dash:

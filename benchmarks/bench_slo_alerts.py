@@ -1,0 +1,268 @@
+"""Falsifiable alerting: the paper incident mix must page, a clean run must not.
+
+PR 3 measured that the naive (no-resilience) client loses 18% of reads
+under the Fig. 17 incident timeline.  This bench turns that measurement
+into a *judgment*: an :class:`~repro.obs.slo.SLOEngine` watches the naive
+tenant with a 99.9% availability objective, and the multi-window
+fast-burn rule (page severity) must
+
+* **fire during the incident window** when the chaos timeline runs — the
+  first page lands after the machine-crash incident begins and before
+  the timeline ends;
+* **never fire on a fault-free run** — same deployment, same traffic,
+  no scheduled faults, empty alert timeline;
+* **replay byte-identically** — two same-seed chaos runs serialize the
+  exact same alert timeline JSON (everything is accounted on the
+  simulated clock; trace ids and burn windows contain no wall time).
+
+A resilient arm runs the same timeline as a control: its error rate is
+~0%, so its budget must survive and its page must stay silent — the SLO
+engine distinguishes the tenant that needs paging from the one that
+doesn't, under identical faults.
+
+Run standalone (``python benchmarks/bench_slo_alerts.py [--smoke]``,
+with ``src`` on ``PYTHONPATH``) or via pytest; ``make slo-check`` runs
+the smoke configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+from repro.chaos import ChaosEngine, paper_fault_timeline
+from repro.clock import MILLIS_PER_DAY, SimulatedClock
+from repro.cluster import MultiRegionDeployment, ResilienceConfig
+from repro.config import TableConfig
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+from repro.errors import IPSError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLOEngine
+
+NOW_MS = 400 * MILLIS_PER_DAY
+ROUND_MS = 60_000
+POPULATION = 200
+SEED = 42
+
+#: The chaos timeline's first incident (machine crash) begins at round 8
+#: and the last (region outage) ends by round 35 — the window the page
+#: must land in.
+INCIDENT_START_ROUND = 8
+INCIDENT_END_ROUND = 35
+
+SLO_CONFIG = {
+    "objectives": [
+        {
+            "name": "reads",
+            "caller": "*",
+            "op": "read",
+            "latency_threshold_ms": "100ms",
+            "latency_target": 0.99,
+            "availability_target": 0.999,
+        }
+    ],
+    "bucket": "1m",
+}
+
+
+def run_arm(
+    chaos: bool,
+    resilient: bool = False,
+    seed: int = SEED,
+    rounds: int = 40,
+    reads_per_round: int = 100,
+) -> dict:
+    """One tenant through the (optional) incident timeline, SLO-judged."""
+    clock = SimulatedClock(NOW_MS)
+    registry = MetricsRegistry()
+    config = TableConfig(name="slo", attributes=("click",))
+    deployment = MultiRegionDeployment(
+        config,
+        ["us", "eu"],
+        nodes_per_region=3,
+        clock=clock,
+        registry=registry,
+    )
+    # The engine (and its RPC proxies) exists in both arms so traffic
+    # takes the identical path; only the chaos arm schedules faults.
+    engine = ChaosEngine(deployment, seed=seed, registry=registry)
+    if chaos:
+        engine.schedule_many(
+            paper_fault_timeline(NOW_MS, region="eu", round_ms=ROUND_MS)
+        )
+    slo = SLOEngine.from_mapping(SLO_CONFIG, clock, registry=registry)
+    if resilient:
+        client = deployment.client(
+            "eu",
+            caller="resilient",
+            resilience=ResilienceConfig(seed=seed),
+            slo=slo,
+        )
+    else:
+        client = deployment.client(
+            "eu", caller="naive", max_retries=0, region_failover=False,
+            slo=slo,
+        )
+
+    window = TimeRange.absolute(
+        NOW_MS - 30 * MILLIS_PER_DAY, NOW_MS + (rounds + 1) * ROUND_MS
+    )
+    for user in range(POPULATION):
+        client.add_profile(user, NOW_MS, 1, 0, user % 7, {"click": 1})
+    deployment.run_background_cycle()
+
+    rng = random.Random(seed)
+    errors = 0
+    for _ in range(rounds):
+        engine.tick()
+        for _ in range(reads_per_round):
+            try:
+                client.get_profile_topk(
+                    rng.randrange(POPULATION), 1, 0, window, SortType.TOTAL,
+                    k=3,
+                )
+            except IPSError:
+                errors += 1
+        slo.evaluate()
+        clock.advance(ROUND_MS)
+        deployment.replicate()
+    engine.tick()
+    slo.evaluate()
+    return {
+        "errors": errors,
+        "reads": rounds * reads_per_round,
+        "timeline_json": slo.timeline_json(),
+        "events": list(slo.timeline),
+        "active": slo.active_alerts(),
+        "budget_availability": slo.budget_remaining("reads:availability"),
+    }
+
+
+def _pages(events: list[dict]) -> list[dict]:
+    return [
+        event
+        for event in events
+        if event["event"] == "fire" and event["severity"] == "page"
+    ]
+
+
+def check(
+    incident: dict, clean: dict, replay: dict, control: dict, rounds: int
+) -> None:
+    pages = _pages(incident["events"])
+    assert pages, (
+        "paper incident mix burned "
+        f"{incident['errors']}/{incident['reads']} reads but the "
+        "fast-burn page never fired"
+    )
+    window_start = NOW_MS + INCIDENT_START_ROUND * ROUND_MS
+    window_end = NOW_MS + min(INCIDENT_END_ROUND, rounds + 1) * ROUND_MS
+    first = pages[0]
+    assert window_start <= first["at_ms"] <= window_end, (
+        f"first page at t={first['at_ms']} outside the incident window "
+        f"[{window_start}, {window_end}]"
+    )
+    assert incident["budget_availability"] < 0, (
+        "an 18%-error incident should leave the 99.9% availability "
+        f"budget overdrawn, got {incident['budget_availability']:+.3f}"
+    )
+    assert not clean["events"], (
+        f"fault-free run produced alert events: {clean['events']}"
+    )
+    assert clean["errors"] == 0, (
+        f"fault-free run saw {clean['errors']} errors"
+    )
+    assert incident["timeline_json"] == replay["timeline_json"], (
+        "same-seed replay produced a different alert timeline"
+    )
+    assert not _pages(control["events"]), (
+        "the resilient tenant absorbed the incident "
+        f"(errors={control['errors']}) yet its page fired"
+    )
+
+
+def report(
+    incident: dict, clean: dict, replay: dict, control: dict
+) -> None:
+    print()
+    print("=== SLO burn-rate alerts under the Fig. 17 incident mix ===")
+    print(
+        f"naive+chaos:      {incident['errors']}/{incident['reads']} reads "
+        f"failed, budget {incident['budget_availability']:+.1f}, "
+        f"{len(_pages(incident['events']))} page(s), "
+        f"{len(incident['events'])} events total"
+    )
+    for event in incident["events"]:
+        offset = (event["at_ms"] - NOW_MS) // ROUND_MS
+        print(
+            f"  round {offset:>3}: {event['event']:<5} "
+            f"[{event['severity']}] {event['slo']} "
+            f"burn short={event['burn_short']:.1f} "
+            f"long={event['burn_long']:.1f}"
+        )
+    print(
+        f"naive+clean:      {clean['errors']} errors, "
+        f"{len(clean['events'])} events (must be 0)"
+    )
+    print(
+        f"resilient+chaos:  {control['errors']}/{control['reads']} reads "
+        f"failed, {len(_pages(control['events']))} page(s) (must be 0)"
+    )
+    identical = incident["timeline_json"] == replay["timeline_json"]
+    print(f"same-seed replay: timeline byte-identical={identical}")
+
+
+def run_bench(rounds: int = 40, reads_per_round: int = 100) -> dict:
+    incident = run_arm(chaos=True, rounds=rounds,
+                       reads_per_round=reads_per_round)
+    clean = run_arm(chaos=False, rounds=rounds,
+                    reads_per_round=reads_per_round)
+    replay = run_arm(chaos=True, rounds=rounds,
+                     reads_per_round=reads_per_round)
+    control = run_arm(chaos=True, resilient=True, rounds=rounds,
+                      reads_per_round=reads_per_round)
+    return {
+        "incident": incident,
+        "clean": clean,
+        "replay": replay,
+        "control": control,
+        "rounds": rounds,
+    }
+
+
+def test_slo_alerts():
+    """Pytest entry: chaos-must-page, clean-must-not, replay-identical."""
+    result = run_bench(rounds=40, reads_per_round=60)
+    report(result["incident"], result["clean"], result["replay"],
+           result["control"])
+    check(result["incident"], result["clean"], result["replay"],
+          result["control"], result["rounds"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=40)
+    parser.add_argument("--reads-per-round", type=int, default=100)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller read volume for CI (same assertions)",
+    )
+    args = parser.parse_args()
+    if args.rounds < 1 or args.reads_per_round < 1:
+        parser.error("--rounds and --reads-per-round must be >= 1")
+    if args.smoke:
+        result = run_bench(rounds=40, reads_per_round=60)
+    else:
+        result = run_bench(
+            rounds=args.rounds, reads_per_round=args.reads_per_round
+        )
+    report(result["incident"], result["clean"], result["replay"],
+           result["control"])
+    check(result["incident"], result["clean"], result["replay"],
+          result["control"], result["rounds"])
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,10 +8,13 @@ contract from the ISSUE:
 * the **no-op** tracer costs well under a microsecond per span (measured
   directly, so a regression in the null path can't hide inside workload
   noise);
-* an **enabled** :class:`~repro.obs.trace.Tracer` (with a live
-  :class:`~repro.obs.registry.MetricsRegistry` attached) adds less than
-  10% wall-clock to the batched-query workload of
-  ``bench_batch_query.py``.
+* an **enabled** :class:`~repro.obs.trace.Tracer` — with a live
+  :class:`~repro.obs.registry.MetricsRegistry`, histogram **exemplars**
+  (every root observation carries its trace id), a slow-query threshold,
+  and a **tail sampler** attached — adds less than 10% wall-clock to the
+  batched-query workload of ``bench_batch_query.py``.  The sampler's
+  bounded-memory claim is asserted too: residency never exceeds
+  ``max_traces`` no matter how many requests were offered.
 
 Wall times are best-of-``repeats`` with the two configurations
 interleaved, so machine drift hits both equally.
@@ -29,6 +32,7 @@ import time
 from repro import IPSCluster, SortType, TableConfig, TimeRange
 from repro.clock import MILLIS_PER_DAY, SimulatedClock
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tail import TailSampler
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.server.proxy import RPCNodeProxy
 from repro.workload.zipf import ZipfGenerator
@@ -111,8 +115,16 @@ def run_bench(
 
     _, client_off = build_cluster(num_nodes, population, NULL_TRACER, None)
     registry = MetricsRegistry()
-    # max_roots keeps retained span trees bounded during the bench.
-    tracer = Tracer(registry=registry, max_roots=32)
+    # The enabled arm runs the FULL observability pipeline: exemplars
+    # (trace ids into every root histogram observation), a slow-query
+    # threshold, and tail sampling.  A tiny threshold makes every request
+    # a retention candidate, so the sampler's classify + store cost is
+    # *in* the measured path, and its FIFO cap is constantly exercised.
+    sampler = TailSampler(max_traces=32, registry=registry)
+    tracer = Tracer(
+        registry=registry, max_roots=32, slow_threshold_ms=0.01,
+        tail_sampler=sampler,
+    )
     _, client_on = build_cluster(num_nodes, population, tracer, registry)
 
     # Warm both clusters identically before measuring.
@@ -126,6 +138,7 @@ def run_bench(
         on_ms = min(on_ms, drive(client_on, batches))
 
     overhead = on_ms / off_ms - 1.0
+    sampler_stats = sampler.stats()
     return {
         "noop_span_ns": bench_null_span_ns(),
         "disabled_ms": off_ms,
@@ -133,6 +146,15 @@ def run_bench(
         "overhead": overhead,
         "spans_recorded": float(
             sum(1 for root in tracer.roots for _ in root.iter_spans())
+        ),
+        "sampler_offered": float(sampler_stats["offered"]),
+        "sampler_resident": float(sampler_stats["resident"]),
+        "sampler_max_traces": float(sampler_stats["max_traces"]),
+        "exemplars_recorded": float(
+            sum(
+                metric.exemplar_count()
+                for metric, _ in registry.histograms("trace_root_ms")
+            )
         ),
     }
 
@@ -146,6 +168,12 @@ def report(result: dict[str, float]) -> None:
         f"tracing enabled:   {result['enabled_ms']:8.1f} ms "
         f"(+{result['overhead']:.1%}, {result['spans_recorded']:.0f} retained spans)"
     )
+    print(
+        f"tail sampler:      {result['sampler_offered']:8.0f} offered, "
+        f"{result['sampler_resident']:.0f} resident "
+        f"(cap {result['sampler_max_traces']:.0f}); "
+        f"{result['exemplars_recorded']:.0f} exemplars live"
+    )
 
 
 def _check(result: dict[str, float]) -> None:
@@ -157,6 +185,19 @@ def _check(result: dict[str, float]) -> None:
         f"enabled tracing adds {result['overhead']:.1%} "
         f"(limit {OVERHEAD_LIMIT:.0%})"
     )
+    # Bounded memory: the sampler saw far more requests than it may keep,
+    # and residency respects the cap.
+    assert result["sampler_offered"] > result["sampler_max_traces"], (
+        "bench too small to exercise the tail sampler's cap"
+    )
+    assert result["sampler_resident"] <= result["sampler_max_traces"], (
+        f"tail sampler holds {result['sampler_resident']:.0f} traces, "
+        f"cap is {result['sampler_max_traces']:.0f}"
+    )
+    assert result["exemplars_recorded"] > 0, (
+        "enabled arm recorded no exemplars; the pipeline under test is "
+        "not the full one"
+    )
 
 
 def test_trace_overhead_smoke():
@@ -166,6 +207,16 @@ def test_trace_overhead_smoke():
     )
     report(result)
     _check(result)
+    from conftest import record_metric
+
+    record_metric(
+        "trace.overhead_frac", result["overhead"], unit="frac",
+        better="lower", abs_tol=0.10,
+    )
+    record_metric(
+        "trace.noop_span_ns", result["noop_span_ns"], unit="ns",
+        better="lower", rel_tol=1.0,
+    )
 
 
 def main() -> None:

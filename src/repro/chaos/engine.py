@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from ..clock import Clock
 from ..errors import RPCTimeoutError, StorageError
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..server.proxy import RPCNodeProxy, wrap_region_with_proxies
 from ..server.rpc import RPCFault
 from ..storage.kvstore import FailureInjector, InMemoryKVStore
@@ -128,7 +129,7 @@ class ChaosEngine:
         self.seed = seed
         self._rng = random.Random(seed)
         self._registry = registry
-        self._tracer = tracer
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._events: list[ChaosEvent] = []
         self._active: set[int] = set()  # indices into _events
         self.injections: dict[str, int] = {}
@@ -291,6 +292,11 @@ class ChaosEngine:
                 self._count("rpc_error_injected")
         if extra_latency_ms == 0.0 and error is None:
             return None
+        span = self._tracer.current()
+        if span is not None:
+            # Mark the afflicted request so the tail sampler retains its
+            # full span tree under the "chaos" reason.
+            span.tag(chaos="rpc_error" if error is not None else "rpc_latency")
         return RPCFault(extra_latency_ms=extra_latency_ms, error=error)
 
     # ------------------------------------------------------------------

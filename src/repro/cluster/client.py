@@ -78,6 +78,7 @@ class IPSClient:
         registry: MetricsRegistry | None = None,
         resilience: ResilienceConfig | None = None,
         region_failover: bool = True,
+        slo=None,
     ) -> None:
         if local_region not in deployment.regions:
             raise NoHealthyNodeError(f"unknown local region {local_region!r}")
@@ -117,6 +118,11 @@ class IPSClient:
             if resilience is not None
             else None
         )
+        #: Optional :class:`~repro.obs.slo.SLOEngine`: every finished
+        #: request is classified against the declared objectives using
+        #: *modelled* (clock-delta) latency, so alert timelines replay
+        #: deterministically.
+        self.slo = slo
         #: Telemetry for the batched read path (size / dedup / fan-out).
         self.batch_metrics = BatchQueryMetrics(registry)
         self._discovery_epoch = -1
@@ -175,6 +181,8 @@ class IPSClient:
         self.stats.writes += 1
         written = 0
         start = perf_ms()
+        clock = self._deployment.clock
+        started_clock_ms = clock.now_ms()
         with self.tracer.span(
             f"client.{method}", profile=profile_id, caller=self.caller
         ) as span:
@@ -191,6 +199,13 @@ class IPSClient:
             self._write_hist.observe(perf_ms() - start)
         if written == 0:
             self.stats.write_errors += 1
+        if self.slo is not None:
+            self.slo.observe(
+                self.caller,
+                "write",
+                clock.now_ms() - started_clock_ms,
+                ok=written > 0,
+            )
         return written
 
     # ------------------------------------------------------------------
@@ -269,6 +284,9 @@ class IPSClient:
         self.stats.reads += 1
         last_error: Exception | None = None
         start = perf_ms()
+        clock = self._deployment.clock
+        started_clock_ms = clock.now_ms()
+        ok = False
         deadline = (
             self.resilience.deadline() if self.resilience is not None else None
         )
@@ -280,7 +298,7 @@ class IPSClient:
                     if index > 0:
                         self.stats.region_failovers += 1
                     try:
-                        return self._call_in_region(
+                        result = self._call_in_region(
                             region,
                             profile_id,
                             method,
@@ -288,6 +306,8 @@ class IPSClient:
                             deadline=deadline,
                             **kwargs,
                         )
+                        ok = True
+                        return result
                     except DeadlineExceededError:
                         # No budget left: surface instead of failing over.
                         self.stats.read_errors += 1
@@ -302,6 +322,13 @@ class IPSClient:
             finally:
                 if self._read_hist is not None:
                     self._read_hist.observe(perf_ms() - start)
+                if self.slo is not None:
+                    self.slo.observe(
+                        self.caller,
+                        "read",
+                        clock.now_ms() - started_clock_ms,
+                        ok=ok,
+                    )
 
     # ------------------------------------------------------------------
     # Batched reads: dedup + shard-grouped fan-out + partial failure
@@ -407,6 +434,8 @@ class IPSClient:
         pending = unique
         shard_calls = 0
         start = perf_ms()
+        clock = self._deployment.clock
+        started_clock_ms = clock.now_ms()
         deadline = (
             self.resilience.deadline() if self.resilience is not None else None
         )
@@ -451,6 +480,16 @@ class IPSClient:
         failed = sum(1 for result in results if not result.ok)
         self.stats.batch_key_errors += failed
         self.batch_metrics.observe_key_errors(failed)
+        if self.slo is not None:
+            # The batch contract is per-key: a batch with any failed key
+            # burns availability budget (partial results are still an SLA
+            # miss for the affected upstream request).
+            self.slo.observe(
+                self.caller,
+                "multi_get",
+                clock.now_ms() - started_clock_ms,
+                ok=failed == 0,
+            )
         return BatchReadOutcome(results)
 
     def _fail_pending_on_deadline(
@@ -676,6 +715,11 @@ class IPSClient:
         executor.observe_latency(latency_ms)
         if not executor.should_hedge(latency_ms):
             return result
+        span = self.tracer.current()
+        if span is not None:
+            # Hedged requests are tail-sampling candidates: the hedge
+            # firing *is* the signal that the primary was slow.
+            span.tag(hedged=1)
         try:
             alternate = region.node_for(
                 profile_id, exclude=exclude | {primary.node_id}

@@ -232,6 +232,7 @@ class ClusterMonitor:
     def __init__(self, deployment) -> None:
         self._deployment = deployment
         self._watched_clients: list = []
+        self._watched_slos: list = []
         self._previous: ClusterSnapshot | None = None
         #: node_id -> (reads, writes) at the previous sample, used for
         #: membership-change-safe rate computation (a scaled-down node's
@@ -255,6 +256,15 @@ class ClusterMonitor:
         in :meth:`report`.  Clients without a resilience executor are
         accepted and simply contribute nothing."""
         self._watched_clients.append(client)
+
+    def watch_slo(self, engine) -> None:
+        """Include an :class:`~repro.obs.slo.SLOEngine`'s budgets and
+        active alerts in :meth:`report`."""
+        self._watched_slos.append(engine)
+
+    def slo_rollup(self) -> list[dict]:
+        """Summaries of every watched SLO engine, in watch order."""
+        return [engine.summary() for engine in self._watched_slos]
 
     def resilience_rollup(self) -> dict[str, dict]:
         """Per-watched-client resilience summaries, keyed by caller."""
@@ -438,4 +448,17 @@ class ClusterMonitor:
                     for node_id, state in open_or_probing.items()
                 )
                 lines.append(f"    breakers: {states}")
+        for summary in self.slo_rollup():
+            for key, series in sorted(summary["series"].items()):
+                lines.append(
+                    f"  slo[{key}]: target={series['target']:g}  "
+                    f"good={series['good']}  bad={series['bad']}  "
+                    f"budget_remaining={series['budget_remaining']:+.3f}"
+                )
+            for alert in summary["active_alerts"]:
+                lines.append(
+                    f"    ALERT {alert['severity'].upper()} "
+                    f"{alert['slo']} rule={alert['rule']} "
+                    f"since t={alert['fired_at_ms']}ms"
+                )
         return "\n".join(lines)

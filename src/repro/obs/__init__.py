@@ -1,21 +1,41 @@
-"""Observability: request tracing and the unified metrics registry.
+"""Observability: tracing, metrics, tail sampling, and SLO judgment.
 
-See :mod:`repro.obs.trace` for the span/tracer API and
-:mod:`repro.obs.registry` for counters, gauges, histograms and the
-Prometheus-style / JSON expositions.
+See :mod:`repro.obs.trace` for the span/tracer API,
+:mod:`repro.obs.registry` for counters, gauges, histograms (with
+exemplars) and the Prometheus-style / JSON expositions,
+:mod:`repro.obs.tail` for bounded-memory tail-based trace sampling, and
+:mod:`repro.obs.slo` for declared objectives, error budgets, and
+multi-window burn-rate alerts.
 """
 
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    unescape_label_value,
+)
+from .slo import Alert, BurnRateRule, SLObjective, SLOEngine, default_rules
+from .tail import TailSampler
 from .trace import NULL_TRACER, NullTracer, Span, Tracer, render_span_tree
 
 __all__ = [
+    "Alert",
+    "BurnRateRule",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SLObjective",
+    "SLOEngine",
     "Span",
+    "TailSampler",
     "Tracer",
+    "default_rules",
+    "escape_label_value",
     "render_span_tree",
+    "unescape_label_value",
 ]

@@ -9,10 +9,17 @@ the single telemetry surface behind those rollups:
   codebase: fixed-size log-bucketed, O(buckets) memory regardless of
   sample count, with p50/p95/p99 quantile estimates.  ``sim.metrics``
   re-exports it as ``LatencyHistogram`` and ``RPCStats`` /
-  ``BatchQueryMetrics`` build on it;
+  ``BatchQueryMetrics`` build on it.  Histograms optionally carry
+  **exemplars**: ``record(value, trace_id=...)`` remembers the most
+  recent ``(trace_id, value)`` per bucket (memory stays O(buckets)),
+  so a slow exposition bucket links to one concrete trace retained by
+  the tail sampler (:mod:`repro.obs.tail`);
 * :class:`MetricsRegistry` — named, labelled metric families with a
   Prometheus-style text exposition (:meth:`MetricsRegistry.render_text`)
-  and a JSON export (:meth:`MetricsRegistry.to_json`).
+  and a JSON export (:meth:`MetricsRegistry.to_json`).  Label values are
+  escaped per the Prometheus line format, ``# HELP`` / ``# TYPE`` are
+  emitted exactly once per family, and bucket lines carry OpenMetrics
+  ``# {trace_id="..."} value`` exemplar suffixes when present.
 
 Metric objects are handed out once and then mutated lock-free on the hot
 path; only family creation takes the registry lock.
@@ -66,15 +73,24 @@ class Histogram:
         self._total = 0
         self._sum_ms = 0.0
         self._max_seen = 0.0
+        #: bucket index -> (trace_id, value): latest exemplar per bucket.
+        #: Lazily allocated so exemplar-free histograms pay nothing; bounded
+        #: by the bucket count, never by the sample count.
+        self._exemplars: dict[int, tuple[str, float]] | None = None
 
-    def record(self, latency_ms: float) -> None:
+    def record(self, latency_ms: float, trace_id: str | None = None) -> None:
         if latency_ms < 0:
             raise ValueError(f"negative latency {latency_ms}")
-        self._counts[self._bucket_index(latency_ms)] += 1
+        index = self._bucket_index(latency_ms)
+        self._counts[index] += 1
         self._total += 1
         self._sum_ms += latency_ms
         if latency_ms > self._max_seen:
             self._max_seen = latency_ms
+        if trace_id is not None:
+            if self._exemplars is None:
+                self._exemplars = {}
+            self._exemplars[index] = (trace_id, latency_ms)
 
     #: Prometheus-style alias so instrumentation code reads idiomatically.
     observe = record
@@ -128,6 +144,44 @@ class Histogram:
             running += count
         return running
 
+    # -- exemplars ------------------------------------------------------
+
+    def exemplars(self) -> list[tuple[float, str, float]]:
+        """(bucket_upper_ms, trace_id, value) per populated exemplar slot,
+        in bucket order.  Bounded by the bucket count."""
+        if not self._exemplars:
+            return []
+        return [
+            (self._bucket_upper_ms(index), trace_id, value)
+            for index, (trace_id, value) in sorted(self._exemplars.items())
+        ]
+
+    def exemplar_count(self) -> int:
+        """Number of exemplar slots in use (the bounded-memory measure)."""
+        return len(self._exemplars) if self._exemplars else 0
+
+    def max_exemplar(self) -> tuple[str, float] | None:
+        """The exemplar from the highest populated bucket — the concrete
+        trace behind the histogram's tail."""
+        if not self._exemplars:
+            return None
+        return self._exemplars[max(self._exemplars)]
+
+    def exemplar_in_range(
+        self, low_ms: float, high_ms: float
+    ) -> tuple[str, float] | None:
+        """Newest exemplar whose value falls in ``(low_ms, high_ms]``
+        (the OpenMetrics rule for attaching exemplars to a cumulative
+        bucket line)."""
+        if not self._exemplars:
+            return None
+        best: tuple[str, float] | None = None
+        for index in sorted(self._exemplars):
+            trace_id, value = self._exemplars[index]
+            if low_ms < value <= high_ms:
+                best = (trace_id, value)
+        return best
+
     def nonzero_buckets(self) -> list[tuple[float, int]]:
         """(upper_edge_ms, count) for every populated bucket, in order."""
         return [
@@ -175,6 +229,10 @@ class Histogram:
         self._total += other._total
         self._sum_ms += other._sum_ms
         self._max_seen = max(self._max_seen, other._max_seen)
+        if other._exemplars:
+            if self._exemplars is None:
+                self._exemplars = {}
+            self._exemplars.update(other._exemplars)
 
     def summary(self) -> dict[str, float]:
         """Quantile summary used by the JSON export and the dashboard."""
@@ -231,20 +289,52 @@ def _label_key(labels: dict[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus line-format escaping: backslash, double quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (for exposition parsers)."""
+    out: list[str] = []
+    it = iter(value)
+    for char in it:
+        if char != "\\":
+            out.append(char)
+            continue
+        escaped = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(escaped, "\\" + escaped))
+    return "".join(out)
+
+
 def _render_labels(pairs: Iterable[tuple[str, str]]) -> str:
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in pairs
+    )
     return f"{{{body}}}" if body else ""
 
 
 class _Family:
     """All metrics sharing one name (one per label-set)."""
 
-    __slots__ = ("name", "kind", "metrics")
+    __slots__ = ("name", "kind", "metrics", "help")
 
     def __init__(self, name: str, kind: str) -> None:
         self.name = name
         self.kind = kind
+        self.help: str | None = None
         self.metrics: dict[_LabelKey, Counter | Gauge | Histogram] = {}
+
+
+def _exemplar_suffix(metric: Histogram, low_ms: float, high_ms: float) -> str:
+    """OpenMetrics exemplar suffix for one cumulative bucket line."""
+    exemplar = metric.exemplar_in_range(low_ms, high_ms)
+    if exemplar is None:
+        return ""
+    trace_id, value = exemplar
+    return f' # {{trace_id="{escape_label_value(trace_id)}"}} {value:g}'
 
 
 class MetricsRegistry:
@@ -296,6 +386,14 @@ class MetricsRegistry:
         factory = lambda: Histogram(min_ms=min_ms, max_ms=max_ms, growth=growth)
         return self._get_or_create(name, "histogram", factory, labels)
 
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach ``# HELP`` text to a family (created lazily if needed is
+        not supported — describe after the first metric registration)."""
+        family = self._families.get(name)
+        if family is None:
+            raise ValueError(f"unknown metric family {name!r}")
+        family.help = help_text
+
     def get(self, name: str, **labels: str):
         """Existing metric or None (no creation; for tests and tooling)."""
         family = self._families.get(name)
@@ -309,6 +407,22 @@ class MetricsRegistry:
             (family.name, family.kind) for family in self._families.values()
         )
 
+    def histograms(
+        self, name: str
+    ) -> list[tuple[Histogram, dict[str, str]]]:
+        """Every histogram of a family with its labels, label-key-sorted.
+
+        For tests and tooling (e.g. resolving a family's exemplars);
+        returns ``[]`` for unknown or non-histogram families.
+        """
+        family = self._families.get(name)
+        if family is None or family.kind != "histogram":
+            return []
+        return [
+            (metric, dict(key))
+            for key, metric in sorted(family.metrics.items())
+        ]
+
     # ------------------------------------------------------------------
     # Expositions
     # ------------------------------------------------------------------
@@ -319,11 +433,18 @@ class MetricsRegistry:
         Histograms emit cumulative ``_bucket`` lines at the canonical
         :data:`EXPOSITION_EDGES`, exact ``_sum`` / ``_count``, and summary
         ``{quantile="..."}`` lines so a scrape carries p50/p95/p99 without
-        the consumer re-deriving them from buckets.
+        the consumer re-deriving them from buckets.  A bucket whose value
+        range holds an exemplar carries it as an OpenMetrics suffix
+        (``... 17 # {trace_id="t-00000003"} 41.2``); ``# HELP`` (when
+        described) and ``# TYPE`` appear exactly once per family, and
+        label values are escaped per the line format.
         """
         lines: list[str] = []
         for name in sorted(self._families):
             family = self._families[name]
+            if family.help is not None:
+                help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key in sorted(family.metrics):
                 metric = family.metrics[key]
@@ -332,15 +453,19 @@ class MetricsRegistry:
                         f"{name}{_render_labels(key)} {metric.value:g}"
                     )
                     continue
+                previous_edge = 0.0
                 for edge in EXPOSITION_EDGES:
                     cumulative = metric.count_le(edge)
                     pairs = key + (("le", f"{edge:g}"),)
                     lines.append(
                         f"{name}_bucket{_render_labels(pairs)} {cumulative}"
+                        f"{_exemplar_suffix(metric, previous_edge, edge)}"
                     )
+                    previous_edge = edge
                 pairs = key + (("le", "+Inf"),)
                 lines.append(
                     f"{name}_bucket{_render_labels(pairs)} {metric.count}"
+                    f"{_exemplar_suffix(metric, previous_edge, math.inf)}"
                 )
                 lines.append(f"{name}_sum{_render_labels(key)} {metric.sum:g}")
                 lines.append(f"{name}_count{_render_labels(key)} {metric.count}")
@@ -365,6 +490,13 @@ class MetricsRegistry:
                 if isinstance(metric, (Counter, Gauge)):
                     entries.append({"labels": labels, "value": metric.value})
                 else:
-                    entries.append({"labels": labels, **metric.summary()})
+                    entry = {"labels": labels, **metric.summary()}
+                    exemplars = metric.exemplars()
+                    if exemplars:
+                        entry["exemplars"] = [
+                            {"le": upper, "trace_id": trace_id, "value": value}
+                            for upper, trace_id, value in exemplars
+                        ]
+                    entries.append(entry)
             out[name] = {"type": family.kind, "metrics": entries}
         return json.dumps(out, indent=indent, sort_keys=True)

@@ -1,0 +1,518 @@
+"""SLO engine: declared objectives, error budgets, burn-rate alerts.
+
+The paper sells IPS on serving SLAs — p99 latency and availability under
+skewed traffic — and PR 2/PR 3 gave us the raw signals (metrics, traces,
+chaos incidents).  This module adds the *judgment*: what counts as good,
+how much error budget an objective has, and when the system should page.
+
+An :class:`SLObjective` declares, per tenant (``caller``) and operation:
+
+* a **latency** SLI — a request is good if it completed within
+  ``latency_threshold_ms``; the target percentile (e.g. ``0.99``) is the
+  fraction of requests that must be good;
+* an **availability** SLI — a request is good if it succeeded; the
+  target (e.g. ``0.999``) is the fraction that must succeed.
+
+Each SLI has an error budget of ``1 - target``.  Alerting follows the
+multi-window multi-burn-rate recipe (Google SRE workbook): the **burn
+rate** over a window is ``bad_fraction / (1 - target)`` — burn 1.0 means
+budget spent exactly at the sustainable pace — and a rule fires only
+when the burn exceeds its threshold on *both* a short and a long window
+(the short window makes alerts clear quickly; the long window stops
+one-off blips from paging).  Two default rules:
+
+* **fast burn** -> page   (burn >= 14 over 5m and 1h windows)
+* **slow burn** -> ticket (burn >= 2 over 30m and 6h windows)
+
+Hysteresis: an active alert clears only after ``clear_after``
+consecutive clean evaluations.
+
+Everything is accounted on the **simulated clock** — the engine never
+reads wall time (enforced by ``tools/check_clock_usage.py``), so the
+alert timeline of a seeded chaos run replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+
+from ..clock import Clock
+from ..config import ConfigError, parse_duration_ms
+from .registry import MetricsRegistry
+
+#: Schema tag for serialized alert timelines.
+TIMELINE_SCHEMA = "slo-timeline/v1"
+
+
+def _parse_ms(value) -> int:
+    """Accept either a numeric millisecond value or a duration string."""
+    if isinstance(value, str):
+        return parse_duration_ms(value)
+    return int(value)
+
+
+class SLObjective:
+    """One tenant/op objective: latency + availability targets."""
+
+    def __init__(
+        self,
+        name: str,
+        caller: str = "*",
+        op: str = "*",
+        latency_threshold_ms: float = 50.0,
+        latency_target: float = 0.99,
+        availability_target: float = 0.999,
+    ) -> None:
+        if not 0.0 < latency_target < 1.0:
+            raise ConfigError(
+                f"latency_target must be in (0, 1), got {latency_target}"
+            )
+        if not 0.0 < availability_target < 1.0:
+            raise ConfigError(
+                "availability_target must be in (0, 1), "
+                f"got {availability_target}"
+            )
+        if latency_threshold_ms <= 0:
+            raise ConfigError(
+                f"latency_threshold_ms must be positive, "
+                f"got {latency_threshold_ms}"
+            )
+        self.name = name
+        self.caller = caller
+        self.op = op
+        self.latency_threshold_ms = float(latency_threshold_ms)
+        self.latency_target = float(latency_target)
+        self.availability_target = float(availability_target)
+
+    def matches(self, caller: str, op: str) -> bool:
+        return (self.caller in ("*", caller)) and (self.op in ("*", op))
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "SLObjective":
+        known = {
+            "name",
+            "caller",
+            "op",
+            "latency_threshold_ms",
+            "latency_target",
+            "availability_target",
+        }
+        unknown = set(mapping) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown SLO objective keys: {sorted(unknown)}"
+            )
+        if "name" not in mapping:
+            raise ConfigError("SLO objective requires a 'name'")
+        kwargs = dict(mapping)
+        if "latency_threshold_ms" in kwargs:
+            kwargs["latency_threshold_ms"] = _parse_ms(
+                kwargs["latency_threshold_ms"]
+            )
+        return cls(**kwargs)
+
+
+class BurnRateRule:
+    """One multi-window burn-rate alert rule with hysteresis."""
+
+    def __init__(
+        self,
+        name: str,
+        severity: str,
+        short_window_ms: int,
+        long_window_ms: int,
+        burn_threshold: float,
+        clear_after: int = 3,
+    ) -> None:
+        if short_window_ms <= 0 or long_window_ms <= 0:
+            raise ConfigError("burn-rate windows must be positive")
+        if short_window_ms > long_window_ms:
+            raise ConfigError(
+                f"short window {short_window_ms}ms exceeds long window "
+                f"{long_window_ms}ms"
+            )
+        if burn_threshold <= 0:
+            raise ConfigError(
+                f"burn_threshold must be positive, got {burn_threshold}"
+            )
+        if clear_after < 1:
+            raise ConfigError(f"clear_after must be >= 1, got {clear_after}")
+        self.name = name
+        self.severity = severity
+        self.short_window_ms = int(short_window_ms)
+        self.long_window_ms = int(long_window_ms)
+        self.burn_threshold = float(burn_threshold)
+        self.clear_after = int(clear_after)
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "BurnRateRule":
+        known = {
+            "name",
+            "severity",
+            "short_window",
+            "long_window",
+            "burn_threshold",
+            "clear_after",
+        }
+        unknown = set(mapping) - known
+        if unknown:
+            raise ConfigError(f"unknown burn-rate rule keys: {sorted(unknown)}")
+        for key in ("name", "severity", "short_window", "long_window",
+                    "burn_threshold"):
+            if key not in mapping:
+                raise ConfigError(f"burn-rate rule requires {key!r}")
+        return cls(
+            name=mapping["name"],
+            severity=mapping["severity"],
+            short_window_ms=_parse_ms(mapping["short_window"]),
+            long_window_ms=_parse_ms(mapping["long_window"]),
+            burn_threshold=float(mapping["burn_threshold"]),
+            clear_after=int(mapping.get("clear_after", 3)),
+        )
+
+
+def default_rules() -> list[BurnRateRule]:
+    """The SRE-workbook pair: fast burn pages, slow burn files a ticket.
+
+    Windows are scaled to the simulation's compressed time (the chaos
+    incident mix plays out over ~40 one-minute rounds, not 30 days).
+    """
+    return [
+        BurnRateRule(
+            name="fast",
+            severity="page",
+            short_window_ms=parse_duration_ms("5m"),
+            long_window_ms=parse_duration_ms("1h"),
+            burn_threshold=14.0,
+            clear_after=3,
+        ),
+        BurnRateRule(
+            name="slow",
+            severity="ticket",
+            short_window_ms=parse_duration_ms("30m"),
+            long_window_ms=parse_duration_ms("6h"),
+            burn_threshold=2.0,
+            clear_after=3,
+        ),
+    ]
+
+
+class _SeriesWindow:
+    """Good/bad counts in time buckets, prunable to a bounded horizon."""
+
+    __slots__ = ("bucket_ms", "horizon_ms", "_buckets", "good_total",
+                 "bad_total")
+
+    def __init__(self, bucket_ms: int, horizon_ms: int) -> None:
+        self.bucket_ms = bucket_ms
+        self.horizon_ms = horizon_ms
+        #: bucket start ms -> [good, bad], insertion-ordered (time order).
+        self._buckets: "OrderedDict[int, list[int]]" = OrderedDict()
+        self.good_total = 0
+        self.bad_total = 0
+
+    def record(self, now_ms: int, good: bool) -> None:
+        start = (now_ms // self.bucket_ms) * self.bucket_ms
+        bucket = self._buckets.get(start)
+        if bucket is None:
+            bucket = self._buckets[start] = [0, 0]
+            self._prune(start)
+        bucket[0 if good else 1] += 1
+        if good:
+            self.good_total += 1
+        else:
+            self.bad_total += 1
+
+    def _prune(self, now_start_ms: int) -> None:
+        floor = now_start_ms - self.horizon_ms
+        while self._buckets:
+            oldest = next(iter(self._buckets))
+            if oldest >= floor:
+                break
+            del self._buckets[oldest]
+
+    def bad_fraction(self, now_ms: int, window_ms: int) -> float:
+        """Fraction of bad events in the trailing window (0 if empty)."""
+        floor = now_ms - window_ms
+        good = bad = 0
+        # Newest buckets are at the tail; walk backwards and stop early.
+        for start in reversed(self._buckets):
+            if start + self.bucket_ms <= floor:
+                break
+            counts = self._buckets[start]
+            good += counts[0]
+            bad += counts[1]
+        total = good + bad
+        return bad / total if total else 0.0
+
+
+class Alert:
+    """Live state of one (series, rule) alert with hysteresis."""
+
+    __slots__ = ("series", "rule", "active", "fired_at_ms", "clean_streak",
+                 "fire_count")
+
+    def __init__(self, series: str, rule: BurnRateRule) -> None:
+        self.series = series
+        self.rule = rule
+        self.active = False
+        self.fired_at_ms: int | None = None
+        self.clean_streak = 0
+        self.fire_count = 0
+
+
+class SLOEngine:
+    """Accounts SLIs against declared objectives and evaluates alerts.
+
+    ``observe`` classifies one finished request against every matching
+    objective; ``evaluate`` (called once per simulation round, or on any
+    cadence) recomputes burn rates and advances alert state.  Both run
+    on timestamps from the injected clock only.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        objectives: list[SLObjective],
+        rules: list[BurnRateRule] | None = None,
+        registry: MetricsRegistry | None = None,
+        bucket_ms: int = 60_000,
+    ) -> None:
+        if not objectives:
+            raise ConfigError("SLOEngine needs at least one objective")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate SLO objective names: {names}")
+        self._clock = clock
+        self.objectives = list(objectives)
+        self.rules = list(rules) if rules is not None else default_rules()
+        self._registry = registry
+        horizon_ms = max(rule.long_window_ms for rule in self.rules)
+        #: series key ("<name>:latency" / "<name>:availability") ->
+        #: window ring; series are what budgets and alerts attach to.
+        self._series: dict[str, _SeriesWindow] = {}
+        self._targets: dict[str, float] = {}
+        for objective in self.objectives:
+            for kind, target in (
+                ("latency", objective.latency_target),
+                ("availability", objective.availability_target),
+            ):
+                key = f"{objective.name}:{kind}"
+                self._series[key] = _SeriesWindow(bucket_ms, horizon_ms)
+                self._targets[key] = target
+        self._alerts: dict[tuple[str, str], Alert] = {
+            (series, rule.name): Alert(series, rule)
+            for series in self._series
+            for rule in self.rules
+        }
+        #: Chronological fire/clear events (the replayable timeline).
+        self.timeline: list[dict] = []
+        self._evaluations = 0
+        if registry is not None:
+            self._m_good = {
+                key: registry.counter("slo_requests_total", slo=key,
+                                      result="good")
+                for key in self._series
+            }
+            self._m_bad = {
+                key: registry.counter("slo_requests_total", slo=key,
+                                      result="bad")
+                for key in self._series
+            }
+            self._m_budget = {
+                key: registry.gauge("slo_error_budget_remaining", slo=key)
+                for key in self._series
+            }
+            self._m_active = {
+                (series, rule.name): registry.gauge(
+                    "slo_alert_active", slo=series, rule=rule.name,
+                    severity=rule.severity,
+                )
+                for series in self._series
+                for rule in self.rules
+            }
+            self._m_fired = registry.counter("slo_alerts_fired_total")
+        else:
+            self._m_good = self._m_bad = None
+            self._m_budget = self._m_active = None
+            self._m_fired = None
+
+    # -- construction from config --------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: dict,
+        clock: Clock,
+        registry: MetricsRegistry | None = None,
+    ) -> "SLOEngine":
+        """Build an engine from a config mapping::
+
+            {"objectives": [{"name": "naive-read", "caller": "naive",
+                             "op": "read", "latency_threshold_ms": "50ms",
+                             "latency_target": 0.99,
+                             "availability_target": 0.999}],
+             "rules": [...],          # optional, defaults to SRE pair
+             "bucket": "1m"}          # optional accounting granularity
+        """
+        known = {"objectives", "rules", "bucket"}
+        unknown = set(mapping) - known
+        if unknown:
+            raise ConfigError(f"unknown SLO config keys: {sorted(unknown)}")
+        if "objectives" not in mapping:
+            raise ConfigError("SLO config requires 'objectives'")
+        objectives = [
+            SLObjective.from_mapping(entry) for entry in mapping["objectives"]
+        ]
+        rules = None
+        if "rules" in mapping:
+            rules = [BurnRateRule.from_mapping(r) for r in mapping["rules"]]
+        bucket_ms = _parse_ms(mapping.get("bucket", 60_000))
+        return cls(clock, objectives, rules=rules, registry=registry,
+                   bucket_ms=bucket_ms)
+
+    # -- accounting ----------------------------------------------------
+
+    def observe(
+        self,
+        caller: str,
+        op: str,
+        latency_ms: float,
+        ok: bool,
+        now_ms: int | None = None,
+    ) -> None:
+        """Classify one finished request against matching objectives.
+
+        ``latency_ms`` must be modelled (clock-delta) time, not wall
+        time, or the alert timeline stops replaying deterministically.
+        """
+        if now_ms is None:
+            now_ms = self._clock.now_ms()
+        for objective in self.objectives:
+            if not objective.matches(caller, op):
+                continue
+            latency_good = ok and latency_ms <= objective.latency_threshold_ms
+            self._record(f"{objective.name}:latency", now_ms, latency_good)
+            self._record(f"{objective.name}:availability", now_ms, ok)
+
+    def _record(self, key: str, now_ms: int, good: bool) -> None:
+        series = self._series[key]
+        series.record(now_ms, good)
+        if self._m_good is not None:
+            (self._m_good if good else self._m_bad)[key].inc()
+
+    # -- evaluation ----------------------------------------------------
+
+    def burn_rate(self, key: str, window_ms: int,
+                  now_ms: int | None = None) -> float:
+        """``bad_fraction / error_budget`` over the trailing window."""
+        if now_ms is None:
+            now_ms = self._clock.now_ms()
+        budget = 1.0 - self._targets[key]
+        return self._series[key].bad_fraction(now_ms, window_ms) / budget
+
+    def budget_remaining(self, key: str) -> float:
+        """Lifetime error-budget fraction left (can go negative)."""
+        series = self._series[key]
+        total = series.good_total + series.bad_total
+        if total == 0:
+            return 1.0
+        budget = 1.0 - self._targets[key]
+        return 1.0 - (series.bad_total / total) / budget
+
+    def evaluate(self, now_ms: int | None = None) -> list[dict]:
+        """Advance every alert's state; returns events emitted this call."""
+        if now_ms is None:
+            now_ms = self._clock.now_ms()
+        self._evaluations += 1
+        events: list[dict] = []
+        for (series, _rule_name), alert in self._alerts.items():
+            rule = alert.rule
+            burn_short = self.burn_rate(series, rule.short_window_ms, now_ms)
+            burn_long = self.burn_rate(series, rule.long_window_ms, now_ms)
+            firing = (
+                burn_short >= rule.burn_threshold
+                and burn_long >= rule.burn_threshold
+            )
+            if firing:
+                alert.clean_streak = 0
+                if not alert.active:
+                    alert.active = True
+                    alert.fired_at_ms = now_ms
+                    alert.fire_count += 1
+                    events.append(self._event(
+                        "fire", now_ms, series, rule, burn_short, burn_long
+                    ))
+            elif alert.active:
+                alert.clean_streak += 1
+                if alert.clean_streak >= rule.clear_after:
+                    alert.active = False
+                    alert.clean_streak = 0
+                    events.append(self._event(
+                        "clear", now_ms, series, rule, burn_short, burn_long
+                    ))
+        if self._m_budget is not None:
+            for key in self._series:
+                self._m_budget[key].set(self.budget_remaining(key))
+            for (series, rule_name), alert in self._alerts.items():
+                self._m_active[(series, rule_name)].set(
+                    1.0 if alert.active else 0.0
+                )
+        self.timeline.extend(events)
+        return events
+
+    def _event(self, kind: str, now_ms: int, series: str,
+               rule: BurnRateRule, burn_short: float,
+               burn_long: float) -> dict:
+        if kind == "fire" and self._m_fired is not None:
+            self._m_fired.inc()
+        return {
+            "event": kind,
+            "at_ms": now_ms,
+            "slo": series,
+            "rule": rule.name,
+            "severity": rule.severity,
+            "burn_short": round(burn_short, 6),
+            "burn_long": round(burn_long, 6),
+        }
+
+    # -- inspection ----------------------------------------------------
+
+    def active_alerts(self) -> list[dict]:
+        """Currently-firing alerts, deterministic order."""
+        out = []
+        for (series, rule_name), alert in sorted(self._alerts.items()):
+            if alert.active:
+                out.append({
+                    "slo": series,
+                    "rule": rule_name,
+                    "severity": alert.rule.severity,
+                    "fired_at_ms": alert.fired_at_ms,
+                })
+        return out
+
+    def series_keys(self) -> tuple[str, ...]:
+        return tuple(self._series)
+
+    def summary(self) -> dict:
+        """Budget + alert rollup for every series (JSON-friendly)."""
+        series = {}
+        for key, window in self._series.items():
+            series[key] = {
+                "target": self._targets[key],
+                "good": window.good_total,
+                "bad": window.bad_total,
+                "budget_remaining": round(self.budget_remaining(key), 6),
+            }
+        return {
+            "schema": TIMELINE_SCHEMA,
+            "evaluations": self._evaluations,
+            "series": series,
+            "active_alerts": self.active_alerts(),
+            "events": self.timeline,
+        }
+
+    def timeline_json(self) -> str:
+        """Canonical JSON of the full timeline (byte-identical replays)."""
+        return json.dumps(self.summary(), sort_keys=True, indent=2)

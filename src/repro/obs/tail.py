@@ -1,0 +1,160 @@
+"""Tail-based trace sampling: keep full span trees only when they matter.
+
+Head sampling (keep every Nth request) is useless for debugging tail
+latency — the interesting requests are by definition rare.  A
+:class:`TailSampler` decides *after* a request finishes whether its span
+tree is worth retaining, using the information only available at the
+tail: did it error, was it chaos-afflicted, did the client hedge, was it
+slow?  Everything else is dropped, so memory stays bounded by
+``max_traces`` regardless of traffic volume.
+
+The sampler plugs into :class:`~repro.obs.trace.Tracer` via the
+``tail_sampler`` constructor argument; the tracer calls
+:meth:`TailSampler.offer` for every finished root span.  Retained traces
+are looked up by trace id — the same ids that
+:class:`~repro.obs.registry.Histogram` exemplars carry, so a slow
+exposition bucket resolves to a concrete retained trace.
+
+Retention reasons, in precedence order (a trace gets exactly one):
+
+``error``   any span in the tree finished with a non-ok status
+``chaos``   any span carries a ``chaos=<kind>`` tag (set by the fault
+            injection seams when they fire)
+``hedged``  any span carries a ``hedged`` tag (set by the resilient
+            client when a backup request was launched)
+``slow``    the tracer's slow threshold flagged the root
+
+Deterministic by construction: no wall clock, no randomness — retention
+depends only on the span tree, so same-seed runs retain the same traces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .registry import MetricsRegistry
+
+#: Precedence order for retention reasons (first match wins).
+REASONS = ("error", "chaos", "hedged", "slow")
+
+
+class TailSampler:
+    """Bounded-memory store of interesting span trees, keyed by trace id.
+
+    FIFO eviction: once ``max_traces`` traces are resident, retaining a
+    new one evicts the oldest.  ``offer`` is O(tree size) for the reason
+    scan and O(1) for the store.
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 128,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_traces <= 0:
+            raise ValueError(f"max_traces must be positive, got {max_traces}")
+        self.max_traces = max_traces
+        #: trace_id -> (reason, root span), insertion-ordered for FIFO.
+        self._traces: "OrderedDict[str, tuple[str, object]]" = OrderedDict()
+        self._offered = 0
+        self._dropped = 0
+        self._evicted = 0
+        self._retained_by_reason = {reason: 0 for reason in REASONS}
+        self._registry = registry
+        if registry is not None:
+            self._m_retained = {
+                reason: registry.counter(
+                    "tail_sampler_retained_total", reason=reason
+                )
+                for reason in REASONS
+            }
+            self._m_dropped = registry.counter("tail_sampler_dropped_total")
+            self._m_evicted = registry.counter("tail_sampler_evicted_total")
+            self._m_resident = registry.gauge("tail_sampler_resident")
+        else:
+            self._m_retained = None
+            self._m_dropped = None
+            self._m_evicted = None
+            self._m_resident = None
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def classify(span, slow: bool = False) -> str | None:
+        """The retention reason for a finished root span, or ``None``."""
+        has_chaos = False
+        has_hedged = False
+        for node in span.iter_spans():
+            if node.status != "ok":
+                return "error"
+            if "chaos" in node.tags:
+                has_chaos = True
+            elif "hedged" in node.tags:
+                has_hedged = True
+        if has_chaos:
+            return "chaos"
+        if has_hedged:
+            return "hedged"
+        if slow:
+            return "slow"
+        return None
+
+    def offer(self, span, slow: bool = False) -> str | None:
+        """Consider a finished root span; returns the retention reason.
+
+        Roots without a trace id (e.g. hand-built spans) are never
+        retained — there would be nothing to look them up by.
+        """
+        self._offered += 1
+        reason = None
+        if span.trace_id is not None:
+            reason = self.classify(span, slow=slow)
+        if reason is None:
+            self._dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
+            return None
+        if len(self._traces) >= self.max_traces:
+            self._traces.popitem(last=False)
+            self._evicted += 1
+            if self._m_evicted is not None:
+                self._m_evicted.inc()
+        self._traces[span.trace_id] = (reason, span)
+        self._retained_by_reason[reason] += 1
+        if self._m_retained is not None:
+            self._m_retained[reason].inc()
+            self._m_resident.set(len(self._traces))
+        return reason
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, trace_id: str):
+        """The retained root span for a trace id, or ``None``."""
+        entry = self._traces.get(trace_id)
+        return entry[1] if entry is not None else None
+
+    def reason(self, trace_id: str) -> str | None:
+        """Why a retained trace was kept, or ``None`` if not resident."""
+        entry = self._traces.get(trace_id)
+        return entry[0] if entry is not None else None
+
+    def __contains__(self, trace_id: str) -> bool:
+        return trace_id in self._traces
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def trace_ids(self) -> tuple[str, ...]:
+        """Resident trace ids, oldest first."""
+        return tuple(self._traces)
+
+    def stats(self) -> dict:
+        """Lifetime counters plus current residency (JSON-friendly)."""
+        return {
+            "offered": self._offered,
+            "dropped": self._dropped,
+            "evicted": self._evicted,
+            "resident": len(self._traces),
+            "max_traces": self.max_traces,
+            "retained_by_reason": dict(self._retained_by_reason),
+        }

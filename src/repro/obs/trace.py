@@ -28,10 +28,18 @@ An enabled tracer additionally keeps a bounded ring of finished root
 spans, feeds root durations into a :class:`~repro.obs.registry
 .MetricsRegistry` when given one, and renders roots slower than
 ``slow_threshold_ms`` into an indented slow-query log.
+
+Every root span gets a deterministic **trace id** (``t-<counter>``).
+When a registry is attached, the root-duration histograms carry the
+trace id as an exemplar, and an optional :class:`~repro.obs.tail
+.TailSampler` retains the full span tree of interesting requests (slow,
+errored, hedged, chaos-afflicted) — so a slow exposition bucket resolves
+to a concrete retained trace.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import deque
 
@@ -50,6 +58,7 @@ class Span:
         "start_ms",
         "end_ms",
         "duration_ms",
+        "trace_id",
         "_tracer",
         "_start_perf",
     )
@@ -62,6 +71,8 @@ class Span:
         self.start_ms = 0
         self.end_ms = 0
         self.duration_ms = 0.0
+        #: Deterministic request id; assigned on root spans only.
+        self.trace_id: str | None = None
         self._tracer = tracer
         self._start_perf = 0.0
 
@@ -119,10 +130,12 @@ def render_span_tree(span: Span, indent: int = 0) -> str:
         f" {key}={value}" for key, value in sorted(span.tags.items())
     )
     status = "" if span.status == "ok" else f" [{span.status}]"
+    trace_id = getattr(span, "trace_id", None)
+    trace = f" trace={trace_id}" if trace_id is not None else ""
     lines = [
         f"{'  ' * indent}{span.name} {span.duration_ms:.3f}ms"
         f"{f' (clock {span.clock_ms}ms)' if span.clock_ms else ''}"
-        f"{tags}{status}"
+        f"{tags}{trace}{status}"
     ]
     for child in span.children:
         lines.append(render_span_tree(child, indent + 1))
@@ -141,6 +154,7 @@ class _NullSpan:
     end_ms = 0
     duration_ms = 0.0
     clock_ms = 0
+    trace_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -200,6 +214,7 @@ class Tracer:
         slow_threshold_ms: float | None = None,
         max_roots: int = 256,
         max_slow_log: int = 64,
+        tail_sampler: "object | None" = None,
     ) -> None:
         self._clock = clock if clock is not None else SystemClock()
         #: Bound methods cached once: both run on every span enter/exit.
@@ -212,9 +227,18 @@ class Tracer:
         #: registry's lock after the first request of each span name.
         self._root_hists: dict[str, object] = {}
         self.slow_threshold_ms = slow_threshold_ms
+        self.tail_sampler = tail_sampler
         self._roots: deque[Span] = deque(maxlen=max_roots)
-        self._slow_log: deque[str] = deque(maxlen=max_slow_log)
+        #: Slow roots are kept as spans and rendered lazily on access:
+        #: string-building an entire tree per slow request is pure
+        #: overhead on the serving path (render_span_tree is referentially
+        #: transparent over a finished tree, so the output is identical).
+        self._slow_log: deque[Span] = deque(maxlen=max_slow_log)
         self._local = threading.local()
+        # Monotonic counter, never wall time or random: trace ids must
+        # replay byte-identically across same-seed runs.
+        self._trace_ids = itertools.count(1)
+        self._id_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -233,6 +257,9 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+        if not stack:
+            with self._id_lock:
+                span.trace_id = f"t-{next(self._trace_ids):08d}"
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -250,12 +277,16 @@ class Tracer:
             if hist is None:
                 hist = self._registry.histogram("trace_root_ms", span=span.name)
                 self._root_hists[span.name] = hist
-            hist.observe(span.duration_ms)
+            hist.observe(span.duration_ms, trace_id=span.trace_id)
         threshold = self.slow_threshold_ms
-        if threshold is not None and (
+        is_slow = threshold is not None and (
             span.duration_ms >= threshold or span.clock_ms >= threshold
-        ):
-            self._slow_log.append(render_span_tree(span))
+        )
+        if is_slow:
+            self._slow_log.append(span)
+        sampler = self.tail_sampler
+        if sampler is not None:
+            sampler.offer(span, slow=is_slow)
 
     # -- inspection ----------------------------------------------------
 
@@ -267,7 +298,7 @@ class Tracer:
     @property
     def slow_log(self) -> tuple[str, ...]:
         """Rendered span trees of requests over the slow threshold."""
-        return tuple(self._slow_log)
+        return tuple(render_span_tree(span) for span in self._slow_log)
 
     def take_roots(self) -> list[Span]:
         """Drain and return the finished root spans."""

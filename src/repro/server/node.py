@@ -385,6 +385,12 @@ class IPSNode:
         if result_cache is not None:
             cached = result_cache.get(profile_id, fingerprint)
             if cached is not None:
+                span = self.tracer.current()
+                if span is not None:
+                    # Slow-log forensics: a "slow" cached read points at
+                    # whatever held the request *around* the probe, not
+                    # at query execution.
+                    span.tag(served="result_cache")
                 return cached
 
         def leader() -> list[FeatureResult]:
@@ -415,6 +421,18 @@ class IPSNode:
             value, was_leader = self.singleflight.execute(
                 (profile_id, fingerprint), leader, deadline=deadline
             )
+            span = self.tracer.current()
+            if span is not None:
+                # Distinguish the leader that actually executed from
+                # waiters parked on its flight: a slow waiter was blocked,
+                # not computing.
+                span.tag(
+                    served=(
+                        "singleflight_leader"
+                        if was_leader
+                        else "coalesced_waiter"
+                    )
+                )
             # Coalesced waiters share the leader's list: hand out copies.
             return value if was_leader else list(value)
         return leader()

@@ -26,19 +26,32 @@ import sys
 from ..monitoring import ClusterMonitor
 from ..sim.ascii_chart import Series, render_chart
 
-#: ``name{label="value",...} value`` — the shape of every sample line the
-#: registry's text exposition emits (labels optional).
+#: ``name{label="value",...} value [# {trace_id="..."} v]`` — the shape of
+#: every sample line the registry's text exposition emits.  Label values
+#: are quoted strings with ``\\``-escapes (so they may contain escaped
+#: quotes), and histogram bucket lines may carry an OpenMetrics-style
+#: exemplar suffix.
+_QUOTED = r'"(?:[^"\\\n]|\\.)*"'
+_LABEL_BODY = rf"(?:[A-Za-z_][A-Za-z0-9_]*={_QUOTED},?)*"
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+    rf"(?:\{{(?P<labels>{_LABEL_BODY})\}})?\s+(?P<value>\S+)"
+    rf"(?:\s+#\s+\{{(?P<ex_labels>{_LABEL_BODY})\}}\s+(?P<ex_value>\S+))?$"
 )
-_LABEL_RE = re.compile(r'(?P<key>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>[^"]*)"')
+_LABEL_RE = re.compile(
+    rf'(?P<key>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>(?:[^"\\\n]|\\.)*)"'
+)
 
 
 def _parse_labels(body: str | None) -> dict[str, str]:
+    from ..obs.registry import unescape_label_value
+
     if not body:
         return {}
-    return {m.group("key"): m.group("value") for m in _LABEL_RE.finditer(body)}
+    return {
+        m.group("key"): unescape_label_value(m.group("value"))
+        for m in _LABEL_RE.finditer(body)
+    }
 
 
 def _labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
@@ -52,9 +65,12 @@ def parse_exposition(text: str) -> dict[str, dict]:
     counter/gauge entry is ``{"labels", "value"}`` and a histogram entry is
     ``{"labels", "count", "sum", "buckets": [(le, cumulative), ...],
     "p50", "p95", "p99"}`` (quantiles read from the ``quantile=`` summary
-    lines the registry emits, not re-derived from buckets).
+    lines the registry emits, not re-derived from buckets).  Bucket lines
+    carrying exemplar suffixes add ``"exemplars": [{"le", "trace_id",
+    "value"}, ...]``; ``# HELP`` text lands under the family's ``"help"``.
     """
     kinds: dict[str, str] = {}
+    helps: dict[str, str] = {}
     # (family, label-key) -> accumulating entry
     entries: dict[tuple[str, tuple], dict] = {}
 
@@ -71,7 +87,13 @@ def parse_exposition(text: str) -> dict[str, dict]:
         if line.startswith("#"):
             parts = line.split()
             if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[2] in kinds:
+                    raise ValueError(f"duplicate # TYPE for {parts[2]}")
                 kinds[parts[2]] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                if parts[2] in helps:
+                    raise ValueError(f"duplicate # HELP for {parts[2]}")
+                helps[parts[2]] = line.split(None, 3)[3] if len(parts) > 3 else ""
             continue
         match = _SAMPLE_RE.match(line)
         if match is None:
@@ -90,6 +112,13 @@ def parse_exposition(text: str) -> dict[str, dict]:
                 le = labels.pop("le", "+Inf")
                 entry = entry_for(family, labels)
                 entry.setdefault("buckets", []).append((le, int(value)))
+                if match.group("ex_labels") is not None:
+                    exemplar_labels = _parse_labels(match.group("ex_labels"))
+                    entry.setdefault("exemplars", []).append({
+                        "le": le,
+                        "trace_id": exemplar_labels.get("trace_id", ""),
+                        "value": float(match.group("ex_value")),
+                    })
             elif name.endswith("_sum"):
                 entry_for(family, labels)["sum"] = value
             else:
@@ -109,6 +138,8 @@ def parse_exposition(text: str) -> dict[str, dict]:
         bucket = out.setdefault(
             family, {"type": kinds.get(family, "untyped"), "metrics": []}
         )
+        if family in helps:
+            bucket["help"] = helps[family]
         bucket["metrics"].append(entry)
     return out
 
@@ -190,6 +221,15 @@ def render_dashboard(
         if item[0].startswith(("result_cache_", "singleflight_", "batch_window_"))
     ]
     scalars = [item for item in scalars if item not in hot_reads]
+    # SLO judgment: error budgets, burn-rate alert state, and the tail
+    # sampler's retention counters in one block — the "are we meeting the
+    # paper's SLA" view.
+    slo = [
+        item
+        for item in scalars
+        if item[0].startswith(("slo_", "tail_sampler_"))
+    ]
+    scalars = [item for item in scalars if item not in slo]
     if scalars:
         lines.append("")
         lines.append("-- counters / gauges --")
@@ -212,6 +252,12 @@ def render_dashboard(
         lines.append("")
         lines.append("-- hot read path --")
         for name, kind, entry in hot_reads:
+            label = f"{name}{_fmt_labels(entry['labels'])}"
+            lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
+    if slo:
+        lines.append("")
+        lines.append("-- SLO & alerts --")
+        for name, kind, entry in slo:
             label = f"{name}{_fmt_labels(entry['labels'])}"
             lines.append(f"{label:<52} {entry.get('value', 0.0):>12g} ({kind})")
 
@@ -265,10 +311,36 @@ def _run_demo():
     from ..server.proxy import RPCNodeProxy
     from ..server.recovery import attach_memory_durability
 
+    from ..obs.slo import SLOEngine
+    from ..obs.tail import TailSampler
+
     now_ms = 400 * MILLIS_PER_DAY
     clock = SimulatedClock(now_ms)
     registry = MetricsRegistry()
-    tracer = Tracer(clock=clock, registry=registry)
+    sampler = TailSampler(max_traces=64, registry=registry)
+    tracer = Tracer(
+        clock=clock,
+        registry=registry,
+        slow_threshold_ms=5.0,
+        tail_sampler=sampler,
+    )
+    slo = SLOEngine.from_mapping(
+        {
+            "objectives": [
+                {
+                    "name": "demo-read",
+                    "caller": "demo-app",
+                    "op": "read",
+                    "latency_threshold_ms": "1s",
+                    "latency_target": 0.99,
+                    "availability_target": 0.999,
+                }
+            ],
+            "bucket": "1s",
+        },
+        clock,
+        registry=registry,
+    )
     from ..server.coalesce import CoalesceConfig
     from ..server.result_cache import QueryResultCache
 
@@ -299,6 +371,7 @@ def _run_demo():
             advance_clock=True,
         )
     monitor = ClusterMonitor(cluster)
+    monitor.watch_slo(slo)
     client = cluster.client("demo-app")
     # A fixed absolute window keeps the query fingerprint stable across
     # reads (the RPC proxies advance the clock per call, so a relative
@@ -328,8 +401,12 @@ def _run_demo():
             # Skewed read traffic: most requests land on a hot subset,
             # which is what makes the result cache earn its keep.
             profile_id = rng.randrange(8) if rng.random() < 0.7 else rng.randrange(60)
+            started_ms = clock.now_ms()
             client.get_profile_topk(
                 profile_id, 1, 1, window, SortType.TOTAL, k=5
+            )
+            slo.observe(
+                "demo-app", "read", clock.now_ms() - started_ms, ok=True
             )
         client.multi_get_topk(
             [rng.randrange(60) for _ in range(32)],
@@ -340,6 +417,7 @@ def _run_demo():
             k=5,
         )
         clock.advance(MILLIS_PER_SECOND)
+        slo.evaluate()
         monitor.sample()
     return registry, monitor, tracer
 

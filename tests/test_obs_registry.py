@@ -10,8 +10,11 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
+    unescape_label_value,
 )
 from repro.sim.metrics import percentile as brute_force_percentile
+from repro.tools.dashboard import parse_exposition
 
 
 class TestCounter:
@@ -168,3 +171,96 @@ class TestRegistry:
         from repro.sim.metrics import LatencyHistogram
 
         assert LatencyHistogram is Histogram
+
+
+NASTY = 'back\\slash "quoted"\nnewline'
+
+
+class TestLabelEscaping:
+    def test_escape_round_trip(self):
+        escaped = escape_label_value(NASTY)
+        assert "\n" not in escaped
+        assert '\\"' in escaped and "\\\\" in escaped and "\\n" in escaped
+        assert unescape_label_value(escaped) == NASTY
+
+    def test_unescape_leaves_unknown_sequences(self):
+        assert unescape_label_value("a\\tb") == "a\\tb"
+
+    def test_exposition_round_trips_nasty_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", path=NASTY).inc(7)
+        text = registry.render_text()
+        # Every sample stays one line despite the embedded newline.
+        assert all(
+            line.startswith(("#", "reqs_total")) for line in text.splitlines()
+        )
+        parsed = parse_exposition(text)
+        (entry,) = parsed["reqs_total"]["metrics"]
+        assert entry["labels"] == {"path": NASTY}
+        assert entry["value"] == 7.0
+
+
+class TestExpositionStrictness:
+    def test_help_and_type_exactly_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", region="eu").inc()
+        registry.counter("reqs_total", region="us").inc()
+        registry.describe("reqs_total", "requests by region")
+        text = registry.render_text()
+        assert text.count("# TYPE reqs_total ") == 1
+        assert text.count("# HELP reqs_total ") == 1
+        # The strict parser accepts it and surfaces the help text.
+        parsed = parse_exposition(text)
+        assert parsed["reqs_total"]["help"] == "requests by region"
+        assert len(parsed["reqs_total"]["metrics"]) == 2
+
+    def test_parser_rejects_duplicate_type_and_help(self):
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x counter\n# TYPE x counter\nx 1")
+        with pytest.raises(ValueError):
+            parse_exposition("# HELP x a\n# HELP x b\nx 1")
+
+    def test_describe_unknown_family_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().describe("ghost", "boo")
+
+
+class TestExemplars:
+    def test_record_keeps_newest_per_bucket_bounded(self):
+        hist = Histogram(min_ms=1.0, max_ms=1024.0, growth=2.0)
+        hist.record(5.0, trace_id="t-00000001")
+        hist.record(5.2, trace_id="t-00000002")  # same bucket: replaces
+        hist.record(500.0, trace_id="t-00000003")
+        hist.record(1.0)  # no trace id: no exemplar slot
+        assert hist.exemplar_count() == 2
+        exemplars = hist.exemplars()
+        assert [trace for _, trace, _ in exemplars] == [
+            "t-00000002", "t-00000003"
+        ]
+        assert hist.max_exemplar() == ("t-00000003", 500.0)
+        assert hist.exemplar_in_range(100.0, 1000.0) == ("t-00000003", 500.0)
+        assert hist.exemplar_in_range(1000.0, 2000.0) is None
+
+    def test_exposition_carries_exemplars_and_round_trips(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("read_ms", caller="app")
+        hist.observe(3.0, trace_id="t-00000007")
+        hist.observe(900.0, trace_id="t-00000008")
+        text = registry.render_text()
+        assert '# {trace_id="t-00000008"} 900' in text
+        parsed = parse_exposition(text)
+        (entry,) = parsed["read_ms"]["metrics"]
+        traces = {ex["trace_id"] for ex in entry["exemplars"]}
+        assert traces == {"t-00000007", "t-00000008"}
+        for exemplar in entry["exemplars"]:
+            assert float(exemplar["le"]) >= exemplar["value"]
+
+    def test_json_export_includes_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(2.0, trace_id="t-00000001")
+        data = json.loads(registry.to_json())
+        (entry,) = data["lat"]["metrics"]
+        assert entry["exemplars"] == [
+            {"le": entry["exemplars"][0]["le"], "trace_id": "t-00000001",
+             "value": 2.0}
+        ]

@@ -1,0 +1,299 @@
+"""Tests for the SLO engine: objectives, burn rates, alert hysteresis."""
+
+import json
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.config import ConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    TIMELINE_SCHEMA,
+    BurnRateRule,
+    SLObjective,
+    SLOEngine,
+    default_rules,
+)
+
+MIN = 60_000
+
+
+def make_engine(registry=None, rules=None, **objective_kwargs):
+    clock = SimulatedClock(0)
+    objective = SLObjective(name="api", **objective_kwargs)
+    engine = SLOEngine(clock, [objective], rules=rules, registry=registry)
+    return clock, engine
+
+
+class TestSLObjective:
+    def test_defaults_and_matching(self):
+        objective = SLObjective(name="any")
+        assert objective.matches("someone", "read")
+        scoped = SLObjective(name="scoped", caller="naive", op="read")
+        assert scoped.matches("naive", "read")
+        assert not scoped.matches("naive", "write")
+        assert not scoped.matches("other", "read")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_target": 0.0},
+            {"latency_target": 1.0},
+            {"availability_target": 1.5},
+            {"latency_threshold_ms": 0},
+        ],
+    )
+    def test_rejects_bad_targets(self, kwargs):
+        with pytest.raises(ConfigError):
+            SLObjective(name="bad", **kwargs)
+
+    def test_from_mapping_parses_durations(self):
+        objective = SLObjective.from_mapping(
+            {"name": "reads", "latency_threshold_ms": "250ms"}
+        )
+        assert objective.latency_threshold_ms == 250.0
+
+    def test_from_mapping_rejects_unknown_keys_and_missing_name(self):
+        with pytest.raises(ConfigError):
+            SLObjective.from_mapping({"name": "x", "latencyy": 1})
+        with pytest.raises(ConfigError):
+            SLObjective.from_mapping({"caller": "x"})
+
+
+class TestBurnRateRule:
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ConfigError):
+            BurnRateRule("r", "page", short_window_ms=MIN * 60,
+                         long_window_ms=MIN, burn_threshold=14.0)
+
+    def test_rejects_bad_threshold_and_clear_after(self):
+        with pytest.raises(ConfigError):
+            BurnRateRule("r", "page", MIN, MIN, burn_threshold=0)
+        with pytest.raises(ConfigError):
+            BurnRateRule("r", "page", MIN, MIN, 1.0, clear_after=0)
+
+    def test_from_mapping_requires_core_keys(self):
+        with pytest.raises(ConfigError):
+            BurnRateRule.from_mapping({"name": "r", "severity": "page"})
+        rule = BurnRateRule.from_mapping({
+            "name": "fast", "severity": "page", "short_window": "5m",
+            "long_window": "1h", "burn_threshold": 14,
+        })
+        assert rule.short_window_ms == 5 * MIN
+        assert rule.long_window_ms == 60 * MIN
+        assert rule.clear_after == 3
+
+    def test_default_rules_are_the_sre_pair(self):
+        fast, slow = default_rules()
+        assert (fast.severity, slow.severity) == ("page", "ticket")
+        assert fast.burn_threshold > slow.burn_threshold
+        assert fast.short_window_ms < slow.short_window_ms
+
+
+class TestAccounting:
+    def test_latency_and_availability_classified_separately(self):
+        clock, engine = make_engine(
+            latency_threshold_ms=50.0, latency_target=0.9,
+            availability_target=0.9,
+        )
+        engine.observe("app", "read", 10.0, ok=True)    # good on both
+        engine.observe("app", "read", 500.0, ok=True)   # slow but served
+        engine.observe("app", "read", 10.0, ok=False)   # failed
+        summary = engine.summary()["series"]
+        assert summary["api:latency"] == {
+            "target": 0.9, "good": 1, "bad": 2,
+            "budget_remaining": summary["api:latency"]["budget_remaining"],
+        }
+        assert summary["api:availability"]["good"] == 2
+        assert summary["api:availability"]["bad"] == 1
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        clock, engine = make_engine(availability_target=0.99)
+        for index in range(100):
+            engine.observe("app", "read", 1.0, ok=index >= 10)
+        # 10% bad over a 1% budget -> burn 10.
+        assert engine.burn_rate("api:availability", MIN) == pytest.approx(10.0)
+        # Empty window -> burn 0, never a division error.
+        assert engine.burn_rate(
+            "api:availability", MIN, now_ms=10 * MIN
+        ) == 0.0
+
+    def test_budget_remaining_is_lifetime_and_can_overdraw(self):
+        clock, engine = make_engine(availability_target=0.99)
+        assert engine.budget_remaining("api:availability") == 1.0
+        for index in range(100):
+            engine.observe("app", "read", 1.0, ok=index >= 50)
+        # 50% bad against a 1% budget: 50x overdrawn.
+        assert engine.budget_remaining(
+            "api:availability"
+        ) == pytest.approx(1.0 - 50.0)
+
+    def test_old_buckets_leave_the_window(self):
+        clock, engine = make_engine(availability_target=0.99)
+        engine.observe("app", "read", 1.0, ok=False)
+        clock.advance(5 * MIN)
+        engine.observe("app", "read", 1.0, ok=True)
+        # A 2-bucket window sees only the good request now.
+        assert engine.burn_rate("api:availability", 2 * MIN) == 0.0
+        # A wide window still sees the failure.
+        assert engine.burn_rate("api:availability", 10 * MIN) > 0.0
+
+    def test_non_matching_ops_are_ignored(self):
+        clock = SimulatedClock(0)
+        engine = SLOEngine(
+            clock, [SLObjective(name="reads", op="read")]
+        )
+        engine.observe("app", "write", 1.0, ok=False)
+        assert engine.summary()["series"]["reads:availability"]["bad"] == 0
+
+    def test_requires_objectives_and_unique_names(self):
+        clock = SimulatedClock(0)
+        with pytest.raises(ConfigError):
+            SLOEngine(clock, [])
+        with pytest.raises(ConfigError):
+            SLOEngine(
+                clock, [SLObjective(name="a"), SLObjective(name="a")]
+            )
+
+
+def fast_only():
+    return [BurnRateRule("fast", "page", short_window_ms=2 * MIN,
+                         long_window_ms=10 * MIN, burn_threshold=10.0,
+                         clear_after=2)]
+
+
+def drive_round(clock, engine, bad: int, good: int):
+    for _ in range(bad):
+        engine.observe("app", "read", 1.0, ok=False)
+    for _ in range(good):
+        engine.observe("app", "read", 1.0, ok=True)
+    events = engine.evaluate()
+    clock.advance(MIN)
+    return events
+
+
+class TestAlerting:
+    def test_fires_only_when_both_windows_burn(self):
+        clock, engine = make_engine(
+            latency_target=0.9, availability_target=0.9, rules=fast_only()
+        )
+        # Long window dominated by good traffic recorded earlier: a fresh
+        # short-window spike alone must not page.
+        for _ in range(8):
+            drive_round(clock, engine, bad=0, good=100)
+        events = drive_round(clock, engine, bad=100, good=0)
+        # A one-bucket window ending right after the spike isolates it.
+        rates_short = engine.burn_rate(
+            "api:availability", MIN, clock.now_ms()
+        )
+        rates_long = engine.burn_rate(
+            "api:availability", 10 * MIN, clock.now_ms()
+        )
+        assert rates_short >= 10.0 > rates_long
+        assert events == []
+        # Sustained badness pushes the long window over too -> fire once.
+        fired = []
+        for _ in range(12):
+            fired += drive_round(clock, engine, bad=100, good=0)
+        fires = [
+            e for e in fired
+            if e["event"] == "fire" and e["slo"] == "api:availability"
+        ]
+        assert len(fires) == 1
+        assert fires[0]["slo"] == "api:availability"
+        assert fires[0]["severity"] == "page"
+        assert fires[0]["burn_short"] >= 10.0
+        assert fires[0]["burn_long"] >= 10.0
+
+    def test_hysteresis_clears_after_consecutive_clean_rounds(self):
+        clock, engine = make_engine(
+            latency_target=0.9, availability_target=0.9, rules=fast_only()
+        )
+        for _ in range(4):
+            drive_round(clock, engine, bad=100, good=0)
+        assert [a["rule"] for a in engine.active_alerts()] == ["fast", "fast"]
+        # One clean evaluation is not enough (clear_after=2)...
+        clock.advance(10 * MIN)  # flush both windows
+        events = drive_round(clock, engine, bad=0, good=100)
+        assert events == []
+        assert engine.active_alerts()
+        # ...the second consecutive clean one clears.
+        events = drive_round(clock, engine, bad=0, good=100)
+        clears = [e for e in events if e["event"] == "clear"]
+        assert len(clears) == 2  # latency + availability series
+        assert engine.active_alerts() == []
+        # A re-fire after clearing is a fresh timeline event.
+        for _ in range(12):
+            drive_round(clock, engine, bad=100, good=0)
+        kinds = [(e["event"], e["slo"]) for e in engine.timeline]
+        assert kinds.count(("fire", "api:availability")) == 2
+
+    def test_timeline_json_is_deterministic(self):
+        timelines = []
+        for _ in range(2):
+            clock, engine = make_engine(
+                availability_target=0.9, rules=fast_only()
+            )
+            for round_index in range(20):
+                bad = 80 if 5 <= round_index < 12 else 0
+                drive_round(clock, engine, bad=bad, good=20)
+            timelines.append(engine.timeline_json())
+        assert timelines[0] == timelines[1]
+        decoded = json.loads(timelines[0])
+        assert decoded["schema"] == TIMELINE_SCHEMA
+        assert decoded["events"], "expected at least one alert event"
+
+    def test_registry_wiring(self):
+        registry = MetricsRegistry()
+        clock, engine = make_engine(
+            availability_target=0.9, rules=fast_only(), registry=registry
+        )
+        for _ in range(4):
+            drive_round(clock, engine, bad=100, good=0)
+        assert registry.get(
+            "slo_requests_total", slo="api:availability", result="bad"
+        ).value == 400.0
+        assert registry.get(
+            "slo_alert_active", slo="api:availability", rule="fast",
+            severity="page",
+        ).value == 1.0
+        assert registry.get("slo_alerts_fired_total").value == 2.0
+        assert registry.get(
+            "slo_error_budget_remaining", slo="api:availability"
+        ).value < 0
+
+
+class TestFromMapping:
+    def test_full_config_round_trip(self):
+        clock = SimulatedClock(0)
+        registry = MetricsRegistry()
+        engine = SLOEngine.from_mapping(
+            {
+                "objectives": [
+                    {"name": "reads", "caller": "naive", "op": "read",
+                     "latency_threshold_ms": "100ms",
+                     "latency_target": 0.99,
+                     "availability_target": 0.999},
+                ],
+                "rules": [
+                    {"name": "fast", "severity": "page",
+                     "short_window": "5m", "long_window": "1h",
+                     "burn_threshold": 14},
+                ],
+                "bucket": "30s",
+            },
+            clock,
+            registry=registry,
+        )
+        assert engine.series_keys() == (
+            "reads:latency", "reads:availability"
+        )
+        assert [rule.name for rule in engine.rules] == ["fast"]
+        assert engine._series["reads:latency"].bucket_ms == 30_000
+
+    def test_rejects_unknown_keys_and_missing_objectives(self):
+        clock = SimulatedClock(0)
+        with pytest.raises(ConfigError):
+            SLOEngine.from_mapping({"objective": []}, clock)
+        with pytest.raises(ConfigError):
+            SLOEngine.from_mapping({"rules": []}, clock)

@@ -1,0 +1,124 @@
+"""Tests for tail-based trace sampling: reasons, FIFO cap, lookup."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tail import REASONS, TailSampler
+from repro.obs.trace import Tracer
+
+
+def finished_root(tracer, name="op", *, error=False, tags=None,
+                  child_tags=None):
+    """Drive one root span through the tracer and return it."""
+    try:
+        with tracer.span(name, **(tags or {})):
+            with tracer.span("child", **(child_tags or {})):
+                if error:
+                    raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    return tracer.roots[-1]
+
+
+class TestClassify:
+    def test_reason_precedence(self):
+        tracer = Tracer()
+        assert REASONS == ("error", "chaos", "hedged", "slow")
+        # Error wins even when chaos/hedged tags are present.
+        span = finished_root(
+            tracer, error=True, tags={"hedged": 1},
+            child_tags={"chaos": "rpc_error"},
+        )
+        assert TailSampler.classify(span, slow=True) == "error"
+        # Chaos beats hedged; tags anywhere in the tree count.
+        span = finished_root(
+            tracer, tags={"hedged": 1}, child_tags={"chaos": "rpc_latency"}
+        )
+        assert TailSampler.classify(span, slow=True) == "chaos"
+        span = finished_root(tracer, tags={"hedged": 1})
+        assert TailSampler.classify(span, slow=True) == "hedged"
+        span = finished_root(tracer)
+        assert TailSampler.classify(span, slow=True) == "slow"
+        assert TailSampler.classify(span, slow=False) is None
+
+
+class TestOffer:
+    def test_retains_by_reason_and_looks_up_by_trace_id(self):
+        tracer = Tracer()
+        sampler = TailSampler(max_traces=8)
+        boring = finished_root(tracer)
+        errored = finished_root(tracer, error=True)
+        assert sampler.offer(boring) is None
+        assert sampler.offer(errored) == "error"
+        assert errored.trace_id in sampler
+        assert boring.trace_id not in sampler
+        assert sampler.get(errored.trace_id) is errored
+        assert sampler.reason(errored.trace_id) == "error"
+        assert sampler.get("t-99999999") is None
+        assert sampler.reason("t-99999999") is None
+        assert len(sampler) == 1
+
+    def test_span_without_trace_id_is_never_retained(self):
+        tracer = Tracer()
+        sampler = TailSampler()
+        span = finished_root(tracer, error=True)
+        span.trace_id = None
+        assert sampler.offer(span, slow=True) is None
+        assert len(sampler) == 0
+        assert sampler.stats()["dropped"] == 1
+
+    def test_fifo_eviction_keeps_memory_bounded(self):
+        tracer = Tracer(slow_threshold_ms=0.0)
+        sampler = TailSampler(max_traces=3)
+        spans = [
+            finished_root(tracer, name=f"op-{index}", error=True)
+            for index in range(10)
+        ]
+        for span in spans:
+            sampler.offer(span)
+        assert len(sampler) == 3
+        assert sampler.trace_ids() == tuple(
+            span.trace_id for span in spans[-3:]
+        )
+        stats = sampler.stats()
+        assert stats["offered"] == 10
+        assert stats["evicted"] == 7
+        assert stats["resident"] == 3
+        assert stats["retained_by_reason"]["error"] == 10
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            TailSampler(max_traces=0)
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        sampler = TailSampler(max_traces=2, registry=registry)
+        for _ in range(3):
+            sampler.offer(finished_root(tracer, error=True))
+        sampler.offer(finished_root(tracer))  # boring -> dropped
+        assert registry.get(
+            "tail_sampler_retained_total", reason="error"
+        ).value == 3.0
+        assert registry.get("tail_sampler_dropped_total").value == 1.0
+        assert registry.get("tail_sampler_evicted_total").value == 1.0
+        assert registry.get("tail_sampler_resident").value == 2.0
+
+
+class TestTracerIntegration:
+    def test_tracer_offers_every_finished_root(self):
+        clock = SimulatedClock(0)
+        sampler = TailSampler(max_traces=4)
+        tracer = Tracer(
+            clock=clock, slow_threshold_ms=100.0, tail_sampler=sampler
+        )
+        with tracer.span("fast"):
+            pass
+        with tracer.span("slow"):
+            clock.advance(500)
+        assert len(sampler) == 1
+        slow_root = tracer.roots[-1]
+        assert sampler.reason(slow_root.trace_id) == "slow"
+        # The retained tree is the real one, not a copy.
+        assert sampler.get(slow_root.trace_id) is slow_root

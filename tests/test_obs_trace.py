@@ -177,3 +177,117 @@ class TestRendering:
         assert "node=n0" in lines[0]
         assert lines[1].startswith("  child ")
         assert "(clock 7ms)" in lines[1]
+
+    def test_render_includes_trace_id_on_roots_only(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        lines = render_span_tree(root).splitlines()
+        assert f"trace={root.trace_id}" in lines[0]
+        assert "trace=" not in lines[1]
+
+
+class _PerfSimClock(SimulatedClock):
+    """Simulated clock whose perf source is the simulated time too, so
+    span *durations* are deterministic clock deltas in tests."""
+
+    def perf_ms(self) -> float:
+        return float(self.now_ms())
+
+
+class TestTraceIds:
+    def test_roots_get_sequential_ids_children_none(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("child") as child:
+                pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id == "t-00000001"
+        assert b.trace_id == "t-00000002"
+        assert child.trace_id is None
+
+    def test_error_root_keeps_its_trace_id(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise RuntimeError("nope")
+        assert tracer.roots[0].trace_id == "t-00000001"
+
+    def test_null_tracer_has_no_trace_ids(self):
+        span = NULL_TRACER.span("x")
+        assert span.trace_id is None
+        assert NULL_TRACER.current() is None
+
+
+class TestExemplarToTraceLink:
+    def test_max_bucket_exemplar_resolves_to_retained_trace(self):
+        """The acceptance path: slow histogram bucket -> trace id ->
+        tail-sampled span tree of that exact request."""
+        from repro.obs.tail import TailSampler
+
+        clock = _PerfSimClock(0)
+        registry = MetricsRegistry()
+        sampler = TailSampler(max_traces=8, registry=registry)
+        tracer = Tracer(
+            clock=clock, registry=registry, slow_threshold_ms=100.0,
+            tail_sampler=sampler,
+        )
+        for duration in (5, 10, 250, 20):
+            with tracer.span("client.read", duration=duration):
+                with tracer.span("node.read"):
+                    clock.advance(duration)
+
+        hist = registry.get("trace_root_ms", span="client.read")
+        trace_id, value = hist.max_exemplar()
+        assert value == 250.0
+        retained = sampler.get(trace_id)
+        assert retained is not None
+        assert sampler.reason(trace_id) == "slow"
+        assert retained.tags["duration"] == 250
+        assert retained.find("node.read")
+        # The same request is the one in the slow log.
+        assert len(tracer.slow_log) == 1
+        assert f"trace={trace_id}" in tracer.slow_log[0]
+        # Fast requests were offered but not retained.
+        assert sampler.stats()["offered"] == 4
+        assert len(sampler) == 1
+
+
+class TestServedTags:
+    def test_slow_log_distinguishes_cache_hit_from_leader(self):
+        """Hot-path reads tag how they were served, and the tags reach
+        the rendered slow-query log."""
+        from repro.config import TableConfig
+        from repro.core.query import SortType
+        from repro.core.timerange import TimeRange
+        from repro.server import CoalesceConfig, IPSNode
+        from repro.storage import InMemoryKVStore
+
+        clock = _PerfSimClock(1_000_000)
+        # Threshold 0: every request lands in the slow log.
+        tracer = Tracer(clock=clock, slow_threshold_ms=0.0)
+        node = IPSNode(
+            "hot",
+            TableConfig(name="served", attributes=("click",)),
+            InMemoryKVStore(),
+            clock=clock,
+            tracer=tracer,
+            result_cache=32,
+            coalesce=CoalesceConfig(window_ms=0.0),
+        )
+        node.add_profile(1, 999_000, 1, 0, 7, {"click": 3})
+        node.merge_write_table()
+        window = TimeRange.absolute(0, 1_000_001)
+
+        node.get_profile_topk(1, 1, 0, window, SortType.TOTAL, k=5)
+        node.get_profile_topk(1, 1, 0, window, SortType.TOTAL, k=5)
+        # Setup (add_profile/merge) also produced roots; the reads are
+        # the last two.
+        leader, hit = tracer.roots[-2], tracer.roots[-1]
+        assert leader.tags["served"] == "singleflight_leader"
+        assert hit.tags["served"] == "result_cache"
+        assert "served=singleflight_leader" in tracer.slow_log[-2]
+        assert "served=result_cache" in tracer.slow_log[-1]

@@ -8,6 +8,12 @@ mix wall time into modelled results.  This script walks ``src/repro``,
 ``benchmarks`` and ``tools`` and fails the build on any direct
 ``time.time(...)`` call outside ``clock.py``.
 
+A stricter tier applies to the SLO/tail-sampling modules
+(``WALL_CLOCK_FREE``): error-budget windows and alert timelines must
+replay byte-identically, so those files may not touch the ``time``
+module *at all* — no ``perf_ms``, no ``SystemClock``, no ``import
+time``.  They see time only through an injected clock.
+
 Run from the repo root (``make lint`` does): ``python tools/check_clock_usage.py``.
 """
 
@@ -24,6 +30,14 @@ SOURCE_DIR = ROOT / "src" / "repro"
 SCAN_DIRS = (SOURCE_DIR, ROOT / "benchmarks", ROOT / "tools")
 #: The one module allowed to touch the wall clock.
 ALLOWED = {SOURCE_DIR / "clock.py"}
+#: Modules that must be *fully* wall-clock-free: any use of the ``time``
+#: module, ``perf_ms``, or ``SystemClock`` fails the lint.  Alert windows
+#: and tail-sampling decisions must depend only on the injected clock.
+WALL_CLOCK_FREE = {
+    SOURCE_DIR / "obs" / "slo.py",
+    SOURCE_DIR / "obs" / "tail.py",
+}
+_WALL_CLOCK_NAMES = {"perf_ms", "SystemClock"}
 
 
 def _is_time_time(node: ast.Call) -> bool:
@@ -52,6 +66,34 @@ def _offenders_in(path: Path) -> list[int]:
     return lines
 
 
+def _wall_clock_offenders_in(path: Path) -> list[tuple[int, str]]:
+    """Any route to wall time in a file that must be wall-clock-free."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time" or alias.name.startswith("time."):
+                    offenders.append((node.lineno, "import time"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                offenders.append((node.lineno, "from time import ..."))
+            else:
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_NAMES:
+                        offenders.append(
+                            (node.lineno, f"import of {alias.name}")
+                        )
+        elif isinstance(node, ast.Name) and node.id in _WALL_CLOCK_NAMES:
+            offenders.append((node.lineno, f"use of {node.id}"))
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr in _WALL_CLOCK_NAMES
+        ):
+            offenders.append((node.lineno, f"use of .{node.attr}"))
+    return offenders
+
+
 def main() -> int:
     failures = []
     for scan_dir in SCAN_DIRS:
@@ -60,6 +102,18 @@ def main() -> int:
                 continue
             for lineno in _offenders_in(path):
                 failures.append(f"{path.relative_to(ROOT)}:{lineno}")
+    for path in sorted(WALL_CLOCK_FREE):
+        if not path.exists():
+            failures.append(
+                f"{path.relative_to(ROOT)}: listed in WALL_CLOCK_FREE "
+                "but missing"
+            )
+            continue
+        for lineno, what in _wall_clock_offenders_in(path):
+            failures.append(
+                f"{path.relative_to(ROOT)}:{lineno} ({what}; this module "
+                "must be wall-clock-free)"
+            )
     if failures:
         print("direct time.time() usage outside clock.py:", file=sys.stderr)
         for failure in failures:

@@ -16,6 +16,9 @@ Each target carries its own floor:
 * ``src/repro/server`` — the node read/write paths plus the hot-read
   layer (result cache, singleflight, batch windows, durability), kept
   honest by the invalidation oracle and the coalescing suite.
+* ``src/repro/obs`` — the judgment layer itself (metrics registry,
+  tracer, tail sampler, SLO engine); an observability stack nobody
+  tests is exactly the code that lies during an incident.
 
 Fails the build when any target's aggregate line coverage drops below
 its floor.  Run from the repo root (``make coverage-core`` does):
@@ -35,6 +38,7 @@ SRC = ROOT / "src"
 TARGETS = (
     ("core", SRC / "repro" / "core", 0.85),
     ("server", SRC / "repro" / "server", 0.85),
+    ("obs", SRC / "repro" / "obs", 0.85),
 )
 
 #: Test files that exercise the targets (kept explicit so the traced run
@@ -68,6 +72,11 @@ TRACED_TEST_FILES = (
     "tests/test_recovery.py",
     "tests/test_crashpoints.py",
     "tests/test_batch_query.py",
+    # obs targets
+    "tests/test_obs_registry.py",
+    "tests/test_obs_trace.py",
+    "tests/test_obs_slo.py",
+    "tests/test_obs_tail.py",
 )
 
 
