@@ -1,14 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history dash
+.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history bench-cluster bench-cluster-smoke net-smoke dash
 
 ## check: lint + tier-1 tests + kernel differential oracle (both backends)
 ## + result-cache invalidation oracle + coverage floors (core + server +
 ## obs) + benchmark smoke runs + chaos determinism smoke + seeded
 ## crash-point recovery schedules + SLO alert falsification + the
-## perf-history snapshot/regression diff.
-check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history
+## process-cluster socket smoke (real workers, real SIGKILL failover) +
+## the perf-history snapshot/regression diff.
+check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check net-smoke bench-cluster-smoke bench-history
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -78,6 +79,22 @@ crashcheck:
 ## replay byte-identically.
 slo-check:
 	$(PYTHON) benchmarks/bench_slo_alerts.py --smoke
+
+## net-smoke: socket-transport smoke — the wire codec, registry and
+## in-thread worker-server suites (no subprocesses; the subprocess suite
+## runs under plain `make test`).
+net-smoke:
+	$(PYTHON) -m pytest tests/test_net_wire.py tests/test_net_registry.py tests/test_net_transport.py -q
+
+## bench-cluster: process-per-node scale-out over real sockets — spawns
+## 1/2/4 worker OS processes, gates 4-worker >= 2x 1-worker throughput on
+## machines with >= 4 cores, then SIGKILLs a worker mid-run and gates the
+## client-observed error rate < 1% via failover.
+bench-cluster:
+	$(PYTHON) benchmarks/bench_cluster_scaleout.py
+
+bench-cluster-smoke:
+	$(PYTHON) benchmarks/bench_cluster_scaleout.py --smoke
 
 ## bench-history: run the gated benches, record a schema-versioned
 ## BENCH_<n>.json snapshot, and diff against the committed baseline with

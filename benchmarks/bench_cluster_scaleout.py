@@ -1,0 +1,289 @@
+"""Process-cluster scale-out: the first non-modelled cluster number.
+
+Every cluster figure before this bench was in-process — multi-thread
+wins muted by the GIL, network costs modelled, crashes simulated.  Here
+each IPSNode is its **own OS process** behind a real TCP socket
+(``repro.net``), so aggregate throughput can actually grow with worker
+count on real cores, and a ``node_crash`` is a real SIGKILL.
+
+Two phases:
+
+* **scale-out** — aggregate ``multi_get_topk`` keys/s from several
+  client threads against 1, 2, 4 worker processes.  Gate (full mode, on
+  a machine with >= 4 cores): the 4-worker figure must be >= 2x the
+  1-worker figure.  On smaller machines the sweep still runs and
+  reports, but the multiplier is informational — one core cannot
+  parallelize anything, whatever the architecture.
+* **chaos failover** — SIGKILL one worker mid-run and keep serving: the
+  resilience layer (retries, breakers, deadlines, hedged reads — the
+  unmodified ``IPSClient``) must hold the client-observed per-key error
+  rate under 1% while the registry evicts the corpse and the ring
+  reroutes.  Gated in both modes.
+
+Run standalone (``python benchmarks/bench_cluster_scaleout.py [--smoke]``,
+with ``src`` on ``PYTHONPATH``) — ``make bench-cluster`` /
+``make bench-cluster-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+from random import Random
+
+from repro.clock import SystemClock, perf_ms
+from repro.chaos.engine import ChaosEvent
+from repro.chaos.process import ProcessChaosEngine
+from repro.cluster.resilience import ResilienceConfig
+from repro.core.timerange import TimeRange
+from repro.net.cluster import ProcessCluster
+
+#: Workers start without numpy so subprocess cold-start stays cheap; the
+#: query shapes here never hit the columnar fast path's win region anyway.
+WORKER_ENV = {"IPS_KERNEL_DISABLE_NUMPY": "1"}
+
+CLIENT_THREADS = 4
+BATCH_SIZE = 32
+TOPK = 10
+
+
+def _preload(cluster: ProcessCluster, population: int, now_ms: int) -> None:
+    client = cluster.client()
+    rng = Random(17)
+    for profile_id in range(population):
+        fids = [100 + rng.randrange(40) for _ in range(4)]
+        counts = [(1 + rng.randrange(3), rng.randrange(3), rng.randrange(2))
+                  for _ in fids]
+        wrote = client.add_profiles(profile_id, now_ms, 0, 1, fids, counts)
+        assert wrote == 1, f"preload write for {profile_id} failed"
+
+
+def _drive_reads(
+    cluster: ProcessCluster,
+    population: int,
+    window: TimeRange,
+    duration_ms: float,
+    *,
+    resilience: ResilienceConfig | None = None,
+    chaos: ProcessChaosEngine | None = None,
+    seed: int = 0,
+) -> dict:
+    """Hammer multi_get_topk from CLIENT_THREADS threads for duration_ms."""
+    results = {"keys": 0, "key_errors": 0, "batches": 0}
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def worker(thread_index: int) -> None:
+        # Each thread gets its own client + region view (own connection
+        # pools); they share nothing but the cluster registry.
+        client = cluster.client(resilience=resilience)
+        rng = Random(seed * 1_000 + thread_index)
+        keys = served = failed = batches = 0
+        while not stop.is_set():
+            batch = [rng.randrange(population) for _ in range(BATCH_SIZE)]
+            outcome = client.multi_get_topk(batch, 0, 1, window, k=TOPK)
+            batches += 1
+            for result in outcome.results:
+                keys += 1
+                if result.ok:
+                    served += 1
+                else:
+                    failed += 1
+        with lock:
+            results["keys"] += keys
+            results["key_errors"] += failed
+            results["batches"] += batches
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(CLIENT_THREADS)
+    ]
+    start = perf_ms()
+    for thread in threads:
+        thread.start()
+    while perf_ms() - start < duration_ms:
+        if chaos is not None:
+            chaos.tick()
+        threading.Event().wait(0.01)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    elapsed_ms = perf_ms() - start
+    results["elapsed_ms"] = elapsed_ms
+    results["qps"] = results["keys"] / (elapsed_ms / 1000.0)
+    results["error_rate"] = (
+        results["key_errors"] / results["keys"] if results["keys"] else 0.0
+    )
+    return results
+
+
+def run_scaleout(
+    worker_counts: list[int],
+    *,
+    population: int,
+    duration_ms: float,
+    settle_s: float = 0.4,
+) -> dict[int, dict]:
+    """Aggregate read throughput for each worker-process count."""
+    now_ms = int(SystemClock().now_ms())
+    window = TimeRange.absolute(now_ms - 60_000, now_ms + 60_000)
+    out: dict[int, dict] = {}
+    for count in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="ips-scaleout-") as tmp:
+            with ProcessCluster(count, tmp, worker_env=WORKER_ENV) as cluster:
+                cluster.wait_for_members(count)
+                _preload(cluster, population, now_ms)
+                threading.Event().wait(settle_s)  # let write tables merge
+                out[count] = _drive_reads(
+                    cluster, population, window, duration_ms, seed=count
+                )
+    return out
+
+
+def run_chaos_failover(
+    *,
+    workers: int,
+    population: int,
+    duration_ms: float,
+    kill_at_ms: float,
+    settle_s: float = 0.4,
+) -> dict:
+    """SIGKILL one worker mid-run; measure the client-observed error rate."""
+    now_ms = int(SystemClock().now_ms())
+    window = TimeRange.absolute(now_ms - 60_000, now_ms + 60_000)
+    with tempfile.TemporaryDirectory(prefix="ips-chaos-") as tmp:
+        with ProcessCluster(workers, tmp, worker_env=WORKER_ENV) as cluster:
+            victims = cluster.wait_for_members(workers)
+            _preload(cluster, population, now_ms)
+            threading.Event().wait(settle_s)
+            chaos = ProcessChaosEngine(cluster)
+            chaos.schedule(
+                ChaosEvent(
+                    start_ms=int(kill_at_ms),
+                    duration_ms=max(int(duration_ms - kill_at_ms), 1),
+                    kind="node_crash",
+                    target=victims[-1],
+                )
+            )
+            chaos.start()
+            stats = _drive_reads(
+                cluster,
+                population,
+                window,
+                duration_ms,
+                resilience=ResilienceConfig(deadline_ms=4_000.0),
+                chaos=chaos,
+                seed=99,
+            )
+            chaos.finish()
+            stats["faults"] = chaos.fault_counts()
+            return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run for make check")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON only")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        counts = [1, 2]
+        population, duration_ms = 128, 900.0
+        chaos_workers, chaos_duration, kill_at = 2, 1_500.0, 500.0
+    else:
+        counts = [1, 2, 4]
+        population, duration_ms = 512, 4_000.0
+        chaos_workers, chaos_duration, kill_at = 4, 8_000.0, 3_000.0
+
+    scaling = run_scaleout(
+        counts, population=population, duration_ms=duration_ms
+    )
+    chaos = run_chaos_failover(
+        workers=chaos_workers,
+        population=population,
+        duration_ms=chaos_duration,
+        kill_at_ms=kill_at,
+    )
+
+    cores = os.cpu_count() or 1
+    base_qps = scaling[counts[0]]["qps"]
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "cores": cores,
+        "scaling": {
+            str(count): {
+                "qps": round(stats["qps"], 1),
+                "keys": stats["keys"],
+                "error_rate": round(stats["error_rate"], 5),
+                "speedup_vs_1": round(stats["qps"] / base_qps, 2),
+            }
+            for count, stats in scaling.items()
+        },
+        "chaos": {
+            "qps": round(chaos["qps"], 1),
+            "keys": chaos["keys"],
+            "key_errors": chaos["key_errors"],
+            "error_rate": round(chaos["error_rate"], 5),
+            "faults": chaos["faults"],
+        },
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print("== cluster scale-out (real processes, real sockets) ==")
+        print(f"cores: {cores}")
+        for count in counts:
+            stats = report["scaling"][str(count)]
+            print(
+                f"  {count} worker(s): {stats['qps']:>9.1f} keys/s  "
+                f"(x{stats['speedup_vs_1']:.2f} vs 1, "
+                f"err {stats['error_rate']:.4%})"
+            )
+        print(
+            f"== chaos failover: SIGKILL 1/{chaos_workers} mid-run ==\n"
+            f"  {report['chaos']['qps']:>9.1f} keys/s, "
+            f"{report['chaos']['key_errors']}/{report['chaos']['keys']} "
+            f"key errors ({report['chaos']['error_rate']:.4%}), "
+            f"faults {report['chaos']['faults']}"
+        )
+
+    failures = []
+    # Every scaling arm must actually serve traffic.
+    for count, stats in scaling.items():
+        if stats["keys"] <= 0:
+            failures.append(f"{count}-worker arm served no keys")
+        if stats["error_rate"] >= 0.01:
+            failures.append(
+                f"{count}-worker arm error rate {stats['error_rate']:.4%}"
+            )
+    # The headline acceptance gate: 4 workers >= 2x 1 worker — only
+    # meaningful with >= 4 real cores to scale onto (per the criterion).
+    if not args.smoke and 4 in scaling and cores >= 4:
+        speedup = scaling[4]["qps"] / base_qps
+        if speedup < 2.0:
+            failures.append(
+                f"4-worker speedup x{speedup:.2f} < x2.0 on {cores} cores"
+            )
+    # Failover gate (both modes): losing one worker must not cost 1% errors.
+    if chaos["error_rate"] >= 0.01:
+        failures.append(
+            f"chaos error rate {chaos['error_rate']:.4%} >= 1% "
+            f"({chaos['key_errors']}/{chaos['keys']})"
+        )
+    if chaos["faults"]["node_crash"] < 1:
+        failures.append("chaos phase never killed a worker")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("bench-cluster gates OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Chaos over real processes: ``node_crash`` becomes a SIGKILL.
+
+The simulated :class:`~repro.chaos.engine.ChaosEngine` injects faults at
+in-process seams; this engine reuses the same
+:class:`~repro.chaos.engine.ChaosEvent` timeline shape but applies
+``node_crash`` to a :class:`~repro.net.cluster.ProcessCluster`: the
+target worker is SIGKILLed — no flush, no checkpoint, the real thing —
+and restarted over its surviving data dir when the event window ends, so
+WAL replay and registry re-registration are exercised for real.
+
+Time is **wall clock** relative to :meth:`start` (this runs under
+``repro.net``'s real-time regime, not the simulated clock): drive
+:meth:`tick` from the benchmark loop; each call applies newly-active
+events and reverts expired ones.
+
+Only ``node_crash`` maps onto a process fleet — the other fault kinds
+(rpc latency/error, region outage, replica lag) live on in-process seams
+that do not exist here, so scheduling one raises immediately rather than
+silently doing nothing.
+"""
+
+from __future__ import annotations
+
+from ..clock import perf_ms
+from .engine import ChaosEvent
+
+
+class ProcessChaosEngine:
+    """Applies a ``node_crash`` timeline to real worker processes."""
+
+    def __init__(self, cluster) -> None:
+        self._cluster = cluster
+        self._events: list[ChaosEvent] = []
+        self._active: set[ChaosEvent] = set()
+        self._start_ms: float | None = None
+        self.kills = 0
+        self.restarts = 0
+
+    def schedule(self, event: ChaosEvent) -> None:
+        """Add one event; only ``node_crash`` is meaningful here."""
+        if event.kind != "node_crash":
+            raise ValueError(
+                f"ProcessChaosEngine only supports node_crash, got "
+                f"{event.kind!r}"
+            )
+        if event.target is None:
+            raise ValueError("node_crash over processes needs a target worker")
+        self._events.append(event)
+
+    def schedule_all(self, events) -> None:
+        for event in events:
+            self.schedule(event)
+
+    def start(self) -> None:
+        """Anchor the timeline at the current wall clock."""
+        self._start_ms = perf_ms()
+
+    @property
+    def elapsed_ms(self) -> float:
+        if self._start_ms is None:
+            return 0.0
+        return perf_ms() - self._start_ms
+
+    def tick(self) -> tuple[int, int]:
+        """Apply/revert events against wall time; returns (kills, restarts)."""
+        if self._start_ms is None:
+            self.start()
+        now_ms = self.elapsed_ms
+        kills = restarts = 0
+        for event in self._events:
+            if event in self._active:
+                if now_ms >= event.end_ms:
+                    self._active.discard(event)
+                    self._cluster.restart_worker(event.target)
+                    self.restarts += 1
+                    restarts += 1
+            elif event.active_at(int(now_ms)):
+                self._active.add(event)
+                self._cluster.kill_worker(event.target)
+                self.kills += 1
+                kills += 1
+        return kills, restarts
+
+    def finish(self) -> None:
+        """Revert every still-active event (restart the dead workers)."""
+        for event in list(self._active):
+            self._cluster.restart_worker(event.target)
+            self.restarts += 1
+        self._active.clear()
+
+    def fault_counts(self) -> dict[str, int]:
+        return {"node_crash": self.kills, "restarts": self.restarts}

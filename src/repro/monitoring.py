@@ -226,6 +226,54 @@ class ClusterSnapshot:
         return keys / windows if windows else 0.0
 
 
+def fleet_summary(fleet_stats: dict[str, dict]) -> dict:
+    """Roll up :meth:`repro.net.cluster.ProcessCluster.fleet_stats`.
+
+    :class:`ClusterMonitor` introspects in-process node objects directly;
+    a process-per-node fleet is only observable through each worker's
+    ``node_stats`` admin RPC.  This takes that ``node_id -> stats`` dict
+    and produces the same style of fleet-wide rollup (sums plus the
+    per-worker pids, which in-process clusters by definition cannot show).
+    """
+    workers = sorted(fleet_stats)
+    summed = (
+        "reads", "writes", "batch_reads", "batch_keys",
+        "merge_passes", "resident", "memory_bytes", "wal_appends",
+    )
+    summary: dict = {"workers": len(workers), "worker_ids": workers}
+    for key in summed:
+        summary[key] = sum(stats.get(key, 0) for stats in fleet_stats.values())
+    summary["pids"] = {
+        node_id: fleet_stats[node_id].get("pid") for node_id in workers
+    }
+    summary["wal_last_sequence"] = {
+        node_id: fleet_stats[node_id].get("wal_last_sequence", 0)
+        for node_id in workers
+    }
+    return summary
+
+
+def format_fleet_report(fleet_stats: dict[str, dict]) -> str:
+    """One-screen text view of a process fleet (mirrors ``report()``)."""
+    summary = fleet_summary(fleet_stats)
+    lines = [
+        f"fleet — {summary['workers']} worker processes, "
+        f"{summary['resident']} resident profiles",
+        f"  reads={summary['reads']}  writes={summary['writes']}  "
+        f"batch_keys={summary['batch_keys']}  "
+        f"memory_bytes={summary['memory_bytes']}",
+    ]
+    for node_id in summary["worker_ids"]:
+        stats = fleet_stats[node_id]
+        lines.append(
+            f"  {node_id}: pid={stats.get('pid')} "
+            f"reads={stats.get('reads', 0)} writes={stats.get('writes', 0)} "
+            f"resident={stats.get('resident', 0)} "
+            f"wal_seq={stats.get('wal_last_sequence', 0)}"
+        )
+    return "\n".join(lines)
+
+
 class ClusterMonitor:
     """Collects snapshots and rate series from a cluster or deployment."""
 

@@ -1,0 +1,57 @@
+"""Process-per-node cluster over a real socket transport.
+
+Everything under ``repro.net`` escapes the simulation: this package is the
+one place in the library allowed to touch the real wall clock and
+``asyncio`` (enforced by ``tools/check_clock_usage.py``), because its job
+is to run each :class:`~repro.server.node.IPSNode` as its **own OS
+process** behind a real TCP seam — the deployment shape the in-process
+cluster only models.
+
+Layering:
+
+* :mod:`repro.net.wire` — length-prefixed, CRC32-framed wire codec for
+  requests/responses (reuses the varint primitives of
+  :mod:`repro.storage.serialization`);
+* :mod:`repro.net.transport` — the shared :class:`Transport` interface
+  with two implementations: :class:`InProcessTransport` (the existing
+  simulated ``server/rpc.py`` path) and :class:`SocketTransport` (a real
+  blocking TCP client), plus :class:`RemoteNode`, the duck-typed node
+  facade the cluster client routes to;
+* :mod:`repro.net.registry` — node registry with heartbeat liveness,
+  TTL eviction and deterministic master election, servable over the same
+  wire protocol (:class:`RegistryServer`);
+* :mod:`repro.net.worker` — the ``python -m repro.net.worker``
+  entrypoint hosting one durable IPSNode (WAL + checkpoint + recovery +
+  maintenance loops) over an asyncio TCP server;
+* :mod:`repro.net.cluster` — :class:`ProcessCluster`, which spawns N
+  worker processes, discovers them through the registry, and hands out
+  :class:`~repro.cluster.client.IPSClient` instances whose hash-ring
+  routing, retries, breakers, deadlines and hedged reads now run over
+  actual sockets.
+"""
+
+from .cluster import NetRegion, ProcessCluster, ProcessDeployment
+from .registry import MemberRecord, NodeRegistry, RegistryServer
+from .transport import (
+    InProcessTransport,
+    RemoteNode,
+    SocketTransport,
+    Transport,
+)
+from .wire import Request, Response, WireCodecError
+
+__all__ = [
+    "InProcessTransport",
+    "MemberRecord",
+    "NetRegion",
+    "NodeRegistry",
+    "ProcessCluster",
+    "ProcessDeployment",
+    "RegistryServer",
+    "RemoteNode",
+    "Request",
+    "Response",
+    "SocketTransport",
+    "Transport",
+    "WireCodecError",
+]

@@ -1,0 +1,607 @@
+"""Wire codec for the socket transport: framing + value encoding.
+
+A message travels as one **frame**::
+
+    frame := MAGIC(4) length(4) crc32(4) payload[length]
+
+(little-endian fixed header; ``crc32`` covers the payload only).  A torn
+or bit-flipped frame fails loudly with :class:`WireCodecError` instead of
+desynchronizing the stream — the same CRC-framing discipline the WAL and
+the file KV store use.
+
+The payload is a **value-encoded** request or response.  The value codec
+reuses the varint/zigzag primitives of
+:mod:`repro.storage.serialization` and covers exactly the types the node
+RPC surface needs: scalars, containers, and the IPS domain types
+(:class:`~repro.core.timerange.TimeRange`,
+:class:`~repro.core.query.SortType`,
+:class:`~repro.core.query.FeatureResult`,
+:class:`~repro.server.batch.BatchKeyResult`).  Anything else — notably
+callables, so ``get_profile_filter`` predicates and custom decay
+functions cannot cross a process boundary — raises :class:`WireCodecError`
+at encode time with a message saying so.
+
+Errors travel as ``(type_name, message)`` pairs and are reconstructed on
+the client from the :mod:`repro.errors` taxonomy, so retryability
+survives the hop: a worker-side :class:`~repro.errors.QuotaExceededError`
+is region-fatal on the client exactly as it would be in process.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from .. import errors as _errors
+from ..core.query import FeatureResult, SortType
+from ..core.timerange import TimeRange, TimeRangeKind
+from ..errors import RetryableError, RPCError
+from ..server.batch import BatchKeyResult
+from ..storage.serialization import (
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+FRAME_MAGIC = 0x4950534E  # "IPSN"
+_HEADER = struct.Struct("<III")  # magic, payload length, payload crc32
+#: Upper bound on a single frame; a decoded length past this is treated
+#: as stream corruption rather than an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+_FLOAT = struct.Struct("<d")
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class WireCodecError(RPCError):
+    """A frame or value could not be encoded or decoded."""
+
+
+class RemoteError(RPCError):
+    """A worker-side failure whose type the client could not reconstruct."""
+
+
+class RetryableRemoteError(RPCError, RetryableError):
+    """Like :class:`RemoteError`, but the original type was retryable."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap a payload in the length-prefixed CRC32 frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireCodecError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(FRAME_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header; returns ``(payload_length, crc32)``."""
+    if len(header) != _HEADER.size:
+        raise WireCodecError(
+            f"truncated frame header: {len(header)} of {_HEADER.size} bytes"
+        )
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise WireCodecError(f"bad frame magic {magic:#x}")
+    if length > MAX_FRAME_BYTES:
+        raise WireCodecError(f"frame length {length} exceeds cap")
+    return length, crc
+
+
+def check_frame_payload(payload: bytes, crc: int) -> bytes:
+    if zlib.crc32(payload) != crc:
+        raise WireCodecError("frame payload failed its CRC32 check")
+    return payload
+
+
+HEADER_SIZE = _HEADER.size
+
+
+async def read_frame_async(reader) -> bytes | None:
+    """Read one frame payload from an :mod:`asyncio` stream reader.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`WireCodecError` on a torn or corrupt frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise WireCodecError("connection closed mid-header") from exc
+    length, crc = decode_frame_header(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireCodecError("connection closed mid-frame") from exc
+    return check_frame_payload(payload, crc)
+
+
+# ----------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3  # zigzag varint, |v| < 2**63
+_T_BIGUINT = 4  # plain varint, v >= 2**63 (uint64 profile ids)
+_T_FLOAT = 5
+_T_STR = 6
+_T_BYTES = 7
+_T_LIST = 8
+_T_TUPLE = 9
+_T_DICT = 10
+_T_TIMERANGE = 11
+_T_SORTTYPE = 12
+_T_FEATURE_RESULT = 13
+_T_BATCH_KEY_RESULT = 14
+
+_TIMERANGE_KINDS = (
+    TimeRangeKind.CURRENT,
+    TimeRangeKind.RELATIVE,
+    TimeRangeKind.ABSOLUTE,
+)
+_SORT_TYPES = tuple(SortType)
+
+
+def encode_value(out: bytearray, value: Any) -> None:
+    """Append one value in tagged form."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_T_INT)
+            write_varint(out, zigzag_encode(value))
+        elif value > 0:
+            out.append(_T_BIGUINT)
+            write_varint(out, value)
+        else:
+            raise WireCodecError(f"integer {value} out of the wire range")
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.extend(_FLOAT.pack(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        write_varint(out, len(data))
+        out.extend(data)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        write_varint(out, len(value))
+        out.extend(value)
+    elif isinstance(value, FeatureResult):
+        out.append(_T_FEATURE_RESULT)
+        _encode_feature_result(out, value)
+    elif isinstance(value, BatchKeyResult):
+        out.append(_T_BATCH_KEY_RESULT)
+        _encode_batch_key_result(out, value)
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        write_varint(out, len(value))
+        for item in value:
+            encode_value(out, item)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        write_varint(out, len(value))
+        for item in value:
+            encode_value(out, item)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        write_varint(out, len(value))
+        for key, item in value.items():
+            encode_value(out, key)
+            encode_value(out, item)
+    elif isinstance(value, TimeRange):
+        out.append(_T_TIMERANGE)
+        out.append(_TIMERANGE_KINDS.index(value.kind))
+        encode_value(out, value.span_ms)
+        encode_value(out, value.start_ms)
+        encode_value(out, value.end_ms)
+    elif isinstance(value, SortType):
+        out.append(_T_SORTTYPE)
+        out.append(_SORT_TYPES.index(value))
+    elif callable(value):
+        raise WireCodecError(
+            f"cannot serialize callable {value!r}: filter predicates and "
+            "custom decay functions cannot cross a process boundary — use "
+            "the named decay functions, or the in-process transport"
+        )
+    else:
+        raise WireCodecError(
+            f"cannot serialize {type(value).__name__} value {value!r}"
+        )
+
+
+def _encode_feature_result(out: bytearray, result: FeatureResult) -> None:
+    write_varint(out, result.fid)
+    write_varint(out, result.last_timestamp_ms)
+    write_varint(out, len(result.counts))
+    for count in result.counts:
+        write_varint(out, zigzag_encode(count))
+
+
+def _decode_feature_result(data: bytes, pos: int) -> tuple[FeatureResult, int]:
+    fid, pos = read_varint(data, pos)
+    last_ts, pos = read_varint(data, pos)
+    n_counts, pos = read_varint(data, pos)
+    counts = []
+    for _ in range(n_counts):
+        encoded, pos = read_varint(data, pos)
+        counts.append(zigzag_decode(encoded))
+    return FeatureResult(fid, tuple(counts), last_ts), pos
+
+
+def _encode_batch_key_result(out: bytearray, result: BatchKeyResult) -> None:
+    write_varint(out, result.profile_id)
+    out.append(1 if result.ok else 0)
+    if result.ok:
+        value = result.value if result.value is not None else []
+        write_varint(out, len(value))
+        for row in value:
+            _encode_feature_result(out, row)
+    else:
+        encode_value(out, result.error or "")
+        encode_value(out, result.error_message)
+
+
+def _decode_batch_key_result(data: bytes, pos: int) -> tuple[BatchKeyResult, int]:
+    profile_id, pos = read_varint(data, pos)
+    if pos >= len(data):
+        raise WireCodecError("truncated batch key result")
+    ok = data[pos]
+    pos += 1
+    if ok:
+        n_rows, pos = read_varint(data, pos)
+        rows = []
+        for _ in range(n_rows):
+            row, pos = _decode_feature_result(data, pos)
+            rows.append(row)
+        return BatchKeyResult.success(profile_id, rows), pos
+    error, pos = decode_value(data, pos)
+    message, pos = decode_value(data, pos)
+    return (
+        BatchKeyResult(
+            profile_id=profile_id,
+            ok=False,
+            error=error or None,
+            error_message=message,
+        ),
+        pos,
+    )
+
+
+def decode_value(data: bytes, pos: int) -> tuple[Any, int]:
+    try:
+        return _decode_value(data, pos)
+    except _errors.SerializationError as exc:
+        # Varint primitives raise the storage-layer error; at this layer
+        # a short varint is stream corruption like any other.
+        raise WireCodecError(str(exc)) from exc
+
+
+def _decode_value(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise WireCodecError("truncated value: missing type tag")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_INT:
+        encoded, pos = read_varint(data, pos)
+        return zigzag_decode(encoded), pos
+    if tag == _T_BIGUINT:
+        value, pos = read_varint(data, pos)
+        return value, pos
+    if tag == _T_FLOAT:
+        if pos + _FLOAT.size > len(data):
+            raise WireCodecError("truncated float value")
+        return _FLOAT.unpack_from(data, pos)[0], pos + _FLOAT.size
+    if tag == _T_STR:
+        length, pos = read_varint(data, pos)
+        if pos + length > len(data):
+            raise WireCodecError("truncated string value")
+        return data[pos : pos + length].decode("utf-8"), pos + length
+    if tag == _T_BYTES:
+        length, pos = read_varint(data, pos)
+        if pos + length > len(data):
+            raise WireCodecError("truncated bytes value")
+        return bytes(data[pos : pos + length]), pos + length
+    if tag in (_T_LIST, _T_TUPLE):
+        length, pos = read_varint(data, pos)
+        items = []
+        for _ in range(length):
+            item, pos = decode_value(data, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        length, pos = read_varint(data, pos)
+        out: dict = {}
+        for _ in range(length):
+            key, pos = decode_value(data, pos)
+            item, pos = decode_value(data, pos)
+            out[key] = item
+        return out, pos
+    if tag == _T_TIMERANGE:
+        if pos >= len(data):
+            raise WireCodecError("truncated time range")
+        kind_index = data[pos]
+        pos += 1
+        if kind_index >= len(_TIMERANGE_KINDS):
+            raise WireCodecError(f"unknown time-range kind {kind_index}")
+        span_ms, pos = decode_value(data, pos)
+        start_ms, pos = decode_value(data, pos)
+        end_ms, pos = decode_value(data, pos)
+        return (
+            TimeRange(
+                _TIMERANGE_KINDS[kind_index],
+                span_ms=span_ms,
+                start_ms=start_ms,
+                end_ms=end_ms,
+            ),
+            pos,
+        )
+    if tag == _T_SORTTYPE:
+        if pos >= len(data):
+            raise WireCodecError("truncated sort type")
+        index = data[pos]
+        if index >= len(_SORT_TYPES):
+            raise WireCodecError(f"unknown sort type index {index}")
+        return _SORT_TYPES[index], pos + 1
+    if tag == _T_FEATURE_RESULT:
+        return _decode_feature_result(data, pos)
+    if tag == _T_BATCH_KEY_RESULT:
+        return _decode_batch_key_result(data, pos)
+    raise WireCodecError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+
+_MSG_REQUEST = 1
+_MSG_RESPONSE = 2
+
+
+@dataclass(frozen=True)
+class Request:
+    """One method invocation travelling client → worker."""
+
+    request_id: int
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One answer travelling worker → client.
+
+    ``server_ms`` is the worker-measured handler wall time, so the client
+    can split its observed latency into network + server components (the
+    Table II decomposition) and feed hedging decisions.  ``error_args``
+    carries the structured constructor arguments for the rich exception
+    types (see :data:`_RICH_ERRORS`) so e.g. a
+    :class:`~repro.errors.ProfileNotFoundError` keeps its ``profile_id``
+    across the hop.
+    """
+
+    request_id: int
+    ok: bool
+    value: Any = None
+    error_type: str = ""
+    error_message: str = ""
+    error_args: tuple = ()
+    server_ms: float = 0.0
+
+
+def encode_request(request: Request) -> bytes:
+    out = bytearray()
+    out.append(_MSG_REQUEST)
+    write_varint(out, request.request_id)
+    encode_value(out, request.method)
+    encode_value(out, tuple(request.args))
+    encode_value(out, dict(request.kwargs))
+    return encode_frame(bytes(out))
+
+
+def encode_response(response: Response) -> bytes:
+    out = bytearray()
+    out.append(_MSG_RESPONSE)
+    write_varint(out, response.request_id)
+    out.append(1 if response.ok else 0)
+    if response.ok:
+        encode_value(out, response.value)
+    else:
+        encode_value(out, response.error_type)
+        encode_value(out, response.error_message)
+        encode_value(out, tuple(response.error_args))
+    out.extend(_FLOAT.pack(response.server_ms))
+    return encode_frame(bytes(out))
+
+
+def decode_message(payload: bytes) -> Request | Response:
+    """Decode one frame payload into a request or response."""
+    try:
+        return _decode_message(payload)
+    except _errors.SerializationError as exc:
+        raise WireCodecError(str(exc)) from exc
+
+
+def _decode_message(payload: bytes) -> Request | Response:
+    if not payload:
+        raise WireCodecError("empty message payload")
+    kind = payload[0]
+    pos = 1
+    if kind == _MSG_REQUEST:
+        request_id, pos = read_varint(payload, pos)
+        method, pos = decode_value(payload, pos)
+        args, pos = decode_value(payload, pos)
+        kwargs, pos = decode_value(payload, pos)
+        if pos != len(payload):
+            raise WireCodecError("trailing bytes after request")
+        if not isinstance(method, str) or not isinstance(kwargs, dict):
+            raise WireCodecError("malformed request envelope")
+        return Request(request_id, method, tuple(args), kwargs)
+    if kind == _MSG_RESPONSE:
+        request_id, pos = read_varint(payload, pos)
+        if pos >= len(payload):
+            raise WireCodecError("truncated response")
+        ok = bool(payload[pos])
+        pos += 1
+        value: Any = None
+        error_type = ""
+        error_message = ""
+        error_args: tuple = ()
+        if ok:
+            value, pos = decode_value(payload, pos)
+        else:
+            error_type, pos = decode_value(payload, pos)
+            error_message, pos = decode_value(payload, pos)
+            error_args, pos = decode_value(payload, pos)
+        if pos + _FLOAT.size != len(payload):
+            raise WireCodecError("trailing bytes after response")
+        server_ms = _FLOAT.unpack_from(payload, pos)[0]
+        return Response(
+            request_id,
+            ok,
+            value=value,
+            error_type=error_type,
+            error_message=error_message,
+            error_args=tuple(error_args),
+            server_ms=server_ms,
+        )
+    raise WireCodecError(f"unknown message kind {kind}")
+
+
+# ----------------------------------------------------------------------
+# Cross-process error taxonomy
+# ----------------------------------------------------------------------
+
+#: Name → class for every exception type :mod:`repro.errors` defines; the
+#: wire carries the name, the client reconstructs the most specific type.
+_ERROR_TYPES = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, Exception)
+}
+#: This module's own errors, plus the message-constructible builtins a
+#: worker realistically raises (bad arguments, internal invariants) —
+#: all rebuild exactly instead of degrading to :class:`RemoteError`.
+_ERROR_TYPES.update(
+    {
+        "WireCodecError": WireCodecError,
+        "RemoteError": RemoteError,
+        "RetryableRemoteError": RetryableRemoteError,
+        "ValueError": ValueError,
+        "TypeError": TypeError,
+        "KeyError": KeyError,
+        "RuntimeError": RuntimeError,
+        "NotImplementedError": NotImplementedError,
+        "AssertionError": AssertionError,
+    }
+)
+
+#: Exception types with constructors richer than a bare message: the wire
+#: carries their structured attributes so the exact type — and its fields
+#: (``profile_id``, ``node_id``, …) — survives the process hop.
+_RICH_ERRORS: dict[str, tuple] = {
+    "TableNotFoundError": (
+        lambda e: (e.table,),
+        lambda a: _errors.TableNotFoundError(a[0]),
+    ),
+    "ProfileNotFoundError": (
+        lambda e: (e.profile_id,),
+        lambda a: _errors.ProfileNotFoundError(a[0]),
+    ),
+    "NodeUnavailableError": (
+        lambda e: (e.node_id,),
+        lambda a: _errors.NodeUnavailableError(a[0]),
+    ),
+    "CircuitOpenError": (
+        lambda e: (e.node_id,),
+        lambda a: _errors.CircuitOpenError(a[0]),
+    ),
+    "RegionUnavailableError": (
+        lambda e: (e.region,),
+        lambda a: _errors.RegionUnavailableError(a[0]),
+    ),
+    "QuotaExceededError": (
+        lambda e: (e.caller, e.quota),
+        lambda a: _errors.QuotaExceededError(a[0], a[1]),
+    ),
+    "DeadlineExceededError": (
+        lambda e: (e.operation, e.budget_ms),
+        lambda a: _errors.DeadlineExceededError(a[0], a[1]),
+    ),
+    "VersionConflictError": (
+        lambda e: (e.key, e.held, e.current),
+        lambda a: _errors.VersionConflictError(a[0], a[1], a[2]),
+    ),
+}
+
+
+def _class_is_retryable(cls: type) -> bool:
+    """Class-level mirror of :func:`repro.errors.is_retryable`."""
+    if issubclass(cls, (_errors.DeadlineExceededError,) + _errors.REGION_FATAL_ERRORS):
+        return False
+    return issubclass(cls, (RetryableError,) + _errors.RETRYABLE_ERRORS)
+
+
+def error_to_wire(exc: BaseException) -> tuple[str, str, tuple]:
+    """Collapse an exception into ``(type_name, message, structured_args)``."""
+    name = type(exc).__name__
+    rich = _RICH_ERRORS.get(name)
+    if rich is not None and isinstance(exc, _ERROR_TYPES.get(name, ())):
+        try:
+            return name, str(exc), rich[0](exc)
+        except AttributeError:
+            pass  # a look-alike class without the expected fields
+    return name, str(exc), ()
+
+
+def error_from_wire(error_type: str, message: str, args: tuple = ()) -> Exception:
+    """Rebuild the most specific client-side exception for a wire error.
+
+    Rich types listed in :data:`_RICH_ERRORS` are rebuilt exactly from
+    their structured args; other known :mod:`repro.errors` types are
+    rebuilt from the bare message; unknown types degrade to a
+    :class:`RemoteError` / :class:`RetryableRemoteError` chosen so the
+    client's retry taxonomy keeps working across the process boundary.
+    """
+    rich = _RICH_ERRORS.get(error_type)
+    if rich is not None and args:
+        try:
+            return rich[1](args)
+        except (TypeError, IndexError, ValueError):
+            pass  # fall through to the generic paths
+    cls = _ERROR_TYPES.get(error_type)
+    if cls is not None:
+        if error_type not in _RICH_ERRORS:
+            try:
+                return cls(message)
+            except TypeError:
+                pass
+        wrapper = RetryableRemoteError if _class_is_retryable(cls) else RemoteError
+        return wrapper(f"{error_type}: {message}")
+    return RemoteError(f"{error_type}: {message}")

@@ -1,0 +1,456 @@
+"""Worker process: one durable IPSNode behind an asyncio TCP server.
+
+``python -m repro.net.worker --node-id w0 --data-dir /tmp/w0 ...`` hosts a
+single :class:`~repro.server.node.IPSNode` with full file-backed
+durability — CRC-framed KV store, group-commit WAL, checkpoint image —
+recovers it on start, and serves the framed wire protocol on a TCP port.
+Handlers run on a small thread pool (the node stack is thread-safe and
+the real work releases the GIL in I/O and numpy), while the event loop
+stays free for framing and new connections.
+
+Two background duties run on the loop:
+
+* **maintenance** — drain the isolation write table and run one cache
+  cycle (which also drives periodic checkpoints) every
+  ``maintenance_ms``;
+* **heartbeat** — register with the node registry and refresh liveness
+  every ``heartbeat_ms``; a rejected heartbeat (stale generation after an
+  eviction) falls back to re-registration.
+
+Graceful shutdown — SIGTERM or the ``prepare_shutdown`` admin RPC — is
+strictly ordered so no acked write can be lost: stop accepting, drain
+in-flight requests, deregister, then ``node.shutdown()`` (merge + flush +
+final checkpoint) and close the WAL **before** the event loop exits.
+SIGKILL skips all of that by definition; the WAL replay on the next start
+is the safety net (the crash-recovery contract of `make crashcheck`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..clock import perf_ms
+from ..config import TableConfig
+from ..server.node import IPSNode
+from ..server.recovery import NodeDurability
+from ..storage.filestore import FileKVStore
+from ..storage.wal import FileLogFile, WriteAheadLog
+from . import wire
+from .transport import ADMIN_METHODS, RPC_METHODS
+
+
+def build_durable_node(
+    node_id: str,
+    data_dir: str | Path,
+    *,
+    table: str = "user_profile",
+    attributes: tuple[str, ...] = ("like", "comment", "share"),
+    checkpoint_interval: int = 256,
+    wal_sync: str = "group",
+    cache_capacity_bytes: int = 256 * 1024 * 1024,
+) -> IPSNode:
+    """Build a fully file-backed node and recover it.
+
+    Everything lives under ``data_dir``: the KV store holds flushed
+    profile images (recovery only rebuilds WAL-touched profiles — the
+    untouched ones must survive in durable storage), the WAL holds the
+    acked-but-unflushed tail, the checkpoint file the replay base.
+    """
+    data_dir = Path(data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    store = FileKVStore(data_dir / "kv.log", durability="batch")
+    durability = NodeDurability(
+        WriteAheadLog(FileLogFile(data_dir / "wal.log"), sync=wal_sync),
+        FileLogFile(data_dir / "checkpoint.log"),
+        checkpoint_interval_records=checkpoint_interval,
+        node_id=node_id,
+    )
+    node = IPSNode(
+        node_id,
+        TableConfig(name=table, attributes=tuple(attributes)),
+        store,
+        cache_capacity_bytes=cache_capacity_bytes,
+        durability=durability,
+    )
+    node.recover()
+    return node
+
+
+class WorkerServer:
+    """Serves one node over TCP; embeddable in-thread or as a process."""
+
+    def __init__(
+        self,
+        node: IPSNode,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        registry_host: str | None = None,
+        registry_port: int | None = None,
+        heartbeat_ms: float = 500.0,
+        maintenance_ms: float = 200.0,
+        drain_timeout_ms: float = 5_000.0,
+        handler_threads: int = 4,
+    ) -> None:
+        self.node = node
+        self.host = host
+        self.port = port
+        self.registry_host = registry_host
+        self.registry_port = registry_port
+        self.heartbeat_ms = heartbeat_ms
+        self.maintenance_ms = maintenance_ms
+        self.drain_timeout_ms = drain_timeout_ms
+        self._pool = ThreadPoolExecutor(
+            max_workers=handler_threads, thread_name_prefix="ips-worker"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._inflight = 0
+        self._closing = False
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+        #: Exposed for tests: set once the graceful sequence finished.
+        self.shut_down_cleanly = False
+
+    # ------------------------------------------------------------------
+    # Embedded (thread) lifecycle — used by the transport tests
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WorkerServer":
+        self._thread = threading.Thread(
+            target=self.run, name=f"ips-worker-{self.node.node_id}", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=15.0):
+            raise RuntimeError("worker server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("worker server failed to start") from (
+                self._startup_error
+            )
+        return self
+
+    def stop(self) -> None:
+        """Trigger the graceful sequence from another thread and wait."""
+        self.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=15.0)
+
+    def request_shutdown(self) -> None:
+        loop, event = self._loop, self._shutdown_event
+        if loop is not None and event is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed: shutdown finished
+
+    # ------------------------------------------------------------------
+    # Main body
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run the server until shutdown (blocks the calling thread)."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self._server.sockets[0].getsockname()[1]
+        tasks = [loop.create_task(self._maintenance_loop())]
+        if self.registry_host is not None and self.registry_port is not None:
+            tasks.append(loop.create_task(self._heartbeat_loop()))
+        self._ready.set()
+        print(f"READY {self.host} {self.port}", flush=True)
+        await self._shutdown_event.wait()
+        # ---- graceful ordering (satellite: SIGTERM must not lose acks) --
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        deadline = loop.time() + self.drain_timeout_ms / 1000.0
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        if self.registry_host is not None and self.registry_port is not None:
+            try:
+                await self._registry_call("deregister", self.node.node_id)
+            except Exception:  # noqa: BLE001 - registry may already be gone
+                pass
+        for writer in list(self._writers):
+            writer.close()
+        # The node flush + final checkpoint runs *before* the loop exits;
+        # only then is the WAL closed.  This is the ordering under test.
+        await loop.run_in_executor(None, self._close_node)
+        self._pool.shutdown(wait=False)
+        self.shut_down_cleanly = True
+
+    def _close_node(self) -> None:
+        self.node.shutdown()  # merge + flush_all + final checkpoint
+        if self.node.durability is not None:
+            self.node.durability.close()
+        store = getattr(self.node.persistence, "_store", None)
+        if store is not None and hasattr(store, "close"):
+            store.close()
+
+    # ------------------------------------------------------------------
+    # Request serving
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self._writers.add(writer)
+        try:
+            while not self._closing:
+                try:
+                    payload = await wire.read_frame_async(reader)
+                except wire.WireCodecError:
+                    break  # torn frame: drop the connection
+                if payload is None:
+                    break
+                self._inflight += 1
+                try:
+                    response = await loop.run_in_executor(
+                        self._pool, self._dispatch, payload
+                    )
+                finally:
+                    self._inflight -= 1
+                writer.write(wire.encode_response(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    def _dispatch(self, payload: bytes) -> wire.Response:
+        start = perf_ms()
+        request_id = 0
+        try:
+            message = wire.decode_message(payload)
+            if not isinstance(message, wire.Request):
+                raise wire.WireCodecError("expected a request frame")
+            request_id = message.request_id
+            value = self._invoke(message.method, message.args, message.kwargs)
+        except Exception as exc:  # noqa: BLE001 - every error goes on the wire
+            error_type, text, error_args = wire.error_to_wire(exc)
+            return wire.Response(
+                request_id=request_id,
+                ok=False,
+                error_type=error_type,
+                error_message=text,
+                error_args=error_args,
+                server_ms=perf_ms() - start,
+            )
+        return wire.Response(
+            request_id=request_id,
+            ok=True,
+            value=value,
+            server_ms=perf_ms() - start,
+        )
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict):
+        if method in RPC_METHODS:
+            return getattr(self.node, method)(*args, **kwargs)
+        if method in ADMIN_METHODS:
+            return getattr(self, f"_admin_{method}")(*args, **kwargs)
+        raise wire.WireCodecError(f"unknown method {method!r}")
+
+    # ------------------------------------------------------------------
+    # Admin surface
+    # ------------------------------------------------------------------
+
+    def _admin_ping(self) -> dict:
+        return {"node_id": self.node.node_id, "pid": os.getpid()}
+
+    def _admin_node_stats(self) -> dict:
+        node = self.node
+        stats = {
+            "node_id": node.node_id,
+            "pid": os.getpid(),
+            "reads": node.stats.reads,
+            "writes": node.stats.writes,
+            "batch_reads": node.stats.batch_reads,
+            "batch_keys": node.stats.batch_keys,
+            "merge_passes": node.stats.merge_passes,
+            "resident": node.cache.resident_count(),
+            "memory_bytes": node.memory_bytes(),
+        }
+        if node.durability is not None:
+            wal = node.durability.wal
+            stats["wal_last_sequence"] = wal.last_sequence
+            stats["wal_appends"] = wal.stats.appends
+        return stats
+
+    def _admin_checkpoint_now(self) -> dict:
+        report = self.node.checkpoint()
+        return {
+            "checkpointed": report is not None,
+            "wal_last_sequence": (
+                self.node.durability.wal.last_sequence
+                if self.node.durability is not None
+                else 0
+            ),
+        }
+
+    def _admin_prepare_shutdown(self) -> dict:
+        """Ack first, then run the same graceful sequence as SIGTERM."""
+        loop = self._loop
+        assert loop is not None
+        loop.call_soon_threadsafe(
+            loop.call_later, 0.05, self._shutdown_event.set
+        )
+        return {"shutting_down": True}
+
+    # ------------------------------------------------------------------
+    # Registry heartbeat
+    # ------------------------------------------------------------------
+
+    async def _registry_call(self, method: str, *args, **kwargs):
+        reader, writer = await asyncio.open_connection(
+            self.registry_host, self.registry_port
+        )
+        try:
+            writer.write(
+                wire.encode_request(wire.Request(1, method, args, kwargs))
+            )
+            await writer.drain()
+            payload = await wire.read_frame_async(reader)
+            if payload is None:
+                raise ConnectionError("registry closed the connection")
+            response = wire.decode_message(payload)
+            if not isinstance(response, wire.Response):
+                raise wire.WireCodecError("expected a response frame")
+            if not response.ok:
+                raise wire.error_from_wire(
+                    response.error_type,
+                    response.error_message,
+                    response.error_args,
+                )
+            return response.value
+        finally:
+            writer.close()
+
+    async def _heartbeat_loop(self) -> None:
+        generation: int | None = None
+        while True:
+            try:
+                if generation is None:
+                    reply = await self._registry_call(
+                        "register", self.node.node_id, self.host, self.port
+                    )
+                    generation = reply["generation"]
+                else:
+                    alive = await self._registry_call(
+                        "heartbeat", self.node.node_id, generation
+                    )
+                    if not alive:
+                        # Evicted (e.g. a long GC pause): re-register with
+                        # a fresh generation instead of going zombie.
+                        generation = None
+                        continue
+            except (OSError, ConnectionError, wire.WireCodecError):
+                pass  # registry temporarily unreachable: retry next tick
+            await asyncio.sleep(self.heartbeat_ms / 1000.0)
+
+    async def _maintenance_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.maintenance_ms / 1000.0)
+            try:
+                await loop.run_in_executor(self._pool, self._maintenance_once)
+            except RuntimeError:
+                return  # pool shut down under us mid-exit
+            except Exception:  # noqa: BLE001 - keep the loop alive
+                pass
+
+    def _maintenance_once(self) -> None:
+        self.node.merge_write_table()
+        self.node.run_cache_cycle()  # also drives maybe_checkpoint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Host one durable IPSNode over a TCP wire server."
+    )
+    parser.add_argument("--node-id", required=True)
+    parser.add_argument("--data-dir", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--registry-host", default=None)
+    parser.add_argument("--registry-port", type=int, default=None)
+    parser.add_argument("--table", default="user_profile")
+    parser.add_argument(
+        "--attributes", default="like,comment,share",
+        help="comma-separated counter schema",
+    )
+    parser.add_argument("--checkpoint-interval", type=int, default=256)
+    parser.add_argument("--wal-sync", default="group",
+                        choices=("always", "group", "manual"))
+    parser.add_argument("--heartbeat-ms", type=float, default=500.0)
+    parser.add_argument("--maintenance-ms", type=float, default=200.0)
+    parser.add_argument("--handler-threads", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    node = build_durable_node(
+        args.node_id,
+        args.data_dir,
+        table=args.table,
+        attributes=tuple(a for a in args.attributes.split(",") if a),
+        checkpoint_interval=args.checkpoint_interval,
+        wal_sync=args.wal_sync,
+    )
+    server = WorkerServer(
+        node,
+        host=args.host,
+        port=args.port,
+        registry_host=args.registry_host,
+        registry_port=args.registry_port,
+        heartbeat_ms=args.heartbeat_ms,
+        maintenance_ms=args.maintenance_ms,
+        handler_threads=args.handler_threads,
+    )
+
+    def _on_sigterm(signum, frame) -> None:  # noqa: ARG001
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    signal.signal(signal.SIGINT, _on_sigterm)
+    server.run()  # blocks until the graceful sequence completes
+    return 0 if server.shut_down_cleanly else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

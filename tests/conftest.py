@@ -91,3 +91,36 @@ def shrink_config() -> ShrinkConfig:
 @pytest.fixture
 def truncate_config() -> TruncateConfig:
     return TruncateConfig(max_slices=100, max_age_ms=365 * MILLIS_PER_DAY)
+
+
+@pytest.fixture
+def process_tracker():
+    """Track spawned worker processes; fail the test on orphan leakage.
+
+    Tests that spawn :class:`repro.net.cluster.ProcessCluster` workers
+    register each cluster here.  At teardown every tracked process must
+    already be dead — any survivor is SIGKILLed (so one leaky test cannot
+    poison the rest of the run) and the test then **fails**, naming the
+    leaked workers.
+    """
+    clusters = []
+
+    class _Tracker:
+        def add(self, cluster):
+            clusters.append(cluster)
+            return cluster
+
+    yield _Tracker()
+
+    leaked = []
+    for cluster in clusters:
+        for node_id, proc in cluster.processes().items():
+            if proc.poll() is None:
+                leaked.append(f"{node_id} (pid {proc.pid})")
+                proc.kill()
+                proc.wait(timeout=10.0)
+    if leaked:
+        pytest.fail(
+            "leaked worker processes (killed by process_tracker): "
+            + ", ".join(leaked)
+        )

@@ -1,0 +1,222 @@
+"""Wire codec: framing, value round-trips, and the error taxonomy hop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.core.query import FeatureResult, SortType
+from repro.core.timerange import TimeRange
+from repro.net import wire
+from repro.server.batch import BatchKeyResult
+
+
+def roundtrip(value):
+    out = bytearray()
+    wire.encode_value(out, value)
+    decoded, pos = wire.decode_value(bytes(out), 0)
+    assert pos == len(out)
+    return decoded
+
+
+class TestValueRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            42,
+            -(1 << 62),
+            (1 << 63) - 1,
+            -(1 << 63),
+            3.14159,
+            float("inf"),
+            "",
+            "héllo wörld",
+            b"",
+            b"\x00\xff raw",
+            [1, "two", None, [3.0]],
+            (1, 2, "three"),
+            {"a": 1, 2: "b", "nested": {"x": [1, 2]}},
+        ],
+    )
+    def test_scalars_and_containers(self, value):
+        assert roundtrip(value) == value
+
+    def test_uint64_profile_ids(self):
+        """Ids in [2**63, 2**64) must survive — they exist in real logs."""
+        for value in ((1 << 63), (1 << 64) - 1, (1 << 63) + 12345):
+            decoded = roundtrip(value)
+            assert decoded == value and isinstance(decoded, int)
+
+    def test_tuple_and_list_stay_distinct(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert roundtrip([1, 2]) == [1, 2]
+        assert isinstance(roundtrip((1,)), tuple)
+        assert isinstance(roundtrip([1]), list)
+
+    @pytest.mark.parametrize("sort_type", list(SortType))
+    def test_sort_types(self, sort_type):
+        assert roundtrip(sort_type) is sort_type
+
+    def test_time_ranges(self):
+        for time_range in (
+            TimeRange.current(86_400_000),
+            TimeRange.absolute(1_000, 2_000),
+        ):
+            assert roundtrip(time_range) == time_range
+
+    def test_feature_result(self):
+        result = FeatureResult(12345, (3, 0, 7), 999_000)
+        assert roundtrip(result) == result
+
+    def test_batch_key_result_success(self):
+        rows = [FeatureResult(1, (1, 2), 10), FeatureResult(2, (0, 5), 20)]
+        result = BatchKeyResult.success(77, rows)
+        decoded = roundtrip(result)
+        assert decoded.ok and decoded.profile_id == 77
+        assert decoded.value == rows
+
+    def test_batch_key_result_error(self):
+        result = BatchKeyResult(
+            profile_id=9,
+            ok=False,
+            error="NodeUnavailableError",
+            error_message="node n1 unavailable",
+        )
+        decoded = roundtrip(result)
+        assert not decoded.ok
+        assert decoded.error == "NodeUnavailableError"
+        assert decoded.error_message == "node n1 unavailable"
+
+    def test_callable_rejected_with_guidance(self):
+        with pytest.raises(wire.WireCodecError, match="filter predicates"):
+            roundtrip(lambda row: True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(wire.WireCodecError):
+            roundtrip(object())
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        frame = wire.encode_frame(b"payload")
+        length, crc = wire.decode_frame_header(frame[: wire.HEADER_SIZE])
+        assert length == len(b"payload")
+        payload = wire.check_frame_payload(frame[wire.HEADER_SIZE:], crc)
+        assert payload == b"payload"
+
+    def test_bad_magic(self):
+        frame = bytearray(wire.encode_frame(b"x"))
+        frame[0] ^= 0xFF
+        with pytest.raises(wire.WireCodecError, match="magic"):
+            wire.decode_frame_header(bytes(frame[: wire.HEADER_SIZE]))
+
+    def test_bit_flip_fails_crc(self):
+        frame = bytearray(wire.encode_frame(b"important payload"))
+        length, crc = wire.decode_frame_header(bytes(frame[: wire.HEADER_SIZE]))
+        flipped = bytearray(frame[wire.HEADER_SIZE:])
+        flipped[3] ^= 0x10
+        with pytest.raises(wire.WireCodecError, match="CRC"):
+            wire.check_frame_payload(bytes(flipped), crc)
+
+    def test_truncated_header(self):
+        with pytest.raises(wire.WireCodecError, match="truncated"):
+            wire.decode_frame_header(b"\x01\x02")
+
+    def test_oversized_length_is_corruption_not_allocation(self):
+        import struct
+
+        header = struct.pack(
+            "<III", wire.FRAME_MAGIC, wire.MAX_FRAME_BYTES + 1, 0
+        )
+        with pytest.raises(wire.WireCodecError, match="cap"):
+            wire.decode_frame_header(header)
+
+    def test_truncated_value_payloads(self):
+        out = bytearray()
+        wire.encode_value(out, {"key": [1, 2, 3], "other": "text"})
+        # Every proper prefix must fail loudly, never return garbage.
+        for cut in range(len(out)):
+            with pytest.raises(wire.WireCodecError):
+                wire.decode_value(bytes(out[:cut]), 0)
+
+
+class TestMessages:
+    def test_request_roundtrip(self):
+        request = wire.Request(
+            7, "get_profile_topk",
+            (123, 0, 1, TimeRange.current(1000)),
+            {"k": 5, "sort_type": SortType.TOTAL},
+        )
+        frame = wire.encode_request(request)
+        length, crc = wire.decode_frame_header(frame[: wire.HEADER_SIZE])
+        payload = wire.check_frame_payload(frame[wire.HEADER_SIZE:], crc)
+        decoded = wire.decode_message(payload)
+        assert decoded == request
+
+    def test_response_roundtrip_ok(self):
+        response = wire.Response(
+            9, True, value=[FeatureResult(1, (2,), 3)], server_ms=1.25
+        )
+        frame = wire.encode_response(response)
+        payload = frame[wire.HEADER_SIZE:]
+        decoded = wire.decode_message(payload)
+        assert decoded == response
+
+    def test_response_roundtrip_error(self):
+        response = wire.Response(
+            3, False,
+            error_type="ProfileNotFoundError",
+            error_message="profile 42 not found",
+            error_args=(42,),
+            server_ms=0.5,
+        )
+        decoded = wire.decode_message(wire.encode_response(response)[wire.HEADER_SIZE:])
+        assert decoded == response
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "original",
+        [
+            errors.ProfileNotFoundError(42),
+            errors.NodeUnavailableError("w03"),
+            errors.CircuitOpenError("w01"),
+            errors.RegionUnavailableError("east"),
+            errors.QuotaExceededError("tenant-a", 100),
+            errors.DeadlineExceededError("multi_get_topk", 250.0),
+            errors.TableNotFoundError("user_profile"),
+        ],
+    )
+    def test_rich_errors_rebuild_exact_type(self, original):
+        rebuilt = wire.error_from_wire(*wire.error_to_wire(original))
+        assert type(rebuilt) is type(original)
+        assert errors.is_retryable(rebuilt) == errors.is_retryable(original)
+
+    def test_profile_not_found_keeps_profile_id(self):
+        rebuilt = wire.error_from_wire(
+            *wire.error_to_wire(errors.ProfileNotFoundError(987))
+        )
+        assert rebuilt.profile_id == 987
+
+    def test_retryability_survives_for_unknown_retryable_type(self):
+        rebuilt = wire.error_from_wire(
+            "RPCTimeoutError", "deadline blew", ()
+        )
+        assert errors.is_retryable(rebuilt)
+
+    def test_unknown_type_degrades_to_remote_error(self):
+        rebuilt = wire.error_from_wire("SomeWorkerOnlyError", "boom", ())
+        assert isinstance(rebuilt, wire.RemoteError)
+        assert not errors.is_retryable(rebuilt)
+        assert "SomeWorkerOnlyError" in str(rebuilt)
+
+    def test_region_fatal_stays_region_fatal(self):
+        rebuilt = wire.error_from_wire(
+            *wire.error_to_wire(errors.QuotaExceededError("t", 5))
+        )
+        assert isinstance(rebuilt, errors.REGION_FATAL_ERRORS)

@@ -40,7 +40,7 @@ sys.path.insert(0, os.path.join(ROOT, "benchmarks"))
 
 SCHEMA = "bench-history/v1"
 #: This PR's snapshot number; bump per PR so history accumulates.
-SNAPSHOT_NUMBER = 7
+SNAPSHOT_NUMBER = 8
 HISTORY_DIR = os.path.join(ROOT, "benchmarks", "history")
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -164,12 +164,40 @@ def collect_availability() -> dict[str, dict]:
     }
 
 
+def collect_cluster() -> dict[str, dict]:
+    import bench_cluster_scaleout as bench
+
+    scaling = bench.run_scaleout([1, 2], population=128, duration_ms=900.0)
+    chaos = bench.run_chaos_failover(
+        workers=2, population=128, duration_ms=1_500.0, kill_at_ms=500.0
+    )
+    # Real processes on whatever cores the host has: throughput bands are
+    # very wide (rel_tol 0.8 ~= "still in the same order of magnitude");
+    # the error rates are the real contract and carry tight bands.
+    return {
+        "cluster.qps_1_worker": metric(
+            scaling[1]["qps"], "keys/s", "higher", rel_tol=0.8
+        ),
+        "cluster.qps_2_workers": metric(
+            scaling[2]["qps"], "keys/s", "higher", rel_tol=0.8
+        ),
+        "cluster.scaleout_error_rate": metric(
+            max(s["error_rate"] for s in scaling.values()),
+            "ratio", "lower", abs_tol=0.005,
+        ),
+        "cluster.chaos_error_rate": metric(
+            chaos["error_rate"], "ratio", "lower", abs_tol=0.01
+        ),
+    }
+
+
 COLLECTORS = (
     ("kernels", collect_kernels),
     ("server", collect_server),
     ("recovery", collect_recovery),
     ("trace", collect_trace),
     ("availability", collect_availability),
+    ("cluster", collect_cluster),
 )
 
 

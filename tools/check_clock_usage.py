@@ -14,6 +14,13 @@ replay byte-identically, so those files may not touch the ``time``
 module *at all* — no ``perf_ms``, no ``SystemClock``, no ``import
 time``.  They see time only through an injected clock.
 
+A *looser* tier applies to ``src/repro/net/`` (``NET_REAL_TIME``): the
+process-per-node cluster runs real sockets against the real wall clock,
+so direct ``time.time()`` is permitted there — and **only** there.  The
+same boundary holds for ``asyncio``: the event-loop runtime may be
+imported only under ``src/repro/net/``, so the simulated/deterministic
+core can never grow a hidden dependency on real scheduling.
+
 Run from the repo root (``make lint`` does): ``python tools/check_clock_usage.py``.
 """
 
@@ -30,6 +37,9 @@ SOURCE_DIR = ROOT / "src" / "repro"
 SCAN_DIRS = (SOURCE_DIR, ROOT / "benchmarks", ROOT / "tools")
 #: The one module allowed to touch the wall clock.
 ALLOWED = {SOURCE_DIR / "clock.py"}
+#: The one *package* allowed real wall-clock time and asyncio: the
+#: process-per-node cluster (real sockets, real processes, real time).
+NET_REAL_TIME = SOURCE_DIR / "net"
 #: Modules that must be *fully* wall-clock-free: any use of the ``time``
 #: module, ``perf_ms``, or ``SystemClock`` fails the lint.  Alert windows
 #: and tail-sampling decisions must depend only on the injected clock.
@@ -94,11 +104,41 @@ def _wall_clock_offenders_in(path: Path) -> list[tuple[int, str]]:
     return offenders
 
 
+def _asyncio_offenders_in(path: Path) -> list[int]:
+    """Any asyncio import in a file outside the ``net/`` package."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "asyncio" or alias.name.startswith("asyncio."):
+                    lines.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "asyncio" or module.startswith("asyncio."):
+                lines.append(node.lineno)
+    return lines
+
+
+def _in_net_package(path: Path) -> bool:
+    try:
+        path.relative_to(NET_REAL_TIME)
+    except ValueError:
+        return False
+    return True
+
+
 def main() -> int:
     failures = []
     for scan_dir in SCAN_DIRS:
         for path in sorted(scan_dir.rglob("*.py")):
-            if path in ALLOWED:
+            if not _in_net_package(path):
+                for lineno in _asyncio_offenders_in(path):
+                    failures.append(
+                        f"{path.relative_to(ROOT)}:{lineno} (asyncio is "
+                        "allowed only under src/repro/net/)"
+                    )
+            if path in ALLOWED or _in_net_package(path):
                 continue
             for lineno in _offenders_in(path):
                 failures.append(f"{path.relative_to(ROOT)}:{lineno}")
@@ -115,7 +155,11 @@ def main() -> int:
                 "must be wall-clock-free)"
             )
     if failures:
-        print("direct time.time() usage outside clock.py:", file=sys.stderr)
+        print(
+            "clock/asyncio discipline violations (wall clock only in "
+            "clock.py and src/repro/net/; asyncio only in src/repro/net/):",
+            file=sys.stderr,
+        )
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         print(
@@ -127,7 +171,7 @@ def main() -> int:
     scanned = ", ".join(
         str(scan_dir.relative_to(ROOT)) for scan_dir in SCAN_DIRS
     )
-    print(f"clock usage OK ({scanned})")
+    print(f"clock usage OK ({scanned}; net/ real-time tier exempt)")
     return 0
 
 
