@@ -1,15 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history bench-cluster bench-cluster-smoke net-smoke dash
+.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history bench-cluster bench-cluster-smoke bench-failover bench-failover-smoke net-smoke dash
 
 ## check: lint + tier-1 tests + kernel differential oracle (both backends)
 ## + result-cache invalidation oracle + coverage floors (core + server +
 ## obs) + benchmark smoke runs + chaos determinism smoke + seeded
 ## crash-point recovery schedules + SLO alert falsification + the
 ## process-cluster socket smoke (real workers, real SIGKILL failover) +
-## the perf-history snapshot/regression diff.
-check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check net-smoke bench-cluster-smoke bench-history
+## the replicated-shard failover smoke + the perf-history
+## snapshot/regression diff.
+check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check net-smoke bench-cluster-smoke bench-failover-smoke bench-history
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -95,6 +96,17 @@ bench-cluster:
 
 bench-cluster-smoke:
 	$(PYTHON) benchmarks/bench_cluster_scaleout.py --smoke
+
+## bench-failover: replicated shards (R=2) under a SIGKILL of the
+## roster-ring primary mid-run — gates < 1% client errors, zero
+## ok-but-empty reads in the dead primary's key range, a registry
+## promotion, hinted-handoff drain on rejoin, delta-proportional
+## replication bytes, and same-seed final-state determinism.
+bench-failover:
+	$(PYTHON) benchmarks/bench_failover.py
+
+bench-failover-smoke:
+	$(PYTHON) benchmarks/bench_failover.py --smoke
 
 ## bench-history: run the gated benches, record a schema-versioned
 ## BENCH_<n>.json snapshot, and diff against the committed baseline with

@@ -1,0 +1,428 @@
+"""Replicated-shard failover: kill the primary, keep every key lit.
+
+``bench_cluster_scaleout`` already SIGKILLs a worker mid-run and gates on
+client *errors* — but without replication the dead worker's key range
+reads **empty** until the corpse restarts and replays its WAL.  This
+bench runs the same real-process fleet with ``replication_factor=2`` and
+gates on the stronger §III-G property: stale-but-available, no key goes
+dark.
+
+Timeline (wall clock, diurnal-modulated op rate):
+
+1. preload a seeded population, then converge — replication queues
+   drained, anti-entropy repair rounds run until a round ships zero
+   bytes, so every key's replica holds the preloaded image;
+2. SIGKILL the roster-ring **primary** of a tracked key (chaos selector
+   ``@primary:<pid>``) mid-run; keep reading and writing through the
+   resilient client while the registry TTL-evicts the corpse and
+   promotes the replica;
+3. restart the victim; surviving peers drain their hinted-handoff
+   queues into it; a final repair pass closes any in-flight-at-kill
+   holes.
+
+Gates:
+
+* client-observed error rate < 1 % across the whole run (reads + writes);
+* **zero** ok-but-empty reads for preloaded keys in the victim's range —
+  the replica really served while the primary was dead;
+* the registry recorded a promotion for the evicted primary;
+* replication cost is proportional to the *delta* rate, not profile
+  size: mean shipped bytes/delta stays a small fraction of the mean
+  resident profile image;
+* hinted handoff drained on rejoin (handoff depth back to zero, hints
+  shipped > 0) with post-rejoin repair bytes well under the fleet's
+  resident bytes — catch-up rode the delta stream, not a full copy;
+* same-seed replay: the final per-key fid sets are identical across two
+  runs — client-observable state is deterministic even though kill
+  timing, retries and promotion races are not.
+
+Run standalone (``python benchmarks/bench_failover.py [--smoke]
+[--json]``, with ``src`` on ``PYTHONPATH``) — ``make bench-failover`` /
+``make bench-failover-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from random import Random
+
+from repro.clock import MILLIS_PER_DAY, SystemClock, perf_ms
+from repro.chaos.engine import ChaosEvent
+from repro.chaos.process import ProcessChaosEngine
+from repro.cluster.resilience import ResilienceConfig
+from repro.core.timerange import TimeRange
+from repro.errors import IPSError
+from repro.net.cluster import ProcessCluster
+from repro.workload.diurnal import DiurnalTrafficModel
+
+#: Workers start without numpy so subprocess cold-start stays cheap.
+WORKER_ENV = {"IPS_KERNEL_DISABLE_NUMPY": "1"}
+
+WORKERS = 3
+FACTOR = 2
+ROUND_MS = 50.0
+READ_BATCH = 8
+#: First fid minted by mid-run writes; preload fids stay below this so
+#: every mid-run write is a unique, replay-comparable fid.
+WRITE_FID_BASE = 10_000
+TRACKED_PID = 0
+
+
+def _preload(client, population: int, now_ms: int) -> None:
+    rng = Random(17)
+    for profile_id in range(population):
+        fids = [100 + rng.randrange(40) for _ in range(4)]
+        counts = [(1 + rng.randrange(3), rng.randrange(3), rng.randrange(2))
+                  for _ in fids]
+        wrote = client.add_profiles(profile_id, now_ms, 0, 1, fids, counts)
+        assert wrote == 1, f"preload write for {profile_id} failed"
+
+
+def _converge(cluster: ProcessCluster, max_sweeps: int = 20) -> int:
+    """Drain delta queues, then repair until two peer sweeps ship zero.
+
+    ``repair_round`` round-robins over live peers, so one zero-byte round
+    only proves the peer *polled that round* was in sync.  A sweep of
+    ``live - 1`` rounds covers every peer, and two clean sweeps in a row
+    (the background repair loop can interleave and skew the rotation)
+    mean the fleet is converged.
+    """
+    cluster.wait_for_replication_drain(20.0)
+    total = 0
+    clean = 0
+    for _ in range(max_sweeps):
+        live = len(cluster.replication_stats())
+        shipped = sum(
+            sweep_stats.get("bytes", 0)
+            for sweep_stats in cluster.repair_now(max(1, live - 1)).values()
+        )
+        total += shipped
+        clean = clean + 1 if shipped == 0 else 0
+        if clean >= 2:
+            return total
+    raise AssertionError(
+        f"repair did not converge in {max_sweeps} sweeps ({total} bytes)"
+    )
+
+
+def _fid_sets(client, population: int, window: TimeRange) -> dict[int, list]:
+    """Final client-observable state: sorted fid list per key."""
+    outcome = client.multi_get_topk(
+        list(range(population)), 0, 1, window, k=256
+    )
+    sets: dict[int, list] = {}
+    for result in outcome.results:
+        assert result.ok, f"final read of {result.profile_id} failed"
+        sets[result.profile_id] = sorted(row.fid for row in result.value)
+    return sets
+
+
+def run_failover(
+    *,
+    population: int,
+    duration_ms: float,
+    kill_at_ms: float,
+    revert_at_ms: float,
+    ops_per_round: int,
+    seed: int = 7,
+    ttl_ms: float = 1_200.0,
+) -> dict:
+    """One full kill-the-primary run; returns measurements, no gating."""
+    now_ms = int(SystemClock().now_ms())
+    window = TimeRange.absolute(now_ms - 60_000, now_ms + 120_000)
+    traffic = DiurnalTrafficModel(
+        base_qps=0.4, peak_qps=1.0, noise_fraction=0.0, seed=seed
+    )
+    with tempfile.TemporaryDirectory(prefix="ips-failover-") as tmp:
+        with ProcessCluster(
+            WORKERS, tmp,
+            replication_factor=FACTOR,
+            replication_ms=25.0,
+            repair_ms=1_000.0,
+            ttl_ms=ttl_ms,
+            worker_env=WORKER_ENV,
+        ) as cluster:
+            cluster.wait_for_members(WORKERS)
+            client = cluster.client(
+                resilience=ResilienceConfig(deadline_ms=4_000.0, seed=seed)
+            )
+            _preload(client, population, now_ms)
+            time.sleep(0.4)  # one maintenance interval: write tables merge
+            repair_baseline_bytes = _converge(cluster)
+
+            victim = cluster.primary_for(TRACKED_PID)
+            range_keys = [
+                pid for pid in range(population)
+                if cluster.primary_for(pid) == victim
+            ]
+            chaos = ProcessChaosEngine(cluster)
+            chaos.schedule(ChaosEvent(
+                start_ms=int(kill_at_ms),
+                duration_ms=int(revert_at_ms - kill_at_ms),
+                kind="node_crash",
+                target=f"@primary:{TRACKED_PID}",
+            ))
+            chaos.start()
+
+            rng = Random(seed)
+            reads = read_errors = range_reads = range_empty = 0
+            writes = write_errors = 0
+            next_fid = WRITE_FID_BASE
+            # The op schedule is a pure function of the round index (wall
+            # time only paces it): same seed -> same op sequence -> the
+            # final fid sets are comparable across runs even though kill
+            # timing and retries are not deterministic.
+            n_rounds = max(1, int(duration_ms / ROUND_MS))
+            start = perf_ms()
+            for round_index in range(n_rounds):
+                chaos.tick()
+                # Diurnal modulation: map run progress onto one simulated
+                # day so the op rate sweeps trough -> peak like Fig. 16.
+                virtual_ms = int(round_index / n_rounds * MILLIS_PER_DAY)
+                scale = traffic.qps_at(virtual_ms) / traffic.peak_qps
+                ops = max(1, int(ops_per_round * scale))
+                for _ in range(ops):
+                    if rng.random() < 0.65:
+                        # Half of each batch from the victim's range so the
+                        # zero-empty gate has real volume.
+                        batch = [
+                            range_keys[rng.randrange(len(range_keys))]
+                            if index % 2 == 0
+                            else rng.randrange(population)
+                            for index in range(READ_BATCH)
+                        ]
+                        outcome = client.multi_get_topk(
+                            batch, 0, 1, window, k=8
+                        )
+                        for result in outcome.results:
+                            reads += 1
+                            in_range = result.profile_id in range_keys
+                            range_reads += in_range
+                            if not result.ok:
+                                read_errors += 1
+                            elif in_range and not result.value:
+                                range_empty += 1
+                    else:
+                        # Unique fid per write: makes the final per-key fid
+                        # sets a replay-comparable state digest even under
+                        # at-least-once delta delivery.
+                        pid = rng.randrange(population)
+                        fid = next_fid
+                        next_fid += 1
+                        for attempt in range(100):
+                            writes += 1
+                            try:
+                                if client.add_profiles(
+                                    pid, now_ms, 0, 1, [fid], [(1, 0, 0)]
+                                ) == 1:
+                                    break
+                            except IPSError:
+                                pass
+                            write_errors += 1
+                            time.sleep(0.02)
+                        else:
+                            raise AssertionError(
+                                f"write {pid}/{fid} never acked"
+                            )
+                behind_ms = (round_index + 1) * ROUND_MS - (perf_ms() - start)
+                if behind_ms > 0:
+                    time.sleep(behind_ms / 1000.0)
+
+            promotions = (
+                cluster.registry_server.registry.members()["promotions"]
+            )
+            chaos.finish()  # restart the victim if still down
+            cluster.wait_for_members(WORKERS)
+            cluster.wait_for_replication_drain(30.0)
+            repl = cluster.replication_stats()
+            hints_drained = sum(
+                s.get("hints_drained", 0) for s in repl.values()
+            )
+            handoff_depth = sum(
+                s.get("handoff_depth", 0) for s in repl.values()
+            )
+            repair_rejoin_bytes = _converge(cluster)
+            time.sleep(0.4)  # let the drained deltas merge before reading
+
+            repl = cluster.replication_stats()
+            fleet = cluster.fleet_stats()
+            deltas_shipped = sum(
+                s.get("deltas_shipped", 0) for s in repl.values()
+            )
+            delta_bytes = sum(s.get("delta_bytes", 0) for s in repl.values())
+            resident = sum(s.get("resident", 0) for s in fleet.values())
+            memory_bytes = sum(
+                s.get("memory_bytes", 0) for s in fleet.values()
+            )
+            return {
+                "victim": victim,
+                "range_keys": len(range_keys),
+                "reads": reads,
+                "read_errors": read_errors,
+                "range_reads": range_reads,
+                "range_empty": range_empty,
+                "writes": writes,
+                "write_errors": write_errors,
+                "error_rate": (
+                    (read_errors + write_errors) / (reads + writes)
+                    if reads + writes else 0.0
+                ),
+                "promotions": promotions,
+                "faults": chaos.fault_counts(),
+                "hints_drained": hints_drained,
+                "handoff_depth_after_drain": handoff_depth,
+                "repair_baseline_bytes": repair_baseline_bytes,
+                "repair_rejoin_bytes": repair_rejoin_bytes,
+                "deltas_shipped": deltas_shipped,
+                "delta_bytes": delta_bytes,
+                "bytes_per_delta": (
+                    delta_bytes / deltas_shipped if deltas_shipped else 0.0
+                ),
+                "avg_profile_bytes": (
+                    memory_bytes / resident if resident else 0.0
+                ),
+                "memory_bytes": memory_bytes,
+                "fid_sets": _fid_sets(client, population, window),
+            }
+
+
+def check(result: dict, replay: dict) -> list[str]:
+    failures = []
+    if result["error_rate"] >= 0.01:
+        failures.append(
+            f"client error rate {result['error_rate']:.4%} >= 1% "
+            f"({result['read_errors']} read + {result['write_errors']} "
+            f"write errors / {result['reads'] + result['writes']} ops)"
+        )
+    if result["range_empty"] > 0:
+        failures.append(
+            f"{result['range_empty']}/{result['range_reads']} reads of the "
+            f"dead primary's preloaded keys came back empty"
+        )
+    if result["range_reads"] == 0:
+        failures.append("no reads landed in the victim's key range")
+    if result["faults"]["node_crash"] < 1:
+        failures.append("the primary was never killed")
+    if result["promotions"] < 1:
+        failures.append("registry never promoted a replica for the victim")
+    if result["hints_drained"] < 1:
+        failures.append("no hinted-handoff deltas drained into the rejoiner")
+    if result["handoff_depth_after_drain"] != 0:
+        failures.append(
+            f"handoff queues not empty after rejoin "
+            f"({result['handoff_depth_after_drain']} deltas stuck)"
+        )
+    # Proportionality: replication ships the logical write (~tens of
+    # bytes), not the profile image (KBs).
+    if result["deltas_shipped"] < 1:
+        failures.append("no deltas were ever shipped")
+    elif result["bytes_per_delta"] * 4 > result["avg_profile_bytes"]:
+        failures.append(
+            f"bytes/delta {result['bytes_per_delta']:.1f} not << mean "
+            f"profile image {result['avg_profile_bytes']:.1f} bytes"
+        )
+    # Rejoin catch-up rode the hinted delta stream; repair only patched
+    # the in-flight-at-kill hole, never re-shipped the fleet.
+    if result["repair_rejoin_bytes"] >= result["memory_bytes"]:
+        failures.append(
+            f"post-rejoin repair shipped {result['repair_rejoin_bytes']} "
+            f"bytes >= resident {result['memory_bytes']} bytes"
+        )
+    if result["fid_sets"] != replay["fid_sets"]:
+        diff = [
+            pid for pid in result["fid_sets"]
+            if result["fid_sets"][pid] != replay["fid_sets"].get(pid)
+        ]
+        failures.append(
+            f"same-seed replay diverged on {len(diff)} keys "
+            f"(e.g. {diff[:5]})"
+        )
+    return failures
+
+
+def report(result: dict, replay: dict) -> None:
+    print("== failover: SIGKILL the primary, replicas keep serving ==")
+    print(
+        f"  victim {result['victim']} owned {result['range_keys']} of the "
+        f"preloaded keys; faults {result['faults']}, "
+        f"promotions {result['promotions']}"
+    )
+    print(
+        f"  {result['reads']} reads ({result['read_errors']} errors), "
+        f"{result['writes']} write attempts ({result['write_errors']} "
+        f"errors) -> error rate {result['error_rate']:.4%}"
+    )
+    print(
+        f"  victim-range reads: {result['range_reads']}, "
+        f"empty: {result['range_empty']}"
+    )
+    print(
+        f"  replication: {result['deltas_shipped']} deltas, "
+        f"{result['delta_bytes']} bytes "
+        f"({result['bytes_per_delta']:.1f} B/delta vs "
+        f"{result['avg_profile_bytes']:.0f} B mean profile image)"
+    )
+    print(
+        f"  rejoin: {result['hints_drained']} hinted deltas drained, "
+        f"repair shipped {result['repair_rejoin_bytes']} bytes "
+        f"(baseline convergence {result['repair_baseline_bytes']} bytes, "
+        f"fleet resident {result['memory_bytes']} bytes)"
+    )
+    same = result["fid_sets"] == replay["fid_sets"]
+    print(
+        f"  replay: final fid sets over {len(result['fid_sets'])} keys "
+        f"{'identical' if same else 'DIVERGED'} across same-seed runs"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run for make check (same gates)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON only")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        settings = dict(
+            population=96, duration_ms=4_000.0,
+            kill_at_ms=600.0, revert_at_ms=2_800.0, ops_per_round=6,
+        )
+    else:
+        settings = dict(
+            population=256, duration_ms=10_000.0,
+            kill_at_ms=2_000.0, revert_at_ms=7_000.0, ops_per_round=14,
+        )
+
+    result = run_failover(seed=args.seed, **settings)
+    replay = run_failover(seed=args.seed, **settings)
+    failures = check(result, replay)
+
+    if args.json:
+        payload = {
+            key: value
+            for key, value in result.items()
+            if key != "fid_sets"
+        }
+        payload["mode"] = "smoke" if args.smoke else "full"
+        payload["replay_identical"] = (
+            result["fid_sets"] == replay["fid_sets"]
+        )
+        payload["failures"] = failures
+        print(json.dumps(payload, indent=2))
+    else:
+        report(result, replay)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("bench-failover gates OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,13 @@ Only ``node_crash`` maps onto a process fleet — the other fault kinds
 (rpc latency/error, region outage, replica lag) live on in-process seams
 that do not exist here, so scheduling one raises immediately rather than
 silently doing nothing.
+
+Targets may be literal worker ids or **role selectors**, resolved at kill
+time against the live registry so the scenario tracks re-elections:
+
+* ``"@master"`` — the currently elected master (lowest live node id);
+* ``"@primary:<profile_id>"`` — the roster-ring primary owner of that
+  key, the kill-the-primary scenario the failover bench gates on.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ class ProcessChaosEngine:
         self._events: list[ChaosEvent] = []
         self._active: set[ChaosEvent] = set()
         self._start_ms: float | None = None
+        #: Role selectors resolved at kill time, so revert restarts the
+        #: worker that actually died.
+        self._resolved: dict[int, str] = {}
         self.kills = 0
         self.restarts = 0
 
@@ -71,20 +81,39 @@ class ProcessChaosEngine:
             if event in self._active:
                 if now_ms >= event.end_ms:
                     self._active.discard(event)
-                    self._cluster.restart_worker(event.target)
+                    self._cluster.restart_worker(self._victim_of(event))
                     self.restarts += 1
                     restarts += 1
             elif event.active_at(int(now_ms)):
                 self._active.add(event)
-                self._cluster.kill_worker(event.target)
+                victim = self._resolve_target(event.target)
+                self._resolved[id(event)] = victim
+                self._cluster.kill_worker(victim)
                 self.kills += 1
                 kills += 1
         return kills, restarts
 
+    def _resolve_target(self, target: str) -> str:
+        """Literal worker id, ``@master``, or ``@primary:<profile_id>``."""
+        if not target.startswith("@"):
+            return target
+        if target == "@master":
+            master = self._cluster.registry_server.registry.master()
+            if master is None:
+                raise ValueError("@master: no live master to kill")
+            return master
+        if target.startswith("@primary:"):
+            profile_id = int(target.split(":", 1)[1])
+            return self._cluster.primary_for(profile_id)
+        raise ValueError(f"unknown chaos target selector {target!r}")
+
+    def _victim_of(self, event: ChaosEvent) -> str:
+        return self._resolved.get(id(event), event.target)
+
     def finish(self) -> None:
         """Revert every still-active event (restart the dead workers)."""
         for event in list(self._active):
-            self._cluster.restart_worker(event.target)
+            self._cluster.restart_worker(self._victim_of(event))
             self.restarts += 1
         self._active.clear()
 

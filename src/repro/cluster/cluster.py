@@ -91,7 +91,9 @@ class MultiRegionDeployment:
         self.tracer = tracer
         self.registry = registry
         self.master_region = master_region or region_names[0]
-        self.kv_cluster = ReplicatedKVCluster(region_names, self.master_region)
+        self.kv_cluster = ReplicatedKVCluster(
+            region_names, self.master_region, metrics=registry
+        )
         self.discovery = DiscoveryService(self.clock)
         self.regions: dict[str, Region] = {}
         for name in region_names:

@@ -78,6 +78,40 @@ class ConsistentHashRing:
             f"all {len(self._nodes)} nodes excluded for profile {profile_id}"
         )
 
+    def nodes_for(
+        self, profile_id: int, count: int, exclude: set[str] | None = None
+    ) -> list[str]:
+        """Up to ``count`` distinct owners clockwise from the key's point.
+
+        The first entry is exactly :meth:`node_for`'s answer (the primary);
+        the rest are the successive distinct nodes — the replica set for
+        R-way replication.  Fewer than ``count`` nodes on the ring returns
+        them all.  Order is deterministic for a given membership.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if not self._points:
+            raise NoHealthyNodeError("hash ring is empty")
+        key = _hash64(profile_id.to_bytes(8, "big", signed=False))
+        start = bisect_right(self._points, key)
+        total = len(self._points)
+        owners: list[str] = []
+        seen: set[str] = set(exclude) if exclude else set()
+        eligible = len(self._nodes - seen) if exclude else len(self._nodes)
+        for step in range(total):
+            owner = self._owners[self._points[(start + step) % total]]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            owners.append(owner)
+            if len(owners) >= count or len(owners) >= eligible:
+                break
+        if not owners:
+            raise NoHealthyNodeError(
+                f"all {len(self._nodes)} nodes excluded for profile {profile_id}"
+            )
+        return owners
+
     @property
     def nodes(self) -> frozenset[str]:
         return frozenset(self._nodes)

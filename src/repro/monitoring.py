@@ -250,6 +250,30 @@ def fleet_summary(fleet_stats: dict[str, dict]) -> dict:
         node_id: fleet_stats[node_id].get("wal_last_sequence", 0)
         for node_id in workers
     }
+    replication = {
+        node_id: stats["replication"]
+        for node_id, stats in fleet_stats.items()
+        if stats.get("replication")
+    }
+    if replication:
+        summary["replication"] = {
+            # "pending" is a per-peer lag dict on each worker; the rollup
+            # is total queued deltas fleet-wide.
+            "pending": sum(
+                sum(r.get("pending", {}).values())
+                for r in replication.values()
+            ),
+            "handoff_depth": sum(
+                r.get("handoff_depth", 0) for r in replication.values()
+            ),
+            "applies": sum(r.get("applies", 0) for r in replication.values()),
+            "delta_bytes": sum(
+                r.get("delta_bytes", 0) for r in replication.values()
+            ),
+            "repair_bytes": sum(
+                r.get("repair_bytes_shipped", 0) for r in replication.values()
+            ),
+        }
     return summary
 
 
@@ -263,6 +287,14 @@ def format_fleet_report(fleet_stats: dict[str, dict]) -> str:
         f"batch_keys={summary['batch_keys']}  "
         f"memory_bytes={summary['memory_bytes']}",
     ]
+    if "replication" in summary:
+        repl = summary["replication"]
+        lines.append(
+            f"  replication: pending={repl['pending']}  "
+            f"handoff={repl['handoff_depth']}  applies={repl['applies']}  "
+            f"delta_bytes={repl['delta_bytes']}  "
+            f"repair_bytes={repl['repair_bytes']}"
+        )
     for node_id in summary["worker_ids"]:
         stats = fleet_stats[node_id]
         lines.append(

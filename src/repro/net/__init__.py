@@ -20,9 +20,13 @@ Layering:
 * :mod:`repro.net.registry` — node registry with heartbeat liveness,
   TTL eviction and deterministic master election, servable over the same
   wire protocol (:class:`RegistryServer`);
+* :mod:`repro.net.replication` — R-way shard replication: sequence-
+  numbered per-write deltas shipped asynchronously to the key's other
+  roster-ring owners, hinted handoff for dead peers, and content-
+  addressed anti-entropy repair (:class:`WorkerReplication`);
 * :mod:`repro.net.worker` — the ``python -m repro.net.worker``
   entrypoint hosting one durable IPSNode (WAL + checkpoint + recovery +
-  maintenance loops) over an asyncio TCP server;
+  maintenance + replication/repair loops) over an asyncio TCP server;
 * :mod:`repro.net.cluster` — :class:`ProcessCluster`, which spawns N
   worker processes, discovers them through the registry, and hands out
   :class:`~repro.cluster.client.IPSClient` instances whose hash-ring
@@ -32,13 +36,18 @@ Layering:
 
 from .cluster import NetRegion, ProcessCluster, ProcessDeployment
 from .registry import MemberRecord, NodeRegistry, RegistryServer
+from .replication import (
+    ReplicaApplier,
+    ReplicationLog,
+    WorkerReplication,
+)
 from .transport import (
     InProcessTransport,
     RemoteNode,
     SocketTransport,
     Transport,
 )
-from .wire import Request, Response, WireCodecError
+from .wire import Request, Response, WireCodecError, WriteDelta
 
 __all__ = [
     "InProcessTransport",
@@ -49,9 +58,13 @@ __all__ = [
     "ProcessDeployment",
     "RegistryServer",
     "RemoteNode",
+    "ReplicaApplier",
+    "ReplicationLog",
     "Request",
     "Response",
     "SocketTransport",
     "Transport",
     "WireCodecError",
+    "WorkerReplication",
+    "WriteDelta",
 ]

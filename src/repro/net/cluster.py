@@ -45,8 +45,14 @@ class RegistryClient:
     def register(self, node_id: str, host: str, port: int) -> dict[str, Any]:
         return self._transport.call("register", node_id, host, port)
 
-    def heartbeat(self, node_id: str, generation: int) -> bool:
-        return self._transport.call("heartbeat", node_id, generation)
+    def heartbeat(
+        self, node_id: str, generation: int, report: dict | None = None
+    ) -> bool:
+        if report is None:
+            return self._transport.call("heartbeat", node_id, generation)
+        return self._transport.call(
+            "heartbeat", node_id, generation, report=report
+        )
 
     def deregister(self, node_id: str) -> bool:
         return self._transport.call("deregister", node_id)
@@ -176,6 +182,9 @@ class ProcessCluster:
         ttl_ms: float = 1_500.0,
         maintenance_ms: float = 100.0,
         handler_threads: int = 4,
+        replication_factor: int = 1,
+        replication_ms: float = 50.0,
+        repair_ms: float = 2_000.0,
         worker_env: dict[str, str] | None = None,
         spawn: bool = True,
     ) -> None:
@@ -188,9 +197,13 @@ class ProcessCluster:
         self.heartbeat_ms = heartbeat_ms
         self.maintenance_ms = maintenance_ms
         self.handler_threads = handler_threads
+        self.replication_factor = replication_factor
+        self.replication_ms = replication_ms
+        self.repair_ms = repair_ms
         self.worker_env = dict(worker_env) if worker_env else {}
         self.registry_server = RegistryServer(
-            NodeRegistry(ttl_ms=ttl_ms), host=host
+            NodeRegistry(ttl_ms=ttl_ms, replication_factor=replication_factor),
+            host=host,
         ).start()
         self._procs: dict[str, subprocess.Popen] = {}
         self._logs: dict[str, Any] = {}
@@ -203,7 +216,12 @@ class ProcessCluster:
     # ------------------------------------------------------------------
 
     def spawn_worker(self, node_id: str) -> subprocess.Popen:
-        """Start (or restart) one worker over its persistent data dir."""
+        """Start (or restart) one worker over its persistent data dir.
+
+        The data dir is keyed by the **stable node id**, never by spawn
+        order: a worker restarted after a crash reopens the same WAL,
+        checkpoint, KV log, and replication state it owned before.
+        """
         if node_id in self._procs and self._procs[node_id].poll() is None:
             raise RuntimeError(f"worker {node_id} is already running")
         data_dir = self.data_root / node_id
@@ -233,6 +251,9 @@ class ProcessCluster:
                 "--heartbeat-ms", str(self.heartbeat_ms),
                 "--maintenance-ms", str(self.maintenance_ms),
                 "--handler-threads", str(self.handler_threads),
+                "--replication-factor", str(self.replication_factor),
+                "--replication-ms", str(self.replication_ms),
+                "--repair-ms", str(self.repair_ms),
             ],
             env=env,
             stdout=log,
@@ -277,6 +298,21 @@ class ProcessCluster:
         """Bring a dead worker back over the same data dir (recovery)."""
         return self.spawn_worker(node_id)
 
+    def add_worker(self) -> str:
+        """Spawn a worker under a fresh stable id (never reuses an id).
+
+        Ids are allocated past the highest ever seen, so a joiner can
+        never collide with — or silently adopt the data dir of — a dead
+        worker that might still rejoin.
+        """
+        highest = -1
+        for node_id in self._procs:
+            if node_id.startswith("w") and node_id[1:].isdigit():
+                highest = max(highest, int(node_id[1:]))
+        node_id = f"w{highest + 1:02d}"
+        self.spawn_worker(node_id)
+        return node_id
+
     def worker_ids(self) -> list[str]:
         return sorted(self._procs)
 
@@ -309,6 +345,17 @@ class ProcessCluster:
 
     def fleet_stats(self) -> dict[str, dict]:
         """``node_stats`` from every live member, keyed by node id."""
+        return self._poll_members("node_stats")
+
+    def replication_stats(self) -> dict[str, dict]:
+        """``replication_stats`` from every live member, keyed by node id."""
+        return self._poll_members("replication_stats")
+
+    def repair_now(self, rounds: int = 1) -> dict[str, dict]:
+        """Force synchronous repair rounds fleet-wide (bench convergence)."""
+        return self._poll_members("repair_now", rounds)
+
+    def _poll_members(self, method: str, *args) -> dict[str, dict]:
         stats: dict[str, dict] = {}
         snapshot = self.registry_server.registry.members()
         for member in snapshot["members"]:
@@ -316,12 +363,45 @@ class ProcessCluster:
                 member["node_id"], member["host"], member["port"]
             )
             try:
-                stats[member["node_id"]] = transport.call("node_stats")
+                stats[member["node_id"]] = transport.call(method, *args)
             except Exception:  # noqa: BLE001 - a dying member just drops out
                 continue
             finally:
                 transport.close()
         return stats
+
+    def wait_for_replication_drain(self, timeout_s: float = 20.0) -> None:
+        """Block until no live worker has queued deltas for a live peer.
+
+        Hinted-handoff queues for *dead* peers do not block the drain —
+        they cannot empty until the peer rejoins.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            stats = self.replication_stats()
+            live = set(stats)
+            pending = sum(
+                depth
+                for node_stats in stats.values()
+                for peer, depth in node_stats.get("pending", {}).items()
+                if peer in live
+            )
+            if pending == 0:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"replication queues still hold {pending} deltas after "
+                    f"{timeout_s:g}s"
+                )
+            time.sleep(0.05)
+
+    def primary_for(self, profile_id: int) -> str:
+        """The roster-ring primary owner of a key (placement, not routing)."""
+        registry = self.registry_server.registry
+        ring = ConsistentHashRing(64)
+        for entry in registry.members()["roster"]:
+            ring.add_node(entry["node_id"])
+        return ring.nodes_for(profile_id, 1)[0]
 
     # ------------------------------------------------------------------
 

@@ -49,16 +49,51 @@ class MemberRecord:
 
 
 class NodeRegistry:
-    """In-memory membership table with TTL liveness and epoch versioning."""
+    """In-memory membership table with TTL liveness and epoch versioning.
 
-    def __init__(self, clock: Clock | None = None, ttl_ms: float = 3_000.0) -> None:
+    With ``replication_factor > 1`` the registry also runs the promotion
+    protocol, which — because placement is a roster-ring walk and routing
+    is the same walk skipping dead nodes — amounts to bookkeeping:
+
+    * evicted members become **tombstones** (the dead part of the roster)
+      so the replica placement every worker computes stays stable across
+      a crash; a tombstone clears when the worker re-registers, when it
+      deregisters gracefully, or after ``tombstone_ttl_ms``;
+    * every eviction with survivors present is counted as a **promotion**
+      (the next live owner of each affected range starts serving it) and
+      logged with its epoch;
+    * heartbeats may piggyback a replication **report** (per-peer delta
+      lag, handoff depth, repair bytes) which :meth:`members` republishes
+      — bounded staleness, observable in one place.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        ttl_ms: float = 3_000.0,
+        *,
+        replication_factor: int = 1,
+        tombstone_ttl_ms: float = 600_000.0,
+    ) -> None:
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
         self._clock = clock if clock is not None else SystemClock()
         self.ttl_ms = ttl_ms
+        self.replication_factor = replication_factor
+        self.tombstone_ttl_ms = tombstone_ttl_ms
         self._members: dict[str, MemberRecord] = {}
+        #: node_id -> (record, evicted_at_ms): dead-but-remembered roster.
+        self._tombstones: dict[str, tuple[MemberRecord, float]] = {}
+        self._reports: dict[str, dict] = {}
         self._lock = threading.Lock()
         self._epoch = 0
         self._generations = 0
         self.evictions = 0
+        self.promotions = 0
+        #: Most recent promotions as ``(dead_node_id, epoch)`` pairs.
+        self.promotion_log: list[tuple[str, int]] = []
 
     # -- wire-facing methods -------------------------------------------
 
@@ -76,11 +111,22 @@ class NodeRegistry:
                 registered_ms=now,
                 last_heartbeat_ms=now,
             )
+            self._tombstones.pop(node_id, None)
             self._epoch += 1
-            return {"generation": self._generations, "epoch": self._epoch}
+            return {
+                "generation": self._generations,
+                "epoch": self._epoch,
+                "replication_factor": self.replication_factor,
+            }
 
-    def heartbeat(self, node_id: str, generation: int) -> bool:
-        """Refresh liveness; ``False`` tells the worker to re-register."""
+    def heartbeat(
+        self, node_id: str, generation: int, report: dict | None = None
+    ) -> bool:
+        """Refresh liveness; ``False`` tells the worker to re-register.
+
+        ``report`` is the optional replication payload (lag, handoff
+        depth, repair bytes) workers piggyback on the beat.
+        """
         now = self._clock.now_ms()
         with self._lock:
             self._sweep_locked(now)
@@ -88,22 +134,41 @@ class NodeRegistry:
             if record is None or record.generation != generation:
                 return False
             self._members[node_id] = replace(record, last_heartbeat_ms=now)
+            if report is not None:
+                self._reports[node_id] = report
             return True
 
     def deregister(self, node_id: str) -> bool:
         """Graceful leave; returns whether the member was known."""
         with self._lock:
             removed = self._members.pop(node_id, None) is not None
+            # Graceful or not, a deregistered node leaves the roster: its
+            # ranges move permanently to the surviving owners.
+            self._tombstones.pop(node_id, None)
+            self._reports.pop(node_id, None)
             if removed:
                 self._epoch += 1
+                if self.replication_factor > 1 and self._members:
+                    self.promotions += 1
+                    self._log_promotion_locked(node_id)
             return removed
 
     def members(self) -> dict[str, Any]:
-        """Membership snapshot: epoch, master, and live member triples."""
+        """Membership snapshot: epoch, master, live members, and roster.
+
+        ``roster`` is live members plus tombstones (``live`` flag telling
+        them apart) — the stable universe replica placement is computed
+        over.  ``reports`` is the latest replication report per live
+        member.
+        """
         now = self._clock.now_ms()
         with self._lock:
             self._sweep_locked(now)
             live = sorted(self._members.values(), key=lambda r: r.node_id)
+            dead = sorted(
+                (rec for rec, _ in self._tombstones.values()),
+                key=lambda r: r.node_id,
+            )
             return {
                 "epoch": self._epoch,
                 "master": live[0].node_id if live else None,
@@ -111,6 +176,27 @@ class NodeRegistry:
                     {"node_id": r.node_id, "host": r.host, "port": r.port}
                     for r in live
                 ],
+                "roster": [
+                    {
+                        "node_id": r.node_id,
+                        "host": r.host,
+                        "port": r.port,
+                        "live": True,
+                    }
+                    for r in live
+                ]
+                + [
+                    {
+                        "node_id": r.node_id,
+                        "host": r.host,
+                        "port": r.port,
+                        "live": False,
+                    }
+                    for r in dead
+                ],
+                "replication_factor": self.replication_factor,
+                "promotions": self.promotions,
+                "reports": dict(self._reports),
             }
 
     # -- local accessors ------------------------------------------------
@@ -137,6 +223,37 @@ class NodeRegistry:
         live = self.live_members()
         return live[0].node_id if live else None
 
+    def replica_lag(self) -> dict[str, dict[str, int]]:
+        """Per-node per-peer delta lag from the latest heartbeat reports."""
+        with self._lock:
+            return {
+                node_id: dict(report.get("lag", {}))
+                for node_id, report in self._reports.items()
+            }
+
+    def publish_metrics(self, metrics) -> None:
+        """Export the heartbeat reports as gauges on a MetricsRegistry.
+
+        Uses the same ``replication_lag_ops`` family the sim-layer
+        :class:`~repro.storage.replication.ReplicatedKVCluster` publishes,
+        with ``layer="net"`` — one dashboard query covers both layers.
+        """
+        with self._lock:
+            reports = {k: dict(v) for k, v in self._reports.items()}
+            promotions = self.promotions
+        for node_id, report in reports.items():
+            for peer, depth in report.get("lag", {}).items():
+                metrics.gauge(
+                    "replication_lag_ops", layer="net", node=node_id, peer=peer
+                ).set(depth)
+            metrics.gauge(
+                "replication_handoff_depth", node=node_id
+            ).set(report.get("handoff_depth", 0))
+            metrics.gauge(
+                "replication_repair_bytes", node=node_id
+            ).set(report.get("repair_bytes", 0))
+        metrics.gauge("replication_promotions").set(promotions)
+
     def _sweep_locked(self, now_ms: float) -> list[str]:
         stale = [
             node_id
@@ -144,11 +261,31 @@ class NodeRegistry:
             if now_ms - record.last_heartbeat_ms > self.ttl_ms
         ]
         for node_id in stale:
-            del self._members[node_id]
+            record = self._members.pop(node_id)
+            self._reports.pop(node_id, None)
+            self._tombstones[node_id] = (record, now_ms)
         if stale:
             self.evictions += len(stale)
             self._epoch += 1
+            if self.replication_factor > 1 and self._members:
+                self.promotions += len(stale)
+                for node_id in stale:
+                    self._log_promotion_locked(node_id)
+        expired = [
+            node_id
+            for node_id, (_, evicted_ms) in self._tombstones.items()
+            if now_ms - evicted_ms > self.tombstone_ttl_ms
+        ]
+        for node_id in expired:
+            del self._tombstones[node_id]
+        if expired:
+            # Placement finally forgets the node; workers rebuild rings.
+            self._epoch += 1
         return stale
+
+    def _log_promotion_locked(self, node_id: str) -> None:
+        self.promotion_log.append((node_id, self._epoch))
+        del self.promotion_log[:-100]
 
 
 class RegistryServer:

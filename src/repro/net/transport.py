@@ -59,6 +59,18 @@ ADMIN_METHODS = frozenset(
     }
 )
 
+#: Worker-to-worker replication surface: delta apply, anti-entropy digest
+#: exchange, and the stats the failover bench and fleet reports poll.
+REPLICATION_METHODS = frozenset(
+    {
+        "replicate_apply",
+        "repair_digests",
+        "repair_install",
+        "repair_now",
+        "replication_stats",
+    }
+)
+
 
 class Transport(ABC):
     """One client-side channel to one node, whatever the medium."""
@@ -279,7 +291,11 @@ class RemoteNode:
         return self.transport.node_id
 
     def __getattr__(self, name: str) -> Any:
-        if name in RPC_METHODS or name in ADMIN_METHODS:
+        if (
+            name in RPC_METHODS
+            or name in ADMIN_METHODS
+            or name in REPLICATION_METHODS
+        ):
             transport = self.transport
 
             def call(*args: Any, **kwargs: Any) -> Any:

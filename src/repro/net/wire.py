@@ -148,6 +148,65 @@ _T_TIMERANGE = 11
 _T_SORTTYPE = 12
 _T_FEATURE_RESULT = 13
 _T_BATCH_KEY_RESULT = 14
+_T_WRITE_DELTA = 15
+
+@dataclass(frozen=True)
+class WriteDelta:
+    """One replicated write, sequence-numbered by its origin shard.
+
+    This is the Monolith-style delta unit: the exact logical write the
+    primary applied, not the profile image it produced, so replication
+    bytes scale with the change rate rather than profile size.  ``seq``
+    is monotonic per origin worker; replicas keep a per-origin cursor and
+    drop anything at or below it, which makes retransmits idempotent.
+    """
+
+    seq: int
+    profile_id: int
+    timestamp_ms: int
+    slot: int
+    type_id: int
+    fid: int
+    counts: tuple[int, ...]
+
+
+def _encode_write_delta(out: bytearray, delta: WriteDelta) -> None:
+    write_varint(out, delta.seq)
+    write_varint(out, delta.profile_id)
+    write_varint(out, delta.timestamp_ms)
+    write_varint(out, delta.slot)
+    write_varint(out, delta.type_id)
+    write_varint(out, delta.fid)
+    write_varint(out, len(delta.counts))
+    for count in delta.counts:
+        write_varint(out, zigzag_encode(count))
+
+
+def _decode_write_delta(data: bytes, pos: int) -> tuple[WriteDelta, int]:
+    seq, pos = read_varint(data, pos)
+    profile_id, pos = read_varint(data, pos)
+    timestamp_ms, pos = read_varint(data, pos)
+    slot, pos = read_varint(data, pos)
+    type_id, pos = read_varint(data, pos)
+    fid, pos = read_varint(data, pos)
+    n_counts, pos = read_varint(data, pos)
+    counts = []
+    for _ in range(n_counts):
+        encoded, pos = read_varint(data, pos)
+        counts.append(zigzag_decode(encoded))
+    return (
+        WriteDelta(seq, profile_id, timestamp_ms, slot, type_id, fid,
+                   tuple(counts)),
+        pos,
+    )
+
+
+def write_delta_wire_bytes(delta: WriteDelta) -> int:
+    """Encoded size of one delta — the replication-bytes accounting unit."""
+    out = bytearray()
+    _encode_write_delta(out, delta)
+    return len(out) + 1  # + the type tag
+
 
 _TIMERANGE_KINDS = (
     TimeRangeKind.CURRENT,
@@ -192,6 +251,9 @@ def encode_value(out: bytearray, value: Any) -> None:
     elif isinstance(value, BatchKeyResult):
         out.append(_T_BATCH_KEY_RESULT)
         _encode_batch_key_result(out, value)
+    elif isinstance(value, WriteDelta):
+        out.append(_T_WRITE_DELTA)
+        _encode_write_delta(out, value)
     elif isinstance(value, list):
         out.append(_T_LIST)
         write_varint(out, len(value))
@@ -372,6 +434,8 @@ def _decode_value(data: bytes, pos: int) -> tuple[Any, int]:
         return _decode_feature_result(data, pos)
     if tag == _T_BATCH_KEY_RESULT:
         return _decode_batch_key_result(data, pos)
+    if tag == _T_WRITE_DELTA:
+        return _decode_write_delta(data, pos)
     raise WireCodecError(f"unknown value tag {tag}")
 
 

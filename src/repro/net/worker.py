@@ -8,14 +8,19 @@ Handlers run on a small thread pool (the node stack is thread-safe and
 the real work releases the GIL in I/O and numpy), while the event loop
 stays free for framing and new connections.
 
-Two background duties run on the loop:
+Four background duties run on the loop:
 
 * **maintenance** — drain the isolation write table and run one cache
   cycle (which also drives periodic checkpoints) every
   ``maintenance_ms``;
 * **heartbeat** — register with the node registry and refresh liveness
-  every ``heartbeat_ms``; a rejected heartbeat (stale generation after an
-  eviction) falls back to re-registration.
+  every ``heartbeat_ms``, piggybacking the replication lag report and
+  adopting the fresh membership roster; a rejected heartbeat (stale
+  generation after an eviction) falls back to re-registration;
+* **replication shipping** — drain the per-peer delta queues (see
+  :mod:`repro.net.replication`) every ``replication_ms``;
+* **anti-entropy repair** — one digest-exchange round against the next
+  live peer every ``repair_ms``.
 
 Graceful shutdown — SIGTERM or the ``prepare_shutdown`` admin RPC — is
 strictly ordered so no acked write can be lost: stop accepting, drain
@@ -43,7 +48,13 @@ from ..server.recovery import NodeDurability
 from ..storage.filestore import FileKVStore
 from ..storage.wal import FileLogFile, WriteAheadLog
 from . import wire
-from .transport import ADMIN_METHODS, RPC_METHODS
+from .replication import WorkerReplication
+from .transport import (
+    ADMIN_METHODS,
+    REPLICATION_METHODS,
+    RPC_METHODS,
+    SocketTransport,
+)
 
 
 def build_durable_node(
@@ -98,6 +109,10 @@ class WorkerServer:
         maintenance_ms: float = 200.0,
         drain_timeout_ms: float = 5_000.0,
         handler_threads: int = 4,
+        replication_factor: int = 0,
+        replication_ms: float = 50.0,
+        repair_ms: float = 2_000.0,
+        data_dir: str | Path | None = None,
     ) -> None:
         self.node = node
         self.host = host
@@ -107,6 +122,16 @@ class WorkerServer:
         self.heartbeat_ms = heartbeat_ms
         self.maintenance_ms = maintenance_ms
         self.drain_timeout_ms = drain_timeout_ms
+        self.replication_ms = replication_ms
+        self.repair_ms = repair_ms
+        self.replication = WorkerReplication(
+            node,
+            factor=replication_factor,
+            data_dir=data_dir,
+            transport_factory=lambda node_id, host_, port_: SocketTransport(
+                node_id, host_, port_, call_timeout_ms=2_000.0, pool_size=1
+            ),
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=handler_threads, thread_name_prefix="ips-worker"
         )
@@ -189,6 +214,8 @@ class WorkerServer:
         tasks = [loop.create_task(self._maintenance_loop())]
         if self.registry_host is not None and self.registry_port is not None:
             tasks.append(loop.create_task(self._heartbeat_loop()))
+            tasks.append(loop.create_task(self._replication_loop()))
+            tasks.append(loop.create_task(self._repair_loop()))
         self._ready.set()
         print(f"READY {self.host} {self.port}", flush=True)
         await self._shutdown_event.wait()
@@ -202,6 +229,11 @@ class WorkerServer:
         for task in tasks:
             task.cancel()
         await asyncio.gather(*tasks, return_exceptions=True)
+        # A graceful leaver hands its last deltas to the surviving owners
+        # before it drops out of the roster — otherwise the final window
+        # of writes would exist nowhere but its own (departing) disk.
+        if self.replication.enabled:
+            await loop.run_in_executor(None, self._final_replication_drain)
         if self.registry_host is not None and self.registry_port is not None:
             try:
                 await self._registry_call("deregister", self.node.node_id)
@@ -215,7 +247,20 @@ class WorkerServer:
         self._pool.shutdown(wait=False)
         self.shut_down_cleanly = True
 
+    def _final_replication_drain(self, budget_s: float = 3.0) -> None:
+        deadline = perf_ms() + budget_s * 1_000.0
+        while perf_ms() < deadline:
+            try:
+                shipped = self.replication.ship_once()
+            except Exception:  # noqa: BLE001 - peers may be gone too
+                return
+            if shipped == 0:
+                # Either drained, or every remaining peer is unreachable;
+                # both end the handoff — repair owes the rest.
+                return
+
     def _close_node(self) -> None:
+        self.replication.close()
         self.node.shutdown()  # merge + flush_all + final checkpoint
         if self.node.durability is not None:
             self.node.durability.close()
@@ -283,10 +328,34 @@ class WorkerServer:
 
     def _invoke(self, method: str, args: tuple, kwargs: dict):
         if method in RPC_METHODS:
-            return getattr(self.node, method)(*args, **kwargs)
+            result = getattr(self.node, method)(*args, **kwargs)
+            if (
+                self.replication.enabled
+                and method in ("add_profile", "add_profiles")
+                and kwargs.get("caller") != "replication"
+            ):
+                # The write was acked (WAL-committed) — now fan the delta
+                # out to the key's other owners, asynchronously.
+                self._replicate_write(method, args)
+            return result
+        if method in REPLICATION_METHODS:
+            return getattr(self, f"_repl_{method}")(*args, **kwargs)
         if method in ADMIN_METHODS:
             return getattr(self, f"_admin_{method}")(*args, **kwargs)
         raise wire.WireCodecError(f"unknown method {method!r}")
+
+    def _replicate_write(self, method: str, args: tuple) -> None:
+        if method == "add_profile":
+            profile_id, timestamp_ms, slot, type_id, fid, counts = args[:6]
+            self.replication.on_client_write(
+                profile_id, timestamp_ms, slot, type_id, fid, counts
+            )
+        else:  # add_profiles: one delta per (fid, counts) pair
+            profile_id, timestamp_ms, slot, type_id, fids, counts_list = args[:6]
+            for fid, counts in zip(fids, counts_list):
+                self.replication.on_client_write(
+                    profile_id, timestamp_ms, slot, type_id, fid, counts
+                )
 
     # ------------------------------------------------------------------
     # Admin surface
@@ -312,6 +381,8 @@ class WorkerServer:
             wal = node.durability.wal
             stats["wal_last_sequence"] = wal.last_sequence
             stats["wal_appends"] = wal.stats.appends
+        if self.replication.enabled:
+            stats["replication"] = self.replication.stats()
         return stats
 
     def _admin_checkpoint_now(self) -> dict:
@@ -324,6 +395,31 @@ class WorkerServer:
                 else 0
             ),
         }
+
+    # ------------------------------------------------------------------
+    # Replication surface (worker-to-worker + bench/ops introspection)
+    # ------------------------------------------------------------------
+
+    def _repl_replicate_apply(self, origin: str, deltas: list) -> dict:
+        return self.replication.apply_remote(origin, deltas)
+
+    def _repl_repair_digests(self, profile_ids: list) -> dict:
+        return self.replication.repair_digests(list(profile_ids))
+
+    def _repl_repair_install(self, profile_id: int, blobs: list) -> dict:
+        return self.replication.repair_install(profile_id, list(blobs))
+
+    def _repl_repair_now(self, rounds: int = 1) -> dict:
+        """Run repair rounds synchronously (bench/test convergence helper)."""
+        total = {"keys": 0, "shipped": 0, "bytes": 0}
+        for _ in range(max(1, int(rounds))):
+            result = self.replication.repair_round()
+            for key in total:
+                total[key] += result.get(key) or 0
+        return total
+
+    def _repl_replication_stats(self) -> dict:
+        return self.replication.stats()
 
     def _admin_prepare_shutdown(self) -> dict:
         """Ack first, then run the same graceful sequence as SIGTERM."""
@@ -374,16 +470,55 @@ class WorkerServer:
                     generation = reply["generation"]
                 else:
                     alive = await self._registry_call(
-                        "heartbeat", self.node.node_id, generation
+                        "heartbeat",
+                        self.node.node_id,
+                        generation,
+                        report=self.replication.heartbeat_report(),
                     )
                     if not alive:
                         # Evicted (e.g. a long GC pause): re-register with
                         # a fresh generation instead of going zombie.
                         generation = None
                         continue
+                # Every beat also refreshes the replication roster — the
+                # placement ring over live members + tombstones.  Done on
+                # the register path too, so a worker knows its owner sets
+                # before the first client write can land.
+                snapshot = await self._registry_call("members")
+                self.replication.update_membership(snapshot)
             except (OSError, ConnectionError, wire.WireCodecError):
                 pass  # registry temporarily unreachable: retry next tick
             await asyncio.sleep(self.heartbeat_ms / 1000.0)
+
+    async def _replication_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.replication_ms / 1000.0)
+            if not self.replication.enabled:
+                continue
+            try:
+                await loop.run_in_executor(
+                    self._pool, self.replication.ship_once
+                )
+            except RuntimeError:
+                return  # pool shut down under us mid-exit
+            except Exception:  # noqa: BLE001 - keep the loop alive
+                pass
+
+    async def _repair_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.repair_ms / 1000.0)
+            if not self.replication.enabled:
+                continue
+            try:
+                await loop.run_in_executor(
+                    self._pool, self.replication.repair_round
+                )
+            except RuntimeError:
+                return
+            except Exception:  # noqa: BLE001 - keep the loop alive
+                pass
 
     async def _maintenance_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -422,6 +557,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--heartbeat-ms", type=float, default=500.0)
     parser.add_argument("--maintenance-ms", type=float, default=200.0)
     parser.add_argument("--handler-threads", type=int, default=4)
+    parser.add_argument(
+        "--replication-factor", type=int, default=0,
+        help="copies per key range; 0 adopts the registry's factor",
+    )
+    parser.add_argument("--replication-ms", type=float, default=50.0)
+    parser.add_argument("--repair-ms", type=float, default=2_000.0)
     args = parser.parse_args(argv)
 
     node = build_durable_node(
@@ -441,6 +582,10 @@ def main(argv: list[str] | None = None) -> int:
         heartbeat_ms=args.heartbeat_ms,
         maintenance_ms=args.maintenance_ms,
         handler_threads=args.handler_threads,
+        replication_factor=args.replication_factor,
+        replication_ms=args.replication_ms,
+        repair_ms=args.repair_ms,
+        data_dir=args.data_dir,
     )
 
     def _on_sigterm(signum, frame) -> None:  # noqa: ARG001

@@ -24,7 +24,7 @@ from .persistence import (
     PersistenceManager,
     PersistenceStats,
 )
-from .replication import ReplicatedKVCluster
+from .replication import ReplicatedKVCluster, ReplicationOp
 from .serialization import (
     ProfileCodec,
     deserialize_profile,
@@ -55,6 +55,7 @@ __all__ = [
     "ProfileCodec",
     "ReplayReport",
     "ReplicatedKVCluster",
+    "ReplicationOp",
     "VersionedValue",
     "WALRecord",
     "WriteAheadLog",

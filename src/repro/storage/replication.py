@@ -11,6 +11,16 @@ a configurable replication lag measured in *applied operations*: writes go
 to the master immediately and are queued per slave, and :meth:`pump`
 applies queued operations (all of them by default, or a bounded number to
 simulate lag).
+
+The op model is shared with the process-cluster replication layer
+(:mod:`repro.net.replication`): every op carries a **monotonic sequence
+number** assigned at the master, each slave tracks the highest sequence it
+has applied, and lag is observable both as queued ops and as a sequence
+gap.  Pass a :class:`~repro.obs.registry.MetricsRegistry` to surface
+per-slave lag as ``replication_lag_ops{layer="sim",peer=<region>}``
+gauges — the same metric family the net-layer workers report through the
+node registry, so the dashboard and SLO layer read sim and process lag
+identically.
 """
 
 from __future__ import annotations
@@ -22,9 +32,16 @@ from dataclasses import dataclass
 from ..errors import StorageError
 from .kvstore import InMemoryKVStore, KVStore
 
+#: Gauge family shared between this sim layer (``layer="sim"``) and the
+#: process-cluster replication reports (``layer="net"``).
+REPLICATION_LAG_GAUGE = "replication_lag_ops"
 
-@dataclass
-class _ReplicationOp:
+
+@dataclass(frozen=True)
+class ReplicationOp:
+    """One sequence-numbered replication operation (shared op model)."""
+
+    seq: int
     key: bytes
     value: bytes | None  # None encodes a delete.
 
@@ -33,14 +50,21 @@ class _SlaveHandle:
     def __init__(self, region: str) -> None:
         self.region = region
         self.store = InMemoryKVStore()
-        self.queue: deque[_ReplicationOp] = deque()
+        self.queue: deque[ReplicationOp] = deque()
         self.applied_ops = 0
+        #: Highest sequence number applied to this slave's store.
+        self.applied_seq = 0
 
 
 class ReplicatedKVCluster:
     """One master store plus per-region read-only slaves."""
 
-    def __init__(self, regions: list[str], master_region: str) -> None:
+    def __init__(
+        self,
+        regions: list[str],
+        master_region: str,
+        metrics=None,
+    ) -> None:
         if master_region not in regions:
             raise StorageError(
                 f"master region {master_region!r} not in regions {regions}"
@@ -53,10 +77,20 @@ class ReplicatedKVCluster:
             if region != master_region
         }
         self._lock = threading.Lock()
+        #: Monotonic sequence of the newest op written through the master.
+        self.last_seq = 0
         #: When set, caps ops applied per slave per :meth:`pump` call — the
         #: chaos engine's replica-lag-spike knob (``0`` stalls replication
         #: entirely, ``None`` removes the throttle).
         self._pump_throttle: int | None = None
+        self._lag_gauges = {}
+        if metrics is not None:
+            self._lag_gauges = {
+                region: metrics.gauge(
+                    REPLICATION_LAG_GAUGE, layer="sim", peer=region
+                )
+                for region in self._slaves
+            }
 
     # -- write path (master only) -----------------------------------------
 
@@ -102,9 +136,11 @@ class ReplicatedKVCluster:
                 else:
                     slave.store.set(op.key, op.value)
                 slave.applied_ops += 1
+                slave.applied_seq = op.seq
                 applied += 1
                 if budget is not None:
                     budget -= 1
+            self._publish_lag(slave)
         return applied
 
     def set_pump_throttle(self, max_ops: int | None) -> None:
@@ -138,10 +174,29 @@ class ReplicatedKVCluster:
             return 0
         return len(self._slaves[region].queue)
 
+    def applied_seq(self, region: str) -> int:
+        """Highest master sequence number a slave has applied."""
+        if region == self.master_region:
+            return self.last_seq
+        return self._slaves[region].applied_seq
+
+    def lag_snapshot(self) -> dict[str, int]:
+        """Per-slave queued-op lag, the shape the fleet reports use."""
+        return {region: len(s.queue) for region, s in self._slaves.items()}
+
+    def _publish_lag(self, slave: _SlaveHandle) -> None:
+        gauge = self._lag_gauges.get(slave.region)
+        if gauge is not None:
+            gauge.set(len(slave.queue))
+
     def _enqueue(self, key: bytes, value: bytes | None) -> None:
         with self._lock:
+            self.last_seq += 1
+            op = ReplicationOp(self.last_seq, key, value)
             for slave in self._slaves.values():
-                slave.queue.append(_ReplicationOp(key, value))
+                slave.queue.append(op)
+        for slave in self._slaves.values():
+            self._publish_lag(slave)
 
 
 class _ReplicatingWriter:

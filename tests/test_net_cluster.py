@@ -273,3 +273,187 @@ class TestChaosFailover:
                     kind="node_crash", target=None,
                 )
             )
+
+
+def _converge(cluster: ProcessCluster, max_sweeps: int = 20) -> int:
+    """Drain delta queues, then repair until two peer sweeps ship zero.
+
+    ``repair_round`` round-robins over live peers, so one zero-byte round
+    only proves the peer *polled that round* was in sync.  A sweep of
+    ``live - 1`` rounds covers every peer, and two clean sweeps in a row
+    (the background repair loop can interleave and skew the rotation)
+    mean the fleet is converged.
+    """
+    cluster.wait_for_replication_drain(20.0)
+    total = 0
+    clean = 0
+    for _ in range(max_sweeps):
+        live = len(cluster.replication_stats())
+        shipped = sum(
+            sweep_stats.get("bytes", 0)
+            for sweep_stats in cluster.repair_now(max(1, live - 1)).values()
+        )
+        total += shipped
+        clean = clean + 1 if shipped == 0 else 0
+        if clean >= 2:
+            return total
+    raise AssertionError(
+        f"repair did not converge in {max_sweeps} sweeps ({total} bytes)"
+    )
+
+
+class TestReplicatedFailover:
+    """``replication_factor=2``: §III-G stale-but-available over real processes.
+
+    The roster ring (live members plus tombstones) places one primary and
+    one replica per key; the live ring routes clients, so the failover
+    successor of a dead primary *is* its replica and promotion is pure
+    registry bookkeeping.  These tests pin the layers the failover bench
+    exercises end to end: stable per-node data dirs, replica reads while
+    the primary corpse is still cold, hinted handoff on rejoin, and
+    anti-entropy bootstrap of a fresh joiner.
+    """
+
+    def test_restart_reuses_stable_data_dir(self, make_cluster):
+        """Satellite contract: data dirs are keyed by node id, not spawn order."""
+        cluster = make_cluster(2, replication_factor=2)
+        client = cluster.client()
+        now = _now_ms()
+        for profile_id in range(20):
+            _write(client, profile_id, now, count=3)
+        registry = cluster.registry_server.registry
+        old_port = {
+            m["node_id"]: m["port"] for m in registry.members()["members"]
+        }["w01"]
+        cluster.kill_worker("w01")
+        before = set(p.name for p in (cluster.data_root / "w01").iterdir())
+        cluster.restart_worker("w01")
+        _poll(
+            lambda: any(
+                m["node_id"] == "w01" and m["port"] != old_port
+                for m in registry.members()["members"]
+            ),
+            15.0, "the restarted worker to re-register",
+        )
+        # The restart reopened the same dir — no second dir was minted and
+        # the WAL/state files written by the first incarnation are intact.
+        worker_dirs = sorted(
+            p.name for p in cluster.data_root.iterdir()
+            if p.is_dir() and p.name.startswith("w")
+        )
+        assert worker_dirs == ["w00", "w01"]
+        after = set(p.name for p in (cluster.data_root / "w01").iterdir())
+        assert before <= after
+        served = _read_ok(cluster.client(), range(20), _window(now))
+        assert sorted(served) == list(range(20))
+
+    def test_add_worker_never_reuses_a_dead_workers_id(self, make_cluster):
+        cluster = make_cluster(2)
+        registry = cluster.registry_server.registry
+        cluster.kill_worker("w01")
+        # The corpse might still rejoin over its own data dir, so the
+        # joiner must be allocated *past* it, never in its place.
+        assert cluster.add_worker() == "w02"
+        _poll(
+            lambda: "w02" in [
+                m["node_id"] for m in registry.members()["members"]
+            ],
+            10.0, "the joiner to register",
+        )
+        assert (cluster.data_root / "w01").is_dir()
+        assert (cluster.data_root / "w02").is_dir()
+
+    def test_replica_serves_victims_range_while_primary_dead(
+        self, make_cluster
+    ):
+        """No restart, no repair: the replica alone must keep every key lit."""
+        cluster = make_cluster(3, replication_factor=2)
+        client = cluster.client(
+            resilience=ResilienceConfig(deadline_ms=4_000.0)
+        )
+        now = _now_ms()
+        for profile_id in range(40):
+            _write(client, profile_id, now)
+        time.sleep(MERGE_WAIT_S)
+        _converge(cluster)
+        registry = cluster.registry_server.registry
+        promotions_before = registry.promotions
+        cluster.kill_worker(cluster.primary_for(0))
+        _poll(
+            lambda: len(registry.members()["members"]) == 2,
+            10.0, "TTL eviction of the dead primary",
+        )
+        served = _read_ok(client, range(40), _window(now))
+        assert sorted(served) == list(range(40))
+        # Eviction with live replicas is a promotion, not an outage.
+        assert registry.promotions > promotions_before
+
+    def test_hinted_handoff_drains_into_the_rejoining_worker(
+        self, make_cluster
+    ):
+        cluster = make_cluster(2, replication_factor=2)
+        client = cluster.client(
+            resilience=ResilienceConfig(deadline_ms=4_000.0)
+        )
+        registry = cluster.registry_server.registry
+        cluster.kill_worker("w01")
+        _poll(
+            lambda: [m["node_id"] for m in registry.members()["members"]]
+            == ["w00"],
+            10.0, "TTL eviction of the killed worker",
+        )
+        time.sleep(MERGE_WAIT_S)  # survivor's roster view catches up
+        now = _now_ms()
+        for profile_id in range(10):
+            _write(client, profile_id, now)
+        # The dead peer still owns the keys on the roster ring, so its
+        # deltas queue as hints instead of being dropped.
+        _poll(
+            lambda: cluster.replication_stats()["w00"]["handoff_depth"] >= 10,
+            10.0, "writes to queue as hints for the dead peer",
+        )
+        cluster.restart_worker("w01")
+        cluster.wait_for_members(2)
+        cluster.wait_for_replication_drain(20.0)
+
+        def drained():
+            stats = cluster.replication_stats()
+            return (
+                stats["w00"]["handoff_depth"] == 0
+                and stats["w00"]["hints_drained"] >= 10
+                and stats.get("w01", {}).get("applies", 0) >= 10
+            )
+
+        _poll(drained, 15.0, "hinted handoff to drain into the rejoiner")
+
+    def test_join_then_crash_keeps_every_key_lit(self, make_cluster):
+        """Anti-entropy bootstraps the joiner, so a crash right after a
+        rebalance still leaves every range with a live data holder."""
+        cluster = make_cluster(2, replication_factor=2)
+        client = cluster.client(
+            resilience=ResilienceConfig(deadline_ms=4_000.0)
+        )
+        now = _now_ms()
+        for profile_id in range(40):
+            _write(client, profile_id, now)
+        time.sleep(MERGE_WAIT_S)
+        _converge(cluster)
+        joiner = cluster.add_worker()
+        cluster.wait_for_members(3)
+        time.sleep(MERGE_WAIT_S)  # membership reaches every worker
+        _converge(cluster)  # bootstrap the joiner's share of moved ranges
+        installs = cluster.replication_stats()[joiner]["installs"]
+        assert installs > 0, "repair never bootstrapped the joiner"
+        # Mid-churn traffic keeps flowing and replicating.
+        for profile_id in range(40, 50):
+            _write(client, profile_id, now)
+        time.sleep(MERGE_WAIT_S)
+        _converge(cluster)
+        registry = cluster.registry_server.registry
+        cluster.kill_worker("w00")
+        _poll(
+            lambda: len(registry.members()["members"]) == 2,
+            10.0, "TTL eviction of the crashed worker",
+        )
+        served = _read_ok(client, range(50), _window(now))
+        assert sorted(served) == list(range(50))

@@ -215,3 +215,172 @@ class TestNetRegionRebalance:
         for pid in range(100):
             region.node_for(pid)
         assert region.refreshes == refreshes  # epoch never moved
+
+
+@pytest.fixture
+def replicated(clock: SimulatedClock) -> NodeRegistry:
+    return NodeRegistry(
+        clock=clock, ttl_ms=1_000.0, replication_factor=2,
+        tombstone_ttl_ms=10_000.0,
+    )
+
+
+class TestRosterAndPromotion:
+    def test_factor_validated_and_published(self, clock):
+        with pytest.raises(ValueError, match="replication_factor"):
+            NodeRegistry(clock=clock, replication_factor=0)
+        registry = NodeRegistry(clock=clock, replication_factor=2)
+        reply = registry.register("w0", "h", 1)
+        assert reply["replication_factor"] == 2
+        assert registry.members()["replication_factor"] == 2
+
+    def test_eviction_tombstones_keep_the_roster_stable(
+        self, replicated, clock
+    ):
+        replicated.register("w0", "h", 1)
+        generation = replicated.register("w1", "h", 2)["generation"]
+        clock.advance(800)
+        replicated.heartbeat("w1", generation)
+        clock.advance(300)  # w0 stale
+        snapshot = replicated.members()
+        assert [m["node_id"] for m in snapshot["members"]] == ["w1"]
+        roster = {e["node_id"]: e["live"] for e in snapshot["roster"]}
+        assert roster == {"w0": False, "w1": True}
+
+    def test_eviction_with_survivors_counts_a_promotion(
+        self, replicated, clock
+    ):
+        replicated.register("w0", "h", 1)
+        generation = replicated.register("w1", "h", 2)["generation"]
+        clock.advance(800)
+        replicated.heartbeat("w1", generation)
+        clock.advance(300)
+        replicated.sweep()
+        assert replicated.promotions == 1
+        assert replicated.promotion_log[-1][0] == "w0"
+        assert replicated.members()["promotions"] == 1
+
+    def test_last_member_dying_is_an_outage_not_a_promotion(
+        self, replicated, clock
+    ):
+        replicated.register("w0", "h", 1)
+        clock.advance(2_000)
+        replicated.sweep()
+        assert replicated.evictions == 1
+        assert replicated.promotions == 0
+
+    def test_reregistration_clears_the_tombstone(self, replicated, clock):
+        replicated.register("w0", "h", 1)
+        replicated.register("w1", "h", 2)
+        clock.advance(2_000)
+        replicated.sweep()  # both evicted
+        replicated.register("w0", "h", 1)
+        roster = {
+            e["node_id"]: e["live"]
+            for e in replicated.members()["roster"]
+        }
+        assert roster == {"w0": True, "w1": False}
+
+    def test_tombstone_expires_after_ttl_and_bumps_epoch(
+        self, replicated, clock
+    ):
+        replicated.register("w0", "h", 1)
+        generation = replicated.register("w1", "h", 2)["generation"]
+        clock.advance(1_100)
+        replicated.heartbeat("w1", generation)  # sweeps: w0 tombstoned
+        assert any(
+            e["node_id"] == "w0" and not e["live"]
+            for e in replicated.members()["roster"]
+        )
+        epoch_before = replicated.epoch
+        # Keep w1 alive in sub-TTL steps until the tombstone TTL (10s)
+        # elapses; placement then finally forgets w0.
+        for _ in range(14):
+            clock.advance(800)
+            replicated.heartbeat("w1", generation)
+        assert all(
+            e["node_id"] != "w0" for e in replicated.members()["roster"]
+        )
+        assert replicated.epoch > epoch_before
+
+    def test_heartbeat_reports_republished_and_gauged(self, replicated):
+        from repro.obs.registry import MetricsRegistry
+
+        generation = replicated.register("w0", "h", 1)["generation"]
+        replicated.register("w1", "h", 2)
+        report = {
+            "lag": {"w1": 7}, "handoff_depth": 3, "last_seq": 40,
+            "delta_bytes": 900, "repair_bytes": 120,
+        }
+        assert replicated.heartbeat("w0", generation, report=report)
+        assert replicated.members()["reports"]["w0"] == report
+        assert replicated.replica_lag() == {"w0": {"w1": 7}}
+        metrics = MetricsRegistry()
+        replicated.publish_metrics(metrics)
+        lag = metrics.gauge(
+            "replication_lag_ops", layer="net", node="w0", peer="w1"
+        )
+        assert lag.value == 7
+        assert metrics.gauge(
+            "replication_handoff_depth", node="w0"
+        ).value == 3
+
+
+class TestChurnKeepsRangesCovered:
+    """Membership churn with R=2: every range keeps >= 1 live holder."""
+
+    def _owner_sets(self, registry, factor=2, keys=200):
+        from repro.cluster.hashring import ConsistentHashRing
+
+        snapshot = registry.members()
+        ring = ConsistentHashRing(64)
+        for entry in snapshot["roster"]:
+            ring.add_node(entry["node_id"])
+        live = {m["node_id"] for m in snapshot["members"]}
+        return {
+            pid: set(ring.nodes_for(pid, factor))
+            for pid in range(keys)
+        }, live
+
+    def test_join_leave_mid_churn_never_drops_a_range_dark(
+        self, replicated, clock
+    ):
+        generations = {
+            node_id: replicated.register(node_id, "h", 1)["generation"]
+            for node_id in ("w0", "w1", "w2")
+        }
+        previous, live = self._owner_sets(replicated)
+        # Churn: a join, a crash-eviction, and a graceful leave, with the
+        # owner sets recomputed after every step.
+        def beat(*node_ids):
+            for node_id in node_ids:
+                replicated.heartbeat(node_id, generations[node_id])
+
+        generations["w3"] = replicated.register("w3", "h", 4)["generation"]
+
+        def crash_w0():
+            # Survivors beat in sub-TTL steps; w0 falls silent and is
+            # evicted once its last beat is > ttl old.
+            for _ in range(2):
+                clock.advance(600)
+                beat("w1", "w2", "w3")
+
+        steps = [
+            crash_w0,
+            lambda: replicated.deregister("w2"),
+            lambda: (clock.advance(500), beat("w1", "w3")),
+        ]
+        for step in steps:
+            step()
+            owners, live = self._owner_sets(replicated)
+            for pid, owner_set in owners.items():
+                assert owner_set & live, (
+                    f"key {pid} lost every live holder: {owner_set}"
+                )
+                # Placement moves gradually: consecutive owner sets always
+                # overlap, so at least one holder carries the data across
+                # the transition (no epoch where all copies are new).
+                assert owner_set & previous[pid], (
+                    f"key {pid} owner set fully replaced in one epoch"
+                )
+            previous = owners

@@ -80,3 +80,63 @@ class TestReplicationFlow:
         cluster.pump(region="eu")
         assert cluster.read_store("eu").get(b"k") == b"v"
         assert cluster.read_store("asia").get(b"k") is None
+
+
+class TestSequencedLag:
+    """The op model shared with the net layer: monotonic seqs, lag gauges."""
+
+    def test_ops_carry_monotonic_master_sequence(self, cluster):
+        writer = cluster.write_store()
+        writer.set(b"a", b"1")
+        writer.delete(b"a")
+        writer.set(b"b", b"2")
+        assert cluster.last_seq == 3
+        # Same seq on every slave's copy of the same op.
+        eu = cluster._slaves["eu"].queue
+        asia = cluster._slaves["asia"].queue
+        assert [op.seq for op in eu] == [1, 2, 3]
+        assert [op.seq for op in eu] == [op.seq for op in asia]
+
+    def test_applied_seq_tracks_the_pump(self, cluster):
+        writer = cluster.write_store()
+        for index in range(5):
+            writer.set(f"k{index}".encode(), b"v")
+        assert cluster.applied_seq("eu") == 0
+        assert cluster.applied_seq("us") == 5  # master is always caught up
+        cluster.pump(max_ops=2, region="eu")
+        assert cluster.applied_seq("eu") == 2
+        cluster.pump()
+        assert cluster.applied_seq("eu") == 5
+        assert cluster.applied_seq("asia") == 5
+
+    def test_lag_snapshot_has_the_fleet_report_shape(self, cluster):
+        writer = cluster.write_store()
+        writer.set(b"k", b"v")
+        cluster.pump(region="eu")
+        assert cluster.lag_snapshot() == {"eu": 0, "asia": 1}
+
+    def test_lag_published_as_sim_layer_gauges(self):
+        """Same ``replication_lag_ops`` family the net workers report."""
+        from repro.obs.registry import MetricsRegistry
+        from repro.storage.replication import REPLICATION_LAG_GAUGE
+
+        metrics = MetricsRegistry()
+        cluster = ReplicatedKVCluster(
+            ["us", "eu"], master_region="us", metrics=metrics
+        )
+        gauge = metrics.gauge(REPLICATION_LAG_GAUGE, layer="sim", peer="eu")
+        writer = cluster.write_store()
+        writer.set(b"a", b"1")
+        writer.set(b"b", b"2")
+        assert gauge.value == 2.0
+        cluster.pump(max_ops=1)
+        assert gauge.value == 1.0
+        cluster.pump()
+        assert gauge.value == 0.0
+
+    def test_unmetered_cluster_publishes_nothing(self, cluster):
+        """The default cluster stays registry-free (no hidden globals)."""
+        writer = cluster.write_store()
+        writer.set(b"k", b"v")
+        cluster.pump()
+        assert cluster._lag_gauges == {}

@@ -40,7 +40,7 @@ sys.path.insert(0, os.path.join(ROOT, "benchmarks"))
 
 SCHEMA = "bench-history/v1"
 #: This PR's snapshot number; bump per PR so history accumulates.
-SNAPSHOT_NUMBER = 8
+SNAPSHOT_NUMBER = 9
 HISTORY_DIR = os.path.join(ROOT, "benchmarks", "history")
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -191,6 +191,33 @@ def collect_cluster() -> dict[str, dict]:
     }
 
 
+def collect_failover() -> dict[str, dict]:
+    import bench_failover as bench
+
+    result = bench.run_failover(
+        population=96, duration_ms=4_000.0,
+        kill_at_ms=600.0, revert_at_ms=2_800.0, ops_per_round=6,
+    )
+    # Error/empty rates are the availability contract: tight bands.
+    # Bytes-per-delta is the proportionality claim — it is a codec
+    # property, not a perf measurement, so its band is narrow too.
+    return {
+        "failover.error_rate": metric(
+            result["error_rate"], "ratio", "lower", abs_tol=0.01
+        ),
+        "failover.range_empty_reads": metric(
+            result["range_empty"], "reads", "lower", abs_tol=0.0
+        ),
+        "failover.bytes_per_delta": metric(
+            result["bytes_per_delta"], "bytes", "lower",
+            rel_tol=0.3, abs_tol=8.0,
+        ),
+        "failover.hints_drained": metric(
+            result["hints_drained"], "deltas", "higher", rel_tol=0.9
+        ),
+    }
+
+
 COLLECTORS = (
     ("kernels", collect_kernels),
     ("server", collect_server),
@@ -198,6 +225,7 @@ COLLECTORS = (
     ("trace", collect_trace),
     ("availability", collect_availability),
     ("cluster", collect_cluster),
+    ("failover", collect_failover),
 )
 
 

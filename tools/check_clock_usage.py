@@ -40,6 +40,21 @@ ALLOWED = {SOURCE_DIR / "clock.py"}
 #: The one *package* allowed real wall-clock time and asyncio: the
 #: process-per-node cluster (real sockets, real processes, real time).
 NET_REAL_TIME = SOURCE_DIR / "net"
+#: The real-time exemption is a *roster*, not a directory wildcard: every
+#: module under ``src/repro/net/`` must be listed here, so adding a file
+#: to the package is a conscious decision to grant it wall-clock/asyncio
+#: access (the lint fails on unlisted files — and on stale entries).
+NET_MODULES = frozenset(
+    {
+        "__init__.py",
+        "cluster.py",
+        "registry.py",
+        "replication.py",
+        "transport.py",
+        "wire.py",
+        "worker.py",
+    }
+)
 #: Modules that must be *fully* wall-clock-free: any use of the ``time``
 #: module, ``perf_ms``, or ``SystemClock`` fails the lint.  Alert windows
 #: and tail-sampling decisions must depend only on the injected clock.
@@ -130,6 +145,19 @@ def _in_net_package(path: Path) -> bool:
 
 def main() -> int:
     failures = []
+    net_files = {
+        path.name for path in NET_REAL_TIME.glob("*.py")
+    }
+    for name in sorted(net_files - NET_MODULES):
+        failures.append(
+            f"src/repro/net/{name}: not in the NET_MODULES roster — new "
+            "net/ modules must be explicitly enrolled in the real-time "
+            "lint tier (tools/check_clock_usage.py)"
+        )
+    for name in sorted(NET_MODULES - net_files):
+        failures.append(
+            f"src/repro/net/{name}: listed in NET_MODULES but missing"
+        )
     for scan_dir in SCAN_DIRS:
         for path in sorted(scan_dir.rglob("*.py")):
             if not _in_net_package(path):
