@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history bench-cluster bench-cluster-smoke bench-failover bench-failover-smoke net-smoke dash
+.PHONY: check test lint kernel-oracle serialization-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check bench-history bench-cluster bench-cluster-smoke bench-failover bench-failover-smoke net-smoke dash
 
 ## check: lint + tier-1 tests + kernel differential oracle (both backends)
 ## + result-cache invalidation oracle + coverage floors (core + server +
@@ -10,7 +10,7 @@ export PYTHONPATH := src
 ## process-cluster socket smoke (real workers, real SIGKILL failover) +
 ## the replicated-shard failover smoke + the perf-history
 ## snapshot/regression diff.
-check: lint test kernel-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check net-smoke bench-cluster-smoke bench-failover-smoke bench-history
+check: lint test kernel-oracle serialization-oracle invalidation-oracle coverage-core bench-batch bench-kernels bench-trace bench-recovery bench-server chaos crashcheck slo-check net-smoke bench-cluster-smoke bench-failover-smoke bench-history
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,12 @@ kernel-oracle:
 	$(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
 	IPS_KERNEL_BACKEND=python $(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
 	IPS_KERNEL_DISABLE_NUMPY=1 $(PYTHON) -m pytest tests/test_kernel_oracle.py tests/test_kernel_properties.py -q
+
+## serialization-oracle: the zero-copy codec property suites — v2
+## array-native round-trips, v1 dict-era bytes decoding losslessly, and
+## the structured fuzzer over random corpora.
+serialization-oracle:
+	$(PYTHON) -m pytest tests/test_serialization_properties.py tests/test_serialization_fuzz.py tests/test_storage_serialization.py -q
 
 ## invalidation-oracle: the result-cache differential oracle — seeded
 ## interleavings of every mutation path against a cache-disabled node,

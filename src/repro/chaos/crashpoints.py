@@ -54,6 +54,8 @@ from ..errors import SimulatedCrashError
 from ..server.node import IPSNode
 from ..server.recovery import NodeDurability, RecoveryReport
 from ..storage.kvstore import InMemoryKVStore, KVStore, VersionedValue
+from ..storage.compression import decompress
+from ..storage.serialization import RAW_COLUMN_MIN_ROWS, ProfileCodec
 from ..storage.wal import NULL_SITE, MemoryLogFile, WriteAheadLog
 
 NOW = 400 * MILLIS_PER_DAY
@@ -193,10 +195,24 @@ def plan_workload(seed: int) -> WorkloadPlan:
         elif roll < 0.22:
             pid = rng.choice(profile_ids)
             slot, type_id = rng.randrange(1, 3), rng.randrange(0, 2)
+            if rng.random() < 0.45:
+                # Columnar burst: enough distinct fids that the (slot,
+                # type) group crosses RAW_COLUMN_MIN_ROWS, so its v2
+                # encoding is raw int64 column dumps — torn KV/WAL/
+                # checkpoint writes then land mid-memoryview.
+                fids = rng.sample(
+                    range(1, 200),
+                    rng.randrange(
+                        RAW_COLUMN_MIN_ROWS + 4, 2 * RAW_COLUMN_MIN_ROWS + 8
+                    ),
+                )
+            else:
+                fids = [
+                    rng.randrange(1, 40) for _ in range(rng.randrange(2, 6))
+                ]
             batch = [
-                (pid, timestamp, slot, type_id, rng.randrange(1, 40),
-                 (rng.randrange(1, 6),))
-                for _ in range(rng.randrange(2, 6))
+                (pid, timestamp, slot, type_id, fid, (rng.randrange(1, 6),))
+                for fid in fids
             ]
             ops.append(("batch", batch))
         else:
@@ -343,7 +359,15 @@ def choose_crash_plan(
     hits = visits[site]
     hit = rng.randrange(len(hits))
     length = hits[hit]
-    offset = -1 if length < 0 else rng.randrange(length + 1)
+    if length < 0:
+        offset = -1
+    elif length >= 48 and rng.random() < 0.5:
+        # Large payloads carry raw int64 column sections (the zero-copy
+        # v2 encoding); tearing in the interior lands mid-column rather
+        # than in the varint header or the final bytes.
+        offset = rng.randrange(16, length - 15)
+    else:
+        offset = rng.randrange(length + 1)
     return CrashPlan(
         kind="site", site=site, hit=hit, byte_offset=offset,
         flush_tail=flush_tail,
@@ -406,6 +430,42 @@ def _digest(state: dict[int, tuple]) -> str:
     return hashlib.sha256(repr(sorted(state.items())).encode()).hexdigest()[:16]
 
 
+def _count_raw_groups(blob: bytes) -> int:
+    """Raw (zero-copy) column sections inside one persisted blob.
+
+    KV values may be (compressed) whole-profile images, single-slice
+    blobs or unrelated metadata; anything undecodable counts zero.
+    """
+    try:
+        blob = decompress(blob)
+    except Exception:
+        pass  # not a compressed value (e.g. meta records) — try as-is
+    for decode in (ProfileCodec.decode_profile, ProfileCodec.decode_slice):
+        try:
+            decoded = decode(blob)
+        except Exception:
+            continue
+        slices = decoded.slices if hasattr(decoded, "slices") else [decoded]
+        return sum(
+            1
+            for profile_slice in slices
+            for _, instance_set in profile_slice.slots_items()
+            for _, group in instance_set.groups_items()
+            if group.is_columnar and len(group) >= RAW_COLUMN_MIN_ROWS
+        )
+    return 0
+
+
+def count_surviving_raw_sections(store) -> int:
+    """Raw column sections across every value in the (surviving) KV."""
+    total = 0
+    for key in list(store.keys()):
+        value = store.get(key)
+        if isinstance(value, (bytes, bytearray)):
+            total += _count_raw_groups(bytes(value))
+    return total
+
+
 # ----------------------------------------------------------------------
 # One schedule
 # ----------------------------------------------------------------------
@@ -425,6 +485,10 @@ class ScheduleResult:
     ok: bool = False
     failure: str = ""
     state_digest: str = ""
+    #: Raw (zero-copy) v2 column sections in the surviving KV after
+    #: recovery — the harness requires these to occur somewhere across a
+    #: run, or the mid-memoryview tear coverage would be vacuous.
+    raw_sections: int = 0
     report: RecoveryReport | None = field(default=None, repr=False)
 
     def line(self) -> str:
@@ -435,7 +499,7 @@ class ScheduleResult:
             f"sync={self.sync:<6s} fg={int(self.fine_grained)} "
             f"acked={self.acked:3d} inflight={self.inflight} "
             f"replayed={replayed:3d} prefix=+{max(self.matched_prefix, 0)} "
-            f"digest={self.state_digest}"
+            f"raw={self.raw_sections} digest={self.state_digest}"
         )
 
 
@@ -490,6 +554,7 @@ def run_schedule(seed: int) -> ScheduleResult:
     legal = expected_states(plan, acked, inflight)
     recovered = node_state(armed.node, {w[0] for w in acked + inflight})
     result.state_digest = _digest(recovered)
+    result.raw_sections = count_surviving_raw_sections(armed.store)
     for prefix, state in enumerate(legal):
         if recovered == state:
             result.matched_prefix = prefix
@@ -554,6 +619,11 @@ def run_harness(
                 f"seed {seed}: rerun diverged\n  a: {first.line()}\n"
                 f"  b: {rerun.line()}"
             )
+    if results and not any(result.raw_sections for result in results):
+        problems.append(
+            "no raw (zero-copy) v2 column sections reached the KV in any "
+            "schedule — the mid-memoryview torn-write coverage is vacuous"
+        )
     if prove_teeth:
         losses = sum(
             not run_teeth_proof(seed).ok

@@ -257,6 +257,141 @@ class ProfileEngine:
         )
 
     # ------------------------------------------------------------------
+    # Batch read APIs (multi-get)
+    # ------------------------------------------------------------------
+    #
+    # One kernel invocation covers every resident profile of a multi-get
+    # (the Enhanced Batch Query Architecture pass).  Results come back as
+    # ``{profile_id: results}``; ids with no resident profile map to
+    # ``[]`` exactly like the single-profile calls.  Each entry is
+    # byte-identical to the corresponding single call.
+
+    def _resident(self, profile_ids: Sequence[int]):
+        present: dict[int, object] = {}
+        missing: list[int] = []
+        for profile_id in profile_ids:
+            if profile_id in present:
+                continue
+            profile = self.table.get(profile_id)
+            if profile is None:
+                missing.append(profile_id)
+            else:
+                present[profile_id] = profile
+        return present, missing
+
+    def get_profiles_topk(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType = SortType.TOTAL,
+        k: int = 10,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        descending: bool = True,
+        aggregate: str | None = None,
+        stats_map: "dict[int, QueryStats] | None" = None,
+    ) -> dict[int, list[FeatureResult]]:
+        """``get_profiles_topK``: one batched kernel pass over many ids."""
+        present, missing = self._resident(profile_ids)
+        out: dict[int, list[FeatureResult]] = {pid: [] for pid in missing}
+        if present:
+            from .aggregate import get_aggregate
+
+            ids = list(present.keys())
+            stats_list = (
+                [stats_map.get(pid) for pid in ids] if stats_map else None
+            )
+            batched = self.query_engine.top_k_batch(
+                list(present.values()),
+                slot,
+                type_id,
+                time_range,
+                sort_type,
+                k,
+                self.clock.now_ms(),
+                sort_attribute=sort_attribute,
+                sort_weights=sort_weights,
+                descending=descending,
+                aggregate=(
+                    get_aggregate(aggregate) if aggregate is not None else None
+                ),
+                stats_list=stats_list,
+            )
+            out.update(zip(ids, batched))
+        return out
+
+    def get_profiles_filter(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate: FilterFn,
+        stats_map: "dict[int, QueryStats] | None" = None,
+    ) -> dict[int, list[FeatureResult]]:
+        """``get_profiles_filter``: batched predicate reads."""
+        present, missing = self._resident(profile_ids)
+        out: dict[int, list[FeatureResult]] = {pid: [] for pid in missing}
+        if present:
+            ids = list(present.keys())
+            stats_list = (
+                [stats_map.get(pid) for pid in ids] if stats_map else None
+            )
+            batched = self.query_engine.filter_batch(
+                list(present.values()),
+                slot,
+                type_id,
+                time_range,
+                predicate,
+                self.clock.now_ms(),
+                stats_list=stats_list,
+            )
+            out.update(zip(ids, batched))
+        return out
+
+    def get_profiles_decay(
+        self,
+        profile_ids: Sequence[int],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_function: str | DecayFn = "exponential",
+        decay_factor: float = 1.0,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        stats_map: "dict[int, QueryStats] | None" = None,
+    ) -> dict[int, list[FeatureResult]]:
+        """``get_profiles_decay``: batched time-decayed reads."""
+        present, missing = self._resident(profile_ids)
+        out: dict[int, list[FeatureResult]] = {pid: [] for pid in missing}
+        if present:
+            decay_fn = (
+                get_decay(decay_function)
+                if isinstance(decay_function, str)
+                else decay_function
+            )
+            ids = list(present.keys())
+            stats_list = (
+                [stats_map.get(pid) for pid in ids] if stats_map else None
+            )
+            batched = self.query_engine.decay_batch(
+                list(present.values()),
+                slot,
+                type_id,
+                time_range,
+                decay_fn,
+                decay_factor,
+                self.clock.now_ms(),
+                k=k,
+                sort_attribute=sort_attribute,
+                stats_list=stats_list,
+            )
+            out.update(zip(ids, batched))
+        return out
+
+    # ------------------------------------------------------------------
     # Hot reconfiguration (§V-b)
     # ------------------------------------------------------------------
 

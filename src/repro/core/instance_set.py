@@ -4,22 +4,31 @@ In the paper's in-memory layout (Fig. 6), a *Slice* maps slot ids to
 *Instance Sets*, and each Instance Set maps an action-type id to the feature
 stats recorded under that type.  Keeping types separate lets queries narrow
 the search space with ``(slot, type)`` before any merging happens.
+
+Since the columnar-native refactor each type's features live in a
+:class:`~repro.core.columnar.ColumnGroup` — parallel int64 arrays as the
+primary representation.  The historical dict-of-``FeatureStat`` view is
+served by materialise-on-demand adapters (:meth:`features_for_type`,
+:meth:`feature_maps`, :meth:`get`, :meth:`items`): returned stats are
+fresh snapshots, and all mutation flows through :meth:`add`,
+:meth:`merge_from` and :meth:`replace_type`.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from .columnar import ColumnGroup
 from .feature import FeatureStat
 
 
 class InstanceSet:
-    """Map of ``type_id -> {fid -> FeatureStat}`` for one slot."""
+    """Map of ``type_id -> ColumnGroup`` for one slot."""
 
     __slots__ = ("_types",)
 
     def __init__(self) -> None:
-        self._types: dict[int, dict[int, FeatureStat]] = {}
+        self._types: dict[int, ColumnGroup] = {}
 
     def add(
         self,
@@ -30,56 +39,73 @@ class InstanceSet:
         aggregate,
     ) -> FeatureStat:
         """Record counts for a feature, merging with any existing stat."""
-        features = self._types.setdefault(type_id, {})
-        stat = features.get(fid)
-        if stat is None:
-            stat = FeatureStat(fid, counts, timestamp_ms)
-            features[fid] = stat
-        else:
-            stat.merge_counts(counts, aggregate, timestamp_ms)
-        return stat
+        group = self._types.setdefault(type_id, ColumnGroup())
+        return group.add(fid, counts, timestamp_ms, aggregate)
 
     def merge_from(self, other: "InstanceSet", aggregate) -> None:
         """Fold another instance set into this one (used by compaction)."""
-        for type_id, features in other._types.items():
-            mine = self._types.setdefault(type_id, {})
-            for fid, stat in features.items():
-                existing = mine.get(fid)
-                if existing is None:
-                    mine[fid] = stat.copy()
-                else:
-                    existing.merge_counts(
-                        stat.counts, aggregate, stat.last_timestamp_ms
-                    )
+        for type_id, group in other._types.items():
+            mine = self._types.setdefault(type_id, ColumnGroup())
+            mine.merge_from(group, aggregate)
 
     def features_for_type(self, type_id: int | None) -> Iterator[FeatureStat]:
-        """Yield stats under one type, or under all types when ``None``."""
+        """Yield stats under one type, or under all types when ``None``.
+
+        Stats are materialised from the columns — mutating one does not
+        write back; use :meth:`replace_type` to persist edits.
+        """
         if type_id is None:
-            for features in self._types.values():
-                yield from features.values()
+            for group in self._types.values():
+                yield from group.iter_stats()
         else:
-            yield from self._types.get(type_id, {}).values()
+            group = self._types.get(type_id)
+            if group is not None:
+                yield from group.iter_stats()
 
     def feature_maps(self, type_id: int | None) -> list[dict[int, FeatureStat]]:
-        """The internal fid -> stat maps for one type (all when ``None``).
+        """Materialised fid -> stat maps for one type (all when ``None``).
 
-        Bulk read-only accessor for kernel backends: iterating the returned
-        maps' values visits stats in exactly ``features_for_type`` order
-        without per-stat generator overhead.  Callers must not mutate.
+        Compatibility adapter over the column groups: iterating the
+        returned maps' values visits stats in exactly
+        ``features_for_type`` order.  Callers must not mutate.
+        """
+        if type_id is None:
+            return [group.as_dict() for group in self._types.values()]
+        group = self._types.get(type_id)
+        return [group.as_dict()] if group is not None else []
+
+    def column_groups(self, type_id: int | None) -> list[ColumnGroup]:
+        """The primary column groups for one type (all when ``None``).
+
+        This is the kernel/serializer fast path: no per-feature Python
+        objects are created.  Callers must not mutate the arrays.
         """
         if type_id is None:
             return list(self._types.values())
-        features = self._types.get(type_id)
-        return [features] if features else []
+        group = self._types.get(type_id)
+        return [group] if group is not None else []
+
+    def column_group(self, type_id: int) -> ColumnGroup | None:
+        return self._types.get(type_id)
 
     def get(self, type_id: int, fid: int) -> FeatureStat | None:
-        return self._types.get(type_id, {}).get(fid)
+        group = self._types.get(type_id)
+        if group is None:
+            return None
+        return group.get(fid)
 
     def replace_type(self, type_id: int, stats: Iterable[FeatureStat]) -> None:
-        """Replace the feature map of one type (used by shrink)."""
-        features = {stat.fid: stat for stat in stats}
-        if features:
-            self._types[type_id] = features
+        """Replace the feature columns of one type (used by shrink)."""
+        group = ColumnGroup.from_stats(stats)
+        if not group.is_empty():
+            self._types[type_id] = group
+        else:
+            self._types.pop(type_id, None)
+
+    def adopt_group(self, type_id: int, group: ColumnGroup) -> None:
+        """Install a pre-built column group (deserialization fast path)."""
+        if not group.is_empty():
+            self._types[type_id] = group
         else:
             self._types.pop(type_id, None)
 
@@ -88,28 +114,26 @@ class InstanceSet:
         return tuple(self._types.keys())
 
     def feature_count(self) -> int:
-        return sum(len(features) for features in self._types.values())
+        return sum(len(group) for group in self._types.values())
 
     def is_empty(self) -> bool:
         return not self._types
 
     def memory_bytes(self) -> int:
-        total = 48
-        for features in self._types.values():
-            total += 48
-            for stat in features.values():
-                total += stat.memory_bytes()
-        return total
+        return 48 + sum(group.memory_bytes() for group in self._types.values())
 
     def copy(self) -> "InstanceSet":
         duplicate = InstanceSet()
-        for type_id, features in self._types.items():
-            duplicate._types[type_id] = {
-                fid: stat.copy() for fid, stat in features.items()
-            }
+        for type_id, group in self._types.items():
+            duplicate._types[type_id] = group.copy()
         return duplicate
 
     def items(self) -> Iterator[tuple[int, dict[int, FeatureStat]]]:
+        """Compatibility iterator over ``(type_id, {fid: stat})`` views."""
+        for type_id, group in self._types.items():
+            yield type_id, group.as_dict()
+
+    def groups_items(self) -> Iterator[tuple[int, ColumnGroup]]:
         return iter(self._types.items())
 
     def __repr__(self) -> str:

@@ -130,6 +130,98 @@ class KernelBackend(abc.ABC):
         ``k`` when given (otherwise return every merged feature ranked)."""
 
     # ------------------------------------------------------------------
+    # Batch query kernels (multi-get)
+    # ------------------------------------------------------------------
+    #
+    # One call covers every profile of a multi-get.  ``windows`` is
+    # parallel to ``profiles``; ``None`` means the time range resolved to
+    # nothing for that profile (empty result, ``results_returned = 0``,
+    # no slices scanned).  The defaults run the single-profile kernels in
+    # a loop — the reference semantics batch implementations must match
+    # result-for-result and stat-for-stat (the batch differential oracle
+    # enforces this).
+
+    def run_topk_batch(
+        self,
+        profiles: "list[ProfileData]",
+        slot: int,
+        type_id: int | None,
+        windows: "list[ResolvedWindow | None]",
+        reduce_fn: AggregateFn,
+        spec: SortSpec,
+        k: int,
+        descending: bool,
+        stats_list: "list[QueryStats | None]",
+    ) -> "list[list[FeatureResult]]":
+        results = []
+        for profile, window, stats in zip(profiles, windows, stats_list):
+            if window is None:
+                if stats is not None:
+                    stats.results_returned = 0
+                results.append([])
+                continue
+            results.append(
+                self.run_topk(
+                    profile, slot, type_id, window, reduce_fn, spec, k,
+                    descending, stats,
+                )
+            )
+        return results
+
+    def run_filter_batch(
+        self,
+        profiles: "list[ProfileData]",
+        slot: int,
+        type_id: int | None,
+        windows: "list[ResolvedWindow | None]",
+        reduce_fn: AggregateFn,
+        predicate: Callable,
+        stats_list: "list[QueryStats | None]",
+    ) -> "list[list[FeatureResult]]":
+        results = []
+        for profile, window, stats in zip(profiles, windows, stats_list):
+            if window is None:
+                if stats is not None:
+                    stats.results_returned = 0
+                results.append([])
+                continue
+            results.append(
+                self.run_filter(
+                    profile, slot, type_id, window, reduce_fn, predicate,
+                    stats,
+                )
+            )
+        return results
+
+    def run_decay_batch(
+        self,
+        profiles: "list[ProfileData]",
+        slot: int,
+        type_id: int | None,
+        windows: "list[ResolvedWindow | None]",
+        reduce_fn: AggregateFn,
+        decay_fn: "DecayFn",
+        decay_factor: float,
+        spec: SortSpec,
+        k: int | None,
+        stats_list: "list[QueryStats | None]",
+    ) -> "list[list[FeatureResult]]":
+        results = []
+        for profile, window, stats in zip(profiles, windows, stats_list):
+            if window is None:
+                if stats is not None:
+                    stats.results_returned = 0
+                results.append([])
+                continue
+            results.append(
+                self.run_decay(
+                    profile, slot, type_id, window, reduce_fn, decay_fn,
+                    decay_factor, spec, k, stats,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
     # Compaction kernel
     # ------------------------------------------------------------------
 

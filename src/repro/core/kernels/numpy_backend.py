@@ -84,17 +84,38 @@ def _make_stat(fid, counts, last_timestamp_ms, fid_index) -> FeatureStat:
 
 
 class _Columns:
-    """Columnar projection of one row block, in reference iteration order."""
+    """Columnar projection of one row block, in reference iteration order.
 
-    __slots__ = ("fids", "matrix", "ts", "widths", "fid_index", "uniform")
+    ``widths`` and ``fid_index`` are materialised lazily: ``None``
+    internally means "every row is natively ``W`` wide" and "every row
+    carries the default ``-1``" respectively — the overwhelmingly common
+    shapes — so the cold path skips two ``np.full`` allocations per
+    (slice, slot, type) group.
+    """
+
+    __slots__ = ("fids", "matrix", "ts", "_widths", "_fid_index", "uniform")
 
     def __init__(self, fids, matrix, ts, widths, fid_index, uniform) -> None:
         self.fids = fids          # (n,) int64
         self.matrix = matrix      # (n, W) int64, short rows zero-padded
         self.ts = ts              # (n,) int64
-        self.widths = widths      # (n,) int64 native row widths
-        self.fid_index = fid_index  # (n,) int64 insertion indices
+        self._widths = widths     # (n,) int64 native row widths, or None
+        self._fid_index = fid_index  # (n,) int64 insertion indices, or None
         self.uniform = uniform    # every row natively W wide
+
+    @property
+    def widths(self) -> np.ndarray:
+        if self._widths is None:
+            self._widths = np.full(
+                len(self.fids), self.matrix.shape[1], dtype=np.int64
+            )
+        return self._widths
+
+    @property
+    def fid_index(self) -> np.ndarray:
+        if self._fid_index is None:
+            self._fid_index = np.full(len(self.fids), -1, dtype=np.int64)
+        return self._fid_index
 
     @property
     def n_rows(self) -> int:
@@ -103,6 +124,39 @@ class _Columns:
     @property
     def width(self) -> int:
         return self.matrix.shape[1]
+
+
+def _columns_from_group(group):
+    """Wrap a columnar :class:`~repro.core.columnar.ColumnGroup` directly.
+
+    The primary representation already is flat int64 — no per-stat gather
+    happens here, just one memcpy per column.  (``np.array`` copies out of
+    the buffer and releases the export immediately, so the group's arrays
+    stay resizable.)
+    """
+    n_rows = len(group)
+    if not n_rows:
+        return None
+    stride = group.stride
+    fid_arr = np.array(group.fids)
+    if int(fid_arr.min()) == INT64_MIN:
+        return _UNVECTORIZABLE  # -fid sort key not representable.
+    matrix = (
+        np.array(group.counts).reshape(n_rows, stride)
+        if stride
+        else np.zeros((n_rows, 0), dtype=np.int64)
+    )
+    ts_arr = np.array(group.ts)
+    if group.widths is None:
+        width_arr = None  # materialised lazily: every row is stride wide
+        uniform = True
+    else:
+        width_arr = np.array(group.widths)
+        uniform = bool((width_arr == stride).all())
+    fid_index_arr = (
+        None if group.fid_index is None else np.array(group.fid_index)
+    )
+    return _Columns(fid_arr, matrix, ts_arr, width_arr, fid_index_arr, uniform)
 
 
 def _columns_from_lists(fids, rows, ts, fid_index):
@@ -164,6 +218,48 @@ class _Gathered:
         return 0 if self.columns is None else self.columns.n_rows
 
 
+class _BatchGather:
+    """Per-profile accounting for one member of a batch gather.
+
+    The batch path never builds per-profile column arrays (blocks flow
+    straight into the global combine), so all a profile keeps is what
+    ``_commit_stats`` needs.
+    """
+
+    __slots__ = ("slices_scanned", "n_rows")
+
+    def __init__(self, slices_scanned, n_rows) -> None:
+        self.slices_scanned = slices_scanned
+        self.n_rows = n_rows
+
+
+#: Distinguishes "slice cache holds None for this key" (an empty
+#: projection) from "key absent" (cache cleared by a mutation) during
+#: profile-memo validation.
+_MISSING = object()
+
+
+class _ProfileGather:
+    """One profile's combined window gather, memoised on the profile.
+
+    Stored in ``ProfileData.kernel_cache`` and never invalidated
+    explicitly: ``slices`` and ``entries`` pin the exact slice objects
+    and per-slice cache values the combine was built from, and every use
+    revalidates them by identity.  Any slice mutation clears that
+    slice's ``kernel_cache`` (the repo-wide clear-before-mutate rule),
+    any structural change alters the window's slice list — either way
+    validation fails and the memo is rebuilt.
+    """
+
+    __slots__ = ("slices", "entries", "columns", "scanned")
+
+    def __init__(self, slices, entries, columns, scanned) -> None:
+        self.slices = slices      # tuple[Slice], window order (newest first)
+        self.entries = entries    # parallel per-slice cache values
+        self.columns = columns    # combined _Columns | None (no rows)
+        self.scanned = scanned    # feeds QueryStats.slices_scanned
+
+
 class _Merged:
     """Columnar accumulator: one row per distinct fid, fid-ascending."""
 
@@ -201,17 +297,29 @@ class NumpyBackend(KernelBackend):
             return cache[key]
         except KeyError:
             pass
-        fids: list = []
-        rows: list = []
-        ts: list = []
-        fid_index: list = []
-        for feature_map in profile_slice.feature_maps(slot, type_id):
-            values = feature_map.values()
-            fids.extend(map(_GET_FID, values))
-            rows.extend(map(_GET_COUNTS, values))
-            ts.extend(map(_GET_TS, values))
-            fid_index.extend(map(_GET_FID_INDEX, values))
-        columns = _columns_from_lists(fids, rows, ts, fid_index)
+        blocks: list[_Columns] = []
+        columns = None
+        for group in profile_slice.column_groups(slot, type_id):
+            if group.is_columnar:
+                block = _columns_from_group(group)
+            else:
+                # Demoted (legacy dict) group: per-stat gather, which also
+                # flags anything that does not fit int64.
+                stats_list = group.stats()
+                block = _columns_from_lists(
+                    list(map(_GET_FID, stats_list)),
+                    list(map(_GET_COUNTS, stats_list)),
+                    list(map(_GET_TS, stats_list)),
+                    list(map(_GET_FID_INDEX, stats_list)),
+                )
+            if block is _UNVECTORIZABLE:
+                blocks = None
+                columns = _UNVECTORIZABLE
+                break
+            if block is not None:
+                blocks.append(block)
+        if blocks is not None:
+            columns = self._combine(blocks)
         cache[key] = columns
         return columns
 
@@ -246,9 +354,11 @@ class NumpyBackend(KernelBackend):
             return None
         if len(blocks) == 1:
             return blocks[0]  # Aliases the cache; merge never writes it.
-        width = max(block.width for block in blocks)
-        if all(block.width == width for block in blocks):
+        widths = [block.width for block in blocks]
+        width = max(widths)
+        if all(w == width for w in widths):
             matrix = np.concatenate([block.matrix for block in blocks])
+            uniform = all(block.uniform for block in blocks)
         else:
             total = sum(block.n_rows for block in blocks)
             matrix = np.zeros((total, width), dtype=np.int64)
@@ -258,15 +368,26 @@ class NumpyBackend(KernelBackend):
                     block.matrix
                 )
                 offset += block.n_rows
-        uniform = all(
-            block.uniform and block.width == width for block in blocks
+            uniform = False
+        # A uniform result needs no widths column (every row is natively
+        # `width` wide); likewise fid_index stays lazy while every input
+        # block's is (all rows default to -1).
+        widths_arr = (
+            None
+            if uniform
+            else np.concatenate([block.widths for block in blocks])
+        )
+        fid_index_arr = (
+            None
+            if all(block._fid_index is None for block in blocks)
+            else np.concatenate([block.fid_index for block in blocks])
         )
         return _Columns(
             np.concatenate([block.fids for block in blocks]),
             matrix,
             np.concatenate([block.ts for block in blocks]),
-            np.concatenate([block.widths for block in blocks]),
-            np.concatenate([block.fid_index for block in blocks]),
+            widths_arr,
+            fid_index_arr,
             uniform,
         )
 
@@ -390,18 +511,12 @@ class NumpyBackend(KernelBackend):
         timestamps = merged.ts[selection].tolist()
         if merged.widths is None:
             return [
-                FeatureResult(
-                    fid=fid, counts=tuple(row), last_timestamp_ms=timestamp
-                )
+                FeatureResult(fid, tuple(row), timestamp)
                 for fid, row, timestamp in zip(fids, rows, timestamps)
             ]
         widths = merged.widths[selection].tolist()
         return [
-            FeatureResult(
-                fid=fid,
-                counts=tuple(row[:width]),
-                last_timestamp_ms=timestamp,
-            )
+            FeatureResult(fid, tuple(row[:width]), timestamp)
             for fid, row, width, timestamp in zip(fids, rows, widths, timestamps)
         ]
 
@@ -539,6 +654,363 @@ class NumpyBackend(KernelBackend):
             profile, slot, type_id, window, reduce_fn, decay_fn,
             decay_factor, spec, k, stats,
         )
+
+    # ------------------------------------------------------------------
+    # Batch query kernels: one array program per multi-get
+    # ------------------------------------------------------------------
+    #
+    # All profiles of a multi-get share a single gather → group → sort
+    # pass: rows carry a profile-index (pid) column, grouping keys on
+    # (pid, fid) and the final lexsort puts pid outermost, so every
+    # profile's segment of the ordered output is contiguous and equals
+    # its single-query ordering exactly (the keys are identical and the
+    # sorts stable).  Exactness guards are evaluated batch-wide —
+    # conservative, but the fallback *is* the single-query path, which
+    # produces byte-identical results by the oracle's contract.
+
+    #: Cap on distinct memo keys per profile (distinct resolved windows);
+    #: beyond this the memo resets, bounding growth on write-heavy
+    #: profiles whose anchored windows shift with every write.
+    _PROFILE_MEMO_LIMIT = 8
+
+    def _profile_gather(self, profile, slot, type_id, window):
+        """The profile's combined (slot, type) projection for one window.
+
+        Memoised in ``ProfileData.kernel_cache`` and revalidated by
+        identity on every hit (see :class:`_ProfileGather`).  Returns
+        ``None`` when some row cannot be vectorised — the caller
+        delegates the whole batch to the reference loop.
+        """
+        key = (slot, type_id, window.start_ms, window.end_ms)
+        cache = profile.kernel_cache
+        memo = cache.get(key)
+        entry_key = (slot, type_id)
+        if memo is not None:
+            cached_slices = memo.slices
+            entries = memo.entries
+            count = len(cached_slices)
+            i = 0
+            for profile_slice in profile.slices_in_window(
+                window.start_ms, window.end_ms
+            ):
+                if (
+                    i >= count
+                    or cached_slices[i] is not profile_slice
+                    or profile_slice.kernel_cache.get(entry_key, _MISSING)
+                    is not entries[i]
+                ):
+                    i = -1
+                    break
+                i += 1
+            if i == count:
+                return memo
+        slice_list: list = []
+        entry_list: list = []
+        profile_blocks: list[_Columns] = []
+        for profile_slice in profile.slices_in_window(
+            window.start_ms, window.end_ms
+        ):
+            columns = self._slice_columns(profile_slice, slot, type_id)
+            if columns is _UNVECTORIZABLE:
+                return None
+            slice_list.append(profile_slice)
+            entry_list.append(columns)
+            if columns is not None:
+                profile_blocks.append(columns)
+        memo = _ProfileGather(
+            tuple(slice_list),
+            entry_list,
+            self._combine(profile_blocks),
+            len(slice_list),
+        )
+        if len(cache) >= self._PROFILE_MEMO_LIMIT:
+            cache.clear()
+        cache[key] = memo
+        return memo
+
+    def _gather_batch(self, profiles, slot, type_id, windows, decay):
+        """One flat gather: every profile's blocks feed a single combine.
+
+        No per-profile concatenation happens — blocks from all profiles
+        go straight into one global block list (plus a pid per block, so
+        the row→profile map is a single ``np.repeat``).  That is where
+        the batch win comes from: a 256-profile multi-get runs the same
+        ~constant number of numpy calls as one single-profile query.
+
+        Returns ``(per_profile, combined, pid_arr)`` where
+        ``per_profile[i]`` is ``None`` for an unresolved window or a
+        ``_BatchGather`` carrying that profile's stats accounting, or
+        ``None`` overall when any profile cannot be vectorised.
+        """
+        per_profile: list[_BatchGather | None] = []
+        blocks: list[_Columns] = []
+        block_pids: list[int] = []
+        block_rows: list[int] = []
+        segments: list[tuple[int, int, float]] = []
+        slice_columns = self._slice_columns
+        total = 0
+        for index, (profile, window) in enumerate(zip(profiles, windows)):
+            if window is None:
+                per_profile.append(None)
+                continue
+            scanned = 0
+            profile_start = total
+            if decay is None:
+                # Weight-free hot path (every weight is 1.0, no segments
+                # accrue — identical to iter_weighted_slices): the whole
+                # profile contributes one pre-combined block, memoised on
+                # the profile and revalidated by identity.
+                combined = self._profile_gather(profile, slot, type_id, window)
+                if combined is None:
+                    return None
+                if combined.columns is not None:
+                    total += combined.columns.n_rows
+                    blocks.append(combined.columns)
+                    block_pids.append(index)
+                    block_rows.append(combined.columns.n_rows)
+                per_profile.append(
+                    _BatchGather(combined.scanned, total - profile_start)
+                )
+                continue
+            else:
+                for profile_slice, weight in self.iter_weighted_slices(
+                    profile, window, decay
+                ):
+                    scanned += 1
+                    if weight <= 0.0:
+                        continue
+                    columns = slice_columns(profile_slice, slot, type_id)
+                    if columns is _UNVECTORIZABLE:
+                        return None
+                    if columns is None:
+                        continue
+                    start = total
+                    total += columns.n_rows
+                    blocks.append(columns)
+                    block_pids.append(index)
+                    block_rows.append(columns.n_rows)
+                    if weight != 1.0:
+                        segments.append((start, total, weight))
+            per_profile.append(_BatchGather(scanned, total - profile_start))
+        combined = _Gathered(self._combine(blocks), segments, 0)
+        pid_arr = (
+            np.repeat(
+                np.asarray(block_pids, dtype=np.int64),
+                np.asarray(block_rows, dtype=np.intp),
+            )
+            if blocks
+            else None
+        )
+        return per_profile, combined, pid_arr
+
+    def _reduce_batch(self, gathered: _Gathered, pid_arr, agg: str):
+        """Group the combined rows by (pid, fid); ``None`` = guard trip."""
+        columns = gathered.columns
+        n_rows = columns.n_rows
+        matrix = columns.matrix
+
+        if gathered.segments and matrix.size:
+            if _max_abs(matrix) >= _FLOAT_EXACT_BOUND:
+                return None
+            scaled = matrix.astype(np.float64)
+            for start, end, weight in gathered.segments:
+                np.trunc(scaled[start:end] * weight, out=scaled[start:end])
+            matrix = scaled.astype(np.int64)
+
+        fid_arr = columns.fids
+        order = np.lexsort((fid_arr, pid_arr))  # stable; pid outermost
+        sorted_fids = fid_arr[order]
+        sorted_pids = pid_arr[order]
+        group_head = np.empty(n_rows, dtype=bool)
+        group_head[0] = True
+        group_head[1:] = (sorted_fids[1:] != sorted_fids[:-1]) | (
+            sorted_pids[1:] != sorted_pids[:-1]
+        )
+        starts = np.flatnonzero(group_head)
+
+        matrix_sorted = matrix[order]
+        if agg == "sum":
+            if n_rows * _max_abs(matrix) >= _INT64_BOUND:
+                return None  # Conservative: any profile could saturate.
+            counts = np.add.reduceat(matrix_sorted, starts, axis=0)
+        elif agg == "max":
+            counts = np.maximum.reduceat(matrix_sorted, starts, axis=0)
+        elif agg == "min":
+            counts = np.minimum.reduceat(matrix_sorted, starts, axis=0)
+        else:  # "last"
+            group_last = np.append(starts[1:], n_rows) - 1
+            counts = matrix_sorted[group_last]
+        merged = _Merged(
+            fids=sorted_fids[starts],
+            counts=counts,
+            ts=np.maximum.reduceat(columns.ts[order], starts),
+            widths=(
+                None
+                if columns.uniform
+                else np.maximum.reduceat(columns.widths[order], starts)
+            ),
+            first_row=None,
+        )
+        return merged, sorted_pids[starts]
+
+    def _batch_order(self, merged: _Merged, group_pids, spec: SortSpec):
+        """Ascending global order by (pid, spec keys); ``None`` = guard."""
+        from ..query import SortType
+
+        if spec.sort_type is SortType.FEATURE_ID:
+            return np.arange(len(merged.fids))  # already (pid, fid) asc
+        neg_fid = -merged.fids
+        if spec.sort_type is SortType.ATTRIBUTE:
+            primary = self._attribute_column(merged, spec.attribute_index)
+            return np.lexsort((neg_fid, merged.ts, primary, group_pids))
+        if spec.sort_type is SortType.TIMESTAMP:
+            totals = self._totals(merged)
+            if totals is None:
+                return None
+            return np.lexsort((neg_fid, totals, merged.ts, group_pids))
+        if spec.sort_type is SortType.TOTAL:
+            totals = self._totals(merged)
+            if totals is None:
+                return None
+            return np.lexsort((neg_fid, merged.ts, totals, group_pids))
+        score = np.zeros(len(merged.fids), dtype=np.float64)
+        for index, weight in spec.weight_vector:
+            score += self._attribute_column(merged, index).astype(np.float64) * weight
+        return np.lexsort((neg_fid, merged.ts, score, group_pids))
+
+    def _finish_batch(
+        self,
+        profiles,
+        per_profile,
+        merged,
+        group_pids,
+        ascending,
+        k,
+        descending,
+        stats_list,
+    ):
+        """Cut each profile's contiguous segment of the global order.
+
+        All segments are materialised in a single pass (one fancy-index
+        over the merged columns) and the resulting flat list split back
+        per profile — identical output, ~constant numpy-call count.
+        """
+        lengths = [0] * len(profiles)
+        pieces: list[np.ndarray] = []
+        if merged is not None:
+            ordered_pids = group_pids[ascending]
+            bounds = np.searchsorted(
+                ordered_pids, np.arange(len(profiles) + 1)
+            )
+            for index, gathered in enumerate(per_profile):
+                if gathered is None or not gathered.n_rows:
+                    continue
+                segment = ascending[bounds[index] : bounds[index + 1]]
+                if descending:
+                    segment = segment[::-1]
+                if k is not None:
+                    segment = segment[:k]
+                lengths[index] = len(segment)
+                pieces.append(segment)
+        flat = (
+            self._materialize_results(merged, np.concatenate(pieces))
+            if pieces
+            else []
+        )
+        out = []
+        cursor = 0
+        for gathered, stats, length in zip(per_profile, stats_list, lengths):
+            if gathered is None:  # window resolved to nothing
+                if stats is not None:
+                    stats.results_returned = 0
+                out.append([])
+                continue
+            results = flat[cursor : cursor + length] if length else []
+            cursor += length
+            self._commit_stats(stats, gathered, results)
+            out.append(results)
+        return out
+
+    def run_topk_batch(
+        self,
+        profiles,
+        slot,
+        type_id,
+        windows,
+        reduce_fn,
+        spec,
+        k,
+        descending,
+        stats_list,
+    ):
+        agg = aggregate_name(reduce_fn)
+        if agg is not None:
+            plan = self._gather_batch(profiles, slot, type_id, windows, None)
+            if plan is not None:
+                gathered_list, combined, pid_arr = plan
+                merged = group_pids = ascending = None
+                guard_tripped = False
+                if combined.columns is not None:
+                    reduced = self._reduce_batch(combined, pid_arr, agg)
+                    if reduced is None:
+                        guard_tripped = True
+                    else:
+                        merged, group_pids = reduced
+                        ascending = self._batch_order(merged, group_pids, spec)
+                        guard_tripped = ascending is None
+                if not guard_tripped:
+                    return self._finish_batch(
+                        profiles, gathered_list, merged, group_pids,
+                        ascending, k, descending, stats_list,
+                    )
+        return super().run_topk_batch(
+            profiles, slot, type_id, windows, reduce_fn, spec, k,
+            descending, stats_list,
+        )
+
+    def run_decay_batch(
+        self,
+        profiles,
+        slot,
+        type_id,
+        windows,
+        reduce_fn,
+        decay_fn,
+        decay_factor,
+        spec,
+        k,
+        stats_list,
+    ):
+        agg = aggregate_name(reduce_fn)
+        if agg is not None:
+            plan = self._gather_batch(
+                profiles, slot, type_id, windows, (decay_fn, decay_factor)
+            )
+            if plan is not None:
+                gathered_list, combined, pid_arr = plan
+                merged = group_pids = ascending = None
+                guard_tripped = False
+                if combined.columns is not None:
+                    reduced = self._reduce_batch(combined, pid_arr, agg)
+                    if reduced is None:
+                        guard_tripped = True
+                    else:
+                        merged, group_pids = reduced
+                        ascending = self._batch_order(merged, group_pids, spec)
+                        guard_tripped = ascending is None
+                if not guard_tripped:
+                    return self._finish_batch(
+                        profiles, gathered_list, merged, group_pids,
+                        ascending, k, True, stats_list,
+                    )
+        return super().run_decay_batch(
+            profiles, slot, type_id, windows, reduce_fn, decay_fn,
+            decay_factor, spec, k, stats_list,
+        )
+
+    # run_filter_batch stays on the base loop: the predicate is an opaque
+    # Python callable applied per stat, so there is nothing to vectorise
+    # across profiles.
 
     # ------------------------------------------------------------------
     # Compaction kernel

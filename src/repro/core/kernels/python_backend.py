@@ -32,6 +32,7 @@ class PythonBackend(KernelBackend):
     ) -> dict[int, FeatureStat]:
         """fid -> merged stat over the window, reference semantics."""
         merged: dict[int, FeatureStat] = {}
+        cache_key = ("stats", slot, type_id)
         for profile_slice, weight in self.iter_weighted_slices(
             profile, window, decay
         ):
@@ -39,7 +40,15 @@ class PythonBackend(KernelBackend):
                 stats.slices_scanned += 1
             if weight <= 0.0:
                 continue
-            for stat in profile_slice.features(slot, type_id):
+            # Materialising FeatureStat views out of the columnar groups
+            # is the expensive part of the reference read; the list is
+            # memoised on the slice (kernel_cache is cleared before any
+            # mutation), restoring the dict-era cost profile.
+            slice_stats = profile_slice.kernel_cache.get(cache_key)
+            if slice_stats is None:
+                slice_stats = list(profile_slice.features(slot, type_id))
+                profile_slice.kernel_cache[cache_key] = slice_stats
+            for stat in slice_stats:
                 if stats is not None:
                     stats.features_merged += 1
                 contribution = stat if weight == 1.0 else stat.scaled(weight)

@@ -20,7 +20,12 @@ from .slice import Slice
 class ProfileData:
     """One profile's entire history as a newest-first list of slices."""
 
-    __slots__ = ("profile_id", "slices", "write_granularity_ms")
+    __slots__ = (
+        "profile_id",
+        "slices",
+        "write_granularity_ms",
+        "kernel_cache",
+    )
 
     def __init__(self, profile_id: int, write_granularity_ms: int = 1000) -> None:
         if write_granularity_ms <= 0:
@@ -33,6 +38,12 @@ class ProfileData:
         #: Granularity of freshly created head slices (the finest band of the
         #: table's time-dimension config).
         self.write_granularity_ms = write_granularity_ms
+        #: Profile-level kernel memo (batch gathers).  Unlike the per-slice
+        #: ``Slice.kernel_cache`` this is never cleared on mutation: entries
+        #: embed the slice objects and per-slice cache values they were built
+        #: from and are revalidated by identity on every use, so a mutated or
+        #: replaced slice simply fails validation and the entry is rebuilt.
+        self.kernel_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Write path

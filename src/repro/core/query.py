@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 from ..config import TableConfig
 from ..errors import InvalidQueryError
@@ -41,9 +41,16 @@ class SortType(enum.Enum):
     WEIGHTED = "weighted"  # by a weighted sum over attributes (multi-dim)
 
 
-@dataclass(frozen=True)
-class FeatureResult:
-    """One row of a query result."""
+class FeatureResult(NamedTuple):
+    """One row of a query result.
+
+    A ``NamedTuple`` rather than a frozen dataclass: result
+    materialisation builds one of these per returned row on the hot
+    read path, and tuple construction is several times cheaper than
+    ``__init__`` + per-field ``object.__setattr__``.  Field order is
+    part of the wire contract (:mod:`repro.net.wire` encodes/decodes
+    positionally).
+    """
 
     fid: int
     counts: tuple[int, ...]
@@ -335,6 +342,98 @@ class QueryEngine:
         return self._backend.run_decay(
             profile, slot, type_id, window, self._aggregate,
             decay_fn, decay_factor, spec, k, stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch entry points (multi-get)
+    # ------------------------------------------------------------------
+    #
+    # Validation and sort-spec resolution happen once per batch; window
+    # resolution is per profile (CURRENT ranges anchor to each profile's
+    # newest timestamp).  Results are parallel to ``profiles`` and each
+    # list is byte-identical to the corresponding single-profile call —
+    # the batch differential oracle enforces this.
+
+    def top_k_batch(
+        self,
+        profiles: Sequence[ProfileData],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        sort_type: SortType,
+        k: int,
+        now_ms: int,
+        sort_attribute: str | None = None,
+        sort_weights: dict[str, float] | None = None,
+        descending: bool = True,
+        aggregate: AggregateFn | None = None,
+        stats_list: "Sequence[QueryStats | None] | None" = None,
+    ) -> list[list[FeatureResult]]:
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        spec = self._resolve_sort_spec(sort_type, sort_attribute, sort_weights)
+        windows = [
+            time_range.resolve(now_ms, profile.newest_timestamp_ms())
+            for profile in profiles
+        ]
+        reduce_fn = aggregate if aggregate is not None else self._aggregate
+        if stats_list is None:
+            stats_list = [None] * len(profiles)
+        return self._backend.run_topk_batch(
+            list(profiles), slot, type_id, windows, reduce_fn, spec, k,
+            descending, list(stats_list),
+        )
+
+    def filter_batch(
+        self,
+        profiles: Sequence[ProfileData],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        predicate: FilterFn,
+        now_ms: int,
+        stats_list: "Sequence[QueryStats | None] | None" = None,
+    ) -> list[list[FeatureResult]]:
+        windows = [
+            time_range.resolve(now_ms, profile.newest_timestamp_ms())
+            for profile in profiles
+        ]
+        if stats_list is None:
+            stats_list = [None] * len(profiles)
+        return self._backend.run_filter_batch(
+            list(profiles), slot, type_id, windows, self._aggregate,
+            predicate, list(stats_list),
+        )
+
+    def decay_batch(
+        self,
+        profiles: Sequence[ProfileData],
+        slot: int,
+        type_id: int | None,
+        time_range: TimeRange,
+        decay_fn: DecayFn,
+        decay_factor: float,
+        now_ms: int,
+        k: int | None = None,
+        sort_attribute: str | None = None,
+        stats_list: "Sequence[QueryStats | None] | None" = None,
+    ) -> list[list[FeatureResult]]:
+        if k is not None and k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        spec = self._resolve_sort_spec(
+            SortType.ATTRIBUTE if sort_attribute else SortType.TOTAL,
+            sort_attribute,
+            None,
+        )
+        windows = [
+            time_range.resolve(now_ms, profile.newest_timestamp_ms())
+            for profile in profiles
+        ]
+        if stats_list is None:
+            stats_list = [None] * len(profiles)
+        return self._backend.run_decay_batch(
+            list(profiles), slot, type_id, windows, self._aggregate,
+            decay_fn, decay_factor, spec, k, list(stats_list),
         )
 
     # ------------------------------------------------------------------

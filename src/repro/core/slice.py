@@ -68,12 +68,13 @@ class Slice:
                 f"timestamp {timestamp_ms} outside slice "
                 f"[{self.start_ms}, {self.end_ms})"
             )
-        instance_set = self._slots.setdefault(slot, InstanceSet())
-        stat = instance_set.add(type_id, fid, counts, timestamp_ms, aggregate)
+        # Clear *before* mutating: kernel projections may hold buffer views
+        # over the column arrays, and a live export would block resizing.
         self._memory_dirty = True
         if self.kernel_cache:
             self.kernel_cache.clear()
-        return stat
+        instance_set = self._slots.setdefault(slot, InstanceSet())
+        return instance_set.add(type_id, fid, counts, timestamp_ms, aggregate)
 
     def instance_set(self, slot: int) -> InstanceSet | None:
         return self._slots.get(slot)
@@ -95,22 +96,30 @@ class Slice:
 
     def feature_maps(self, slot: int, type_id: int | None):
         """Bulk fid -> stat maps under (slot, type); same order as
-        :meth:`features`.  Read-only accessor for kernel backends."""
+        :meth:`features`.  Read-only adapter (stats are materialised)."""
         instance_set = self._slots.get(slot)
         if instance_set is None:
             return []
         return instance_set.feature_maps(type_id)
 
+    def column_groups(self, slot: int, type_id: int | None):
+        """The primary column groups under (slot, type) — kernel and
+        serializer fast path; callers must not mutate the arrays."""
+        instance_set = self._slots.get(slot)
+        if instance_set is None:
+            return []
+        return instance_set.column_groups(type_id)
+
     def merge_from(self, other: "Slice", aggregate) -> None:
         """Absorb another slice's data and widen the time range to cover it."""
+        self._memory_dirty = True
+        if self.kernel_cache:
+            self.kernel_cache.clear()
         for slot, instance_set in other._slots.items():
             mine = self._slots.setdefault(slot, InstanceSet())
             mine.merge_from(instance_set, aggregate)
         self.start_ms = min(self.start_ms, other.start_ms)
         self.end_ms = max(self.end_ms, other.end_ms)
-        self._memory_dirty = True
-        if self.kernel_cache:
-            self.kernel_cache.clear()
 
     def mark_mutated(self) -> None:
         """Invalidate cached memory accounting and kernel projections

@@ -602,16 +602,20 @@ class IPSNode:
         self,
         profile_ids: Sequence[int],
         caller: str,
-        query_one,
+        query_batch,
         method: str = "multi_get",
     ) -> dict[int, BatchKeyResult]:
         """Shared batched-read skeleton.
 
         One quota admission covers the whole batch, duplicated keys are
-        resolved once, and residency is established with a single GCache
-        probe pass (grouped miss-fill).  Failures — a storage error on the
-        miss-fill, an invalid per-key query — are captured per key so the
-        rest of the batch is still served.
+        resolved once, residency is established with a single GCache probe
+        pass (grouped miss-fill), and every resident profile is served by
+        **one** batch kernel invocation (``query_batch`` over the live
+        ids).  Failures are still captured per key: a storage error on the
+        miss-fill fails only that key, non-resident ids succeed with
+        ``[]``, and a query validation error — which is batch-wide by
+        construction (same spec for every key) — fails the live keys
+        while leaving the rest of the batch served.
         """
         with self.tracer.span(f"node.{method}", keys=len(profile_ids)) as span:
             self.quota.admit(caller)
@@ -621,23 +625,37 @@ class IPSNode:
             self.stats.batch_keys += len(unique)
             self.stats.reads += len(unique)
             profiles, load_errors = self._resident_profiles(unique)
+            live = [
+                profile_id
+                for profile_id in unique
+                if load_errors.get(profile_id) is None
+                and profiles.get(profile_id) is not None
+            ]
+            values: dict[int, list[FeatureResult]] = {}
+            batch_error: IPSError | None = None
+            if live:
+                try:
+                    # No per-key engine.execute span here: a batch would pay
+                    # for hundreds of them; the node span's keys/unique tags
+                    # carry the same information at O(1) cost.
+                    values = query_batch(live)
+                except IPSError as exc:
+                    batch_error = exc
             out: dict[int, BatchKeyResult] = {}
             for profile_id in unique:
                 error = load_errors.get(profile_id)
                 if error is not None:
                     out[profile_id] = BatchKeyResult.failure(profile_id, error)
-                    continue
-                try:
-                    # No per-key engine.execute span here: a batch would pay
-                    # for hundreds of them; the node span's keys/unique tags
-                    # carry the same information at O(1) cost.
-                    if profiles.get(profile_id) is None:
-                        value: list[FeatureResult] = []
-                    else:
-                        value = query_one(profile_id)
-                    out[profile_id] = BatchKeyResult.success(profile_id, value)
-                except IPSError as exc:
-                    out[profile_id] = BatchKeyResult.failure(profile_id, exc)
+                elif profiles.get(profile_id) is None:
+                    out[profile_id] = BatchKeyResult.success(profile_id, [])
+                elif batch_error is not None:
+                    out[profile_id] = BatchKeyResult.failure(
+                        profile_id, batch_error
+                    )
+                else:
+                    out[profile_id] = BatchKeyResult.success(
+                        profile_id, values.get(profile_id, [])
+                    )
             return out
 
     def multi_get_topk(
@@ -657,8 +675,8 @@ class IPSNode:
         return self._multi_get(
             profile_ids,
             caller,
-            lambda profile_id: self.engine.get_profile_topk(
-                profile_id,
+            lambda live_ids: self.engine.get_profiles_topk(
+                live_ids,
                 slot,
                 type_id,
                 time_range,
@@ -684,8 +702,8 @@ class IPSNode:
         return self._multi_get(
             profile_ids,
             caller,
-            lambda profile_id: self.engine.get_profile_filter(
-                profile_id, slot, type_id, time_range, predicate
+            lambda live_ids: self.engine.get_profiles_filter(
+                live_ids, slot, type_id, time_range, predicate
             ),
             method="multi_get_filter",
         )
@@ -706,8 +724,8 @@ class IPSNode:
         return self._multi_get(
             profile_ids,
             caller,
-            lambda profile_id: self.engine.get_profile_decay(
-                profile_id,
+            lambda live_ids: self.engine.get_profiles_decay(
+                live_ids,
                 slot,
                 type_id,
                 time_range,

@@ -5,13 +5,35 @@ format before persisting it (§III-E, Fig. 12).  We implement the same idea
 from scratch: a varint/length-delimited wire format that encodes the
 nesting Profile → Slice → Slot → Type → FeatureStat compactly.
 
+Since the columnar-native refactor there are **two slice encodings**,
+distinguished by the first varint of the slice body:
+
+* **v1 (dict era)** — the original per-feature varint format.  Written
+  only by :meth:`ProfileCodec.encode_slice_v1` (kept for compatibility
+  tests); still fully decodable so WAL/checkpoint/KV images from before
+  the refactor load losslessly into the array-native representation.
+* **v2 (columnar)** — tagged by :data:`SLICE_V2_MAGIC`, a varint far above
+  any plausible ``start_ms`` (> 2**62), which is what a v1 body starts
+  with.  Each ``(slot, type)`` section carries either zigzag-varint
+  feature rows (small or demoted groups) or **raw little-endian int64
+  column dumps** taken straight off the primary arrays through
+  ``memoryview`` — the zero-copy path: encoding touches no per-feature
+  Python objects, and decoding rebuilds the arrays with one
+  ``frombytes`` per column so cold reads skip the gather entirely.
+
 Wire layout (all integers are unsigned LEB128 varints):
 
 ``profile``  := MAGIC version profile_id granularity n_slices slice*
-``slice``    := start_ms end_ms n_slots slot*
-``slot``     := slot_id n_types type*
-``type``     := type_id n_features feature*
-``feature``  := fid last_ts n_counts zigzag(count)*
+``slice_v1`` := start_ms end_ms n_slots slot_v1*
+``slot_v1``  := slot_id n_types (type_id n_features feature_v1*)*
+``feature_v1`` := fid last_ts n_counts zigzag(count)*
+``slice_v2`` := V2MAGIC start_ms end_ms n_slots slot_v2*
+``slot_v2``  := slot_id n_types type_v2*
+``type_v2``  := type_id encoding body
+  encoding 0 := n_features (zigzag(fid) zigzag(last_ts) n_counts
+                zigzag(count)*)*
+  encoding 1 := n_rows stride flags [widths_raw] fids_raw ts_raw counts_raw
+                (raw = little-endian int64 dump; flags bit0 = has widths)
 
 Counts use zigzag encoding since aggregate functions can in principle
 produce negative values.  The codec is symmetric and bounded: decoding
@@ -21,6 +43,10 @@ validates lengths so corrupt blobs fail with
 
 from __future__ import annotations
 
+import sys
+from array import array
+
+from ..core.columnar import INT64_TYPECODE, ColumnGroup
 from ..core.feature import FeatureStat
 from ..core.instance_set import InstanceSet
 from ..core.profile import ProfileData
@@ -29,6 +55,25 @@ from ..errors import SerializationError
 
 MAGIC = 0x49505331  # "IPS1"
 FORMAT_VERSION = 1
+
+#: First varint of a v2 slice body.  A v1 body starts with ``start_ms``;
+#: this constant is > 2**62, far beyond any real timestamp, so the two
+#: encodings cannot collide.
+SLICE_V2_MAGIC = 0x4950_5332_434F_4C31  # "IPS2COL1"
+
+#: Column groups with at least this many rows use raw int64 column dumps
+#: (one memcpy per column); smaller groups stay on zigzag varints, which
+#: are more compact for short rows.
+RAW_COLUMN_MIN_ROWS = 16
+
+#: Per-type section encodings inside a v2 slice.
+_ENC_VARINT = 0
+_ENC_RAW = 1
+
+#: Decode-time sanity caps (corrupt blobs must fail, not allocate wildly).
+_MAX_COUNTS = 1024
+
+_BIG_ENDIAN = sys.byteorder == "big"
 
 
 # ----------------------------------------------------------------------
@@ -62,11 +107,34 @@ def read_varint(data: bytes, pos: int) -> tuple[int, int]:
 
 
 def zigzag_encode(value: int) -> int:
-    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+    # Arbitrary-precision form (fids/counts may exceed int64 pre-clamp).
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
 
 
 def zigzag_decode(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
+
+
+def _extend_le_int64(out: bytearray, column: array) -> None:
+    """Append a column's raw bytes little-endian (zero-copy on LE hosts)."""
+    if _BIG_ENDIAN:  # pragma: no cover - exercised only on BE hardware
+        swapped = array(INT64_TYPECODE, column)
+        swapped.byteswap()
+        out += memoryview(swapped).cast("B")
+    else:
+        out += memoryview(column).cast("B")
+
+
+def _read_le_int64(data: bytes, pos: int, count: int) -> tuple[array, int]:
+    """Read ``count`` little-endian int64s into a fresh column."""
+    nbytes = count * 8
+    if pos + nbytes > len(data):
+        raise SerializationError("truncated raw int64 column")
+    column = array(INT64_TYPECODE)
+    column.frombytes(data[pos : pos + nbytes])
+    if _BIG_ENDIAN:  # pragma: no cover - exercised only on BE hardware
+        column.byteswap()
+    return column, pos + nbytes
 
 
 # ----------------------------------------------------------------------
@@ -82,7 +150,14 @@ class ProfileCodec:
     @staticmethod
     def encode_slice(profile_slice: Slice) -> bytes:
         out = bytearray()
-        ProfileCodec._write_slice(out, profile_slice)
+        ProfileCodec._write_slice_v2(out, profile_slice)
+        return bytes(out)
+
+    @staticmethod
+    def encode_slice_v1(profile_slice: Slice) -> bytes:
+        """The dict-era encoding, kept for backward-compatibility tests."""
+        out = bytearray()
+        ProfileCodec._write_slice_v1(out, profile_slice)
         return bytes(out)
 
     @staticmethod
@@ -95,7 +170,17 @@ class ProfileCodec:
         return profile_slice
 
     @staticmethod
-    def _write_slice(out: bytearray, profile_slice: Slice) -> None:
+    def _read_slice(data: bytes, pos: int) -> tuple[Slice, int]:
+        """Decode one slice body, dispatching on the version tag."""
+        first, _ = read_varint(data, pos)
+        if first == SLICE_V2_MAGIC:
+            return ProfileCodec._read_slice_v2(data, pos)
+        return ProfileCodec._read_slice_v1(data, pos)
+
+    # -- v1 (dict era) --------------------------------------------------
+
+    @staticmethod
+    def _write_slice_v1(out: bytearray, profile_slice: Slice) -> None:
         write_varint(out, profile_slice.start_ms)
         write_varint(out, profile_slice.end_ms)
         slots = list(profile_slice.slots_items())
@@ -111,32 +196,27 @@ class ProfileCodec:
                     ProfileCodec._write_feature(out, stat)
 
     @staticmethod
-    def _read_slice(data: bytes, pos: int) -> tuple[Slice, int]:
+    def _read_slice_v1(data: bytes, pos: int) -> tuple[Slice, int]:
         start_ms, pos = read_varint(data, pos)
         end_ms, pos = read_varint(data, pos)
-        if end_ms <= start_ms:
-            raise SerializationError(
-                f"decoded slice has empty range [{start_ms}, {end_ms})"
-            )
-        profile_slice = Slice(start_ms, end_ms)
+        profile_slice = ProfileCodec._new_slice(start_ms, end_ms)
         n_slots, pos = read_varint(data, pos)
         for _ in range(n_slots):
             slot_id, pos = read_varint(data, pos)
-            instance_set = InstanceSet()
-            profile_slice._slots[slot_id] = instance_set
+            instance_set = profile_slice.ensure_slot(slot_id)
             n_types, pos = read_varint(data, pos)
             for _ in range(n_types):
                 type_id, pos = read_varint(data, pos)
                 n_features, pos = read_varint(data, pos)
-                features: dict[int, FeatureStat] = {}
+                features: list[FeatureStat] = []
                 for _ in range(n_features):
                     stat, pos = ProfileCodec._read_feature(data, pos)
-                    features[stat.fid] = stat
-                instance_set._types[type_id] = features
+                    features.append(stat)
+                instance_set.adopt_group(
+                    type_id, ColumnGroup.from_stats(features)
+                )
         profile_slice.mark_mutated()
         return profile_slice, pos
-
-    # -- features -------------------------------------------------------
 
     @staticmethod
     def _write_feature(out: bytearray, stat: FeatureStat) -> None:
@@ -151,13 +231,134 @@ class ProfileCodec:
         fid, pos = read_varint(data, pos)
         last_ts, pos = read_varint(data, pos)
         n_counts, pos = read_varint(data, pos)
-        if n_counts > 1024:
+        if n_counts > _MAX_COUNTS:
             raise SerializationError(f"implausible count vector length {n_counts}")
         counts = []
         for _ in range(n_counts):
             encoded, pos = read_varint(data, pos)
             counts.append(zigzag_decode(encoded))
         return FeatureStat(fid, counts, last_ts), pos
+
+    # -- v2 (columnar) --------------------------------------------------
+
+    @staticmethod
+    def _write_slice_v2(out: bytearray, profile_slice: Slice) -> None:
+        write_varint(out, SLICE_V2_MAGIC)
+        write_varint(out, profile_slice.start_ms)
+        write_varint(out, profile_slice.end_ms)
+        slots = list(profile_slice.slots_items())
+        write_varint(out, len(slots))
+        for slot_id, instance_set in slots:
+            write_varint(out, slot_id)
+            types = list(instance_set.groups_items())
+            write_varint(out, len(types))
+            for type_id, group in types:
+                write_varint(out, type_id)
+                ProfileCodec._write_group_v2(out, group)
+
+    @staticmethod
+    def _write_group_v2(out: bytearray, group: ColumnGroup) -> None:
+        if group.is_columnar and len(group) >= RAW_COLUMN_MIN_ROWS:
+            write_varint(out, _ENC_RAW)
+            n_rows = len(group)
+            write_varint(out, n_rows)
+            write_varint(out, group.stride)
+            widths = group.widths
+            if widths is not None and all(w == group.stride for w in widths):
+                widths = None  # canonical: uniform widths are implicit
+            write_varint(out, 1 if widths is not None else 0)
+            if widths is not None:
+                _extend_le_int64(out, widths)
+            _extend_le_int64(out, group.fids)
+            _extend_le_int64(out, group.ts)
+            _extend_le_int64(out, group.counts)
+            return
+        write_varint(out, _ENC_VARINT)
+        stats = group.stats()
+        write_varint(out, len(stats))
+        for stat in stats:
+            write_varint(out, zigzag_encode(stat.fid))
+            write_varint(out, zigzag_encode(stat.last_timestamp_ms))
+            write_varint(out, len(stat.counts))
+            for count in stat.counts:
+                write_varint(out, zigzag_encode(count))
+
+    @staticmethod
+    def _read_slice_v2(data: bytes, pos: int) -> tuple[Slice, int]:
+        magic, pos = read_varint(data, pos)
+        if magic != SLICE_V2_MAGIC:  # pragma: no cover - guarded by caller
+            raise SerializationError("not a v2 slice body")
+        start_ms, pos = read_varint(data, pos)
+        end_ms, pos = read_varint(data, pos)
+        profile_slice = ProfileCodec._new_slice(start_ms, end_ms)
+        n_slots, pos = read_varint(data, pos)
+        for _ in range(n_slots):
+            slot_id, pos = read_varint(data, pos)
+            instance_set = profile_slice.ensure_slot(slot_id)
+            n_types, pos = read_varint(data, pos)
+            for _ in range(n_types):
+                type_id, pos = read_varint(data, pos)
+                group, pos = ProfileCodec._read_group_v2(data, pos)
+                instance_set.adopt_group(type_id, group)
+        profile_slice.mark_mutated()
+        return profile_slice, pos
+
+    @staticmethod
+    def _read_group_v2(data: bytes, pos: int) -> tuple[ColumnGroup, int]:
+        encoding, pos = read_varint(data, pos)
+        if encoding == _ENC_RAW:
+            n_rows, pos = read_varint(data, pos)
+            stride, pos = read_varint(data, pos)
+            if stride > _MAX_COUNTS:
+                raise SerializationError(f"implausible stride {stride}")
+            flags, pos = read_varint(data, pos)
+            if flags not in (0, 1):
+                raise SerializationError(f"unknown column flags {flags:#x}")
+            widths = None
+            if flags & 1:
+                widths, pos = _read_le_int64(data, pos, n_rows)
+            fids, pos = _read_le_int64(data, pos, n_rows)
+            ts, pos = _read_le_int64(data, pos, n_rows)
+            counts, pos = _read_le_int64(data, pos, n_rows * stride)
+            try:
+                group = ColumnGroup.from_columns(
+                    stride, fids, ts, counts, widths
+                )
+            except ValueError as error:
+                raise SerializationError(str(error)) from None
+            return group, pos
+        if encoding != _ENC_VARINT:
+            raise SerializationError(f"unknown group encoding {encoding}")
+        n_features, pos = read_varint(data, pos)
+        features: list[FeatureStat] = []
+        for _ in range(n_features):
+            raw_fid, pos = read_varint(data, pos)
+            raw_ts, pos = read_varint(data, pos)
+            n_counts, pos = read_varint(data, pos)
+            if n_counts > _MAX_COUNTS:
+                raise SerializationError(
+                    f"implausible count vector length {n_counts}"
+                )
+            counts_list = []
+            for _ in range(n_counts):
+                encoded, pos = read_varint(data, pos)
+                counts_list.append(zigzag_decode(encoded))
+            features.append(
+                FeatureStat(
+                    zigzag_decode(raw_fid), counts_list, zigzag_decode(raw_ts)
+                )
+            )
+        return ColumnGroup.from_stats(features), pos
+
+    # -- shared ---------------------------------------------------------
+
+    @staticmethod
+    def _new_slice(start_ms: int, end_ms: int) -> Slice:
+        if end_ms <= start_ms:
+            raise SerializationError(
+                f"decoded slice has empty range [{start_ms}, {end_ms})"
+            )
+        return Slice(start_ms, end_ms)
 
     # -- whole profiles ---------------------------------------------------
 

@@ -1,0 +1,190 @@
+"""Unit tests for the columnar-native representation (ROADMAP item #2).
+
+The differential oracles prove the *query* surface is byte-identical to
+the reference; this file covers the :class:`ColumnGroup` mechanics the
+oracles reach only indirectly — legacy demotion, stride growth, bulk
+replacement, copy isolation, memory accounting — plus the profile-level
+batch-gather memo, whose identity revalidation must observe mutations
+made between two ``top_k_batch`` calls.
+"""
+
+from array import array
+
+import pytest
+
+from repro.config import TableConfig
+from repro.core.aggregate import get_aggregate
+from repro.core.columnar import INT64_TYPECODE, ColumnGroup
+from repro.core.engine import QueryEngine
+from repro.core.feature import INT64_MAX, FeatureStat
+from repro.core.profile import ProfileData
+from repro.core.query import SortType
+from repro.core.timerange import TimeRange
+
+SUM = get_aggregate("sum")
+
+
+def make_group(rows):
+    group = ColumnGroup()
+    for fid, counts, ts in rows:
+        group.add(fid, counts, ts, SUM)
+    return group
+
+
+class TestColumnarMechanics:
+    def test_add_merges_like_merge_counts(self):
+        group = make_group([(7, [1, 2], 100), (7, [3, 4], 90)])
+        stat = group.get(7)
+        assert stat.counts == [4, 6]
+        assert stat.last_timestamp_ms == 100  # max, not last write
+        assert group.is_columnar
+
+    def test_stride_growth_pads_existing_rows(self):
+        group = make_group([(1, [5], 10), (2, [1, 2, 3], 20)])
+        assert group.stride == 3
+        # The narrow row keeps its native width through the re-layout.
+        assert group.get(1).counts == [5]
+        assert group.get(2).counts == [1, 2, 3]
+        assert group.row_width(0) == 1
+        assert group.row_width(1) == 3
+
+    def test_replace_duplicate_fids_last_value_wins(self):
+        group = ColumnGroup()
+        group.replace(
+            [
+                FeatureStat(1, [1], 10),
+                FeatureStat(2, [2], 20),
+                FeatureStat(1, [9], 30),
+            ]
+        )
+        assert len(group) == 2
+        assert group.get(1).counts == [9]
+        # First occurrence fixed the position: fid 1 is still row 0.
+        assert [stat.fid for stat in group.iter_stats()] == [1, 2]
+
+
+class TestDemotion:
+    def test_oversize_fid_demotes_and_preserves_rows(self):
+        group = make_group([(1, [1, 2], 10)])
+        group.add(INT64_MAX + 1, [3], 20, SUM)
+        assert not group.is_columnar
+        assert group.get(1).counts == [1, 2]
+        assert group.get(INT64_MAX + 1).counts == [3]
+        # Further writes keep the old dict semantics.
+        group.add(1, [1, 1], 30, SUM)
+        assert group.get(1).counts == [2, 3]
+
+    def test_float_udaf_demotes(self):
+        def mean_ish(a, b):
+            return (a + b) / 2
+
+        group = make_group([(5, [4], 10)])
+        group.add(5, [2], 20, mean_ish)
+        assert not group.is_columnar
+        assert group.get(5).counts == [3.0]
+
+
+class TestCopyAndAccounting:
+    def test_copy_isolation_columnar(self):
+        original = make_group([(1, [1, 2], 10)])
+        duplicate = original.copy()
+        duplicate.add(1, [10, 10], 20, SUM)
+        duplicate.add(2, [7], 20, SUM)
+        assert original.get(1).counts == [1, 2]
+        assert original.get(2) is None
+
+    def test_copy_isolation_legacy(self):
+        original = make_group([(INT64_MAX + 1, [1], 10)])
+        duplicate = original.copy()
+        duplicate.add(INT64_MAX + 1, [5], 20, SUM)
+        assert original.get(INT64_MAX + 1).counts == [1]
+
+    def test_memory_accounting_ignores_mutation_order(self):
+        # Same logical contents, one built wide-first, one narrow-first
+        # (the latter allocates a widths column it no longer needs).
+        wide_first = make_group([(1, [1, 2, 3], 10), (2, [4, 5, 6], 20)])
+        narrow_first = make_group([(2, [4], 20), (1, [1, 2, 3], 10)])
+        narrow_first.add(2, [0, 5, 6], 20, SUM)
+        assert wide_first.memory_bytes() == narrow_first.memory_bytes()
+
+    def test_from_columns_rejects_inconsistent_shapes(self):
+        fids = array(INT64_TYPECODE, [1, 2])
+        ts = array(INT64_TYPECODE, [10, 20])
+        counts = array(INT64_TYPECODE, [1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            ColumnGroup.from_columns(2, fids, array(INT64_TYPECODE, [10]), counts, None)
+        with pytest.raises(ValueError):
+            ColumnGroup.from_columns(
+                2, array(INT64_TYPECODE, [1, 1]), ts, counts, None
+            )
+        with pytest.raises(ValueError):
+            ColumnGroup.from_columns(
+                2, fids, ts, counts, array(INT64_TYPECODE, [3, 1])
+            )
+
+
+class TestBatchMemoInvalidation:
+    """The profile-level gather memo must never serve stale rows."""
+
+    WINDOW = TimeRange.current(10_000)
+    NOW_MS = 50_000
+
+    def _engine(self):
+        config = TableConfig(name="columnar_memo", attributes=("like", "share"))
+        return QueryEngine(config, SUM)
+
+    def _profile(self, pid):
+        profile = ProfileData(pid, write_granularity_ms=1000)
+        for i in range(8):
+            profile.add(
+                self.NOW_MS - i * 900, 1, 1, fid=100 + i, counts=[i + 1, 1],
+                aggregate=SUM,
+            )
+        return profile
+
+    def _batch(self, engine, profiles):
+        return engine.top_k_batch(
+            profiles, 1, 1, self.WINDOW, SortType.ATTRIBUTE, k=5,
+            now_ms=self.NOW_MS, sort_attribute="like",
+        )
+
+    def test_repeat_batch_is_stable(self):
+        engine = self._engine()
+        profiles = [self._profile(pid) for pid in range(4)]
+        first = self._batch(engine, profiles)
+        assert self._batch(engine, profiles) == first  # memo-hit path
+
+    def test_mutation_between_batches_is_visible(self):
+        engine = self._engine()
+        profiles = [self._profile(pid) for pid in range(4)]
+        self._batch(engine, profiles)  # populate the memo
+        # Mutate one profile: a new write that must dominate the sort.
+        profiles[2].add(
+            self.NOW_MS - 10, 1, 1, fid=999, counts=[1000, 1], aggregate=SUM
+        )
+        results = self._batch(engine, profiles)
+        assert results[2][0].fid == 999
+        # Untouched profiles still serve from the (validated) memo.
+        singles = [
+            engine.top_k(
+                profile, 1, 1, self.WINDOW, SortType.ATTRIBUTE, k=5,
+                now_ms=self.NOW_MS, sort_attribute="like",
+            )
+            for profile in profiles
+        ]
+        assert results == singles
+
+    def test_new_slice_between_batches_is_visible(self):
+        engine = self._engine()
+        profiles = [self._profile(pid) for pid in range(3)]
+        self._batch(engine, profiles)
+        # A write newer than the head slice prepends a fresh slice, which
+        # changes the window's slice list rather than an existing slice.
+        profiles[0].add(
+            self.NOW_MS + 2000, 1, 1, fid=777, counts=[500, 1], aggregate=SUM
+        )
+        results = engine.top_k_batch(
+            profiles, 1, 1, self.WINDOW, SortType.ATTRIBUTE, k=5,
+            now_ms=self.NOW_MS + 2500, sort_attribute="like",
+        )
+        assert results[0][0].fid == 777

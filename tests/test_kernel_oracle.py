@@ -304,6 +304,281 @@ class TestCacheInvalidation:
 
 
 # ----------------------------------------------------------------------
+# Batch differential oracle: multi-get == N independent single gets
+# ----------------------------------------------------------------------
+#
+# The batch kernels' contract mirrors the single-query one: for every
+# batch shape, each profile's result list AND QueryStats must be
+# byte-identical to an independent single get.  These tests run on the
+# session-selected backend, so `make kernel-oracle` exercises all three
+# configurations (auto / pinned-python / numpy-disabled).
+
+
+def _batch_profiles(rng, aggregate, zipf=None):
+    """A mixed-shape batch: every corpus plus an empty profile."""
+    profiles = []
+    for _ in range(rng.randrange(1, 4)):
+        corpus = rng.choice(CORPORA)
+        profiles.append(
+            corpus(rng, aggregate, zipf if corpus is zipf_corpus else None)
+        )
+    if rng.random() < 0.5:  # no slices: the window resolves to None
+        profiles.append(ProfileData(99, write_granularity_ms=MILLIS_PER_DAY))
+    rng.shuffle(profiles)
+    return profiles
+
+
+def assert_batch_matches_singles(singles_fn, batch_fn, n_profiles):
+    """Run singles then the batch; demand per-profile identity."""
+    single_stats = [QueryStats() for _ in range(n_profiles)]
+    singles = [singles_fn(i, single_stats[i]) for i in range(n_profiles)]
+    batch_stats = [QueryStats() for _ in range(n_profiles)]
+    batched = batch_fn(batch_stats)
+    assert batched == singles
+    assert batch_stats == single_stats
+    return singles
+
+
+class TestBatchDifferential:
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    @pytest.mark.parametrize(
+        "sort_type,extra", SORT_CASES, ids=[case[0].value for case in SORT_CASES]
+    )
+    def test_topk_batch_matches_singles(
+        self, config, rng, make_zipf, aggregate_name, sort_type, extra
+    ):
+        aggregate = get_aggregate(aggregate_name)
+        zipf = make_zipf(200, seed=rng.randrange(2**32))
+        engine = QueryEngine(config, aggregate)
+        for _ in range(4):
+            profiles = _batch_profiles(rng, aggregate, zipf)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            k = rng.randrange(1, 50)
+            descending = rng.random() < 0.8
+            assert_batch_matches_singles(
+                lambda i, stats: engine.top_k(
+                    profiles[i], slot, type_id, time_range, sort_type, k,
+                    now_ms=NOW, descending=descending, stats=stats, **extra,
+                ),
+                lambda stats_list: engine.top_k_batch(
+                    profiles, slot, type_id, time_range, sort_type, k,
+                    now_ms=NOW, descending=descending,
+                    stats_list=stats_list, **extra,
+                ),
+                len(profiles),
+            )
+
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    def test_filter_batch_matches_singles(self, config, rng, aggregate_name):
+        aggregate = get_aggregate(aggregate_name)
+        engine = QueryEngine(config, aggregate)
+        for _ in range(4):
+            profiles = _batch_profiles(rng, aggregate)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            threshold = rng.randrange(-10, 25)
+            predicate = lambda stat: stat.total() > threshold  # noqa: E731
+            assert_batch_matches_singles(
+                lambda i, stats: engine.filter(
+                    profiles[i], slot, type_id, time_range, predicate,
+                    now_ms=NOW, stats=stats,
+                ),
+                lambda stats_list: engine.filter_batch(
+                    profiles, slot, type_id, time_range, predicate,
+                    now_ms=NOW, stats_list=stats_list,
+                ),
+                len(profiles),
+            )
+
+    @pytest.mark.parametrize("aggregate_name", AGGREGATE_NAMES)
+    @pytest.mark.parametrize(
+        "decay_fn,factor",
+        [
+            (exponential_decay, 7 * MILLIS_PER_DAY),
+            (linear_decay, 30 * MILLIS_PER_DAY),
+            (step_decay, 10 * MILLIS_PER_DAY),
+        ],
+        ids=["exponential", "linear", "step"],
+    )
+    def test_decay_batch_matches_singles(
+        self, config, rng, aggregate_name, decay_fn, factor
+    ):
+        aggregate = get_aggregate(aggregate_name)
+        engine = QueryEngine(config, aggregate)
+        for _ in range(3):
+            profiles = _batch_profiles(rng, aggregate)
+            time_range = random_time_range(rng)
+            slot = rng.choice((1, 2))
+            type_id = rng.choice((None, 1, 2, 3))
+            k = rng.choice((None, rng.randrange(1, 30)))
+            sort_attribute = rng.choice((None, "share"))
+            assert_batch_matches_singles(
+                lambda i, stats: engine.decay(
+                    profiles[i], slot, type_id, time_range, decay_fn,
+                    factor, now_ms=NOW, k=k, sort_attribute=sort_attribute,
+                    stats=stats,
+                ),
+                lambda stats_list: engine.decay_batch(
+                    profiles, slot, type_id, time_range, decay_fn, factor,
+                    now_ms=NOW, k=k, sort_attribute=sort_attribute,
+                    stats_list=stats_list,
+                ),
+                len(profiles),
+            )
+
+    def test_udaf_batch_matches_singles(self, config, rng):
+        """UDAF batches route through the reference loop on every backend."""
+
+        def clipped_sum(left: int, right: int) -> int:
+            return min(left + right, 100)
+
+        engine = QueryEngine(config, clipped_sum)
+        for _ in range(3):
+            profiles = _batch_profiles(rng, clipped_sum)
+            time_range = random_time_range(rng)
+            assert_batch_matches_singles(
+                lambda i, stats: engine.top_k(
+                    profiles[i], 1, None, time_range, SortType.TOTAL, 10,
+                    now_ms=NOW, stats=stats,
+                ),
+                lambda stats_list: engine.top_k_batch(
+                    profiles, 1, None, time_range, SortType.TOTAL, 10,
+                    now_ms=NOW, stats_list=stats_list,
+                ),
+                len(profiles),
+            )
+
+    @requires_numpy
+    def test_batch_cross_backend_identical(self, config, rng, make_zipf):
+        """numpy batch vs python batch: same bytes, same stats."""
+        aggregate = get_aggregate("sum")
+        zipf = make_zipf(200, seed=rng.randrange(2**32))
+        for sort_type, extra in SORT_CASES:
+            profiles = _batch_profiles(rng, aggregate, zipf)
+            time_range = random_time_range(rng)
+            k = rng.randrange(1, 40)
+
+            def run(engine, stats_list):
+                return engine.top_k_batch(
+                    profiles, 1, None, time_range, sort_type, k,
+                    now_ms=NOW, stats_list=stats_list, **extra,
+                )
+
+            reference_stats = [QueryStats() for _ in profiles]
+            candidate_stats = [QueryStats() for _ in profiles]
+            reference = run(
+                QueryEngine(config, aggregate, backend="python"),
+                reference_stats,
+            )
+            got = run(
+                QueryEngine(config, aggregate, backend="numpy"),
+                candidate_stats,
+            )
+            assert got == reference
+            assert candidate_stats == reference_stats
+
+
+# ----------------------------------------------------------------------
+# Batch teeth: a broken batch kernel must be caught
+# ----------------------------------------------------------------------
+
+
+class TestBatchOracleTeeth:
+    def _profiles(self, rng):
+        aggregate = get_aggregate("sum")
+        return [zipf_corpus(rng, aggregate) for _ in range(4)]
+
+    def _assert_caught(self, config, rng, broken_backend):
+        profiles = self._profiles(rng)
+        engine = QueryEngine(config, get_aggregate("sum"), backend=broken_backend)
+        with pytest.raises(AssertionError):
+            assert_batch_matches_singles(
+                lambda i, stats: engine.top_k(
+                    profiles[i], 1, None, TimeRange.current(SPAN),
+                    SortType.TOTAL, 20, now_ms=NOW, stats=stats,
+                ),
+                lambda stats_list: engine.top_k_batch(
+                    profiles, 1, None, TimeRange.current(SPAN),
+                    SortType.TOTAL, 20, now_ms=NOW, stats_list=stats_list,
+                ),
+                len(profiles),
+            )
+
+    def test_catches_dropped_batch_results(self, config, rng):
+        """Works on every backend: the planted bug drops one result."""
+        from repro.core.kernels.python_backend import PythonBackend
+
+        class DroppingBatchBackend(PythonBackend):
+            name = "broken-batch-drop"
+
+            def run_topk_batch(self, *args, **kwargs):
+                out = super().run_topk_batch(*args, **kwargs)
+                for results in out:
+                    if results:
+                        results.pop()  # the planted bug
+                        break
+                return out
+
+        self._assert_caught(config, rng, DroppingBatchBackend())
+
+    @requires_numpy
+    def test_catches_wrong_batch_counts(self, config, rng):
+        from repro.core.kernels.numpy_backend import NumpyBackend
+
+        class OffByOneBatchKernel(NumpyBackend):
+            name = "broken-batch-counts"
+
+            def _reduce_batch(self, gathered, pid_arr, agg):
+                reduced = super()._reduce_batch(gathered, pid_arr, agg)
+                if reduced is not None:
+                    merged, group_pids = reduced
+                    if merged.counts.size:
+                        merged.counts = merged.counts + 1  # the planted bug
+                    return merged, group_pids
+                return reduced
+
+        self._assert_caught(config, rng, OffByOneBatchKernel())
+
+    @requires_numpy
+    def test_catches_wrong_batch_order(self, config, rng):
+        from repro.core.kernels.numpy_backend import NumpyBackend
+
+        class NonDescendingBatchKernel(NumpyBackend):
+            name = "broken-batch-order"
+
+            def _finish_batch(
+                self, profiles, gathered_list, merged, group_pids,
+                ascending, k, descending, stats_list,
+            ):
+                return super()._finish_batch(
+                    profiles, gathered_list, merged, group_pids,
+                    ascending, k, False, stats_list,  # the planted bug
+                )
+
+        self._assert_caught(config, rng, NonDescendingBatchKernel())
+
+    @requires_numpy
+    def test_catches_wrong_batch_stats(self, config, rng):
+        from repro.core.kernels.numpy_backend import NumpyBackend
+
+        class UndercountingBatchKernel(NumpyBackend):
+            name = "broken-batch-stats"
+
+            def run_topk_batch(self, *args, **kwargs):
+                stats_list = args[-1] if args else kwargs["stats_list"]
+                out = super().run_topk_batch(*args, **kwargs)
+                for stats in stats_list:
+                    if stats is not None and stats.features_merged:
+                        stats.features_merged -= 1  # the planted bug
+                return out
+
+        self._assert_caught(config, rng, UndercountingBatchKernel())
+
+
+# ----------------------------------------------------------------------
 # Compaction folds: whole-profile equivalence
 # ----------------------------------------------------------------------
 

@@ -40,7 +40,7 @@ sys.path.insert(0, os.path.join(ROOT, "benchmarks"))
 
 SCHEMA = "bench-history/v1"
 #: This PR's snapshot number; bump per PR so history accumulates.
-SNAPSHOT_NUMBER = 9
+SNAPSHOT_NUMBER = 10
 HISTORY_DIR = os.path.join(ROOT, "benchmarks", "history")
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -86,6 +86,19 @@ def collect_kernels() -> dict[str, dict]:
         out["kernels.speedup"] = metric(
             case["speedup"], "x", "higher", rel_tol=0.4
         )
+
+    cold = bench_kernels.run_cold_case(repeats=3)
+    out["kernels.cold_over_warm"] = metric(
+        cold["ratio"], "x", "lower", rel_tol=0.4
+    )
+    multiget = bench_kernels.run_multiget_case(repeats=3)
+    out["kernels.multiget_vs_reference"] = metric(
+        multiget["speedup_vs_reference"], "x", "higher", rel_tol=0.4
+    )
+    if "numpy" in bench_kernels.available_backends():
+        out["kernels.multiget_vs_singles"] = metric(
+            multiget["speedup_vs_singles"], "x", "higher", rel_tol=0.4
+        )
     return out
 
 
@@ -130,8 +143,12 @@ def collect_recovery() -> dict[str, dict]:
 def collect_trace() -> dict[str, dict]:
     import bench_trace_overhead
 
+    # The kernel work in PR 10 made the base query path fast enough that
+    # a 4-batch drive finishes in ~4 ms, where scheduler jitter swamps
+    # the overhead fraction; 12 batches x 7 repeats keeps the denominator
+    # above 10 ms and the fraction stable to a few points.
     result = bench_trace_overhead.run_bench(
-        batch_size=64, num_batches=4, num_nodes=3, population=200, repeats=3
+        batch_size=64, num_batches=12, num_nodes=3, population=200, repeats=7
     )
     return {
         "trace.overhead_frac": metric(

@@ -39,6 +39,9 @@ TARGETS = (
     ("core", SRC / "repro" / "core", 0.85),
     ("server", SRC / "repro" / "server", 0.85),
     ("obs", SRC / "repro" / "obs", 0.85),
+    # The array-native representation (PR 10) made the codec a correctness
+    # seam: WAL/KV/checkpoint images are memoryview dumps of live columns.
+    ("storage", SRC / "repro" / "storage", 0.85),
 )
 
 #: Test files that exercise the targets (kept explicit so the traced run
@@ -53,11 +56,24 @@ TRACED_TEST_FILES = (
     "tests/test_core_timerange.py",
     "tests/test_core_truncate.py",
     "tests/test_core_udaf_weighted.py",
+    "tests/test_columnar.py",
     "tests/test_kernel_oracle.py",
     "tests/test_kernel_properties.py",
     "tests/test_query_oracle.py",
     "tests/test_query_properties_extra.py",
     "tests/test_hot_reload.py",
+    # storage targets (columnar-native serialization + the stores it feeds)
+    "tests/test_storage_serialization.py",
+    "tests/test_serialization_properties.py",
+    "tests/test_serialization_fuzz.py",
+    "tests/test_storage_compression.py",
+    "tests/test_storage_wal.py",
+    "tests/test_storage_kvstore.py",
+    "tests/test_storage_filestore.py",
+    "tests/test_storage_persistence.py",
+    "tests/test_storage_snapshot.py",
+    "tests/test_storage_replication.py",
+    "tests/test_storage_load_window.py",
     # server targets
     "tests/test_server_node.py",
     "tests/test_server_isolation.py",
